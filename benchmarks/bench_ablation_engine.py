@@ -1,0 +1,43 @@
+"""E16 — Ablation: every applicable counting strategy on a shared workload.
+
+Not a paper table, but the design-choice ablation DESIGN.md calls out: how
+do the paper's algorithms compare on the same instances?  Three workloads:
+an acyclic projected query (all strategies apply), the cyclic Q1, and the
+paper's workforce instance.  All strategies must agree with brute force;
+the benchmark groups expose the cost ordering.
+"""
+
+import pytest
+
+from repro.counting.brute_force import count_brute_force
+from repro.counting.engine import count_answers
+from repro.db.generators import correlated_database
+from repro.query import parse_query
+from repro.workloads import q0, q1_cycle, workforce_database
+
+
+def _workloads():
+    star = parse_query("ans(A, C) :- r(A, B), s(B, C), t(B, D)")
+    return {
+        "star": (star, correlated_database(star, 10, 80, seed=3)),
+        "cycle": (q1_cycle(),
+                  correlated_database(q1_cycle(), 10, 80, seed=4)),
+        "workforce": (q0(), workforce_database(seed=5)),
+    }
+
+
+WORKLOADS = _workloads()
+STRATEGIES = ["structural", "hybrid", "degree", "brute_force"]
+
+
+@pytest.mark.benchmark(group="ablation")
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_strategy_on_workload(benchmark, strategy, workload):
+    query, database = WORKLOADS[workload]
+    expected = count_brute_force(query, database)
+
+    def run():
+        return count_answers(query, database, method=strategy).count
+
+    assert benchmark(run) == expected

@@ -1,0 +1,63 @@
+"""E15 — Theorem A.3: bounded (ghw, qss) implies bounded #-hypertree width.
+
+Paper claims: a class with generalized hypertree width <= k and quantified
+star size <= l has #-hypertree width <= k * l; the converse fails
+(Example A.2).  We verify the inequality on a spread of generated and
+paper queries, and benchmark the width computations.
+"""
+
+import pytest
+
+from repro.counting.starsize import quantified_star_size
+from repro.decomposition.ghd import generalized_hypertree_width
+from repro.decomposition.sharp import sharp_hypertree_width
+from repro.query import parse_query
+from repro.reductions import star_frontier_query
+from repro.workloads import q0, q1_cycle, random_query
+
+FAMILIES = {
+    "q0": q0(),
+    "q1_cycle": q1_cycle(),
+    "star2": star_frontier_query(2),
+    "star3": star_frontier_query(3),
+    "path": parse_query("ans(A, D) :- r(A, B), s(B, C), t(C, D)"),
+    "rand17": random_query(5, 4, n_free=2, seed=17),
+    "rand23": random_query(5, 4, n_free=3, seed=23),
+}
+
+
+@pytest.mark.benchmark(group="appA-inequality")
+@pytest.mark.parametrize("name", sorted(FAMILIES))
+def test_sharp_width_at_most_ghw_times_qss(benchmark, name):
+    query = FAMILIES[name]
+
+    def measure():
+        ghw = generalized_hypertree_width(query.hypergraph(), max_width=4)
+        qss = max(1, quantified_star_size(query))
+        sharp = sharp_hypertree_width(query, max_width=ghw * qss)
+        return ghw, qss, sharp
+
+    ghw, qss, sharp = benchmark(measure)
+    assert sharp <= ghw * qss, (name, ghw, qss, sharp)
+
+
+@pytest.mark.benchmark(group="appA-core-starsize")
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_core_star_size_collapses_on_example_a2(benchmark, n):
+    """Lemma A.4: after taking colored cores, Example A.2's star size is 1.
+
+    The raw star size grows as ceil(n/2) while the core-aware quantity —
+    a lower bound on the #-hypertree width — stays 1, matching
+    #-htw(Q^n_1) = 1.
+    """
+    import math
+
+    from repro.counting.starsize import core_quantified_star_size
+    from repro.workloads import qn1_chain
+
+    query = qn1_chain(n)
+    raw = quantified_star_size(query)
+    core_qss = benchmark(core_quantified_star_size, query)
+    assert raw == math.ceil(n / 2)
+    assert core_qss == 1
+    assert sharp_hypertree_width(query, max_width=1) == 1

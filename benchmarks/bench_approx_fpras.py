@@ -1,0 +1,80 @@
+"""E18 — Approximate counting: exact sampler, Monte Carlo, Karp–Luby.
+
+Paper context (Section 1.3): when the frontier hypergraph is covered,
+exact counting (and hence exact uniform sampling) is polynomial; when not,
+FPRAS-style randomized schemes are the remaining option [ACJR21b, FGRZ22].
+
+Measured here: (a) the uniform sampler's count equals the exact count and
+its empirical distribution is flat; (b) naive Monte Carlo converges to the
+truth with the predicted O(1/sqrt(n)) interval; (c) Karp–Luby estimates a
+UCQ count within its confidence interval using only per-disjunct exact
+counts plus sampling.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.approx import (
+    AnswerSampler,
+    karp_luby_union_count,
+    monte_carlo_count,
+)
+from repro.counting import count_brute_force
+from repro.ucq import count_union_brute_force, parse_ucq
+from repro.workloads.graph_patterns import gnp_graph, path_query
+
+from conftest import report
+
+GRAPH = gnp_graph(25, 0.15, seed=13)
+QUERY = path_query(3)
+
+
+@pytest.mark.benchmark(group="approx-fpras")
+def test_sampler_count_and_uniformity(benchmark):
+    sampler = AnswerSampler.for_query(QUERY, GRAPH)
+    exact = count_brute_force(QUERY, GRAPH)
+    assert len(sampler) == exact
+
+    draws = benchmark(sampler.sample_many, 500)
+    frequencies = Counter(
+        tuple(sorted((v.name, value) for v, value in answer.items()))
+        for answer in draws
+    )
+    # Every draw is a real answer; spread is wide (uniform, not collapsed).
+    assert len(frequencies) > min(exact, 100) // 2
+    report("sampler", exact=exact, distinct_in_500=len(frequencies))
+
+
+@pytest.mark.benchmark(group="approx-fpras")
+@pytest.mark.parametrize("samples", [100, 1000, 10000])
+def test_monte_carlo_convergence(benchmark, samples):
+    exact = count_brute_force(QUERY, GRAPH)
+    estimate = benchmark(
+        monte_carlo_count, QUERY, GRAPH, samples=samples, seed=1
+    )
+    assert estimate.covers(exact)
+    report(
+        "monte-carlo", samples=samples, exact=exact,
+        estimate=round(estimate.estimate, 1),
+        half_width=round(estimate.half_width, 1),
+    )
+
+
+@pytest.mark.benchmark(group="approx-fpras")
+def test_karp_luby_union(benchmark):
+    union = parse_ucq(
+        "ans(X0, X3) :- edge(X0, X1), edge(X1, X2), edge(X2, X3) ; "
+        "ans(X0, X3) :- edge(X0, X3), edge(X3, X0)"
+    )
+    exact = count_union_brute_force(union, GRAPH)
+    estimate = benchmark(
+        karp_luby_union_count, union, GRAPH, samples=1500, seed=2
+    )
+    assert estimate.covers(exact)
+    report(
+        "karp-luby", exact=exact,
+        estimate=round(estimate.estimate, 1),
+        overcount=estimate.overcount,
+        per_disjunct=estimate.per_disjunct_counts,
+    )

@@ -1,0 +1,98 @@
+"""E20 — Counting under updates: incremental maintenance vs recount.
+
+Paper context (Section 1.3, [BKS17, BKS18]): for suitable acyclic queries
+the answer count can be maintained under single-tuple updates much faster
+than recounting.
+
+Measured here: (a) the maintainer agrees with the recount across an update
+stream; (b) per-update cost of the maintainer vs a from-scratch recount as
+the database grows — the gap is the point of the dynamic algorithm.
+"""
+
+import random
+
+import pytest
+
+from repro.counting.acyclic import count_acyclic
+from repro.db import Database
+from repro.dynamic import Delete, IncrementalCounter, Insert, apply_update
+from repro.query import parse_query
+
+from conftest import report
+
+QUERY = parse_query("ans(A, B, C, D) :- r(A, B), s(B, C), t(C, D)")
+
+
+def make_database(n_tuples: int, seed: int = 0) -> Database:
+    rng = random.Random(seed)
+    domain = max(4, n_tuples // 4)
+
+    def rows():
+        return list({
+            (rng.randrange(domain), rng.randrange(domain))
+            for _ in range(n_tuples)
+        })
+
+    return Database.from_dict({"r": rows(), "s": rows(), "t": rows()})
+
+
+def make_stream(database: Database, length: int, seed: int = 1):
+    rng = random.Random(seed)
+    stream = []
+    current = database
+    for _ in range(length):
+        relation = rng.choice(["r", "s", "t"])
+        existing = sorted(set(current[relation].rows), key=repr)
+        if existing and rng.random() < 0.5:
+            update = Delete(relation, rng.choice(existing))
+        else:
+            domain = 10_000
+            while True:
+                row = (rng.randrange(domain), rng.randrange(domain))
+                if row not in set(current[relation].rows):
+                    break
+            update = Insert(relation, row)
+        stream.append(update)
+        current = apply_update(current, update)
+    return stream
+
+
+@pytest.mark.benchmark(group="dynamic-updates")
+@pytest.mark.parametrize("n_tuples", [100, 400, 1600])
+def test_incremental_update_cost(benchmark, n_tuples):
+    database = make_database(n_tuples)
+    stream = make_stream(database, 20)
+
+    def replay():
+        counter = IncrementalCounter(QUERY, database)
+        counter.apply_many(stream)
+        return counter.count
+
+    count = benchmark(replay)
+    final = database
+    for update in stream:
+        final = apply_update(final, update)
+    assert count == count_acyclic(QUERY, final)
+    report("incremental", tuples=n_tuples, stream=len(stream), count=count)
+
+
+@pytest.mark.benchmark(group="dynamic-updates")
+@pytest.mark.parametrize("n_tuples", [100, 400, 1600])
+def test_recount_update_cost(benchmark, n_tuples):
+    database = make_database(n_tuples)
+    stream = make_stream(database, 20)
+
+    def replay():
+        current = database
+        count = count_acyclic(QUERY, current)
+        for update in stream:
+            current = apply_update(current, update)
+            count = count_acyclic(QUERY, current)
+        return count
+
+    count = benchmark(replay)
+    final = database
+    for update in stream:
+        final = apply_update(final, update)
+    assert count == count_acyclic(QUERY, final)
+    report("recount", tuples=n_tuples, stream=len(stream), count=count)

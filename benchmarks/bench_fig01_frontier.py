@@ -1,0 +1,49 @@
+"""E1/E5 — Figure 1 and Figure 6: frontier machinery on Q0.
+
+Paper claims: removing {A,B,C} from H_Q0 leaves components {I}, {E},
+{D,F,G,H} with frontiers {A,B}, {B}, {B,C} (Figure 1(b)); and
+Fr(A,{D,E,G}) = {D,E}, Fr(H,{D,E,G}) = {D,G} (Figure 6).
+"""
+
+import pytest
+
+from repro.hypergraph.components import components, frontier
+from repro.hypergraph.frontier import frontier_hypergraph
+from repro.query import Variable
+from repro.workloads import q0
+
+A, B, C, D, E, G, H, I = (Variable(x) for x in "ABCDEGHI")
+
+
+@pytest.mark.benchmark(group="fig01-frontier")
+def test_frontier_hypergraph_q0(benchmark):
+    query = q0()
+    fh = benchmark(frontier_hypergraph, query)
+    assert fh.edges == frozenset({
+        frozenset({A, B}), frozenset({B}), frozenset({B, C}),
+    })
+
+
+@pytest.mark.benchmark(group="fig01-frontier")
+def test_free_components_q0(benchmark):
+    hypergraph = q0().hypergraph()
+    comps = benchmark(components, hypergraph, frozenset({A, B, C}))
+    assert set(comps) == {
+        frozenset({I}), frozenset({E}),
+        frozenset({D, Variable("F"), G, H}),
+    }
+
+
+@pytest.mark.benchmark(group="fig06-frontier")
+def test_figure_6_frontiers(benchmark):
+    hypergraph = q0().hypergraph()
+
+    def both():
+        return (
+            frontier(A, frozenset({D, E, G}), hypergraph),
+            frontier(H, frozenset({D, E, G}), hypergraph),
+        )
+
+    fr_a, fr_h = benchmark(both)
+    assert fr_a == frozenset({D, E})
+    assert fr_h == frozenset({D, G})

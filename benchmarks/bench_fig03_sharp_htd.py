@@ -1,0 +1,43 @@
+"""E3 — Figure 3 / Examples 3.4, 4.2: colored core and #-htw(Q0) = 2.
+
+Paper claims: the core of color(Q0) drops one of the two symmetric
+subtask/resource branches (7 plain atoms remain); Q0 has a width-2
+#-hypertree decomposition and none of width 1, so #-htw(Q0) = 2.
+"""
+
+import pytest
+
+from repro.decomposition.sharp import find_sharp_hypertree_decomposition
+from repro.homomorphism import colored_core
+from repro.query import Variable
+from repro.query.coloring import is_color_atom
+from repro.workloads import (
+    q0,
+    q0_expected_core_atoms,
+    q0_symmetric_core_atoms,
+)
+
+B, C = Variable("B"), Variable("C")
+
+
+@pytest.mark.benchmark(group="fig03-sharp")
+def test_colored_core_computation(benchmark):
+    core = benchmark(colored_core, q0())
+    plain = frozenset(a for a in core.atoms if not is_color_atom(a))
+    assert plain in (q0_expected_core_atoms(), q0_symmetric_core_atoms())
+    assert len(plain) == 7
+
+
+@pytest.mark.benchmark(group="fig03-sharp")
+def test_sharp_htd_width_2_exists(benchmark):
+    decomposition = benchmark(find_sharp_hypertree_decomposition, q0(), 2)
+    assert decomposition is not None
+    assert decomposition.width() <= 2
+    # The frontier edge {B, C} is covered by some bag (Figure 3(c)).
+    assert any(frozenset({B, C}) <= bag for bag in decomposition.tree.bags)
+
+
+@pytest.mark.benchmark(group="fig03-sharp")
+def test_sharp_htd_width_1_impossible(benchmark):
+    decomposition = benchmark(find_sharp_hypertree_decomposition, q0(), 1)
+    assert decomposition is None

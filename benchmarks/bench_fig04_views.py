@@ -1,0 +1,56 @@
+"""E4 — Figures 4/7, Example 3.5: #-covering w.r.t. the resource views V0.
+
+Paper claims: Q0 is #-covered w.r.t. V0 via the core that drops the G
+branch (its {D,F,H} triangle is absorbed by a V0 view); the *symmetric*
+core keeps the {D,G,H} triangle, which no view covers, so it admits no
+tree projection — Definition 1.4's "some core" matters.
+"""
+
+import pytest
+
+from repro.decomposition.sharp import find_sharp_decomposition
+from repro.query import Atom, ConjunctiveQuery, Variable, color_symbol
+from repro.workloads import (
+    q0,
+    q0_expected_core_atoms,
+    q0_symmetric_core_atoms,
+    v0_view_set,
+)
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+def _as_colored(plain_atoms):
+    colors = {Atom(color_symbol(v), (v,)) for v in (A, B, C)}
+    return ConjunctiveQuery(frozenset(plain_atoms) | colors,
+                            frozenset({A, B, C}))
+
+
+@pytest.mark.benchmark(group="fig04-views")
+def test_good_core_is_covered(benchmark):
+    views = v0_view_set()
+    colored = _as_colored(q0_expected_core_atoms())
+    decomposition = benchmark(
+        find_sharp_decomposition, q0(), views, colored
+    )
+    assert decomposition is not None
+    assert decomposition.is_valid()
+
+
+@pytest.mark.benchmark(group="fig04-views")
+def test_symmetric_core_is_not_covered(benchmark):
+    views = v0_view_set()
+    colored = _as_colored(q0_symmetric_core_atoms())
+    decomposition = benchmark(
+        find_sharp_decomposition, q0(), views, colored
+    )
+    assert decomposition is None
+
+
+@pytest.mark.benchmark(group="fig04-views")
+def test_probing_all_cores_succeeds(benchmark):
+    views = v0_view_set()
+    decomposition = benchmark(
+        find_sharp_decomposition, q0(), views, None, True
+    )
+    assert decomposition is not None

@@ -1,0 +1,52 @@
+"""E6 — Figure 8, Example 4.1: the 4-cycle query Q1.
+
+Paper claims: Q1 is a core; its frontier hypergraph contains {A, C}; its
+#-hypertree width is exactly 2; structural counting is exact.
+"""
+
+import pytest
+
+from repro.counting import count_brute_force, count_structural
+from repro.db.generators import correlated_database
+from repro.decomposition.sharp import (
+    find_sharp_hypertree_decomposition,
+    sharp_hypertree_width,
+)
+from repro.homomorphism import is_core
+from repro.hypergraph.frontier import frontier_hypergraph
+from repro.query import Variable
+from repro.query.coloring import color
+from repro.workloads import q1_cycle
+
+A, C = Variable("A"), Variable("C")
+
+
+@pytest.mark.benchmark(group="fig08-cycle")
+def test_q1_structure(benchmark):
+    query = q1_cycle()
+
+    def analyze():
+        return (
+            is_core(color(query)),
+            frontier_hypergraph(query),
+        )
+
+    core_flag, fh = benchmark(analyze)
+    assert core_flag  # "Q1 cannot be simplified, as it is a core"
+    assert frozenset({A, C}) in fh.edges
+
+
+@pytest.mark.benchmark(group="fig08-cycle")
+def test_sharp_width_is_two(benchmark):
+    width = benchmark(sharp_hypertree_width, q1_cycle(), 3)
+    assert width == 2
+    assert find_sharp_hypertree_decomposition(q1_cycle(), 1) is None
+
+
+@pytest.mark.benchmark(group="fig08-cycle")
+@pytest.mark.parametrize("tuples", [50, 200])
+def test_structural_counting_q1(benchmark, tuples):
+    query = q1_cycle()
+    database = correlated_database(query, 12, tuples, seed=17)
+    count = benchmark(count_structural, query, database, 2)
+    assert count == count_brute_force(query, database)

@@ -1,0 +1,60 @@
+"""E8 — Figures 9/10, Examples 6.3/6.5: hybrid tractability of barQ^h_2.
+
+Paper claims: the family has no bounded #-generalized hypertree width (the
+existential frontier is a clique over the free variables), yet a width-2
+#1-generalized hypertree decomposition exists with the Y variables promoted
+to pseudo-free; hybrid counting is then polynomial while brute force pays
+for the m-fold Z blowup.
+"""
+
+import pytest
+
+from repro.counting import count_brute_force
+from repro.counting.hybrid import count_with_hybrid_decomposition
+from repro.decomposition.hybrid import (
+    evaluate_pseudo_free,
+    find_hybrid_decomposition,
+)
+from repro.decomposition.sharp import find_sharp_hypertree_decomposition
+from repro.workloads import d2_bar_database, q2_bar, q2_pseudo_free
+
+H = 2
+Z_SIZES = [8, 32, 128]
+
+
+@pytest.mark.benchmark(group="fig10-search")
+def test_structural_method_fails(benchmark):
+    decomposition = benchmark(
+        find_sharp_hypertree_decomposition, q2_bar(H), 2
+    )
+    assert decomposition is None
+
+
+@pytest.mark.benchmark(group="fig10-search")
+def test_hybrid_search_finds_degree_1(benchmark):
+    query, database = q2_bar(H), d2_bar_database(H)
+    hybrid = benchmark(find_hybrid_decomposition, query, database, 2)
+    assert hybrid is not None
+    assert hybrid.degree == 1
+    assert hybrid.width() <= 2
+
+
+@pytest.mark.benchmark(group="fig10-hybrid-count")
+@pytest.mark.parametrize("m_z", Z_SIZES)
+def test_hybrid_counting_scaling(benchmark, m_z):
+    query = q2_bar(H)
+    database = d2_bar_database(H, m_z=m_z)
+    hybrid = evaluate_pseudo_free(query, database, 2, q2_pseudo_free(H))
+    count = benchmark(
+        count_with_hybrid_decomposition, query, database, hybrid
+    )
+    assert count == 2 ** H
+
+
+@pytest.mark.benchmark(group="fig10-brute-count")
+@pytest.mark.parametrize("m_z", Z_SIZES)
+def test_brute_force_scaling(benchmark, m_z):
+    query = q2_bar(H)
+    database = d2_bar_database(H, m_z=m_z)
+    count = benchmark(count_brute_force, query, database)
+    assert count == 2 ** H

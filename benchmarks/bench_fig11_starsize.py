@@ -1,0 +1,69 @@
+"""E9 — Figure 11, Example A.2 / Theorem A.3: star size vs #-hypertree width.
+
+Paper claims: qss(Q^n_1) = ceil(n/2) grows with n, so the Durand–Mengel
+criterion (bounded ghw + bounded qss) rejects the family, while the colored
+core collapses it to #-hypertree width 1 for every n.  The DM counting
+route must pay width ghw*qss; the core route stays at width 1.  The
+companion family Q^n_2 has ghw = n but #-htw = 1.
+"""
+
+import math
+
+import pytest
+
+from repro.counting import count_brute_force, count_durand_mengel
+from repro.counting.starsize import quantified_star_size
+from repro.counting.structural import count_structural
+from repro.db.generators import correlated_database
+from repro.decomposition.ghd import generalized_hypertree_width
+from repro.decomposition.sharp import sharp_hypertree_width
+from repro.workloads import qn1_chain, qn2_biclique
+
+NS = [2, 3, 4]
+
+
+@pytest.mark.benchmark(group="fig11-parameters")
+@pytest.mark.parametrize("n", NS)
+def test_parameter_separation(benchmark, n):
+    query = qn1_chain(n)
+
+    def measure():
+        return quantified_star_size(query), sharp_hypertree_width(query, 2)
+
+    qss, sharp_width = benchmark(measure)
+    assert qss == math.ceil(n / 2)   # unbounded in n
+    assert sharp_width == 1          # constant
+
+
+@pytest.mark.benchmark(group="fig11-count-core")
+@pytest.mark.parametrize("n", NS)
+def test_core_route_counting(benchmark, n):
+    query = qn1_chain(n)
+    database = correlated_database(query, 6, 30, seed=31)
+    count = benchmark(count_structural, query, database, 1)
+    assert count == count_brute_force(query, database)
+
+
+@pytest.mark.benchmark(group="fig11-count-dm")
+@pytest.mark.parametrize("n", [2, 3])
+def test_durand_mengel_route_counting(benchmark, n):
+    """The DM route pays the ghw*qss width blowup but stays exact."""
+    query = qn1_chain(n)
+    database = correlated_database(query, 6, 30, seed=31)
+    count = benchmark(count_durand_mengel, query, database, 2)
+    assert count == count_brute_force(query, database)
+
+
+@pytest.mark.benchmark(group="fig11-qn2")
+def test_qn2_companion(benchmark):
+    query = qn2_biclique(3)
+
+    def widths():
+        return (
+            generalized_hypertree_width(query.hypergraph()),
+            sharp_hypertree_width(query, max_width=1),
+        )
+
+    ghw, sharp_width = benchmark(widths)
+    assert ghw == 3
+    assert sharp_width == 1

@@ -1,0 +1,58 @@
+"""E10 — Figure 12, Examples C.1/C.2: degree bounds on the counter database.
+
+Paper claims: on D_2 every width-1 hypertree decomposition of Q^h_2 has
+bound m = 2^h (the s vertex sees no free variable), but merging r and s
+into a width-2 vertex drops the bound to 1 (X0 becomes a key); the Figure
+13 algorithm over the merged decomposition is then fast, and the D-optimal
+search discovers exactly that merge.
+"""
+
+import pytest
+
+from repro.counting.sharp_relations import count_via_hypertree
+from repro.decomposition.degree import d_optimal_decomposition, degree_bound
+from repro.decomposition.ghd import find_ghd_join_tree
+from repro.decomposition.hypertree import hypertree_from_join_tree
+from repro.workloads import d2_database, q2_acyclic
+
+H = 3
+
+
+def _width1(query):
+    tree = find_ghd_join_tree(query.hypergraph(), 1)
+    return hypertree_from_join_tree(tree, query, max_cover=1)
+
+
+@pytest.mark.benchmark(group="fig12-bounds")
+def test_width1_bound_is_m(benchmark):
+    query, database = q2_acyclic(H), d2_database(H)
+    decomposition = _width1(query)
+    bound = benchmark(degree_bound, decomposition, database,
+                      query.free_variables)
+    assert bound == 2 ** H
+
+
+@pytest.mark.benchmark(group="fig12-bounds")
+def test_d_optimal_width2_bound_is_1(benchmark):
+    query, database = q2_acyclic(H), d2_database(H)
+    result = benchmark(d_optimal_decomposition, query, database, 2)
+    assert result is not None
+    assert result[0] == 1
+
+
+@pytest.mark.benchmark(group="fig12-count")
+def test_fig13_on_width1_decomposition(benchmark):
+    """High-degree decomposition: the 2^h blowup regime."""
+    query, database = q2_acyclic(H), d2_database(H)
+    decomposition = _width1(query)
+    count = benchmark(count_via_hypertree, query, database, decomposition)
+    assert count == 2 ** H
+
+
+@pytest.mark.benchmark(group="fig12-count")
+def test_fig13_on_d_optimal_decomposition(benchmark):
+    """Degree-1 decomposition of Example C.2: the fast regime."""
+    query, database = q2_acyclic(H), d2_database(H)
+    _bound, decomposition = d_optimal_decomposition(query, database, 2)
+    count = benchmark(count_via_hypertree, query, database, decomposition)
+    assert count == 2 ** H

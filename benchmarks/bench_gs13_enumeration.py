@@ -1,0 +1,44 @@
+"""E17 — [GS13] (Section 1.1): enumeration with polynomial delay.
+
+Paper context: over #-covered queries, the answers can be *enumerated* with
+polynomial delay, but counting them is the harder problem this paper
+solves.  We benchmark (a) full enumeration vs the structural counter on the
+same instance — counting must not pay per answer; (b) first-answer delay
+staying flat as the database grows.
+"""
+
+import pytest
+
+from repro.counting.brute_force import count_brute_force
+from repro.counting.enumeration import enumerate_answers, iter_answers
+from repro.counting.structural import count_structural
+from repro.workloads import q0, workforce_database
+
+
+@pytest.mark.benchmark(group="gs13-enumerate")
+def test_full_enumeration(benchmark):
+    query = q0()
+    database = workforce_database(n_workers=60, seed=29)
+    listed = benchmark(enumerate_answers, query, database)
+    assert len(listed) == count_brute_force(query, database)
+
+
+@pytest.mark.benchmark(group="gs13-enumerate")
+def test_counting_without_enumeration(benchmark):
+    query = q0()
+    database = workforce_database(n_workers=60, seed=29)
+    count = benchmark(count_structural, query, database, 2)
+    assert count == count_brute_force(query, database)
+
+
+@pytest.mark.benchmark(group="gs13-first-answer")
+@pytest.mark.parametrize("workers", [40, 160])
+def test_first_answer_delay(benchmark, workers):
+    query = q0()
+    database = workforce_database(n_workers=workers, seed=29)
+
+    def first():
+        return next(iter_answers(query, database), None)
+
+    answer = benchmark(first)
+    assert answer is not None

@@ -1,0 +1,58 @@
+"""E14 — Lemma 4.3: polynomial core computation via local consistency.
+
+Paper claims: when the cores have generalized hypertree width <= k, any
+core can be computed in polynomial time by replacing each homomorphism
+test with pairwise consistency over V^k_Q.  We benchmark both routes on
+the paper families and check they agree.
+"""
+
+import pytest
+
+from repro.homomorphism.core import (
+    colored_core,
+    colored_core_via_consistency,
+    core,
+    core_via_consistency,
+)
+from repro.homomorphism.solver import homomorphically_equivalent
+from repro.query import parse_query
+from repro.workloads import q0, qn1_chain
+
+REDUNDANT = parse_query(
+    "ans(A) :- r(A, B), r(B, C), r(A, C), r(X, Y), r(Y, Z)"
+)
+
+
+@pytest.mark.benchmark(group="lemma43-exhaustive")
+def test_exhaustive_core_q0(benchmark):
+    result = benchmark(colored_core, q0())
+    assert len(result.atoms) == 10  # 7 plain + 3 colors
+
+
+@pytest.mark.benchmark(group="lemma43-consistency")
+def test_consistency_core_q0(benchmark):
+    result = benchmark(colored_core_via_consistency, q0(), 2)
+    assert len(result.atoms) == 10
+
+
+@pytest.mark.benchmark(group="lemma43-agreement")
+@pytest.mark.parametrize("n", [2, 3])
+def test_routes_agree_on_qn1(benchmark, n):
+    query = qn1_chain(n)
+
+    def both():
+        return colored_core(query), colored_core_via_consistency(query, 2)
+
+    slow, fast = benchmark(both)
+    assert len(slow.atoms) == len(fast.atoms)
+    assert homomorphically_equivalent(slow, fast)
+
+
+@pytest.mark.benchmark(group="lemma43-agreement")
+def test_routes_agree_on_redundant_query(benchmark):
+    def both():
+        return core(REDUNDANT), core_via_consistency(REDUNDANT, 2)
+
+    slow, fast = benchmark(both)
+    assert len(slow.atoms) == len(fast.atoms)
+    assert homomorphically_equivalent(slow, fast)

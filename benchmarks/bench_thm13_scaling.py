@@ -1,0 +1,57 @@
+"""E7 — Theorems 3.7 / 1.3: polynomial structural counting vs brute force.
+
+Paper claims: for classes of bounded #-hypertree width, counting is
+polynomial in the combined input size.  On the workforce instances of Q0,
+the structural counter's time should grow polynomially with the database
+while brute force pays for materializing all existential extensions; both
+must agree on the count.  Compare the 'structural' and 'brute' benchmark
+groups across the size sweep to see the separation.
+"""
+
+import pytest
+
+from repro.counting import count_brute_force, count_structural
+from repro.decomposition.sharp import find_sharp_hypertree_decomposition
+from repro.counting.structural import count_with_decomposition
+from repro.workloads import q0, workforce_database
+
+SIZES = [40, 80, 160]
+
+
+def _database(workers: int):
+    return workforce_database(
+        n_workers=workers,
+        n_machines=workers // 3,
+        n_projects=workers // 5,
+        n_tasks=workers // 2,
+        n_subtasks=workers,
+        n_resources=workers // 4,
+        seed=23,
+    )
+
+
+@pytest.mark.benchmark(group="thm13-structural")
+@pytest.mark.parametrize("workers", SIZES)
+def test_structural_scaling(benchmark, workers):
+    query = q0()
+    database = _database(workers)
+    decomposition = find_sharp_hypertree_decomposition(query, 2)
+    count = benchmark(count_with_decomposition, query, database, decomposition)
+    assert count == count_brute_force(query, database)
+
+
+@pytest.mark.benchmark(group="thm13-brute")
+@pytest.mark.parametrize("workers", SIZES)
+def test_brute_force_scaling(benchmark, workers):
+    query = q0()
+    database = _database(workers)
+    benchmark(count_brute_force, query, database)
+
+
+@pytest.mark.benchmark(group="thm13-pipeline")
+def test_end_to_end_pipeline(benchmark):
+    """Decomposition search + counting together (the Theorem 1.3 promise)."""
+    query = q0()
+    database = _database(80)
+    count = benchmark(count_structural, query, database)
+    assert count == count_brute_force(query, database)

@@ -1,0 +1,45 @@
+"""E13 — Theorems 3.6 / 6.7: decomposition search is FPT in the query size.
+
+Paper claims: finding #-decompositions (and hybrid decompositions) is
+fixed-parameter tractable with the query size as parameter — polynomial in
+the database, exponential only in the query.  We sweep (a) database size at
+a fixed query: hybrid-search time should stay near-flat; (b) query size at
+a fixed small database: search time grows (the FPT exponent), remaining
+feasible at paper-scale queries.
+"""
+
+import pytest
+
+from repro.decomposition.hybrid import find_hybrid_decomposition
+from repro.decomposition.sharp import find_sharp_hypertree_decomposition
+from repro.workloads import (
+    d2_bar_database,
+    q2_bar,
+    qn1_chain,
+)
+
+
+@pytest.mark.benchmark(group="thm36-query-sweep")
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_sharp_search_grows_with_query(benchmark, n):
+    query = qn1_chain(n)
+    decomposition = benchmark(find_sharp_hypertree_decomposition, query, 1)
+    assert decomposition is not None
+
+
+@pytest.mark.benchmark(group="thm67-db-sweep")
+@pytest.mark.parametrize("m_z", [4, 16, 64])
+def test_hybrid_search_flat_in_database(benchmark, m_z):
+    query = q2_bar(2)
+    database = d2_bar_database(2, m_z=m_z)
+    hybrid = benchmark(find_hybrid_decomposition, query, database, 2)
+    assert hybrid is not None and hybrid.degree == 1
+
+
+@pytest.mark.benchmark(group="thm67-query-sweep")
+@pytest.mark.parametrize("h", [1, 2])
+def test_hybrid_search_grows_with_query(benchmark, h):
+    query = q2_bar(h)
+    database = d2_bar_database(h)
+    hybrid = benchmark(find_hybrid_decomposition, query, database, 2)
+    assert hybrid is not None and hybrid.degree == 1

@@ -1,0 +1,91 @@
+"""E19 — Union-of-CQ counting: inclusion–exclusion and subsumption pruning.
+
+Paper context (Section 1.3, [CM16]): the same answer may appear in several
+disjuncts of a union, so overcounting must be avoided; inclusion–exclusion
+over the exact engine is the canonical exact method, and pruning subsumed
+disjuncts shrinks the 2^r - 1 term expansion.
+
+Measured here: (a) inclusion–exclusion equals the brute-force union on a
+warehouse workload; (b) subsumption pruning removes redundant disjuncts
+and speeds the computation; (c) term count grows as 2^r without pruning.
+"""
+
+import pytest
+
+from repro.ucq import (
+    UnionQuery,
+    count_union,
+    count_union_brute_force,
+    parse_ucq,
+    prune_subsumed_disjuncts,
+)
+from repro.workloads.snowflake import snowflake_database
+
+from conftest import report
+
+DATABASE = snowflake_database(n_orders=120, seed=21)
+
+# Customers active in any of three ways.
+UNION = parse_ucq(
+    "ans(C) :- sales(O, C, P, S, Q), product_info(P, 'food') ; "
+    "ans(C) :- sales(O, C, P, S, Q), product_info(P, 'tools') ; "
+    "ans(C) :- sales(O, C, P, S, Q), store_info(S, Y), "
+    "city_region(Y, 'region0')",
+    name="active_customers",
+)
+
+# The same union plus a redundant specialization of disjunct 1.
+REDUNDANT = UnionQuery(
+    UNION.disjuncts + (
+        parse_ucq(
+            "ans(C) :- sales(O, C, P, S, Q), product_info(P, 'food'), "
+            "customer_info(C, R)"
+        ).disjuncts[0],
+    ),
+    name="with_redundant",
+)
+
+
+@pytest.mark.benchmark(group="ucq-union")
+def test_inclusion_exclusion_matches_brute_force(benchmark):
+    count = benchmark(count_union, UNION, DATABASE)
+    expected = count_union_brute_force(UNION, DATABASE)
+    assert count == expected
+    report("ucq-exact", disjuncts=len(UNION), count=count)
+
+
+@pytest.mark.benchmark(group="ucq-union")
+def test_subsumption_prunes_redundant_disjunct(benchmark):
+    pruned = benchmark(prune_subsumed_disjuncts, REDUNDANT)
+    assert len(pruned) == len(UNION)
+    assert count_union(REDUNDANT, DATABASE) == \
+        count_union(UNION, DATABASE)
+    report("ucq-prune", before=len(REDUNDANT), after=len(pruned))
+
+
+@pytest.mark.benchmark(group="ucq-union")
+@pytest.mark.parametrize("prune", [False, True])
+def test_pruning_speeds_counting(benchmark, prune):
+    count = benchmark(count_union, REDUNDANT, DATABASE, prune=prune)
+    assert count == count_union_brute_force(UNION, DATABASE)
+
+
+@pytest.mark.benchmark(group="ucq-union")
+def test_term_growth_without_pruning(benchmark):
+    calls = []
+
+    def counting_counter(query, database):
+        from repro.counting import count_brute_force
+
+        calls.append(query)
+        return count_brute_force(query, database)
+
+    small = snowflake_database(n_orders=30, seed=3)
+    benchmark.pedantic(
+        count_union, args=(UNION, small),
+        kwargs={"counter": counting_counter, "prune": False},
+        rounds=1, iterations=1,
+    )
+    # 2^3 - 1 inclusion-exclusion terms for three disjuncts.
+    assert len(calls) == 7
+    report("ucq-terms", disjuncts=len(UNION), terms=len(calls))

@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one paper artifact (figure / example /
+theorem); see DESIGN.md section 4 for the experiment index and
+EXPERIMENTS.md for recorded paper-vs-measured outcomes.  Benchmarks assert
+the *qualitative* claims (who wins, which widths exist, which counts come
+out) and let pytest-benchmark record the timings that exhibit the scaling
+shapes.
+"""
+
+from __future__ import annotations
+
+
+def report(label: str, **fields) -> None:
+    """Uniform one-line reporting inside benchmarks (shown with -s)."""
+    rendered = "  ".join(f"{key}={value}" for key, value in fields.items())
+    print(f"[{label}] {rendered}")

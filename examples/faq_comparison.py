@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The Inside-Out (FAQ) comparator next to the paper's structural engine.
+
+Section 1.3 of the paper contrasts #-hypertree decompositions with the
+Inside-Out algorithm of [KNR16]: both count answers, but Inside-Out's
+runtime is governed by the elimination order's width and is superpolynomial
+in the query size, while the paper's Theorem 1.3 pipeline is polynomial for
+bounded #-hypertree width.  This example runs both on the paper's running
+query Q0 (Example 1.1) and prints Inside-Out's elimination trace.
+
+Run:  python examples/faq_comparison.py
+"""
+
+import time
+
+from repro import count_answers
+from repro.faq import best_elimination_order, induced_width, insideout_report
+from repro.workloads.paper_databases import workforce_database
+from repro.workloads.paper_queries import q0
+
+
+def main() -> None:
+    query = q0()
+    database = workforce_database(n_workers=40, n_machines=12, seed=0)
+    print(f"query : {query.name} (Example 1.1), "
+          f"{len(query.atoms)} atoms, "
+          f"free = {sorted(v.name for v in query.free_variables)}")
+
+    start = time.perf_counter()
+    structural = count_answers(query, database, method="structural")
+    structural_ms = (time.perf_counter() - start) * 1000
+    print(f"\nstructural (#-hypertree, Thm 1.3): {structural.count} answers "
+          f"in {structural_ms:.1f} ms  {structural.details}")
+
+    order = best_elimination_order(query)
+    print(f"\nInside-Out elimination order: {[v.name for v in order]} "
+          f"(induced width {induced_width(query, order)})")
+    start = time.perf_counter()
+    report = insideout_report(query, database, order)
+    insideout_ms = (time.perf_counter() - start) * 1000
+    print(f"Inside-Out (FAQ, [KNR16])        : {report.count} answers "
+          f"in {insideout_ms:.1f} ms")
+    assert report.count == structural.count
+
+    print("\nelimination trace:")
+    for step in report.eliminations:
+        print(f"  {step['aggregate']:>3}-eliminate {step['variable']:<3} "
+              f"-> factor over {step['schema']} "
+              f"({step['support']} rows)")
+
+    print("\nBoth algorithms agree; the paper's point is the *query*\n"
+          "complexity: Inside-Out's width can grow with the query family\n"
+          "while bounded #-hypertree width keeps counting polynomial.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Approximate counting and uniform answer sampling.
+
+The paper's related-work discussion (Section 1.3) highlights a complementary
+line of results: when the frontier hypergraph is *not* covered, exact
+counting is intractable, but Arenas et al. [ACJR21b] showed that classes of
+CQs with bounded hypertree width still admit an FPRAS, extended to bounded
+fractional hypertree width by [FGRZ22].  This subpackage supplies that
+missing puzzle piece as working code:
+
+* :mod:`repro.approx.sampler` — **exact uniform sampling** of query answers
+  over the Theorem 3.7 machinery: when a #-decomposition exists, answers can
+  be both counted and sampled in polynomial time (the "counting implies
+  uniform generation" direction on tractable classes);
+* :mod:`repro.approx.montecarlo` — a naive Monte Carlo estimator over a
+  product candidate space with Hoeffding confidence intervals — the baseline
+  every FPRAS-style method must beat;
+* :mod:`repro.approx.karp_luby` — the Karp–Luby union estimator for counting
+  answers of a *union* of conjunctive queries, driving each disjunct through
+  the exact counter and the uniform sampler.
+"""
+
+from .karp_luby import KarpLubyEstimate, karp_luby_union_count
+from .montecarlo import MonteCarloEstimate, monte_carlo_count
+from .sampler import AnswerSampler, sample_answers
+
+__all__ = [
+    "AnswerSampler",
+    "sample_answers",
+    "MonteCarloEstimate",
+    "monte_carlo_count",
+    "KarpLubyEstimate",
+    "karp_luby_union_count",
+]

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro``.
+
+Count answers to a conjunctive query over a database stored as JSON::
+
+    python -m repro count "ans(A,C) :- r(A,B), s(B,C)" db.json
+    python -m repro analyze "ans(A,C) :- r(A,B), s(B,C)"
+    python -m repro ucq "ans(A) :- r(A,B) ; ans(A) :- s(A,C)" db.json
+    python -m repro sample "ans(A,C) :- r(A,B), s(B,C)" db.json -k 5
+    python -m repro faq "ans(A,C) :- r(A,B), s(B,C)" db.json
+
+The database JSON maps relation names to lists of rows::
+
+    {"r": [[1, 2], [3, 4]], "s": [[2, 9]]}
+
+``count`` prints the answer count and the strategy the engine selected;
+``analyze`` prints the structural profile of the query (hypergraph,
+frontier hypergraph, colored core, acyclicity, star size, and the
+#-hypertree width up to a probe bound) without needing a database;
+``ucq`` counts a union of CQs by inclusion–exclusion; ``sample`` draws
+uniform answers; ``faq`` runs the Inside-Out comparator and prints its
+elimination diagnostics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .counting.engine import count_answers
+from .counting.starsize import quantified_star_size
+from .db.database import Database
+from .db.relation import Relation
+from .decomposition.sharp import sharp_hypertree_width
+from .exceptions import DecompositionNotFoundError, ReproError
+from .homomorphism.core import colored_core
+from .hypergraph.acyclicity import is_acyclic
+from .hypergraph.frontier import frontier_hypergraph
+from .query.coloring import is_color_atom
+from .query.parser import parse_query
+
+
+def load_database(path: str) -> Database:
+    """Load a database from a JSON file of ``{relation: [rows...]}``."""
+    with open(path) as handle:
+        data = json.load(handle)
+    relations = []
+    for name, rows in data.items():
+        rows = [tuple(_freeze(value) for value in row) for row in rows]
+        if not rows:
+            continue
+        relations.append(Relation(name, len(rows[0]), rows))
+    return Database(relations)
+
+
+def _freeze(value):
+    """JSON arrays inside rows become hashable tuples."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    database = load_database(args.database)
+    result = count_answers(
+        query, database,
+        method=args.method, max_width=args.max_width,
+    )
+    print(f"count    : {result.count}")
+    print(f"strategy : {result.strategy}")
+    if result.details:
+        print(f"details  : {result.details}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    print(f"query              : {query}")
+    print(f"variables          : "
+          f"{sorted(v.name for v in query.variables)}")
+    print(f"free variables     : "
+          f"{sorted(v.name for v in query.free_variables)}")
+    print(f"simple query       : {query.is_simple()}")
+    print(f"acyclic hypergraph : {is_acyclic(query.hypergraph())}")
+    print(f"hypergraph         : {query.hypergraph().describe()}")
+    print(f"frontier hypergraph: {frontier_hypergraph(query).describe()}")
+    core = colored_core(query)
+    plain = sorted(repr(a) for a in core.atoms if not is_color_atom(a))
+    print(f"colored core atoms : {', '.join(plain)}")
+    print(f"quantified starsize: {quantified_star_size(query)}")
+    try:
+        width = sharp_hypertree_width(query, max_width=args.max_width)
+        print(f"#-hypertree width  : {width}")
+    except DecompositionNotFoundError:
+        print(f"#-hypertree width  : > {args.max_width}")
+    return 0
+
+
+def _cmd_ucq(args: argparse.Namespace) -> int:
+    from .ucq.counting import count_union, prune_subsumed_disjuncts
+    from .ucq.union_query import parse_ucq
+
+    union = parse_ucq(args.query)
+    database = load_database(args.database)
+    pruned = prune_subsumed_disjuncts(union)
+    count = count_union(union, database)
+    print(f"disjuncts        : {len(union)}")
+    print(f"after subsumption: {len(pruned)}")
+    print(f"count            : {count}")
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from .approx.sampler import AnswerSampler
+
+    query = parse_query(args.query)
+    database = load_database(args.database)
+    import random as _random
+
+    sampler = AnswerSampler.for_query(
+        query, database, max_width=args.max_width,
+        rng=_random.Random(args.seed),
+    )
+    print(f"answers : {len(sampler)}")
+    for index in range(min(args.k, len(sampler))):
+        answer = sampler.sample()
+        rendered = ", ".join(
+            f"{v.name}={answer[v]!r}"
+            for v in sorted(answer, key=lambda v: v.name)
+        )
+        print(f"sample {index}: {rendered}")
+    return 0
+
+
+def _cmd_faq(args: argparse.Namespace) -> int:
+    from .faq.insideout import insideout_report
+
+    query = parse_query(args.query)
+    database = load_database(args.database)
+    report = insideout_report(query, database)
+    print(f"count          : {report.count}")
+    print(f"order          : {report.order}")
+    print(f"induced width  : {report.induced_width}")
+    print(f"max support    : {report.max_intermediate_support}")
+    for step in report.eliminations:
+        print(f"  eliminate {step['variable']:<4} ({step['aggregate']:>3}) "
+              f"-> schema {step['schema']} support {step['support']}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .counting.explain import explain
+
+    query = parse_query(args.query)
+    database = load_database(args.database) if args.database else None
+    print(explain(query, database, max_width=args.max_width))
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    from .db.statistics import degree_profile, suggest_pseudo_free
+
+    query = parse_query(args.query)
+    database = load_database(args.database)
+    profile = degree_profile(query, database)
+    print("degree profile:")
+    for variable in sorted(profile, key=lambda v: v.name):
+        role = "free" if variable in query.free_variables else "existential"
+        print(f"  {variable.name:<4} degree {profile[variable]:<6} ({role})")
+    print("pseudo-free candidates (most promising first):")
+    for candidate in suggest_pseudo_free(query, database,
+                                         threshold=args.threshold):
+        print(f"  {sorted(v.name for v in candidate)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Counting solutions to conjunctive queries "
+                    "(PODS 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    count = sub.add_parser("count", help="count answers over a JSON database")
+    count.add_argument("query", help='e.g. "ans(A) :- r(A, B)"')
+    count.add_argument("database", help="path to a JSON database file")
+    count.add_argument("--method", default="auto",
+                       choices=["auto", "acyclic", "structural", "hybrid",
+                                "degree", "brute_force"])
+    count.add_argument("--max-width", type=int, default=3)
+    count.set_defaults(func=_cmd_count)
+
+    analyze = sub.add_parser("analyze",
+                             help="structural profile of a query")
+    analyze.add_argument("query")
+    analyze.add_argument("--max-width", type=int, default=3)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    ucq = sub.add_parser(
+        "ucq", help="count a union of CQs (';'-separated disjuncts)"
+    )
+    ucq.add_argument("query", help='e.g. "ans(A) :- r(A,B) ; ans(A) :- s(A)"')
+    ucq.add_argument("database", help="path to a JSON database file")
+    ucq.set_defaults(func=_cmd_ucq)
+
+    sample = sub.add_parser("sample", help="draw uniform answers")
+    sample.add_argument("query")
+    sample.add_argument("database")
+    sample.add_argument("-k", type=int, default=5,
+                        help="number of samples to print")
+    sample.add_argument("--max-width", type=int, default=3)
+    sample.add_argument("--seed", type=int, default=None)
+    sample.set_defaults(func=_cmd_sample)
+
+    faq = sub.add_parser(
+        "faq", help="count via the Inside-Out (FAQ) comparator"
+    )
+    faq.add_argument("query")
+    faq.add_argument("database")
+    faq.set_defaults(func=_cmd_faq)
+
+    explain_cmd = sub.add_parser(
+        "explain", help="show the engine's strategy decision trail"
+    )
+    explain_cmd.add_argument("query")
+    explain_cmd.add_argument("database", nargs="?", default=None,
+                             help="optional JSON database (enables the "
+                                  "hybrid probe)")
+    explain_cmd.add_argument("--max-width", type=int, default=3)
+    explain_cmd.set_defaults(func=_cmd_explain)
+
+    suggest = sub.add_parser(
+        "suggest", help="degree profile and pseudo-free suggestions"
+    )
+    suggest.add_argument("query")
+    suggest.add_argument("database")
+    suggest.add_argument("--threshold", type=int, default=1)
+    suggest.set_defaults(func=_cmd_suggest)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""View sets, pairwise consistency and local-consistency decision procedures."""
+
+from .local import nonempty_after_pairwise_consistency
+from .pairwise import full_reducer, is_pairwise_consistent, pairwise_consistency
+from .views import (
+    View,
+    ViewDatabase,
+    ViewSet,
+    check_legal,
+    hypertree_view_set,
+    standard_view_extension,
+    view_instance,
+)
+
+__all__ = [
+    "nonempty_after_pairwise_consistency",
+    "full_reducer",
+    "is_pairwise_consistent",
+    "pairwise_consistency",
+    "View",
+    "ViewDatabase",
+    "ViewSet",
+    "check_legal",
+    "hypertree_view_set",
+    "standard_view_extension",
+    "view_instance",
+]

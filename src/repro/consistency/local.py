@@ -1,0 +1,42 @@
+"""Local-consistency decision procedures (Lemma 4.3; [GS17b]).
+
+For queries whose cores have generalized hypertree width at most ``k``,
+non-emptiness of the answer set can be decided by enforcing pairwise
+consistency over the standard extension of the database to the view set
+``V^k_Q`` and checking that no view became empty.  This is the engine behind
+the polynomial-time core computation of Lemma 4.3 and, via Theorem 1.3, the
+promise-free part of the tractability result.
+"""
+
+from __future__ import annotations
+
+from ..db.database import Database
+from ..query.query import ConjunctiveQuery
+from .pairwise import pairwise_consistency
+from .views import hypertree_view_set, standard_view_extension
+
+
+def nonempty_after_pairwise_consistency(query: ConjunctiveQuery,
+                                        database: Database,
+                                        width: int) -> bool:
+    """Local-consistency answer-existence test.
+
+    Returns ``True`` iff all views of ``V^k_Q`` remain non-empty after the
+    pairwise-consistency fixpoint over the standard view extension of
+    *database*.  Sound and complete under the promise that the cores of
+    *query* have generalized hypertree width at most *width* ([GS17b]); in
+    general it may only return false positives (never false negatives).
+
+    Relations of *query* symbols missing from *database* make the answer
+    trivially ``False``.
+    """
+    for atom in query.atoms:
+        relation = database.get(atom.relation)
+        if relation is None or len(relation) == 0:
+            return False
+    views = hypertree_view_set(query, width)
+    view_db = standard_view_extension(views, database)
+    if any(len(instance) == 0 for instance in view_db.values()):
+        return False
+    reduced = pairwise_consistency(view_db)
+    return all(len(instance) > 0 for instance in reduced.values())

@@ -1,0 +1,169 @@
+"""View sets and their databases (paper, Sections 3 and 4).
+
+A *view set* ``V`` for a query ``Q`` is a set of atoms over fresh relation
+symbols that abstracts the resources of a structural decomposition method.
+It must contain a *query view* ``w_q`` for every atom ``q`` of ``Q`` (same
+variables, fresh symbol).  The method-defining view set of (generalized)
+hypertree decompositions is ``V^k_Q``: one view per subset of at most ``k``
+query atoms, over the union of their variables.
+
+View *instances* are represented as :class:`SubstitutionSet` objects over the
+view's variables — views are intrinsically variable-schema'd, so this is more
+natural than positional relations.  The *standard view extension* initializes
+query views from the input relations and every other view with the join of
+its defining atoms (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..db.algebra import SubstitutionSet, join_all
+from ..db.database import Database
+from ..exceptions import IllegalDatabaseError
+from ..query.atom import Atom
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+
+
+@dataclass(frozen=True)
+class View:
+    """A view: a named set of variables, with its defining query atoms.
+
+    ``source_atoms`` records which query atoms the view was built from (the
+    subset ``C`` for a ``w_C`` view); query views have a single source atom.
+    """
+
+    name: str
+    variables: FrozenSet[Variable]
+    source_atoms: Tuple[Atom, ...]
+    is_query_view: bool = False
+
+    def __repr__(self) -> str:
+        names = ",".join(sorted(v.name for v in self.variables))
+        return f"View({self.name}:{{{names}}})"
+
+
+class ViewSet:
+    """An ordered collection of views with unique names."""
+
+    def __init__(self, views: Iterable[View]):
+        self.views: Tuple[View, ...] = tuple(views)
+        names = [v.name for v in self.views]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate view names in view set")
+        self._by_name: Dict[str, View] = {v.name: v for v in self.views}
+
+    def __iter__(self):
+        return iter(self.views)
+
+    def __len__(self) -> int:
+        return len(self.views)
+
+    def __getitem__(self, name: str) -> View:
+        return self._by_name[name]
+
+    def query_views(self) -> Tuple[View, ...]:
+        return tuple(v for v in self.views if v.is_query_view)
+
+    def hypergraph(self):
+        """The hypergraph ``H_V`` associated with the view set."""
+        from ..hypergraph import Hypergraph
+
+        nodes: set = set()
+        for view in self.views:
+            nodes.update(view.variables)
+        return Hypergraph(nodes, (view.variables for view in self.views))
+
+    def views_covering(self, variables: Iterable[Variable]) -> List[View]:
+        """Views whose variable set contains all of *variables*."""
+        wanted = frozenset(variables)
+        return [v for v in self.views if wanted <= v.variables]
+
+
+#: A view database maps view names to their substitution-set instances.
+ViewDatabase = Dict[str, SubstitutionSet]
+
+
+def hypertree_view_set(query: ConjunctiveQuery, width: int) -> ViewSet:
+    """``V^k_Q``: views for all subsets of at most ``k`` query atoms.
+
+    Query views (one per atom) come first; combination views follow in a
+    deterministic order.  Subsets of size 1 coincide with query views up to
+    the relation symbol, so only sizes ``2..k`` add combination views.
+    """
+    atoms = query.atoms_sorted()
+    views: List[View] = []
+    for index, atom in enumerate(atoms):
+        views.append(View(
+            name=f"qv{index}",
+            variables=atom.variable_set,
+            source_atoms=(atom,),
+            is_query_view=True,
+        ))
+    counter = 0
+    for size in range(2, width + 1):
+        for subset in combinations(atoms, size):
+            variables: set = set()
+            for atom in subset:
+                variables.update(atom.variables)
+            views.append(View(
+                name=f"v{counter}",
+                variables=frozenset(variables),
+                source_atoms=subset,
+            ))
+            counter += 1
+    return ViewSet(views)
+
+
+def view_instance(view: View, database: Database) -> SubstitutionSet:
+    """Evaluate a view's defining join over *database*."""
+    parts = [
+        SubstitutionSet.from_atom(atom, database[atom.relation])
+        for atom in view.source_atoms
+    ]
+    return join_all(parts)
+
+
+def standard_view_extension(views: ViewSet, database: Database
+                            ) -> ViewDatabase:
+    """The standard view extension of ``D`` to the view set (Section 4).
+
+    Every view is initialized with the join of its defining atoms over the
+    input relations; for query views this is exactly the (pattern-matched)
+    input relation.  The result is always a legal database.
+    """
+    return {view.name: view_instance(view, database) for view in views}
+
+
+def check_legal(query: ConjunctiveQuery, views: ViewSet,
+                view_db: ViewDatabase, answers: Optional[SubstitutionSet] = None
+                ) -> None:
+    """Check the two legality conditions of Section 3 (raises if violated).
+
+    (i) every query view is contained in its atom's matched relation — we
+    can only check this when the caller supplies the base database through
+    the view's source atom, which the standard extension guarantees by
+    construction, so here we check schema coherence; and (ii) with *answers*
+    given (``Q(D)`` as a substitution set), every view contains the
+    projection of the answers onto its variables.
+    """
+    for view in views:
+        instance = view_db.get(view.name)
+        if instance is None:
+            raise IllegalDatabaseError(f"missing instance for {view.name}")
+        if instance.variable_set() != view.variables:
+            raise IllegalDatabaseError(
+                f"view {view.name} instance schema {instance.schema} does not "
+                f"match its variables"
+            )
+        if answers is not None:
+            required = answers.project(view.variables & answers.variable_set())
+            have = instance.project(required.variable_set())
+            if not required.rows <= have.rows:
+                raise IllegalDatabaseError(
+                    f"view {view.name} is more restrictive than the query: "
+                    f"misses {len(required.rows - have.rows)} tuples"
+                )

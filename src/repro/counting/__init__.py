@@ -1,0 +1,75 @@
+"""Counting algorithms: brute force, acyclic DP, structural, hybrid, Fig. 13."""
+
+from .acyclic import bags_for_acyclic_query, count_acyclic, count_join_tree
+from .brute_force import answers, count_brute_force, full_join
+from .engine import STRATEGIES, CountResult, count_answers
+from .enumeration import enumerate_answers, iter_answers
+from .explain import Explanation, explain, render_join_tree
+from .semiring import (
+    BOOLEAN,
+    COUNTING,
+    MAX_TROPICAL,
+    MIN_TROPICAL,
+    Semiring,
+    aggregate_join_tree,
+)
+from .views_counting import count_with_view_database
+from .hybrid import count_hybrid, count_with_hybrid_decomposition
+from .sharp_relations import (
+    count_sharp_relations,
+    count_via_hypertree,
+    initial_sharp_relation,
+    sharp_semijoin,
+)
+from .starsize import (
+    core_quantified_star_size,
+    count_durand_mengel,
+    durand_mengel_parameters,
+    maximum_independent_set_size,
+    quantified_star_size,
+    star_size_of_frontier,
+)
+from .structural import (
+    count_structural,
+    count_with_decomposition,
+    exact_bag_relations,
+)
+
+__all__ = [
+    "enumerate_answers",
+    "iter_answers",
+    "Explanation",
+    "explain",
+    "render_join_tree",
+    "BOOLEAN",
+    "COUNTING",
+    "MAX_TROPICAL",
+    "MIN_TROPICAL",
+    "Semiring",
+    "aggregate_join_tree",
+    "count_with_view_database",
+    "bags_for_acyclic_query",
+    "count_acyclic",
+    "count_join_tree",
+    "answers",
+    "count_brute_force",
+    "full_join",
+    "STRATEGIES",
+    "CountResult",
+    "count_answers",
+    "count_hybrid",
+    "count_with_hybrid_decomposition",
+    "count_sharp_relations",
+    "count_via_hypertree",
+    "initial_sharp_relation",
+    "sharp_semijoin",
+    "core_quantified_star_size",
+    "count_durand_mengel",
+    "durand_mengel_parameters",
+    "maximum_independent_set_size",
+    "quantified_star_size",
+    "star_size_of_frontier",
+    "count_structural",
+    "count_with_decomposition",
+    "exact_bag_relations",
+]

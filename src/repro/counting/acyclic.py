@@ -1,0 +1,118 @@
+"""Counting over acyclic quantifier-free instances (final step of Thm. 3.7).
+
+For an acyclic query without existential variables, the number of answers is
+the size of the full join, computable in polynomial time by the classical
+join-tree dynamic program ([PS13] credits this to folklore):
+
+1. full-reduce the bag relations along a join tree (two semijoin passes);
+2. bottom-up, give every tuple a count — the product over children of the
+   summed counts of matching child tuples;
+3. the answer is the product over root sums (one root per tree of the
+   forest; components share no variables, so counts multiply).
+
+The entry point :func:`count_join_tree` works on arbitrary bag relations and
+is reused by the structural counter, which feeds it exact projections of the
+core's solutions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..consistency.pairwise import full_reducer
+from ..db.algebra import SubstitutionSet
+from ..db.database import Database
+from ..exceptions import NotAcyclicError
+from ..hypergraph.acyclicity import JoinTree, require_join_tree
+from ..hypergraph.hypergraph import Hypergraph
+from ..query.query import ConjunctiveQuery
+
+
+def count_join_tree(bags: Sequence[SubstitutionSet], tree: JoinTree) -> int:
+    """``|join of bags|`` for bag relations arranged on a join tree.
+
+    *tree* must satisfy the running-intersection property for the bags'
+    schemas (the bags of ``tree`` itself are ignored; only its shape is
+    used).  Relations are full-reduced first, so global consistency is not a
+    precondition.
+    """
+    if not bags:
+        return 0
+    reduced = full_reducer(bags, tree)
+    if any(len(bag) == 0 for bag in reduced):
+        return 0
+    counts: List[Dict[tuple, int]] = [dict() for _ in reduced]
+    order = tree.rooted_orders()
+    root_totals: Dict[int, int] = {}
+    for vertex, parent, children in order:  # children precede their parent
+        relation = reduced[vertex]
+        child_aggregates: List[Tuple[Tuple[int, ...], Dict[tuple, int]]] = []
+        for child in children:
+            shared = tuple(
+                v for v in relation.schema
+                if v in set(reduced[child].schema)
+            )
+            child_positions = reduced[child]._positions(shared)
+            aggregate: Dict[tuple, int] = {}
+            for row, count in counts[child].items():
+                key = tuple(row[i] for i in child_positions)
+                aggregate[key] = aggregate.get(key, 0) + count
+            my_positions = relation._positions(shared)
+            child_aggregates.append((my_positions, aggregate))
+        vertex_counts = counts[vertex]
+        for row in relation.rows:
+            total = 1
+            for my_positions, aggregate in child_aggregates:
+                key = tuple(row[i] for i in my_positions)
+                total *= aggregate.get(key, 0)
+                if total == 0:
+                    break
+            if total:
+                vertex_counts[row] = total
+        if parent is None:
+            root_totals[vertex] = sum(vertex_counts.values())
+    answer = 1
+    for total in root_totals.values():
+        answer *= total
+    return answer
+
+
+def bags_for_acyclic_query(query: ConjunctiveQuery, database: Database
+                           ) -> Tuple[List[SubstitutionSet], JoinTree]:
+    """Bag relations and a join tree for an acyclic query.
+
+    Atoms sharing a variable set are joined into one bag (the hypergraph
+    merges their hyperedges); raises :class:`NotAcyclicError` if the query's
+    hypergraph has no join tree.
+    """
+    hypergraph: Hypergraph = query.hypergraph()
+    tree = require_join_tree(hypergraph)
+    grouped: Dict[frozenset, List[SubstitutionSet]] = {}
+    for atom in query.atoms_sorted():
+        grouped.setdefault(atom.variable_set, []).append(
+            SubstitutionSet.from_atom(atom, database[atom.relation])
+        )
+    bags: List[SubstitutionSet] = []
+    for bag in tree.bags:
+        parts = grouped[bag]
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged.join(part)
+        bags.append(merged)
+    return bags, tree
+
+
+def count_acyclic(query: ConjunctiveQuery, database: Database) -> int:
+    """Polynomial-time counting for acyclic quantifier-free queries.
+
+    Raises if the query has existential variables — counting is then
+    #P-hard even for acyclic queries [PS13] and callers must go through the
+    #-decomposition pipeline instead.
+    """
+    if not query.is_quantifier_free():
+        raise NotAcyclicError(
+            "count_acyclic requires a quantifier-free query; use the "
+            "structural counter for queries with existential variables"
+        )
+    bags, tree = bags_for_acyclic_query(query, database)
+    return count_join_tree(bags, tree)

@@ -1,0 +1,48 @@
+"""Brute-force counting baseline.
+
+Materializes the full join of the query's atoms and projects onto the free
+variables.  Exponential in general — this is exactly the "straightforward
+approach" the paper's introduction warns about — but it is exact, simple,
+and serves as the ground-truth oracle for every other algorithm in the test
+suite and as the baseline in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..db.algebra import SubstitutionSet
+from ..db.database import Database
+from ..query.query import ConjunctiveQuery
+
+
+def full_join(query: ConjunctiveQuery, database: Database) -> SubstitutionSet:
+    """``Q(D)``: all satisfying substitutions over ``vars(Q)``.
+
+    Atoms are joined smallest-relation-first with greedy connectivity (each
+    step prefers an atom sharing variables with what has been joined so far)
+    to keep intermediate results from degenerating into cross products.
+    """
+    pending = [
+        SubstitutionSet.from_atom(atom, database[atom.relation])
+        for atom in query.atoms_sorted()
+    ]
+    pending.sort(key=len)
+    result = pending.pop(0)
+    while pending:
+        bound = result.variable_set()
+        index = next(
+            (i for i, part in enumerate(pending)
+             if part.variable_set() & bound),
+            0,
+        )
+        result = result.join(pending.pop(index))
+    return result
+
+
+def answers(query: ConjunctiveQuery, database: Database) -> SubstitutionSet:
+    """``pi_free(Q)(Q(D))``: the set of answers of the query."""
+    return full_join(query, database).project(query.free_variables)
+
+
+def count_brute_force(query: ConjunctiveQuery, database: Database) -> int:
+    """``count(Q, D)`` by full materialization (the baseline)."""
+    return len(answers(query, database))

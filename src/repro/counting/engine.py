@@ -1,0 +1,137 @@
+"""The top-level counting engine.
+
+``count_answers`` picks, in order of preference, the cheapest applicable
+algorithm from the paper:
+
+1. *acyclic* — quantifier-free and alpha-acyclic: the join-tree DP;
+2. *structural* — a #-hypertree decomposition of width ``<= max_width``
+   exists (Theorem 1.3): the Theorem 3.7 algorithm;
+3. *hybrid* — a #b-GHD exists within the width/degree budget (Section 6):
+   the Theorem 6.6 algorithm;
+4. *degree* — a plain GHD exists: the Figure 13 algorithm, exponential in
+   the measured degree bound only (Theorem 6.2);
+5. *brute-force* — the exact fallback.
+
+The returned :class:`CountResult` records which strategy ran, the exact
+count, and the structural diagnostics gathered along the way, so examples
+and benchmarks can display the decision trail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..db.database import Database
+from ..decomposition.ghd import find_ghd_join_tree
+from ..decomposition.hybrid import find_hybrid_decomposition
+from ..decomposition.hypertree import hypertree_from_join_tree
+from ..decomposition.sharp import find_sharp_hypertree_decomposition
+from ..exceptions import DecompositionNotFoundError, NotAcyclicError
+from ..hypergraph.acyclicity import is_acyclic
+from ..query.query import ConjunctiveQuery
+from .acyclic import count_acyclic
+from .brute_force import count_brute_force
+from .hybrid import count_with_hybrid_decomposition
+from .sharp_relations import count_via_hypertree
+from .structural import count_with_decomposition
+
+#: Strategy names in preference order.
+STRATEGIES = ("acyclic", "structural", "hybrid", "degree", "brute_force")
+
+
+@dataclass
+class CountResult:
+    """Outcome of a counting run: the count plus the decision trail."""
+
+    count: int
+    strategy: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __int__(self) -> int:
+        return self.count
+
+
+def count_answers(query: ConjunctiveQuery, database: Database,
+                  method: str = "auto", max_width: int = 3,
+                  max_degree: float = math.inf,
+                  hybrid_width: int = 2) -> CountResult:
+    """Count the answers of *query* over *database*.
+
+    Parameters
+    ----------
+    method:
+        ``"auto"`` or one of :data:`STRATEGIES` to force a strategy
+        (raising when it is inapplicable).
+    max_width:
+        Largest #-hypertree width probed by the structural strategy.
+    max_degree:
+        Degree budget for the hybrid strategy.
+    hybrid_width:
+        Width used for the hybrid search (kept small: its candidate
+        enumeration is exponential in the number of existential variables).
+    """
+    if method not in ("auto",) + STRATEGIES:
+        raise ValueError(f"unknown method {method!r}")
+
+    if method in ("auto", "acyclic"):
+        if query.is_quantifier_free() and is_acyclic(query.hypergraph()):
+            return CountResult(count_acyclic(query, database), "acyclic")
+        if method == "acyclic":
+            raise NotAcyclicError(
+                f"{query.name} is not an acyclic quantifier-free query"
+            )
+
+    if method in ("auto", "structural"):
+        for width in range(1, max_width + 1):
+            decomposition = find_sharp_hypertree_decomposition(query, width)
+            if decomposition is not None:
+                count = count_with_decomposition(query, database, decomposition)
+                return CountResult(
+                    count, "structural",
+                    {"width": width,
+                     "core_atoms": len(decomposition.core.atoms)},
+                )
+        if method == "structural":
+            raise DecompositionNotFoundError(
+                f"{query.name}: #-hypertree width exceeds {max_width}"
+            )
+
+    if method in ("auto", "hybrid"):
+        from ..decomposition.hybrid import quick_pseudo_free_candidates
+
+        try:
+            hybrid = find_hybrid_decomposition(
+                query, database, hybrid_width, max_degree=max_degree,
+                candidates=quick_pseudo_free_candidates(query),
+            )
+        except DecompositionNotFoundError:
+            hybrid = None
+        if hybrid is not None and hybrid.degree <= max_degree:
+            count = count_with_hybrid_decomposition(query, database, hybrid)
+            return CountResult(
+                count, "hybrid",
+                {"width": hybrid_width, "degree": hybrid.degree,
+                 "pseudo_free": sorted(v.name for v in hybrid.pseudo_free)},
+            )
+        if method == "hybrid":
+            raise DecompositionNotFoundError(
+                f"{query.name}: no width-{hybrid_width} hybrid decomposition "
+                f"within degree {max_degree}"
+            )
+
+    if method in ("auto", "degree"):
+        for width in range(1, max_width + 1):
+            tree = find_ghd_join_tree(query.hypergraph(), width)
+            if tree is None:
+                continue
+            hypertree = hypertree_from_join_tree(tree, query, max_cover=width)
+            count = count_via_hypertree(query, database, hypertree)
+            return CountResult(count, "degree", {"width": width})
+        if method == "degree":
+            raise DecompositionNotFoundError(
+                f"{query.name}: generalized hypertree width exceeds {max_width}"
+            )
+
+    return CountResult(count_brute_force(query, database), "brute_force")

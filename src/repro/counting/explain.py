@@ -1,0 +1,186 @@
+"""EXPLAIN for the counting engine: a readable account of the plan.
+
+``count_answers`` makes several structural decisions — which core it
+computed, which decomposition it found, why a strategy was skipped — that
+matter when a user asks "why is my query slow?".  :func:`explain` runs the
+same decision cascade as the engine *without touching tuple data beyond
+what the hybrid probe needs*, and returns an :class:`Explanation` whose
+``str()`` is a query-plan-style report:
+
+    strategy          : structural
+    #-hypertree width : 2
+    colored core      : drops st(D,G), rr(G,H)
+    decomposition
+      [B,C,D] <- v{pt,wt}
+       +- [A,B,I] <- qv_mw
+       +- [B,E] <- qv_wi
+       +- [D,F,H] <- v{rr,st}
+
+The tree rendering (:func:`render_join_tree`) is reused by the CLI and the
+examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..db.database import Database
+from ..decomposition.hybrid import (
+    HybridDecomposition,
+    find_hybrid_decomposition,
+    quick_pseudo_free_candidates,
+)
+from ..decomposition.sharp import (
+    SharpDecomposition,
+    find_sharp_hypertree_decomposition,
+)
+from ..exceptions import DecompositionNotFoundError
+from ..hypergraph.acyclicity import JoinTree, is_acyclic
+from ..hypergraph.frontier import frontier_hypergraph
+from ..query.coloring import is_color_atom
+from ..query.query import ConjunctiveQuery
+
+
+def render_join_tree(tree: JoinTree,
+                     labels: Optional[List[str]] = None) -> str:
+    """ASCII rendering of a join tree (one line per bag, children indented).
+
+    *labels* optionally annotates each bag (e.g. with its witness view).
+    """
+    lines: List[str] = []
+    adjacency = tree.neighbours()
+    seen: set = set()
+
+    def bag_text(index: int) -> str:
+        names = ",".join(sorted(str(v) for v in tree.bags[index]))
+        suffix = f" <- {labels[index]}" if labels else ""
+        return f"[{names}]{suffix}"
+
+    def render(index: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        seen.add(index)
+        if is_root:
+            lines.append(bag_text(index))
+            child_prefix = ""
+        else:
+            connector = "`- " if is_last else "+- "
+            lines.append(f"{prefix}{connector}{bag_text(index)}")
+            child_prefix = prefix + ("   " if is_last else "|  ")
+        children = sorted(n for n in adjacency[index] if n not in seen)
+        for position, child in enumerate(children):
+            render(child, child_prefix, position == len(children) - 1, False)
+
+    for root in range(len(tree.bags)):
+        if root not in seen:
+            render(root, "", True, True)
+    return "\n".join(lines)
+
+
+@dataclass
+class Explanation:
+    """The engine's decision trail for one query (and optional database)."""
+
+    query: ConjunctiveQuery
+    strategy: str
+    notes: List[str] = field(default_factory=list)
+    sharp: Optional[SharpDecomposition] = None
+    hybrid: Optional[HybridDecomposition] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        lines = [
+            f"query             : {self.query}",
+            f"strategy          : {self.strategy}",
+        ]
+        for key, value in self.details.items():
+            lines.append(f"{key:<18}: {value}")
+        for note in self.notes:
+            lines.append(f"  - {note}")
+        decomposition = self.sharp or (self.hybrid.sharp if self.hybrid
+                                       else None)
+        if decomposition is not None:
+            lines.append("decomposition")
+            rendered = render_join_tree(
+                decomposition.tree, list(decomposition.bag_views)
+            )
+            lines.extend("  " + line for line in rendered.splitlines())
+        return "\n".join(lines)
+
+
+def explain(query: ConjunctiveQuery,
+            database: Optional[Database] = None,
+            max_width: int = 3,
+            hybrid_width: int = 2,
+            max_degree: float = math.inf) -> Explanation:
+    """Explain which strategy ``count_answers`` would pick and why.
+
+    Mirrors the engine's cascade (acyclic -> structural -> hybrid ->
+    degree -> brute force).  The hybrid probe needs a *database* (degrees
+    are data facts); without one, the cascade stops after the structural
+    stage and reports what remains possible.
+    """
+    notes: List[str] = []
+
+    if query.is_quantifier_free() and is_acyclic(query.hypergraph()):
+        return Explanation(
+            query, "acyclic",
+            notes=["quantifier-free and alpha-acyclic: join-tree DP applies"],
+        )
+    if query.is_quantifier_free():
+        notes.append("quantifier-free but cyclic: acyclic DP inapplicable")
+    else:
+        frontier = frontier_hypergraph(query)
+        hyperedges = " ".join(
+            "{" + ",".join(sorted(str(v) for v in edge)) + "}"
+            for edge in sorted(frontier.edges, key=lambda e: sorted(map(str, e)))
+        )
+        notes.append(f"frontier hypergraph: {hyperedges or '(empty)'}")
+
+    for width in range(1, max_width + 1):
+        decomposition = find_sharp_hypertree_decomposition(query, width)
+        if decomposition is not None:
+            dropped = sorted(
+                repr(a) for a in query.atoms - decomposition.core.atoms
+            )
+            if dropped:
+                notes.append(f"colored core drops: {', '.join(dropped)}")
+            return Explanation(
+                query, "structural", notes=notes, sharp=decomposition,
+                details={"#-hypertree width": width},
+            )
+    notes.append(f"no #-hypertree decomposition of width <= {max_width}")
+
+    if database is not None:
+        try:
+            hybrid = find_hybrid_decomposition(
+                query, database, hybrid_width, max_degree=max_degree,
+                candidates=quick_pseudo_free_candidates(query),
+            )
+        except DecompositionNotFoundError:
+            hybrid = None
+        if hybrid is not None and hybrid.degree <= max_degree:
+            promoted = sorted(
+                v.name for v in hybrid.pseudo_free - query.free_variables
+            )
+            notes.append(f"promoted pseudo-free: {promoted}")
+            return Explanation(
+                query, "hybrid", notes=notes, hybrid=hybrid,
+                details={"width": hybrid_width, "degree bound": hybrid.degree},
+            )
+        notes.append(
+            f"no width-{hybrid_width} hybrid decomposition within "
+            f"degree {max_degree}"
+        )
+    else:
+        notes.append("no database given: hybrid/degree stages not probed")
+
+    return Explanation(query, "brute_force", notes=notes)
+
+
+def core_summary(colored_core: ConjunctiveQuery) -> str:
+    """One-line rendering of a colored core without its coloring atoms."""
+    plain = sorted(
+        repr(a) for a in colored_core.atoms if not is_color_atom(a)
+    )
+    return " & ".join(plain)

@@ -1,0 +1,60 @@
+"""Hybrid counting (Theorem 6.6).
+
+Given a width-``k`` #b-generalized hypertree decomposition ``(HD, S)`` of
+``Q`` w.r.t. ``D``:
+
+1. run the Theorem 3.7 structural pipeline on ``Q[S]`` and the witnessing
+   #-decomposition.  Its intermediate product — the globally consistent bag
+   relations restricted to ``S`` — is exactly the solution-equivalent
+   quantifier-free instance ``(Q_f, D_f)`` of the proof: each restricted bag
+   relation equals ``pi_{bag ∩ S}(Q'(D))``;
+2. the variables in ``S \\ free(Q)`` now resume their original existential
+   role: the Figure 13 #-relation dynamic program counts the distinct
+   ``free(Q)``-projections over the restricted join tree.  Its cost is
+   exponential only in the degree bound ``b`` certified by the
+   decomposition (condition (2) of Definition 6.4), which semijoin
+   reduction can only have improved.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..db.database import Database
+from ..decomposition.hybrid import (
+    HybridDecomposition,
+    find_hybrid_decomposition,
+)
+from ..exceptions import DecompositionNotFoundError
+from ..query.query import ConjunctiveQuery
+from .sharp_relations import count_sharp_relations
+from .structural import exact_bag_relations
+
+
+def count_with_hybrid_decomposition(query: ConjunctiveQuery,
+                                    database: Database,
+                                    hybrid: HybridDecomposition) -> int:
+    """The Theorem 6.6 counting algorithm, given the decomposition."""
+    reduced, tree = exact_bag_relations(hybrid.sharp, database)
+    pseudo_free = hybrid.pseudo_free
+    restricted = [relation.project(pseudo_free) for relation in reduced]
+    return count_sharp_relations(restricted, tree, query.free_variables)
+
+
+def count_hybrid(query: ConjunctiveQuery, database: Database,
+                 width: int, max_degree: float = math.inf,
+                 hybrid: Optional[HybridDecomposition] = None,
+                 **search_kwargs) -> int:
+    """End-to-end hybrid counting: find a width-*width* #b-GHD with minimal
+    degree (Theorem 6.7) and count with it (Theorem 6.6)."""
+    if hybrid is None:
+        hybrid = find_hybrid_decomposition(
+            query, database, width, max_degree=max_degree, **search_kwargs
+        )
+    if hybrid is None:
+        raise DecompositionNotFoundError(
+            f"{query.name} admits no width-{width} hybrid decomposition "
+            f"within degree {max_degree}"
+        )
+    return count_with_hybrid_decomposition(query, database, hybrid)

@@ -1,0 +1,114 @@
+"""Semiring aggregation over acyclic instances (related work: FAQ [KNR16]).
+
+The paper's conclusion points at functional aggregate queries: the counting
+DP of Theorem 3.7's last step is the sum-product instance of a generic
+semiring computation over a join tree.  This module generalizes
+:func:`repro.counting.acyclic.count_join_tree` to any commutative semiring:
+
+* ``COUNTING``      — (N, +, *): answer counting (the default elsewhere);
+* ``BOOLEAN``       — (bool, or, and): Boolean query evaluation;
+* ``MIN_TROPICAL``  — (R ∪ {inf}, min, +): lightest solution weight;
+* ``MAX_TROPICAL``  — (R ∪ {-inf}, max, +): heaviest solution weight.
+
+Per-tuple weights are supplied by a callable; the quantifier-free acyclic
+aggregate is exact for any semiring, by the same running-intersection
+argument as counting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Sequence
+
+from ..db.algebra import SubstitutionSet
+from ..hypergraph.acyclicity import JoinTree
+from ..query.terms import Variable
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A commutative semiring with identity elements."""
+
+    name: str
+    plus: Callable
+    times: Callable
+    zero: object
+    one: object
+
+
+COUNTING = Semiring("counting", lambda a, b: a + b, lambda a, b: a * b, 0, 1)
+BOOLEAN = Semiring("boolean", lambda a, b: a or b, lambda a, b: a and b,
+                   False, True)
+MIN_TROPICAL = Semiring("min-tropical", min, lambda a, b: a + b,
+                        math.inf, 0.0)
+MAX_TROPICAL = Semiring("max-tropical", max, lambda a, b: a + b,
+                        -math.inf, 0.0)
+
+#: Weight of one bag tuple: maps (schema, row) to a semiring element.
+Weight = Callable[[Sequence[Variable], tuple], object]
+
+
+def uniform_weight(semiring: Semiring) -> Weight:
+    """Each tuple weighs the multiplicative identity (pure counting)."""
+    return lambda _schema, _row: semiring.one
+
+
+def aggregate_join_tree(bags: Sequence[SubstitutionSet], tree: JoinTree,
+                        semiring: Semiring,
+                        weight: Weight | None = None):
+    """Semiring aggregate over the join of acyclic bag relations.
+
+    Computes ``plus`` over all tuples ``t`` of the full join of ``times``
+    over the per-bag weights of ``t``'s projections.  With the counting
+    semiring and unit weights this is exactly ``|join|``.
+    """
+    if weight is None:
+        weight = uniform_weight(semiring)
+    if not bags:
+        return semiring.zero
+    values: List[Dict[tuple, object]] = [dict() for _ in bags]
+    result = semiring.one
+    order = tree.rooted_orders()
+    for vertex, parent, children in order:  # post-order
+        relation = bags[vertex]
+        aggregates = []
+        for child in children:
+            shared = tuple(
+                v for v in relation.schema
+                if v in set(bags[child].schema)
+            )
+            child_positions = bags[child]._positions(shared)
+            bucket: Dict[tuple, object] = {}
+            for row, value in values[child].items():
+                key = tuple(row[i] for i in child_positions)
+                if key in bucket:
+                    bucket[key] = semiring.plus(bucket[key], value)
+                else:
+                    bucket[key] = value
+            aggregates.append((relation._positions(shared), bucket))
+        for row in relation.rows:
+            value = weight(relation.schema, row)
+            dead = False
+            for positions, bucket in aggregates:
+                key = tuple(row[i] for i in positions)
+                if key not in bucket:
+                    dead = True
+                    break
+                value = semiring.times(value, bucket[key])
+            if not dead:
+                values[vertex][row] = value
+        if parent is None:
+            total = semiring.zero
+            for value in values[vertex].values():
+                total = semiring.plus(total, value)
+            result = semiring.times(result, total)
+            if total == semiring.zero:
+                return semiring.zero
+    return result
+
+
+def lightest_solution_weight(bags: Sequence[SubstitutionSet], tree: JoinTree,
+                             weight: Weight) -> float:
+    """Convenience wrapper: the MIN_TROPICAL aggregate (or +inf if empty)."""
+    return aggregate_join_tree(bags, tree, MIN_TROPICAL, weight)

@@ -1,0 +1,124 @@
+"""Quantified star size and the Durand–Mengel method (Appendix A, [DM15]).
+
+The *quantified star size* of ``Q`` is the maximum, over quantified
+variables ``Y``, of the size of a maximum independent set (in the primal
+graph of ``H_Q``) among the variables of the frontier
+``Fr(Y, free(Q), H_Q)``.  Durand & Mengel's tractability criterion is
+"bounded ghw *and* bounded quantified star size" — no cores involved.
+
+Theorem A.3's proof shows a width-``k`` GHD plus star size ``l`` yield a
+width-``k*l`` #-hypertree decomposition *without taking cores*; we realize
+the DM counting method exactly that way: probe #-coverage of the *uncored*
+colored query at width ``ghw * qss`` and count with Theorem 3.7's
+algorithm.  Example A.2's family separates the two methods (its star size
+grows with ``n`` while its #-hypertree width stays 1), which the benchmarks
+reproduce.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..db.database import Database
+from ..decomposition.sharp import find_sharp_hypertree_decomposition
+from ..exceptions import DecompositionNotFoundError
+from ..hypergraph.components import component_frontiers
+from ..query.coloring import color
+from ..query.query import ConjunctiveQuery
+from .structural import count_with_decomposition
+
+
+def maximum_independent_set_size(nodes: Iterable,
+                                 adjacency: Dict[object, set]) -> int:
+    """Exact maximum independent set among *nodes* (branch and bound).
+
+    Frontier sets are small (bounded by the number of free variables), so a
+    simple recursive search suffices.
+    """
+    members = sorted(set(nodes), key=str)
+
+    def best(candidates: tuple) -> int:
+        if not candidates:
+            return 0
+        head, *tail = candidates
+        tail = tuple(tail)
+        # Either skip head...
+        without = best(tail)
+        # ...or take it and discard its neighbours.
+        kept = tuple(v for v in tail if v not in adjacency.get(head, ()))
+        with_head = 1 + best(kept)
+        return max(without, with_head)
+
+    return best(tuple(members))
+
+
+def quantified_star_size(query: ConjunctiveQuery) -> int:
+    """The quantified star size of the query (Appendix A).
+
+    Zero for quantifier-free queries (no frontiers to account for).
+    """
+    hypergraph = query.hypergraph()
+    adjacency = hypergraph.primal_adjacency()
+    frontiers = component_frontiers(hypergraph, query.free_variables)
+    return max(
+        (maximum_independent_set_size(frontier, adjacency)
+         for frontier in frontiers.values()),
+        default=0,
+    )
+
+
+def core_quantified_star_size(query: ConjunctiveQuery) -> int:
+    """Star size of the (uncolored) core of ``color(Q)`` (Lemma A.4).
+
+    Appendix A shows that taking colored cores *before* measuring the star
+    size collapses the separation of Example A.2: a class has bounded
+    #-generalized hypertree width iff the ghw **and** the star size of the
+    cores of its colorings are bounded (Corollary A.5).  On Example A.2's
+    chains the raw star size is ``ceil(n/2)`` while this quantity is 1.
+    """
+    from ..homomorphism.core import core_pair
+
+    _, uncolored = core_pair(query)
+    return quantified_star_size(uncolored)
+
+
+def durand_mengel_parameters(query: ConjunctiveQuery,
+                             max_width: Optional[int] = None) -> Dict[str, int]:
+    """``(ghw, qss)`` of the query — the DM tractability parameters."""
+    from ..decomposition.ghd import generalized_hypertree_width
+
+    return {
+        "ghw": generalized_hypertree_width(query.hypergraph(), max_width),
+        "qss": quantified_star_size(query),
+    }
+
+
+def count_durand_mengel(query: ConjunctiveQuery, database: Database,
+                        width: int, star_size: Optional[int] = None) -> int:
+    """Counting via the DM route (Proposition A.1 / Theorem A.3).
+
+    Uses the *uncored* colored query: a #-decomposition w.r.t.
+    ``V^{width * qss}_Q`` must exist by Theorem A.3 when *width* bounds the
+    ghw and the star size is ``qss``; the count is then produced by the
+    structural algorithm.
+    """
+    if star_size is None:
+        star_size = quantified_star_size(query)
+    effective = max(1, width * max(1, star_size))
+    decomposition = find_sharp_hypertree_decomposition(
+        query, effective, colored=color(query)
+    )
+    if decomposition is None:
+        raise DecompositionNotFoundError(
+            f"no core-free #-decomposition of width {effective} for "
+            f"{query.name}; ghw/star-size bounds violated?"
+        )
+    return count_with_decomposition(query, database, decomposition)
+
+
+def star_size_of_frontier(query: ConjunctiveQuery,
+                          frontier: FrozenSet) -> int:
+    """Independent-set size of one frontier (diagnostics for the benches)."""
+    adjacency = query.hypergraph().primal_adjacency()
+    return maximum_independent_set_size(frontier, adjacency)

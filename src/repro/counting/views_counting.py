@@ -1,0 +1,86 @@
+"""Theorem 3.7 over *arbitrary* view sets with explicit instances.
+
+The structural counter in :mod:`repro.counting.structural` materializes view
+instances from their defining query atoms — the hypertree-decomposition
+specialization of Section 4.  The paper's Theorem 3.7 is more general: the
+views are abstract resources whose relations are merely *legal* (not more
+restrictive than the query).  This module implements that general form:
+
+1. check/receive a legal view database (query views included);
+2. enforce **pairwise consistency across all views and query views** — the
+   fixpoint of [GS17b], after which every tp-covered set projects exactly
+   onto the query's certain tuples;
+3. extract the bag relations of the #-decomposition from covering views,
+   and finish exactly like the specialized counter (full reducer, restrict
+   to the free variables, join-tree DP).
+
+This is the entry point for scenarios where subproblem solutions come from
+elsewhere (materialized views, previous computations) rather than from
+joining base relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..consistency.pairwise import full_reducer, pairwise_consistency
+from ..consistency.views import ViewDatabase, check_legal
+from ..db.algebra import SubstitutionSet
+from ..db.database import Database
+from ..decomposition.sharp import SharpDecomposition
+from ..exceptions import IllegalDatabaseError
+from ..query.query import ConjunctiveQuery
+from .acyclic import count_join_tree
+
+
+def count_with_view_database(query: ConjunctiveQuery,
+                             decomposition: SharpDecomposition,
+                             view_db: ViewDatabase,
+                             base: Optional[Database] = None,
+                             validate: bool = False) -> int:
+    """Count answers given a #-decomposition and a legal view database.
+
+    Parameters
+    ----------
+    view_db:
+        Instances for every view of ``decomposition.views`` (the query
+        views must reflect the base relations; combination views may be any
+        legal supersets of the answer projections).
+    base:
+        Optionally the base database; when given, the core's atoms are
+        additionally enforced from it (defensive tightening — legal view
+        databases already contain the query views, so this is redundant
+        but cheap).
+    validate:
+        Run the legality schema checks before counting.
+    """
+    views = decomposition.views
+    if validate:
+        check_legal(query, views, view_db)
+    missing = [view.name for view in views if view.name not in view_db]
+    if missing:
+        raise IllegalDatabaseError(f"missing view instances: {missing}")
+
+    # Step 2: global pairwise-consistency fixpoint over all the views.
+    reduced_views: Dict[str, SubstitutionSet] = pairwise_consistency(
+        dict(view_db)
+    )
+
+    # Step 3: bag relations from covering views.
+    tree = decomposition.tree
+    relations: List[SubstitutionSet] = []
+    for bag, view_name in zip(tree.bags, decomposition.bag_views):
+        relations.append(reduced_views[view_name].project(bag))
+    if base is not None:
+        for atom in decomposition.core.atoms_sorted():
+            host = next(
+                i for i, bag in enumerate(tree.bags)
+                if atom.variable_set <= bag
+            )
+            matched = SubstitutionSet.from_atom(atom, base[atom.relation])
+            relations[host] = relations[host].join(matched)
+
+    reduced = full_reducer(relations, tree)
+    free = query.free_variables
+    projected = [relation.project(free) for relation in reduced]
+    return count_join_tree(projected, tree)

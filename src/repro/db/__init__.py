@@ -1,0 +1,35 @@
+"""In-memory relational engine: relations, databases, substitution algebra."""
+
+from .algebra import SubstitutionSet, join_all
+from .database import Database
+from .io import (
+    database_from_dict,
+    database_to_dict,
+    dump_database,
+    load_database,
+    query_to_text,
+)
+from .generators import (
+    correlated_database,
+    functional_database,
+    random_database,
+    single_relation,
+)
+from .relation import Relation, Row
+
+__all__ = [
+    "SubstitutionSet",
+    "join_all",
+    "Database",
+    "Relation",
+    "Row",
+    "database_from_dict",
+    "database_to_dict",
+    "dump_database",
+    "load_database",
+    "query_to_text",
+    "correlated_database",
+    "functional_database",
+    "random_database",
+    "single_relation",
+]

@@ -1,0 +1,286 @@
+"""Relational algebra over *sets of substitutions* (paper, Section 2).
+
+The paper manipulates sets of substitutions ``theta : W -> D`` with the
+operators ``pi`` (projection), ``sigma`` (selection), ``|><|`` (natural join)
+and the left semijoin.  :class:`SubstitutionSet` implements exactly this: a
+set of rows over a *schema* of variables.
+
+The schema is always kept **sorted by variable name**, so two substitution
+sets over the same variables are directly comparable regardless of how they
+were produced; this canonical form is what makes the Figure 13 algorithm's
+"#-relations" (sets of substitution sets) implementable with frozensets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Tuple
+
+from ..exceptions import SchemaError
+from ..query.atom import Atom
+from ..query.terms import Constant, Variable
+from .relation import Relation
+
+Row = Tuple[Hashable, ...]
+
+
+class SubstitutionSet:
+    """A set of substitutions over a fixed, sorted schema of variables."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Iterable[Variable], rows: Iterable[Row] = (),
+                 _presorted: bool = False):
+        schema = tuple(schema)
+        if _presorted:
+            self.schema = schema
+            self.rows = rows if isinstance(rows, frozenset) else frozenset(rows)
+            return
+        order = sorted(range(len(schema)), key=lambda i: schema[i].name)
+        sorted_schema = tuple(schema[i] for i in order)
+        if len(set(sorted_schema)) != len(sorted_schema):
+            raise SchemaError(f"duplicate variables in schema {schema}")
+        if sorted_schema == schema:
+            self.schema = schema
+            self.rows = frozenset(tuple(r) for r in rows)
+        else:
+            self.schema = sorted_schema
+            self.rows = frozenset(
+                tuple(row[i] for i in order) for row in map(tuple, rows)
+            )
+        for row in self.rows:
+            if len(row) != len(self.schema):
+                raise SchemaError(
+                    f"row {row!r} does not match schema {self.schema}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def unit(cls) -> "SubstitutionSet":
+        """The empty-schema set containing the empty substitution.
+
+        This is the identity element of the natural join.
+        """
+        return cls((), ((),), _presorted=True)
+
+    @classmethod
+    def empty(cls, schema: Iterable[Variable] = ()) -> "SubstitutionSet":
+        """The empty set of substitutions over *schema*."""
+        return cls(schema, ())
+
+    @classmethod
+    def from_atom(cls, atom: Atom, relation: Relation) -> "SubstitutionSet":
+        """Match an atom's term pattern against a relation instance.
+
+        Positions holding a :class:`Constant` filter rows; repeated variables
+        enforce equality; the result's schema is the atom's variable set.
+        """
+        if relation.arity != atom.arity:
+            raise SchemaError(
+                f"atom {atom!r} has arity {atom.arity} but relation "
+                f"{relation.name!r} has arity {relation.arity}"
+            )
+        variables = atom.variables  # distinct, first-occurrence order
+        positions: Dict[Variable, int] = {}
+        for index, term in enumerate(atom.terms):
+            if isinstance(term, Variable) and term not in positions:
+                positions[term] = index
+        rows = []
+        for db_row in relation:
+            ok = True
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    if db_row[index] != term.value:
+                        ok = False
+                        break
+                elif db_row[index] != db_row[positions[term]]:
+                    ok = False
+                    break
+            if ok:
+                rows.append(tuple(db_row[positions[v]] for v in variables))
+        return cls(variables, rows)
+
+    @classmethod
+    def from_dicts(cls, schema: Iterable[Variable],
+                   substitutions: Iterable[Mapping[Variable, Hashable]]
+                   ) -> "SubstitutionSet":
+        """Build from an iterable of substitution dictionaries."""
+        schema = tuple(schema)
+        return cls(schema, (tuple(s[v] for v in schema) for s in substitutions))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SubstitutionSet):
+            return NotImplemented
+        return self.schema == other.schema and self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.rows))
+
+    def __repr__(self) -> str:
+        names = ",".join(v.name for v in self.schema)
+        return f"SubstitutionSet([{names}], |rows|={len(self.rows)})"
+
+    def variable_set(self) -> FrozenSet[Variable]:
+        """The schema as a frozen set."""
+        return frozenset(self.schema)
+
+    def iter_dicts(self) -> Iterator[Dict[Variable, Hashable]]:
+        """Iterate rows as substitution dictionaries."""
+        for row in self.rows:
+            yield dict(zip(self.schema, row))
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _positions(self, variables: Iterable[Variable]) -> Tuple[int, ...]:
+        index = {v: i for i, v in enumerate(self.schema)}
+        try:
+            return tuple(index[v] for v in variables)
+        except KeyError as exc:
+            raise SchemaError(
+                f"variable {exc.args[0]} not in schema {self.schema}"
+            ) from None
+
+    def project(self, variables: Iterable[Variable]) -> "SubstitutionSet":
+        """``pi_W``: restriction of every substitution to *variables*.
+
+        Variables not in the schema are ignored (projection onto the
+        intersection), mirroring the paper's convention ``pi_free(Q)(r_v)``
+        where ``r_v`` may not contain every free variable.
+        """
+        wanted = sorted(
+            (v for v in set(variables) if v in set(self.schema)),
+            key=lambda v: v.name,
+        )
+        positions = self._positions(wanted)
+        rows = frozenset(tuple(row[i] for i in positions) for row in self.rows)
+        return SubstitutionSet(tuple(wanted), rows, _presorted=True)
+
+    def select(self, binding: Mapping[Variable, Hashable]) -> "SubstitutionSet":
+        """``sigma_theta``: keep substitutions agreeing with *binding*."""
+        items = [(v, val) for v, val in binding.items() if v in set(self.schema)]
+        if len(items) != len(binding):
+            missing = set(binding) - set(self.schema)
+            raise SchemaError(f"selection variables {missing} not in schema")
+        positions = self._positions([v for v, _ in items])
+        values = tuple(val for _, val in items)
+        rows = frozenset(
+            row for row in self.rows
+            if tuple(row[i] for i in positions) == values
+        )
+        return SubstitutionSet(self.schema, rows, _presorted=True)
+
+    def join(self, other: "SubstitutionSet") -> "SubstitutionSet":
+        """Natural join on the shared variables."""
+        mine = set(self.schema)
+        shared = tuple(v for v in other.schema if v in mine)
+        result_schema = tuple(
+            sorted(mine | set(other.schema), key=lambda v: v.name)
+        )
+        # Index the smaller operand on the shared variables.
+        left, right = (self, other) if len(self) <= len(other) else (other, self)
+        left_shared = left._positions(shared)
+        right_shared = right._positions(shared)
+        index: Dict[Row, list] = {}
+        for row in left.rows:
+            index.setdefault(tuple(row[i] for i in left_shared), []).append(row)
+        left_map = {v: i for i, v in enumerate(left.schema)}
+        right_map = {v: i for i, v in enumerate(right.schema)}
+        rows = set()
+        for r_row in right.rows:
+            key = tuple(r_row[i] for i in right_shared)
+            for l_row in index.get(key, ()):
+                rows.add(tuple(
+                    l_row[left_map[v]] if v in left_map else r_row[right_map[v]]
+                    for v in result_schema
+                ))
+        return SubstitutionSet(result_schema, frozenset(rows), _presorted=True)
+
+    def semijoin(self, other: "SubstitutionSet") -> "SubstitutionSet":
+        """``self |>< other``: substitutions of *self* with a match in *other*.
+
+        This is the paper's ``S1 (left-semijoin) S2 = pi_W1(S1 |><| S2)``.
+        """
+        mine = set(self.schema)
+        shared = tuple(v for v in other.schema if v in mine)
+        if not shared:
+            # Join degenerates to a cross product: keep all iff other nonempty.
+            if other.rows:
+                return self
+            return SubstitutionSet(self.schema, frozenset(), _presorted=True)
+        my_shared = self._positions(shared)
+        other_shared = other._positions(shared)
+        keys = {tuple(row[i] for i in other_shared) for row in other.rows}
+        rows = frozenset(
+            row for row in self.rows
+            if tuple(row[i] for i in my_shared) in keys
+        )
+        return SubstitutionSet(self.schema, rows, _presorted=True)
+
+    # ------------------------------------------------------------------
+    # Grouping / counting helpers
+    # ------------------------------------------------------------------
+    def group_by(self, variables: Iterable[Variable]
+                 ) -> Dict[Row, "SubstitutionSet"]:
+        """Partition by the projection onto *variables* (intersected with schema).
+
+        Returns ``{key_row: group}`` where ``key_row`` follows the sorted
+        order of the grouping variables present in the schema.
+        """
+        wanted = sorted(
+            (v for v in set(variables) if v in set(self.schema)),
+            key=lambda v: v.name,
+        )
+        positions = self._positions(wanted)
+        buckets: Dict[Row, set] = {}
+        for row in self.rows:
+            buckets.setdefault(tuple(row[i] for i in positions), set()).add(row)
+        return {
+            key: SubstitutionSet(self.schema, frozenset(group), _presorted=True)
+            for key, group in buckets.items()
+        }
+
+    def count_distinct(self, variables: Iterable[Variable]) -> int:
+        """Number of distinct projections onto *variables*."""
+        return len(self.project(variables))
+
+    def max_group_size(self, variables: Iterable[Variable]) -> int:
+        """Maximum multiplicity of any projection onto *variables*.
+
+        This is the *degree* ``deg`` of Definition 6.1 for this relation.
+        Returns 0 for the empty set.
+        """
+        wanted = sorted(
+            (v for v in set(variables) if v in set(self.schema)),
+            key=lambda v: v.name,
+        )
+        positions = self._positions(wanted)
+        counts: Dict[Row, int] = {}
+        for row in self.rows:
+            key = tuple(row[i] for i in positions)
+            counts[key] = counts.get(key, 0) + 1
+        return max(counts.values(), default=0)
+
+
+def join_all(parts: Iterable[SubstitutionSet]) -> SubstitutionSet:
+    """Natural join of a collection; joins smallest-first for efficiency."""
+    pending = sorted(parts, key=len)
+    if not pending:
+        return SubstitutionSet.unit()
+    result = pending[0]
+    for part in pending[1:]:
+        result = result.join(part)
+    return result

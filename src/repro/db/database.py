@@ -1,0 +1,123 @@
+"""Databases: finite relational structures over a vocabulary of symbols."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
+
+from ..exceptions import DatabaseError
+from .relation import Relation, Row
+
+
+class Database:
+    """A database instance ``D``: a mapping from relation symbols to relations.
+
+    The universe (set of constants) is implicit: the union of active domains.
+    The class behaves like an immutable mapping; derived databases (view
+    extensions, consistency-reduced databases, ...) are new objects.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: Dict[str, Relation] = {}
+        for relation in relations:
+            if relation.name in self._relations:
+                raise DatabaseError(f"duplicate relation symbol {relation.name!r}")
+            self._relations[relation.name] = relation
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable[Row]]) -> "Database":
+        """Build a database from ``{symbol: iterable-of-rows}``.
+
+        Arity is inferred from the first row of each relation; empty
+        relations cannot be created this way (use :meth:`with_relation`).
+        """
+        relations = []
+        for name, rows in data.items():
+            rows = [tuple(r) for r in rows]
+            if not rows:
+                raise DatabaseError(
+                    f"cannot infer arity of empty relation {name!r}; "
+                    "use Database.with_relation instead"
+                )
+            relations.append(Relation(name, len(rows[0]), rows))
+        return cls(relations)
+
+    def with_relation(self, relation: Relation) -> "Database":
+        """A new database with *relation* added or replaced."""
+        updated = dict(self._relations)
+        updated[relation.name] = relation
+        return Database(updated.values())
+
+    def without(self, *names: str) -> "Database":
+        """A new database dropping the named relations."""
+        dropped = set(names)
+        return Database(r for n, r in self._relations.items() if n not in dropped)
+
+    def merged_with(self, other: "Database") -> "Database":
+        """Union of vocabularies; *other* wins on clashes."""
+        updated = dict(self._relations)
+        updated.update(other._relations)
+        return Database(updated.values())
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise DatabaseError(f"no relation named {name!r} in the database")
+
+    def get(self, name: str) -> Relation | None:
+        """The relation named *name*, or ``None`` when absent."""
+        return self._relations.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relations(self) -> Tuple[Relation, ...]:
+        """All relation instances, in insertion order."""
+        return tuple(self._relations.values())
+
+    def symbols(self) -> frozenset:
+        """The vocabulary: the set of relation names."""
+        return frozenset(self._relations)
+
+    # ------------------------------------------------------------------
+    def active_domain(self) -> frozenset:
+        """The set of all constants appearing anywhere in the database."""
+        domain: set = set()
+        for relation in self._relations.values():
+            domain.update(relation.active_domain())
+        return frozenset(domain)
+
+    def max_relation_size(self) -> int:
+        """``m``: the maximum number of tuples over the relations (Thm. 6.2)."""
+        if not self._relations:
+            return 0
+        return max(len(r) for r in self._relations.values())
+
+    def total_tuples(self) -> int:
+        """``||D||``-style size measure: total tuple count."""
+        return sum(len(r) for r in self._relations.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}[{len(rel)}]" for name, rel in sorted(self._relations.items())
+        )
+        return f"Database({parts})"

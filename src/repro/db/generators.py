@@ -1,0 +1,144 @@
+"""Synthetic database generators.
+
+The paper's experiments are worked examples; realistic inputs for the
+benchmarks and property tests are produced here.  Three families:
+
+* :func:`random_database` — i.i.d. uniform tuples per relation;
+* :func:`correlated_database` — tuples sampled from a shared pool of "entity
+  paths" so joins are non-trivially satisfiable (otherwise random instances
+  of long queries are almost always empty);
+* :func:`functional_database` — relations where a chosen prefix of attributes
+  functionally determines the rest (keys / quasi-keys), the setting that
+  motivates Section 6's hybrid decompositions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+from .database import Database
+from .relation import Relation
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def random_database(query: ConjunctiveQuery, domain_size: int,
+                    tuples_per_relation: int, seed: Optional[int] = None
+                    ) -> Database:
+    """Uniform random rows for every relation symbol of *query*.
+
+    Arity for each symbol is taken from (any of) the query's atoms over it;
+    the paper assumes consistent arities per symbol, which the query layer
+    does not enforce — we take the maximum and pad nothing, raising if atoms
+    disagree.
+    """
+    rng = _rng(seed)
+    arities = _arities(query)
+    relations = []
+    for symbol, arity in sorted(arities.items()):
+        rows = {
+            tuple(rng.randrange(domain_size) for _ in range(arity))
+            for _ in range(tuples_per_relation)
+        }
+        relations.append(Relation(symbol, arity, rows))
+    return Database(relations)
+
+
+def correlated_database(query: ConjunctiveQuery, domain_size: int,
+                        tuples_per_relation: int, n_seeds: int = 8,
+                        seed: Optional[int] = None) -> Database:
+    """Random rows plus ``n_seeds`` globally consistent assignments.
+
+    Each seed assignment maps every variable of the query to a domain value
+    and injects the induced tuple into every relation, guaranteeing at least
+    some answers; the remaining tuples are uniform noise.  This produces the
+    mixed regime (some answers, many dead-end partial matches) that counting
+    algorithms must handle.
+    """
+    rng = _rng(seed)
+    arities = _arities(query)
+    variables = sorted(query.variables, key=lambda v: v.name)
+    assignments = [
+        {v: rng.randrange(domain_size) for v in variables}
+        for _ in range(n_seeds)
+    ]
+    rows_by_symbol: Dict[str, set] = {symbol: set() for symbol in arities}
+    for atom in query.atoms:
+        for assignment in assignments:
+            row = tuple(
+                assignment[t] if isinstance(t, Variable) else t.value
+                for t in atom.terms
+            )
+            rows_by_symbol[atom.relation].add(row)
+    for symbol, arity in arities.items():
+        target = min(tuples_per_relation, domain_size ** arity)
+        while len(rows_by_symbol[symbol]) < target:
+            rows_by_symbol[symbol].add(
+                tuple(rng.randrange(domain_size) for _ in range(arity))
+            )
+    return Database(
+        Relation(symbol, arity, rows_by_symbol[symbol])
+        for symbol, arity in sorted(arities.items())
+    )
+
+
+def functional_database(query: ConjunctiveQuery, domain_size: int,
+                        tuples_per_relation: int, key_width: int = 1,
+                        degree: int = 1, seed: Optional[int] = None
+                        ) -> Database:
+    """Relations where the first ``key_width`` columns determine the rest.
+
+    ``degree`` controls how many distinct completions each key prefix gets
+    (``degree == 1`` is a proper key / functional dependency).  This is the
+    "bounded degree" regime of Section 6: existential variables placed in
+    non-key positions have degree at most ``degree``.
+    """
+    rng = _rng(seed)
+    arities = _arities(query)
+    relations = []
+    for symbol, arity in sorted(arities.items()):
+        width = min(key_width, arity)
+        # Each key prefix admits at most `degree` distinct completions, and
+        # never more than the completion space itself holds, so the relation
+        # cannot exceed domain_size^width * effective_degree distinct rows.
+        effective_degree = min(degree, domain_size ** (arity - width))
+        ceiling = (domain_size ** width) * effective_degree
+        target = min(tuples_per_relation, ceiling)
+        rows: set = set()
+        completions: Dict[tuple, set] = {}
+        while len(rows) < target:
+            key = tuple(rng.randrange(domain_size) for _ in range(width))
+            pool = completions.setdefault(key, set())
+            if len(pool) < effective_degree:
+                pool.add(
+                    tuple(rng.randrange(domain_size)
+                          for _ in range(arity - width))
+                )
+            rows.add(key + rng.choice(sorted(pool)))
+        relations.append(Relation(symbol, arity, rows))
+    return Database(relations)
+
+
+def single_relation(name: str, rows: Iterable[Sequence]) -> Database:
+    """A database with one relation, arity inferred from the first row."""
+    rows = [tuple(r) for r in rows]
+    if not rows:
+        raise ValueError("single_relation needs at least one row")
+    return Database([Relation(name, len(rows[0]), rows)])
+
+
+def _arities(query: ConjunctiveQuery) -> Dict[str, int]:
+    arities: Dict[str, int] = {}
+    for atom in query.atoms:
+        seen = arities.setdefault(atom.relation, atom.arity)
+        if seen != atom.arity:
+            raise ValueError(
+                f"relation symbol {atom.relation!r} used with arities "
+                f"{seen} and {atom.arity}"
+            )
+    return arities

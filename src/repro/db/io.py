@@ -1,0 +1,108 @@
+"""Serialization: JSON databases and Datalog query text, round-trippable.
+
+The CLI, the examples and downstream users need a way to move instances in
+and out of the library.  Two humble formats cover it:
+
+* databases <-> JSON objects ``{relation: [[...row...], ...]}`` — the same
+  shape the CLI consumes.  Arities are stored explicitly so that empty
+  relations survive the round trip (a plain row list cannot express them);
+* queries <-> the Datalog dialect of :mod:`repro.query.parser`.
+
+Only JSON-representable constants round-trip (strings, ints, floats,
+bools, None, and nested lists thereof — lists come back as tuples so rows
+stay hashable).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..exceptions import DatabaseError
+from ..query.atom import Atom
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Constant, Variable
+from .database import Database
+from .relation import Relation
+
+#: Key carrying explicit arities in the JSON object (optional on input).
+ARITY_KEY = "__arities__"
+
+
+def database_to_dict(database: Database) -> Dict[str, object]:
+    """A JSON-ready dict for *database*, including explicit arities."""
+    payload: Dict[str, object] = {
+        name: [list(row) for row in sorted(database[name].rows, key=repr)]
+        for name in sorted(database)
+    }
+    payload[ARITY_KEY] = {
+        name: database[name].arity for name in sorted(database)
+    }
+    return payload
+
+
+def database_from_dict(payload: Dict[str, object]) -> Database:
+    """Inverse of :func:`database_to_dict`; tolerates a missing arity map."""
+    arities = payload.get(ARITY_KEY, {})
+    relations: List[Relation] = []
+    for name, rows in payload.items():
+        if name == ARITY_KEY:
+            continue
+        rows = [tuple(_freeze(value) for value in row) for row in rows]
+        if name in arities:
+            arity = arities[name]
+        elif rows:
+            arity = len(rows[0])
+        else:
+            raise DatabaseError(
+                f"empty relation {name!r} needs an explicit arity under "
+                f"{ARITY_KEY!r}"
+            )
+        relations.append(Relation(name, arity, rows))
+    return Database(relations)
+
+
+def dump_database(database: Database, path: str) -> None:
+    """Write *database* to *path* as JSON."""
+    with open(path, "w") as handle:
+        json.dump(database_to_dict(database), handle, indent=1)
+
+
+def load_database(path: str) -> Database:
+    """Read a database from a JSON file (the CLI's format)."""
+    with open(path) as handle:
+        return database_from_dict(json.load(handle))
+
+
+def _freeze(value):
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def query_to_text(query: ConjunctiveQuery) -> str:
+    """Render *query* in the parser's Datalog dialect.
+
+    ``parse_query(query_to_text(q))`` equals ``q`` whenever the query's
+    relation symbols and variable names are parser-compatible identifiers
+    and its constants are strings or integers.
+    """
+    head_vars = ", ".join(
+        v.name for v in sorted(query.free_variables, key=lambda v: v.name)
+    )
+    body = ", ".join(_atom_text(atom) for atom in query.atoms_sorted())
+    return f"{query.name}({head_vars}) :- {body}"
+
+
+def _atom_text(atom: Atom) -> str:
+    terms = ", ".join(_term_text(term) for term in atom.terms)
+    return f"{atom.relation}({terms})"
+
+
+def _term_text(term) -> str:
+    if isinstance(term, Variable):
+        return term.name
+    value = term.value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return str(value)
+    return f"'{value}'"

@@ -1,0 +1,88 @@
+"""Database relations.
+
+A relation instance is a named, fixed-arity set of tuples of plain (hashable)
+Python values.  Query :class:`~repro.query.terms.Constant` terms match a
+database value ``v`` when ``constant.value == v``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Tuple
+
+from ..exceptions import ArityMismatchError
+
+Row = Tuple[Hashable, ...]
+
+
+class Relation:
+    """A finite relation instance: a set of same-length tuples.
+
+    The class is a thin, validated wrapper around a ``frozenset`` of rows.
+    It is immutable; "updates" go through :meth:`union` / :meth:`restrict`.
+    """
+
+    __slots__ = ("name", "arity", "_rows")
+
+    def __init__(self, name: str, arity: int, rows: Iterable[Row] = ()):
+        self.name = name
+        self.arity = arity
+        frozen = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise ArityMismatchError(
+                    f"relation {name!r} has arity {arity}, got row of "
+                    f"length {len(row)}: {row!r}"
+                )
+            frozen.append(row)
+        self._rows: frozenset = frozenset(frozen)
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> frozenset:
+        """The underlying frozenset of rows."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.arity == other.arity
+            and self._rows == other._rows
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.arity, self._rows))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, |rows|={len(self)})"
+
+    # ------------------------------------------------------------------
+    def union(self, rows: Iterable[Row]) -> "Relation":
+        """A new relation with additional rows."""
+        return Relation(self.name, self.arity, self._rows.union(map(tuple, rows)))
+
+    def restrict(self, keep) -> "Relation":
+        """A new relation keeping only rows for which ``keep(row)`` is true."""
+        return Relation(self.name, self.arity, (r for r in self._rows if keep(r)))
+
+    def renamed(self, name: str) -> "Relation":
+        """The same rows under a different relation symbol."""
+        return Relation(name, self.arity, self._rows)
+
+    def active_domain(self) -> frozenset:
+        """All values occurring in any position of any row."""
+        values: set = set()
+        for row in self._rows:
+            values.update(row)
+        return frozenset(values)

@@ -1,0 +1,167 @@
+"""Degree statistics of databases (Sections 1.2 and 6).
+
+For a relation ``r`` and a set of (atom-bound) variables ``X``, the paper's
+*degree* ``deg_D(X, r)`` is the maximum number of ways a value of the
+``X``-columns extends to a full tuple of ``r``.  Degree 1 means the columns
+form a key (a functional dependency onto the rest); small degrees are
+quasi-keys.  Example 1.5 uses exactly these statistics to decide which
+existential variables deserve pseudo-free promotion, and this module makes
+that reasoning automatic:
+
+* :func:`attribute_degree` / :func:`atom_variable_degree` — raw degrees;
+* :func:`key_positions` / :func:`functional_dependencies` — key discovery;
+* :func:`degree_profile` — per-variable worst-case degrees across a query;
+* :func:`suggest_pseudo_free` — data-driven pseudo-free candidate sets for
+  the hybrid search of Theorem 6.7 (wired into
+  :func:`repro.decomposition.hybrid.find_hybrid_decomposition` via the
+  ``candidates`` parameter).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..query.atom import Atom
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+from .database import Database
+from .relation import Relation
+
+
+def attribute_degree(relation: Relation, positions: Sequence[int]) -> int:
+    """``deg_D(X, r)`` for the columns at *positions* (paper, Section 1.2).
+
+    The maximum, over value combinations of those columns, of the number of
+    full tuples carrying that combination; 0 for the empty relation.
+    """
+    counts: Dict[tuple, int] = {}
+    for row in relation:
+        key = tuple(row[i] for i in positions)
+        counts[key] = counts.get(key, 0) + 1
+    return max(counts.values(), default=0)
+
+
+def atom_variable_degree(atom: Atom, relation: Relation,
+                         variables: Iterable[Variable]) -> int:
+    """Degree of a set of the atom's variables within its relation.
+
+    Variables map to their first position in the atom; variables not in the
+    atom are ignored (degree over the intersection).
+    """
+    positions: List[int] = []
+    seen: set = set()
+    wanted = frozenset(variables)
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Variable) and term in wanted and term not in seen:
+            positions.append(index)
+            seen.add(term)
+    return attribute_degree(relation, positions)
+
+
+def key_positions(relation: Relation, max_width: int = 2
+                  ) -> List[Tuple[int, ...]]:
+    """Minimal column sets of size ``<= max_width`` that are keys.
+
+    A column set is a key when its degree is 1 (each combination determines
+    the full tuple).  Supersets of reported keys are suppressed.
+    """
+    keys: List[Tuple[int, ...]] = []
+    for width in range(1, min(max_width, relation.arity) + 1):
+        for columns in combinations(range(relation.arity), width):
+            if any(set(existing) <= set(columns) for existing in keys):
+                continue
+            if attribute_degree(relation, columns) <= 1:
+                keys.append(columns)
+    return keys
+
+
+def functional_dependencies(relation: Relation, max_lhs: int = 2
+                            ) -> List[Tuple[Tuple[int, ...], int]]:
+    """Column-level FDs ``lhs -> rhs`` with ``|lhs| <= max_lhs``.
+
+    Reported as ``(lhs_positions, rhs_position)`` pairs with minimal left
+    sides (no reported FD's lhs strictly contains another's for the same
+    rhs).
+    """
+    dependencies: List[Tuple[Tuple[int, ...], int]] = []
+    for rhs in range(relation.arity):
+        found: List[Tuple[int, ...]] = []
+        for width in range(1, min(max_lhs, relation.arity - 1) + 1):
+            for lhs in combinations(
+                    (c for c in range(relation.arity) if c != rhs), width):
+                if any(set(existing) <= set(lhs) for existing in found):
+                    continue
+                images: Dict[tuple, object] = {}
+                holds = True
+                for row in relation:
+                    key = tuple(row[i] for i in lhs)
+                    value = row[rhs]
+                    if images.setdefault(key, value) != value:
+                        holds = False
+                        break
+                if holds:
+                    found.append(lhs)
+        dependencies.extend((lhs, rhs) for lhs in found)
+    return dependencies
+
+
+def degree_profile(query: ConjunctiveQuery, database: Database
+                   ) -> Dict[Variable, int]:
+    """Worst-case extension degree of each variable across the query.
+
+    For each variable ``Y`` and each atom containing it, the degree of the
+    atom's *other* variables tells how many ``Y``-extensions a fixed
+    context admits; the profile records the best (minimum) such bound over
+    the atoms — a variable is "cheap" if *some* atom pins it tightly,
+    because the vertex relations of a decomposition can exploit that atom.
+    """
+    profile: Dict[Variable, int] = {}
+    for atom in query.atoms_sorted():
+        relation = database[atom.relation]
+        for variable in atom.variables:
+            others = [v for v in atom.variables if v != variable]
+            bound = atom_variable_degree(atom, relation, others)
+            if bound == 0:
+                bound = 1  # empty relation: vacuously a key
+            best = profile.get(variable)
+            profile[variable] = bound if best is None else min(best, bound)
+    return profile
+
+
+def suggest_pseudo_free(query: ConjunctiveQuery, database: Database,
+                        threshold: int = 1,
+                        max_candidates: int = 8
+                        ) -> List[FrozenSet[Variable]]:
+    """Data-driven pseudo-free candidate sets (Example 1.5 automated).
+
+    Existential variables whose degree profile stays within *threshold*
+    are promotion candidates; the returned list contains the free set
+    itself, the full promotion of all cheap variables, and its
+    leave-one-out / take-one subsets — ordered so that the hybrid search
+    probes the most promising sets first.
+    """
+    profile = degree_profile(query, database)
+    cheap = sorted(
+        (v for v in query.existential_variables
+         if profile.get(v, float("inf")) <= threshold),
+        key=lambda v: v.name,
+    )
+    free = query.free_variables
+    candidates: List[FrozenSet[Variable]] = []
+    if cheap:
+        candidates.append(free | frozenset(cheap))
+        for variable in cheap:
+            candidates.append(free | (frozenset(cheap) - {variable}))
+        for variable in cheap:
+            candidates.append(free | {variable})
+    candidates.append(free)
+    unique: List[FrozenSet[Variable]] = []
+    seen: set = set()
+    for candidate in candidates:
+        if candidate not in seen:
+            seen.add(candidate)
+            unique.append(candidate)
+        if len(unique) >= max_candidates:
+            break
+    return unique

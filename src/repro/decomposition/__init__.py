@@ -1,0 +1,91 @@
+"""Decomposition methods: tree projections, GHDs, #-decompositions, hybrids."""
+
+from .degree import (
+    d_optimal_decomposition,
+    degree_at_vertex,
+    degree_bound,
+    vertex_relation,
+)
+from .fractional import (
+    fractional_edge_cover_number,
+    fractional_width_of_tree,
+)
+from .ghd import (
+    find_ghd_join_tree,
+    generalized_hypertree_width,
+    ghd_of_query,
+    is_width_witness,
+    union_view_hypergraph,
+)
+from .hybrid import (
+    HybridDecomposition,
+    evaluate_pseudo_free,
+    find_hybrid_decomposition,
+    quick_pseudo_free_candidates,
+)
+from .hypertree import (
+    Hypertree,
+    hypertree_from_join_tree,
+    minimal_atom_cover,
+)
+from .sharp import (
+    SharpDecomposition,
+    all_colored_cores,
+    find_sharp_decomposition,
+    find_sharp_hypertree_decomposition,
+    is_sharp_covered,
+    sharp_cover_hypergraph,
+    sharp_hypertree_width,
+)
+from .tree_projection import (
+    candidate_bags,
+    find_min_cost_tree_projection,
+    find_tree_projection,
+    has_tree_projection,
+    tree_projection,
+)
+from .treedec import (
+    exact_treewidth,
+    min_fill_order,
+    tree_decomposition_from_order,
+    treewidth,
+    treewidth_upper_bound,
+)
+
+__all__ = [
+    "d_optimal_decomposition",
+    "degree_at_vertex",
+    "degree_bound",
+    "vertex_relation",
+    "fractional_edge_cover_number",
+    "fractional_width_of_tree",
+    "find_ghd_join_tree",
+    "generalized_hypertree_width",
+    "ghd_of_query",
+    "is_width_witness",
+    "union_view_hypergraph",
+    "HybridDecomposition",
+    "evaluate_pseudo_free",
+    "find_hybrid_decomposition",
+    "quick_pseudo_free_candidates",
+    "Hypertree",
+    "hypertree_from_join_tree",
+    "minimal_atom_cover",
+    "SharpDecomposition",
+    "all_colored_cores",
+    "find_sharp_decomposition",
+    "find_sharp_hypertree_decomposition",
+    "is_sharp_covered",
+    "sharp_cover_hypergraph",
+    "sharp_hypertree_width",
+    "candidate_bags",
+    "find_min_cost_tree_projection",
+    "find_tree_projection",
+    "has_tree_projection",
+    "tree_projection",
+    "exact_treewidth",
+    "min_fill_order",
+    "tree_decomposition_from_order",
+    "treewidth",
+    "treewidth_upper_bound",
+]

@@ -1,0 +1,148 @@
+"""Degrees of free variables and D-optimal decompositions (Def. 6.1, App. C).
+
+For a hypertree ``HD = (T, chi, lambda)`` of ``Q`` over a database ``D``,
+the vertex relation is ``r_v = pi_chi(v)(join of lambda(v))``; the *degree*
+of the free variables ``F`` at ``v`` is the maximum number of extensions of
+a tuple of ``pi_F(r_v)`` to a full tuple of ``r_v``; ``bound_F(D, HD)`` is
+the maximum over the vertices.  The Figure 13 counting algorithm's cost is
+exponential in this quantity only (Theorem 6.2).
+
+A *D-optimal* width-``k`` decomposition minimizes the bound.  Theorem C.4
+shows this is NP-hard over arbitrary decompositions; Theorem C.5 shows it is
+polynomial over normal forms, realized here as a min-bottleneck
+tree-projection search (:func:`d_optimal_decomposition`) whose bag cost is
+the bag's degree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..db.algebra import SubstitutionSet, join_all
+from ..db.database import Database
+from ..query.atom import Atom
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+from .ghd import union_view_hypergraph
+from .hypertree import Hypertree, hypertree_from_join_tree, minimal_atom_cover
+from .tree_projection import candidate_bags, find_min_cost_tree_projection
+
+
+def vertex_relation(chi: Iterable[Variable], lam: Iterable[Atom],
+                    database: Database) -> SubstitutionSet:
+    """``r_v = pi_chi(v)(join over lambda(v))`` (Definition 6.1)."""
+    parts = [
+        SubstitutionSet.from_atom(atom, database[atom.relation]) for atom in lam
+    ]
+    return join_all(parts).project(frozenset(chi))
+
+
+def degree_at_vertex(relation: SubstitutionSet, free: Iterable[Variable]
+                     ) -> int:
+    """``deg_D(F, v)``: the maximum degree over the tuples of ``r_v``."""
+    return relation.max_group_size(frozenset(free))
+
+
+def degree_bound(hypertree: Hypertree, database: Database,
+                 free: Iterable[Variable]) -> int:
+    """``bound_F(D, HD)``: maximum vertex degree over the hypertree."""
+    free = frozenset(free)
+    best = 0
+    for chi, lam in zip(hypertree.chis, hypertree.lams):
+        relation = vertex_relation(chi, lam, database)
+        best = max(best, degree_at_vertex(relation, free))
+    return best
+
+
+class _BagDegreeCost:
+    """Bag cost = least degree achievable by any admissible atom cover.
+
+    The degree of a bag depends on the ``lambda`` cover chosen for it; a
+    D-optimal decomposition may pick any cover of at most ``width`` atoms,
+    so the cost of a bag is the minimum over such covers.  Results are
+    memoized per bag; covers are also recorded so the winning decomposition
+    can be labelled consistently with its cost.
+    """
+
+    def __init__(self, query: ConjunctiveQuery, database: Database,
+                 width: int, free: FrozenSet[Variable],
+                 restrict_to: Optional[FrozenSet[Variable]] = None):
+        self.query = query
+        self.database = database
+        self.width = width
+        self.free = free
+        self.restrict_to = restrict_to
+        self.atoms = query.atoms_sorted()
+        self.best_cover: Dict[FrozenSet, Tuple[Atom, ...]] = {}
+        # Join results are shared across bags: many candidate bags are
+        # covered by the same atom combination, and the join dominates the
+        # cost; cache it unprojected, keyed by the combo.
+        self._join_cache: Dict[Tuple[Atom, ...], object] = {}
+
+    def _joined(self, combo: Tuple[Atom, ...]):
+        if combo not in self._join_cache:
+            from ..db.algebra import join_all
+            from ..db.algebra import SubstitutionSet
+
+            self._join_cache[combo] = join_all([
+                SubstitutionSet.from_atom(atom, self.database[atom.relation])
+                for atom in combo
+            ])
+        return self._join_cache[combo]
+
+    def __call__(self, bag: FrozenSet) -> float:
+        from itertools import combinations
+
+        relevant = [a for a in self.atoms if a.variable_set & bag]
+        best_cost, best_cover = None, None
+        for size in range(1, self.width + 1):
+            for combo in combinations(relevant, size):
+                covered: set = set()
+                for atom in combo:
+                    covered.update(atom.variables)
+                if not bag <= covered:
+                    continue
+                relation = self._joined(combo).project(bag)
+                if self.restrict_to is not None:
+                    relation = relation.project(bag & self.restrict_to)
+                cost = degree_at_vertex(relation, self.free)
+                if best_cost is None or cost < best_cost:
+                    best_cost, best_cover = cost, combo
+                if best_cost == 1:
+                    break  # cannot improve below degree 1
+            if best_cost == 1:
+                break
+        if best_cost is None:
+            return float("inf")
+        self.best_cover[bag] = best_cover
+        return float(best_cost)
+
+
+def d_optimal_decomposition(query: ConjunctiveQuery, database: Database,
+                            width: int,
+                            free: Optional[Iterable[Variable]] = None
+                            ) -> Optional[Tuple[int, Hypertree]]:
+    """A width-*width* decomposition with the least degree bound (Thm. C.5).
+
+    Min-bottleneck tree-projection search over the ``V^k`` candidate bags
+    with bag cost = achievable vertex degree.  Returns ``(bound, hypertree)``
+    or ``None`` when no width-*width* decomposition exists.  The search space
+    is the component normal form, matching Theorem C.5's restriction to
+    normal-form decompositions (Theorem C.4 shows the unrestricted problem
+    is NP-hard).
+    """
+    free = frozenset(free) if free is not None else query.free_variables
+    base = query.hypergraph()
+    views = union_view_hypergraph(base, width)
+    bags = candidate_bags(views, base.nodes)
+    cost = _BagDegreeCost(query, database, width, free)
+    result = find_min_cost_tree_projection(base, bags, cost)
+    if result is None:
+        return None
+    bound, tree = result
+    lams = tuple(
+        cost.best_cover.get(bag) or minimal_atom_cover(bag, query.atoms_sorted(), width)
+        for bag in tree.bags
+    )
+    hypertree = Hypertree(tuple(tree.bags), lams, tuple(tree.edges))
+    return int(bound), hypertree

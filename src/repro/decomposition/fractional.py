@@ -1,0 +1,164 @@
+"""Fractional edge covers and fractional hypertree width (Remark 4.4, [GM14]).
+
+The paper notes that all tractability results transfer from generalized
+hypertree decompositions to *fractional* hypertree decompositions.  We
+implement the fractional edge cover number ``rho*`` of a bag (an LP solved
+with scipy when available, with an exact rational fallback via vertex
+enumeration of the small LP's dual — bags are tiny) and the fractional width
+of a decomposition: ``fhw = max_p rho*(chi(p))``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..hypergraph.acyclicity import JoinTree
+from ..hypergraph.hypergraph import Hypergraph
+
+try:  # scipy is available offline in this environment, but stay defensive.
+    from scipy.optimize import linprog
+
+    _HAVE_SCIPY = True
+except Exception:  # pragma: no cover - import guard
+    _HAVE_SCIPY = False
+
+
+def fractional_edge_cover_number(bag: Iterable, hypergraph: Hypergraph,
+                                 exact: bool = False) -> float:
+    """``rho*(bag)``: minimize ``sum_e x_e`` with ``sum_{e ∋ v} x_e >= 1``
+    for every ``v`` in *bag*, over the hyperedges of *hypergraph*.
+
+    With ``exact=True`` (or without scipy) a small exact rational solver is
+    used: optimal basic solutions lie on intersections of constraint
+    hyperplanes, enumerated directly — adequate for bag sizes in the paper's
+    examples.
+    """
+    bag = frozenset(bag)
+    if not bag:
+        return 0.0
+    edges = [e for e in hypergraph.edges if e & bag]
+    if not edges:
+        raise ValueError("bag contains nodes covered by no hyperedge")
+    uncoverable = bag - frozenset().union(*edges)
+    if uncoverable:
+        raise ValueError(f"nodes {sorted(map(str, uncoverable))} not coverable")
+    if _HAVE_SCIPY and not exact:
+        return _lp_scipy(bag, edges)
+    return float(_lp_exact(bag, edges))
+
+
+def _lp_scipy(bag: FrozenSet, edges: Sequence[FrozenSet]) -> float:
+    nodes = sorted(bag, key=str)
+    a_ub = [[-1.0 if node in edge else 0.0 for edge in edges] for node in nodes]
+    b_ub = [-1.0] * len(nodes)
+    cost = [1.0] * len(edges)
+    result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=[(0, None)] * len(edges),
+                     method="highs")
+    if not result.success:  # pragma: no cover - LP is always feasible here
+        raise RuntimeError(f"LP failed: {result.message}")
+    return float(result.fun)
+
+
+def _lp_exact(bag: FrozenSet, edges: Sequence[FrozenSet]) -> Fraction:
+    """Exact rational LP via the dual: maximize ``sum_v y_v`` with
+    ``sum_{v in e} y_v <= 1`` per edge, ``y >= 0`` (fractional independent
+    set).  Optimal vertices are solutions of square subsystems; enumerate.
+    """
+    nodes = sorted(bag, key=str)
+    n = len(nodes)
+    node_index = {v: i for i, v in enumerate(nodes)}
+    rows: List[Tuple[Tuple[Fraction, ...], Fraction]] = []
+    for edge in edges:
+        coeff = [Fraction(0)] * n
+        for v in edge & bag:
+            coeff[node_index[v]] = Fraction(1)
+        rows.append((tuple(coeff), Fraction(1)))
+    for i in range(n):  # y_i >= 0 as -y_i <= 0
+        coeff = [Fraction(0)] * n
+        coeff[i] = Fraction(-1)
+        rows.append((tuple(coeff), Fraction(0)))
+    best = Fraction(0)
+    for subset in combinations(range(len(rows)), n):
+        system = [rows[i] for i in subset]
+        solution = _solve_square([list(r[0]) for r in system],
+                                 [r[1] for r in system])
+        if solution is None:
+            continue
+        if any(y < 0 for y in solution):
+            continue
+        feasible = all(
+            sum(c * y for c, y in zip(coeff, solution)) <= rhs
+            for coeff, rhs in rows
+        )
+        if feasible:
+            best = max(best, sum(solution))
+    return best
+
+
+def _solve_square(matrix: List[List[Fraction]], rhs: List[Fraction]
+                  ) -> Optional[List[Fraction]]:
+    """Gaussian elimination over rationals; ``None`` if singular."""
+    n = len(rhs)
+    a = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if a[r][col] != 0), None)
+        if pivot is None:
+            return None
+        a[col], a[pivot] = a[pivot], a[col]
+        inv = Fraction(1, 1) / a[col][col]
+        a[col] = [value * inv for value in a[col]]
+        for r in range(n):
+            if r != col and a[r][col] != 0:
+                factor = a[r][col]
+                a[r] = [x - factor * y for x, y in zip(a[r], a[col])]
+    return [a[i][n] for i in range(n)]
+
+
+def fractional_width_of_tree(tree: JoinTree, hypergraph: Hypergraph,
+                             exact: bool = False) -> float:
+    """``max_p rho*(bag_p)`` over the join tree's bags."""
+    return max(
+        (fractional_edge_cover_number(bag, hypergraph, exact=exact)
+         for bag in tree.bags if bag),
+        default=0.0,
+    )
+
+
+def agm_bound(query, database) -> float:
+    """The AGM output-size bound ``prod_e |r_e|^{x_e}`` ([GM14]).
+
+    Using an optimal fractional edge cover ``x`` of *all* variables, the
+    number of satisfying assignments of the query is at most
+    ``prod_e |r_e|^{x_e}``.  Computed from the cover LP's optimal weights;
+    a worst-case optimal bound on ``|Q(D)|`` (and hence on the answer
+    count), useful for sizing the counting problem before running it.
+    """
+    import math
+
+    bag = frozenset(query.variables)
+    hypergraph = query.hypergraph()
+    edges = sorted(hypergraph.edges, key=lambda e: sorted(map(str, e)))
+    # Re-solve the LP keeping the per-edge weights.
+    nodes = sorted(bag, key=str)
+    if not nodes:
+        return 1.0
+    sizes = {}
+    for atom in query.atoms:
+        edge = atom.variable_set
+        size = len(database[atom.relation])
+        sizes[edge] = min(sizes.get(edge, size), size)
+    if _HAVE_SCIPY:
+        a_ub = [[-1.0 if node in edge else 0.0 for edge in edges]
+                for node in nodes]
+        b_ub = [-1.0] * len(nodes)
+        cost = [math.log(max(sizes[edge], 1)) for edge in edges]
+        result = linprog(cost, A_ub=a_ub, b_ub=b_ub,
+                         bounds=[(0, None)] * len(edges), method="highs")
+        if result.success:
+            return float(math.exp(result.fun))
+    # Fallback: uniform optimal cover weights give a valid (weaker) bound.
+    rho = fractional_edge_cover_number(bag, hypergraph, exact=True)
+    biggest = max(sizes.values(), default=1)
+    return float(biggest ** rho)

@@ -1,0 +1,97 @@
+"""Generalized hypertree decompositions and widths (paper, Section 4).
+
+``ghw(H) <= k`` holds iff the pair ``(H, H_{V^k})`` has a tree projection,
+where ``H_{V^k}`` has one hyperedge per union of at most ``k`` hyperedges of
+``H`` — the view-set formulation the paper adopts.  The search engine is the
+tree-projection module; this module supplies the ``V^k`` hypergraphs, width
+computation by iterative deepening, and the query-level entry points that
+return labelled :class:`~repro.decomposition.hypertree.Hypertree` objects.
+
+Exact ``ghw`` is NP-hard already for ``k = 3``; the implementation is
+exponential in the hypergraph size only (candidate-bag subset closure),
+which is the paper's own parameterization.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Optional
+
+from ..exceptions import DecompositionNotFoundError
+from ..hypergraph.acyclicity import JoinTree
+from ..hypergraph.hypergraph import Hypergraph, covers
+from ..query.query import ConjunctiveQuery
+from .hypertree import Hypertree, hypertree_from_join_tree
+from .tree_projection import candidate_bags, find_tree_projection
+
+
+def union_view_hypergraph(base: Hypergraph, width: int) -> Hypergraph:
+    """``H_{V^k}``: hyperedges are unions of at most *width* edges of *base*."""
+    edges = [e for e in base.edges if e]
+    unions = set(edges)
+    for size in range(2, width + 1):
+        for combo in combinations(edges, size):
+            merged: set = set()
+            for edge in combo:
+                merged.update(edge)
+            unions.add(frozenset(merged))
+    return Hypergraph(base.nodes, unions)
+
+
+def find_ghd_join_tree(base: Hypergraph, width: int,
+                       extra_cover: Optional[Hypergraph] = None
+                       ) -> Optional[JoinTree]:
+    """A join tree witnessing ``ghw(base) <= width`` (or ``None``).
+
+    With *extra_cover* given, the decomposition must additionally cover that
+    hypergraph's edges — the primitive underlying #-hypertree decompositions,
+    where *extra_cover* is the frontier hypergraph.
+    """
+    views = union_view_hypergraph(base, width)
+    to_cover = base if extra_cover is None else base.union(extra_cover)
+    nodes = to_cover.nodes
+    bags = candidate_bags(views, nodes)
+    return find_tree_projection(to_cover, bags)
+
+
+def generalized_hypertree_width(base: Hypergraph, max_width: Optional[int] = None
+                                ) -> int:
+    """Exact ``ghw`` by iterative deepening; raises if above *max_width*."""
+    edges = [e for e in base.edges if e]
+    if not edges:
+        return 0
+    ceiling = max_width if max_width is not None else len(edges)
+    for width in range(1, ceiling + 1):
+        if find_ghd_join_tree(base, width) is not None:
+            return width
+    raise DecompositionNotFoundError(
+        f"ghw exceeds {ceiling} for {base.describe()}"
+    )
+
+
+def ghd_of_query(query: ConjunctiveQuery, width: int) -> Optional[Hypertree]:
+    """A width-*width* GHD of the query's hypergraph, with atom covers.
+
+    Returns ``None`` when no decomposition of that width exists.  The
+    ``lambda`` labels are minimum atom covers, so the reported
+    :meth:`~repro.decomposition.hypertree.Hypertree.width` can be smaller
+    than *width* when the instance allows it.
+    """
+    tree = find_ghd_join_tree(query.hypergraph(), width)
+    if tree is None:
+        return None
+    decomposition = hypertree_from_join_tree(tree, query, max_cover=width)
+    if not decomposition.is_generalized_decomposition_of(query):
+        raise AssertionError("constructed GHD failed validation")  # pragma: no cover
+    return decomposition
+
+
+def is_width_witness(tree: JoinTree, base: Hypergraph, width: int) -> bool:
+    """Verify independently that a join tree witnesses ``ghw <= width``."""
+    if not tree.is_valid():
+        return False
+    bag_hypergraph = Hypergraph(base.nodes, tree.bags)
+    if not covers(base, bag_hypergraph):
+        return False
+    views = union_view_hypergraph(base, width)
+    return covers(bag_hypergraph, views)

@@ -1,0 +1,247 @@
+"""Plain hypertree decompositions in normal form (det-k-decomp; App. C).
+
+Generalized hypertree decompositions (the ``ghd`` module) drop the
+*descendant condition*; the original hypertree decompositions of [GLS99]
+keep it, which makes width-``k`` checkable in polynomial time for fixed
+``k``.  Appendix C's algorithmic results (Theorem C.5 in particular) are
+stated for hypertree decompositions in *normal form*, so the library needs
+a genuine HD search:
+
+``decompose(C, conn)`` — can the [conn]-component ``C`` be decomposed under
+a parent whose bag contains ``conn``?  Choose ``lambda`` (at most ``k``
+hyperedges), set ``chi = vars(lambda) ∩ (conn ∪ vars(C))`` (the normal-form
+choice that enforces the descendant condition), require ``conn ⊆ chi`` and
+progress into ``C``, and recurse on the [chi]-components of ``C``.
+Memoized on ``(C, conn)``: polynomially many states for fixed ``k``.
+
+The same recursion, aggregated with ``min``/``+`` instead of existence,
+yields minimum-weight decompositions — the weighted hypertree
+decompositions of [SGL07] that prove Theorem C.5 (see
+:func:`minimum_weight_hd`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..hypergraph.hypergraph import Hypergraph
+from ..query.atom import Atom
+from ..query.query import ConjunctiveQuery
+from .hypertree import Hypertree
+
+EdgeSet = FrozenSet[FrozenSet]
+
+#: Cost of one decomposition vertex, from (chi, lambda-edge-tuple).
+VertexCost = Callable[[FrozenSet, Tuple[FrozenSet, ...]], float]
+
+
+@dataclass
+class _Node:
+    chi: FrozenSet
+    lam: Tuple[FrozenSet, ...]
+    children: List["_Node"] = field(default_factory=list)
+
+
+class _HDSearcher:
+    """Memoized det-k-decomp, in decision or minimum-total-cost mode."""
+
+    def __init__(self, hypergraph: Hypergraph, width: int,
+                 vertex_cost: Optional[VertexCost] = None):
+        self.edges = sorted(
+            (e for e in hypergraph.edges if e),
+            key=lambda e: sorted(map(str, e)),
+        )
+        self.width = width
+        self.vertex_cost = vertex_cost
+        self._memo: Dict[Tuple[EdgeSet, FrozenSet],
+                         Optional[Tuple[float, _Node]]] = {}
+
+    def _lambda_choices(self):
+        for size in range(1, self.width + 1):
+            yield from combinations(self.edges, size)
+
+    def decompose(self, component: EdgeSet, conn: FrozenSet
+                  ) -> Optional[Tuple[float, _Node]]:
+        key = (component, conn)
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = None  # cycle guard while in progress
+        component_vars = frozenset().union(*component) - conn
+        scope = frozenset().union(*component) | conn
+        best: Optional[Tuple[float, _Node]] = None
+        for lam in self._lambda_choices():
+            lam_vars = frozenset().union(*lam)
+            chi = lam_vars & scope
+            if not conn <= chi:
+                continue
+            remaining = frozenset(e for e in component if not e <= chi)
+            if remaining and not (chi & component_vars):
+                continue  # no progress into the component
+            cost = (self.vertex_cost(chi, lam)
+                    if self.vertex_cost is not None else 0.0)
+            node = _Node(chi, lam)
+            total = cost
+            feasible = True
+            for child_edges, child_conn in _split(remaining, chi):
+                sub = self.decompose(child_edges, child_conn)
+                if sub is None:
+                    feasible = False
+                    break
+                total += sub[0]
+                node.children.append(sub[1])
+            if not feasible:
+                continue
+            if self.vertex_cost is None:
+                self._memo[key] = (0.0, node)
+                return self._memo[key]
+            if best is None or total < best[0]:
+                best = (total, node)
+        self._memo[key] = best
+        return best
+
+
+def _split(edges: EdgeSet, chi: FrozenSet
+           ) -> List[Tuple[EdgeSet, FrozenSet]]:
+    """[chi]-components of *edges*, with their connector variable sets."""
+    remaining = list(edges)
+    parent: Dict[object, object] = {}
+    for edge in remaining:
+        for variable in edge - chi:
+            parent.setdefault(variable, variable)
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for edge in remaining:
+        outside = [v for v in edge if v not in chi]
+        for i in range(len(outside) - 1):
+            ra, rb = find(outside[i]), find(outside[i + 1])
+            if ra != rb:
+                parent[ra] = rb
+    groups: Dict[object, List[FrozenSet]] = {}
+    for edge in remaining:
+        outside = [v for v in edge if v not in chi]
+        groups.setdefault(find(outside[0]), []).append(edge)
+    result = []
+    for root in sorted(groups, key=str):
+        child_edges = frozenset(groups[root])
+        child_conn = frozenset().union(*child_edges) & chi
+        result.append((child_edges, child_conn))
+    return result
+
+
+def _to_hypertree(roots: List[_Node], atom_for_edge) -> Hypertree:
+    chis: List[FrozenSet] = []
+    lams: List[Tuple[Atom, ...]] = []
+    tree_edges: List[Tuple[int, int]] = []
+
+    def visit(node: _Node) -> int:
+        index = len(chis)
+        chis.append(node.chi)
+        lams.append(tuple(atom_for_edge(e) for e in node.lam))
+        for child in node.children:
+            tree_edges.append((index, visit(child)))
+        return index
+
+    for root in roots:
+        visit(root)
+    return Hypertree(tuple(chis), tuple(lams), tuple(tree_edges))
+
+
+def _run(query: ConjunctiveQuery, width: int,
+         vertex_cost: Optional[VertexCost]
+         ) -> Optional[Tuple[float, Hypertree]]:
+    hypergraph = query.hypergraph()
+    searcher = _HDSearcher(hypergraph, width, vertex_cost)
+    all_edges = frozenset(e for e in hypergraph.edges if e)
+    if not all_edges:
+        return 0.0, Hypertree((), (), ())
+    roots: List[_Node] = []
+    total = 0.0
+    for component_edges, _conn in _split(all_edges, frozenset()):
+        result = searcher.decompose(component_edges, frozenset())
+        if result is None:
+            return None
+        total += result[0]
+        roots.append(result[1])
+    by_vars: Dict[FrozenSet, Atom] = {}
+    for atom in query.atoms_sorted():
+        by_vars.setdefault(atom.variable_set, atom)
+    return total, _to_hypertree(roots, lambda e: by_vars[e])
+
+
+def find_hypertree_decomposition(query: ConjunctiveQuery, width: int
+                                 ) -> Optional[Hypertree]:
+    """A width-*width* hypertree decomposition in normal form, or ``None``.
+
+    The result satisfies all four conditions of Appendix C, including the
+    descendant condition — validated in the test suite.
+    """
+    result = _run(query, width, None)
+    return result[1] if result is not None else None
+
+
+def hypertree_width(query: ConjunctiveQuery,
+                    max_width: Optional[int] = None) -> int:
+    """The (plain) hypertree width ``hw`` by iterative deepening.
+
+    ``ghw <= hw <= 3*ghw + 1`` ([AGG07], used in Theorem 1.3's proof).
+    """
+    from ..exceptions import DecompositionNotFoundError
+
+    ceiling = max_width if max_width is not None else len(query.atoms)
+    for width in range(1, ceiling + 1):
+        if find_hypertree_decomposition(query, width) is not None:
+            return width
+    raise DecompositionNotFoundError(
+        f"hypertree width of {query.name} exceeds {ceiling}"
+    )
+
+
+def minimum_weight_hd(query: ConjunctiveQuery, width: int,
+                      vertex_cost: VertexCost
+                      ) -> Optional[Tuple[float, Hypertree]]:
+    """A width-*width* normal-form HD minimizing the *sum* of vertex costs.
+
+    This is the weighted-hypertree-decomposition computation of [SGL07]
+    that Theorem C.5 reduces to; see
+    :func:`d_optimal_normal_form` for the D-optimality instantiation.
+    """
+    return _run(query, width, vertex_cost)
+
+
+def d_optimal_normal_form(query: ConjunctiveQuery, database, width: int
+                          ) -> Optional[Tuple[int, Hypertree]]:
+    """Theorem C.5: a D-optimal width-*width* HD over normal forms.
+
+    Uses the aggregate ``F_{Q,D}(HD) = sum_p (w+1)^{deg_D(free, p)}`` from
+    the theorem's proof: minimizing the sum forces the minimal maximum
+    degree because a single vertex of degree ``h`` outweighs every
+    decomposition whose degrees all stay below ``h`` (the proof's counting
+    argument, ``w`` = number of atoms).  Returns ``(bound, hypertree)``.
+    """
+    from .degree import degree_bound, degree_at_vertex, vertex_relation
+
+    base = len(query.atoms) + 1
+    free = query.free_variables
+    atom_for_edge: Dict[FrozenSet, Atom] = {}
+    for atom in query.atoms_sorted():
+        atom_for_edge.setdefault(atom.variable_set, atom)
+
+    def cost(chi: FrozenSet, lam: Tuple[FrozenSet, ...]) -> float:
+        cover = tuple(atom_for_edge[edge] for edge in lam)
+        relation = vertex_relation(chi, cover, database)
+        return float(base ** degree_at_vertex(relation, free))
+
+    result = minimum_weight_hd(query, width, cost)
+    if result is None:
+        return None
+    _total, decomposition = result
+    bound = degree_bound(decomposition, database, free)
+    return bound, decomposition

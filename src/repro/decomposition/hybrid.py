@@ -1,0 +1,170 @@
+"""Hybrid #b-(generalized) hypertree decompositions (Section 6).
+
+A width-``k`` #b-generalized hypertree decomposition of ``Q`` w.r.t. ``D``
+(Definition 6.4) is a pair ``(HD, S)`` where ``S`` is a set of *pseudo-free*
+variables containing ``free(Q)`` such that:
+
+1. ``HD`` is a width-``k`` #-generalized hypertree decomposition of
+   ``Q[S]`` (the query re-quantified so that ``S`` is its output), and
+2. the degree of the *actual* free variables in the ``chi ∩ S``-restricted
+   vertex relations is at most ``b``.
+
+Promoting low-degree existential variables (keys, quasi-keys) to pseudo-free
+status can dissolve frontier cliques that block purely structural methods —
+Example 6.3 is the canonical witness, reproduced in the benchmarks.
+
+:func:`find_hybrid_decomposition` implements the FPT search of Theorem 6.7:
+it enumerates candidate pseudo-free sets and, for each, runs a
+min-bottleneck tree-projection search whose bag cost is the achievable
+degree, returning the decomposition with the least degree bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..consistency.views import hypertree_view_set
+from ..db.database import Database
+from ..exceptions import DecompositionNotFoundError
+from ..homomorphism.core import core_pair
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+from .degree import _BagDegreeCost
+from .ghd import union_view_hypergraph
+from .sharp import SharpDecomposition, sharp_cover_hypergraph, _witness_view
+from .tree_projection import candidate_bags, find_min_cost_tree_projection
+
+#: Refuse exhaustive pseudo-free enumeration beyond this many existential
+#: variables (2^n subsets); callers must then pass explicit candidates.
+MAX_ENUMERATED_EXISTENTIALS = 14
+
+
+@dataclass(frozen=True)
+class HybridDecomposition:
+    """A #b-generalized hypertree decomposition ``(HD, S)``."""
+
+    query: ConjunctiveQuery
+    pseudo_free: FrozenSet[Variable]
+    sharp: SharpDecomposition
+    degree: int
+
+    def width(self) -> int:
+        """The width of the underlying #-decomposition."""
+        return self.sharp.width()
+
+
+def evaluate_pseudo_free(query: ConjunctiveQuery, database: Database,
+                         width: int, pseudo_free: Iterable[Variable],
+                         max_degree: float = math.inf
+                         ) -> Optional[HybridDecomposition]:
+    """Best (least-degree) #b-decomposition for one pseudo-free set ``S``.
+
+    Returns ``None`` if ``Q[S]`` has no width-*width* #-hypertree
+    decomposition whose restricted degree stays within *max_degree*.
+    """
+    pseudo_free = frozenset(pseudo_free)
+    if not query.free_variables <= pseudo_free:
+        raise ValueError("pseudo-free set must contain the free variables")
+    requantified = query.with_free(pseudo_free, name=f"{query.name}[S]")
+    colored, core = core_pair(requantified)
+    to_cover = sharp_cover_hypergraph(requantified, colored)
+    views_hg = union_view_hypergraph(query.hypergraph(), width)
+    bags = candidate_bags(views_hg, to_cover.nodes)
+    cost = _BagDegreeCost(
+        query, database, width,
+        free=query.free_variables, restrict_to=pseudo_free,
+    )
+    result = find_min_cost_tree_projection(to_cover, bags, cost,
+                                           cost_budget=max_degree)
+    if result is None:
+        return None
+    bottleneck, tree = result
+    views = hypertree_view_set(query, width)
+    sharp = SharpDecomposition(
+        query=requantified,
+        colored_core=colored,
+        core=core,
+        tree=tree,
+        views=views,
+        bag_views=tuple(_witness_view(views, bag) for bag in tree.bags),
+    )
+    return HybridDecomposition(
+        query=query,
+        pseudo_free=pseudo_free,
+        sharp=sharp,
+        degree=max(int(bottleneck), 1),
+    )
+
+
+def quick_pseudo_free_candidates(query: ConjunctiveQuery
+                                 ) -> List[FrozenSet[Variable]]:
+    """A linear-size candidate list for time-budgeted hybrid searches.
+
+    The exhaustive Theorem 6.7 search enumerates all ``2^n`` supersets of
+    the free variables; the counting *engine* only needs some decomposition
+    within its degree budget, so it probes: the free set itself, each
+    single promotion, the full promotion, and each full-minus-one
+    promotion.  Optimality is not guaranteed — use
+    :func:`find_hybrid_decomposition` without *candidates* for the paper's
+    exact minimum.
+    """
+    free = query.free_variables
+    existential = sorted(query.existential_variables, key=lambda v: v.name)
+    candidates: List[FrozenSet[Variable]] = [free]
+    candidates.extend(free | {v} for v in existential)
+    if len(existential) > 1:
+        full = free | frozenset(existential)
+        candidates.extend(full - {v} for v in existential)
+        candidates.append(full)
+    elif existential:
+        candidates.append(free | frozenset(existential))
+    seen: set = set()
+    unique = []
+    for candidate in candidates:
+        if candidate not in seen:
+            seen.add(candidate)
+            unique.append(candidate)
+    return unique
+
+
+def find_hybrid_decomposition(query: ConjunctiveQuery, database: Database,
+                              width: int,
+                              candidates: Optional[Iterable[FrozenSet[Variable]]] = None,
+                              max_degree: float = math.inf
+                              ) -> Optional[HybridDecomposition]:
+    """The FPT search of Theorem 6.7: a width-*width* #b-GHD of *query*
+    w.r.t. *database* with the minimum achievable degree value ``b``.
+
+    *candidates* optionally restricts the pseudo-free sets to probe; by
+    default every superset of ``free(Q)`` is enumerated (FPT in the query
+    size), smallest first so that ties in the degree prefer fewer promoted
+    variables.
+    """
+    if candidates is None:
+        existential = sorted(query.existential_variables, key=lambda v: v.name)
+        if len(existential) > MAX_ENUMERATED_EXISTENTIALS:
+            raise DecompositionNotFoundError(
+                f"{len(existential)} existential variables exceed the "
+                "exhaustive enumeration limit; pass explicit candidates"
+            )
+        candidates = (
+            query.free_variables | frozenset(extra)
+            for size in range(len(existential) + 1)
+            for extra in combinations(existential, size)
+        )
+    best: Optional[HybridDecomposition] = None
+    budget = max_degree
+    for pseudo_free in candidates:
+        found = evaluate_pseudo_free(query, database, width, pseudo_free,
+                                     max_degree=budget)
+        if found is None:
+            continue
+        if best is None or found.degree < best.degree:
+            best = found
+            budget = min(budget, best.degree)  # bound later probes
+            if best.degree <= 1:
+                break  # cannot improve on degree 1
+    return best

@@ -1,0 +1,178 @@
+"""Hypertrees and (generalized) hypertree decompositions (Section 2, App. C).
+
+A *hypertree* for a query ``Q`` is a triple ``(T, chi, lambda)``: a rooted
+tree whose vertices carry a set of variables ``chi(p)`` and a set of atoms
+``lambda(p)``.  A *generalized hypertree decomposition* (GHD) additionally
+satisfies:
+
+1. every atom's variables are contained in some ``chi(p)``;
+2. for every variable, the vertices whose ``chi`` contains it induce a
+   connected subtree;
+3. ``chi(p) <= vars(lambda(p))`` for every vertex.
+
+A (plain) *hypertree decomposition* also satisfies the descendant condition
+(4): ``vars(lambda(p)) ∩ chi(T_p) <= chi(p)``.  The width is the maximum
+``|lambda(p)|``.  A decomposition is *complete* when every atom appears in
+some ``lambda(p)`` — the form required by the Figure 13 algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import DecompositionError
+from ..hypergraph.acyclicity import JoinTree
+from ..query.atom import Atom
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+
+
+@dataclass(frozen=True)
+class Hypertree:
+    """An immutable hypertree ``(T, chi, lambda)``.
+
+    ``tree_edges`` is an undirected forest over vertex indices
+    ``0..len(chis)-1``; vertex 0 of each component acts as its root.
+    """
+
+    chis: Tuple[FrozenSet[Variable], ...]
+    lams: Tuple[Tuple[Atom, ...], ...]
+    tree_edges: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.chis) != len(self.lams):
+            raise DecompositionError("chi and lambda labelings differ in length")
+
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices of the decomposition tree."""
+        return len(self.chis)
+
+    def width(self) -> int:
+        """The width: maximum ``|lambda(p)|`` over the vertices."""
+        return max((len(lam) for lam in self.lams), default=0)
+
+    def join_tree(self) -> JoinTree:
+        """The underlying join tree over the ``chi`` bags."""
+        return JoinTree(self.chis, self.tree_edges)
+
+    def chi_restricted(self, keep: Iterable[Variable]) -> "Hypertree":
+        """The hypertree with ``chi_S(p) = chi(p) ∩ S`` (Definition 6.4)."""
+        keep = frozenset(keep)
+        return Hypertree(
+            tuple(chi & keep for chi in self.chis), self.lams, self.tree_edges
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def is_generalized_decomposition_of(self, query: ConjunctiveQuery) -> bool:
+        """Check GHD conditions (1)-(3) for *query*."""
+        for atom in query.atoms:
+            if not any(atom.variable_set <= chi for chi in self.chis):
+                return False
+        if not self.join_tree().is_valid():
+            return False
+        for chi, lam in zip(self.chis, self.lams):
+            lam_vars: set = set()
+            for atom in lam:
+                lam_vars.update(atom.variables)
+            if not chi <= lam_vars:
+                return False
+        return True
+
+    def satisfies_descendant_condition(self) -> bool:
+        """GHD condition (4): ``vars(lambda(p)) ∩ chi(T_p) <= chi(p)``."""
+        tree = self.join_tree()
+        subtree_vars: List[set] = [set(chi) for chi in self.chis]
+        for vertex, parent, children in tree.rooted_orders():
+            for child in children:
+                subtree_vars[vertex] |= subtree_vars[child]
+        for vertex, (chi, lam) in enumerate(zip(self.chis, self.lams)):
+            lam_vars: set = set()
+            for atom in lam:
+                lam_vars.update(atom.variables)
+            if not (lam_vars & subtree_vars[vertex]) <= set(chi):
+                return False
+        return True
+
+    def is_complete_for(self, query: ConjunctiveQuery) -> bool:
+        """Every atom of *query* occurs in some ``lambda(p)``."""
+        placed = {atom for lam in self.lams for atom in lam}
+        return query.atoms <= placed
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def completed_for(self, query: ConjunctiveQuery) -> "Hypertree":
+        """A complete decomposition: attach a leaf per unplaced atom.
+
+        Follows the proof of Theorem 6.2: for each atom ``q`` not in any
+        ``lambda(p)``, pick a vertex ``p_q`` with ``vars(q) <= chi(p_q)``
+        (condition (1) guarantees one) and hang a fresh child with
+        ``chi = vars(q)``, ``lambda = {q}`` below it.
+        """
+        placed = {atom for lam in self.lams for atom in lam}
+        chis = list(self.chis)
+        lams = list(self.lams)
+        edges = list(self.tree_edges)
+        for atom in sorted(query.atoms - placed, key=repr):
+            host = next(
+                (i for i, chi in enumerate(self.chis)
+                 if atom.variable_set <= chi),
+                None,
+            )
+            if host is None:
+                raise DecompositionError(
+                    f"atom {atom!r} is not covered by any chi bag; "
+                    "not a decomposition of the query"
+                )
+            chis.append(atom.variable_set)
+            lams.append((atom,))
+            edges.append((host, len(chis) - 1))
+        return Hypertree(tuple(chis), tuple(lams), tuple(edges))
+
+
+def minimal_atom_cover(bag: FrozenSet[Variable], atoms: Sequence[Atom],
+                       max_size: Optional[int] = None
+                       ) -> Optional[Tuple[Atom, ...]]:
+    """A minimum-cardinality set of atoms whose variables cover *bag*.
+
+    Exact search by increasing cover size (bags and atom counts are small at
+    library scale); ``None`` if no cover of size ``<= max_size`` exists.
+    """
+    relevant = [a for a in atoms if a.variable_set & bag]
+    if not bag:
+        return ()
+    limit = max_size if max_size is not None else len(relevant)
+    for size in range(1, limit + 1):
+        for combo in combinations(relevant, size):
+            covered: set = set()
+            for atom in combo:
+                covered.update(atom.variables)
+            if bag <= covered:
+                return combo
+    return None
+
+
+def hypertree_from_join_tree(tree: JoinTree, query: ConjunctiveQuery,
+                             max_cover: Optional[int] = None) -> Hypertree:
+    """Equip a join tree over variable bags with ``lambda`` labels.
+
+    Each bag gets a minimum atom cover from the query; raises if some bag
+    cannot be covered within *max_cover* atoms.
+    """
+    atoms = query.atoms_sorted()
+    lams: List[Tuple[Atom, ...]] = []
+    for bag in tree.bags:
+        cover = minimal_atom_cover(bag, atoms, max_size=max_cover)
+        if cover is None:
+            raise DecompositionError(
+                f"bag {sorted(map(str, bag))} has no atom cover of size "
+                f"<= {max_cover}"
+            )
+        lams.append(cover)
+    return Hypertree(tuple(tree.bags), tuple(lams), tuple(tree.edges))

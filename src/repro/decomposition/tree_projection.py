@@ -1,0 +1,250 @@
+"""Tree projections (paper, Section 2; Theorem 3.6).
+
+A *tree projection* of ``H1`` with respect to ``H2`` is an acyclic hypergraph
+``Ha`` with ``H1 <= Ha <= H2``.  Deciding its existence is NP-hard in
+general but fixed-parameter tractable in ``|nodes(H1)|`` ([GS17b], used by
+Theorem 3.6); this module implements that FPT algorithm:
+
+* candidate bags are the subsets of ``e ∩ nodes(H1)`` over hyperedges ``e``
+  of ``H2`` (any bag of a tree projection can be restricted to ``nodes(H1)``
+  and is contained in some ``H2`` edge, so this bag set is complete);
+* a memoized recursive search in component normal form picks, for each
+  subproblem ``(edges-to-cover, interface)``, a bag containing the interface
+  and recurses on the [bag]-components of the remaining edges.
+
+Each chosen bag is pruned to the variables of its subproblem, which both
+shrinks the search and guarantees the connectedness condition of the
+resulting join tree by construction; the result is verified anyway.
+
+A min-bottleneck variant (:func:`find_min_cost_tree_projection`) minimizes
+the maximum of a user-supplied bag cost over the decomposition's vertices —
+the engine behind D-optimal decompositions (Theorem C.5) and the hybrid
+search of Theorem 6.7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..exceptions import DecompositionError
+from ..hypergraph.acyclicity import JoinTree
+from ..hypergraph.hypergraph import Hypergraph
+
+Bag = FrozenSet
+EdgeSet = FrozenSet[FrozenSet]
+
+#: Bags larger than this are not subset-expanded (the closure would explode);
+#: only the full bag is kept.  All paper instances stay far below the limit.
+SUBSET_CLOSURE_LIMIT = 14
+
+
+def candidate_bags(view_hypergraph: Hypergraph, nodes: Iterable,
+                   subset_closure: bool = True,
+                   closure_limit: int = SUBSET_CLOSURE_LIMIT
+                   ) -> FrozenSet[Bag]:
+    """All candidate bags for a tree projection of a hypergraph on *nodes*.
+
+    With *subset_closure* (the default, required for completeness of exact
+    generalized-hypertree-width computation) every non-empty subset of
+    ``e ∩ nodes`` is a candidate; edges whose restriction exceeds
+    *closure_limit* contribute only the full restriction.
+    """
+    nodes = frozenset(nodes)
+    bags: set = set()
+    for edge in view_hypergraph.edges:
+        base = frozenset(edge) & nodes
+        if not base:
+            continue
+        bags.add(base)
+        if subset_closure and len(base) <= closure_limit:
+            members = sorted(base, key=str)
+            size = len(members)
+            for mask in range(1, 1 << size):
+                bags.add(frozenset(
+                    members[i] for i in range(size) if mask & (1 << i)
+                ))
+    return frozenset(bags)
+
+
+@dataclass
+class _TreeNode:
+    bag: Bag
+    children: List["_TreeNode"] = field(default_factory=list)
+
+
+def _vars_of(edges: Iterable[FrozenSet]) -> FrozenSet:
+    result: set = set()
+    for edge in edges:
+        result.update(edge)
+    return frozenset(result)
+
+
+def _split_components(edges: Iterable[FrozenSet], bag: Bag
+                      ) -> List[Tuple[EdgeSet, FrozenSet]]:
+    """[bag]-components of the given edges: (edge set, node set) pairs."""
+    edges = list(edges)
+    outside_vars = _vars_of(edges) - bag
+    parent: Dict[object, object] = {v: v for v in outside_vars}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for edge in edges:
+        visible = [v for v in edge if v not in bag]
+        for i in range(len(visible) - 1):
+            ra, rb = find(visible[i]), find(visible[i + 1])
+            if ra != rb:
+                parent[ra] = rb
+    groups: Dict[object, List[FrozenSet]] = {}
+    nodes: Dict[object, set] = {}
+    for edge in edges:
+        visible = [v for v in edge if v not in bag]
+        root = find(visible[0])  # every remaining edge has a var outside bag
+        groups.setdefault(root, []).append(edge)
+        nodes.setdefault(root, set()).update(visible)
+    return [
+        (frozenset(groups[root]), frozenset(nodes[root]))
+        for root in sorted(groups, key=str)
+    ]
+
+
+class _Searcher:
+    """Shared memoized search used by both the decision and min-cost modes."""
+
+    def __init__(self, bags: Iterable[Bag],
+                 bag_cost: Optional[Callable[[Bag], float]] = None,
+                 cost_budget: float = math.inf):
+        self.bags = sorted(set(bags), key=lambda b: (-len(b), sorted(map(str, b))))
+        self.bag_cost = bag_cost
+        self.cost_budget = cost_budget
+        self._memo: Dict[Tuple[EdgeSet, FrozenSet],
+                         Optional[Tuple[float, _TreeNode]]] = {}
+        self._cost_cache: Dict[Bag, float] = {}
+
+    def _cost(self, bag: Bag) -> float:
+        if self.bag_cost is None:
+            return 0.0
+        if bag not in self._cost_cache:
+            self._cost_cache[bag] = self.bag_cost(bag)
+        return self._cost_cache[bag]
+
+    def solve(self, edges: EdgeSet, interface: FrozenSet
+              ) -> Optional[Tuple[float, _TreeNode]]:
+        """Best (min bottleneck cost) subtree covering *edges*, rooted at a
+        bag containing *interface*; ``None`` if impossible."""
+        key = (edges, interface)
+        if key in self._memo:
+            return self._memo[key]
+        scope = _vars_of(edges) | interface
+        component_vars = scope - interface
+        best: Optional[Tuple[float, _TreeNode]] = None
+        seen_effective: set = set()
+        for raw_bag in self.bags:
+            if not interface <= raw_bag:
+                continue
+            bag = raw_bag & scope
+            if bag in seen_effective:
+                continue
+            seen_effective.add(bag)
+            remaining = frozenset(e for e in edges if not e <= bag)
+            if remaining and not (bag & component_vars):
+                continue  # no progress: would recurse on the same subproblem
+            cost = self._cost(bag)
+            if cost > self.cost_budget:
+                continue
+            node = _TreeNode(bag)
+            bottleneck = cost
+            feasible = True
+            for comp_edges, comp_nodes in _split_components(remaining, bag):
+                child_interface = (_vars_of(comp_edges) & bag)
+                sub = self.solve(comp_edges, child_interface)
+                if sub is None:
+                    feasible = False
+                    break
+                bottleneck = max(bottleneck, sub[0])
+                node.children.append(sub[1])
+            if not feasible:
+                continue
+            if self.bag_cost is None:
+                self._memo[key] = (bottleneck, node)
+                return self._memo[key]
+            if best is None or bottleneck < best[0]:
+                best = (bottleneck, node)
+        self._memo[key] = best
+        return best
+
+
+def _to_join_tree(root: _TreeNode) -> JoinTree:
+    bags: List[Bag] = []
+    edges: List[Tuple[int, int]] = []
+
+    def visit(node: _TreeNode) -> int:
+        index = len(bags)
+        bags.append(node.bag)
+        for child in node.children:
+            child_index = visit(child)
+            edges.append((index, child_index))
+        return index
+
+    visit(root)
+    return JoinTree(tuple(bags), tuple(edges))
+
+
+def find_tree_projection(to_cover: Hypergraph, bags: Iterable[Bag]
+                         ) -> Optional[JoinTree]:
+    """A join tree of an acyclic hypergraph sandwiched between *to_cover* and
+    the hypergraph whose (subset-closed) edges are *bags*; ``None`` if none
+    exists.  The returned join tree's bag hypergraph is the tree projection.
+    """
+    edges = frozenset(e for e in to_cover.edges if e)
+    if not edges:
+        return JoinTree((frozenset(),), ())
+    searcher = _Searcher(bags)
+    result = searcher.solve(edges, frozenset())
+    if result is None:
+        return None
+    tree = _to_join_tree(result[1])
+    if not tree.is_valid():  # pragma: no cover - defensive
+        raise DecompositionError("search produced an invalid join tree")
+    return tree
+
+
+def find_min_cost_tree_projection(to_cover: Hypergraph, bags: Iterable[Bag],
+                                  bag_cost: Callable[[Bag], float],
+                                  cost_budget: float = math.inf
+                                  ) -> Optional[Tuple[float, JoinTree]]:
+    """Tree projection minimizing the maximum bag cost (min-bottleneck).
+
+    Bags whose cost exceeds *cost_budget* are discarded outright.  Returns
+    ``(bottleneck_cost, join_tree)`` or ``None``.
+    """
+    edges = frozenset(e for e in to_cover.edges if e)
+    if not edges:
+        return 0.0, JoinTree((frozenset(),), ())
+    searcher = _Searcher(bags, bag_cost=bag_cost, cost_budget=cost_budget)
+    result = searcher.solve(edges, frozenset())
+    if result is None:
+        return None
+    cost, node = result
+    tree = _to_join_tree(node)
+    if not tree.is_valid():  # pragma: no cover - defensive
+        raise DecompositionError("search produced an invalid join tree")
+    return cost, tree
+
+
+def has_tree_projection(h1: Hypergraph, h2: Hypergraph,
+                        subset_closure: bool = True) -> bool:
+    """Does the pair ``(H1, H2)`` have a tree projection?"""
+    return tree_projection(h1, h2, subset_closure=subset_closure) is not None
+
+
+def tree_projection(h1: Hypergraph, h2: Hypergraph,
+                    subset_closure: bool = True) -> Optional[JoinTree]:
+    """Find a tree projection for ``(H1, H2)`` (or ``None``)."""
+    bags = candidate_bags(h2, h1.nodes, subset_closure=subset_closure)
+    return find_tree_projection(h1, bags)

@@ -1,0 +1,33 @@
+"""Answer counting under database updates.
+
+Berkholz, Keppeler and Schweikardt [BKS17, BKS18] (paper Section 1.3)
+study the *dynamic* variant of the counting problem: maintain
+``count(Q, D)`` while tuples are inserted into and deleted from ``D``,
+spending far less per update than a recount from scratch.
+
+This subpackage implements the tractable heart of that line of work:
+
+* :mod:`repro.dynamic.updates` — the update vocabulary (:class:`Insert`,
+  :class:`Delete`) and an applier producing updated immutable databases;
+* :mod:`repro.dynamic.maintainer` — :class:`IncrementalCounter`, a
+  materialized join-tree dynamic program over an acyclic quantifier-free
+  query whose per-tuple update cost is proportional to the affected
+  root-to-leaf path instead of the whole database.
+
+Queries with existential variables first go through the paper's Theorem
+3.7 reduction to a quantifier-free acyclic instance; the maintainer
+handles the resulting instance directly when the reduction's bag relations
+are per-atom (the free-connex-style cases); otherwise a recount is the
+honest fallback, matching the dichotomy of [BKS17].
+"""
+
+from .maintainer import IncrementalCounter
+from .updates import Delete, Insert, Update, apply_update
+
+__all__ = [
+    "IncrementalCounter",
+    "Insert",
+    "Delete",
+    "Update",
+    "apply_update",
+]

@@ -1,0 +1,242 @@
+"""Incremental maintenance of answer counts ([BKS17]-style).
+
+:class:`IncrementalCounter` materializes the join-tree counting dynamic
+program of an acyclic quantifier-free query and keeps it consistent under
+single-tuple updates:
+
+* per vertex: the matched rows of each of its atoms, the bag relation
+  (their intersection-join), and the DP count of every bag row;
+* per tree edge: the aggregated child counts keyed by the shared
+  variables.
+
+One update touches the atoms over the updated relation; the affected
+vertices recompute their local state and the change propagates along the
+paths to the roots — every vertex off those paths is untouched.  The
+per-update cost is ``O(depth x bag size)`` instead of the full recount's
+``O(total database size)``, which is the practical content of the
+dynamic-counting results the paper cites.
+
+Scope: quantifier-free acyclic queries, each bag covering atoms with the
+same variable set (exactly the instances
+:func:`repro.counting.acyclic.count_acyclic` accepts).  For queries with
+existential variables, reduce via Theorem 3.7 first or fall back to a
+recount — the [BKS17] dichotomy says no better is possible in general.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..db.database import Database
+from ..exceptions import NotAcyclicError
+from ..hypergraph.acyclicity import require_join_tree
+from ..query.atom import Atom
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+from .updates import Insert, Update
+
+Row = Tuple[Hashable, ...]
+
+
+def _atom_match(atom: Atom, row: Row) -> Optional[Row]:
+    """The bag row this relation *row* contributes through *atom*.
+
+    ``None`` if the row fails the atom's constant / repeated-variable
+    pattern.  The returned row follows the atom's sorted variable schema.
+    """
+    binding: Dict[Variable, Hashable] = {}
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Variable):
+            if term in binding:
+                if binding[term] != value:
+                    return None
+            else:
+                binding[term] = value
+        elif term.value != value:
+            return None
+    schema = sorted(binding, key=lambda v: v.name)
+    return tuple(binding[v] for v in schema)
+
+
+class _Vertex:
+    """Mutable per-vertex state of the materialized DP."""
+
+    __slots__ = ("index", "schema", "atoms", "atom_rows", "parent",
+                 "children", "counts", "shared_with_parent")
+
+    def __init__(self, index: int, schema: Tuple[Variable, ...],
+                 atoms: List[Atom]):
+        self.index = index
+        self.schema = schema
+        self.atoms = atoms
+        #: Multiset of bag rows contributed per atom (an atom over a
+        #: relation with duplicates patterns may map several relation rows
+        #: to one bag row).
+        self.atom_rows: List[Dict[Row, int]] = [dict() for _ in atoms]
+        self.parent: Optional[int] = None
+        self.children: List[int] = []
+        self.counts: Dict[Row, int] = {}
+        self.shared_with_parent: Tuple[int, ...] = ()
+
+    def bag_rows(self) -> Set[Row]:
+        """Rows present in *every* atom's match set (the bag relation)."""
+        if not self.atom_rows:
+            return set()
+        smallest = min(self.atom_rows, key=len)
+        return {
+            row for row in smallest
+            if all(row in other for other in self.atom_rows)
+        }
+
+
+class IncrementalCounter:
+    """Maintain ``count(Q, D)`` under single-tuple updates.
+
+    >>> counter = IncrementalCounter(query, database)
+    >>> counter.count
+    42
+    >>> counter.apply(Insert("r", (1, 2)))
+    >>> counter.count   # updated incrementally
+    45
+    """
+
+    def __init__(self, query: ConjunctiveQuery, database: Database):
+        if not query.is_quantifier_free():
+            raise NotAcyclicError(
+                "IncrementalCounter requires a quantifier-free query; "
+                "reduce via the Theorem 3.7 pipeline first"
+            )
+        self.query = query
+        tree = require_join_tree(query.hypergraph())
+        self._vertices: List[_Vertex] = []
+        self._atoms_by_relation: Dict[str, List[Tuple[int, int]]] = {}
+        grouped: Dict[frozenset, List[Atom]] = {}
+        for atom in query.atoms_sorted():
+            grouped.setdefault(atom.variable_set, []).append(atom)
+        for index, bag in enumerate(tree.bags):
+            schema = tuple(sorted(bag, key=lambda v: v.name))
+            vertex = _Vertex(index, schema, grouped[bag])
+            self._vertices.append(vertex)
+            for atom_index, atom in enumerate(vertex.atoms):
+                self._atoms_by_relation.setdefault(
+                    atom.relation, []
+                ).append((index, atom_index))
+        self._wire_tree(tree)
+        self._load(database)
+        self._recompute_all()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _wire_tree(self, tree) -> None:
+        self._order = tree.rooted_orders()  # post-order, children first
+        self._roots: List[int] = []
+        for vertex_index, parent, children in self._order:
+            vertex = self._vertices[vertex_index]
+            vertex.parent = parent
+            vertex.children = list(children)
+            if parent is None:
+                self._roots.append(vertex_index)
+            else:
+                parent_schema = set(self._vertices[parent].schema)
+                shared = tuple(
+                    i for i, v in enumerate(vertex.schema)
+                    if v in parent_schema
+                )
+                vertex.shared_with_parent = shared
+
+    def _load(self, database: Database) -> None:
+        for vertex in self._vertices:
+            for atom_index, atom in enumerate(vertex.atoms):
+                matches = vertex.atom_rows[atom_index]
+                for db_row in database[atom.relation]:
+                    bag_row = _atom_match(atom, db_row)
+                    if bag_row is not None:
+                        matches[bag_row] = matches.get(bag_row, 0) + 1
+
+    # ------------------------------------------------------------------
+    # The DP
+    # ------------------------------------------------------------------
+    def _child_aggregate(self, child: _Vertex) -> Dict[Row, int]:
+        """Child counts summed over the variables shared with the parent."""
+        aggregate: Dict[Row, int] = {}
+        positions = child.shared_with_parent
+        for row, count in child.counts.items():
+            key = tuple(row[i] for i in positions)
+            aggregate[key] = aggregate.get(key, 0) + count
+        return aggregate
+
+    def _recompute_vertex(self, index: int) -> None:
+        vertex = self._vertices[index]
+        aggregates = []
+        for child_index in vertex.children:
+            child = self._vertices[child_index]
+            shared_vars = tuple(
+                child.schema[i] for i in child.shared_with_parent
+            )
+            my_positions = tuple(
+                vertex.schema.index(v) for v in shared_vars
+            )
+            aggregates.append((my_positions, self._child_aggregate(child)))
+        vertex.counts = {}
+        for row in vertex.bag_rows():
+            total = 1
+            for positions, aggregate in aggregates:
+                key = tuple(row[i] for i in positions)
+                total *= aggregate.get(key, 0)
+                if total == 0:
+                    break
+            if total:
+                vertex.counts[row] = total
+
+    def _recompute_all(self) -> None:
+        for vertex_index, _parent, _children in self._order:
+            self._recompute_vertex(vertex_index)
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """The current answer count."""
+        total = 1
+        for root in self._roots:
+            total *= sum(self._vertices[root].counts.values())
+        return total
+
+    def apply(self, update: Update) -> None:
+        """Apply one insert/delete and repair the DP along affected paths."""
+        touched = self._atoms_by_relation.get(update.relation, ())
+        dirty: Set[int] = set()
+        for vertex_index, atom_index in touched:
+            vertex = self._vertices[vertex_index]
+            atom = vertex.atoms[atom_index]
+            bag_row = _atom_match(atom, update.row)
+            if bag_row is None:
+                continue
+            matches = vertex.atom_rows[atom_index]
+            if isinstance(update, Insert):
+                matches[bag_row] = matches.get(bag_row, 0) + 1
+            else:
+                remaining = matches.get(bag_row, 0) - 1
+                if remaining > 0:
+                    matches[bag_row] = remaining
+                else:
+                    matches.pop(bag_row, None)
+            dirty.add(vertex_index)
+        # Propagate: recompute each dirty vertex and its ancestors, in
+        # post-order so children are repaired before their parents.
+        affected: Set[int] = set()
+        for vertex_index in dirty:
+            current: Optional[int] = vertex_index
+            while current is not None and current not in affected:
+                affected.add(current)
+                current = self._vertices[current].parent
+        for vertex_index, _parent, _children in self._order:
+            if vertex_index in affected:
+                self._recompute_vertex(vertex_index)
+
+    def apply_many(self, updates) -> None:
+        """Apply a sequence of updates."""
+        for update in updates:
+            self.apply(update)

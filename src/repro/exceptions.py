@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Errors are deliberately fine-grained: decomposition
+search failures, malformed queries and illegal databases are different
+situations that callers typically want to handle differently.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed (arity mismatch, bad free variables...)."""
+
+
+class ParseError(QueryError):
+    """A textual query could not be parsed."""
+
+
+class DatabaseError(ReproError):
+    """A database is inconsistent with the vocabulary it is used with."""
+
+
+class ArityMismatchError(DatabaseError):
+    """A tuple's length does not match the arity of its relation."""
+
+
+class SchemaError(ReproError):
+    """A relational-algebra operation was applied to incompatible schemas."""
+
+
+class DecompositionError(ReproError):
+    """A decomposition object is structurally invalid."""
+
+
+class DecompositionNotFoundError(DecompositionError):
+    """No decomposition of the requested kind/width exists."""
+
+
+class NotAcyclicError(DecompositionError):
+    """An operation requiring an acyclic hypergraph received a cyclic one."""
+
+
+class IllegalDatabaseError(DatabaseError):
+    """A view database violates the legality conditions of Section 3."""

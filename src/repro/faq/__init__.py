@@ -1,0 +1,58 @@
+"""Functional aggregate queries (FAQ) and the Inside-Out algorithm.
+
+The paper's related-work section (Section 1.3) and conclusion (Section 7)
+single out the *Inside-Out* algorithm of Khamis, Ngo and Rudra [KNR16] as
+the main algorithmic comparator: it evaluates functional aggregate queries
+by variable elimination and can count answers of a conjunctive query when
+run with per-variable aggregates — Boolean ("does a witness exist?") for the
+existential variables and sum for the free ones.  Its runtime is governed
+by the *FAQ-width* of the chosen variable order and, in contrast to the
+#-hypertree approach of the paper, is superpolynomial in the query size.
+
+This subpackage implements that comparator from scratch:
+
+* :mod:`repro.faq.factor` — valued relations (semiring-annotated
+  substitution sets), the multiply/marginalize kernel of variable
+  elimination;
+* :mod:`repro.faq.ordering` — elimination orders: validity for #CQ
+  semantics, greedy heuristics (min-degree, min-fill), exhaustive optimal
+  search, and the induced width of an order;
+* :mod:`repro.faq.insideout` — the Inside-Out evaluation loop, the #CQ
+  entry point :func:`count_insideout`, and a general semiring entry point.
+"""
+
+from .factor import Factor
+from .insideout import (
+    InsideOutReport,
+    count_insideout,
+    evaluate_faq,
+    insideout_report,
+)
+from .order_search import (
+    optimal_elimination_order,
+    optimal_induced_width,
+)
+from .ordering import (
+    best_elimination_order,
+    elimination_order_is_valid,
+    fractional_induced_width,
+    induced_width,
+    min_degree_order,
+    min_fill_order,
+)
+
+__all__ = [
+    "Factor",
+    "InsideOutReport",
+    "count_insideout",
+    "evaluate_faq",
+    "insideout_report",
+    "best_elimination_order",
+    "elimination_order_is_valid",
+    "fractional_induced_width",
+    "induced_width",
+    "min_degree_order",
+    "min_fill_order",
+    "optimal_elimination_order",
+    "optimal_induced_width",
+]

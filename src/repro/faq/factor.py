@@ -1,0 +1,233 @@
+"""Semiring-valued factors for variable elimination.
+
+A :class:`Factor` is a finite map from tuples over a sorted schema of
+variables to values of a commutative semiring — the FAQ literature's
+"factor" ``psi_S : prod_{v in S} Dom(v) -> R``.  Rows that are absent map
+implicitly to the semiring zero, so factors stay sparse: only the support
+is stored.
+
+Two operations drive Inside-Out:
+
+* :meth:`Factor.multiply` — the semiring join: rows agreeing on the shared
+  variables combine, values multiply;
+* :meth:`Factor.marginalize` — eliminate one variable by ``plus``-ing the
+  values of rows that agree everywhere else.
+
+Both preserve the sorted-schema invariant of
+:class:`repro.db.algebra.SubstitutionSet`, and :meth:`Factor.support`
+round-trips back to a substitution set, so factors compose with the rest of
+the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Tuple
+
+from ..counting.semiring import COUNTING, Semiring
+from ..db.algebra import SubstitutionSet
+from ..exceptions import SchemaError
+from ..query.terms import Variable
+
+Row = Tuple[Hashable, ...]
+
+
+class Factor:
+    """A sparse semiring-valued relation over a sorted variable schema."""
+
+    __slots__ = ("schema", "values", "semiring")
+
+    def __init__(self, schema: Iterable[Variable],
+                 values: Mapping[Row, object],
+                 semiring: Semiring = COUNTING,
+                 _presorted: bool = False):
+        schema = tuple(schema)
+        if not _presorted:
+            order = sorted(range(len(schema)), key=lambda i: schema[i].name)
+            sorted_schema = tuple(schema[i] for i in order)
+            if len(set(sorted_schema)) != len(sorted_schema):
+                raise SchemaError(f"duplicate variables in schema {schema}")
+            if sorted_schema != schema:
+                values = {
+                    tuple(row[i] for i in order): value
+                    for row, value in values.items()
+                }
+                schema = sorted_schema
+        self.schema = schema
+        self.values: Dict[Row, object] = dict(values)
+        self.semiring = semiring
+        for row in self.values:
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"row {row!r} does not match schema {schema}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def indicator(cls, relation: SubstitutionSet,
+                  semiring: Semiring = COUNTING) -> "Factor":
+        """The 0/1 factor of a substitution set: ``one`` on every row."""
+        return cls(
+            relation.schema,
+            {row: semiring.one for row in relation.rows},
+            semiring,
+            _presorted=True,
+        )
+
+    @classmethod
+    def scalar(cls, value: object, semiring: Semiring = COUNTING) -> "Factor":
+        """A zero-ary factor holding a single value."""
+        return cls((), {(): value}, semiring, _presorted=True)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __bool__(self) -> bool:
+        return bool(self.values)
+
+    def __repr__(self) -> str:
+        names = ",".join(v.name for v in self.schema)
+        return (f"Factor([{names}], |support|={len(self.values)}, "
+                f"semiring={self.semiring.name})")
+
+    def variable_set(self) -> frozenset:
+        """The schema as a frozen set."""
+        return frozenset(self.schema)
+
+    def support(self) -> SubstitutionSet:
+        """The rows with a (stored) value, as a plain substitution set."""
+        return SubstitutionSet(
+            self.schema, frozenset(self.values), _presorted=True
+        )
+
+    def scalar_value(self):
+        """The value of a zero-ary factor (``zero`` when the support is empty)."""
+        if self.schema:
+            raise SchemaError(
+                f"factor over {self.schema} is not a scalar"
+            )
+        return self.values.get((), self.semiring.zero)
+
+    def _positions(self, variables: Iterable[Variable]) -> Tuple[int, ...]:
+        index = {v: i for i, v in enumerate(self.schema)}
+        try:
+            return tuple(index[v] for v in variables)
+        except KeyError as exc:
+            raise SchemaError(
+                f"variable {exc.args[0]} not in schema {self.schema}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # The variable-elimination kernel
+    # ------------------------------------------------------------------
+    def multiply(self, other: "Factor") -> "Factor":
+        """Semiring join: natural join on shared variables, values ``times``-ed.
+
+        Rows absent from either factor are zero, and zero annihilates, so
+        the support of the product is (a subset of) the join of supports.
+        """
+        if self.semiring is not other.semiring:
+            raise SchemaError(
+                f"cannot multiply factors over semirings "
+                f"{self.semiring.name!r} and {other.semiring.name!r}"
+            )
+        semiring = self.semiring
+        mine = set(self.schema)
+        shared = tuple(v for v in other.schema if v in mine)
+        result_schema = tuple(
+            sorted(mine | set(other.schema), key=lambda v: v.name)
+        )
+        left, right = (self, other) if len(self) <= len(other) else (other, self)
+        left_shared = left._positions(shared)
+        right_shared = right._positions(shared)
+        index: Dict[Row, list] = {}
+        for row, value in left.values.items():
+            key = tuple(row[i] for i in left_shared)
+            index.setdefault(key, []).append((row, value))
+        left_map = {v: i for i, v in enumerate(left.schema)}
+        right_map = {v: i for i, v in enumerate(right.schema)}
+        result: Dict[Row, object] = {}
+        for r_row, r_value in right.values.items():
+            key = tuple(r_row[i] for i in right_shared)
+            for l_row, l_value in index.get(key, ()):
+                out = tuple(
+                    l_row[left_map[v]] if v in left_map else r_row[right_map[v]]
+                    for v in result_schema
+                )
+                value = semiring.times(l_value, r_value)
+                if out in result:
+                    # Cannot happen for functional joins, but repeated rows
+                    # from duplicate-schema inputs must still accumulate.
+                    result[out] = semiring.plus(result[out], value)
+                else:
+                    result[out] = value
+        return Factor(result_schema, result, semiring, _presorted=True)
+
+    def marginalize(self, variable: Variable) -> "Factor":
+        """Eliminate *variable*: ``plus`` over its values, per remaining row."""
+        if variable not in set(self.schema):
+            raise SchemaError(
+                f"variable {variable} not in schema {self.schema}"
+            )
+        position = self.schema.index(variable)
+        remaining = self.schema[:position] + self.schema[position + 1:]
+        semiring = self.semiring
+        result: Dict[Row, object] = {}
+        for row, value in self.values.items():
+            out = row[:position] + row[position + 1:]
+            if out in result:
+                result[out] = semiring.plus(result[out], value)
+            else:
+                result[out] = value
+        return Factor(remaining, result, semiring, _presorted=True)
+
+    def marginalize_all(self, variables: Iterable[Variable]) -> "Factor":
+        """Eliminate several variables (order among them is irrelevant)."""
+        factor = self
+        for variable in variables:
+            factor = factor.marginalize(variable)
+        return factor
+
+    # ------------------------------------------------------------------
+    # Semiring conversion
+    # ------------------------------------------------------------------
+    def reinterpret(self, semiring: Semiring,
+                    value: object | None = None) -> "Factor":
+        """The same support, re-annotated in another semiring.
+
+        Every supported row gets *value* (default: the new ``one``).  Used by
+        the #CQ pipeline to hand the Boolean-phase result to the counting
+        phase.
+        """
+        if value is None:
+            value = semiring.one
+        return Factor(
+            self.schema,
+            {row: value for row in self.values},
+            semiring,
+            _presorted=True,
+        )
+
+    def dropped_zeroes(self) -> "Factor":
+        """Remove rows whose stored value equals the semiring zero."""
+        zero = self.semiring.zero
+        kept = {row: v for row, v in self.values.items() if v != zero}
+        if len(kept) == len(self.values):
+            return self
+        return Factor(self.schema, kept, self.semiring, _presorted=True)
+
+
+def multiply_all(factors: Iterable[Factor],
+                 semiring: Semiring = COUNTING) -> Factor:
+    """Product of a collection of factors (smallest-support first)."""
+    pending = sorted(factors, key=len)
+    if not pending:
+        return Factor.scalar(semiring.one, semiring)
+    result = pending[0]
+    for factor in pending[1:]:
+        result = result.multiply(factor)
+    return result

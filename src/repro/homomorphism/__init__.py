@@ -1,0 +1,47 @@
+"""Homomorphism search and core computation."""
+
+from .core import (
+    colored_core,
+    colored_core_via_consistency,
+    core,
+    core_pair,
+    core_via_consistency,
+    is_core,
+    uncolored_core,
+)
+from .containment import (
+    is_contained_in,
+    is_equivalent_to,
+    minimal_union,
+    union_is_contained_in,
+    union_is_equivalent_to,
+)
+from .solver import (
+    find_homomorphism,
+    has_homomorphism,
+    has_query_homomorphism,
+    homomorphically_equivalent,
+    iter_homomorphisms,
+    query_as_database,
+)
+
+__all__ = [
+    "colored_core",
+    "colored_core_via_consistency",
+    "core",
+    "core_pair",
+    "core_via_consistency",
+    "is_core",
+    "uncolored_core",
+    "is_contained_in",
+    "is_equivalent_to",
+    "minimal_union",
+    "union_is_contained_in",
+    "union_is_equivalent_to",
+    "find_homomorphism",
+    "has_homomorphism",
+    "has_query_homomorphism",
+    "homomorphically_equivalent",
+    "iter_homomorphisms",
+    "query_as_database",
+]

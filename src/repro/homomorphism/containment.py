@@ -1,0 +1,92 @@
+"""Query containment and equivalence (Chandra–Merlin, Sagiv–Yannakakis).
+
+The classical decision problems underlying the paper's core machinery
+(Theorem 5.14 cites [CM77]), stated for queries *with output variables*:
+
+* ``Q1 ⊆ Q2``  (containment): every database's answers of ``Q1`` are
+  answers of ``Q2``.  Holds iff there is a homomorphism from ``color(Q2)``
+  to ``color(Q1)`` — the coloring atoms force free variables to map
+  identically, which is exactly the head-preservation condition of the
+  classical criterion;
+* equivalence: containment both ways, i.e. homomorphic equivalence of the
+  colorings (Theorem 5.14);
+* UCQ containment (Sagiv–Yannakakis): ``∪ P_i ⊆ ∪ Q_j`` iff every
+  disjunct ``P_i`` is contained in *some* disjunct ``Q_j``.
+
+These tests are NP-hard in general; the implementations are exponential in
+the query sizes only, matching the paper's parameterization.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import QueryError
+from ..query.coloring import color
+from ..query.query import ConjunctiveQuery
+from ..ucq.union_query import UnionQuery
+from .solver import has_query_homomorphism
+
+
+def is_contained_in(first: ConjunctiveQuery,
+                    second: ConjunctiveQuery) -> bool:
+    """``first ⊆ second``: answers of *first* are answers of *second*.
+
+    Requires both queries to share the same output schema; raises
+    :class:`QueryError` otherwise (containment between different schemas
+    is vacuous, and asking for it is almost always a caller bug).
+    """
+    if first.free_variables != second.free_variables:
+        raise QueryError(
+            "containment needs identical free variables; got "
+            f"{sorted(v.name for v in first.free_variables)} and "
+            f"{sorted(v.name for v in second.free_variables)}"
+        )
+    return has_query_homomorphism(color(second), color(first))
+
+
+def is_equivalent_to(first: ConjunctiveQuery,
+                     second: ConjunctiveQuery) -> bool:
+    """Logical equivalence: mutual containment (Theorem 5.14 / [CM77])."""
+    return (is_contained_in(first, second)
+            and is_contained_in(second, first))
+
+
+def union_is_contained_in(first: UnionQuery, second: UnionQuery) -> bool:
+    """``first ⊆ second`` for unions of CQs (Sagiv–Yannakakis).
+
+    A UCQ is contained in another iff each of its disjuncts is contained
+    in *some* disjunct of the other — per-disjunct Chandra–Merlin tests
+    suffice; no cross-disjunct interaction exists for CQs.
+    """
+    if first.free_variables != second.free_variables:
+        raise QueryError(
+            "containment needs identical free variables across the unions"
+        )
+    return all(
+        any(is_contained_in(disjunct, other) for other in second.disjuncts)
+        for disjunct in first.disjuncts
+    )
+
+
+def union_is_equivalent_to(first: UnionQuery, second: UnionQuery) -> bool:
+    """UCQ equivalence: mutual Sagiv–Yannakakis containment."""
+    return (union_is_contained_in(first, second)
+            and union_is_contained_in(second, first))
+
+
+def minimal_union(union: UnionQuery) -> UnionQuery:
+    """An equivalent union without redundant disjuncts, each a core.
+
+    The Sagiv–Yannakakis normal form: drop disjuncts contained in another
+    (via :func:`repro.ucq.counting.prune_subsumed_disjuncts`) and replace
+    each survivor by the uncolored core of its coloring.  The result is
+    equivalent to the input on every database.
+    """
+    from ..ucq.counting import prune_subsumed_disjuncts
+    from .core import core_pair
+
+    pruned = prune_subsumed_disjuncts(union)
+    minimized = []
+    for disjunct in pruned.disjuncts:
+        _, uncolored = core_pair(disjunct)
+        minimized.append(uncolored)
+    return pruned.with_disjuncts(minimized)

@@ -1,0 +1,128 @@
+"""Cores and colored cores (paper, Sections 2, 3.1, Lemma 4.3).
+
+A *core* of a query ``Q`` is a minimal substructure ``Q'`` such that there is
+a homomorphism from ``Q`` to ``Q'``; all cores are isomorphic.  The paper's
+counting pipeline always works with cores of the *colored* query
+``color(Q)``: the fresh unary atom ``rX(X)`` on every free variable pins it,
+so colored cores keep all output variables and all query pieces relevant to
+them.
+
+Two procedures are provided:
+
+* :func:`core` — exhaustive minimization: repeatedly try to delete an atom
+  and keep the deletion when a homomorphism from the current query into the
+  smaller one exists.  Exponential in the query size only; this is the ground
+  truth used everywhere by default (queries are small).
+* :func:`core_via_consistency` — Lemma 4.3: the homomorphism test is replaced
+  by the pairwise-consistency (local consistency) procedure over the view set
+  ``V^k_Q``, which is polynomial and *correct under the promise* that the
+  cores have generalized hypertree width at most ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..query.coloring import color, uncolor
+from ..query.query import ConjunctiveQuery
+from .solver import has_homomorphism, query_as_database
+
+
+def core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """An (uncolored-notion) core of *query* by exhaustive minimization.
+
+    The identity of free variables is *not* protected here — use
+    :func:`colored_core` for the paper's notion.  Deterministic: atoms are
+    attempted in sorted order, and after a successful deletion the scan
+    restarts (the classical fixpoint loop of [CM77]).
+    """
+    current = query
+    progress = True
+    while progress:
+        progress = False
+        for atom in current.atoms_sorted():
+            if len(current.atoms) == 1:
+                break
+            candidate = current.without_atom(atom)
+            if has_homomorphism(current, query_as_database(candidate)):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def colored_core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """A core of ``color(Q)`` — the colored core used throughout the paper.
+
+    The result still carries its coloring atoms; use
+    :func:`uncolored_core` for the subquery ``Q'`` of Theorem 3.7.
+    """
+    return core(color(query))
+
+
+def uncolored_core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """``Q'``: the uncolored version of a core of ``color(Q)`` (Thm. 3.7).
+
+    ``Q'`` is a subquery of ``Q`` containing all free variables, and
+    ``pi_free(Q'(D)) = pi_free(Q(D))`` for every database ``D``.
+    """
+    return uncolor(colored_core(query), name=f"core({query.name})")
+
+
+def is_core(query: ConjunctiveQuery) -> bool:
+    """Is *query* its own core (no homomorphism into a proper substructure)?"""
+    for atom in query.atoms_sorted():
+        if len(query.atoms) == 1:
+            return True
+        candidate = query.without_atom(atom)
+        if has_homomorphism(query, query_as_database(candidate)):
+            return False
+    return True
+
+
+def core_via_consistency(query: ConjunctiveQuery, width: int
+                         ) -> ConjunctiveQuery:
+    """Core computation via local consistency (Lemma 4.3).
+
+    Replaces each homomorphism test ``Q -> Q'_c`` with the polynomial-time
+    pairwise-consistency procedure over the view set ``V^k_Q`` evaluated on
+    the database ``D_{Q'_c}``.  Correct whenever the cores of *query* have
+    generalized hypertree width at most *width* (the Lemma's promise); the
+    test suite cross-checks it against :func:`core` on such queries.
+    """
+    from ..consistency.local import nonempty_after_pairwise_consistency
+
+    current = query
+    progress = True
+    while progress:
+        progress = False
+        for atom in current.atoms_sorted():
+            if len(current.atoms) == 1:
+                break
+            candidate = current.without_atom(atom)
+            target = query_as_database(candidate)
+            if nonempty_after_pairwise_consistency(current, target, width):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def colored_core_via_consistency(query: ConjunctiveQuery, width: int
+                                 ) -> ConjunctiveQuery:
+    """Colored-core variant of :func:`core_via_consistency` (Thm. 1.3 step 1)."""
+    return core_via_consistency(color(query), width)
+
+
+def core_pair(query: ConjunctiveQuery, width: Optional[int] = None
+              ) -> Tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """Convenience: ``(colored core Qc, uncolored core Q')``.
+
+    With *width* given, uses the Lemma 4.3 polynomial path; otherwise the
+    exhaustive one.
+    """
+    if width is None:
+        colored = colored_core(query)
+    else:
+        colored = colored_core_via_consistency(query, width)
+    return colored, uncolor(colored, name=f"core({query.name})")

@@ -1,0 +1,193 @@
+"""Homomorphism search.
+
+A homomorphism from a query ``Q`` to a database ``D`` (paper, Section 2) is a
+mapping from ``vars(Q)`` to constants such that every atom's image is a tuple
+of the corresponding relation; constants map to themselves.  Queries are also
+relational structures, so homomorphisms *between queries* — the basis of core
+computation — are obtained by viewing the target query as a database via
+:func:`query_as_database`.
+
+The solver is a backtracking search with most-constrained-variable ordering
+and per-atom forward checking.  It is exponential only in the query size,
+matching the paper's parameterization (queries small, databases large).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from ..db.database import Database
+from ..db.relation import Relation
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Constant, Variable
+
+
+def query_as_database(query: ConjunctiveQuery) -> Database:
+    """The query viewed as a database ``D_Q`` (proof of Lemma 4.3).
+
+    Variables stay as themselves (they are hashable values); constants are
+    unwrapped to their raw value, so that a :class:`Constant` term in a
+    source atom matches exactly itself in the target — homomorphisms fix
+    constants for free.
+    """
+    rows_by_symbol: Dict[str, List[tuple]] = {}
+    arities: Dict[str, int] = {}
+    for atom in query.atoms:
+        row = tuple(
+            t.value if isinstance(t, Constant) else t for t in atom.terms
+        )
+        rows_by_symbol.setdefault(atom.relation, []).append(row)
+        arities[atom.relation] = atom.arity
+    return Database(
+        Relation(symbol, arities[symbol], rows)
+        for symbol, rows in rows_by_symbol.items()
+    )
+
+
+class _SearchSpace:
+    """Shared pre-processing for one (query, database) pair."""
+
+    def __init__(self, query: ConjunctiveQuery, database: Database):
+        self.query = query
+        self.database = database
+        self.atoms = query.atoms_sorted()
+        self.tuples: Dict[str, Tuple[tuple, ...]] = {}
+        for atom in self.atoms:
+            if atom.relation not in self.tuples:
+                relation = database.get(atom.relation)
+                self.tuples[atom.relation] = (
+                    tuple(relation.rows) if relation is not None else ()
+                )
+
+    def initial_domains(self, fixed: Mapping[Variable, Hashable]
+                        ) -> Optional[Dict[Variable, Set]]:
+        """Per-variable candidate sets, or ``None`` if some variable has none."""
+        domains: Dict[Variable, Set] = {}
+        for atom in self.atoms:
+            rows = self.tuples[atom.relation]
+            for position, term in enumerate(atom.terms):
+                if not isinstance(term, Variable):
+                    continue
+                values = {row[position] for row in rows
+                          if self._row_matches_pattern(row, atom)}
+                if term in domains:
+                    domains[term] &= values
+                else:
+                    domains[term] = set(values)
+        for variable, value in fixed.items():
+            if variable in domains:
+                if value not in domains[variable]:
+                    return None
+                domains[variable] = {value}
+        if any(not d for d in domains.values()):
+            return None
+        return domains
+
+    def _row_matches_pattern(self, row: tuple, atom) -> bool:
+        """Check constants and repeated-variable equalities within one atom."""
+        first_position: Dict[Variable, int] = {}
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                if row[position] != term.value:
+                    return False
+            else:
+                if term in first_position:
+                    if row[position] != row[first_position[term]]:
+                        return False
+                else:
+                    first_position[term] = position
+        return True
+
+    def atom_consistent(self, atom, assignment: Mapping[Variable, Hashable]
+                        ) -> bool:
+        """Is there a target tuple compatible with the partial assignment?"""
+        rows = self.tuples[atom.relation]
+        for row in rows:
+            if self._row_extends(row, atom, assignment):
+                return True
+        return False
+
+    def _row_extends(self, row: tuple, atom,
+                     assignment: Mapping[Variable, Hashable]) -> bool:
+        first_position: Dict[Variable, int] = {}
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                if row[position] != term.value:
+                    return False
+            else:
+                if term in assignment and row[position] != assignment[term]:
+                    return False
+                if term in first_position:
+                    if row[position] != row[first_position[term]]:
+                        return False
+                else:
+                    first_position[term] = position
+        return True
+
+
+def iter_homomorphisms(query: ConjunctiveQuery, database: Database,
+                       fixed: Optional[Mapping[Variable, Hashable]] = None
+                       ) -> Iterator[Dict[Variable, Hashable]]:
+    """Yield every homomorphism from *query* to *database*.
+
+    *fixed* pre-binds some variables (used for existential-extension checks
+    and for the identity-on-free-variables homomorphisms of Section 5.3).
+    """
+    fixed = dict(fixed or {})
+    space = _SearchSpace(query, database)
+    domains = space.initial_domains(fixed)
+    if domains is None:
+        return
+    variables = sorted(domains, key=lambda v: (len(domains[v]), v.name))
+    atoms_by_var: Dict[Variable, List] = {v: [] for v in variables}
+    for atom in space.atoms:
+        for variable in atom.variables:
+            atoms_by_var[variable].append(atom)
+
+    assignment: Dict[Variable, Hashable] = dict(fixed)
+
+    def backtrack(index: int) -> Iterator[Dict[Variable, Hashable]]:
+        if index == len(variables):
+            yield dict(assignment)
+            return
+        variable = variables[index]
+        if variable in fixed:
+            yield from backtrack(index + 1)
+            return
+        for value in domains[variable]:
+            assignment[variable] = value
+            if all(space.atom_consistent(atom, assignment)
+                   for atom in atoms_by_var[variable]):
+                yield from backtrack(index + 1)
+            del assignment[variable]
+
+    yield from backtrack(0)
+
+
+def find_homomorphism(query: ConjunctiveQuery, database: Database,
+                      fixed: Optional[Mapping[Variable, Hashable]] = None
+                      ) -> Optional[Dict[Variable, Hashable]]:
+    """The first homomorphism found, or ``None``."""
+    for hom in iter_homomorphisms(query, database, fixed):
+        return hom
+    return None
+
+
+def has_homomorphism(query: ConjunctiveQuery, database: Database,
+                     fixed: Optional[Mapping[Variable, Hashable]] = None
+                     ) -> bool:
+    """Existence test (the Boolean conjunctive query problem)."""
+    return find_homomorphism(query, database, fixed) is not None
+
+
+def has_query_homomorphism(source: ConjunctiveQuery, target: ConjunctiveQuery
+                           ) -> bool:
+    """Is there a homomorphism ``source -> target`` between query structures?"""
+    return has_homomorphism(source, query_as_database(target))
+
+
+def homomorphically_equivalent(first: ConjunctiveQuery,
+                               second: ConjunctiveQuery) -> bool:
+    """Mutual homomorphic equivalence (logical equivalence, Thm. 5.14)."""
+    return (has_query_homomorphism(first, second)
+            and has_query_homomorphism(second, first))

@@ -1,0 +1,45 @@
+"""Hypergraph machinery: acyclicity, components, frontiers, coverings."""
+
+from .acyclicity import JoinTree, is_acyclic, join_tree, require_join_tree
+from .components import (
+    component_frontiers,
+    component_of,
+    components,
+    edges_of_component,
+    frontier,
+)
+from .frontier import (
+    all_frontiers,
+    frontier_hypergraph,
+    frontier_hypergraph_of_hypergraph,
+    frontier_size,
+)
+from .hypergraph import Hypergraph, covers
+from .render import (
+    frontier_overlay_dot,
+    hypergraph_to_dot,
+    join_tree_to_dot,
+    query_to_dot,
+)
+
+__all__ = [
+    "JoinTree",
+    "is_acyclic",
+    "join_tree",
+    "require_join_tree",
+    "component_frontiers",
+    "component_of",
+    "components",
+    "edges_of_component",
+    "frontier",
+    "all_frontiers",
+    "frontier_hypergraph",
+    "frontier_hypergraph_of_hypergraph",
+    "frontier_size",
+    "Hypergraph",
+    "covers",
+    "frontier_overlay_dot",
+    "hypergraph_to_dot",
+    "join_tree_to_dot",
+    "query_to_dot",
+]

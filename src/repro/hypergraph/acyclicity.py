@@ -1,0 +1,184 @@
+"""Alpha-acyclicity and join trees (paper, Section 2).
+
+Two classical, independent procedures are provided:
+
+* :func:`is_acyclic` — the GYO (Graham / Yu–Ozsoyoglu) reduction;
+* :func:`join_tree` — construction of a join tree via a maximum-weight
+  spanning forest of the intersection graph (Bernstein & Goodman [BG81]),
+  followed by verification of the connectedness condition.
+
+A hypergraph is acyclic iff it has a join tree, so the two must agree — the
+test suite checks this on random hypergraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import NotAcyclicError
+from .hypergraph import Hypergraph
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """Decide alpha-acyclicity by GYO reduction.
+
+    Repeat until fixpoint: (1) delete any node occurring in at most one
+    hyperedge; (2) delete any hyperedge contained in another hyperedge.  The
+    hypergraph is acyclic iff at most one (then empty) hyperedge survives.
+    Disconnected hypergraphs are handled: each component reduces away
+    independently, leaving several empty edges which rule (2) merges.
+    """
+    edges: List[Set] = [set(e) for e in hypergraph.edges]
+    changed = True
+    while changed:
+        changed = False
+        # Rule 1: remove nodes occurring in exactly one edge.
+        occurrences: Dict[object, int] = {}
+        for edge in edges:
+            for node in edge:
+                occurrences[node] = occurrences.get(node, 0) + 1
+        for edge in edges:
+            lonely = {node for node in edge if occurrences[node] == 1}
+            if lonely:
+                edge -= lonely
+                changed = True
+        # Rule 2: remove edges contained in another edge.
+        survivors: List[Set] = []
+        for i, edge in enumerate(edges):
+            contained = any(
+                j != i and edge <= other and (edge < other or j < i)
+                for j, other in enumerate(edges)
+            )
+            if contained:
+                changed = True
+            else:
+                survivors.append(edge)
+        edges = survivors
+    return len(edges) <= 1
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """A join tree: bags plus tree edges over bag indices.
+
+    ``bags[i]`` is the hyperedge at vertex ``i``; ``edges`` is a list of
+    index pairs forming a forest (a tree per connected component of the
+    hypergraph, linked arbitrarily into a single tree when needed by the
+    consumer — counting algorithms handle forests directly).
+    """
+
+    bags: Tuple[FrozenSet, ...]
+    edges: Tuple[Tuple[int, int], ...]
+
+    def neighbours(self) -> Dict[int, Set[int]]:
+        """Adjacency over bag indices."""
+        adjacency: Dict[int, Set[int]] = {i: set() for i in range(len(self.bags))}
+        for a, b in self.edges:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        return adjacency
+
+    def rooted_orders(self) -> List[Tuple[int, Optional[int], List[int]]]:
+        """Per vertex: ``(vertex, parent, children)`` in a bottom-up-safe order.
+
+        Roots one tree per connected component at its lowest-index vertex and
+        returns vertices so that every vertex appears *after* all of its
+        children (post-order).
+        """
+        adjacency = self.neighbours()
+        seen: Set[int] = set()
+        ordered: List[Tuple[int, Optional[int], List[int]]] = []
+        for start in range(len(self.bags)):
+            if start in seen:
+                continue
+            stack: List[Tuple[int, Optional[int]]] = [(start, None)]
+            emit_stack: List[Tuple[int, Optional[int], List[int]]] = []
+            seen.add(start)
+            while stack:
+                vertex, parent = stack.pop()
+                children = [n for n in adjacency[vertex] if n != parent]
+                emit_stack.append((vertex, parent, children))
+                for child in children:
+                    seen.add(child)
+                    stack.append((child, vertex))
+            ordered.extend(reversed(emit_stack))
+        return ordered
+
+    def is_valid(self) -> bool:
+        """Check the connectedness (running intersection) condition."""
+        adjacency = self.neighbours()
+        nodes: Set = set()
+        for bag in self.bags:
+            nodes.update(bag)
+        for node in nodes:
+            holders = [i for i, bag in enumerate(self.bags) if node in bag]
+            if len(holders) <= 1:
+                continue
+            # BFS inside the subgraph induced by the holders.
+            holder_set = set(holders)
+            frontier = [holders[0]]
+            reached = {holders[0]}
+            while frontier:
+                current = frontier.pop()
+                for neighbour in adjacency[current]:
+                    if neighbour in holder_set and neighbour not in reached:
+                        reached.add(neighbour)
+                        frontier.append(neighbour)
+            if reached != holder_set:
+                return False
+        return True
+
+
+def join_tree(hypergraph: Hypergraph) -> Optional[JoinTree]:
+    """Return a join tree of *hypergraph*, or ``None`` if it is cyclic.
+
+    Uses the classical result that a maximum-weight spanning forest of the
+    intersection graph (edge weight = size of the bag intersection) is a join
+    tree iff the hypergraph is acyclic.  Prim/Kruskal over all bag pairs is
+    quadratic in the number of hyperedges — fine at library scale.
+    """
+    bags: Sequence[FrozenSet] = tuple(sorted(hypergraph.edges, key=sorted_key))
+    if not bags:
+        return JoinTree((), ())
+    count = len(bags)
+    candidate_edges = sorted(
+        ((len(bags[i] & bags[j]), i, j)
+         for i in range(count) for j in range(i + 1, count)),
+        key=lambda item: (-item[0], item[1], item[2]),
+    )
+    parent = list(range(count))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    chosen: List[Tuple[int, int]] = []
+    for weight, i, j in candidate_edges:
+        if weight == 0:
+            break  # zero-weight links never help the connectedness condition
+        root_i, root_j = find(i), find(j)
+        if root_i != root_j:
+            parent[root_i] = root_j
+            chosen.append((i, j))
+    tree = JoinTree(tuple(bags), tuple(chosen))
+    if tree.is_valid():
+        return tree
+    return None
+
+
+def require_join_tree(hypergraph: Hypergraph) -> JoinTree:
+    """Like :func:`join_tree` but raising :class:`NotAcyclicError` on failure."""
+    tree = join_tree(hypergraph)
+    if tree is None:
+        raise NotAcyclicError(
+            f"hypergraph is not alpha-acyclic: {hypergraph.describe()}"
+        )
+    return tree
+
+
+def sorted_key(edge: FrozenSet) -> tuple:
+    """Deterministic sort key for hyperedges of Variables or plain values."""
+    return tuple(sorted(str(node) for node in edge))

@@ -1,0 +1,106 @@
+"""[W]-components and frontiers (paper, Section 3.1).
+
+Given a hypergraph ``H`` and a set of nodes ``W``:
+
+* ``X`` and ``Y`` are *[W]-adjacent* if some hyperedge ``h`` has
+  ``{X, Y} <= h \\ W``;
+* a *[W]-component* is a maximal [W]-connected non-empty set of nodes from
+  ``nodes(H) \\ W``;
+* the *frontier* ``Fr(Y, W, H)`` of a node ``Y`` is the empty set when
+  ``Y in W`` and otherwise ``W ∩ nodes(edges(C))`` where ``C`` is the
+  [W]-component containing ``Y`` and ``edges(C)`` the hyperedges meeting
+  ``C``.
+
+All nodes of a component share the same frontier, a fact the counting
+algorithm of Theorem 3.7 relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from .hypergraph import Hypergraph
+
+
+def components(hypergraph: Hypergraph, banned: Iterable
+               ) -> Tuple[FrozenSet, ...]:
+    """All [W]-components of *hypergraph* with ``W = banned``.
+
+    Returned in a deterministic order (sorted by string representation of
+    their minimum element).
+    """
+    banned = frozenset(banned)
+    free_nodes = hypergraph.nodes - banned
+    adjacency: Dict[object, set] = {node: set() for node in free_nodes}
+    for edge in hypergraph.edges:
+        visible = [node for node in edge if node not in banned]
+        for i, u in enumerate(visible):
+            for v in visible[i + 1:]:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    seen: set = set()
+    result: List[FrozenSet] = []
+    for start in free_nodes:
+        if start in seen:
+            continue
+        stack = [start]
+        component = {start}
+        seen.add(start)
+        while stack:
+            current = stack.pop()
+            for neighbour in adjacency[current]:
+                if neighbour not in component:
+                    component.add(neighbour)
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        result.append(frozenset(component))
+    result.sort(key=lambda c: min(str(node) for node in c))
+    return tuple(result)
+
+
+def component_of(hypergraph: Hypergraph, banned: Iterable, node
+                 ) -> FrozenSet:
+    """The [W]-component containing *node* (which must not be in ``W``)."""
+    banned = frozenset(banned)
+    if node in banned:
+        raise ValueError(f"{node} is in the banned set W")
+    for component in components(hypergraph, banned):
+        if node in component:
+            return component
+    raise ValueError(f"{node} is not a node of the hypergraph")
+
+
+def edges_of_component(hypergraph: Hypergraph, component: Iterable
+                       ) -> FrozenSet[FrozenSet]:
+    """``edges(C)``: hyperedges with a non-empty intersection with ``C``."""
+    component = frozenset(component)
+    return frozenset(e for e in hypergraph.edges if e & component)
+
+
+def frontier(node, banned: Iterable, hypergraph: Hypergraph) -> FrozenSet:
+    """``Fr(Y, W, H)`` (paper, Section 3.1)."""
+    banned = frozenset(banned)
+    if node in banned:
+        return frozenset()
+    component = component_of(hypergraph, banned, node)
+    touched: set = set()
+    for edge in edges_of_component(hypergraph, component):
+        touched.update(edge)
+    return frozenset(touched) & banned
+
+
+def component_frontiers(hypergraph: Hypergraph, banned: Iterable
+                        ) -> Dict[FrozenSet, FrozenSet]:
+    """Map every [W]-component to its (shared) frontier.
+
+    Computing per component instead of per node avoids the quadratic blowup
+    of calling :func:`frontier` for each variable.
+    """
+    banned = frozenset(banned)
+    result: Dict[FrozenSet, FrozenSet] = {}
+    for component in components(hypergraph, banned):
+        touched: set = set()
+        for edge in edges_of_component(hypergraph, component):
+            touched.update(edge)
+        result[component] = frozenset(touched) & banned
+    return result

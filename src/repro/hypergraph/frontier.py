@@ -1,0 +1,58 @@
+"""Frontier hypergraphs (paper, Definition 3.3).
+
+For a query ``Q'`` and a variable set ``W``, the frontier hypergraph
+``FH(Q', W)`` has nodes ``vars(Q') ∪ W`` and hyperedges:
+
+* the frontiers ``Fr(Y, W, H_Q')`` of all variables ``Y`` of ``Q'``, and
+* the hyperedges of ``H_Q'`` that are covered by (contained in) ``W``.
+
+Variables in ``W`` contribute the empty frontier, which we drop (an empty
+hyperedge is covered by anything and carries no constraint).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from ..query.query import ConjunctiveQuery
+from .components import component_frontiers
+from .hypergraph import Hypergraph
+
+
+def frontier_hypergraph_of_hypergraph(base: Hypergraph, banned: Iterable
+                                      ) -> Hypergraph:
+    """``FH`` computed directly on a hypergraph (used by hardness tooling)."""
+    banned = frozenset(banned)
+    frontiers = component_frontiers(base, banned)
+    edges = {f for f in frontiers.values() if f}
+    edges.update(e for e in base.edges if e and e <= banned)
+    return Hypergraph(base.nodes | banned, edges)
+
+
+def frontier_hypergraph(query: ConjunctiveQuery, banned: Iterable | None = None
+                        ) -> Hypergraph:
+    """``FH(Q', W)`` for a query; ``W`` defaults to ``free(Q')``.
+
+    Coloring atoms participate like any other atoms: the singleton coloring
+    hyperedges ``{X}`` for free ``X`` are contained in ``W`` and therefore
+    appear as hyperedges, matching Example 3.4 where ``{A}``, ``{B}``, ``{C}``
+    are hyperedges of the frontier hypergraph.
+    """
+    if banned is None:
+        banned = query.free_variables
+    return frontier_hypergraph_of_hypergraph(query.hypergraph(), banned)
+
+
+def frontier_size(query: ConjunctiveQuery) -> int:
+    """The *frontier size* of Section 5.5: the maximum cardinality of
+    ``Fr(Y, free(Q), H_Q)`` over quantified variables ``Y``."""
+    base = query.hypergraph()
+    frontiers = component_frontiers(base, query.free_variables)
+    return max((len(f) for f in frontiers.values()), default=0)
+
+
+def all_frontiers(query: ConjunctiveQuery) -> FrozenSet[FrozenSet]:
+    """The distinct non-empty frontiers of the quantified variables."""
+    base = query.hypergraph()
+    frontiers = component_frontiers(base, query.free_variables)
+    return frozenset(f for f in frontiers.values() if f)

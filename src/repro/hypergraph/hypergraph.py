@@ -1,0 +1,125 @@
+"""Hypergraphs (paper, Section 2).
+
+A hypergraph is a pair ``(V, H)`` of nodes and hyperedges with ``h <= V`` for
+every ``h in H``.  Nodes may be any hashable values; throughout the library
+they are :class:`~repro.query.terms.Variable` objects, and — following the
+paper — we use the terms *node* and *variable* interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+NodeSet = FrozenSet
+
+
+class Hypergraph:
+    """An immutable hypergraph.
+
+    Hyperedges are stored as a frozenset of frozensets; isolated nodes (nodes
+    in no hyperedge) are allowed, which matters when a query variable only
+    occurs in coloring atoms that were stripped.
+    """
+
+    __slots__ = ("nodes", "edges")
+
+    def __init__(self, nodes: Iterable, edges: Iterable[Iterable]):
+        self.edges: FrozenSet[NodeSet] = frozenset(
+            frozenset(edge) for edge in edges
+        )
+        covered: Set = set()
+        for edge in self.edges:
+            covered.update(edge)
+        self.nodes: NodeSet = frozenset(nodes) | frozenset(covered)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Iterable], nodes: Iterable = ()
+                   ) -> "Hypergraph":
+        """Build from an iterable of hyperedges (plus optional extra nodes)."""
+        return cls(nodes, edges)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self.nodes == other.nodes and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self.nodes, self.edges))
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(|V|={len(self.nodes)}, |E|={len(self.edges)})"
+
+    def describe(self) -> str:
+        """Human-readable listing of edges, deterministic order."""
+        def fmt(edge):
+            return "{" + ",".join(sorted(str(n) for n in edge)) + "}"
+        return " ".join(sorted(fmt(e) for e in self.edges))
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def maximal_edges(self) -> FrozenSet[NodeSet]:
+        """Hyperedges not strictly contained in another hyperedge."""
+        result = set()
+        for edge in self.edges:
+            if not any(edge < other for other in self.edges):
+                result.add(edge)
+        return frozenset(result)
+
+    def edges_at(self, node) -> FrozenSet[NodeSet]:
+        """All hyperedges containing *node*."""
+        return frozenset(e for e in self.edges if node in e)
+
+    def primal_adjacency(self) -> Dict[object, Set]:
+        """The primal (Gaifman) graph as an adjacency mapping.
+
+        Two nodes are adjacent iff they co-occur in a hyperedge.  Every node
+        appears as a key, possibly with an empty neighbour set.
+        """
+        adjacency: Dict[object, Set] = {node: set() for node in self.nodes}
+        for edge in self.edges:
+            members = list(edge)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    adjacency[u].add(v)
+                    adjacency[v].add(u)
+        return adjacency
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def restricted_to(self, keep: Iterable) -> "Hypergraph":
+        """Remove all nodes outside *keep* from every hyperedge.
+
+        Used e.g. in the proof of Theorem 3.7 where the tree projection is
+        restricted to the free variables; empty edges are dropped.
+        """
+        keep = frozenset(keep)
+        edges = (edge & keep for edge in self.edges)
+        return Hypergraph(self.nodes & keep, (e for e in edges if e))
+
+    def union(self, other: "Hypergraph") -> "Hypergraph":
+        """Node- and edge-wise union (used to combine H_Q' with FH)."""
+        return Hypergraph(self.nodes | other.nodes, self.edges | other.edges)
+
+    def with_edges(self, extra: Iterable[Iterable]) -> "Hypergraph":
+        """Add extra hyperedges."""
+        return Hypergraph(self.nodes, set(self.edges) | {frozenset(e) for e in extra})
+
+    def without_empty_edges(self) -> "Hypergraph":
+        return Hypergraph(self.nodes, (e for e in self.edges if e))
+
+
+def covers(covered: Hypergraph, covering: Hypergraph) -> bool:
+    """``covered <= covering``: every hyperedge of the first is contained in
+    some hyperedge of the second (paper, Section 2, *Tree Projections*).
+
+    Empty hyperedges are trivially covered.
+    """
+    covering_edges = covering.edges
+    return all(
+        not edge or any(edge <= big for big in covering_edges)
+        for edge in covered.edges
+    )

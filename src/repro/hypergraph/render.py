@@ -1,0 +1,119 @@
+"""GraphViz DOT rendering for hypergraphs, frontier overlays and join trees.
+
+The paper's figures are hypergraph drawings: variables as nodes, atoms as
+hyperedges, free variables circled, frontier hyperedges in bold.  These
+functions emit DOT text reproducing that visual language so any GraphViz
+install (not required by the library) can regenerate Figure-1-style
+pictures from live objects:
+
+* binary hyperedges render as plain edges;
+* larger hyperedges render as a small square junction node connected to
+  its members (the standard hypergraph-as-bipartite-graph drawing);
+* free variables get a double circle (the paper's circled output
+  variables);
+* :func:`frontier_overlay_dot` adds the frontier hypergraph in bold, the
+  paper's Figure 7(b) presentation.
+
+Pure string manipulation — no GraphViz dependency, tested structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+from .acyclicity import JoinTree
+from .hypergraph import Hypergraph
+
+
+def _node_id(node: object) -> str:
+    return f'"{node}"'
+
+
+def _sorted_edges(hypergraph: Hypergraph):
+    return sorted(hypergraph.edges, key=lambda e: sorted(map(str, e)))
+
+
+def hypergraph_to_dot(hypergraph: Hypergraph,
+                      free: Iterable = (),
+                      name: str = "H",
+                      bold_edges: Iterable = ()) -> str:
+    """DOT text for *hypergraph*; *free* nodes get the paper's circles.
+
+    *bold_edges* (a set of hyperedges) are drawn with heavy lines — used
+    by :func:`frontier_overlay_dot`.
+    """
+    free = {str(node) for node in free}
+    bold = {frozenset(edge) for edge in bold_edges}
+    lines: List[str] = [f"graph {name} {{", "  layout=neato;"]
+    for node in sorted(hypergraph.nodes, key=str):
+        shape = "doublecircle" if str(node) in free else "circle"
+        lines.append(f"  {_node_id(node)} [shape={shape}];")
+    junction = 0
+    for edge in _sorted_edges(hypergraph):
+        style = ' [style=bold penwidth=2]' if frozenset(edge) in bold else ""
+        members = sorted(edge, key=str)
+        if len(members) == 1:
+            # Unary hyperedge (a coloring atom): a self-marker suffices.
+            lines.append(
+                f"  {_node_id(members[0])} -- {_node_id(members[0])}{style};"
+            )
+        elif len(members) == 2:
+            lines.append(
+                f"  {_node_id(members[0])} -- {_node_id(members[1])}{style};"
+            )
+        else:
+            junction += 1
+            hub = f'"e{junction}"'
+            lines.append(
+                f"  {hub} [shape=point width=0.08 label=\"\"];"
+            )
+            for member in members:
+                lines.append(f"  {hub} -- {_node_id(member)}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def query_to_dot(query: ConjunctiveQuery, name: Optional[str] = None) -> str:
+    """Figure-1-style DOT for a query: its hypergraph, free variables circled."""
+    return hypergraph_to_dot(
+        query.hypergraph(),
+        free=query.free_variables,
+        name=name or query.name,
+    )
+
+
+def frontier_overlay_dot(query: ConjunctiveQuery,
+                         name: Optional[str] = None) -> str:
+    """Figure-7(b)-style DOT: the query hypergraph plus its frontier in bold."""
+    from .frontier import frontier_hypergraph
+
+    base = query.hypergraph()
+    frontier = frontier_hypergraph(query)
+    combined = Hypergraph(
+        base.nodes | frontier.nodes,
+        frozenset(base.edges) | frozenset(frontier.edges),
+    )
+    return hypergraph_to_dot(
+        combined,
+        free=query.free_variables,
+        name=name or f"frontier_{query.name}",
+        bold_edges=frontier.edges,
+    )
+
+
+def join_tree_to_dot(tree: JoinTree,
+                     labels: Optional[List[str]] = None,
+                     name: str = "JT") -> str:
+    """Figure-2-style DOT for a join tree: one box per bag."""
+    lines: List[str] = [f"graph {name} {{", "  node [shape=box];"]
+    for index, bag in enumerate(tree.bags):
+        text = "{" + ", ".join(sorted(str(v) for v in bag)) + "}"
+        if labels:
+            text += f"\\n{labels[index]}"
+        lines.append(f'  b{index} [label="{text}"];')
+    for a, b in sorted(tree.edges):
+        lines.append(f"  b{a} -- b{b};")
+    lines.append("}")
+    return "\n".join(lines)

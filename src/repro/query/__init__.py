@@ -1,0 +1,36 @@
+"""Conjunctive-query representation: terms, atoms, queries, parser, colorings."""
+
+from .atom import Atom, atom, vars_of
+from .coloring import (
+    COLOR_PREFIX,
+    color,
+    color_symbol,
+    colored_variables,
+    fullcolor,
+    is_color_atom,
+    uncolor,
+)
+from .parser import parse_query
+from .query import ConjunctiveQuery
+from .terms import Constant, Term, Variable, is_constant, is_variable, make_variables
+
+__all__ = [
+    "Atom",
+    "atom",
+    "vars_of",
+    "COLOR_PREFIX",
+    "color",
+    "color_symbol",
+    "colored_variables",
+    "fullcolor",
+    "is_color_atom",
+    "uncolor",
+    "parse_query",
+    "ConjunctiveQuery",
+    "Constant",
+    "Term",
+    "Variable",
+    "is_constant",
+    "is_variable",
+    "make_variables",
+]

@@ -1,0 +1,99 @@
+"""Atoms of conjunctive queries.
+
+An atom ``r(u1, ..., uk)`` consists of a relation symbol ``r`` and a list of
+terms (variables or constants).  Atoms are immutable and hashable, so the set
+``atoms(Q)`` of the paper is representable as a Python ``frozenset``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Tuple
+
+from ..exceptions import QueryError
+from .terms import Constant, Term, Variable, variables
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``relation(terms...)``.
+
+    Attributes
+    ----------
+    relation:
+        The relation symbol, a plain string.
+    terms:
+        The tuple of terms (variables and constants) in positional order.
+    """
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+        for term in self.terms:
+            if not isinstance(term, (Variable, Constant)):
+                raise QueryError(
+                    f"atom {self.relation}: term {term!r} is neither a "
+                    "Variable nor a Constant"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.terms)
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """Distinct variables of the atom, in first-occurrence order."""
+        return variables(self.terms)
+
+    @property
+    def variable_set(self) -> frozenset:
+        """The set ``vars({atom})`` of the paper."""
+        return frozenset(self.variables)
+
+    def constants(self) -> Tuple[Constant, ...]:
+        """Distinct constants of the atom, in first-occurrence order."""
+        seen = []
+        for term in self.terms:
+            if isinstance(term, Constant) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Apply a variable substitution, returning a new atom.
+
+        Variables absent from *mapping* are left untouched; constants are
+        always left untouched (homomorphisms fix constants).
+        """
+        new_terms = tuple(
+            mapping.get(term, term) if isinstance(term, Variable) else term
+            for term in self.terms
+        )
+        return Atom(self.relation, new_terms)
+
+    def rename_relation(self, new_relation: str) -> "Atom":
+        """Return a copy of the atom over a different relation symbol."""
+        return Atom(new_relation, self.terms)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        args = ", ".join(str(term) for term in self.terms)
+        return f"{self.relation}({args})"
+
+
+def atom(relation: str, *terms: Term) -> Atom:
+    """Convenience constructor: ``atom("r", A, B)``."""
+    return Atom(relation, tuple(terms))
+
+
+def vars_of(atoms: Iterable[Atom]) -> frozenset:
+    """The set ``vars(A)`` for a collection of atoms (paper, Section 2)."""
+    result: set = set()
+    for item in atoms:
+        result.update(item.variables)
+    return frozenset(result)

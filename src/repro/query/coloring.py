@@ -1,0 +1,79 @@
+"""Query colorings (paper, Sections 3.1 and 5.3).
+
+``color(Q)`` adds a fresh unary atom ``rX(X)`` for every *free* variable
+``X`` of ``Q``; ``fullcolor(Q)`` adds one for *every* variable.  The fresh
+relation symbols let core computation distinguish the actual domains of the
+output variables: since a coloring atom's symbol occurs nowhere else, any
+homomorphism must map a colored variable to a variable with the same color —
+i.e. to itself.
+
+The inverse operation :func:`uncolor` removes the coloring atoms again; the
+Theorem 3.7 pipeline computes a core of ``color(Q)`` and then works with its
+uncolored version ``Q'``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from .atom import Atom
+from .query import ConjunctiveQuery
+from .terms import Variable
+
+#: Prefix used for the fresh coloring relation symbols.  The prefix contains a
+#: character that the parser never produces inside identifiers it accepts for
+#: user queries, so clashes with user vocabularies cannot occur silently.
+COLOR_PREFIX = "__color_"
+
+
+def color_symbol(variable: Variable) -> str:
+    """The fresh relation symbol ``rX`` attached to *variable*."""
+    return f"{COLOR_PREFIX}{variable.name}"
+
+
+def is_color_atom(atom: Atom) -> bool:
+    """``True`` iff *atom* is a coloring atom ``rX(X)``."""
+    return atom.relation.startswith(COLOR_PREFIX)
+
+
+def _colored(query: ConjunctiveQuery, colored_vars: Iterable[Variable],
+             suffix: str) -> ConjunctiveQuery:
+    extra = frozenset(
+        Atom(color_symbol(v), (v,)) for v in colored_vars
+    )
+    return ConjunctiveQuery(
+        query.atoms | extra,
+        query.free_variables,
+        name=f"{suffix}({query.name})",
+    )
+
+
+def color(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """``color(Q)``: add ``rX(X)`` for each free variable ``X`` (Section 3.1)."""
+    return _colored(query, query.free_variables, "color")
+
+
+def fullcolor(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """``fullcolor(Q)``: add ``rX(X)`` for *every* variable (Section 5.3)."""
+    return _colored(query, query.variables, "fullcolor")
+
+
+def uncolor(query: ConjunctiveQuery, name: str | None = None) -> ConjunctiveQuery:
+    """Strip all coloring atoms, keeping the free variables.
+
+    This realizes the step in the proof of Theorem 3.7 where the colored core
+    ``Qc`` is turned back into the subquery ``Q'`` of ``Q``.
+    """
+    plain = frozenset(a for a in query.atoms if not is_color_atom(a))
+    return ConjunctiveQuery(
+        plain, query.free_variables, name=name or query.name
+    )
+
+
+def colored_variables(query: ConjunctiveQuery) -> FrozenSet[Variable]:
+    """The variables that carry a coloring atom in *query*."""
+    result = set()
+    for a in query.atoms:
+        if is_color_atom(a):
+            result.update(a.variables)
+    return frozenset(result)

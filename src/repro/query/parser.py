@@ -1,0 +1,143 @@
+"""A small Datalog-style parser for conjunctive queries.
+
+Grammar (informal)::
+
+    query  := head ":-" body
+    head   := name "(" termlist? ")"
+    body   := atom ("," atom)* | atom ("&" atom)*
+    atom   := name "(" termlist ")"
+    term   := VARIABLE | CONSTANT
+
+Identifiers starting with an uppercase letter or underscore are variables
+(Prolog convention); everything else — lowercase identifiers, quoted strings,
+and integer literals — is a constant.  The head's terms declare the free
+(output) variables; constants in the head are rejected.
+
+Example
+-------
+>>> q = parse_query("ans(A, B) :- r(A, X), s(X, B), t(B, 'rome')")
+>>> sorted(v.name for v in q.free_variables)
+['A', 'B']
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from ..exceptions import ParseError
+from .atom import Atom
+from .query import ConjunctiveQuery
+from .terms import Constant, Term, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        :-                          # rule separator
+      | [(),&]                      # punctuation
+      | '[^']*'                     # quoted constant
+      | "[^"]*"                     # quoted constant
+      | -?\d+                       # integer constant
+      | [A-Za-z_][A-Za-z0-9_]*      # identifier
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(f"unexpected character at position {pos}: {text[pos]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[str]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> str:
+        if self._index >= len(self._tokens):
+            raise ParseError("unexpected end of input")
+        return self._tokens[self._index]
+
+    def next(self) -> str:
+        token = self.peek()
+        self._index += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}")
+
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def _parse_term(token: str) -> Term:
+    if token.startswith(("'", '"')):
+        return Constant(token[1:-1])
+    if re.fullmatch(r"-?\d+", token):
+        return Constant(int(token))
+    if token[0].isupper() or token[0] == "_":
+        return Variable(token)
+    return Constant(token)
+
+
+def _parse_atom(stream: _TokenStream) -> Tuple[str, Tuple[Term, ...]]:
+    name = stream.next()
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+        raise ParseError(f"bad relation symbol {name!r}")
+    stream.expect("(")
+    terms: List[Term] = []
+    if stream.peek() != ")":
+        while True:
+            terms.append(_parse_term(stream.next()))
+            if stream.peek() == ",":
+                stream.next()
+                continue
+            break
+    stream.expect(")")
+    return name, tuple(terms)
+
+
+def parse_query(text: str, name: str | None = None) -> ConjunctiveQuery:
+    """Parse a Datalog-style rule into a :class:`ConjunctiveQuery`.
+
+    Parameters
+    ----------
+    text:
+        The rule, e.g. ``"ans(A) :- r(A, B), s(B)"``.
+    name:
+        Optional display name; defaults to the head predicate name.
+    """
+    stream = _TokenStream(_tokenize(text))
+    head_name, head_terms = _parse_atom(stream)
+    free = []
+    for term in head_terms:
+        if not isinstance(term, Variable):
+            raise ParseError("constants are not allowed in the query head")
+        free.append(term)
+    stream.expect(":-")
+    atoms: List[Atom] = []
+    while True:
+        relation, terms = _parse_atom(stream)
+        atoms.append(Atom(relation, terms))
+        if not stream.exhausted() and stream.peek() in (",", "&"):
+            stream.next()
+            continue
+        break
+    if not stream.exhausted():
+        raise ParseError(f"trailing tokens starting at {stream.peek()!r}")
+    return ConjunctiveQuery(
+        frozenset(atoms), frozenset(free), name=name or head_name
+    )

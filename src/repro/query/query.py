@@ -1,0 +1,180 @@
+"""Conjunctive queries.
+
+A conjunctive query (paper, Section 2) is a formula ``exists Xbar . Phi``
+where ``Phi`` is a conjunction of atoms and ``Xbar`` lists the quantified
+variables.  We represent a query by its set of atoms together with its set of
+*free* (output) variables; the quantified variables are all remaining ones.
+
+The class is immutable: transformations (``color``, ``with_free``, atom
+deletion for core search, ...) all return new queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..exceptions import QueryError
+from .atom import Atom, vars_of
+from .terms import Term, Variable
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """An immutable conjunctive query.
+
+    Attributes
+    ----------
+    atoms:
+        The set ``atoms(Q)`` as a frozenset.  Following the paper, the
+        conjunction is viewed as a *set* of atoms; duplicates are merged.
+    free_variables:
+        The set ``free(Q)`` of output variables.  Must be a subset of
+        ``vars(Q)``; an empty set yields a Boolean-style counting query whose
+        answer count is 0 or 1.
+    name:
+        Optional human-readable label used in reprs and experiment output.
+    """
+
+    atoms: FrozenSet[Atom]
+    free_variables: FrozenSet[Variable]
+    name: str = field(default="Q", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "atoms", frozenset(self.atoms))
+        object.__setattr__(self, "free_variables", frozenset(self.free_variables))
+        if not self.atoms:
+            raise QueryError("a conjunctive query needs at least one atom (m > 0)")
+        all_vars = vars_of(self.atoms)
+        stray = self.free_variables - all_vars
+        if stray:
+            raise QueryError(
+                f"free variables {sorted(v.name for v in stray)} do not occur "
+                "in any atom"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic views
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """The set ``vars(Q)`` of all variables occurring in the query."""
+        return vars_of(self.atoms)
+
+    @property
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """The quantified variables ``vars(Q) \\ free(Q)``."""
+        return self.variables - self.free_variables
+
+    @property
+    def relation_symbols(self) -> FrozenSet[str]:
+        """The vocabulary ``tau_Q`` of relation symbols used by the query."""
+        return frozenset(a.relation for a in self.atoms)
+
+    def arity(self) -> int:
+        """The maximum arity over the query's atoms."""
+        return max(a.arity for a in self.atoms)
+
+    def is_simple(self) -> bool:
+        """``True`` iff every atom uses a distinct relation symbol (Section 2)."""
+        symbols = [a.relation for a in self.atoms]
+        return len(symbols) == len(set(symbols))
+
+    def is_quantifier_free(self) -> bool:
+        """``True`` iff the query has no existential variables."""
+        return not self.existential_variables
+
+    def atoms_with_symbol(self, relation: str) -> FrozenSet[Atom]:
+        """All atoms over the given relation symbol."""
+        return frozenset(a for a in self.atoms if a.relation == relation)
+
+    def atoms_sorted(self) -> Tuple[Atom, ...]:
+        """Atoms in a deterministic order (by repr), for reproducible output."""
+        return tuple(sorted(self.atoms, key=repr))
+
+    # ------------------------------------------------------------------
+    # Structural views
+    # ------------------------------------------------------------------
+    def hypergraph(self):
+        """The associated hypergraph ``H_Q`` (one hyperedge per atom)."""
+        from ..hypergraph import Hypergraph  # local import avoids a cycle
+
+        return Hypergraph.from_edges(
+            (a.variable_set for a in self.atoms), nodes=self.variables
+        )
+
+    def as_structure(self) -> Dict[str, FrozenSet[Tuple[Term, ...]]]:
+        """The query viewed as a relational structure (paper, Section 2).
+
+        Returns a mapping from relation symbol to the set of term tuples of
+        atoms over that symbol; homomorphisms between queries are computed
+        over this view.
+        """
+        structure: Dict[str, set] = {}
+        for a in self.atoms:
+            structure.setdefault(a.relation, set()).add(a.terms)
+        return {symbol: frozenset(rows) for symbol, rows in structure.items()}
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_free(self, free_variables: Iterable[Variable],
+                  name: Optional[str] = None) -> "ConjunctiveQuery":
+        """The query ``Q[S]`` of Section 6: same atoms, new free variables."""
+        return ConjunctiveQuery(
+            self.atoms,
+            frozenset(free_variables),
+            name=name if name is not None else f"{self.name}[S]",
+        )
+
+    def without_atom(self, removed: Atom) -> "ConjunctiveQuery":
+        """Delete one atom (used by core minimization).
+
+        Free variables that no longer occur anywhere are dropped from the
+        free set; the paper's colored cores make this situation impossible
+        for output variables, but the raw operation must stay total.
+        """
+        remaining = self.atoms - {removed}
+        if not remaining:
+            raise QueryError("cannot delete the last atom of a query")
+        still_there = vars_of(remaining)
+        return ConjunctiveQuery(
+            remaining, self.free_variables & still_there, name=self.name
+        )
+
+    def restrict_to_atoms(self, atoms: Iterable[Atom]) -> "ConjunctiveQuery":
+        """The subquery over the given subset of atoms."""
+        kept = frozenset(atoms)
+        if not kept <= self.atoms:
+            raise QueryError("restrict_to_atoms received atoms not in the query")
+        still_there = vars_of(kept)
+        return ConjunctiveQuery(
+            kept, self.free_variables & still_there, name=self.name
+        )
+
+    def substitute(self, mapping: Mapping[Variable, Term],
+                   name: Optional[str] = None) -> "ConjunctiveQuery":
+        """Apply a substitution to every atom (endomorphism image)."""
+        new_atoms = frozenset(a.substitute(mapping) for a in self.atoms)
+        new_free = frozenset(
+            mapping.get(v, v) for v in self.free_variables
+            if isinstance(mapping.get(v, v), Variable)
+        )
+        return ConjunctiveQuery(
+            new_atoms, new_free & vars_of(new_atoms),
+            name=name if name is not None else self.name,
+        )
+
+    def renamed(self, name: str) -> "ConjunctiveQuery":
+        """Return a copy carrying a different display name."""
+        return ConjunctiveQuery(self.atoms, self.free_variables, name=name)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        free = ",".join(sorted(v.name for v in self.free_variables))
+        body = " & ".join(repr(a) for a in self.atoms_sorted())
+        return f"{self.name}({free}) :- {body}"
+
+    def size(self) -> int:
+        """A simple size measure ``||Q||``: total number of term positions."""
+        return sum(a.arity for a in self.atoms)

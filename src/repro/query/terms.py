@@ -1,0 +1,87 @@
+"""Terms of conjunctive queries: variables and constants.
+
+The paper (Section 2, *Relational Structures*) works with two disjoint
+universes: a universe of *constants* ``U`` and a universe of *variables*
+``X``.  A *term* is an element of either universe.  We model them as two
+small frozen classes so that terms are hashable, orderable (for deterministic
+output) and cheap to compare.
+
+Variables compare/hash by name; constants by value.  A :class:`Variable` and a
+:class:`Constant` are never equal to each other, even if the variable name and
+the constant value coincide — matching the paper's requirement that the two
+universes are disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by its name.
+
+    >>> Variable("A") == Variable("A")
+    True
+    >>> Variable("A") == Constant("A")
+    False
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A database constant.  The wrapped value must be hashable.
+
+    Constants occurring in query atoms must be mapped to themselves by any
+    homomorphism (Section 2), which the solver in
+    :mod:`repro.homomorphism.solver` enforces.
+    """
+
+    value: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"'{self.value}'"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return ``True`` if *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return ``True`` if *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def variables(terms) -> tuple:
+    """Return the tuple of distinct variables in *terms*, in first-occurrence order.
+
+    >>> a, b = Variable("A"), Variable("B")
+    >>> variables((a, Constant(3), b, a))
+    (A, B)
+    """
+    seen = []
+    for term in terms:
+        if isinstance(term, Variable) and term not in seen:
+            seen.append(term)
+    return tuple(seen)
+
+
+def make_variables(*names: str) -> tuple:
+    """Convenience constructor: ``make_variables("A", "B")`` -> ``(A, B)``."""
+    return tuple(Variable(name) for name in names)

@@ -1,0 +1,39 @@
+"""Hardness-side machinery: #Clique reductions and case complexity."""
+
+from .case_complexity import (
+    CountOracle,
+    automorphism_free_restrictions,
+    count_fullcolor_via_oracle,
+    count_simple_via_oracle,
+    simple_instance_for,
+    simple_query_of,
+)
+from .clique import (
+    clique_instance,
+    clique_query,
+    count_cliques_brute,
+    count_cliques_via_cq,
+    graph_database,
+    path_query,
+    random_graph,
+    star_frontier_instance,
+    star_frontier_query,
+)
+
+__all__ = [
+    "CountOracle",
+    "automorphism_free_restrictions",
+    "count_fullcolor_via_oracle",
+    "count_simple_via_oracle",
+    "simple_instance_for",
+    "simple_query_of",
+    "clique_instance",
+    "clique_query",
+    "count_cliques_brute",
+    "count_cliques_via_cq",
+    "graph_database",
+    "path_query",
+    "random_graph",
+    "star_frontier_instance",
+    "star_frontier_query",
+]

@@ -1,0 +1,285 @@
+"""Executable case-complexity machinery (Sections 5.1, 5.3, 5.4).
+
+The paper's hardness proofs are chains of *counting slice reductions*.  Two
+central links are genuinely algorithmic, and this module implements them so
+that they can be run and property-tested:
+
+* **Lemma 5.10** (:func:`count_fullcolor_via_oracle`): for queries whose
+  coloring is a core, counting answers of ``fullcolor(Q)`` reduces to
+  counting answers of ``Q`` itself, via (i) the product structure ``D``
+  pairing variables with their colored domains, (ii) automorphism-group
+  division, (iii) inclusion-exclusion over subsets ``T`` of the free
+  variables, and (iv) polynomial interpolation on ``j``-fold copies
+  ``D_{j,T}`` (a Vandermonde system, solved exactly over the rationals).
+
+* **Claim 5.16 / Corollary 5.17** (:func:`count_simple_via_oracle`):
+  counting answers of the *simple* query associated with (the core of the
+  coloring of) ``Q`` reduces to counting answers of ``Q``, through the
+  paired-domain structure ``Bhat`` and the Lemma 5.10 reduction.
+
+Together they make the trichotomy's reduction pipeline executable: the test
+suite checks both against brute force on random instances.
+
+Queries fed to these reductions must be constant-free (the paper's setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+from typing import Callable, Dict, FrozenSet, Hashable, List, Sequence, Tuple
+
+from ..counting.brute_force import count_brute_force
+from ..db.database import Database
+from ..db.relation import Relation
+from ..homomorphism.core import colored_core
+from ..homomorphism.solver import iter_homomorphisms, query_as_database
+from ..query.atom import Atom
+from ..query.coloring import color_symbol, fullcolor, is_color_atom, uncolor
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Constant, Variable
+
+#: An oracle solving count(Q, D) for a fixed query Q.
+CountOracle = Callable[[ConjunctiveQuery, Database], int]
+
+
+@dataclass(frozen=True)
+class OracleCallLog:
+    """Bookkeeping for reduction demonstrations: how often the oracle ran."""
+
+    calls: int
+    databases_built: int
+
+
+def _require_constant_free(query: ConjunctiveQuery) -> None:
+    for atom in query.atoms:
+        for term in atom.terms:
+            if isinstance(term, Constant):
+                raise ValueError(
+                    "case-complexity reductions require constant-free queries"
+                )
+
+
+# ----------------------------------------------------------------------
+# Lemma 5.10: simulating unary relations
+# ----------------------------------------------------------------------
+def automorphism_free_restrictions(query: ConjunctiveQuery) -> int:
+    """``|I|``: the number of distinct restrictions to ``free(Q)`` of
+    automorphisms of ``Q`` (viewed as a structure).
+
+    Automorphisms of a finite structure are exactly its bijective
+    endomorphisms, enumerated through the homomorphism solver.
+    """
+    variables = query.variables
+    target = query_as_database(query)
+    seen: set = set()
+    for hom in iter_homomorphisms(query, target):
+        if len(set(hom.values())) == len(variables):
+            seen.add(frozenset(
+                (v, hom[v]) for v in query.free_variables
+            ))
+    return max(len(seen), 1)
+
+
+def _paired_structure(query: ConjunctiveQuery, colored_db: Database
+                      ) -> Database:
+    """The structure ``D`` of Lemma 5.10 over the paired domain
+    ``{(X, b) | b in r_X^B}``."""
+    domain_of: Dict[Variable, List[Hashable]] = {}
+    for variable in sorted(query.variables, key=lambda v: v.name):
+        relation = colored_db.get(color_symbol(variable))
+        domain_of[variable] = sorted(
+            (row[0] for row in relation) if relation is not None else (),
+            key=repr,
+        )
+    rows_by_symbol: Dict[str, set] = {}
+    arities: Dict[str, int] = {}
+    for atom in query.atoms_sorted():
+        arities[atom.relation] = atom.arity
+        rows_by_symbol.setdefault(atom.relation, set())
+        base = colored_db.get(atom.relation)
+        if base is None:
+            continue
+        pattern: Tuple[Variable, ...] = atom.terms  # constant-free
+        for row in base:
+            if all(row[i] in domain_of[pattern[i]] for i in range(len(row))):
+                rows_by_symbol[atom.relation].add(tuple(
+                    (pattern[i].name, row[i]) for i in range(len(row))
+                ))
+    return Database(
+        Relation(symbol, arities[symbol], rows_by_symbol[symbol])
+        for symbol in rows_by_symbol
+    )
+
+
+def _copied_structure(paired: Database, copy_set: FrozenSet[str],
+                      copies: int) -> Database:
+    """``D_{j,T}``: blow up elements ``(X, b)`` with ``X in T`` into
+    *copies* tagged clones."""
+
+    def clones(value) -> List:
+        name, base = value
+        if name in copy_set:
+            return [(name, k, base) for k in range(copies)]
+        return [value]
+
+    relations = []
+    for symbol in paired:
+        base = paired[symbol]
+        rows: set = set()
+        for row in base:
+            expanded: List[List] = [clones(value) for value in row]
+            stack: List[Tuple] = [()]
+            for options in expanded:
+                stack = [prefix + (option,)
+                         for prefix in stack for option in options]
+            rows.update(stack)
+        relations.append(Relation(symbol, base.arity, rows))
+    return Database(relations)
+
+
+def _solve_vandermonde(points: Sequence[int], values: Sequence[int]
+                       ) -> List[Fraction]:
+    """Solve ``sum_i c_i * x^i = y`` exactly for the coefficients ``c_i``."""
+    n = len(points)
+    matrix = [[Fraction(x) ** i for i in range(n)] for x in points]
+    augmented = [row + [Fraction(values[r])] for r, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = next(r for r in range(col, n) if augmented[r][col] != 0)
+        augmented[col], augmented[pivot] = augmented[pivot], augmented[col]
+        inv = Fraction(1) / augmented[col][col]
+        augmented[col] = [value * inv for value in augmented[col]]
+        for r in range(n):
+            if r != col and augmented[r][col] != 0:
+                factor = augmented[r][col]
+                augmented[r] = [
+                    x - factor * y
+                    for x, y in zip(augmented[r], augmented[col])
+                ]
+    return [augmented[i][n] for i in range(n)]
+
+
+def count_fullcolor_via_oracle(query: ConjunctiveQuery,
+                               colored_db: Database,
+                               oracle: CountOracle = count_brute_force
+                               ) -> int:
+    """Lemma 5.10: ``|fullcolor(Q)(B)|`` using only an oracle for ``Q``.
+
+    Preconditions: ``color(query)`` is a core; *colored_db* provides the
+    base relations plus a unary ``r_X`` relation for every variable of the
+    query; the query is constant-free.
+    """
+    _require_constant_free(query)
+    free = sorted(query.free_variables, key=lambda v: v.name)
+    f = len(free)
+    paired = _paired_structure(query, colored_db)
+    if f == 0:
+        # No free variables: the answer is 0/1 — ask the oracle directly.
+        return 1 if oracle(query, paired) > 0 else 0
+    free_names = [v.name for v in free]
+    size_i = automorphism_free_restrictions(query)
+    total = Fraction(0)
+    for t_size in range(f + 1):
+        for subset in combinations(free_names, t_size):
+            copy_set = frozenset(subset)
+            points = list(range(1, f + 2))
+            values = [
+                oracle(query, _copied_structure(paired, copy_set, j))
+                for j in points
+            ]
+            coefficients = _solve_vandermonde(points, values)
+            n_t = coefficients[f]  # N_{T, f}: all free images inside T
+            sign = -1 if (f - t_size) % 2 else 1
+            total += sign * n_t
+    answer = total / size_i
+    if answer.denominator != 1 or answer < 0:
+        raise ArithmeticError(
+            f"reduction produced a non-integral count {answer}; "
+            "was color(Q) really a core?"
+        )
+    return int(answer)
+
+
+# ----------------------------------------------------------------------
+# Claim 5.16 / Corollary 5.17: from simple queries to general queries
+# ----------------------------------------------------------------------
+def simple_query_of(query: ConjunctiveQuery
+                    ) -> Tuple[ConjunctiveQuery, Dict[Atom, str]]:
+    """``simple(Q)``: rename atoms apart so every symbol occurs once.
+
+    Returns the simple query and the atom-to-fresh-symbol mapping.
+    """
+    renaming: Dict[Atom, str] = {}
+    fresh_atoms = []
+    for index, atom in enumerate(query.atoms_sorted()):
+        fresh = f"__simple_{index}_{atom.relation}"
+        renaming[atom] = fresh
+        fresh_atoms.append(atom.rename_relation(fresh))
+    simple = ConjunctiveQuery(
+        frozenset(fresh_atoms), query.free_variables,
+        name=f"simple({query.name})",
+    )
+    return simple, renaming
+
+
+def _paired_database_for_simple(hat_query: ConjunctiveQuery,
+                                renaming: Dict[Atom, str],
+                                simple_db: Database) -> Database:
+    """``Bhat`` of Claim 5.16 over the domain ``vars(Qs) x B``."""
+    domain = sorted(simple_db.active_domain(), key=repr)
+    rows_by_symbol: Dict[str, set] = {}
+    arities: Dict[str, int] = {}
+    for atom in hat_query.atoms_sorted():
+        arities[atom.relation] = atom.arity
+        rows_by_symbol.setdefault(atom.relation, set())
+        source = simple_db.get(renaming[atom])
+        if source is None:
+            continue
+        pattern: Tuple[Variable, ...] = atom.terms
+        for row in source:
+            rows_by_symbol[atom.relation].add(tuple(
+                (pattern[i].name, row[i]) for i in range(len(row))
+            ))
+    relations = [
+        Relation(symbol, arities[symbol], rows_by_symbol[symbol])
+        for symbol in rows_by_symbol
+    ]
+    for variable in sorted(hat_query.variables, key=lambda v: v.name):
+        relations.append(Relation(
+            color_symbol(variable), 1,
+            {((variable.name, b),) for b in domain},
+        ))
+    return Database(relations)
+
+
+def count_simple_via_oracle(query: ConjunctiveQuery, simple_db: Database,
+                            oracle: CountOracle = count_brute_force) -> int:
+    """Corollary 5.17 executed: count the answers of ``simple(Qhat)`` on
+    *simple_db* using only a count oracle for *query*.
+
+    ``Qhat`` is the uncolored core of ``color(query)`` — logically
+    equivalent to *query* (Theorem 5.14), so the oracle transfers.  The
+    pipeline is Claim 5.16's structure construction followed by the
+    Lemma 5.10 interpolation.  The matching instance builder is
+    :func:`simple_instance_for`.
+    """
+    _require_constant_free(query)
+    colored = colored_core(query)
+    hat_query = uncolor(colored, name=f"hat({query.name})")
+    _simple, renaming = simple_query_of(hat_query)
+    paired_db = _paired_database_for_simple(hat_query, renaming, simple_db)
+
+    def hat_oracle(q: ConjunctiveQuery, d: Database) -> int:
+        return oracle(q, d)
+
+    return count_fullcolor_via_oracle(hat_query, paired_db, hat_oracle)
+
+
+def simple_instance_for(query: ConjunctiveQuery
+                        ) -> Tuple[ConjunctiveQuery, Dict[Atom, str]]:
+    """The simple query whose counts :func:`count_simple_via_oracle`
+    computes: ``simple(Qhat)`` for ``Qhat`` the uncolored colored-core."""
+    colored = colored_core(query)
+    hat_query = uncolor(colored, name=f"hat({query.name})")
+    return simple_query_of(hat_query)

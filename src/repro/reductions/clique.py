@@ -1,0 +1,154 @@
+"""#Clique reductions and hard instance families (Section 5, Theorem 1.6).
+
+The hardness side of the trichotomy reduces parameterized (counting of)
+cliques to #CQ over classes of unbounded #-hypertree width.  This module
+makes those objects executable:
+
+* :func:`clique_query` — the canonical hard family: the quantifier-free
+  query ``AND_{i<j} e(Xi, Xj)`` whose treewidth is ``k - 1``;
+* :func:`clique_instance` — a ``(query, database)`` pair from a graph, with
+  ``count = k! * #k-cliques`` (ordered cliques);
+* :func:`count_cliques_via_cq` — #Clique solved through any #CQ oracle,
+  the executable content of the reduction from ``#Clique[N]``;
+* :func:`star_frontier_query` — the Section 5.5 gadget family with one
+  quantified hub whose frontier is an independent set of size ``k``
+  (unbounded frontier size => hard by Lemma 5.18);
+* :func:`random_graph` / :func:`count_cliques_brute` — test substrate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..db.database import Database
+from ..db.relation import Relation
+from ..query.atom import Atom
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+
+Graph = Dict[int, Set[int]]
+
+
+def random_graph(n_vertices: int, edge_probability: float,
+                 seed: Optional[int] = None) -> Graph:
+    """An Erdos-Renyi graph as an adjacency mapping."""
+    rng = random.Random(seed)
+    graph: Graph = {v: set() for v in range(n_vertices)}
+    for u in range(n_vertices):
+        for v in range(u + 1, n_vertices):
+            if rng.random() < edge_probability:
+                graph[u].add(v)
+                graph[v].add(u)
+    return graph
+
+
+def count_cliques_brute(graph: Graph, k: int) -> int:
+    """The number of *k*-cliques by direct enumeration (oracle for tests)."""
+    vertices = sorted(graph)
+    count = 0
+    for combo in combinations(vertices, k):
+        if all(b in graph[a] for a, b in combinations(combo, 2)):
+            count += 1
+    return count
+
+
+def clique_query(k: int) -> ConjunctiveQuery:
+    """``Clique_k``: free ``X1..Xk``, one atom ``e(Xi, Xj)`` per pair.
+
+    Quantifier-free with treewidth ``k - 1``: the canonical family whose
+    counting problem is #W[1]-hard (Theorem 5.24, [DJ04]).
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    xs = [Variable(f"X{i}") for i in range(1, k + 1)]
+    atoms = [Atom("e", (xs[i], xs[j]))
+             for i in range(k) for j in range(i + 1, k)]
+    return ConjunctiveQuery(frozenset(atoms), frozenset(xs), name=f"Clique{k}")
+
+
+def graph_database(graph: Graph) -> Database:
+    """The symmetric edge relation ``e`` of a graph."""
+    rows = {(u, v) for u, neighbours in graph.items() for v in neighbours}
+    if not rows:
+        rows = set()
+    return Database([Relation("e", 2, rows)])
+
+
+def clique_instance(graph: Graph, k: int
+                    ) -> Tuple[ConjunctiveQuery, Database]:
+    """The #CQ instance whose answer count is ``k! * #k-cliques(graph)``."""
+    return clique_query(k), graph_database(graph)
+
+
+def count_cliques_via_cq(graph: Graph, k: int, oracle=None) -> int:
+    """#Clique through a #CQ oracle (the Theorem 1.6(3) direction).
+
+    *oracle* maps ``(query, database) -> count``; defaults to the library's
+    brute-force counter.  Ordered cliques are divided by ``k!``.
+    """
+    from ..counting.brute_force import count_brute_force
+
+    oracle = oracle or count_brute_force
+    query, database = clique_instance(graph, k)
+    ordered = oracle(query, database)
+    if ordered % math.factorial(k):
+        raise ArithmeticError(
+            "ordered clique count not divisible by k! — oracle is broken"
+        )
+    return ordered // math.factorial(k)
+
+
+def star_frontier_query(k: int) -> ConjunctiveQuery:
+    """The unbounded-frontier gadget of Section 5.5 / [DM15].
+
+    One existential hub ``Y`` linked to ``k`` pairwise non-adjacent free
+    variables: ``exists Y . AND_i s_i(Xi, Y)``.  Its quantified star size
+    and frontier size are ``k`` while its hypertree width is 1, so the
+    family is the minimal witness for Lemma 5.18's hardness.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    xs = [Variable(f"X{i}") for i in range(1, k + 1)]
+    hub = Variable("Y")
+    atoms = [Atom(f"s{i}", (x, hub)) for i, x in enumerate(xs, start=1)]
+    return ConjunctiveQuery(frozenset(atoms), frozenset(xs), name=f"Star{k}")
+
+
+def star_frontier_instance(graph: Graph, k: int
+                           ) -> Tuple[ConjunctiveQuery, Database]:
+    """An instance of the star gadget encoding #k-independent-ish structure.
+
+    Each ``s_i`` pairs a vertex with a "certificate" value; the hub forces
+    all free variables to share a certificate, which is how the [DM15]
+    reduction transports clique counting into star-size-heavy queries.
+    Here the certificates are the graph's edges and the instance counts
+    ``k``-tuples of vertices all incident to a common edge — enough to
+    benchmark the blowup without reproducing the full reduction chain.
+    """
+    query = star_frontier_query(k)
+    edges = sorted(
+        {(min(u, v), max(u, v)) for u, ns in graph.items() for v in ns}
+    )
+    certificates = list(range(len(edges)))
+    rows = set()
+    for cert, (u, v) in zip(certificates, edges):
+        for vertex in (u, v):
+            rows.add((vertex, cert))
+    relations = [
+        Relation(f"s{i}", 2, rows) for i in range(1, k + 1)
+    ]
+    return query, Database(relations)
+
+
+def path_query(k: int) -> ConjunctiveQuery:
+    """The tractable control family: a length-``k`` path, all variables free.
+
+    Treewidth 1 for every ``k`` — counting stays polynomial, the foil to
+    :func:`clique_query` in the trichotomy benchmark.
+    """
+    xs = [Variable(f"X{i}") for i in range(1, k + 2)]
+    atoms = [Atom("e", (xs[i], xs[i + 1])) for i in range(k)]
+    return ConjunctiveQuery(frozenset(atoms), frozenset(xs), name=f"Path{k}")

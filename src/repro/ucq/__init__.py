@@ -1,0 +1,41 @@
+"""Unions of conjunctive queries (UCQs).
+
+The paper's results were extended to unions of conjunctive queries by Chen
+and Mengel [CM16, CM17] (Section 1.3): the same answer may satisfy several
+disjuncts, so counting the union requires avoiding overcounting.  This
+subpackage implements the exact machinery:
+
+* :mod:`repro.ucq.union_query` — the :class:`UnionQuery` container and a
+  parser for ``;``-separated disjuncts;
+* :mod:`repro.ucq.conjoin` — the product construction: the answers common
+  to two CQs are the answers of their conjunction with existential
+  variables renamed apart;
+* :mod:`repro.ucq.counting` — inclusion–exclusion counting over the exact
+  engines, with homomorphism-based subsumption pruning of redundant
+  disjuncts (a disjunct contained in another contributes nothing to the
+  union).
+
+The randomized alternative (Karp–Luby) lives in
+:mod:`repro.approx.karp_luby` and uses these constructions.
+"""
+
+from .conjoin import conjoin, conjoin_all, rename_existentials_apart
+from .counting import (
+    count_union,
+    count_union_brute_force,
+    disjunct_is_subsumed,
+    prune_subsumed_disjuncts,
+)
+from .union_query import UnionQuery, parse_ucq
+
+__all__ = [
+    "UnionQuery",
+    "parse_ucq",
+    "conjoin",
+    "conjoin_all",
+    "rename_existentials_apart",
+    "count_union",
+    "count_union_brute_force",
+    "disjunct_is_subsumed",
+    "prune_subsumed_disjuncts",
+]

@@ -1,0 +1,74 @@
+"""Conjunction of CQs sharing an output schema (the intersection construction).
+
+For disjuncts ``Q_i`` over the same free variables, the set of answers
+common to all of them is exactly the answer set of the query whose atoms
+are the union of the ``Q_i``'s atoms *after renaming the existential
+variables apart*: an assignment of the free variables is in the
+intersection iff each disjunct independently has a witness, and disjoint
+existential namespaces keep the witnesses independent.  This is the
+standard product step of inclusion–exclusion over UCQ answers [CM16].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..exceptions import QueryError
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+
+
+def rename_existentials_apart(query: ConjunctiveQuery, suffix: str
+                              ) -> ConjunctiveQuery:
+    """Rename every existential variable by appending *suffix*.
+
+    Free variables are untouched; the renaming must not collide with any
+    existing variable of the query.
+    """
+    mapping: Dict[Variable, Variable] = {}
+    taken = {v.name for v in query.variables}
+    for variable in sorted(query.existential_variables,
+                           key=lambda v: v.name):
+        renamed = Variable(f"{variable.name}{suffix}")
+        if renamed.name in taken:
+            raise QueryError(
+                f"renaming collision: {renamed.name} already occurs in "
+                f"{query.name}"
+            )
+        mapping[variable] = renamed
+    if not mapping:
+        return query
+    return query.substitute(mapping, name=query.name)
+
+
+def conjoin(first: ConjunctiveQuery, second: ConjunctiveQuery,
+            name: str | None = None) -> ConjunctiveQuery:
+    """The conjunction of two CQs over the same free variables.
+
+    Answers of the result = (answers of *first*) ∩ (answers of *second*).
+    """
+    return conjoin_all((first, second), name=name)
+
+
+def conjoin_all(queries: Sequence[ConjunctiveQuery],
+                name: str | None = None) -> ConjunctiveQuery:
+    """The conjunction of several CQs over the same free variables."""
+    queries = tuple(queries)
+    if not queries:
+        raise QueryError("conjoin_all needs at least one query")
+    schema = queries[0].free_variables
+    for query in queries[1:]:
+        if query.free_variables != schema:
+            raise QueryError(
+                "conjoin requires identical free variables; got "
+                f"{sorted(v.name for v in schema)} and "
+                f"{sorted(v.name for v in query.free_variables)}"
+            )
+    atoms: set = set()
+    for index, query in enumerate(queries):
+        renamed = rename_existentials_apart(query, f"_c{index}")
+        atoms.update(renamed.atoms)
+    return ConjunctiveQuery(
+        frozenset(atoms), schema,
+        name=name or "&".join(q.name for q in queries),
+    )

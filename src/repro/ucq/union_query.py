@@ -1,0 +1,96 @@
+"""The :class:`UnionQuery` container and its parser.
+
+A UCQ is a finite disjunction ``Q_1 ∨ ... ∨ Q_r`` of conjunctive queries
+over the *same* set of free variables; its answer set is the union of the
+per-disjunct answer sets.  Disjunct order is preserved (the Karp–Luby
+estimator's "first containing disjunct" trick needs a fixed order), but two
+UCQs with the same disjuncts in different orders are equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Tuple
+
+from ..exceptions import QueryError
+from ..query.parser import parse_query
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A union of conjunctive queries with a common output schema."""
+
+    disjuncts: Tuple[ConjunctiveQuery, ...]
+    name: str = field(default="U", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "disjuncts", tuple(self.disjuncts))
+        if not self.disjuncts:
+            raise QueryError("a union query needs at least one disjunct")
+        schema = self.disjuncts[0].free_variables
+        for disjunct in self.disjuncts[1:]:
+            if disjunct.free_variables != schema:
+                raise QueryError(
+                    "all disjuncts of a union query must share the same "
+                    f"free variables; got {sorted(v.name for v in schema)} "
+                    "and "
+                    f"{sorted(v.name for v in disjunct.free_variables)}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def free_variables(self) -> FrozenSet[Variable]:
+        """The common output schema."""
+        return self.disjuncts[0].free_variables
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionQuery):
+            return NotImplemented
+        return frozenset(self.disjuncts) == frozenset(other.disjuncts)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.disjuncts))
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(q) for q in self.disjuncts)
+
+    # ------------------------------------------------------------------
+    def with_disjuncts(self, disjuncts) -> "UnionQuery":
+        """A copy over a different disjunct tuple (same name)."""
+        return UnionQuery(tuple(disjuncts), name=self.name)
+
+    def relation_symbols(self) -> FrozenSet[str]:
+        """The union of the disjuncts' vocabularies."""
+        symbols: set = set()
+        for disjunct in self.disjuncts:
+            symbols |= disjunct.relation_symbols
+        return frozenset(symbols)
+
+
+def parse_ucq(text: str, name: str | None = None) -> UnionQuery:
+    """Parse ``;``-separated Datalog rules into a :class:`UnionQuery`.
+
+    Example::
+
+        parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A)")
+
+    Each rule is parsed by :func:`repro.query.parser.parse_query`; the heads
+    must agree on their variables (order inside the head is irrelevant — the
+    output schema is a set, as everywhere in the library).
+    """
+    pieces = [piece.strip() for piece in text.split(";") if piece.strip()]
+    if not pieces:
+        raise QueryError("empty union query text")
+    disjuncts = tuple(
+        parse_query(piece, name=f"{name or 'U'}_{index}")
+        for index, piece in enumerate(pieces)
+    )
+    return UnionQuery(disjuncts, name=name or "U")

@@ -1,0 +1,69 @@
+"""Paper example instances and synthetic workload generators."""
+
+from .graph_patterns import (
+    clique_query,
+    count_cliques_brute_force,
+    cycle_query,
+    gnp_graph,
+    grid_graph,
+    path_query,
+    preferential_attachment_graph,
+    star_query,
+    triangle_per_vertex_query,
+)
+from .paper_databases import d2_bar_database, d2_database, workforce_database
+from .paper_queries import (
+    all_paper_queries,
+    q0,
+    q0_expected_core_atoms,
+    q0_symmetric_core_atoms,
+    q1_cycle,
+    q2_acyclic,
+    q2_bar,
+    q2_pseudo_free,
+    qn1_chain,
+    qn1_expected_core_atoms,
+    qn2_biclique,
+    v0_view_set,
+)
+from .random_instances import random_acyclic_query, random_instance, random_query
+from .snowflake import (
+    customers_by_category_query,
+    same_region_pairs_query,
+    snowflake_database,
+    store_catalogue_query,
+)
+
+__all__ = [
+    "clique_query",
+    "count_cliques_brute_force",
+    "cycle_query",
+    "gnp_graph",
+    "grid_graph",
+    "path_query",
+    "preferential_attachment_graph",
+    "star_query",
+    "triangle_per_vertex_query",
+    "customers_by_category_query",
+    "same_region_pairs_query",
+    "snowflake_database",
+    "store_catalogue_query",
+    "d2_bar_database",
+    "d2_database",
+    "workforce_database",
+    "all_paper_queries",
+    "q0",
+    "q0_expected_core_atoms",
+    "q0_symmetric_core_atoms",
+    "q1_cycle",
+    "q2_acyclic",
+    "q2_bar",
+    "q2_pseudo_free",
+    "qn1_chain",
+    "qn1_expected_core_atoms",
+    "qn2_biclique",
+    "v0_view_set",
+    "random_acyclic_query",
+    "random_instance",
+    "random_query",
+]

@@ -1,0 +1,135 @@
+"""Databases for the paper's worked examples.
+
+* :func:`d2_database` — the Figure 12(b) database for ``Q^h_2``
+  (Example C.1/C.2): binary-counter relations where every free-variable
+  assignment has a unique extension except at the ``s`` vertex;
+* :func:`d2_bar_database` — the Figure 9 database ``barD^m_2`` for
+  ``barQ^h_2`` (Example 6.3): same skeleton plus a free-floating ``Z``
+  column with ``m`` extensions per answer;
+* :func:`workforce_database` — a realistic synthetic instance for the
+  Example 1.1 workforce schema, with tunable sizes and key-like degrees.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..db.database import Database
+from ..db.relation import Relation
+
+
+def _bits(value: int, width: int) -> tuple:
+    """Binary encoding of *value*, most significant bit first."""
+    return tuple((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def d2_database(h: int) -> Database:
+    """The Figure 12(b) database ``D_2`` for ``Q^h_2`` with ``m = 2^h``.
+
+    * ``r(X0, Y1..Yh)``: ``(a_t, bits(t))`` for ``t = 0..m-1``;
+    * ``s(Y0, Y1..Yh)``: ``(b_t, bits(t))`` — ``Y0`` is determined, but the
+      vertex covering ``s`` sees no free variable, so its degree is ``m``;
+    * ``wi(Xi, Yi)``: ``{(xb, 0), (xc, 1)}`` — each bit picks one of two
+      machine-independent constants.
+
+    The query has exactly ``m`` answers (one per counter value).
+    """
+    m = 2 ** h
+    r_rows = [(f"a{t}",) + _bits(t, h) for t in range(m)]
+    s_rows = [(f"b{t}",) + _bits(t, h) for t in range(m)]
+    relations = [
+        Relation("r", h + 1, r_rows),
+        Relation("s", h + 1, s_rows),
+    ]
+    for i in range(1, h + 1):
+        relations.append(Relation(f"w{i}", 2, [("xb", 0), ("xc", 1)]))
+    return Database(relations)
+
+
+def d2_bar_database(h: int, m_z: Optional[int] = None) -> Database:
+    """The Figure 9 database ``barD^m_2`` for ``barQ^h_2``.
+
+    Extends :func:`d2_database` with a ``Z`` column: ``rbar`` pairs every
+    counter row with every ``z_j``, and ``v(Z, X1)`` accepts every
+    combination — so each answer has ``m_z`` extensions to ``Z`` (default
+    ``m_z = 2^h``, the paper's ``m``), making ``bound(D, HD) = m`` for
+    *every* purely structural decomposition, while the ``Y`` variables have
+    degree 1 and are perfect pseudo-free candidates.
+    """
+    m = 2 ** h
+    if m_z is None:
+        m_z = m
+    rbar_rows = [
+        (f"a{t}",) + _bits(t, h) + (f"z{j}",)
+        for t in range(m) for j in range(m_z)
+    ]
+    s_rows = [(f"b{t}",) + _bits(t, h) for t in range(m)]
+    v_rows = [(f"z{j}", x) for j in range(m_z) for x in ("xb", "xc")]
+    relations = [
+        Relation("rbar", h + 2, rbar_rows),
+        Relation("s", h + 1, s_rows),
+        Relation("v", 2, v_rows),
+    ]
+    for i in range(1, h + 1):
+        relations.append(Relation(f"w{i}", 2, [("xb", 0), ("xc", 1)]))
+    return Database(relations)
+
+
+def workforce_database(n_workers: int = 30, n_machines: int = 10,
+                       n_projects: int = 6, n_tasks: int = 12,
+                       n_subtasks: int = 20, n_resources: int = 8,
+                       tasks_per_worker: int = 2,
+                       seed: Optional[int] = None) -> Database:
+    """A synthetic instance of the Example 1.1 workforce schema.
+
+    Relations: ``mw(machine, worker, hours)``, ``wt(worker, task)``,
+    ``wi(worker, info)``, ``pt(project, task)``, ``st(task, subtask)``,
+    ``rr(task_or_subtask, resource)``.  Every task requires at least one
+    resource shared with its subtasks so the triangle
+    ``rr(G,H) & rr(F,H) & rr(D,H)`` of ``Q0`` is satisfiable, and
+    ``tasks_per_worker`` controls the ``deg(B, wt)`` quasi-key degree that
+    Example 1.5 discusses.
+    """
+    rng = random.Random(seed)
+    workers = [f"w{i}" for i in range(n_workers)]
+    machines = [f"m{i}" for i in range(n_machines)]
+    projects = [f"p{i}" for i in range(n_projects)]
+    tasks = [f"t{i}" for i in range(n_tasks)]
+    subtasks = [f"u{i}" for i in range(n_subtasks)]
+    resources = [f"r{i}" for i in range(n_resources)]
+
+    mw_rows = {
+        (rng.choice(machines), worker, rng.randrange(1, 40))
+        for worker in workers
+    }
+    wt_rows = {
+        (worker, rng.choice(tasks))
+        for worker in workers
+        for _ in range(tasks_per_worker)
+    }
+    wi_rows = {(worker, f"info-{worker}") for worker in workers}
+    pt_rows = {
+        (project, rng.choice(tasks))
+        for project in projects
+        for _ in range(2)
+    }
+    st_rows = set()
+    rr_rows = set()
+    for task in tasks:
+        children = rng.sample(subtasks, k=min(3, len(subtasks)))
+        shared_resource = rng.choice(resources)
+        rr_rows.add((task, shared_resource))
+        for child in children:
+            st_rows.add((task, child))
+            rr_rows.add((child, shared_resource))
+            if rng.random() < 0.5:
+                rr_rows.add((child, rng.choice(resources)))
+    return Database([
+        Relation("mw", 3, mw_rows),
+        Relation("wt", 2, wt_rows),
+        Relation("wi", 2, wi_rows),
+        Relation("pt", 2, pt_rows),
+        Relation("st", 2, st_rows),
+        Relation("rr", 2, rr_rows),
+    ])

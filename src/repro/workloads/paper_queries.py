@@ -1,0 +1,224 @@
+"""Every example query of the paper, constructed exactly as written.
+
+* :func:`q0` — the workforce query of Example 1.1 (Figures 1-3, 7);
+* :func:`q0_symmetric_core_atoms` — the "other" core of Example 3.5;
+* :func:`v0_view_set` — the resource views ``V0`` of Figures 4/7;
+* :func:`q1_cycle` — the 4-cycle query of Example 4.1 (Figure 8);
+* :func:`q2_acyclic` — ``Q^h_2`` of Example C.1 (Figure 12);
+* :func:`q2_bar` — ``barQ^h_2`` of Example 6.3 (Figures 9-10);
+* :func:`qn1_chain` — ``Q^n_1`` of Example A.2 (Figure 11);
+* :func:`qn2_biclique` — ``Q^n_2`` from the proof of Theorem A.3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..consistency.views import View, ViewSet
+from ..query.atom import Atom
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+
+
+def _v(name: str) -> Variable:
+    return Variable(name)
+
+
+# ----------------------------------------------------------------------
+# Example 1.1 — the workforce query Q0
+# ----------------------------------------------------------------------
+def q0() -> ConjunctiveQuery:
+    """``Q0``: free {A, B, C}, existential {D, ..., I} (Example 1.1)."""
+    a, b, c, d, e, f, g, h, i = (_v(x) for x in "ABCDEFGHI")
+    atoms = [
+        Atom("mw", (a, b, i)),
+        Atom("wt", (b, d)),
+        Atom("wi", (b, e)),
+        Atom("pt", (c, d)),
+        Atom("st", (d, f)),
+        Atom("st", (d, g)),
+        Atom("rr", (g, h)),
+        Atom("rr", (f, h)),
+        Atom("rr", (d, h)),
+    ]
+    return ConjunctiveQuery(frozenset(atoms), frozenset({a, b, c}), name="Q0")
+
+
+def q0_expected_core_atoms() -> frozenset:
+    """The plain atoms of the core shown in Figure 3(a)/Example 3.4:
+    ``st(D,G)`` and ``rr(G,H)`` are dropped (G maps to F)."""
+    a, b, c, d, e, f, h, i = (_v(x) for x in "ABCDEFHI")
+    return frozenset([
+        Atom("mw", (a, b, i)),
+        Atom("wt", (b, d)),
+        Atom("wi", (b, e)),
+        Atom("pt", (c, d)),
+        Atom("st", (d, f)),
+        Atom("rr", (f, h)),
+        Atom("rr", (d, h)),
+    ])
+
+
+def q0_symmetric_core_atoms() -> frozenset:
+    """The symmetric core of Example 3.5 keeping ``{D,G}``/``{G,H}`` and
+    dropping ``{D,F}``/``{F,H}`` (F maps to G)."""
+    a, b, c, d, e, g, h, i = (_v(x) for x in "ABCDEGHI")
+    return frozenset([
+        Atom("mw", (a, b, i)),
+        Atom("wt", (b, d)),
+        Atom("wi", (b, e)),
+        Atom("pt", (c, d)),
+        Atom("st", (d, g)),
+        Atom("rr", (g, h)),
+        Atom("rr", (d, h)),
+    ])
+
+
+def v0_view_set() -> ViewSet:
+    """The resource views ``V0`` of Example 3.5 / Figures 4(c), 7(d).
+
+    Besides the query views of ``Q0``, ``V0`` offers a view over
+    ``{B, C, D}`` (linking workers, projects and tasks) and one over
+    ``{D, F, H}`` (absorbing that triangle) — but *no* view covering the
+    symmetric triangle ``{D, G, H}``, which is why the symmetric core of
+    Example 3.5 admits no tree projection.
+    """
+    query = q0()
+    views: List[View] = []
+    for index, atom in enumerate(query.atoms_sorted()):
+        views.append(View(
+            name=f"qv{index}",
+            variables=atom.variable_set,
+            source_atoms=(atom,),
+            is_query_view=True,
+        ))
+    by_repr = {repr(a): a for a in query.atoms}
+    views.append(View(
+        name="v_bcd",
+        variables=frozenset({_v("B"), _v("C"), _v("D")}),
+        source_atoms=(by_repr["wt(B, D)"], by_repr["pt(C, D)"]),
+    ))
+    views.append(View(
+        name="v_dfh",
+        variables=frozenset({_v("D"), _v("F"), _v("H")}),
+        source_atoms=(by_repr["st(D, F)"], by_repr["rr(F, H)"],
+                      by_repr["rr(D, H)"]),
+    ))
+    return ViewSet(views)
+
+
+# ----------------------------------------------------------------------
+# Example 4.1 — the 4-cycle Q1
+# ----------------------------------------------------------------------
+def q1_cycle() -> ConjunctiveQuery:
+    """``Q1 = exists B, D . s1(A,B) & s2(B,C) & s3(C,D) & s4(D,A)``,
+    ``free = {A, C}`` (Example 4.1, Figure 8)."""
+    a, b, c, d = (_v(x) for x in "ABCD")
+    atoms = [
+        Atom("s1", (a, b)),
+        Atom("s2", (b, c)),
+        Atom("s3", (c, d)),
+        Atom("s4", (d, a)),
+    ]
+    return ConjunctiveQuery(frozenset(atoms), frozenset({a, c}), name="Q1")
+
+
+# ----------------------------------------------------------------------
+# Example C.1 — the acyclic Q^h_2
+# ----------------------------------------------------------------------
+def q2_acyclic(h: int) -> ConjunctiveQuery:
+    """``Q^h_2 = exists Y0..Yh . r(X0,Y1..Yh) & s(Y0..Yh) & AND_i wi(Xi,Yi)``
+    with ``free = {X0..Xh}`` (Example C.1, Figure 12)."""
+    if h < 1:
+        raise ValueError("h must be at least 1")
+    xs = [_v(f"X{i}") for i in range(h + 1)]
+    ys = [_v(f"Y{i}") for i in range(h + 1)]
+    atoms = [
+        Atom("r", tuple([xs[0]] + ys[1:])),
+        Atom("s", tuple(ys)),
+    ]
+    for i in range(1, h + 1):
+        atoms.append(Atom(f"w{i}", (xs[i], ys[i])))
+    return ConjunctiveQuery(frozenset(atoms), frozenset(xs), name=f"Q2^{h}")
+
+
+# ----------------------------------------------------------------------
+# Example 6.3 — the cyclic barQ^h_2
+# ----------------------------------------------------------------------
+def q2_bar(h: int) -> ConjunctiveQuery:
+    """``barQ^h_2``: Example 6.3's hybrid-tractable query (Figure 10(a)).
+
+    ``exists Y0..Yh, Z . rbar(X0, Y1..Yh, Z) & s(Y0..Yh)
+    & AND_i wi(Xi, Yi) & v(Z, X1)`` with ``free = {X0..Xh}``.
+    """
+    if h < 1:
+        raise ValueError("h must be at least 1")
+    xs = [_v(f"X{i}") for i in range(h + 1)]
+    ys = [_v(f"Y{i}") for i in range(h + 1)]
+    z = _v("Z")
+    atoms = [
+        Atom("rbar", tuple([xs[0]] + ys[1:] + [z])),
+        Atom("s", tuple(ys)),
+        Atom("v", (z, xs[1])),
+    ]
+    for i in range(1, h + 1):
+        atoms.append(Atom(f"w{i}", (xs[i], ys[i])))
+    return ConjunctiveQuery(frozenset(atoms), frozenset(xs), name=f"barQ2^{h}")
+
+
+def q2_pseudo_free(h: int) -> frozenset:
+    """The pseudo-free set ``S = free(Q) ∪ {Y0..Yh}`` of Example 6.5."""
+    return (q2_bar(h).free_variables
+            | frozenset(_v(f"Y{i}") for i in range(h + 1)))
+
+
+# ----------------------------------------------------------------------
+# Example A.2 — the ladder Q^n_1
+# ----------------------------------------------------------------------
+def qn1_chain(n: int) -> ConjunctiveQuery:
+    """``Q^n_1``: free {X1..Xn}; atoms ``r(Xi,Yi)``, ``r(Xi,Xi+1)``,
+    ``r(Yi,Yi+1)`` — all over the *same* binary symbol ``r``
+    (Example A.2, Figure 11(a))."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    xs = [_v(f"X{i}") for i in range(1, n + 1)]
+    ys = [_v(f"Y{i}") for i in range(1, n + 1)]
+    atoms = [Atom("r", (xs[i], ys[i])) for i in range(n)]
+    atoms += [Atom("r", (xs[i], xs[i + 1])) for i in range(n - 1)]
+    atoms += [Atom("r", (ys[i], ys[i + 1])) for i in range(n - 1)]
+    return ConjunctiveQuery(frozenset(atoms), frozenset(xs), name=f"Q1^{n}")
+
+
+def qn1_expected_core_atoms(n: int) -> frozenset:
+    """Core of ``color(Q^n_1)`` (plain atoms): ``r(Xn,Yn)`` plus the X-chain
+    (each ``Yi`` with ``i < n`` maps to ``Xi+1``) — Figure 11(b)."""
+    xs = [_v(f"X{i}") for i in range(1, n + 1)]
+    atoms = [Atom("r", (xs[i], xs[i + 1])) for i in range(n - 1)]
+    atoms.append(Atom("r", (xs[n - 1], _v(f"Y{n}"))))
+    return frozenset(atoms)
+
+
+# ----------------------------------------------------------------------
+# Theorem A.3 — the biclique Q^n_2
+# ----------------------------------------------------------------------
+def qn2_biclique(n: int) -> ConjunctiveQuery:
+    """``Q^n_2``: Boolean query ``AND_{i,j} r(Xi, Yj)`` with no free
+    variables; unbounded ghw but #-hypertree width 1 (proof of Thm. A.3)."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    xs = [_v(f"X{i}") for i in range(1, n + 1)]
+    ys = [_v(f"Y{j}") for j in range(1, n + 1)]
+    atoms = [Atom("r", (x, y)) for x in xs for y in ys]
+    return ConjunctiveQuery(frozenset(atoms), frozenset(), name=f"Q2biclique^{n}")
+
+
+def all_paper_queries() -> Tuple[ConjunctiveQuery, ...]:
+    """A deterministic tour of the small paper queries (for smoke tests)."""
+    return (
+        q0(),
+        q1_cycle(),
+        q2_acyclic(2),
+        q2_bar(2),
+        qn1_chain(3),
+        qn2_biclique(2),
+    )

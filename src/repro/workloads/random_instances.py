@@ -1,0 +1,128 @@
+"""Random conjunctive-query instance generators for tests and benchmarks.
+
+The property-based tests compare every counting algorithm against brute
+force over instances drawn from these generators; they are built to produce
+queries of controllable shape (acyclic / cyclic, with/without existential
+variables, repeated relation symbols) whose databases have non-trivial
+answer sets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..db.database import Database
+from ..db.generators import correlated_database
+from ..query.atom import Atom
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
+
+
+def random_query(n_variables: int, n_atoms: int, max_arity: int = 3,
+                 n_free: Optional[int] = None, n_symbols: Optional[int] = None,
+                 seed: Optional[int] = None) -> ConjunctiveQuery:
+    """A random connected conjunctive query.
+
+    Atoms are grown over a random spanning order so the query's hypergraph
+    is connected; *n_symbols* below *n_atoms* forces repeated relation
+    symbols (the non-simple regime that Section 5 is about).
+    """
+    rng = random.Random(seed)
+    variables = [Variable(f"V{i}") for i in range(n_variables)]
+    n_symbols = n_symbols if n_symbols is not None else n_atoms
+    symbol_arity: dict = {}
+    atoms: List[Atom] = []
+    connected = [variables[0]]
+    remaining = variables[1:]
+    seen: set = set()
+    stale_draws = 0
+    while len(atoms) < n_atoms:
+        symbol = f"r{rng.randrange(n_symbols)}"
+        arity = symbol_arity.setdefault(symbol, rng.randrange(2, max_arity + 1))
+        # Queries are atom *sets*: a duplicate draw would silently shrink
+        # the query, so force a fresh variable in once draws go stale.
+        force_fresh = stale_draws >= 20 and bool(remaining)
+        terms = []
+        terms.append(rng.choice(connected))
+        for position in range(arity - 1):
+            take_fresh = remaining and (
+                rng.random() < 0.5 or (force_fresh and position == 0)
+            )
+            if take_fresh:
+                fresh = remaining.pop(rng.randrange(len(remaining)))
+                connected.append(fresh)
+                terms.append(fresh)
+            else:
+                terms.append(rng.choice(connected))
+        atom = Atom(symbol, tuple(terms))
+        if atom in seen:
+            stale_draws += 1
+            if stale_draws > 200:  # variable pool exhausted: give up cleanly
+                break
+            continue
+        seen.add(atom)
+        stale_draws = 0
+        atoms.append(atom)
+    used = sorted({v for atom in atoms for v in atom.variables},
+                  key=lambda v: v.name)
+    if n_free is None:
+        n_free = rng.randrange(0, len(used) + 1)
+    free = frozenset(rng.sample(used, k=min(n_free, len(used))))
+    return ConjunctiveQuery(frozenset(atoms), free, name="Qrand")
+
+
+def random_acyclic_query(n_atoms: int, max_arity: int = 3,
+                         n_free: Optional[int] = None,
+                         seed: Optional[int] = None) -> ConjunctiveQuery:
+    """A random alpha-acyclic query, built atom-by-atom join-tree style.
+
+    Each new atom reuses a subset of the variables of one existing atom and
+    adds fresh ones, which keeps the hypergraph acyclic by construction.
+    """
+    rng = random.Random(seed)
+    counter = 0
+
+    def fresh() -> Variable:
+        nonlocal counter
+        counter += 1
+        return Variable(f"V{counter}")
+
+    first_arity = rng.randrange(1, max_arity + 1)
+    atoms: List[Atom] = [
+        Atom("r0", tuple(fresh() for _ in range(first_arity)))
+    ]
+    for index in range(1, n_atoms):
+        host = rng.choice(atoms)
+        reuse_count = rng.randrange(0, len(host.variables) + 1)
+        reused = rng.sample(list(host.variables), k=reuse_count)
+        arity = max(1, rng.randrange(max(1, reuse_count),
+                                     max_arity + 1))
+        terms: List[Variable] = list(reused)
+        while len(terms) < arity:
+            terms.append(fresh())
+        rng.shuffle(terms)
+        atoms.append(Atom(f"r{index}", tuple(terms)))
+    used = sorted({v for atom in atoms for v in atom.variables},
+                  key=lambda v: v.name)
+    if n_free is None:
+        n_free = rng.randrange(0, len(used) + 1)
+    free = frozenset(rng.sample(used, k=min(n_free, len(used))))
+    return ConjunctiveQuery(frozenset(atoms), free, name="QrandAcyclic")
+
+
+def random_instance(n_variables: int = 6, n_atoms: int = 5,
+                    domain_size: int = 6, tuples_per_relation: int = 24,
+                    acyclic: bool = False, seed: Optional[int] = None
+                    ) -> Tuple[ConjunctiveQuery, Database]:
+    """A (query, database) pair with a non-trivially satisfiable database."""
+    rng = random.Random(seed)
+    if acyclic:
+        query = random_acyclic_query(n_atoms, seed=rng.randrange(2 ** 30))
+    else:
+        query = random_query(n_variables, n_atoms, seed=rng.randrange(2 ** 30))
+    database = correlated_database(
+        query, domain_size, tuples_per_relation,
+        n_seeds=4, seed=rng.randrange(2 ** 30),
+    )
+    return query, database

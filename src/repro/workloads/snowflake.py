@@ -1,0 +1,108 @@
+"""A star/snowflake analytics workload with keys and quasi-keys.
+
+Section 6's motivation is that real databases carry functional
+dependencies — dimension tables keyed by their identifier, hierarchies
+where each level determines the next — that purely structural methods
+cannot see.  This module builds a synthetic but realistically-shaped
+warehouse:
+
+* a fact table ``sales(order_id, customer, product, store, quantity)``;
+* keyed dimensions ``customer_info(customer, region)``,
+  ``product_info(product, category)``, ``store_info(store, city)``;
+* a hierarchy ``city_region(city, region)`` making the schema a snowflake.
+
+Dimension lookups have degree 1 (the dimension key is a key), so hybrid
+#1-decompositions exist for the analytics queries even when their frontier
+hypergraphs are unpleasant.  The query constructors pair with the database
+generator and state which engine strategy is expected to win.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..db.database import Database
+from ..db.relation import Relation
+from ..query.parser import parse_query
+from ..query.query import ConjunctiveQuery
+
+
+def snowflake_database(n_orders: int = 200, n_customers: int = 40,
+                       n_products: int = 25, n_stores: int = 10,
+                       n_cities: int = 6, n_regions: int = 3,
+                       seed: Optional[int] = None) -> Database:
+    """A populated snowflake warehouse; all dimension keys are true keys."""
+    rng = random.Random(seed)
+    cities = [f"city{i}" for i in range(n_cities)]
+    regions = [f"region{i}" for i in range(n_regions)]
+    city_region = [(city, regions[i % n_regions])
+                   for i, city in enumerate(cities)]
+    customers = [f"cust{i}" for i in range(n_customers)]
+    customer_info = [
+        (customer, regions[rng.randrange(n_regions)])
+        for customer in customers
+    ]
+    products = [f"prod{i}" for i in range(n_products)]
+    categories = ["food", "tools", "books"]
+    product_info = [
+        (product, categories[rng.randrange(len(categories))])
+        for product in products
+    ]
+    stores = [f"store{i}" for i in range(n_stores)]
+    store_info = [
+        (store, cities[rng.randrange(n_cities)]) for store in stores
+    ]
+    sales = [
+        (
+            order,
+            customers[rng.randrange(n_customers)],
+            products[rng.randrange(n_products)],
+            stores[rng.randrange(n_stores)],
+            rng.randrange(1, 9),
+        )
+        for order in range(n_orders)
+    ]
+    return Database([
+        Relation("sales", 5, sales),
+        Relation("customer_info", 2, customer_info),
+        Relation("product_info", 2, product_info),
+        Relation("store_info", 2, store_info),
+        Relation("city_region", 2, city_region),
+    ])
+
+
+def customers_by_category_query() -> ConjunctiveQuery:
+    """Which (customer, category) pairs have a purchase?
+
+    The existential variables (order, product, store, quantity) hang off
+    the fact table; the dimension lookup ``product_info`` is keyed, so the
+    hybrid engine can promote ``P`` cheaply.
+    """
+    return parse_query(
+        "ans(C, G) :- sales(O, C, P, S, Q), product_info(P, G)",
+        name="customers_by_category",
+    )
+
+
+def same_region_pairs_query() -> ConjunctiveQuery:
+    """Customer pairs shopping at stores whose city lies in their region.
+
+    A genuinely cyclic analytics query: the store's city determines a
+    region that must match the customer's region.  The keyed hierarchy
+    (``store -> city -> region``) keeps the degree bound at 1.
+    """
+    return parse_query(
+        "ans(C1, C2) :- sales(O1, C1, P1, S, Q1), sales(O2, C2, P2, S, Q2), "
+        "store_info(S, Y), city_region(Y, R), "
+        "customer_info(C1, R), customer_info(C2, R)",
+        name="same_region_pairs",
+    )
+
+
+def store_catalogue_query() -> ConjunctiveQuery:
+    """Which (store, category) pairs moved product?  Acyclic, width 1."""
+    return parse_query(
+        "ans(S, G) :- sales(O, C, P, S, Q), product_info(P, G)",
+        name="store_catalogue",
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.query import Atom, ConjunctiveQuery, Variable, parse_query
+
+A, B, C, D, E, F, G, H, I = (Variable(x) for x in "ABCDEFGHI")
+
+
+@pytest.fixture
+def path_query() -> ConjunctiveQuery:
+    """ans(A, C) :- r(A, B), s(B, C) — the simplest projected query."""
+    return parse_query("ans(A, C) :- r(A, B), s(B, C)")
+
+
+@pytest.fixture
+def path_database() -> Database:
+    return Database.from_dict({
+        "r": [(1, 10), (1, 11), (2, 10), (3, 12)],
+        "s": [(10, 5), (10, 6), (11, 5), (12, 7)],
+    })
+
+
+@pytest.fixture
+def triangle_query() -> ConjunctiveQuery:
+    """ans(A) :- e(A, B), e(B, C), e(C, A) — a cyclic query."""
+    return parse_query("ans(A) :- e(A, B), e(B, C), e(C, A)")
+
+
+@pytest.fixture
+def triangle_database() -> Database:
+    return Database.from_dict({
+        "e": [(1, 2), (2, 3), (3, 1), (2, 1), (1, 4), (4, 5)],
+    })
+
+
+def make_query(*atom_specs, free=()) -> ConjunctiveQuery:
+    """Helper: make_query(("r", "A", "B"), free="A")."""
+    atoms = [
+        Atom(spec[0], tuple(Variable(v) for v in spec[1:]))
+        for spec in atom_specs
+    ]
+    free_vars = frozenset(Variable(v) for v in free)
+    return ConjunctiveQuery(frozenset(atoms), free_vars)

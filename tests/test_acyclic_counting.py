@@ -1,0 +1,115 @@
+"""Unit tests for the acyclic quantifier-free counting DP."""
+
+import pytest
+
+from repro.counting.acyclic import (
+    bags_for_acyclic_query,
+    count_acyclic,
+    count_join_tree,
+)
+from repro.counting.brute_force import count_brute_force
+from repro.db import Database
+from repro.db.algebra import SubstitutionSet
+from repro.exceptions import NotAcyclicError
+from repro.hypergraph.acyclicity import JoinTree
+from repro.query import Variable, parse_query
+from repro.workloads import random_instance
+
+A, B, C, D = (Variable(x) for x in "ABCD")
+
+
+class TestCountJoinTree:
+    def test_two_bag_path(self):
+        bags = [
+            SubstitutionSet((A, B), [(1, 2), (1, 3), (4, 2)]),
+            SubstitutionSet((B, C), [(2, 5), (2, 6), (3, 5)]),
+        ]
+        tree = JoinTree((frozenset({A, B}), frozenset({B, C})), ((0, 1),))
+        # join size: (1,2)x2 + (1,3)x1 + (4,2)x2 = 5
+        assert count_join_tree(bags, tree) == 5
+
+    def test_forest_multiplies(self):
+        bags = [
+            SubstitutionSet((A,), [(1,), (2,)]),
+            SubstitutionSet((B,), [(5,), (6,), (7,)]),
+        ]
+        tree = JoinTree((frozenset({A}), frozenset({B})), ())
+        assert count_join_tree(bags, tree) == 6
+
+    def test_empty_bag_gives_zero(self):
+        bags = [
+            SubstitutionSet((A,), [(1,)]),
+            SubstitutionSet((A, B), []),
+        ]
+        tree = JoinTree((frozenset({A}), frozenset({A, B})), ((0, 1),))
+        assert count_join_tree(bags, tree) == 0
+
+    def test_no_bags(self):
+        assert count_join_tree([], JoinTree((), ())) == 0
+
+    def test_deep_chain(self):
+        bags = [
+            SubstitutionSet((A, B), [(1, 1), (1, 2)]),
+            SubstitutionSet((B, C), [(1, 1), (2, 1), (2, 2)]),
+            SubstitutionSet((C, D), [(1, 9), (2, 9)]),
+        ]
+        tree = JoinTree(
+            (frozenset({A, B}), frozenset({B, C}), frozenset({C, D})),
+            ((0, 1), (1, 2)),
+        )
+        joined = bags[0].join(bags[1]).join(bags[2])
+        assert count_join_tree(bags, tree) == len(joined)
+
+
+class TestCountAcyclic:
+    def test_matches_brute_force_on_path(self):
+        q = parse_query("ans(A, B, C) :- r(A, B), s(B, C)")
+        db = Database.from_dict({
+            "r": [(1, 2), (1, 3), (4, 2)],
+            "s": [(2, 5), (2, 6), (3, 5)],
+        })
+        assert count_acyclic(q, db) == count_brute_force(q, db)
+
+    def test_rejects_existential_variables(self):
+        q = parse_query("ans(A) :- r(A, B)")
+        db = Database.from_dict({"r": [(1, 2)]})
+        with pytest.raises(NotAcyclicError):
+            count_acyclic(q, db)
+
+    def test_rejects_cyclic_query(self):
+        q = parse_query("ans(A, B, C) :- r(A, B), s(B, C), t(C, A)")
+        db = Database.from_dict({"r": [(1, 2)], "s": [(2, 3)], "t": [(3, 1)]})
+        with pytest.raises(NotAcyclicError):
+            count_acyclic(q, db)
+
+    def test_atoms_sharing_variable_set_merged(self):
+        q = parse_query("ans(A, B) :- r(A, B), s(A, B)")
+        db = Database.from_dict({
+            "r": [(1, 2), (3, 4)],
+            "s": [(1, 2), (5, 6)],
+        })
+        assert count_acyclic(q, db) == 1
+
+    def test_star_query(self):
+        q = parse_query("ans(A, B, C, D) :- r(A, B), s(A, C), t(A, D)")
+        db = Database.from_dict({
+            "r": [(1, 2), (1, 3), (2, 2)],
+            "s": [(1, 5), (2, 5), (2, 6)],
+            "t": [(1, 8)],
+        })
+        assert count_acyclic(q, db) == count_brute_force(q, db)
+
+    def test_random_acyclic_instances_match_brute_force(self):
+        for seed in range(12):
+            query, database = random_instance(
+                acyclic=True, n_atoms=4, seed=seed,
+            )
+            quantifier_free = query.with_free(query.variables)
+            assert count_acyclic(quantifier_free, database) == \
+                count_brute_force(quantifier_free, database)
+
+    def test_bags_structure(self):
+        q = parse_query("ans(A, B, C) :- r(A, B), s(B, C)")
+        db = Database.from_dict({"r": [(1, 2)], "s": [(2, 3)]})
+        bags, tree = bags_for_acyclic_query(q, db)
+        assert len(bags) == len(tree.bags) == 2

@@ -1,0 +1,101 @@
+"""Unit tests for alpha-acyclicity and join trees."""
+
+import random
+
+from repro.hypergraph.acyclicity import (
+    JoinTree,
+    is_acyclic,
+    join_tree,
+    require_join_tree,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.exceptions import NotAcyclicError
+from repro.query.terms import Variable
+
+import pytest
+
+A, B, C, D, E = (Variable(x) for x in "ABCDE")
+
+
+def hg(*edges):
+    return Hypergraph([], [frozenset(e) for e in edges])
+
+
+class TestIsAcyclic:
+    def test_single_edge(self):
+        assert is_acyclic(hg({A, B, C}))
+
+    def test_path_is_acyclic(self):
+        assert is_acyclic(hg({A, B}, {B, C}, {C, D}))
+
+    def test_triangle_of_binary_edges_is_cyclic(self):
+        assert not is_acyclic(hg({A, B}, {B, C}, {C, A}))
+
+    def test_triangle_with_covering_edge_is_acyclic(self):
+        # alpha-acyclicity is not monotone: adding the big edge fixes it.
+        assert is_acyclic(hg({A, B}, {B, C}, {C, A}, {A, B, C}))
+
+    def test_four_cycle_is_cyclic(self):
+        assert not is_acyclic(hg({A, B}, {B, C}, {C, D}, {D, A}))
+
+    def test_star_is_acyclic(self):
+        assert is_acyclic(hg({A, B}, {A, C}, {A, D}))
+
+    def test_disconnected_acyclic(self):
+        assert is_acyclic(hg({A, B}, {C, D}))
+
+    def test_disconnected_with_cycle(self):
+        assert not is_acyclic(hg({A, B}, {C, D}, {D, E}, {E, C}))
+
+    def test_empty_hypergraph(self):
+        assert is_acyclic(hg())
+
+
+class TestJoinTree:
+    def test_join_tree_none_for_cyclic(self):
+        assert join_tree(hg({A, B}, {B, C}, {C, A})) is None
+
+    def test_join_tree_valid_for_acyclic(self):
+        tree = join_tree(hg({A, B}, {B, C}, {C, D}))
+        assert tree is not None
+        assert tree.is_valid()
+        assert len(tree.bags) == 3
+        assert len(tree.edges) == 2
+
+    def test_join_tree_forest_for_disconnected(self):
+        tree = join_tree(hg({A, B}, {C, D}))
+        assert tree is not None
+        assert len(tree.edges) == 0  # two singleton trees
+
+    def test_require_join_tree_raises(self):
+        with pytest.raises(NotAcyclicError):
+            require_join_tree(hg({A, B}, {B, C}, {C, A}))
+
+    def test_rooted_orders_children_before_parents(self):
+        tree = join_tree(hg({A, B}, {B, C}, {C, D}))
+        seen = set()
+        for vertex, parent, children in tree.rooted_orders():
+            for child in children:
+                assert child in seen
+            seen.add(vertex)
+        assert len(seen) == 3
+
+    def test_is_valid_rejects_broken_tree(self):
+        # A appears in bags 0 and 2 which are not connected through bag 1.
+        bad = JoinTree(
+            (frozenset({A, B}), frozenset({C}), frozenset({A, D})),
+            ((0, 1), (1, 2)),
+        )
+        assert not bad.is_valid()
+
+    def test_gyo_and_join_tree_agree_on_random_hypergraphs(self):
+        rng = random.Random(42)
+        variables = [Variable(f"V{i}") for i in range(7)]
+        for _ in range(120):
+            n_edges = rng.randrange(1, 6)
+            edges = [
+                frozenset(rng.sample(variables, rng.randrange(1, 4)))
+                for _ in range(n_edges)
+            ]
+            h = Hypergraph([], edges)
+            assert (join_tree(h) is not None) == is_acyclic(h), h.describe()

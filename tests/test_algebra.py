@@ -1,0 +1,152 @@
+"""Unit tests for the substitution-set algebra (repro.db.algebra)."""
+
+import pytest
+
+from repro.db.algebra import SubstitutionSet, join_all
+from repro.db.relation import Relation
+from repro.exceptions import SchemaError
+from repro.query.atom import Atom
+from repro.query.terms import Constant, Variable
+
+A, B, C, D = (Variable(x) for x in "ABCD")
+
+
+class TestConstruction:
+    def test_schema_canonicalized_sorted(self):
+        s = SubstitutionSet((B, A), [(1, 2), (3, 4)])
+        assert s.schema == (A, B)
+        assert (2, 1) in s.rows  # values permuted with the schema
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            SubstitutionSet((A, A), [])
+
+    def test_row_length_validated(self):
+        with pytest.raises(SchemaError):
+            SubstitutionSet((A, B), [(1,)])
+
+    def test_unit_and_empty(self):
+        assert len(SubstitutionSet.unit()) == 1
+        assert not SubstitutionSet.empty((A,))
+
+    def test_from_dicts(self):
+        s = SubstitutionSet.from_dicts((A, B), [{A: 1, B: 2}])
+        assert (1, 2) in s.rows
+
+    def test_equality_independent_of_input_order(self):
+        s1 = SubstitutionSet((A, B), [(1, 2)])
+        s2 = SubstitutionSet((B, A), [(2, 1)])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+
+class TestFromAtom:
+    def test_plain_match(self):
+        rel = Relation("r", 2, [(1, 2), (3, 4)])
+        s = SubstitutionSet.from_atom(Atom("r", (A, B)), rel)
+        assert s.rows == frozenset({(1, 2), (3, 4)})
+
+    def test_constant_filters(self):
+        rel = Relation("r", 2, [(1, 2), (3, 4)])
+        s = SubstitutionSet.from_atom(Atom("r", (A, Constant(2))), rel)
+        assert s.schema == (A,)
+        assert s.rows == frozenset({(1,)})
+
+    def test_repeated_variable_enforces_equality(self):
+        rel = Relation("r", 2, [(1, 1), (1, 2)])
+        s = SubstitutionSet.from_atom(Atom("r", (A, A)), rel)
+        assert s.rows == frozenset({(1,)})
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            SubstitutionSet.from_atom(Atom("r", (A,)), Relation("r", 2, []))
+
+
+class TestProjectSelect:
+    def test_project(self):
+        s = SubstitutionSet((A, B), [(1, 2), (1, 3)])
+        p = s.project((A,))
+        assert p.schema == (A,)
+        assert p.rows == frozenset({(1,)})
+
+    def test_project_ignores_foreign_variables(self):
+        s = SubstitutionSet((A,), [(1,)])
+        assert s.project((A, D)).schema == (A,)
+
+    def test_project_to_empty_schema(self):
+        s = SubstitutionSet((A,), [(1,)])
+        p = s.project(())
+        assert p.schema == ()
+        assert p.rows == frozenset({()})
+
+    def test_select(self):
+        s = SubstitutionSet((A, B), [(1, 2), (1, 3), (2, 2)])
+        assert s.select({A: 1}).rows == frozenset({(1, 2), (1, 3)})
+        assert s.select({A: 1, B: 3}).rows == frozenset({(1, 3)})
+
+    def test_select_unknown_variable_raises(self):
+        with pytest.raises(SchemaError):
+            SubstitutionSet((A,), [(1,)]).select({B: 1})
+
+
+class TestJoinSemijoin:
+    def test_join_on_shared_variable(self):
+        left = SubstitutionSet((A, B), [(1, 2), (5, 6)])
+        right = SubstitutionSet((B, C), [(2, 3), (2, 4)])
+        joined = left.join(right)
+        assert joined.schema == (A, B, C)
+        assert joined.rows == frozenset({(1, 2, 3), (1, 2, 4)})
+
+    def test_join_is_commutative(self):
+        left = SubstitutionSet((A, B), [(1, 2), (5, 6)])
+        right = SubstitutionSet((B, C), [(2, 3)])
+        assert left.join(right) == right.join(left)
+
+    def test_join_disjoint_is_cross_product(self):
+        left = SubstitutionSet((A,), [(1,), (2,)])
+        right = SubstitutionSet((B,), [(7,)])
+        assert len(left.join(right)) == 2
+
+    def test_join_with_unit_is_identity(self):
+        s = SubstitutionSet((A,), [(1,)])
+        assert s.join(SubstitutionSet.unit()) == s
+
+    def test_semijoin(self):
+        left = SubstitutionSet((A, B), [(1, 2), (5, 6)])
+        right = SubstitutionSet((B, C), [(2, 3)])
+        assert left.semijoin(right).rows == frozenset({(1, 2)})
+
+    def test_semijoin_no_shared_vars(self):
+        s = SubstitutionSet((A,), [(1,)])
+        assert s.semijoin(SubstitutionSet((B,), [(9,)])) == s
+        assert not s.semijoin(SubstitutionSet.empty((B,)))
+
+    def test_semijoin_equals_project_of_join(self):
+        left = SubstitutionSet((A, B), [(1, 2), (5, 6), (7, 2)])
+        right = SubstitutionSet((B, C), [(2, 3), (6, 0)])
+        expected = left.join(right).project((A, B))
+        assert left.semijoin(right) == expected
+
+    def test_join_all_empty(self):
+        assert join_all([]) == SubstitutionSet.unit()
+
+
+class TestGrouping:
+    def test_group_by(self):
+        s = SubstitutionSet((A, B), [(1, 2), (1, 3), (2, 2)])
+        groups = s.group_by((A,))
+        assert set(groups) == {(1,), (2,)}
+        assert len(groups[(1,)]) == 2
+
+    def test_count_distinct(self):
+        s = SubstitutionSet((A, B), [(1, 2), (1, 3), (2, 2)])
+        assert s.count_distinct((A,)) == 2
+
+    def test_max_group_size_is_degree(self):
+        s = SubstitutionSet((A, B), [(1, 2), (1, 3), (2, 2)])
+        assert s.max_group_size((A,)) == 2
+        assert SubstitutionSet.empty((A,)).max_group_size(()) == 0
+
+    def test_iter_dicts(self):
+        s = SubstitutionSet((A,), [(1,)])
+        assert list(s.iter_dicts()) == [{A: 1}]

@@ -1,0 +1,143 @@
+"""Tests for the Monte Carlo and Karp–Luby estimators."""
+
+import pytest
+
+from repro.approx import (
+    karp_luby_union_count,
+    monte_carlo_count,
+)
+from repro.approx.montecarlo import candidate_domains
+from repro.counting.brute_force import count_brute_force
+from repro.db import Database
+from repro.exceptions import QueryError
+from repro.query import parse_query
+from repro.query.terms import Variable
+from repro.ucq import count_union_brute_force, parse_ucq
+
+PATH = parse_query("ans(A, C) :- r(A, B), s(B, C)")
+PATH_DB = Database.from_dict({
+    "r": [(1, 10), (1, 11), (2, 10), (3, 12)],
+    "s": [(10, 5), (10, 6), (11, 5), (12, 7)],
+})
+
+
+class TestCandidateDomains:
+    def test_only_free_variables_reported(self):
+        domains = candidate_domains(PATH, PATH_DB)
+        assert set(domains) == {Variable("A"), Variable("C")}
+
+    def test_domains_cover_answers(self):
+        domains = candidate_domains(PATH, PATH_DB)
+        assert set(domains[Variable("A")]) >= {1, 2, 3}
+        assert set(domains[Variable("C")]) >= {5, 6, 7}
+
+    def test_intersection_across_atoms(self):
+        query = parse_query("ans(A) :- r(A, B), s(A, C)")
+        database = Database.from_dict({
+            "r": [(1, 2), (2, 2)], "s": [(2, 9), (3, 9)],
+        })
+        domains = candidate_domains(query, database)
+        assert set(domains[Variable("A")]) == {2}
+
+
+class TestMonteCarlo:
+    def test_estimate_close_on_small_instance(self):
+        true = count_brute_force(PATH, PATH_DB)
+        estimate = monte_carlo_count(PATH, PATH_DB, samples=3000, seed=0)
+        assert estimate.covers(true)
+        assert abs(estimate.estimate - true) < 2.0
+
+    def test_empty_candidate_space_is_exact_zero(self):
+        query = parse_query("ans(A) :- r(A, B), s(A)")
+        database = Database.from_dict({"r": [(1, 2)], "s": [(9,)]})
+        estimate = monte_carlo_count(query, database, samples=10, seed=0)
+        assert estimate.estimate == 0.0
+        assert estimate.space_size == 0
+        assert estimate.samples == 0
+
+    def test_unsatisfiable_query_estimates_zero(self):
+        # Candidate space nonempty (per-variable pruning cannot see the
+        # join), yet no sample ever hits.
+        query = parse_query("ans(A) :- r(A, B), s(B)")
+        database = Database.from_dict({"r": [(1, 2)], "s": [(9,)]})
+        estimate = monte_carlo_count(query, database, samples=10, seed=0)
+        assert estimate.estimate == 0.0
+        assert estimate.hits == 0
+
+    def test_boolean_query_shortcut(self):
+        query = parse_query("ans() :- r(A, B)")
+        database = Database.from_dict({"r": [(1, 2)]})
+        estimate = monte_carlo_count(query, database, samples=5)
+        assert estimate.estimate == 1.0
+        assert estimate.samples == 1
+
+    def test_interval_clamped_to_space(self):
+        estimate = monte_carlo_count(PATH, PATH_DB, samples=10, seed=0)
+        low, high = estimate.interval
+        assert 0.0 <= low <= high <= estimate.space_size
+
+    def test_invalid_sample_count_rejected(self):
+        with pytest.raises(QueryError):
+            monte_carlo_count(PATH, PATH_DB, samples=0)
+
+    def test_deterministic_with_seed(self):
+        first = monte_carlo_count(PATH, PATH_DB, samples=100, seed=7)
+        second = monte_carlo_count(PATH, PATH_DB, samples=100, seed=7)
+        assert first == second
+
+    def test_more_samples_tighter_interval(self):
+        small = monte_carlo_count(PATH, PATH_DB, samples=100, seed=1)
+        large = monte_carlo_count(PATH, PATH_DB, samples=10_000, seed=1)
+        assert large.half_width < small.half_width
+
+
+class TestKarpLuby:
+    UNION = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A, C)")
+    DATABASE = Database.from_dict({
+        "r": [(1, 2), (2, 3)],
+        "s": [(2, 9), (4, 9)],
+    })
+
+    def test_estimate_close_to_truth(self):
+        true = count_union_brute_force(self.UNION, self.DATABASE)
+        estimate = karp_luby_union_count(
+            self.UNION, self.DATABASE, samples=3000, seed=0
+        )
+        assert estimate.covers(true)
+        assert abs(estimate.estimate - true) < 1.0
+
+    def test_per_disjunct_counts_exact(self):
+        estimate = karp_luby_union_count(
+            self.UNION, self.DATABASE, samples=50, seed=0
+        )
+        assert estimate.per_disjunct_counts == (2, 2)
+        assert estimate.overcount == 4
+
+    def test_empty_union_exact_zero(self):
+        union = parse_ucq("ans(A) :- r(A, B), t(A) ; ans(A) :- s(A, C), t(A)")
+        database = Database.from_dict({
+            "r": [(1, 2)], "s": [(2, 9)], "t": [(5,)],
+        })
+        estimate = karp_luby_union_count(union, database, samples=10, seed=0)
+        assert estimate.estimate == 0.0
+        assert estimate.samples == 0
+
+    def test_identical_disjuncts_halve_hit_rate(self):
+        union = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- r(A, C)")
+        database = Database.from_dict({"r": [(1, 2), (2, 3), (3, 4)]})
+        estimate = karp_luby_union_count(union, database, samples=4000,
+                                         seed=1)
+        # True union count 3, overcount 6: hit rate should be near 1/2.
+        assert estimate.covers(3)
+        assert 0.4 < estimate.hits / estimate.samples < 0.6
+
+    def test_invalid_sample_count_rejected(self):
+        with pytest.raises(QueryError):
+            karp_luby_union_count(self.UNION, self.DATABASE, samples=-1)
+
+    def test_deterministic_with_seed(self):
+        first = karp_luby_union_count(self.UNION, self.DATABASE,
+                                      samples=200, seed=5)
+        second = karp_luby_union_count(self.UNION, self.DATABASE,
+                                       samples=200, seed=5)
+        assert first == second

@@ -1,0 +1,135 @@
+"""Tests for exact uniform answer sampling (:mod:`repro.approx.sampler`)."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx import AnswerSampler, sample_answers
+from repro.counting.brute_force import count_brute_force
+from repro.db import Database
+from repro.db.algebra import SubstitutionSet
+from repro.exceptions import DecompositionNotFoundError
+from repro.homomorphism.solver import has_homomorphism
+from repro.hypergraph.acyclicity import JoinTree
+from repro.query import parse_query
+from repro.query.terms import Variable, make_variables
+from repro.workloads.random_instances import random_instance
+
+A, B, C = make_variables("A", "B", "C")
+
+
+def answer_key(answer):
+    return tuple(sorted((v.name, value) for v, value in answer.items()))
+
+
+class TestSamplerConstruction:
+    def test_count_matches_brute_force(self, path_query, path_database):
+        sampler = AnswerSampler.for_query(path_query, path_database)
+        assert len(sampler) == count_brute_force(path_query, path_database)
+
+    def test_empty_answer_set(self):
+        query = parse_query("ans(A) :- r(A, B), s(B)")
+        database = Database.from_dict({"r": [(1, 2)], "s": [(9,)]})
+        sampler = AnswerSampler.for_query(query, database)
+        assert len(sampler) == 0
+        with pytest.raises(IndexError):
+            sampler.sample()
+
+    def test_undecomposable_query_raises(self):
+        # A 3-clique of frontier edges cannot fit width 1.
+        query = parse_query(
+            "ans(A, B, C) :- r(A, B), s(B, C), t(C, A), u(A, X), "
+            "u(B, X), u(C, X)"
+        )
+        with pytest.raises(DecompositionNotFoundError):
+            AnswerSampler.for_query(query, Database.from_dict({
+                "r": [(1, 2)], "s": [(2, 3)], "t": [(3, 1)], "u": [(1, 9)],
+            }), max_width=0)
+
+    def test_direct_construction_from_bags(self):
+        bags = [
+            SubstitutionSet((A, B), [(1, 10), (1, 11), (2, 10)]),
+            SubstitutionSet((B, C), [(10, 5), (11, 5), (10, 6)]),
+        ]
+        tree = JoinTree(
+            (frozenset({A, B}), frozenset({B, C})), ((0, 1),)
+        )
+        sampler = AnswerSampler(bags, tree, random.Random(0))
+        # Join: (1,10,5), (1,10,6), (1,11,5), (2,10,5), (2,10,6).
+        assert len(sampler) == 5
+
+
+class TestSampleValidity:
+    def test_samples_are_answers(self, path_query, path_database):
+        sampler = AnswerSampler.for_query(
+            path_query, path_database, rng=random.Random(1)
+        )
+        for _ in range(50):
+            answer = sampler.sample()
+            assert set(answer) == set(path_query.free_variables)
+            assert has_homomorphism(path_query, path_database, fixed=answer)
+
+    def test_samples_cover_answer_set(self, path_query, path_database):
+        sampler = AnswerSampler.for_query(
+            path_query, path_database, rng=random.Random(2)
+        )
+        seen = {answer_key(a) for a in sampler.sample_many(400)}
+        assert len(seen) == len(sampler)
+
+    def test_uniformity_chi_square_sanity(self):
+        # 5 answers, 5000 draws: every cell within 3 sigma of uniform.
+        query = parse_query("ans(A, C) :- r(A, B), s(B, C)")
+        database = Database.from_dict({
+            "r": [(1, 10), (1, 11), (2, 10), (3, 12)],
+            "s": [(10, 5), (10, 6), (11, 5), (12, 7)],
+        })
+        sampler = AnswerSampler.for_query(query, database,
+                                          rng=random.Random(3))
+        n, k = 5000, len(sampler)
+        freq = Counter(answer_key(a) for a in sampler.sample_many(n))
+        expected = n / k
+        sigma = (n * (1 / k) * (1 - 1 / k)) ** 0.5
+        assert len(freq) == k
+        for count in freq.values():
+            assert abs(count - expected) < 4 * sigma
+
+    def test_existential_multiplicity_does_not_bias(self):
+        # Answer (1,) has 3 witnesses, answer (2,) has 1: uniform sampling
+        # over answers must NOT weight by witnesses.
+        query = parse_query("ans(A) :- r(A, B)")
+        database = Database.from_dict({
+            "r": [(1, 10), (1, 11), (1, 12), (2, 10)],
+        })
+        sampler = AnswerSampler.for_query(query, database,
+                                          rng=random.Random(4))
+        assert len(sampler) == 2
+        freq = Counter(answer_key(a) for a in sampler.sample_many(3000))
+        counts = sorted(freq.values())
+        assert counts[0] > 1200  # roughly half each, not 1/4 vs 3/4
+
+    def test_seeded_sampling_is_deterministic(self, path_query,
+                                              path_database):
+        first = sample_answers(path_query, path_database, 10, seed=42)
+        second = sample_answers(path_query, path_database, 10, seed=42)
+        assert list(map(answer_key, first)) == list(map(answer_key, second))
+
+
+class TestRandomizedSampler:
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_count_and_membership_on_random_acyclic(self, seed):
+        query, database = random_instance(
+            n_atoms=3, acyclic=True, domain_size=4,
+            tuples_per_relation=8, seed=seed,
+        )
+        try:
+            sampler = AnswerSampler.for_query(query, database, max_width=2)
+        except DecompositionNotFoundError:
+            return
+        assert len(sampler) == count_brute_force(query, database)
+        if len(sampler):
+            answer = sampler.sample()
+            assert has_homomorphism(query, database, fixed=answer)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.query.atom."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.atom import Atom, atom, vars_of
+from repro.query.terms import Constant, Variable
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+class TestAtomBasics:
+    def test_construction_and_arity(self):
+        a = Atom("r", (A, B, Constant(3)))
+        assert a.arity == 3
+        assert a.relation == "r"
+
+    def test_terms_coerced_to_tuple(self):
+        a = Atom("r", [A, B])
+        assert isinstance(a.terms, tuple)
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(QueryError):
+            Atom("r", ("not-a-term",))
+
+    def test_variables_deduplicated_in_order(self):
+        a = Atom("r", (B, A, B))
+        assert a.variables == (B, A)
+        assert a.variable_set == frozenset({A, B})
+
+    def test_constants(self):
+        a = Atom("r", (A, Constant(1), Constant(1), Constant(2)))
+        assert a.constants() == (Constant(1), Constant(2))
+
+    def test_equality_and_hash(self):
+        assert Atom("r", (A, B)) == Atom("r", (A, B))
+        assert Atom("r", (A, B)) != Atom("r", (B, A))
+        assert Atom("r", (A, B)) != Atom("s", (A, B))
+        assert len({Atom("r", (A, B)), Atom("r", (A, B))}) == 1
+
+    def test_repr(self):
+        assert repr(Atom("r", (A, Constant(5)))) == "r(A, 5)"
+
+
+class TestAtomOperations:
+    def test_substitute_variables(self):
+        a = Atom("r", (A, B))
+        assert a.substitute({A: C}) == Atom("r", (C, B))
+
+    def test_substitute_to_constant(self):
+        a = Atom("r", (A, B))
+        result = a.substitute({A: Constant(7)})
+        assert result.terms == (Constant(7), B)
+
+    def test_substitute_leaves_constants(self):
+        a = Atom("r", (Constant(1), B))
+        assert a.substitute({B: A}).terms == (Constant(1), A)
+
+    def test_rename_relation(self):
+        assert Atom("r", (A,)).rename_relation("s") == Atom("s", (A,))
+
+    def test_atom_helper(self):
+        assert atom("r", A, B) == Atom("r", (A, B))
+
+    def test_vars_of(self):
+        atoms = [Atom("r", (A, B)), Atom("s", (B, C))]
+        assert vars_of(atoms) == frozenset({A, B, C})

@@ -1,0 +1,55 @@
+"""Unit tests for the brute-force counting baseline."""
+
+from repro.counting.brute_force import answers, count_brute_force, full_join
+from repro.db import Database
+from repro.query import Variable, parse_query
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+class TestFullJoin:
+    def test_join_over_all_atoms(self, path_query, path_database):
+        joined = full_join(path_query, path_database)
+        assert joined.variable_set() == {A, B, C}
+        assert len(joined) == 6
+
+    def test_empty_when_unsatisfiable(self, path_query):
+        db = Database.from_dict({"r": [(1, 2)], "s": [(9, 9)]})
+        assert len(full_join(path_query, db)) == 0
+
+    def test_cartesian_components_handled(self):
+        q = parse_query("ans(A, B) :- r(A), s(B)")
+        db = Database.from_dict({"r": [(1,), (2,)], "s": [(5,), (6,), (7,)]})
+        assert count_brute_force(q, db) == 6
+
+
+class TestCounting:
+    def test_projection_deduplicates(self, path_query, path_database):
+        # 6 satisfying assignments but answers project onto (A, C).
+        result = answers(path_query, path_database)
+        assert count_brute_force(path_query, path_database) == len(result)
+        # (1,5),(1,6),(2,5),(2,6),(3,7) -- (1,5) arises via B=10 and B=11.
+        assert count_brute_force(path_query, path_database) == 5
+
+    def test_boolean_query_counts_0_or_1(self):
+        q = parse_query("ans() :- r(A, B)")
+        assert count_brute_force(q, Database.from_dict({"r": [(1, 2)]})) == 1
+        empty = Database.from_dict({"r": [(1, 2)]}).without("r")
+        empty = empty.with_relation(
+            __import__("repro.db", fromlist=["Relation"]).Relation("r", 2, [])
+        )
+        assert count_brute_force(q, empty) == 0
+
+    def test_constants_in_query(self):
+        q = parse_query("ans(A) :- r(A, 7)")
+        db = Database.from_dict({"r": [(1, 7), (2, 7), (3, 8)]})
+        assert count_brute_force(q, db) == 2
+
+    def test_repeated_relation_symbol(self, triangle_query, triangle_database):
+        # triangles through each A: enumerate by hand
+        # edges: 1-2,2-3,3-1 directed cycle plus 2-1,1-4,4-5
+        # e(A,B),e(B,C),e(C,A): A=1: (1,2,3)? e(3,1) yes -> valid. A=2: (2,3,1)
+        # -> e(1,2) yes. A=3: (3,1,2) -> e(2,3) yes. Also A=1,(1,2),(2,1),(1,?)
+        # e(2,1) then C=1, e(1,1)? no. So {1,2,3} each once => 3 answers? A
+        # also via (1,2),(2,3),(3,1): A=1. (2,1)&(1,4)&(4,2)? no.
+        assert count_brute_force(triangle_query, triangle_database) == 3

@@ -1,0 +1,115 @@
+"""Unit tests for the executable case-complexity reductions (Section 5)."""
+
+import random
+
+import pytest
+
+from repro.counting.brute_force import count_brute_force
+from repro.db import Database, Relation
+from repro.homomorphism import is_core
+from repro.query import Variable, color_symbol, fullcolor, parse_query
+from repro.query.coloring import color
+from repro.reductions.case_complexity import (
+    automorphism_free_restrictions,
+    count_fullcolor_via_oracle,
+    count_simple_via_oracle,
+    simple_instance_for,
+    simple_query_of,
+)
+
+
+def _colored_database(query, domain_size, tuples, seed):
+    """A database with base relations plus r_X domains for every variable."""
+    rng = random.Random(seed)
+    relations = []
+    for symbol in sorted(query.relation_symbols):
+        arity = next(a.arity for a in query.atoms if a.relation == symbol)
+        rows = {
+            tuple(rng.randrange(domain_size) for _ in range(arity))
+            for _ in range(tuples)
+        }
+        relations.append(Relation(symbol, arity, rows))
+    for variable in sorted(query.variables, key=lambda v: v.name):
+        size = rng.randrange(2, domain_size + 1)
+        rows = {(x,) for x in rng.sample(range(domain_size), size)}
+        relations.append(Relation(color_symbol(variable), 1, rows))
+    return Database(relations)
+
+
+class TestAutomorphisms:
+    def test_rigid_query_has_one(self):
+        q = parse_query("ans(A) :- r(A, B), s(B, C)")
+        assert automorphism_free_restrictions(q) == 1
+
+    def test_symmetric_query_has_two(self):
+        # swapping A and B is an automorphism fixing nothing else
+        q = parse_query("ans(A, B) :- e(A, B), e(B, A)")
+        assert automorphism_free_restrictions(q) == 2
+
+
+class TestLemma510:
+    @pytest.mark.parametrize("text", [
+        "ans(A, C) :- r(A, B), s(B, C)",
+        "ans(A) :- r(A, B), s(B, C), t(C, A)",
+        "ans(A, B) :- e(A, B)",
+    ])
+    def test_matches_brute_force(self, text):
+        query = parse_query(text)
+        assert is_core(color(query)), "test premise: coloring must be a core"
+        for seed in range(3):
+            database = _colored_database(query, 4, 8, seed)
+            expected = count_brute_force(fullcolor(query), database)
+            got = count_fullcolor_via_oracle(query, database)
+            assert got == expected, f"{text} seed={seed}"
+
+    def test_boolean_query(self):
+        query = parse_query("ans() :- r(A, B)")
+        database = _colored_database(query, 3, 4, 0)
+        expected = count_brute_force(fullcolor(query), database)
+        assert count_fullcolor_via_oracle(query, database) == expected
+
+    def test_constants_rejected(self):
+        query = parse_query("ans(A) :- r(A, 7)")
+        with pytest.raises(ValueError):
+            count_fullcolor_via_oracle(query, Database.from_dict({"r": [(1, 7)]}))
+
+    def test_oracle_is_actually_used(self):
+        query = parse_query("ans(A, C) :- r(A, B), s(B, C)")
+        database = _colored_database(query, 3, 6, 2)
+        calls = []
+
+        def oracle(q, d):
+            calls.append(1)
+            return count_brute_force(q, d)
+
+        count_fullcolor_via_oracle(query, database, oracle)
+        # 2^|free| subsets times |free|+1 interpolation points = 4 * 3
+        assert len(calls) == 12
+
+
+class TestSimpleQueryReduction:
+    def test_simple_query_of_renames_apart(self):
+        q = parse_query("ans(A) :- r(A, B), r(B, C)")
+        simple, renaming = simple_query_of(q)
+        assert simple.is_simple()
+        assert len(renaming) == 2
+
+    @pytest.mark.parametrize("text", [
+        "ans(A, C) :- r(A, B), r(B, C)",      # repeated symbol
+        "ans(A) :- r(A, B), s(B, C)",
+    ])
+    def test_corollary_5_17_matches_brute_force(self, text):
+        query = parse_query(text)
+        simple, _renaming = simple_instance_for(query)
+        rng = random.Random(13)
+        relations = []
+        for atom in simple.atoms_sorted():
+            rows = {
+                tuple(rng.randrange(4) for _ in range(atom.arity))
+                for _ in range(8)
+            }
+            relations.append(Relation(atom.relation, atom.arity, rows))
+        database = Database(relations)
+        expected = count_brute_force(simple, database)
+        got = count_simple_via_oracle(query, database)
+        assert got == expected, text

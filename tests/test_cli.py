@@ -1,0 +1,161 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, load_database, main
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.json"
+    path.write_text(json.dumps({
+        "r": [[1, 2], [3, 4], [1, 4]],
+        "s": [[2, 9], [4, 9]],
+    }))
+    return str(path)
+
+
+class TestLoadDatabase:
+    def test_loads_relations(self, db_file):
+        db = load_database(db_file)
+        assert len(db["r"]) == 3
+        assert db["s"].arity == 2
+
+    def test_nested_arrays_frozen(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps({"r": [[[1, 2], 3]]}))
+        db = load_database(str(path))
+        assert ((1, 2), 3) in db["r"]
+
+    def test_empty_relations_skipped(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps({"r": [[1]], "empty": []}))
+        db = load_database(str(path))
+        assert "empty" not in db
+
+
+class TestCountCommand:
+    def test_count(self, db_file, capsys):
+        code = main(["count", "ans(A) :- r(A, B), s(B, C)", db_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "count    : 2" in out
+        assert "strategy" in out
+
+    def test_forced_method(self, db_file, capsys):
+        code = main(["count", "ans(A) :- r(A, B), s(B, C)", db_file,
+                     "--method", "brute_force"])
+        assert code == 0
+        assert "brute_force" in capsys.readouterr().out
+
+    def test_missing_file_errors(self, capsys):
+        code = main(["count", "ans(A) :- r(A, B)", "/nonexistent.json"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_query_errors(self, db_file, capsys):
+        code = main(["count", "not a query", db_file])
+        assert code == 1
+
+
+class TestAnalyzeCommand:
+    def test_analyze_output(self, capsys):
+        code = main(["analyze", "ans(A, C) :- r(A, B), s(B, C)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frontier hypergraph: {A,C}" in out
+        assert "#-hypertree width  : 2" in out
+        assert "quantified starsize: 2" in out
+
+    def test_analyze_width_cap(self, capsys):
+        code = main(["analyze",
+                     "ans(X0,X1,X2,X3) :- r(X0,Y1,Y2,Y3), s(Y0,Y1,Y2,Y3), "
+                     "w1(X1,Y1), w2(X2,Y2), w3(X3,Y3)",
+                     "--max-width", "2"])
+        assert code == 0
+        assert "> 2" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestUcqCommand:
+    def test_count_union(self, db_file, capsys):
+        assert main(["ucq", "ans(A) :- r(A,B) ; ans(A) :- s(A,C)",
+                     db_file]) == 0
+        out = capsys.readouterr().out
+        assert "disjuncts        : 2" in out
+        # r-answers {1, 3} union s-answers {2, 4}.
+        assert "count            : 4" in out
+
+    def test_subsumption_reported(self, db_file, capsys):
+        assert main(["ucq", "ans(A) :- r(A,B) ; ans(A) :- r(A,C)",
+                     db_file]) == 0
+        out = capsys.readouterr().out
+        assert "after subsumption: 1" in out
+
+    def test_bad_union_errors(self, db_file, capsys):
+        assert main(["ucq", "ans(A) :- r(A,B) ; ans(B) :- r(A,B)",
+                     db_file]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSampleCommand:
+    def test_samples_printed(self, db_file, capsys):
+        assert main(["sample", "ans(A,C) :- r(A,B), s(B,C)", db_file,
+                     "-k", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "answers :" in out
+        assert "sample 0:" in out
+
+    def test_empty_answer_set_prints_zero(self, tmp_path, capsys):
+        import json as _json
+
+        path = tmp_path / "empty.json"
+        path.write_text(_json.dumps({"r": [[1, 2]], "s": [[7, 9]]}))
+        assert main(["sample", "ans(A,C) :- r(A,B), s(B,C)",
+                     str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "answers : 0" in out
+        assert "sample" not in out.replace("answers", "")
+
+
+class TestFaqCommand:
+    def test_report_printed(self, db_file, capsys):
+        assert main(["faq", "ans(A,C) :- r(A,B), s(B,C)", db_file]) == 0
+        out = capsys.readouterr().out
+        assert "count          :" in out
+        assert "eliminate" in out
+        assert "( or)" in out and "(sum)" in out
+
+
+class TestSuggestCommand:
+    def test_profile_and_candidates(self, db_file, capsys):
+        assert main(["suggest", "ans(A) :- r(A,B), s(B,C)", db_file]) == 0
+        out = capsys.readouterr().out
+        assert "degree profile:" in out
+        assert "pseudo-free candidates" in out
+        assert "(existential)" in out
+
+
+class TestExplainCommand:
+    def test_without_database(self, capsys):
+        assert main(["explain", "ans(A,C) :- r(A,B), s(B,C)"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy          : structural" in out
+        assert "decomposition" in out
+
+    def test_with_database_enables_hybrid_probe(self, db_file, capsys):
+        assert main(["explain", "ans(A) :- r(A,B), s(B,C)", db_file]) == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out
+
+    def test_width_cap_reported(self, capsys):
+        assert main(["explain", "ans(A,C) :- r(A,B), s(B,C)",
+                     "--max-width", "3"]) == 0
+        assert "structural" in capsys.readouterr().out

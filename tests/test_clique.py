@@ -1,0 +1,95 @@
+"""Unit tests for the #Clique reduction machinery (Section 5)."""
+
+import math
+
+from repro.counting.brute_force import count_brute_force
+from repro.counting.starsize import quantified_star_size
+from repro.decomposition.treedec import exact_treewidth
+from repro.hypergraph.frontier import frontier_size
+from repro.reductions.clique import (
+    clique_instance,
+    clique_query,
+    count_cliques_brute,
+    count_cliques_via_cq,
+    graph_database,
+    path_query,
+    random_graph,
+    star_frontier_instance,
+    star_frontier_query,
+)
+
+
+class TestGraphs:
+    def test_random_graph_symmetric(self):
+        g = random_graph(8, 0.5, seed=1)
+        for u, neighbours in g.items():
+            for v in neighbours:
+                assert u in g[v]
+                assert u != v
+
+    def test_clique_counts_on_complete_graph(self):
+        g = {u: {v for v in range(5) if v != u} for u in range(5)}
+        assert count_cliques_brute(g, 3) == math.comb(5, 3)
+        assert count_cliques_brute(g, 5) == 1
+
+    def test_clique_counts_on_empty_graph(self):
+        g = {u: set() for u in range(5)}
+        assert count_cliques_brute(g, 2) == 0
+
+
+class TestCliqueQuery:
+    def test_structure(self):
+        q = clique_query(4)
+        assert len(q.atoms) == 6
+        assert q.is_quantifier_free()
+
+    def test_treewidth_is_k_minus_1(self):
+        for k in (2, 3, 4):
+            assert exact_treewidth(clique_query(k).hypergraph()) == k - 1
+
+    def test_instance_counts_ordered_cliques(self):
+        g = random_graph(7, 0.6, seed=3)
+        query, database = clique_instance(g, 3)
+        assert count_brute_force(query, database) == \
+            6 * count_cliques_brute(g, 3)
+
+    def test_reduction_divides_by_factorial(self):
+        g = random_graph(9, 0.4, seed=5)
+        for k in (2, 3):
+            assert count_cliques_via_cq(g, k) == count_cliques_brute(g, k)
+
+    def test_reduction_through_engine_oracle(self):
+        from repro.counting.engine import count_answers
+
+        g = random_graph(7, 0.5, seed=8)
+        oracle = lambda q, d: count_answers(q, d, max_width=2).count
+        assert count_cliques_via_cq(g, 2, oracle=oracle) == \
+            count_cliques_brute(g, 2)
+
+    def test_graph_database_symmetric_rows(self):
+        g = random_graph(5, 0.5, seed=2)
+        db = graph_database(g)
+        for (u, v) in db["e"]:
+            assert (v, u) in db["e"]
+
+
+class TestGadgetFamilies:
+    def test_star_gadget_parameters(self):
+        for k in (2, 3, 4):
+            q = star_frontier_query(k)
+            assert quantified_star_size(q) == k
+            assert frontier_size(q) == k
+
+    def test_star_instance_counts(self):
+        g = random_graph(6, 0.5, seed=7)
+        query, database = star_frontier_instance(g, 2)
+        # every answer is a pair of vertices incident to a common edge
+        count = count_brute_force(query, database)
+        edges = sum(len(ns) for ns in g.values()) // 2
+        assert count >= edges  # at least the ordered endpoints themselves
+
+    def test_path_query_is_easy(self):
+        for k in (2, 5, 8):
+            q = path_query(k)
+            assert exact_treewidth(q.hypergraph()) <= 1
+            assert q.is_quantifier_free()

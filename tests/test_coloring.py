@@ -1,0 +1,64 @@
+"""Unit tests for query colorings (Sections 3.1 and 5.3)."""
+
+from repro.query import (
+    Variable,
+    color,
+    color_symbol,
+    colored_variables,
+    fullcolor,
+    is_color_atom,
+    parse_query,
+    uncolor,
+)
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+class TestColor:
+    def test_color_adds_one_atom_per_free_variable(self):
+        q = parse_query("ans(A, C) :- r(A, B), s(B, C)")
+        colored = color(q)
+        assert len(colored.atoms) == len(q.atoms) + 2
+        assert colored_variables(colored) == frozenset({A, C})
+
+    def test_color_preserves_free_variables(self):
+        q = parse_query("ans(A) :- r(A, B)")
+        assert color(q).free_variables == q.free_variables
+
+    def test_color_atoms_are_unary_and_fresh(self):
+        q = parse_query("ans(A) :- r(A, B)")
+        extra = color(q).atoms - q.atoms
+        (atom,) = extra
+        assert atom.arity == 1
+        assert is_color_atom(atom)
+        assert atom.relation == color_symbol(A)
+        assert not any(is_color_atom(a) for a in q.atoms)
+
+    def test_color_of_boolean_query_is_identity(self):
+        q = parse_query("ans() :- r(A, B)")
+        assert color(q).atoms == q.atoms
+
+
+class TestFullcolor:
+    def test_fullcolor_colors_every_variable(self):
+        q = parse_query("ans(A) :- r(A, B), s(B, C)")
+        assert colored_variables(fullcolor(q)) == frozenset({A, B, C})
+
+    def test_fullcolor_has_more_atoms_than_color(self):
+        q = parse_query("ans(A) :- r(A, B)")
+        assert len(fullcolor(q).atoms) == len(color(q).atoms) + 1
+
+
+class TestUncolor:
+    def test_uncolor_inverts_color(self):
+        q = parse_query("ans(A, C) :- r(A, B), s(B, C)")
+        assert uncolor(color(q)).atoms == q.atoms
+        assert uncolor(color(q)).free_variables == q.free_variables
+
+    def test_uncolor_inverts_fullcolor(self):
+        q = parse_query("ans(A) :- r(A, B)")
+        assert uncolor(fullcolor(q)).atoms == q.atoms
+
+    def test_uncolor_naming(self):
+        q = parse_query("ans(A) :- r(A, B)")
+        assert uncolor(color(q), name="core").name == "core"

@@ -1,0 +1,82 @@
+"""Unit tests for [W]-components and frontiers (Section 3.1, Example 3.2)."""
+
+from repro.hypergraph.components import (
+    component_frontiers,
+    component_of,
+    components,
+    edges_of_component,
+    frontier,
+)
+from repro.query.terms import Variable
+from repro.workloads import q0
+
+import pytest
+
+A, B, C, D, E, F, G, H, I = (Variable(x) for x in "ABCDEFGHI")
+
+
+class TestComponents:
+    def test_q0_free_components(self):
+        """Removing {A,B,C} from H_Q0 yields {I}, {E}, {D,F,G,H} (Sec. 1.2)."""
+        h = q0().hypergraph()
+        comps = components(h, {A, B, C})
+        assert set(comps) == {
+            frozenset({I}),
+            frozenset({E}),
+            frozenset({D, F, G, H}),
+        }
+
+    def test_component_of(self):
+        h = q0().hypergraph()
+        assert component_of(h, {A, B, C}, D) == frozenset({D, F, G, H})
+
+    def test_component_of_banned_node_raises(self):
+        h = q0().hypergraph()
+        with pytest.raises(ValueError):
+            component_of(h, {A, B, C}, A)
+
+    def test_component_of_unknown_node_raises(self):
+        h = q0().hypergraph()
+        with pytest.raises(ValueError):
+            component_of(h, {A, B, C}, Variable("Z"))
+
+    def test_empty_banned_set_gives_connected_components(self):
+        h = q0().hypergraph()
+        assert components(h, ()) == (frozenset(h.nodes),)
+
+    def test_edges_of_component(self):
+        h = q0().hypergraph()
+        edges = edges_of_component(h, {I})
+        assert edges == frozenset({frozenset({A, B, I})})
+
+
+class TestFrontier:
+    def test_example_3_2_frontier_of_A(self):
+        """Fr(A, {D,E,G}) = {D, E} (Figure 6(a))."""
+        h = q0().hypergraph()
+        assert frontier(A, {D, E, G}, h) == frozenset({D, E})
+
+    def test_example_3_2_frontier_of_H(self):
+        """Fr(H, {D,E,G}) = {D, G} (Figure 6(b))."""
+        h = q0().hypergraph()
+        assert frontier(H, {D, E, G}, h) == frozenset({D, G})
+
+    def test_frontier_of_banned_variable_is_empty(self):
+        h = q0().hypergraph()
+        assert frontier(D, {D, E, G}, h) == frozenset()
+
+    def test_intro_frontiers_wrt_free_variables(self):
+        """Fr(I)={A,B}, Fr(E)={B}, Fr(D)=...={B,C} (Section 1.2)."""
+        h = q0().hypergraph()
+        free = {A, B, C}
+        assert frontier(I, free, h) == frozenset({A, B})
+        assert frontier(E, free, h) == frozenset({B})
+        for existential in (D, F, G, H):
+            assert frontier(existential, free, h) == frozenset({B, C})
+
+    def test_all_variables_in_component_share_frontier(self):
+        h = q0().hypergraph()
+        frontiers = component_frontiers(h, {A, B, C})
+        for component, shared in frontiers.items():
+            for member in component:
+                assert frontier(member, {A, B, C}, h) == shared

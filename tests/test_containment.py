@@ -1,0 +1,138 @@
+"""Tests for query containment/equivalence (:mod:`repro.homomorphism.containment`)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counting.brute_force import answers
+from repro.exceptions import QueryError
+from repro.homomorphism.containment import (
+    is_contained_in,
+    is_equivalent_to,
+    minimal_union,
+    union_is_contained_in,
+    union_is_equivalent_to,
+)
+from repro.query import parse_query
+from repro.ucq import UnionQuery, count_union_brute_force, parse_ucq
+from repro.workloads.random_instances import random_instance
+
+
+class TestCQContainment:
+    def test_specialization_contained_in_generalization(self):
+        specific = parse_query("ans(A) :- r(A, B), s(A, B)")
+        general = parse_query("ans(A) :- r(A, C)")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_every_query_contains_itself(self):
+        query = parse_query("ans(A) :- r(A, B), s(B, C)")
+        assert is_contained_in(query, query)
+
+    def test_incomparable_queries(self):
+        q1 = parse_query("ans(A) :- r(A, B)")
+        q2 = parse_query("ans(A) :- s(A, B)")
+        assert not is_contained_in(q1, q2)
+        assert not is_contained_in(q2, q1)
+
+    def test_schema_mismatch_rejected(self):
+        q1 = parse_query("ans(A) :- r(A, B)")
+        q2 = parse_query("ans(A, B) :- r(A, B)")
+        with pytest.raises(QueryError):
+            is_contained_in(q1, q2)
+
+    def test_longer_path_contained_in_shorter(self):
+        # A 2-step path pattern maps homomorphically onto... it does NOT:
+        # with the output variable pinned, r(A,B),r(B,C) vs r(A,B) —
+        # the single-atom query is more general.
+        two = parse_query("ans(A) :- r(A, B), r(B, C)")
+        one = parse_query("ans(A) :- r(A, B)")
+        assert is_contained_in(two, one)
+        assert not is_contained_in(one, two)
+
+    def test_equivalence_of_redundant_atom(self):
+        redundant = parse_query("ans(A) :- r(A, B), r(A, C)")
+        lean = parse_query("ans(A) :- r(A, B)")
+        assert is_equivalent_to(redundant, lean)
+
+    def test_constants_must_match(self):
+        blue = parse_query("ans(A) :- r(A, 'blue')")
+        any_colour = parse_query("ans(A) :- r(A, C)")
+        assert is_contained_in(blue, any_colour)
+        assert not is_contained_in(any_colour, blue)
+
+    @given(seed=st.integers(0, 3_000))
+    @settings(max_examples=10, deadline=None)
+    def test_containment_sound_on_random_instances(self, seed):
+        # If Q1 ⊆ Q2 syntactically, the answer sets nest on real data.
+        query, database = random_instance(
+            n_variables=4, n_atoms=3, domain_size=3,
+            tuples_per_relation=8, seed=seed,
+        )
+        free = sorted(query.free_variables, key=lambda v: v.name)
+        atom = query.atoms_sorted()[0]
+        if not set(free) <= set(atom.variables):
+            return
+        general = query.restrict_to_atoms([atom]).with_free(free)
+        assert is_contained_in(query, general)
+        # Both answer sets live on the same sorted free schema, so the
+        # SubstitutionSets' rows are directly comparable.
+        assert answers(query, database).rows <= \
+            answers(general, database).rows
+
+
+class TestUnionContainment:
+    def test_subset_union_contained(self):
+        small = parse_ucq("ans(A) :- r(A, B)")
+        big = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A)")
+        assert union_is_contained_in(small, big)
+        assert not union_is_contained_in(big, small)
+
+    def test_equivalent_reordered_unions(self):
+        u1 = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A)")
+        u2 = parse_ucq("ans(A) :- s(A) ; ans(A) :- r(A, C)")
+        assert union_is_equivalent_to(u1, u2)
+
+    def test_disjunct_absorbed_across_union(self):
+        specific = parse_ucq("ans(A) :- r(A, B), s(A)")
+        general = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- t(A)")
+        assert union_is_contained_in(specific, general)
+
+    def test_schema_mismatch_rejected(self):
+        u1 = parse_ucq("ans(A) :- r(A, B)")
+        u2 = parse_ucq("ans(A, B) :- r(A, B)")
+        with pytest.raises(QueryError):
+            union_is_contained_in(u1, u2)
+
+
+class TestMinimalUnion:
+    def test_redundant_disjunct_dropped(self):
+        union = parse_ucq(
+            "ans(A) :- r(A, B), s(A, B) ; ans(A) :- r(A, C)"
+        )
+        minimal = minimal_union(union)
+        assert len(minimal) == 1
+        assert union_is_equivalent_to(union, minimal)
+
+    def test_disjuncts_are_cores(self):
+        union = parse_ucq("ans(A) :- r(A, B), r(A, C)")
+        minimal = minimal_union(union)
+        assert len(minimal.disjuncts[0].atoms) == 1
+
+    def test_counts_preserved(self):
+        from repro.db import Database
+
+        union = parse_ucq(
+            "ans(A) :- r(A, B), r(A, C) ; ans(A) :- r(A, B), s(A, B)"
+        )
+        database = Database.from_dict({
+            "r": [(1, 2), (2, 3), (4, 4)],
+            "s": [(1, 2), (9, 9)],
+        })
+        minimal = minimal_union(union)
+        assert count_union_brute_force(minimal, database) == \
+            count_union_brute_force(union, database)
+
+    def test_irreducible_union_unchanged(self):
+        union = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A, B)")
+        assert len(minimal_union(union)) == 2

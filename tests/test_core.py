@@ -1,0 +1,104 @@
+"""Unit tests for core computation (Sections 2, 3.1; Lemma 4.3)."""
+
+from repro.homomorphism.core import (
+    colored_core,
+    colored_core_via_consistency,
+    core,
+    core_pair,
+    core_via_consistency,
+    is_core,
+    uncolored_core,
+)
+from repro.homomorphism.solver import homomorphically_equivalent
+from repro.query import Variable, parse_query
+from repro.query.coloring import is_color_atom
+from repro.workloads import (
+    q0,
+    q0_expected_core_atoms,
+    q0_symmetric_core_atoms,
+    qn1_chain,
+    qn1_expected_core_atoms,
+    qn2_biclique,
+)
+
+
+class TestPlainCore:
+    def test_core_of_core_is_itself(self):
+        q = parse_query("ans() :- r(A, B), s(B, C)")
+        assert core(q).atoms == q.atoms
+        assert is_core(q)
+
+    def test_redundant_atom_removed(self):
+        # r(X,Y) & r(X,Z): Z folds onto Y.
+        q = parse_query("ans() :- r(X, Y), r(X, Z)")
+        result = core(q)
+        assert len(result.atoms) == 1
+        assert not is_core(q)
+
+    def test_core_homomorphically_equivalent(self):
+        q = parse_query("ans() :- r(A, B), r(B, C), r(A, C), r(X, Y)")
+        result = core(q)
+        assert homomorphically_equivalent(q, result)
+
+    def test_biclique_core_is_single_atom(self):
+        """core(Q^n_2) = r(X1, Y1) (proof of Theorem A.3)."""
+        q = qn2_biclique(3)
+        assert len(core(q).atoms) == 1
+
+
+class TestColoredCore:
+    def test_q0_colored_core_matches_figure_3(self):
+        """One of the two isomorphic cores of color(Q0): either drop the
+        G branch (Figure 3) or the symmetric F branch (Example 3.5)."""
+        result = colored_core(q0())
+        plain = frozenset(a for a in result.atoms if not is_color_atom(a))
+        assert plain in (q0_expected_core_atoms(), q0_symmetric_core_atoms())
+
+    def test_q0_core_keeps_all_color_atoms(self):
+        result = colored_core(q0())
+        colors = [a for a in result.atoms if is_color_atom(a)]
+        assert len(colors) == 3
+
+    def test_uncolored_core_is_subquery_with_free_vars(self):
+        q = q0()
+        result = uncolored_core(q)
+        assert result.atoms <= q.atoms
+        assert result.free_variables == q.free_variables
+
+    def test_qn1_core_matches_figure_11(self):
+        """core(color(Q^n_1)) folds the Y-chain onto the X-chain,
+        keeping only r(Xn, Yn) (Example A.2, Figure 11(b))."""
+        for n in (2, 3):
+            result = colored_core(qn1_chain(n))
+            plain = frozenset(a for a in result.atoms if not is_color_atom(a))
+            assert plain == qn1_expected_core_atoms(n)
+
+    def test_colors_protect_free_variables(self):
+        # Without colors B,D would fold; with B free the fold must keep B.
+        q = parse_query("ans(B) :- r(A, B), r(A, D)")
+        result = uncolored_core(q)
+        assert Variable("B") in result.variables
+
+
+class TestConsistencyCore:
+    def test_matches_exhaustive_core_on_bounded_width_queries(self):
+        for text in [
+            "ans() :- r(X, Y), r(X, Z)",
+            "ans() :- r(A, B), r(B, C), r(A, C), r(X, Y)",
+            "ans(A) :- r(A, B), s(B, C), s(B, D)",
+        ]:
+            q = parse_query(text)
+            exhaustive = core(q)
+            lemma43 = core_via_consistency(q, width=2)
+            assert homomorphically_equivalent(exhaustive, lemma43)
+            assert len(exhaustive.atoms) == len(lemma43.atoms)
+
+    def test_colored_variant_on_q0(self):
+        fast = colored_core_via_consistency(q0(), width=2)
+        slow = colored_core(q0())
+        assert len(fast.atoms) == len(slow.atoms)
+
+    def test_core_pair_consistency_path(self):
+        colored, plain = core_pair(q0(), width=2)
+        assert plain.free_variables == q0().free_variables
+        assert plain.atoms <= q0().atoms

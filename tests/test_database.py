@@ -1,0 +1,66 @@
+"""Unit tests for repro.db.database."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.exceptions import DatabaseError
+
+
+class TestDatabase:
+    def test_from_dict(self):
+        db = Database.from_dict({"r": [(1, 2)], "s": [(3,)]})
+        assert db["r"].arity == 2
+        assert db["s"].arity == 1
+
+    def test_from_dict_rejects_empty_relation(self):
+        with pytest.raises(DatabaseError):
+            Database.from_dict({"r": []})
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(DatabaseError):
+            Database([Relation("r", 1, [(1,)]), Relation("r", 1, [(2,)])])
+
+    def test_missing_relation_raises(self):
+        db = Database.from_dict({"r": [(1,)]})
+        with pytest.raises(DatabaseError):
+            db["nope"]
+        assert db.get("nope") is None
+
+    def test_contains_iter_len(self):
+        db = Database.from_dict({"r": [(1,)], "s": [(2,)]})
+        assert "r" in db
+        assert sorted(db) == ["r", "s"]
+        assert len(db) == 2
+        assert db.symbols() == frozenset({"r", "s"})
+
+    def test_with_relation_replaces(self):
+        db = Database.from_dict({"r": [(1,)]})
+        db2 = db.with_relation(Relation("r", 1, [(2,)]))
+        assert (2,) in db2["r"]
+        assert (1,) in db["r"]  # original untouched
+
+    def test_without(self):
+        db = Database.from_dict({"r": [(1,)], "s": [(2,)]})
+        assert db.without("s").symbols() == frozenset({"r"})
+
+    def test_merged_with(self):
+        db1 = Database.from_dict({"r": [(1,)]})
+        db2 = Database.from_dict({"r": [(2,)], "s": [(3,)]})
+        merged = db1.merged_with(db2)
+        assert (2,) in merged["r"]  # other wins
+        assert "s" in merged
+
+    def test_active_domain(self):
+        db = Database.from_dict({"r": [(1, 2)], "s": [(3,)]})
+        assert db.active_domain() == frozenset({1, 2, 3})
+
+    def test_size_measures(self):
+        db = Database.from_dict({"r": [(1,), (2,)], "s": [(3,)]})
+        assert db.max_relation_size() == 2
+        assert db.total_tuples() == 3
+        assert Database().max_relation_size() == 0
+
+    def test_equality(self):
+        assert Database.from_dict({"r": [(1,)]}) == Database.from_dict({"r": [(1,)]})
+        assert Database.from_dict({"r": [(1,)]}) != Database.from_dict({"r": [(2,)]})

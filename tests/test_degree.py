@@ -1,0 +1,88 @@
+"""Unit tests for degree bounds and D-optimal decompositions (App. C)."""
+
+from repro.db import Database
+from repro.decomposition.degree import (
+    d_optimal_decomposition,
+    degree_at_vertex,
+    degree_bound,
+    vertex_relation,
+)
+from repro.decomposition.ghd import find_ghd_join_tree
+from repro.decomposition.hypertree import hypertree_from_join_tree
+from repro.query import Variable, parse_query
+from repro.workloads import d2_database, q2_acyclic
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+class TestVertexRelation:
+    def test_projection_of_join(self):
+        q = parse_query("ans(A) :- r(A, B), s(B, C)")
+        db = Database.from_dict({
+            "r": [(1, 2), (1, 3)],
+            "s": [(2, 5), (3, 5), (3, 6)],
+        })
+        atoms = {a.relation: a for a in q.atoms}
+        relation = vertex_relation({A, B}, (atoms["r"], atoms["s"]), db)
+        assert relation.variable_set() == {A, B}
+        assert relation.rows == frozenset({(1, 2), (1, 3)})
+
+    def test_degree_at_vertex(self):
+        q = parse_query("ans(A) :- r(A, B)")
+        db = Database.from_dict({"r": [(1, 2), (1, 3), (2, 2)]})
+        atoms = {a.relation: a for a in q.atoms}
+        relation = vertex_relation({A, B}, (atoms["r"],), db)
+        assert degree_at_vertex(relation, {A}) == 2
+        assert degree_at_vertex(relation, {A, B}) == 1
+
+
+class TestExampleC2:
+    """The Figure 12 / Example C.2 analysis of Q^h_2 on D_2."""
+
+    def test_width_1_bound_is_m(self):
+        h = 3
+        query, database = q2_acyclic(h), d2_database(h)
+        tree = find_ghd_join_tree(query.hypergraph(), 1)
+        decomposition = hypertree_from_join_tree(tree, query, max_cover=1)
+        assert degree_bound(decomposition, database,
+                            query.free_variables) == 2 ** h
+
+    def test_no_width_1_decomposition_beats_m(self):
+        """Example C.2: because of relation s, every width-1 decomposition
+        has bound m."""
+        h = 2
+        query, database = q2_acyclic(h), d2_database(h)
+        result = d_optimal_decomposition(query, database, 1)
+        assert result is not None
+        assert result[0] == 2 ** h
+
+    def test_width_2_merge_achieves_bound_1(self):
+        """Example C.2: merging r and s into one vertex gives bound 1."""
+        h = 2
+        query, database = q2_acyclic(h), d2_database(h)
+        result = d_optimal_decomposition(query, database, 2)
+        assert result is not None
+        bound, decomposition = result
+        assert bound == 1
+        assert degree_bound(decomposition, database,
+                            query.free_variables) <= 1
+
+    def test_returned_decomposition_is_valid(self):
+        h = 2
+        query, database = q2_acyclic(h), d2_database(h)
+        _, decomposition = d_optimal_decomposition(query, database, 2)
+        assert decomposition.is_generalized_decomposition_of(query)
+
+
+class TestDegreeBoundBasics:
+    def test_quantifier_free_bound_is_1(self):
+        q = parse_query("ans(A, B) :- r(A, B)")
+        db = Database.from_dict({"r": [(1, 2), (1, 3)]})
+        tree = find_ghd_join_tree(q.hypergraph(), 1)
+        decomposition = hypertree_from_join_tree(tree, q, max_cover=1)
+        assert degree_bound(decomposition, db, q.free_variables) == 1
+
+    def test_no_decomposition_returns_none(self):
+        q = parse_query("ans(A) :- r(A, B), s(B, C), t(C, A)")
+        db = Database.from_dict({"r": [(1, 2)], "s": [(2, 3)], "t": [(3, 1)]})
+        assert d_optimal_decomposition(q, db, 1) is None

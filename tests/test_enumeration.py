@@ -1,0 +1,74 @@
+"""Unit tests for polynomial-delay answer enumeration ([GS13])."""
+
+import pytest
+
+from repro.counting.brute_force import answers as brute_answers
+from repro.counting.enumeration import enumerate_answers, iter_answers
+from repro.db import Database
+from repro.exceptions import DecompositionNotFoundError
+from repro.query import parse_query
+from repro.workloads import q0, random_instance, workforce_database
+
+
+def _as_row_set(answer_dicts, free):
+    ordered = sorted(free, key=lambda v: v.name)
+    return {tuple(a[v] for v in ordered) for a in answer_dicts}
+
+
+class TestEnumeration:
+    def test_matches_brute_force_on_q0(self):
+        query = q0()
+        database = workforce_database(seed=21)
+        listed = enumerate_answers(query, database)
+        expected = brute_answers(query, database)
+        assert _as_row_set(listed, query.free_variables) == expected.rows
+        assert len(listed) == len(expected)
+
+    def test_no_duplicates(self):
+        query = parse_query("ans(A) :- r(A, B)")
+        database = Database.from_dict({"r": [(1, 2), (1, 3), (2, 2)]})
+        listed = enumerate_answers(query, database)
+        assert len(listed) == 2
+
+    def test_limit_stops_early(self):
+        query = parse_query("ans(A) :- r(A, B)")
+        database = Database.from_dict({"r": [(i, 0) for i in range(100)]})
+        assert len(enumerate_answers(query, database, limit=5)) == 5
+
+    def test_empty_answer_set(self):
+        query = parse_query("ans(A) :- r(A, B), s(B, C)")
+        database = Database.from_dict({"r": [(1, 2)], "s": [(9, 9)]})
+        assert enumerate_answers(query, database) == []
+
+    def test_iterator_is_lazy(self):
+        query = parse_query("ans(A) :- r(A, B)")
+        database = Database.from_dict({"r": [(i, 0) for i in range(50)]})
+        iterator = iter_answers(query, database)
+        first = next(iterator)
+        assert set(first) == query.free_variables
+
+    def test_boolean_query(self):
+        query = parse_query("ans() :- r(A, B)")
+        database = Database.from_dict({"r": [(1, 2)]})
+        listed = enumerate_answers(query, database)
+        assert listed == [{}]
+
+    def test_raises_beyond_width(self):
+        from repro.workloads import q2_acyclic, d2_database
+
+        with pytest.raises(DecompositionNotFoundError):
+            enumerate_answers(q2_acyclic(3), d2_database(3), max_width=2)
+
+    def test_random_instances(self):
+        checked = 0
+        for seed in range(12):
+            query, database = random_instance(seed=seed + 500)
+            try:
+                listed = enumerate_answers(query, database, max_width=2)
+            except DecompositionNotFoundError:
+                continue
+            expected = brute_answers(query, database)
+            assert _as_row_set(listed, query.free_variables) == expected.rows
+            assert len(listed) == len(expected)
+            checked += 1
+        assert checked >= 6

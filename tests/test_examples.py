@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are living documentation; a refactor that breaks one should fail
+CI, not a reader.  Each script runs in a temporary directory (some write
+output files) with a generous timeout.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert len(SCRIPTS) >= 9
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script} printed nothing"

@@ -1,0 +1,102 @@
+"""Tests for the EXPLAIN facility (:mod:`repro.counting.explain`)."""
+
+from repro.counting.explain import (
+    Explanation,
+    core_summary,
+    explain,
+    render_join_tree,
+)
+from repro.db import Database
+from repro.homomorphism.core import colored_core
+from repro.hypergraph.acyclicity import JoinTree
+from repro.query import parse_query
+from repro.query.terms import make_variables
+from repro.workloads.paper_databases import d2_bar_database
+from repro.workloads.paper_queries import q0, q2_bar
+
+A, B, C = make_variables("A", "B", "C")
+
+
+class TestRenderJoinTree:
+    def test_single_bag(self):
+        tree = JoinTree((frozenset({A, B}),), ())
+        assert render_join_tree(tree) == "[A,B]"
+
+    def test_parent_child(self):
+        tree = JoinTree(
+            (frozenset({A, B}), frozenset({B, C})), ((0, 1),)
+        )
+        rendered = render_join_tree(tree)
+        assert rendered.splitlines()[0] == "[A,B]"
+        assert "`- [B,C]" in rendered
+
+    def test_labels_annotated(self):
+        tree = JoinTree(
+            (frozenset({A, B}), frozenset({B, C})), ((0, 1),)
+        )
+        rendered = render_join_tree(tree, ["v1", "v2"])
+        assert "[A,B] <- v1" in rendered
+        assert "[B,C] <- v2" in rendered
+
+    def test_forest_renders_all_roots(self):
+        tree = JoinTree((frozenset({A}), frozenset({B})), ())
+        rendered = render_join_tree(tree)
+        assert "[A]" in rendered and "[B]" in rendered
+
+    def test_branching_uses_both_connectors(self):
+        tree = JoinTree(
+            (frozenset({A, B}), frozenset({A}), frozenset({B})),
+            ((0, 1), (0, 2)),
+        )
+        rendered = render_join_tree(tree)
+        assert "+- " in rendered and "`- " in rendered
+
+
+class TestExplain:
+    def test_acyclic_strategy(self):
+        query = parse_query("ans(A, B) :- r(A, B)")
+        explanation = explain(query)
+        assert explanation.strategy == "acyclic"
+        assert "join-tree DP" in str(explanation)
+
+    def test_structural_strategy_reports_width_and_core(self):
+        explanation = explain(q0())
+        assert explanation.strategy == "structural"
+        assert explanation.details["#-hypertree width"] == 2
+        assert explanation.sharp is not None
+        text = str(explanation)
+        assert "frontier hypergraph" in text
+        assert "colored core drops" in text
+        assert "decomposition" in text
+
+    def test_hybrid_strategy_with_database(self):
+        query, database = q2_bar(2), d2_bar_database(2)
+        explanation = explain(query, database, max_width=2)
+        assert explanation.strategy == "hybrid"
+        assert explanation.hybrid is not None
+        assert explanation.details["degree bound"] == 1
+        assert "promoted pseudo-free" in str(explanation)
+
+    def test_no_database_stops_before_hybrid(self):
+        query = q2_bar(2)
+        explanation = explain(query, max_width=2)
+        assert explanation.strategy == "brute_force"
+        assert any("no database" in note for note in explanation.notes)
+
+    def test_cyclic_quantifier_free_notes(self):
+        query = parse_query("ans(A, B, C) :- r(A, B), s(B, C), t(C, A)")
+        explanation = explain(query)
+        assert explanation.strategy == "structural"  # width 2 covers cycles
+        assert any("cyclic" in note for note in explanation.notes)
+
+    def test_explanation_is_dataclass_with_defaults(self):
+        query = parse_query("ans(A) :- r(A, B)")
+        bare = Explanation(query, "brute_force")
+        assert "brute_force" in str(bare)
+
+
+class TestCoreSummary:
+    def test_coloring_atoms_hidden(self):
+        summary = core_summary(colored_core(q0()))
+        assert "__color_" not in summary
+        assert "mw(A, B, I)" in summary

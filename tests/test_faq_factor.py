@@ -1,0 +1,157 @@
+"""Unit tests for :mod:`repro.faq.factor`."""
+
+import pytest
+
+from repro.counting.semiring import BOOLEAN, COUNTING, MIN_TROPICAL
+from repro.db.algebra import SubstitutionSet
+from repro.exceptions import SchemaError
+from repro.faq.factor import Factor, multiply_all
+from repro.query.terms import make_variables
+
+A, B, C = make_variables("A", "B", "C")
+
+
+def counting(schema, values):
+    return Factor(schema, values, COUNTING)
+
+
+class TestConstruction:
+    def test_schema_is_sorted(self):
+        factor = Factor((B, A), {(1, 2): 1})
+        assert factor.schema == (A, B)
+        assert factor.values == {(2, 1): 1}
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Factor((A, A), {})
+
+    def test_row_length_checked(self):
+        with pytest.raises(SchemaError):
+            Factor((A, B), {(1,): 1})
+
+    def test_indicator_from_substitution_set(self):
+        relation = SubstitutionSet((A, B), [(1, 2), (3, 4)])
+        factor = Factor.indicator(relation)
+        assert factor.values == {(1, 2): 1, (3, 4): 1}
+        assert factor.semiring is COUNTING
+
+    def test_scalar(self):
+        factor = Factor.scalar(7)
+        assert factor.scalar_value() == 7
+        assert factor.schema == ()
+
+    def test_scalar_value_of_empty_support_is_zero(self):
+        factor = Factor((), {})
+        assert factor.scalar_value() == 0
+
+    def test_scalar_value_rejects_nonscalar(self):
+        with pytest.raises(SchemaError):
+            counting((A,), {(1,): 1}).scalar_value()
+
+    def test_support_round_trip(self):
+        factor = counting((A, B), {(1, 2): 3, (4, 5): 1})
+        support = factor.support()
+        assert support == SubstitutionSet((A, B), [(1, 2), (4, 5)])
+
+    def test_repr_mentions_semiring(self):
+        assert "counting" in repr(counting((A,), {(1,): 1}))
+
+
+class TestMultiply:
+    def test_shared_variable_join(self):
+        left = counting((A, B), {(1, 2): 2, (1, 3): 1})
+        right = counting((B, C), {(2, 9): 5, (3, 9): 1})
+        product = left.multiply(right)
+        assert product.schema == (A, B, C)
+        assert product.values == {(1, 2, 9): 10, (1, 3, 9): 1}
+
+    def test_disjoint_schemas_cross_product(self):
+        left = counting((A,), {(1,): 2})
+        right = counting((B,), {(5,): 3, (6,): 1})
+        product = left.multiply(right)
+        assert product.values == {(1, 5): 6, (1, 6): 2}
+
+    def test_zero_support_annihilates(self):
+        left = counting((A,), {})
+        right = counting((A,), {(1,): 4})
+        assert not left.multiply(right)
+
+    def test_scalar_is_multiplicative_identity(self):
+        factor = counting((A,), {(1,): 3})
+        assert Factor.scalar(1).multiply(factor).values == factor.values
+
+    def test_mismatched_semirings_rejected(self):
+        boolean = Factor((A,), {(1,): True}, BOOLEAN)
+        with pytest.raises(SchemaError):
+            counting((A,), {(1,): 1}).multiply(boolean)
+
+    def test_boolean_multiply(self):
+        left = Factor((A,), {(1,): True, (2,): True}, BOOLEAN)
+        right = Factor((A,), {(1,): True}, BOOLEAN)
+        assert left.multiply(right).values == {(1,): True}
+
+    def test_multiply_is_commutative(self):
+        left = counting((A, B), {(1, 2): 2, (3, 2): 1})
+        right = counting((B, C), {(2, 7): 3})
+        assert left.multiply(right).values == right.multiply(left).values
+
+
+class TestMarginalize:
+    def test_sum_out_variable(self):
+        factor = counting((A, B), {(1, 2): 2, (1, 3): 5, (4, 2): 1})
+        marginal = factor.marginalize(B)
+        assert marginal.schema == (A,)
+        assert marginal.values == {(1,): 7, (4,): 1}
+
+    def test_boolean_or(self):
+        factor = Factor((A, B), {(1, 2): True, (1, 3): True}, BOOLEAN)
+        marginal = factor.marginalize(B)
+        assert marginal.values == {(1,): True}
+
+    def test_tropical_min(self):
+        factor = Factor((A, B), {(1, 2): 5.0, (1, 3): 2.0}, MIN_TROPICAL)
+        assert factor.marginalize(B).values == {(1,): 2.0}
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            counting((A,), {(1,): 1}).marginalize(B)
+
+    def test_marginalize_all(self):
+        factor = counting((A, B, C), {(1, 2, 3): 1, (1, 4, 5): 1})
+        assert factor.marginalize_all([B, C]).values == {(1,): 2}
+
+    def test_marginalize_to_scalar(self):
+        factor = counting((A,), {(1,): 2, (2,): 3})
+        assert factor.marginalize(A).scalar_value() == 5
+
+
+class TestConversions:
+    def test_reinterpret_keeps_support(self):
+        boolean = Factor((A,), {(1,): True, (2,): True}, BOOLEAN)
+        recount = boolean.reinterpret(COUNTING)
+        assert recount.values == {(1,): 1, (2,): 1}
+        assert recount.semiring is COUNTING
+
+    def test_reinterpret_custom_value(self):
+        boolean = Factor((A,), {(1,): True}, BOOLEAN)
+        assert boolean.reinterpret(COUNTING, 9).values == {(1,): 9}
+
+    def test_dropped_zeroes(self):
+        factor = counting((A,), {(1,): 0, (2,): 3})
+        assert factor.dropped_zeroes().values == {(2,): 3}
+
+    def test_dropped_zeroes_noop_returns_self(self):
+        factor = counting((A,), {(2,): 3})
+        assert factor.dropped_zeroes() is factor
+
+
+class TestMultiplyAll:
+    def test_empty_product_is_one(self):
+        assert multiply_all([], COUNTING).scalar_value() == 1
+
+    def test_three_way_chain(self):
+        f1 = counting((A, B), {(1, 2): 1})
+        f2 = counting((B, C), {(2, 3): 2})
+        f3 = counting((C,), {(3,): 4})
+        product = multiply_all([f1, f2, f3])
+        assert product.values == {(1, 2, 3): 8}

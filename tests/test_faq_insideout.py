@@ -1,0 +1,163 @@
+"""Tests for the Inside-Out #CQ comparator (:mod:`repro.faq.insideout`)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counting.brute_force import count_brute_force
+from repro.counting.semiring import BOOLEAN, COUNTING, MIN_TROPICAL
+from repro.db import Database
+from repro.faq import (
+    count_insideout,
+    evaluate_faq,
+    insideout_report,
+    min_degree_order,
+    min_fill_order,
+)
+from repro.query import parse_query
+from repro.query.terms import Variable
+from repro.workloads.paper_queries import q0, q1_cycle, qn1_chain
+from repro.workloads.paper_databases import workforce_database
+from repro.workloads.random_instances import random_instance
+
+
+class TestCountMatchesBruteForce:
+    def test_path_query(self, path_query, path_database):
+        expected = count_brute_force(path_query, path_database)
+        assert count_insideout(path_query, path_database) == expected
+
+    def test_triangle_query(self, triangle_query, triangle_database):
+        expected = count_brute_force(triangle_query, triangle_database)
+        assert count_insideout(triangle_query, triangle_database) == expected
+
+    def test_paper_q0_on_workforce(self):
+        query = q0()
+        database = workforce_database(seed=7)
+        expected = count_brute_force(query, database)
+        assert count_insideout(query, database) == expected
+
+    def test_cycle_query(self):
+        query = q1_cycle()
+        database = Database.from_dict({
+            "s1": [(1, 2), (2, 3), (1, 3)],
+            "s2": [(2, 4), (3, 4), (3, 5)],
+            "s3": [(4, 6), (5, 6)],
+            "s4": [(6, 1), (6, 2)],
+        })
+        expected = count_brute_force(query, database)
+        assert count_insideout(query, database) == expected
+
+    def test_chain_qn1(self):
+        query = qn1_chain(3)
+        database = Database.from_dict({
+            "r": [(1, 2), (2, 3), (3, 1), (2, 1)],
+        })
+        expected = count_brute_force(query, database)
+        assert count_insideout(query, database) == expected
+
+    def test_empty_answer_set(self):
+        query = parse_query("ans(A) :- r(A, B), s(B)")
+        database = Database.from_dict({"r": [(1, 2)], "s": [(9,)]})
+        assert count_insideout(query, database) == 0
+
+    def test_boolean_query_zero_or_one(self):
+        query = parse_query("ans() :- r(A, B), s(B, C)")
+        database = Database.from_dict({"r": [(1, 2)], "s": [(2, 3)]})
+        assert count_insideout(query, database) == 1
+        empty = Database.from_dict({"r": [(1, 2)], "s": [(9, 3)]})
+        assert count_insideout(query, empty) == 0
+
+    def test_quantifier_free_counts_homomorphisms(self):
+        query = parse_query("ans(A, B) :- r(A, B)")
+        database = Database.from_dict({"r": [(1, 2), (3, 4), (5, 6)]})
+        assert count_insideout(query, database) == 3
+
+    def test_repeated_relation_symbols(self):
+        query = parse_query("ans(A) :- e(A, B), e(B, C)")
+        database = Database.from_dict({"e": [(1, 2), (2, 3), (3, 3)]})
+        expected = count_brute_force(query, database)
+        assert count_insideout(query, database) == expected
+
+    @pytest.mark.parametrize("heuristic", [min_degree_order, min_fill_order])
+    def test_explicit_heuristic_orders(self, heuristic, path_query,
+                                       path_database):
+        order = heuristic(path_query)
+        expected = count_brute_force(path_query, path_database)
+        assert count_insideout(path_query, path_database, order) == expected
+
+
+class TestRandomizedEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force_on_random_instances(self, seed):
+        query, database = random_instance(
+            n_variables=5, n_atoms=4, domain_size=4,
+            tuples_per_relation=12, seed=seed,
+        )
+        assert count_insideout(query, database) == \
+            count_brute_force(query, database)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_acyclic_instances(self, seed):
+        query, database = random_instance(
+            n_atoms=4, acyclic=True, domain_size=4,
+            tuples_per_relation=10, seed=seed,
+        )
+        assert count_insideout(query, database) == \
+            count_brute_force(query, database)
+
+
+class TestReport:
+    def test_report_fields(self, path_query, path_database):
+        report = insideout_report(path_query, path_database)
+        assert report.count == count_brute_force(path_query, path_database)
+        assert len(report.eliminations) == len(path_query.variables)
+        assert report.induced_width >= 1
+        assert report.max_intermediate_support >= 0
+        assert set(report.order) == {v.name for v in path_query.variables}
+
+    def test_aggregates_follow_blocks(self, path_query, path_database):
+        report = insideout_report(path_query, path_database)
+        aggregates = [step["aggregate"] for step in report.eliminations]
+        # All "or" steps precede all "sum" steps.
+        assert aggregates == sorted(aggregates, key=lambda a: a != "or")
+        existential = {v.name for v in path_query.existential_variables}
+        for step in report.eliminations:
+            expected = "or" if step["variable"] in existential else "sum"
+            assert step["aggregate"] == expected
+
+
+class TestEvaluateFaq:
+    def test_counting_semiring_counts_homomorphisms(self):
+        query = parse_query("ans(A) :- r(A, B), s(B, C)")
+        database = Database.from_dict({
+            "r": [(1, 2), (1, 3)], "s": [(2, 5), (3, 5), (3, 6)],
+        })
+        # Homomorphism count: (1,2,5), (1,3,5), (1,3,6) = 3.
+        assert evaluate_faq(query, database, COUNTING) == 3
+
+    def test_boolean_semiring_decides(self):
+        query = parse_query("ans(A) :- r(A, B)")
+        database = Database.from_dict({"r": [(1, 2)]})
+        assert evaluate_faq(query, database, BOOLEAN) is True
+
+    def test_min_tropical_lightest_solution(self):
+        query = parse_query("ans(A) :- r(A, B), s(B, C)")
+        database = Database.from_dict({
+            "r": [(1, 2), (1, 3)], "s": [(2, 10), (3, 1)],
+        })
+
+        def weight(atom, binding):
+            # Weight of an r-edge is its B value; s contributes its C value.
+            if atom.relation == "r":
+                return binding[Variable("B")]
+            return binding[Variable("C")]
+
+        # Solutions: (1,2,10): 2+10=12 ; (1,3,1): 3+1=4.
+        assert evaluate_faq(query, database, MIN_TROPICAL, weight) == 4
+
+    def test_empty_database_relation_yields_zero(self):
+        query = parse_query("ans(A) :- r(A, B), s(B)")
+        database = Database.from_dict({"r": [(1, 2)], "s": [(3,)]})
+        assert evaluate_faq(query, database, COUNTING) == 0

@@ -1,0 +1,80 @@
+"""Tests for the subset-DP optimal order search (:mod:`repro.faq.order_search`)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryError
+from repro.faq import (
+    best_elimination_order,
+    elimination_order_is_valid,
+    induced_width,
+    min_fill_order,
+    optimal_elimination_order,
+    optimal_induced_width,
+)
+from repro.faq.order_search import MAX_DP_VARIABLES
+from repro.query import parse_query
+from repro.workloads.random_instances import random_query
+
+
+class TestOptimalOrder:
+    def test_matches_permutation_search_on_chain(self):
+        chain = parse_query("ans(A) :- r(A, B), s(B, C)")
+        assert optimal_induced_width(chain) == \
+            induced_width(chain, best_elimination_order(chain))
+
+    def test_order_is_valid(self):
+        query = parse_query("ans(A, D) :- r(A, B), s(B, C), t(C, D)")
+        order = optimal_elimination_order(query)
+        assert elimination_order_is_valid(query, order)
+
+    def test_at_most_greedy(self):
+        query = parse_query(
+            "ans(A) :- r(A, B), s(B, C), t(C, D), u(D, A)"
+        )
+        assert optimal_induced_width(query) <= \
+            induced_width(query, min_fill_order(query))
+
+    def test_quantifier_free_query(self):
+        query = parse_query("ans(A, B, C) :- r(A, B), s(B, C)")
+        order = optimal_elimination_order(query)
+        assert elimination_order_is_valid(query, order)
+        assert induced_width(query, order) == 2
+
+    def test_single_variable(self):
+        query = parse_query("ans(A) :- r(A)")
+        assert optimal_elimination_order(query) == \
+            tuple(query.free_variables)
+
+    def test_variable_limit_enforced(self):
+        atoms = ", ".join(
+            f"r{i}(V{i}, V{i + 1})" for i in range(MAX_DP_VARIABLES + 1)
+        )
+        query = parse_query(f"ans(V0) :- {atoms}")
+        assert len(query.variables) > MAX_DP_VARIABLES
+        with pytest.raises(QueryError):
+            optimal_elimination_order(query)
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_permutation_optimum_on_random_queries(self, seed):
+        query = random_query(6, 4, seed=seed)
+        dp = optimal_induced_width(query)
+        brute = induced_width(query, best_elimination_order(query))
+        assert dp == brute
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_counting_agrees_via_dp_order(self, seed):
+        from repro.counting.brute_force import count_brute_force
+        from repro.faq import count_insideout
+        from repro.workloads.random_instances import random_instance
+
+        query, database = random_instance(
+            n_variables=5, n_atoms=4, domain_size=3,
+            tuples_per_relation=8, seed=seed,
+        )
+        order = optimal_elimination_order(query)
+        assert count_insideout(query, database, order) == \
+            count_brute_force(query, database)

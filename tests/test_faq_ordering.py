@@ -1,0 +1,152 @@
+"""Unit tests for :mod:`repro.faq.ordering`."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.faq.ordering import (
+    best_elimination_order,
+    elimination_order_is_valid,
+    induced_width,
+    min_degree_order,
+    min_fill_order,
+    order_profile,
+    require_valid_order,
+)
+from repro.query.parser import parse_query
+from repro.query.terms import Variable
+
+PATH = parse_query("ans(A, D) :- r(A, B), s(B, C), t(C, D)")
+TRIANGLE = parse_query("ans(A, B, C) :- r(A, B), s(B, C), t(C, A)")
+
+
+def names(order):
+    return [v.name for v in order]
+
+
+class TestValidity:
+    def test_existentials_must_come_first(self):
+        a, b, c, d = (Variable(n) for n in "ABCD")
+        assert elimination_order_is_valid(PATH, (b, c, a, d))
+        assert not elimination_order_is_valid(PATH, (a, b, c, d))
+
+    def test_every_variable_exactly_once(self):
+        a, b, c, d = (Variable(n) for n in "ABCD")
+        assert not elimination_order_is_valid(PATH, (b, c, a))
+        assert not elimination_order_is_valid(PATH, (b, b, c, a, d))
+
+    def test_unknown_variable_rejected(self):
+        z = Variable("Z")
+        a, b, c = (Variable(n) for n in "ABC")
+        assert not elimination_order_is_valid(PATH, (b, c, a, z))
+
+    def test_require_valid_order_raises(self):
+        a, b, c, d = (Variable(n) for n in "ABCD")
+        with pytest.raises(QueryError):
+            require_valid_order(PATH, (a, b, c, d))
+
+    def test_quantifier_free_any_permutation_valid(self):
+        a, b, c = (Variable(n) for n in "ABC")
+        assert elimination_order_is_valid(TRIANGLE, (b, a, c))
+        assert elimination_order_is_valid(TRIANGLE, (c, b, a))
+
+
+class TestInducedWidth:
+    def test_path_with_free_endpoints_has_width_three(self):
+        # The frontier of {B, C} is {A, D}: any valid order materializes a
+        # three-variable schema, matching the paper's frontier analysis.
+        a, b, c, d = (Variable(n) for n in "ABCD")
+        assert induced_width(PATH, (b, c, a, d)) == 3
+        assert induced_width(PATH, (c, b, a, d)) == 3
+
+    def test_order_matters_on_open_chain(self):
+        # ans(A) :- r(A,B), s(B,C): eliminating the pendant C first keeps
+        # schemas binary; eliminating the middle B first joins both atoms.
+        chain = parse_query("ans(A) :- r(A, B), s(B, C)")
+        a, b, c = (Variable(n) for n in "ABC")
+        assert induced_width(chain, (c, b, a)) == 2
+        assert induced_width(chain, (b, c, a)) == 3
+
+    def test_triangle_width_three(self):
+        a, b, c = (Variable(n) for n in "ABC")
+        assert induced_width(TRIANGLE, (a, b, c)) == 3
+
+    def test_single_atom_width_is_atom_size(self):
+        q = parse_query("ans(A, B) :- r(A, B)")
+        a, b = Variable("A"), Variable("B")
+        assert induced_width(q, (a, b)) == 2
+
+
+class TestHeuristics:
+    @pytest.mark.parametrize("heuristic", [min_degree_order, min_fill_order,
+                                           best_elimination_order])
+    def test_orders_are_valid(self, heuristic):
+        for query in (PATH, TRIANGLE):
+            assert elimination_order_is_valid(query, heuristic(query))
+
+    def test_best_order_is_optimal_on_path(self):
+        assert induced_width(PATH, best_elimination_order(PATH)) == 3
+
+    def test_best_order_finds_pendant_first_on_chain(self):
+        chain = parse_query("ans(A) :- r(A, B), s(B, C)")
+        assert induced_width(chain, best_elimination_order(chain)) == 2
+
+    def test_best_at_most_greedy(self):
+        for query in (PATH, TRIANGLE):
+            best = induced_width(query, best_elimination_order(query))
+            assert best <= induced_width(query, min_fill_order(query))
+            assert best <= induced_width(query, min_degree_order(query))
+
+    def test_guard_falls_back_to_min_fill(self):
+        order = best_elimination_order(PATH, max_variables=2)
+        assert order == min_fill_order(PATH)
+
+    def test_star_query_greedy(self):
+        star = parse_query(
+            "ans(A) :- r(A, B), s(A, C), t(A, D), u(A, E)"
+        )
+        for heuristic in (min_degree_order, min_fill_order):
+            order = heuristic(star)
+            assert elimination_order_is_valid(star, order)
+            # Leaves go before the centre.
+            assert names(order)[-1] == "A"
+            assert induced_width(star, order) == 2
+
+
+class TestProfile:
+    def test_profile_reports_steps(self):
+        a, b, c, d = (Variable(n) for n in "ABCD")
+        profile = order_profile(PATH, (b, c, a, d))
+        assert profile["order"] == ["B", "C", "A", "D"]
+        assert profile["induced_width"] == 3
+        assert len(profile["schemas"]) == 4
+        assert profile["schemas"][0] == ["A", "B", "C"]
+
+
+class TestFractionalInducedWidth:
+    def test_triangle_is_three_halves(self):
+        from repro.faq.ordering import fractional_induced_width
+
+        a, b, c = (Variable(n) for n in "ABC")
+        assert fractional_induced_width(TRIANGLE, (a, b, c)) == 1.5
+
+    def test_at_most_integral_width(self):
+        from repro.faq.ordering import fractional_induced_width
+
+        for query in (PATH, TRIANGLE):
+            order = best_elimination_order(query)
+            assert fractional_induced_width(query, order) <= \
+                induced_width(query, order)
+
+    def test_acyclic_width_one(self):
+        from repro.faq.ordering import fractional_induced_width
+
+        q = parse_query("ans(A, B) :- r(A, B)")
+        a, b = Variable("A"), Variable("B")
+        assert fractional_induced_width(q, (a, b)) == 1.0
+
+    def test_invalid_order_rejected(self):
+        from repro.faq.ordering import fractional_induced_width
+
+        a, b, c, d = (Variable(n) for n in "ABCD")
+        with pytest.raises(QueryError):
+            fractional_induced_width(PATH, (a, b, c, d))

@@ -1,0 +1,63 @@
+"""Unit tests for fractional edge covers (Remark 4.4)."""
+
+import pytest
+
+from repro.decomposition.fractional import (
+    fractional_edge_cover_number,
+    fractional_width_of_tree,
+)
+from repro.hypergraph.acyclicity import JoinTree
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.terms import Variable
+
+A, B, C, D, E = (Variable(x) for x in "ABCDE")
+
+
+def hg(*edges):
+    return Hypergraph([], [frozenset(e) for e in edges])
+
+
+class TestFractionalCover:
+    def test_single_edge_covers_itself(self):
+        h = hg({A, B})
+        assert fractional_edge_cover_number({A, B}, h) == pytest.approx(1.0)
+
+    def test_triangle_needs_three_halves(self):
+        """rho*(triangle) = 3/2 — the classic AGM example."""
+        h = hg({A, B}, {B, C}, {C, A})
+        value = fractional_edge_cover_number({A, B, C}, h)
+        assert value == pytest.approx(1.5)
+
+    def test_exact_solver_agrees_with_lp(self):
+        h = hg({A, B}, {B, C}, {C, A})
+        lp = fractional_edge_cover_number({A, B, C}, h, exact=False)
+        exact = fractional_edge_cover_number({A, B, C}, h, exact=True)
+        assert lp == pytest.approx(exact)
+
+    def test_five_cycle(self):
+        """rho*(C5) = 5/2."""
+        vs = [Variable(f"V{i}") for i in range(5)]
+        h = hg(*({vs[i], vs[(i + 1) % 5]} for i in range(5)))
+        value = fractional_edge_cover_number(set(vs), h, exact=True)
+        assert value == pytest.approx(2.5)
+
+    def test_empty_bag(self):
+        assert fractional_edge_cover_number(set(), hg({A})) == 0.0
+
+    def test_uncoverable_bag_raises(self):
+        with pytest.raises(ValueError):
+            fractional_edge_cover_number({A, E}, hg({A, B}))
+
+    def test_subset_of_edge_costs_one(self):
+        h = hg({A, B, C})
+        assert fractional_edge_cover_number({A, B}, h) == pytest.approx(1.0)
+
+
+class TestFractionalWidth:
+    def test_width_of_tree(self):
+        h = hg({A, B}, {B, C}, {C, A})
+        tree = JoinTree((frozenset({A, B, C}),), ())
+        assert fractional_width_of_tree(tree, h) == pytest.approx(1.5)
+
+    def test_width_of_empty_tree(self):
+        assert fractional_width_of_tree(JoinTree((), ()), hg({A})) == 0.0

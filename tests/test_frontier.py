@@ -1,0 +1,64 @@
+"""Unit tests for frontier hypergraphs (Definition 3.3, Examples 3.4, 4.1)."""
+
+from repro.hypergraph.frontier import (
+    all_frontiers,
+    frontier_hypergraph,
+    frontier_size,
+)
+from repro.homomorphism import colored_core
+from repro.query import Variable, parse_query
+from repro.workloads import q0, q1_cycle, q2_acyclic, qn1_chain
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+class TestFrontierHypergraphQ0:
+    def test_figure_1b_frontier_hypergraph(self):
+        """FH(Q0, {A,B,C}) has hyperedges {A,B}, {B}, {B,C} (Figure 1(b))."""
+        fh = frontier_hypergraph(q0())
+        assert fh.edges == frozenset({
+            frozenset({A, B}),
+            frozenset({B}),
+            frozenset({B, C}),
+        })
+
+    def test_example_3_4_colored_core_frontier(self):
+        """FH(Q0', free) includes singleton color edges {A},{B},{C} plus
+        Fr(E)={B}, Fr(I)={A,B}, Fr(D)=Fr(F)=Fr(H)={B,C} (Example 3.4)."""
+        colored = colored_core(q0())
+        fh = frontier_hypergraph(colored, q0().free_variables)
+        assert frozenset({A}) in fh.edges
+        assert frozenset({B}) in fh.edges
+        assert frozenset({C}) in fh.edges
+        assert frozenset({A, B}) in fh.edges
+        assert frozenset({B, C}) in fh.edges
+
+
+class TestFrontierHypergraphOthers:
+    def test_example_4_1_cycle(self):
+        """FH(Q1, {A,C}) contains the hyperedge {A,C} (Figure 8(c))."""
+        fh = frontier_hypergraph(q1_cycle())
+        assert frozenset({A, C}) in fh.edges
+
+    def test_q2_frontier_is_free_clique_edge(self):
+        """Every existential variable of Q^h_2 has the full free set as
+        frontier (Example C.1)."""
+        query = q2_acyclic(3)
+        fronts = all_frontiers(query)
+        assert fronts == frozenset({query.free_variables})
+
+    def test_quantifier_free_query_has_no_frontiers(self):
+        q = parse_query("ans(A, B) :- r(A, B)")
+        assert all_frontiers(q) == frozenset()
+        assert frontier_size(q) == 0
+
+
+class TestFrontierSize:
+    def test_qn1_frontier_size_is_n(self):
+        """In Q^n_1 the frontier of Y1 is all of {X1..Xn} (Example A.2)."""
+        for n in (2, 3, 4):
+            assert frontier_size(qn1_chain(n)) == n
+
+    def test_path_query_frontier_size(self):
+        q = parse_query("ans(A, C) :- r(A, B), s(B, C)")
+        assert frontier_size(q) == 2  # Fr(B) = {A, C}

@@ -1,0 +1,72 @@
+"""Unit tests for the synthetic database generators."""
+
+import pytest
+
+from repro.counting.brute_force import count_brute_force
+from repro.db.generators import (
+    correlated_database,
+    functional_database,
+    random_database,
+    single_relation,
+)
+from repro.query import parse_query
+
+
+@pytest.fixture
+def query():
+    return parse_query("ans(A) :- r(A, B), s(B, C)")
+
+
+class TestRandomDatabase:
+    def test_arities_inferred(self, query):
+        db = random_database(query, 5, 10, seed=0)
+        assert db["r"].arity == 2
+        assert db["s"].arity == 2
+
+    def test_deterministic_under_seed(self, query):
+        assert random_database(query, 5, 10, seed=1) == \
+            random_database(query, 5, 10, seed=1)
+
+    def test_inconsistent_arity_rejected(self):
+        q = parse_query("ans(A) :- r(A, B), r(A, B, C)")
+        with pytest.raises(ValueError):
+            random_database(q, 5, 10, seed=0)
+
+
+class TestCorrelatedDatabase:
+    def test_guarantees_answers(self, query):
+        db = correlated_database(query, 8, 20, n_seeds=4, seed=3)
+        assert count_brute_force(query, db) > 0
+
+    def test_respects_tuple_budget(self, query):
+        db = correlated_database(query, 8, 20, seed=3)
+        for symbol in db:
+            assert len(db[symbol]) >= 20
+
+
+class TestFunctionalDatabase:
+    def test_key_is_functional(self, query):
+        db = functional_database(query, 10, 30, key_width=1, degree=1, seed=5)
+        for symbol in db:
+            seen = {}
+            for row in db[symbol]:
+                key = row[0]
+                assert seen.setdefault(key, row) == row
+
+    def test_degree_parameter_bounds_completions(self, query):
+        db = functional_database(query, 10, 40, key_width=1, degree=2, seed=6)
+        for symbol in db:
+            completions = {}
+            for row in db[symbol]:
+                completions.setdefault(row[0], set()).add(row[1:])
+            assert max(len(v) for v in completions.values()) <= 2
+
+
+class TestSingleRelation:
+    def test_builds(self):
+        db = single_relation("r", [(1, 2), (3, 4)])
+        assert db["r"].arity == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            single_relation("r", [])

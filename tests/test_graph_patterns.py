@@ -1,0 +1,145 @@
+"""Tests for graph-pattern workloads (:mod:`repro.workloads.graph_patterns`)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import count_answers
+from repro.counting.brute_force import count_brute_force
+from repro.hypergraph.acyclicity import is_acyclic
+from repro.workloads.graph_patterns import (
+    clique_query,
+    count_cliques_brute_force,
+    cycle_query,
+    gnp_graph,
+    grid_graph,
+    path_query,
+    preferential_attachment_graph,
+    star_query,
+    triangle_per_vertex_query,
+)
+
+
+class TestPatternQueries:
+    def test_star_shape(self):
+        query = star_query(3)
+        assert len(query.atoms) == 3
+        assert {v.name for v in query.free_variables} == {"C"}
+        assert is_acyclic(query.hypergraph())
+
+    def test_star_needs_a_leaf(self):
+        with pytest.raises(ValueError):
+            star_query(0)
+
+    def test_path_shape(self):
+        query = path_query(4)
+        assert len(query.atoms) == 4
+        assert {v.name for v in query.free_variables} == {"X0", "X4"}
+        assert is_acyclic(query.hypergraph())
+
+    def test_path_without_free_endpoints_is_boolean(self):
+        assert not path_query(2, free_endpoints=False).free_variables
+
+    def test_cycle_shape(self):
+        query = cycle_query(5, n_free=2)
+        assert len(query.atoms) == 5
+        assert len(query.free_variables) == 2
+        assert not is_acyclic(query.hypergraph())
+
+    def test_cycle_validation(self):
+        with pytest.raises(ValueError):
+            cycle_query(2)
+        with pytest.raises(ValueError):
+            cycle_query(4, n_free=5)
+
+    def test_clique_atom_count(self):
+        query = clique_query(4)
+        assert len(query.atoms) == 12  # ordered pairs
+        assert len(query.free_variables) == 4
+
+    def test_clique_partial_free(self):
+        query = clique_query(3, n_free=1)
+        assert len(query.free_variables) == 1
+
+    def test_triangle_per_vertex_free_variable(self):
+        query = triangle_per_vertex_query()
+        assert {v.name for v in query.free_variables} == {"A"}
+
+
+class TestGraphGenerators:
+    def test_gnp_extremes(self):
+        empty = gnp_graph(5, 0.0, seed=0)
+        assert len(empty["edge"]) == 0
+        full = gnp_graph(4, 1.0, seed=0)
+        assert len(full["edge"]) == 12  # all ordered non-loop pairs
+
+    def test_gnp_undirected_is_symmetric(self):
+        graph = gnp_graph(8, 0.4, directed=False, seed=1)
+        edges = set(graph["edge"].rows)
+        assert all((t, s) in edges for s, t in edges)
+
+    def test_gnp_probability_validated(self):
+        with pytest.raises(ValueError):
+            gnp_graph(5, 1.5)
+
+    def test_gnp_deterministic_with_seed(self):
+        assert gnp_graph(10, 0.3, seed=7) == gnp_graph(10, 0.3, seed=7)
+
+    def test_preferential_attachment_symmetric_connected(self):
+        graph = preferential_attachment_graph(20, seed=2)
+        edges = set(graph["edge"].rows)
+        assert all((t, s) in edges for s, t in edges)
+        nodes = {n for row in edges for n in row}
+        assert nodes == set(range(20))
+
+    def test_preferential_attachment_validates_size(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(1)
+
+    def test_grid_edge_count(self):
+        graph = grid_graph(2, 3)
+        # 2x3 grid: 7 undirected edges -> 14 directed rows.
+        assert len(graph["edge"]) == 14
+
+    def test_grid_validates_dimensions(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestPatternCounting:
+    GRAPH = gnp_graph(10, 0.35, seed=11)
+
+    def test_star_counts_match_brute_force(self):
+        query = star_query(2)
+        assert count_answers(query, self.GRAPH).count == \
+            count_brute_force(query, self.GRAPH)
+
+    def test_path_counts_match_brute_force(self):
+        query = path_query(3)
+        assert count_answers(query, self.GRAPH).count == \
+            count_brute_force(query, self.GRAPH)
+
+    def test_cycle_counts_match_brute_force(self):
+        query = cycle_query(4, n_free=2)
+        assert count_answers(query, self.GRAPH).count == \
+            count_brute_force(query, self.GRAPH)
+
+    @pytest.mark.parametrize("size", [2, 3])
+    def test_clique_counts_match_reference(self, size):
+        query = clique_query(size)
+        expected = count_cliques_brute_force(self.GRAPH, size)
+        assert count_brute_force(query, self.GRAPH) == expected
+
+    def test_triangle_per_vertex(self):
+        graph = grid_graph(3, 3)  # bipartite: no triangles
+        assert count_brute_force(triangle_per_vertex_query(), graph) == 0
+
+    @given(seed=st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=8, deadline=None)
+    def test_star_engine_equivalence_random_graphs(self, seed):
+        graph = gnp_graph(8, 0.3, seed=seed)
+        if len(graph["edge"]) == 0:
+            return
+        query = star_query(3)
+        assert count_answers(query, graph).count == \
+            count_brute_force(query, graph)

@@ -1,0 +1,85 @@
+"""Tests for det-k-decomp hypertree decomposition search (:mod:`repro.decomposition.hd_search`)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.decomposition.hd_search import (
+    d_optimal_normal_form,
+    find_hypertree_decomposition,
+    hypertree_width,
+    minimum_weight_hd,
+)
+from repro.hypergraph.acyclicity import is_acyclic
+from repro.query import parse_query
+from repro.workloads.paper_queries import q0, q1_cycle
+from repro.workloads.random_instances import random_query
+
+TRIANGLE = parse_query("ans(A, B, C) :- r(A, B), s(B, C), t(C, A)")
+
+
+class TestFindHypertreeDecomposition:
+    def test_acyclic_query_width_one(self):
+        query = parse_query("ans(A, C) :- r(A, B), s(B, C)")
+        hd = find_hypertree_decomposition(query, 1)
+        assert hd is not None
+        assert hd.width() == 1
+
+    def test_triangle_needs_width_two(self):
+        assert find_hypertree_decomposition(TRIANGLE, 1) is None
+        hd = find_hypertree_decomposition(TRIANGLE, 2)
+        assert hd is not None
+
+    def test_q0_has_width_two(self):
+        assert hypertree_width(q0(), max_width=3) == 2
+
+    def test_q1_cycle_width_two(self):
+        assert hypertree_width(q1_cycle(), max_width=3) == 2
+
+    def test_decomposition_is_valid(self):
+        hd = find_hypertree_decomposition(q0(), 2)
+        assert hd is not None
+        # Every atom covered by some chi; tree satisfies connectedness.
+        for atom in q0().atoms:
+            assert any(atom.variable_set <= set(chi) for chi in hd.chis)
+        assert hd.join_tree().is_valid()
+
+    @given(seed=st.integers(0, 2_000))
+    @settings(max_examples=10, deadline=None)
+    def test_hw_at_least_ghw_shape(self, seed):
+        # hw is within [ghw, 3*ghw + 1]; we check the cheap half: any HD
+        # found at width k is also a GHD of width <= k, so acyclicity
+        # (ghw = 1) forces hw = 1.
+        query = random_query(5, 4, seed=seed)
+        if is_acyclic(query.hypergraph()):
+            assert hypertree_width(query, max_width=3) == 1
+
+
+class TestWeightedSearch:
+    def test_minimum_weight_prefers_fewer_vertices(self):
+        query = parse_query("ans(A, C) :- r(A, B), s(B, C)")
+        result = minimum_weight_hd(
+            query, 2, lambda chi, lam: 1.0  # cost = vertex count
+        )
+        assert result is not None
+        cost, hd = result
+        assert cost == len(hd.chis)
+
+    def test_infeasible_width_returns_none(self):
+        assert minimum_weight_hd(
+            TRIANGLE, 1, lambda chi, lam: 1.0
+        ) is None
+
+    def test_d_optimal_normal_form_on_keys(self):
+        # With a keyed relation the D-optimal normal-form HD reaches
+        # degree bound 1 (Theorem C.5's polynomial-time guarantee).
+        query = parse_query("ans(A) :- r(A, B), s(B, C)")
+        database = Database.from_dict({
+            "r": [(1, 10), (2, 20)],        # A is a key
+            "s": [(10, 5), (20, 5)],        # B is a key
+        })
+        result = d_optimal_normal_form(query, database, 2)
+        assert result is not None
+        bound, _hd = result
+        assert bound == 1

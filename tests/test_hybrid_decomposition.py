@@ -1,0 +1,98 @@
+"""Unit tests for #b-generalized hypertree decompositions (Section 6)."""
+
+import pytest
+
+from repro.db import Database
+from repro.decomposition.hybrid import (
+    evaluate_pseudo_free,
+    find_hybrid_decomposition,
+)
+from repro.decomposition.sharp import find_sharp_hypertree_decomposition
+from repro.query import Variable, parse_query
+from repro.workloads import (
+    d2_bar_database,
+    q2_bar,
+    q2_pseudo_free,
+)
+
+
+class TestExample65:
+    """Example 6.5: barQ^h_2 has a width-2 #1-GHD with S = free + {Y0..Yh}."""
+
+    def test_pure_structural_fails(self):
+        assert find_sharp_hypertree_decomposition(q2_bar(2), 2) is None
+
+    def test_paper_pseudo_free_set_gives_degree_1(self):
+        h = 2
+        query, database = q2_bar(h), d2_bar_database(h)
+        hybrid = evaluate_pseudo_free(query, database, 2, q2_pseudo_free(h))
+        assert hybrid is not None
+        assert hybrid.degree == 1
+        assert hybrid.width() <= 2
+
+    def test_search_finds_degree_1(self):
+        h = 2
+        query, database = q2_bar(h), d2_bar_database(h)
+        hybrid = find_hybrid_decomposition(query, database, 2)
+        assert hybrid is not None
+        assert hybrid.degree == 1
+        # Z must stay existential: promoting it would blow the degree.
+        assert Variable("Z") not in hybrid.pseudo_free
+
+    def test_decomposition_covers_z_frontier(self):
+        """With the Ys promoted, Fr(Z) = {X0, X1, Y1..Yh} must be covered
+        by a vertex of the decomposition (Example 6.5)."""
+        h = 2
+        query, database = q2_bar(h), d2_bar_database(h)
+        hybrid = evaluate_pseudo_free(query, database, 2, q2_pseudo_free(h))
+        frontier = frozenset(
+            {Variable("X0"), Variable("X1"),
+             Variable("Y1"), Variable("Y2")}
+        )
+        assert any(frontier <= bag for bag in hybrid.sharp.tree.bags)
+
+
+class TestSearchBehaviour:
+    def test_pseudo_free_must_contain_free(self):
+        query = q2_bar(1)
+        database = d2_bar_database(1)
+        with pytest.raises(ValueError):
+            evaluate_pseudo_free(query, database, 2, frozenset())
+
+    def test_max_degree_budget_respected(self):
+        q = parse_query("ans(A) :- r(A, B), s(B, C)")
+        db = Database.from_dict({
+            "r": [(1, i) for i in range(5)],
+            "s": [(i, j) for i in range(5) for j in range(3)],
+        })
+        hybrid = find_hybrid_decomposition(q, db, 2, max_degree=1000)
+        assert hybrid is not None
+        assert hybrid.degree <= 1000
+
+    def test_quantifier_free_query_trivially_degree_1(self):
+        q = parse_query("ans(A, B) :- r(A, B)")
+        db = Database.from_dict({"r": [(1, 2), (3, 4)]})
+        hybrid = find_hybrid_decomposition(q, db, 1)
+        assert hybrid is not None
+        assert hybrid.degree == 1
+        assert hybrid.pseudo_free == q.free_variables
+
+    def test_promotion_is_charged_in_the_degree(self):
+        """Promoting variables is not free: the degree counts extensions of
+        the *actual* free variables to the chi ∩ S relation (Def. 6.4(2)).
+        With S = {A, B, C} the single-bag decomposition sees 3 extensions
+        of A = 1."""
+        q = parse_query("ans(A) :- r(A, B), s(B, C)")
+        db = Database.from_dict({
+            "r": [(1, 2), (1, 3)],
+            "s": [(2, 7), (3, 8), (3, 9)],
+        })
+        full = frozenset(Variable(x) for x in "ABC")
+        hybrid = evaluate_pseudo_free(q, db, 2, full)
+        assert hybrid is not None
+        assert hybrid.degree == 3
+        # The search minimizes over all pseudo-free sets, so it can only do
+        # at least as well as full promotion.
+        best = find_hybrid_decomposition(q, db, 2)
+        assert best is not None
+        assert best.degree <= 3

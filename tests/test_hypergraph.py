@@ -1,0 +1,78 @@
+"""Unit tests for repro.hypergraph.hypergraph and coverings."""
+
+from repro.hypergraph.hypergraph import Hypergraph, covers
+from repro.query.terms import Variable
+
+A, B, C, D = (Variable(x) for x in "ABCD")
+
+
+def hg(*edges, nodes=()):
+    return Hypergraph(nodes, [frozenset(e) for e in edges])
+
+
+class TestHypergraph:
+    def test_nodes_include_isolated(self):
+        h = Hypergraph([D], [{A, B}])
+        assert h.nodes == frozenset({A, B, D})
+
+    def test_edges_deduplicated(self):
+        h = hg({A, B}, {B, A})
+        assert len(h.edges) == 1
+
+    def test_equality(self):
+        assert hg({A, B}) == hg({B, A})
+        assert hg({A, B}) != hg({A, C})
+
+    def test_maximal_edges(self):
+        h = hg({A}, {A, B}, {C})
+        assert h.maximal_edges() == frozenset({frozenset({A, B}), frozenset({C})})
+
+    def test_edges_at(self):
+        h = hg({A, B}, {B, C}, {C, D})
+        assert h.edges_at(B) == frozenset({frozenset({A, B}), frozenset({B, C})})
+
+    def test_primal_adjacency(self):
+        h = hg({A, B, C}, {C, D})
+        adjacency = h.primal_adjacency()
+        assert adjacency[A] == {B, C}
+        assert adjacency[D] == {C}
+
+    def test_primal_adjacency_isolated_node(self):
+        h = Hypergraph([D], [{A, B}])
+        assert h.primal_adjacency()[D] == set()
+
+    def test_restricted_to(self):
+        h = hg({A, B, C}, {C, D})
+        restricted = h.restricted_to({A, B})
+        assert restricted.edges == frozenset({frozenset({A, B})})
+        assert restricted.nodes == frozenset({A, B})
+
+    def test_union(self):
+        assert hg({A, B}).union(hg({B, C})) == hg({A, B}, {B, C})
+
+    def test_with_edges(self):
+        assert hg({A}).with_edges([{B}]) == hg({A}, {B})
+
+    def test_without_empty_edges(self):
+        h = Hypergraph([], [frozenset(), frozenset({A})])
+        assert h.without_empty_edges().edges == frozenset({frozenset({A})})
+
+    def test_describe_deterministic(self):
+        assert hg({B, A}, {C}).describe() == "{A,B} {C}"
+
+
+class TestCovers:
+    def test_covered(self):
+        assert covers(hg({A, B}), hg({A, B, C}))
+        assert covers(hg({A}, {B}), hg({A, B}))
+
+    def test_not_covered(self):
+        assert not covers(hg({A, B}, {C, D}), hg({A, B}))
+
+    def test_empty_edge_trivially_covered(self):
+        h1 = Hypergraph([], [frozenset()])
+        assert covers(h1, hg({A}))
+
+    def test_reflexive(self):
+        h = hg({A, B}, {B, C})
+        assert covers(h, h)

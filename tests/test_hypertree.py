@@ -1,0 +1,156 @@
+"""Unit tests for hypertrees (Section 2 / Appendix C definitions)."""
+
+import pytest
+
+from repro.decomposition.hypertree import (
+    Hypertree,
+    hypertree_from_join_tree,
+    minimal_atom_cover,
+)
+from repro.exceptions import DecompositionError
+from repro.hypergraph.acyclicity import JoinTree
+from repro.query import Atom, Variable, parse_query
+
+A, B, C, D = (Variable(x) for x in "ABCD")
+
+
+@pytest.fixture
+def path():
+    return parse_query("ans(A) :- r(A, B), s(B, C)")
+
+
+@pytest.fixture
+def path_decomposition(path):
+    atoms = {a.relation: a for a in path.atoms}
+    return Hypertree(
+        chis=(frozenset({A, B}), frozenset({B, C})),
+        lams=((atoms["r"],), (atoms["s"],)),
+        tree_edges=((0, 1),),
+    )
+
+
+class TestHypertree:
+    def test_width(self, path_decomposition):
+        assert path_decomposition.width() == 1
+
+    def test_validation_accepts_good_decomposition(self, path, path_decomposition):
+        assert path_decomposition.is_generalized_decomposition_of(path)
+        assert path_decomposition.satisfies_descendant_condition()
+        assert path_decomposition.is_complete_for(path)
+
+    def test_condition1_violation_detected(self, path):
+        atoms = {a.relation: a for a in path.atoms}
+        bad = Hypertree(
+            chis=(frozenset({A, B}),),
+            lams=((atoms["r"],),),
+            tree_edges=(),
+        )
+        assert not bad.is_generalized_decomposition_of(path)  # s uncovered
+
+    def test_condition2_violation_detected(self, path):
+        atoms = {a.relation: a for a in path.atoms}
+        bad = Hypertree(
+            chis=(frozenset({A, B}), frozenset({C}), frozenset({B, C})),
+            lams=((atoms["r"],), (atoms["s"],), (atoms["s"],)),
+            tree_edges=((0, 1), (1, 2)),
+        )
+        assert not bad.is_generalized_decomposition_of(path)  # B disconnected
+
+    def test_condition3_violation_detected(self, path):
+        atoms = {a.relation: a for a in path.atoms}
+        bad = Hypertree(
+            chis=(frozenset({A, B, C}), frozenset({B, C})),
+            lams=((atoms["r"],), (atoms["s"],)),  # chi not within vars(lambda)
+            tree_edges=((0, 1),),
+        )
+        assert not bad.is_generalized_decomposition_of(path)
+
+    def test_descendant_condition_violation(self, path):
+        atoms = {a.relation: a for a in path.atoms}
+        # Root uses lambda={s} but chi={A,B}; C in vars(lambda) appears below.
+        tree = Hypertree(
+            chis=(frozenset({B}), frozenset({B, C}), frozenset({A, B})),
+            lams=((atoms["s"],), (atoms["s"],), (atoms["r"],)),
+            tree_edges=((0, 1), (0, 2)),
+        )
+        assert not tree.satisfies_descendant_condition()
+
+    def test_chi_restricted(self, path_decomposition):
+        restricted = path_decomposition.chi_restricted({A, C})
+        assert restricted.chis == (frozenset({A}), frozenset({C}))
+        assert restricted.lams == path_decomposition.lams
+
+    def test_mismatched_labels_rejected(self):
+        with pytest.raises(DecompositionError):
+            Hypertree((frozenset({A}),), (), ())
+
+
+class TestCompletion:
+    def test_completed_for_adds_leaves(self, path):
+        atoms = {a.relation: a for a in path.atoms}
+        partial = Hypertree(
+            chis=(frozenset({A, B, C}),),
+            lams=((atoms["r"], atoms["s"]),),
+            tree_edges=(),
+        )
+        # Make it incomplete by dropping s from lambda but keeping chi valid.
+        incomplete = Hypertree(
+            chis=(frozenset({A, B, C}),),
+            lams=((atoms["r"], atoms["s"]),),
+            tree_edges=(),
+        )
+        done = incomplete.completed_for(path)
+        assert done.is_complete_for(path)
+        assert done.vertex_count == 1  # already complete: unchanged
+        assert partial.completed_for(path).is_complete_for(path)
+
+    def test_completion_attaches_where_chi_covers(self, path):
+        atoms = {a.relation: a for a in path.atoms}
+        tree = Hypertree(
+            chis=(frozenset({A, B}), frozenset({B, C})),
+            lams=((atoms["r"],), (atoms["s"],)),
+            tree_edges=((0, 1),),
+        )
+        # Add an extra atom over {B, C} not in any lambda.
+        query = parse_query("ans(A) :- r(A, B), s(B, C), t(B, C)")
+        done = tree.completed_for(query)
+        assert done.vertex_count == 3
+        assert done.is_complete_for(query)
+        assert done.join_tree().is_valid()
+
+    def test_completion_fails_without_covering_bag(self, path):
+        atoms = {a.relation: a for a in path.atoms}
+        tree = Hypertree(
+            chis=(frozenset({A, B}),),
+            lams=((atoms["r"],),),
+            tree_edges=(),
+        )
+        with pytest.raises(DecompositionError):
+            tree.completed_for(path)
+
+
+class TestAtomCover:
+    def test_minimal_cover_prefers_single_atom(self, path):
+        cover = minimal_atom_cover(frozenset({A, B}), path.atoms_sorted())
+        assert cover is not None
+        assert len(cover) == 1
+
+    def test_cover_of_empty_bag(self, path):
+        assert minimal_atom_cover(frozenset(), path.atoms_sorted()) == ()
+
+    def test_cover_respects_max_size(self, path):
+        bag = frozenset({A, C})
+        assert minimal_atom_cover(bag, path.atoms_sorted(), max_size=1) is None
+        cover = minimal_atom_cover(bag, path.atoms_sorted(), max_size=2)
+        assert cover is not None and len(cover) == 2
+
+    def test_hypertree_from_join_tree(self, path):
+        tree = JoinTree((frozenset({A, B}), frozenset({B, C})), ((0, 1),))
+        decomposition = hypertree_from_join_tree(tree, path, max_cover=1)
+        assert decomposition.width() == 1
+        assert decomposition.is_generalized_decomposition_of(path)
+
+    def test_hypertree_from_join_tree_uncoverable(self, path):
+        tree = JoinTree((frozenset({A, B, C, D}),), ())
+        with pytest.raises(DecompositionError):
+            hypertree_from_join_tree(tree, path, max_cover=2)

@@ -1,0 +1,86 @@
+"""Tests for serialization (:mod:`repro.db.io`)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.db.io import (
+    ARITY_KEY,
+    database_from_dict,
+    database_to_dict,
+    dump_database,
+    load_database,
+    query_to_text,
+)
+from repro.db.relation import Relation
+from repro.exceptions import DatabaseError
+from repro.query import parse_query
+from repro.workloads.random_instances import random_query
+
+
+class TestDatabaseRoundTrip:
+    def test_simple_round_trip(self):
+        database = Database.from_dict({
+            "r": [(1, 2), (3, 4)], "s": [("a", "b")],
+        })
+        assert database_from_dict(database_to_dict(database)) == database
+
+    def test_empty_relation_round_trips_with_arity(self):
+        database = Database([Relation("r", 3, [])])
+        restored = database_from_dict(database_to_dict(database))
+        assert restored["r"].arity == 3
+        assert len(restored["r"]) == 0
+
+    def test_empty_relation_without_arity_rejected(self):
+        with pytest.raises(DatabaseError):
+            database_from_dict({"r": []})
+
+    def test_missing_arity_map_tolerated(self):
+        restored = database_from_dict({"r": [[1, 2]]})
+        assert restored["r"].arity == 2
+
+    def test_nested_lists_become_tuples(self):
+        restored = database_from_dict({"r": [[[1, 2], 3]]})
+        assert ((1, 2), 3) in restored["r"]
+
+    def test_file_round_trip(self, tmp_path):
+        database = Database.from_dict({"r": [(1, "x")], "s": [(2,)]})
+        path = str(tmp_path / "db.json")
+        dump_database(database, path)
+        assert load_database(path) == database
+        # The file is plain JSON with the arity map present.
+        payload = json.loads(open(path).read())
+        assert payload[ARITY_KEY] == {"r": 2, "s": 1}
+
+    def test_json_serializable(self):
+        database = Database.from_dict({"r": [(1, None), (True, "x")]})
+        json.dumps(database_to_dict(database))  # must not raise
+
+
+class TestQueryText:
+    def test_round_trip_simple(self):
+        query = parse_query("ans(A, C) :- r(A, B), s(B, C)")
+        assert parse_query(query_to_text(query)) == query
+
+    def test_round_trip_constants(self):
+        query = parse_query("ans(A) :- r(A, 'rome'), s(A, 42)")
+        assert parse_query(query_to_text(query)) == query
+
+    def test_round_trip_repeated_variables(self):
+        query = parse_query("ans(A) :- loop(A, A)")
+        assert parse_query(query_to_text(query)) == query
+
+    def test_boolean_query_head(self):
+        query = parse_query("ans() :- r(A, B)")
+        text = query_to_text(query)
+        assert text.startswith("ans() :- ")
+        assert parse_query(text) == query
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_queries_round_trip(self, seed):
+        query = random_query(5, 4, seed=seed)
+        assert parse_query(query_to_text(query)) == query

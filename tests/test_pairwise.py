@@ -1,0 +1,136 @@
+"""Unit tests for pairwise consistency and the full reducer."""
+
+from repro.consistency.pairwise import (
+    full_reducer,
+    is_pairwise_consistent,
+    pairwise_consistency,
+)
+from repro.consistency.local import nonempty_after_pairwise_consistency
+from repro.db import Database
+from repro.db.algebra import SubstitutionSet
+from repro.hypergraph.acyclicity import JoinTree
+from repro.query import Variable, parse_query
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+class TestPairwiseConsistency:
+    def test_dangling_tuples_removed(self):
+        relations = {
+            "r": SubstitutionSet((A, B), [(1, 2), (9, 9)]),
+            "s": SubstitutionSet((B, C), [(2, 3)]),
+        }
+        reduced = pairwise_consistency(relations)
+        assert reduced["r"].rows == frozenset({(1, 2)})
+        assert is_pairwise_consistent(reduced)
+
+    def test_propagation_chain(self):
+        relations = {
+            "r": SubstitutionSet((A, B), [(1, 2), (1, 4)]),
+            "s": SubstitutionSet((B, C), [(2, 3), (4, 5)]),
+            "t": SubstitutionSet((C,), [(3,)]),
+        }
+        reduced = pairwise_consistency(relations)
+        assert reduced["s"].rows == frozenset({(2, 3)})
+        assert reduced["r"].rows == frozenset({(1, 2)})
+
+    def test_emptiness_propagates_globally(self):
+        relations = {
+            "r": SubstitutionSet((A,), [(1,)]),
+            "s": SubstitutionSet((B,), []),  # disjoint schema but empty
+        }
+        reduced = pairwise_consistency(relations)
+        assert all(len(rel) == 0 for rel in reduced.values())
+
+    def test_already_consistent_unchanged(self):
+        relations = {
+            "r": SubstitutionSet((A, B), [(1, 2)]),
+            "s": SubstitutionSet((B, C), [(2, 3)]),
+        }
+        assert pairwise_consistency(relations) == relations
+
+    def test_pairwise_consistent_but_globally_inconsistent_cycle(self):
+        """The classic odd XOR 3-cycle: pairwise consistent, yet it has no
+        solution — local consistency is blind on cyclic structures."""
+        relations = {
+            "rab": SubstitutionSet((A, B), [(0, 1), (1, 0)]),
+            "rbc": SubstitutionSet((B, C), [(0, 1), (1, 0)]),
+            "rca": SubstitutionSet((C, A), [(0, 1), (1, 0)]),
+        }
+        reduced = pairwise_consistency(relations)
+        assert all(len(rel) == 2 for rel in reduced.values())  # nothing pruned
+        joined = reduced["rab"].join(reduced["rbc"]).join(reduced["rca"])
+        assert len(joined) == 0  # ... but there is no global solution
+
+
+class TestFullReducer:
+    def test_matches_pairwise_on_acyclic_path(self):
+        bags = [
+            SubstitutionSet((A, B), [(1, 2), (9, 9)]),
+            SubstitutionSet((B, C), [(2, 3), (2, 4)]),
+        ]
+        tree = JoinTree((frozenset({A, B}), frozenset({B, C})), ((0, 1),))
+        reduced = full_reducer(bags, tree)
+        assert reduced[0].rows == frozenset({(1, 2)})
+        assert reduced[1].rows == frozenset({(2, 3), (2, 4)})
+
+    def test_global_consistency_after_reduction(self):
+        bags = [
+            SubstitutionSet((A, B), [(1, 2), (5, 6)]),
+            SubstitutionSet((B, C), [(2, 3)]),
+            SubstitutionSet((C,), [(3,), (8,)]),
+        ]
+        tree = JoinTree(
+            (frozenset({A, B}), frozenset({B, C}), frozenset({C})),
+            ((0, 1), (1, 2)),
+        )
+        reduced = full_reducer(bags, tree)
+        named = {str(i): bag for i, bag in enumerate(reduced)}
+        assert is_pairwise_consistent(named)
+        # every tuple joins through: the full join equals {(1,2,3)}
+        joined = reduced[0].join(reduced[1]).join(reduced[2])
+        assert joined.rows == frozenset({(1, 2, 3)})
+
+    def test_empty_component_empties_forest(self):
+        bags = [
+            SubstitutionSet((A,), [(1,)]),
+            SubstitutionSet((B,), []),
+        ]
+        tree = JoinTree((frozenset({A}), frozenset({B})), ())
+        reduced = full_reducer(bags, tree)
+        assert all(len(bag) == 0 for bag in reduced)
+
+    def test_bag_count_mismatch_raises(self):
+        import pytest
+
+        tree = JoinTree((frozenset({A}),), ())
+        with pytest.raises(ValueError):
+            full_reducer([], tree)
+
+
+class TestLocalConsistencyDecision:
+    def test_positive_instance(self):
+        q = parse_query("ans(A) :- r(A, B), s(B, C)")
+        db = Database.from_dict({"r": [(1, 2)], "s": [(2, 3)]})
+        assert nonempty_after_pairwise_consistency(q, db, 1)
+
+    def test_negative_instance(self):
+        q = parse_query("ans(A) :- r(A, B), s(B, C)")
+        db = Database.from_dict({"r": [(1, 2)], "s": [(9, 3)]})
+        assert not nonempty_after_pairwise_consistency(q, db, 1)
+
+    def test_missing_relation_is_negative(self):
+        q = parse_query("ans(A) :- r(A, B), s(B, C)")
+        db = Database.from_dict({"r": [(1, 2)]})
+        assert not nonempty_after_pairwise_consistency(q, db, 1)
+
+    def test_width_2_decides_cyclic_query(self):
+        """The odd XOR 3-cycle fools width 1 but not width 2."""
+        q = parse_query("ans() :- rab(A, B), rbc(B, C), rca(C, A)")
+        db = Database.from_dict({
+            "rab": [(0, 1), (1, 0)],
+            "rbc": [(0, 1), (1, 0)],
+            "rca": [(0, 1), (1, 0)],
+        })
+        assert nonempty_after_pairwise_consistency(q, db, 1)   # false positive
+        assert not nonempty_after_pairwise_consistency(q, db, 2)

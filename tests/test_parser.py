@@ -1,0 +1,69 @@
+"""Unit tests for the Datalog-style query parser."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.query import Constant, Variable, parse_query
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+class TestParsing:
+    def test_basic_query(self):
+        q = parse_query("ans(A, B) :- r(A, C), s(C, B)")
+        assert q.free_variables == frozenset({A, B})
+        assert q.relation_symbols == frozenset({"r", "s"})
+        assert len(q.atoms) == 2
+
+    def test_boolean_query(self):
+        q = parse_query("ans() :- r(A, B)")
+        assert q.free_variables == frozenset()
+
+    def test_ampersand_separator(self):
+        q = parse_query("ans(A) :- r(A, B) & s(B)")
+        assert len(q.atoms) == 2
+
+    def test_name_defaults_to_head(self):
+        assert parse_query("myq(A) :- r(A)").name == "myq"
+        assert parse_query("myq(A) :- r(A)", name="other").name == "other"
+
+    def test_integer_constants(self):
+        q = parse_query("ans(A) :- r(A, 3), s(-2, A)")
+        atoms = {repr(a) for a in q.atoms}
+        assert "r(A, 3)" in atoms
+        assert "s(-2, A)" in atoms
+        atom = next(a for a in q.atoms if a.relation == "r")
+        assert atom.terms[1] == Constant(3)
+
+    def test_quoted_constants(self):
+        q = parse_query("ans(A) :- r(A, 'hello world'), s(A, \"x\")")
+        constants = {c.value for a in q.atoms for c in a.constants()}
+        assert constants == {"hello world", "x"}
+
+    def test_lowercase_identifier_is_constant(self):
+        q = parse_query("ans(A) :- r(A, rome)")
+        atom = next(iter(q.atoms))
+        assert atom.terms[1] == Constant("rome")
+
+    def test_underscore_prefix_is_variable(self):
+        q = parse_query("ans(A) :- r(A, _x)")
+        assert Variable("_x") in q.variables
+
+    def test_repeated_variables(self):
+        q = parse_query("ans(A) :- r(A, A)")
+        atom = next(iter(q.atoms))
+        assert atom.terms == (A, A)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "ans(A)",                      # missing body
+        "ans(A) :- ",                  # empty body
+        "ans(A) :- r(A",               # unclosed paren
+        "ans(3) :- r(A)",              # constant in head
+        "ans(A) :- r(A) garbage(B)",   # missing separator
+        "ans(A) :- r(A,)",             # dangling comma
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse_query(bad)

@@ -1,0 +1,162 @@
+"""Property-based tests for the factor algebra and the UCQ/approx stack.
+
+These complement the per-module unit tests with algebraic invariants
+checked over randomized inputs: semiring factor laws, elimination-order
+invariance of Inside-Out, inclusion–exclusion consistency, and sampler
+uniformity at the distributional level.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx import AnswerSampler
+from repro.counting.brute_force import count_brute_force
+from repro.counting.semiring import COUNTING
+from repro.exceptions import DecompositionNotFoundError
+from repro.faq import count_insideout
+from repro.faq.factor import Factor, multiply_all
+from repro.faq.ordering import elimination_order_is_valid
+from repro.query.terms import Variable
+from repro.ucq import UnionQuery, count_union, count_union_brute_force
+from repro.workloads.random_instances import random_instance
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+def factor_strategy(schema, max_value=4):
+    """Random counting-semiring factors over a fixed schema."""
+    row = st.tuples(*(st.integers(0, 3) for _ in schema))
+    return st.dictionaries(row, st.integers(1, max_value), max_size=6).map(
+        lambda values: Factor(schema, values, COUNTING)
+    )
+
+
+class TestFactorAlgebraLaws:
+    @given(f=factor_strategy((A, B)), g=factor_strategy((B, C)))
+    @settings(max_examples=50, deadline=None)
+    def test_multiply_commutes(self, f, g):
+        assert f.multiply(g).values == g.multiply(f).values
+
+    @given(f=factor_strategy((A,)), g=factor_strategy((A, B)),
+           h=factor_strategy((B,)))
+    @settings(max_examples=50, deadline=None)
+    def test_multiply_associates(self, f, g, h):
+        left = f.multiply(g).multiply(h)
+        right = f.multiply(g.multiply(h))
+        assert left.values == right.values
+
+    @given(f=factor_strategy((A, B)))
+    @settings(max_examples=50, deadline=None)
+    def test_marginalization_order_irrelevant(self, f):
+        ab = f.marginalize(A).marginalize(B)
+        ba = f.marginalize(B).marginalize(A)
+        assert ab.scalar_value() == ba.scalar_value()
+
+    @given(f=factor_strategy((A, B)))
+    @settings(max_examples=50, deadline=None)
+    def test_total_mass_preserved_by_marginalization(self, f):
+        total = sum(f.values.values())
+        assert f.marginalize_all([A, B]).scalar_value() == total
+
+    @given(f=factor_strategy((A, B)), g=factor_strategy((C,)))
+    @settings(max_examples=50, deadline=None)
+    def test_marginalizing_foreign_variable_distributes(self, f, g):
+        # C occurs only in g: eliminating C before or after multiplying
+        # gives the same factor.
+        before = f.multiply(g.marginalize(C))
+        after = f.multiply(g).marginalize(C)
+        assert before.values == after.values
+
+    @given(fs=st.lists(factor_strategy((A,)), min_size=0, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_multiply_all_order_invariant(self, fs):
+        import random as _random
+
+        shuffled = fs[:]
+        _random.Random(0).shuffle(shuffled)
+        assert multiply_all(fs).values == multiply_all(shuffled).values
+
+
+class TestInsideOutOrderInvariance:
+    @given(seed=st.integers(0, 3_000), order_seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_any_valid_order_gives_same_count(self, seed, order_seed):
+        query, database = random_instance(
+            n_variables=5, n_atoms=4, domain_size=3,
+            tuples_per_relation=8, seed=seed,
+        )
+        rng = random.Random(order_seed)
+        existential = sorted(query.existential_variables,
+                             key=lambda v: v.name)
+        free = sorted(query.free_variables, key=lambda v: v.name)
+        rng.shuffle(existential)
+        rng.shuffle(free)
+        order = tuple(existential) + tuple(free)
+        assert elimination_order_is_valid(query, order)
+        assert count_insideout(query, database, order) == \
+            count_brute_force(query, database)
+
+
+class TestUnionInvariants:
+    @given(seed=st.integers(0, 3_000))
+    @settings(max_examples=10, deadline=None)
+    def test_union_with_self_is_idempotent(self, seed):
+        query, database = random_instance(
+            n_variables=4, n_atoms=3, domain_size=3,
+            tuples_per_relation=8, seed=seed,
+        )
+        union = UnionQuery((query, query))
+        assert count_union(union, database) == \
+            count_brute_force(query, database)
+
+    @given(seed=st.integers(0, 3_000))
+    @settings(max_examples=10, deadline=None)
+    def test_union_at_least_max_disjunct(self, seed):
+        query, database = random_instance(
+            n_variables=4, n_atoms=3, domain_size=3,
+            tuples_per_relation=8, seed=seed,
+        )
+        free = sorted(query.free_variables, key=lambda v: v.name)
+        atom = query.atoms_sorted()[0]
+        if not set(free) <= set(atom.variables):
+            return
+        other = query.restrict_to_atoms([atom]).with_free(free)
+        union = UnionQuery((query, other))
+        union_count = count_union(union, database, prune=False)
+        assert union_count >= count_brute_force(query, database)
+        assert union_count >= count_brute_force(other, database)
+        assert union_count == count_union_brute_force(union, database)
+
+
+class TestSamplerDistribution:
+    @given(seed=st.integers(0, 3_000))
+    @settings(max_examples=8, deadline=None)
+    def test_sample_frequencies_flat(self, seed):
+        query, database = random_instance(
+            n_atoms=3, acyclic=True, domain_size=3,
+            tuples_per_relation=6, seed=seed,
+        )
+        try:
+            sampler = AnswerSampler.for_query(
+                query, database, max_width=2, rng=random.Random(seed)
+            )
+        except DecompositionNotFoundError:
+            return
+        count = len(sampler)
+        if count == 0 or count > 30:
+            return
+        draws = 120 * count
+        from collections import Counter
+
+        frequencies = Counter(
+            tuple(sorted((v.name, value) for v, value in answer.items()))
+            for answer in sampler.sample_many(draws)
+        )
+        assert len(frequencies) == count
+        expected = draws / count
+        for observed in frequencies.values():
+            # 6 sigma of a binomial(draws, 1/count) around the mean.
+            sigma = (draws * (1 / count) * (1 - 1 / count)) ** 0.5
+            assert abs(observed - expected) < 6 * max(sigma, 1.0)

@@ -1,0 +1,181 @@
+"""Property-based tests on the structural substrates.
+
+Algebra laws for substitution sets, agreement of the two acyclicity
+procedures, core idempotence, frontier invariants, and consistency
+properties — the invariants the counting algorithms silently rely on.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.pairwise import is_pairwise_consistent, pairwise_consistency
+from repro.db.algebra import SubstitutionSet
+from repro.homomorphism.core import core, is_core
+from repro.homomorphism.solver import homomorphically_equivalent
+from repro.hypergraph.acyclicity import is_acyclic, join_tree
+from repro.hypergraph.components import component_frontiers, components
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.terms import Variable
+from repro.workloads.random_instances import random_query
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+VARS = [Variable(f"V{i}") for i in range(6)]
+
+
+def _substitution_sets(seed, count=2, shared=True):
+    rng = random.Random(seed)
+    result = []
+    pool = VARS[:4]
+    for index in range(count):
+        size = rng.randrange(1, 4)
+        schema = rng.sample(pool, size)
+        if shared and index > 0 and not set(schema) & set(result[0].schema):
+            schema.append(result[0].schema[0])
+        rows = {
+            tuple(rng.randrange(4) for _ in schema)
+            for _ in range(rng.randrange(0, 8))
+        }
+        result.append(SubstitutionSet(tuple(schema), rows))
+    return result
+
+
+def _hypergraphs(seed):
+    rng = random.Random(seed)
+    edges = [
+        frozenset(rng.sample(VARS, rng.randrange(1, 4)))
+        for _ in range(rng.randrange(1, 6))
+    ]
+    return Hypergraph([], edges)
+
+
+class TestAlgebraLaws:
+    @given(seed=st.integers(0, 9999))
+    @settings(**SETTINGS)
+    def test_join_commutative(self, seed):
+        left, right = _substitution_sets(seed)
+        assert left.join(right) == right.join(left)
+
+    @given(seed=st.integers(0, 9999))
+    @settings(**SETTINGS)
+    def test_join_associative(self, seed):
+        a, b, c = _substitution_sets(seed, count=3)
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(seed=st.integers(0, 9999))
+    @settings(**SETTINGS)
+    def test_semijoin_is_projected_join(self, seed):
+        left, right = _substitution_sets(seed)
+        assert left.semijoin(right) == \
+            left.join(right).project(left.schema)
+
+    @given(seed=st.integers(0, 9999))
+    @settings(**SETTINGS)
+    def test_semijoin_idempotent(self, seed):
+        left, right = _substitution_sets(seed)
+        once = left.semijoin(right)
+        assert once.semijoin(right) == once
+
+    @given(seed=st.integers(0, 9999))
+    @settings(**SETTINGS)
+    def test_projection_monotone_in_schema(self, seed):
+        (s,) = _substitution_sets(seed, count=1)
+        partial = s.project(s.schema[:1])
+        assert len(partial) <= len(s)
+
+
+class TestHypergraphInvariants:
+    @given(seed=st.integers(0, 9999))
+    @settings(**SETTINGS)
+    def test_gyo_agrees_with_join_tree(self, seed):
+        h = _hypergraphs(seed)
+        assert (join_tree(h) is not None) == is_acyclic(h)
+
+    @given(seed=st.integers(0, 9999))
+    @settings(**SETTINGS)
+    def test_components_partition_non_banned_nodes(self, seed):
+        h = _hypergraphs(seed)
+        rng = random.Random(seed + 1)
+        banned = frozenset(rng.sample(VARS, rng.randrange(0, 4)))
+        comps = components(h, banned)
+        union = set()
+        for comp in comps:
+            assert not comp & banned
+            assert not comp & union  # pairwise disjoint
+            union |= comp
+        assert union == set(h.nodes) - banned
+
+    @given(seed=st.integers(0, 9999))
+    @settings(**SETTINGS)
+    def test_frontiers_are_subsets_of_banned(self, seed):
+        h = _hypergraphs(seed)
+        rng = random.Random(seed + 2)
+        banned = frozenset(rng.sample(VARS, rng.randrange(0, 4)))
+        for comp, frontier in component_frontiers(h, banned).items():
+            assert frontier <= banned
+
+
+class TestCoreInvariants:
+    @given(seed=st.integers(0, 9999))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_core_is_idempotent_and_equivalent(self, seed):
+        query = random_query(4, 3, n_symbols=2, seed=seed)
+        reduced = core(query)
+        assert is_core(reduced)
+        assert homomorphically_equivalent(query, reduced)
+        assert reduced.atoms <= query.atoms
+
+
+class TestConsistencyInvariants:
+    @given(seed=st.integers(0, 9999))
+    @settings(**SETTINGS)
+    def test_pairwise_consistency_is_fixpoint(self, seed):
+        sets = _substitution_sets(seed, count=3)
+        relations = {f"r{i}": s for i, s in enumerate(sets)}
+        reduced = pairwise_consistency(relations)
+        assert is_pairwise_consistent(reduced)
+        assert pairwise_consistency(reduced) == reduced
+
+    @given(seed=st.integers(0, 9999))
+    @settings(**SETTINGS)
+    def test_reduction_only_removes_tuples(self, seed):
+        sets = _substitution_sets(seed, count=3)
+        relations = {f"r{i}": s for i, s in enumerate(sets)}
+        reduced = pairwise_consistency(relations)
+        for name in relations:
+            assert reduced[name].rows <= relations[name].rows
+
+
+class TestDotRenderInvariants:
+    """Structural invariants of the DOT emitters on random queries."""
+
+    @given(seed=st.integers(0, 2_000))
+    @settings(max_examples=15, deadline=None)
+    def test_query_dot_mentions_every_variable(self, seed):
+        from repro.hypergraph.render import query_to_dot
+        from repro.workloads.random_instances import random_query
+
+        query = random_query(5, 4, seed=seed)
+        dot = query_to_dot(query)
+        assert dot.startswith("graph ")
+        assert dot.rstrip().endswith("}")
+        for variable in query.variables:
+            assert f'"{variable.name}"' in dot
+
+    @given(seed=st.integers(0, 2_000))
+    @settings(max_examples=15, deadline=None)
+    def test_free_variables_double_circled(self, seed):
+        from repro.hypergraph.render import query_to_dot
+        from repro.workloads.random_instances import random_query
+
+        query = random_query(5, 4, seed=seed)
+        dot = query_to_dot(query)
+        for variable in query.free_variables:
+            assert f'"{variable.name}" [shape=doublecircle];' in dot

@@ -1,0 +1,57 @@
+"""Smoke tests for the public API surface and the package metadata."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_alls_resolve(self):
+        import repro.consistency
+        import repro.counting
+        import repro.db
+        import repro.decomposition
+        import repro.homomorphism
+        import repro.hypergraph
+        import repro.query
+        import repro.reductions
+        import repro.workloads
+
+        for module in (
+            repro.consistency, repro.counting, repro.db, repro.decomposition,
+            repro.homomorphism, repro.hypergraph, repro.query,
+            repro.reductions, repro.workloads,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    module.__name__, name,
+                )
+
+    def test_docstring_example(self):
+        """The README / package-docstring example must keep working."""
+        from repro import count_answers, parse_query
+        from repro.db import Database
+
+        q = parse_query("ans(A) :- r(A, B), s(B, C)")
+        d = Database.from_dict({"r": [(1, 2), (3, 2)], "s": [(2, 9)]})
+        assert count_answers(q, d).count == 2
+
+    def test_exceptions_hierarchy(self):
+        from repro import exceptions
+
+        assert issubclass(exceptions.QueryError, exceptions.ReproError)
+        assert issubclass(exceptions.ParseError, exceptions.QueryError)
+        assert issubclass(exceptions.DecompositionNotFoundError,
+                          exceptions.DecompositionError)
+        assert issubclass(exceptions.IllegalDatabaseError,
+                          exceptions.DatabaseError)
+        assert issubclass(exceptions.ArityMismatchError,
+                          exceptions.DatabaseError)
+        assert issubclass(exceptions.NotAcyclicError,
+                          exceptions.DecompositionError)
+        assert issubclass(exceptions.SchemaError, exceptions.ReproError)

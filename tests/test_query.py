@@ -1,0 +1,117 @@
+"""Unit tests for repro.query.query."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.atom import Atom
+from repro.query.query import ConjunctiveQuery
+from repro.query.terms import Constant, Variable
+
+A, B, C, D = (Variable(x) for x in "ABCD")
+
+
+def _q(atoms, free=(), name="Q"):
+    return ConjunctiveQuery(frozenset(atoms), frozenset(free), name=name)
+
+
+class TestConstruction:
+    def test_basic(self):
+        q = _q([Atom("r", (A, B))], free=[A])
+        assert q.variables == frozenset({A, B})
+        assert q.free_variables == frozenset({A})
+        assert q.existential_variables == frozenset({B})
+
+    def test_rejects_empty_atom_set(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(frozenset(), frozenset())
+
+    def test_rejects_stray_free_variables(self):
+        with pytest.raises(QueryError):
+            _q([Atom("r", (A,))], free=[B])
+
+    def test_duplicate_atoms_merged(self):
+        q = _q([Atom("r", (A, B)), Atom("r", (A, B))])
+        assert len(q.atoms) == 1
+
+
+class TestViews:
+    def test_relation_symbols(self):
+        q = _q([Atom("r", (A, B)), Atom("s", (B,))])
+        assert q.relation_symbols == frozenset({"r", "s"})
+
+    def test_is_simple(self):
+        assert _q([Atom("r", (A, B)), Atom("s", (B, C))]).is_simple()
+        assert not _q([Atom("r", (A, B)), Atom("r", (B, C))]).is_simple()
+
+    def test_is_quantifier_free(self):
+        assert _q([Atom("r", (A, B))], free=[A, B]).is_quantifier_free()
+        assert not _q([Atom("r", (A, B))], free=[A]).is_quantifier_free()
+
+    def test_arity(self):
+        q = _q([Atom("r", (A, B, C)), Atom("s", (A,))])
+        assert q.arity() == 3
+
+    def test_hypergraph_edges_match_atoms(self):
+        q = _q([Atom("r", (A, B)), Atom("s", (B, C))])
+        assert q.hypergraph().edges == frozenset({
+            frozenset({A, B}), frozenset({B, C}),
+        })
+
+    def test_as_structure_groups_by_symbol(self):
+        q = _q([Atom("r", (A, B)), Atom("r", (B, C)), Atom("s", (C,))])
+        structure = q.as_structure()
+        assert structure["r"] == frozenset({(A, B), (B, C)})
+        assert structure["s"] == frozenset({(C,)})
+
+    def test_atoms_sorted_deterministic(self):
+        q = _q([Atom("r", (B, C)), Atom("r", (A, B))])
+        assert [repr(a) for a in q.atoms_sorted()] == ["r(A, B)", "r(B, C)"]
+
+    def test_size(self):
+        q = _q([Atom("r", (A, B, C)), Atom("s", (A,))])
+        assert q.size() == 4
+
+
+class TestTransformations:
+    def test_with_free(self):
+        q = _q([Atom("r", (A, B))], free=[A])
+        q2 = q.with_free([A, B])
+        assert q2.free_variables == frozenset({A, B})
+        assert q2.atoms == q.atoms
+
+    def test_without_atom_drops_vanished_free_vars(self):
+        q = _q([Atom("r", (A, B)), Atom("s", (C,))], free=[A, C])
+        q2 = q.without_atom(Atom("s", (C,)))
+        assert q2.free_variables == frozenset({A})
+
+    def test_without_last_atom_raises(self):
+        q = _q([Atom("r", (A,))])
+        with pytest.raises(QueryError):
+            q.without_atom(Atom("r", (A,)))
+
+    def test_restrict_to_atoms(self):
+        r, s = Atom("r", (A, B)), Atom("s", (B, C))
+        q = _q([r, s], free=[A, C])
+        q2 = q.restrict_to_atoms([r])
+        assert q2.atoms == frozenset({r})
+        assert q2.free_variables == frozenset({A})
+
+    def test_restrict_to_foreign_atoms_raises(self):
+        q = _q([Atom("r", (A, B))])
+        with pytest.raises(QueryError):
+            q.restrict_to_atoms([Atom("zzz", (A,))])
+
+    def test_substitute_collapses_variables(self):
+        q = _q([Atom("r", (A, B)), Atom("r", (B, C))], free=[A])
+        q2 = q.substitute({C: A})
+        assert q2.atoms == frozenset({Atom("r", (A, B)), Atom("r", (B, A))})
+
+    def test_substitute_to_constant_updates_free(self):
+        q = _q([Atom("r", (A, B))], free=[A, B])
+        q2 = q.substitute({B: Constant(1)})
+        assert q2.free_variables == frozenset({A})
+
+    def test_renamed(self):
+        q = _q([Atom("r", (A,))], name="old")
+        assert q.renamed("new").name == "new"
+        assert q.renamed("new") == q  # name does not affect equality

@@ -1,0 +1,59 @@
+"""Unit tests for repro.db.relation."""
+
+import pytest
+
+from repro.db.relation import Relation
+from repro.exceptions import ArityMismatchError
+
+
+class TestRelation:
+    def test_construction(self):
+        r = Relation("r", 2, [(1, 2), (3, 4), (1, 2)])
+        assert len(r) == 2  # duplicates merged
+        assert (1, 2) in r
+        assert (9, 9) not in r
+
+    def test_arity_enforced(self):
+        with pytest.raises(ArityMismatchError):
+            Relation("r", 2, [(1, 2, 3)])
+
+    def test_rows_are_frozen(self):
+        r = Relation("r", 1, [(1,)])
+        assert isinstance(r.rows, frozenset)
+
+    def test_iteration(self):
+        r = Relation("r", 1, [(1,), (2,)])
+        assert sorted(r) == [(1,), (2,)]
+
+    def test_equality_and_hash(self):
+        assert Relation("r", 2, [(1, 2)]) == Relation("r", 2, [(1, 2)])
+        assert Relation("r", 2, [(1, 2)]) != Relation("s", 2, [(1, 2)])
+        assert Relation("r", 2, [(1, 2)]) != Relation("r", 2, [(2, 1)])
+        assert hash(Relation("r", 2, [(1, 2)])) == hash(Relation("r", 2, [(1, 2)]))
+
+    def test_union(self):
+        r = Relation("r", 1, [(1,)]).union([(2,)])
+        assert len(r) == 2
+
+    def test_restrict(self):
+        r = Relation("r", 2, [(1, 2), (3, 4)])
+        kept = r.restrict(lambda row: row[0] == 1)
+        assert kept.rows == frozenset({(1, 2)})
+
+    def test_renamed(self):
+        r = Relation("r", 1, [(1,)]).renamed("s")
+        assert r.name == "s"
+        assert len(r) == 1
+
+    def test_active_domain(self):
+        r = Relation("r", 2, [(1, 2), (2, 3)])
+        assert r.active_domain() == frozenset({1, 2, 3})
+
+    def test_empty_relation(self):
+        r = Relation("r", 3)
+        assert len(r) == 0
+        assert r.active_domain() == frozenset()
+
+    def test_lists_coerced_to_tuples(self):
+        r = Relation("r", 2, [[1, 2]])
+        assert (1, 2) in r

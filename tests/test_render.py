@@ -1,0 +1,88 @@
+"""Tests for DOT rendering (:mod:`repro.hypergraph.render`)."""
+
+from repro.hypergraph.acyclicity import JoinTree
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.render import (
+    frontier_overlay_dot,
+    hypergraph_to_dot,
+    join_tree_to_dot,
+    query_to_dot,
+)
+from repro.query import parse_query
+from repro.query.terms import make_variables
+from repro.workloads.paper_queries import q0
+
+A, B, C, D = make_variables("A", "B", "C", "D")
+
+
+class TestHypergraphDot:
+    def test_binary_edges_render_directly(self):
+        hg = Hypergraph(frozenset({A, B}), frozenset({frozenset({A, B})}))
+        dot = hypergraph_to_dot(hg)
+        assert dot.startswith("graph H {")
+        assert '"A" -- "B";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_free_variables_double_circled(self):
+        hg = Hypergraph(frozenset({A, B}), frozenset({frozenset({A, B})}))
+        dot = hypergraph_to_dot(hg, free=[A])
+        assert '"A" [shape=doublecircle];' in dot
+        assert '"B" [shape=circle];' in dot
+
+    def test_large_hyperedge_gets_junction(self):
+        hg = Hypergraph(
+            frozenset({A, B, C}), frozenset({frozenset({A, B, C})})
+        )
+        dot = hypergraph_to_dot(hg)
+        assert "shape=point" in dot
+        for name in ("A", "B", "C"):
+            assert f'"e1" -- "{name}";' in dot
+
+    def test_bold_edges_marked(self):
+        edge = frozenset({A, B})
+        hg = Hypergraph(frozenset({A, B}), frozenset({edge}))
+        dot = hypergraph_to_dot(hg, bold_edges=[edge])
+        assert "style=bold" in dot
+
+    def test_output_is_deterministic(self):
+        hg = q0().hypergraph()
+        assert hypergraph_to_dot(hg) == hypergraph_to_dot(hg)
+
+
+class TestQueryDot:
+    def test_free_variables_circled(self):
+        dot = query_to_dot(q0())
+        for name in ("A", "B", "C"):
+            assert f'"{name}" [shape=doublecircle];' in dot
+        assert '"D" [shape=circle];' in dot
+
+    def test_ternary_atom_junction(self):
+        dot = query_to_dot(q0())  # mw(A, B, I) is ternary
+        assert "shape=point" in dot
+
+
+class TestFrontierOverlay:
+    def test_frontier_edges_bold(self):
+        dot = frontier_overlay_dot(q0())
+        # Fr(D..H) = {B, C}: B -- C must appear bold (no base atom has it).
+        assert ('"B" -- "C" [style=bold penwidth=2];' in dot)
+
+    def test_plain_query_edges_not_bold(self):
+        query = parse_query("ans(A) :- r(A, B)")
+        dot = frontier_overlay_dot(query)
+        assert '"A" -- "B";' in dot
+
+
+class TestJoinTreeDot:
+    def test_boxes_and_edges(self):
+        tree = JoinTree(
+            (frozenset({A, B}), frozenset({B, C})), ((0, 1),)
+        )
+        dot = join_tree_to_dot(tree)
+        assert 'b0 [label="{A, B}"];' in dot
+        assert "b0 -- b1;" in dot
+
+    def test_labels_appended(self):
+        tree = JoinTree((frozenset({A}),), ())
+        dot = join_tree_to_dot(tree, labels=["view_v1"])
+        assert "view_v1" in dot

@@ -1,0 +1,98 @@
+"""Unit tests for semiring aggregation over join trees."""
+
+import math
+
+from repro.counting.acyclic import bags_for_acyclic_query, count_join_tree
+from repro.counting.semiring import (
+    BOOLEAN,
+    COUNTING,
+    MAX_TROPICAL,
+    MIN_TROPICAL,
+    aggregate_join_tree,
+    lightest_solution_weight,
+    uniform_weight,
+)
+from repro.db import Database
+from repro.db.algebra import SubstitutionSet
+from repro.hypergraph.acyclicity import JoinTree
+from repro.query import Variable, parse_query
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+def _path_bags():
+    bags = [
+        SubstitutionSet((A, B), [(1, 2), (1, 3), (4, 2)]),
+        SubstitutionSet((B, C), [(2, 5), (2, 6), (3, 5)]),
+    ]
+    tree = JoinTree((frozenset({A, B}), frozenset({B, C})), ((0, 1),))
+    return bags, tree
+
+
+class TestCountingSemiring:
+    def test_matches_count_join_tree(self):
+        bags, tree = _path_bags()
+        assert aggregate_join_tree(bags, tree, COUNTING) == \
+            count_join_tree(bags, tree)
+
+    def test_on_real_query(self):
+        q = parse_query("ans(A, B, C) :- r(A, B), s(B, C)")
+        db = Database.from_dict({
+            "r": [(1, 2), (1, 3)],
+            "s": [(2, 5), (3, 5), (3, 6)],
+        })
+        bags, tree = bags_for_acyclic_query(q, db)
+        assert aggregate_join_tree(bags, tree, COUNTING) == 3
+
+
+class TestBooleanSemiring:
+    def test_satisfiable(self):
+        bags, tree = _path_bags()
+        assert aggregate_join_tree(bags, tree, BOOLEAN) is True
+
+    def test_unsatisfiable(self):
+        bags = [
+            SubstitutionSet((A, B), [(1, 2)]),
+            SubstitutionSet((B, C), [(9, 9)]),
+        ]
+        tree = JoinTree((frozenset({A, B}), frozenset({B, C})), ((0, 1),))
+        assert aggregate_join_tree(bags, tree, BOOLEAN) is False
+
+
+class TestTropicalSemirings:
+    def test_min_weight_solution(self):
+        bags, tree = _path_bags()
+        # weight of a tuple = sum of its values
+        weight = lambda schema, row: float(sum(row))
+        got = aggregate_join_tree(bags, tree, MIN_TROPICAL, weight)
+        # enumerate: solutions (A,B,C): (1,2,5):3+7=10, (1,2,6):3+8=11,
+        # (1,3,5):4+8=12, (4,2,5):6+7=13, (4,2,6):6+8=14
+        assert got == 10.0
+
+    def test_max_weight_solution(self):
+        bags, tree = _path_bags()
+        weight = lambda schema, row: float(sum(row))
+        assert aggregate_join_tree(bags, tree, MAX_TROPICAL, weight) == 14.0
+
+    def test_empty_join_is_infinite(self):
+        bags = [SubstitutionSet.empty((A,))]
+        tree = JoinTree((frozenset({A}),), ())
+        weight = lambda schema, row: 1.0
+        assert lightest_solution_weight(bags, tree, weight) == math.inf
+
+
+class TestEdgeCases:
+    def test_no_bags(self):
+        assert aggregate_join_tree([], JoinTree((), ()), COUNTING) == 0
+
+    def test_uniform_weight_is_identity(self):
+        assert uniform_weight(COUNTING)((), ()) == 1
+        assert uniform_weight(BOOLEAN)((), ()) is True
+
+    def test_forest_multiplies(self):
+        bags = [
+            SubstitutionSet((A,), [(1,), (2,)]),
+            SubstitutionSet((B,), [(3,), (4,), (5,)]),
+        ]
+        tree = JoinTree((frozenset({A}), frozenset({B})), ())
+        assert aggregate_join_tree(bags, tree, COUNTING) == 6

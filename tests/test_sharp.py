@@ -1,0 +1,137 @@
+"""Unit tests for #-decompositions and #-hypertree width (Defs. 1.2, 1.4)."""
+
+import pytest
+
+from repro.decomposition.sharp import (
+    all_colored_cores,
+    find_sharp_decomposition,
+    find_sharp_hypertree_decomposition,
+    is_sharp_covered,
+    sharp_cover_hypergraph,
+    sharp_hypertree_width,
+)
+from repro.exceptions import DecompositionNotFoundError
+from repro.homomorphism import colored_core
+from repro.query import Variable, parse_query
+from repro.query.coloring import is_color_atom
+from repro.workloads import (
+    q0,
+    q0_expected_core_atoms,
+    q0_symmetric_core_atoms,
+    q1_cycle,
+    q2_acyclic,
+    q2_bar,
+    qn1_chain,
+    qn2_biclique,
+    v0_view_set,
+)
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+def _colored_core_from_atoms(plain_atoms):
+    """Build a specific colored core of color(Q0) from its plain atoms."""
+    from repro.query import Atom, ConjunctiveQuery, color_symbol
+
+    color_atoms = {Atom(color_symbol(v), (v,)) for v in (A, B, C)}
+    return ConjunctiveQuery(
+        frozenset(plain_atoms) | color_atoms,
+        frozenset({A, B, C}),
+        name="core(color(Q0))",
+    )
+
+
+class TestSharpHypertreeWidth:
+    def test_q0_sharp_width_2(self):
+        """Example 4.2: #-hypertree width of Q0 is 2."""
+        assert sharp_hypertree_width(q0(), max_width=3) == 2
+
+    def test_q1_sharp_width_2(self):
+        """Example 4.1: #-hypertree width of Q1 is 2 (cyclic core)."""
+        assert find_sharp_hypertree_decomposition(q1_cycle(), 1) is None
+        assert sharp_hypertree_width(q1_cycle(), max_width=3) == 2
+
+    def test_qn1_sharp_width_1(self):
+        """Example A.2: every Q^n_1 has #-hypertree width 1 via its core."""
+        for n in (2, 3, 4):
+            assert sharp_hypertree_width(qn1_chain(n), max_width=2) == 1
+
+    def test_qn2_sharp_width_1(self):
+        """Theorem A.3 proof: Q^n_2 has unbounded ghw but #-htw 1."""
+        assert sharp_hypertree_width(qn2_biclique(3), max_width=2) == 1
+
+    def test_q2_acyclic_unbounded_at_small_width(self):
+        """Q^h_2's frontier is the free clique: no width-2 #-decomposition
+        once h >= 3 (Example C.1)."""
+        assert find_sharp_hypertree_decomposition(q2_acyclic(3), 2) is None
+
+    def test_q2_bar_not_sharp_covered(self):
+        """Example 6.3: barQ^h_2 has no small #-generalized hypertree width."""
+        assert find_sharp_hypertree_decomposition(q2_bar(2), 2) is None
+
+    def test_exceeding_max_width_raises(self):
+        with pytest.raises(DecompositionNotFoundError):
+            sharp_hypertree_width(q2_acyclic(3), max_width=2)
+
+    def test_acyclic_quantifier_free_width_1(self):
+        q = parse_query("ans(A, B, C) :- r(A, B), s(B, C)")
+        assert sharp_hypertree_width(q, max_width=1) == 1
+
+
+class TestDecompositionObject:
+    def test_q0_decomposition_valid_and_covers_frontier(self):
+        decomposition = find_sharp_hypertree_decomposition(q0(), 2)
+        assert decomposition is not None
+        assert decomposition.is_valid()
+        assert decomposition.width() <= 2
+        # The frontier edge {B, C} must be inside some bag (Figure 3 note).
+        assert any(frozenset({B, C}) <= bag for bag in decomposition.tree.bags)
+
+    def test_core_recorded(self):
+        decomposition = find_sharp_hypertree_decomposition(q0(), 2)
+        assert decomposition.core.atoms <= q0().atoms
+        assert decomposition.core.free_variables == q0().free_variables
+
+
+class TestViewBasedSharpCovering:
+    def test_example_3_5_q0_sharp_covered_wrt_v0(self):
+        """With the resources V0, Q0 is #-covered (Example 3.5) —
+        via the core that drops the G branch."""
+        views = v0_view_set()
+        colored = _colored_core_from_atoms(q0_expected_core_atoms())
+        assert is_sharp_covered(q0(), views, colored=colored)
+
+    def test_example_3_5_symmetric_core_fails(self):
+        """The symmetric core keeps the {D,G,H} triangle, which no view of
+        V0 absorbs: no tree projection exists for it (Example 3.5)."""
+        views = v0_view_set()
+        colored = _colored_core_from_atoms(q0_symmetric_core_atoms())
+        assert not is_sharp_covered(q0(), views, colored=colored)
+
+    def test_try_all_cores_succeeds(self):
+        """Definition 1.4 asks for *some* core: probing all cores finds the
+        good one regardless of the canonical choice."""
+        assert is_sharp_covered(q0(), v0_view_set(), try_all_cores=True)
+
+
+class TestAllColoredCores:
+    def test_q0_has_exactly_two_colored_cores(self):
+        cores = all_colored_cores(q0())
+        plains = {
+            frozenset(a for a in core.atoms if not is_color_atom(a))
+            for core in cores
+        }
+        assert plains == {q0_expected_core_atoms(), q0_symmetric_core_atoms()}
+
+    def test_core_query_has_single_core(self):
+        q = parse_query("ans(A) :- r(A, B), s(B, C)")
+        assert len(all_colored_cores(q)) == 1
+
+
+class TestCoverHypergraph:
+    def test_covers_both_base_and_frontier(self):
+        query = q0()
+        colored = colored_core(query)
+        combined = sharp_cover_hypergraph(query, colored)
+        assert colored.hypergraph().edges <= combined.edges
+        assert frozenset({B, C}) in combined.edges  # frontier of D/F/H

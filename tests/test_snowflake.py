@@ -1,0 +1,75 @@
+"""Tests for the snowflake warehouse workload (:mod:`repro.workloads.snowflake`)."""
+
+from repro import count_answers
+from repro.counting.brute_force import count_brute_force
+from repro.db.statistics import attribute_degree, key_positions
+from repro.workloads.snowflake import (
+    customers_by_category_query,
+    same_region_pairs_query,
+    snowflake_database,
+    store_catalogue_query,
+)
+
+DATABASE = snowflake_database(n_orders=80, seed=5)
+
+
+class TestSchema:
+    def test_all_relations_present(self):
+        assert DATABASE.symbols() == {
+            "sales", "customer_info", "product_info", "store_info",
+            "city_region",
+        }
+
+    def test_dimension_keys_are_keys(self):
+        for dimension in ("customer_info", "product_info", "store_info",
+                          "city_region"):
+            assert (0,) in key_positions(DATABASE[dimension])
+
+    def test_order_id_keys_fact_table(self):
+        assert attribute_degree(DATABASE["sales"], [0]) == 1
+
+    def test_deterministic_with_seed(self):
+        assert snowflake_database(n_orders=30, seed=9) == \
+            snowflake_database(n_orders=30, seed=9)
+
+    def test_row_counts_match_parameters(self):
+        database = snowflake_database(
+            n_orders=50, n_customers=7, n_stores=4, seed=1
+        )
+        assert len(database["sales"]) == 50
+        assert len(database["customer_info"]) == 7
+        assert len(database["store_info"]) == 4
+
+
+class TestQueries:
+    def test_customers_by_category_counts(self):
+        query = customers_by_category_query()
+        result = count_answers(query, DATABASE)
+        assert result.count == count_brute_force(query, DATABASE)
+        assert result.count > 0
+
+    def test_store_catalogue_counts(self):
+        query = store_catalogue_query()
+        result = count_answers(query, DATABASE)
+        assert result.count == count_brute_force(query, DATABASE)
+
+    def test_same_region_pairs_counts(self):
+        query = same_region_pairs_query()
+        small = snowflake_database(n_orders=40, seed=2)
+        result = count_answers(query, small)
+        assert result.count == count_brute_force(query, small)
+
+    def test_same_region_pairs_is_symmetric(self):
+        # If (c1, c2) is an answer, so is (c2, c1) — the pattern is
+        # symmetric in the two customers (they may coincide).
+        from repro.counting.enumeration import enumerate_answers
+        from repro.query.terms import Variable
+
+        query = same_region_pairs_query()
+        small = snowflake_database(n_orders=40, seed=2)
+        c1, c2 = Variable("C1"), Variable("C2")
+        answers = {
+            (answer[c1], answer[c2])
+            for answer in enumerate_answers(query, small)
+        }
+        assert all((b, a) in answers for a, b in answers)

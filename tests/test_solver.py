@@ -1,0 +1,96 @@
+"""Unit tests for homomorphism search."""
+
+from repro.db import Database
+from repro.homomorphism.solver import (
+    find_homomorphism,
+    has_homomorphism,
+    has_query_homomorphism,
+    homomorphically_equivalent,
+    iter_homomorphisms,
+    query_as_database,
+)
+from repro.query import Constant, Variable, parse_query
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+class TestQueryToDatabase:
+    def test_find_homomorphism(self, path_query, path_database):
+        hom = find_homomorphism(path_query, path_database)
+        assert hom is not None
+        # verify the hom satisfies both atoms
+        assert (hom[A], hom[B]) in path_database["r"]
+        assert (hom[B], hom[C]) in path_database["s"]
+
+    def test_iter_all_homomorphisms(self, path_query, path_database):
+        homs = list(iter_homomorphisms(path_query, path_database))
+        # r x s joined on B: (1,10)->5,6; (1,11)->5; (2,10)->5,6; (3,12)->7
+        assert len(homs) == 6
+        assert len({tuple(sorted(h.items())) for h in homs}) == 6
+
+    def test_fixed_variables(self, path_query, path_database):
+        homs = list(iter_homomorphisms(path_query, path_database, fixed={A: 3}))
+        assert len(homs) == 1
+        assert homs[0][C] == 7
+
+    def test_fixed_infeasible_value(self, path_query, path_database):
+        assert not has_homomorphism(path_query, path_database, fixed={A: 99})
+
+    def test_no_homomorphism(self, path_query):
+        db = Database.from_dict({"r": [(1, 2)], "s": [(3, 4)]})
+        assert not has_homomorphism(path_query, db)
+
+    def test_missing_relation_means_no_homomorphism(self, path_query):
+        db = Database.from_dict({"r": [(1, 2)]})
+        assert not has_homomorphism(path_query, db)
+
+    def test_constants_must_match(self):
+        q = parse_query("ans(A) :- r(A, 7)")
+        assert has_homomorphism(q, Database.from_dict({"r": [(1, 7)]}))
+        assert not has_homomorphism(q, Database.from_dict({"r": [(1, 8)]}))
+
+    def test_repeated_variable_in_atom(self):
+        q = parse_query("ans(A) :- r(A, A)")
+        assert not has_homomorphism(q, Database.from_dict({"r": [(1, 2)]}))
+        assert has_homomorphism(q, Database.from_dict({"r": [(1, 2), (3, 3)]}))
+
+
+class TestQueryAsDatabase:
+    def test_variables_stay_constants_unwrap(self):
+        q = parse_query("ans(A) :- r(A, 7)")
+        db = query_as_database(q)
+        assert (A, 7) in db["r"]
+
+    def test_atoms_with_same_symbol_grouped(self):
+        q = parse_query("ans(A) :- r(A, B), r(B, C)")
+        assert len(query_as_database(q)["r"]) == 2
+
+
+class TestQueryToQuery:
+    def test_cycle_maps_into_triangle_times(self):
+        square = parse_query("ans() :- e(A, B), e(B, C), e(C, D), e(D, A)")
+        triangle = parse_query("ans() :- e(A, B), e(B, C), e(C, A)")
+        # odd cycle into even cycle: no; but square -> triangle exists? A 4-cycle
+        # maps homomorphically onto any edge walked back and forth.
+        edge = parse_query("ans() :- e(A, B), e(B, A)")
+        assert has_query_homomorphism(square, edge)
+        assert not has_query_homomorphism(triangle, edge)
+        assert has_query_homomorphism(triangle, triangle)
+
+    def test_path_into_shorter_path_fails(self):
+        p2 = parse_query("ans() :- r(A, B), r(B, C)")
+        p1 = parse_query("ans() :- r(A, B)")
+        assert has_query_homomorphism(p1, p2)
+        assert not has_query_homomorphism(p2, p1)
+
+    def test_homomorphic_equivalence(self):
+        q1 = parse_query("ans() :- r(A, B)")
+        q2 = parse_query("ans() :- r(X, Y), r(X, Z)")
+        # q2 maps onto q1 (Y,Z -> B) and q1 embeds into q2.
+        assert homomorphically_equivalent(q1, q2)
+
+    def test_constants_fixed_across_queries(self):
+        q1 = parse_query("ans() :- r(A, 7)")
+        q2 = parse_query("ans() :- r(B, 8)")
+        assert not has_query_homomorphism(q1, q2)
+        assert has_query_homomorphism(q1, q1)

@@ -1,0 +1,111 @@
+"""Unit tests for quantified star size and the Durand–Mengel route (App. A)."""
+
+from repro.counting.brute_force import count_brute_force
+from repro.counting.starsize import (
+    count_durand_mengel,
+    durand_mengel_parameters,
+    maximum_independent_set_size,
+    quantified_star_size,
+)
+from repro.db.generators import correlated_database
+from repro.query import Variable, parse_query
+from repro.reductions import star_frontier_query
+from repro.workloads import q0, q1_cycle, qn1_chain
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+class TestIndependentSet:
+    def test_triangle(self):
+        adjacency = {1: {2, 3}, 2: {1, 3}, 3: {1, 2}}
+        assert maximum_independent_set_size({1, 2, 3}, adjacency) == 1
+
+    def test_path(self):
+        adjacency = {1: {2}, 2: {1, 3}, 3: {2}}
+        assert maximum_independent_set_size({1, 2, 3}, adjacency) == 2
+
+    def test_empty(self):
+        assert maximum_independent_set_size(set(), {}) == 0
+
+
+class TestQuantifiedStarSize:
+    def test_qn1_star_size_is_ceil_n_over_2(self):
+        """Example A.2: qss(Q^n_1) = ceil(n/2)."""
+        import math
+
+        for n in (2, 3, 4, 5):
+            assert quantified_star_size(qn1_chain(n)) == math.ceil(n / 2)
+
+    def test_star_gadget_has_star_size_k(self):
+        for k in (1, 2, 3):
+            assert quantified_star_size(star_frontier_query(k)) == k
+
+    def test_quantifier_free_is_zero(self):
+        q = parse_query("ans(A, B) :- r(A, B)")
+        assert quantified_star_size(q) == 0
+
+    def test_q0_star_size(self):
+        """Fr(I) = {A,B} adjacent in mw; Fr(D..H) = {B,C} non-adjacent:
+        qss(Q0) = 2."""
+        assert quantified_star_size(q0()) == 2
+
+    def test_parameters_bundle(self):
+        # Q1's quantified variables B and D both have frontier {A, C},
+        # and A, C share no hyperedge of H_Q1: an independent set of
+        # size 2, so qss(Q1) = 2 alongside ghw = 2.
+        params = durand_mengel_parameters(q1_cycle(), max_width=3)
+        assert params == {"ghw": 2, "qss": 2}
+
+
+class TestDurandMengelCounting:
+    def test_q1_cycle_matches_brute_force(self):
+        query = q1_cycle()
+        database = correlated_database(query, 6, 20, seed=8)
+        assert count_durand_mengel(query, database, width=2) == \
+            count_brute_force(query, database)
+
+    def test_path_query(self):
+        query = parse_query("ans(A, C) :- r(A, B), s(B, C)")
+        database = correlated_database(query, 6, 20, seed=9)
+        assert count_durand_mengel(query, database, width=1) == \
+            count_brute_force(query, database)
+
+    def test_qn1_needs_width_blowup_but_stays_exact(self):
+        """On Q^n_1 the DM route must pay width ghw * qss = 2 * ceil(n/2);
+        it still counts correctly (Theorem A.3's direction)."""
+        query = qn1_chain(2)
+        database = correlated_database(query, 4, 12, seed=10)
+        assert count_durand_mengel(query, database, width=2) == \
+            count_brute_force(query, database)
+
+
+class TestCoreQuantifiedStarSize:
+    """Lemma A.4 / Corollary A.5: star size measured after taking cores."""
+
+    def test_example_a2_collapses_to_one(self):
+        from repro.counting.starsize import core_quantified_star_size
+
+        for n in (2, 3, 4):
+            assert core_quantified_star_size(qn1_chain(n)) == 1
+
+    def test_raw_star_size_still_grows(self):
+        import math
+
+        for n in (3, 4):
+            assert quantified_star_size(qn1_chain(n)) == math.ceil(n / 2)
+
+    def test_core_star_size_bounds_sharp_width(self):
+        # Lemma A.4: #-htw >= core star size; Example A.2 has #-htw = 1.
+        from repro.counting.starsize import core_quantified_star_size
+        from repro.decomposition.sharp import sharp_hypertree_width
+
+        query = qn1_chain(3)
+        width = sharp_hypertree_width(query, max_width=2)
+        assert core_quantified_star_size(query) <= width
+
+    def test_quantifier_free_is_zero(self):
+        from repro.counting.starsize import core_quantified_star_size
+        from repro.query import parse_query
+
+        q = parse_query("ans(A, B) :- r(A, B)")
+        assert core_quantified_star_size(q) == 0

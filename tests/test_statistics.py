@@ -1,0 +1,149 @@
+"""Tests for degree statistics and key discovery (:mod:`repro.db.statistics`)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.db.relation import Relation
+from repro.db.statistics import (
+    atom_variable_degree,
+    attribute_degree,
+    degree_profile,
+    functional_dependencies,
+    key_positions,
+    suggest_pseudo_free,
+)
+from repro.query import Atom, parse_query
+from repro.query.terms import Variable, make_variables
+from repro.workloads.paper_databases import d2_bar_database
+from repro.workloads.paper_queries import q2_bar, q2_pseudo_free
+
+A, B, C = make_variables("A", "B", "C")
+
+
+class TestAttributeDegree:
+    def test_key_column_has_degree_one(self):
+        relation = Relation("r", 2, [(1, "a"), (2, "b"), (3, "a")])
+        assert attribute_degree(relation, [0]) == 1
+
+    def test_non_key_column_counts_extensions(self):
+        relation = Relation("r", 2, [(1, "a"), (1, "b"), (1, "c"), (2, "a")])
+        assert attribute_degree(relation, [0]) == 3
+
+    def test_empty_positions_count_all_tuples(self):
+        relation = Relation("r", 2, [(1, "a"), (2, "b")])
+        assert attribute_degree(relation, []) == 2
+
+    def test_empty_relation_degree_zero(self):
+        assert attribute_degree(Relation("r", 2, []), [0]) == 0
+
+    def test_full_positions_degree_one(self):
+        relation = Relation("r", 2, [(1, "a"), (1, "b")])
+        assert attribute_degree(relation, [0, 1]) == 1
+
+
+class TestAtomVariableDegree:
+    def test_repeated_variable_uses_first_position(self):
+        atom = Atom("r", (A, A, B))
+        relation = Relation("r", 3, [(1, 1, "x"), (1, 1, "y"), (2, 2, "x")])
+        assert atom_variable_degree(atom, relation, [A]) == 2
+
+    def test_foreign_variables_ignored(self):
+        atom = Atom("r", (A, B))
+        relation = Relation("r", 2, [(1, "a"), (1, "b")])
+        assert atom_variable_degree(atom, relation, [A, C]) == 2
+
+
+class TestKeyDiscovery:
+    def test_single_column_key(self):
+        relation = Relation("r", 2, [(1, "a"), (2, "a")])
+        assert (0,) in key_positions(relation)
+
+    def test_composite_key_when_no_single(self):
+        relation = Relation("r", 2, [(1, "a"), (1, "b"), (2, "a")])
+        keys = key_positions(relation)
+        assert keys == [(0, 1)]
+
+    def test_supersets_of_keys_suppressed(self):
+        relation = Relation("r", 3, [(1, "a", 9), (2, "b", 9)])
+        keys = key_positions(relation, max_width=3)
+        assert (0,) in keys
+        assert all(0 not in key or key == (0,) for key in keys)
+
+    def test_functional_dependency_discovery(self):
+        # Column 0 determines column 1, but not vice versa.
+        relation = Relation("r", 2, [(1, "a"), (2, "a"), (3, "b")])
+        fds = functional_dependencies(relation)
+        assert ((0,), 1) in fds
+        assert ((1,), 0) not in fds
+
+    def test_fd_minimal_lhs_only(self):
+        relation = Relation("r", 3, [(1, "a", "x"), (2, "a", "y")])
+        fds = functional_dependencies(relation, max_lhs=2)
+        # 0 -> 2 holds with minimal lhs (0,); (0,1) -> 2 must not appear.
+        assert ((0,), 2) in fds
+        assert ((0, 1), 2) not in fds
+
+
+class TestDegreeProfile:
+    def test_key_bound_variables_have_degree_one(self):
+        query = parse_query("ans(A) :- r(A, B)")
+        database = Database.from_dict({"r": [(1, 10), (2, 20), (3, 10)]})
+        profile = degree_profile(query, database)
+        # Fixing A pins B uniquely (A is a key of r).
+        assert profile[Variable("B")] == 1
+
+    def test_fanout_variable_has_high_degree(self):
+        query = parse_query("ans(A) :- r(A, B)")
+        database = Database.from_dict({
+            "r": [(1, 10), (1, 11), (1, 12), (2, 10)],
+        })
+        profile = degree_profile(query, database)
+        assert profile[Variable("B")] == 3
+
+    def test_minimum_over_atoms(self):
+        # B is loose in r but pinned by s: the profile takes the best atom.
+        query = parse_query("ans(A) :- r(A, B), s(A, B)")
+        database = Database.from_dict({
+            "r": [(1, 10), (1, 11)],
+            "s": [(1, 10), (2, 11)],
+        })
+        profile = degree_profile(query, database)
+        assert profile[Variable("B")] == 1
+
+
+class TestSuggestPseudoFree:
+    def test_paper_example_63_promotes_y_variables(self):
+        h = 3
+        query = q2_bar(h)
+        database = d2_bar_database(h)
+        candidates = suggest_pseudo_free(query, database, threshold=1)
+        assert q2_pseudo_free(h) in candidates
+
+    def test_free_set_always_suggested(self):
+        query = parse_query("ans(A) :- r(A, B)")
+        database = Database.from_dict({"r": [(1, 10), (1, 11)]})
+        candidates = suggest_pseudo_free(query, database)
+        assert query.free_variables in candidates
+
+    def test_candidate_cap_respected(self):
+        query = parse_query(
+            "ans(A) :- r(A, B), s(A, C), t(A, D), u(A, E)"
+        )
+        database = Database.from_dict({
+            "r": [(1, 10)], "s": [(1, 20)], "t": [(1, 30)], "u": [(1, 40)],
+        })
+        candidates = suggest_pseudo_free(query, database, max_candidates=3)
+        assert len(candidates) <= 3
+
+    @given(seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=10, deadline=None)
+    def test_candidates_always_contain_free(self, seed):
+        from repro.workloads.random_instances import random_instance
+
+        query, database = random_instance(
+            n_variables=4, n_atoms=3, domain_size=3,
+            tuples_per_relation=6, seed=seed,
+        )
+        for candidate in suggest_pseudo_free(query, database):
+            assert query.free_variables <= candidate

@@ -1,0 +1,105 @@
+"""Unit tests for the Theorem 3.7 / Theorem 1.3 counting pipeline."""
+
+import pytest
+
+from repro.counting.brute_force import count_brute_force
+from repro.counting.structural import (
+    count_structural,
+    count_with_decomposition,
+    exact_bag_relations,
+)
+from repro.db import Database
+from repro.db.generators import correlated_database
+from repro.decomposition.sharp import find_sharp_hypertree_decomposition
+from repro.exceptions import DecompositionNotFoundError
+from repro.query import parse_query
+from repro.workloads import (
+    q0,
+    q1_cycle,
+    qn1_chain,
+    qn2_biclique,
+    random_instance,
+    workforce_database,
+)
+
+
+class TestExactBagRelations:
+    def test_bags_are_exact_projections(self):
+        """After the full reducer, each bag relation equals the projection
+        of the core's solutions — the tp-covered property."""
+        query = q0()
+        database = workforce_database(seed=7)
+        decomposition = find_sharp_hypertree_decomposition(query, 2)
+        reduced, tree = exact_bag_relations(decomposition, database)
+        from repro.counting.brute_force import full_join
+
+        core_solutions = full_join(decomposition.core, database)
+        for bag, relation in zip(tree.bags, reduced):
+            assert relation == core_solutions.project(bag)
+
+
+class TestStructuralCounting:
+    def test_q0_matches_brute_force(self):
+        query = q0()
+        for seed in (0, 1, 2):
+            database = workforce_database(seed=seed)
+            assert count_structural(query, database) == \
+                count_brute_force(query, database)
+
+    def test_q1_cycle_matches_brute_force(self):
+        query = q1_cycle()
+        for seed in range(4):
+            database = correlated_database(query, 6, 20, seed=seed)
+            assert count_structural(query, database) == \
+                count_brute_force(query, database)
+
+    def test_qn1_uses_width_1(self):
+        query = qn1_chain(3)
+        database = correlated_database(query, 5, 18, seed=5)
+        assert count_structural(query, database, width=1) == \
+            count_brute_force(query, database)
+
+    def test_biclique_boolean_count(self):
+        query = qn2_biclique(2)
+        database = correlated_database(query, 4, 10, seed=1)
+        expected = count_brute_force(query, database)
+        assert expected in (0, 1)
+        assert count_structural(query, database, width=1) == expected
+
+    def test_empty_database_counts_zero(self):
+        query = parse_query("ans(A) :- r(A, B), s(B, C)")
+        database = Database.from_dict({"r": [(1, 2)], "s": [(9, 9)]})
+        assert count_structural(query, database) == 0
+
+    def test_raises_beyond_max_width(self):
+        from repro.workloads import q2_acyclic
+
+        with pytest.raises(DecompositionNotFoundError):
+            count_structural(q2_acyclic(3), Database.from_dict({"r": [(1,) * 4]}),
+                             max_width=2)
+
+    def test_random_instances_match_brute_force(self):
+        matched = 0
+        for seed in range(25):
+            query, database = random_instance(seed=seed)
+            try:
+                got = count_structural(query, database, max_width=2)
+            except DecompositionNotFoundError:
+                continue
+            assert got == count_brute_force(query, database), f"seed={seed}"
+            matched += 1
+        assert matched >= 10  # most random instances have small #-htw
+
+    def test_count_with_given_decomposition(self):
+        query = q0()
+        database = workforce_database(seed=3)
+        decomposition = find_sharp_hypertree_decomposition(query, 2)
+        assert count_with_decomposition(query, database, decomposition) == \
+            count_brute_force(query, database)
+
+    def test_consistency_core_path(self):
+        """The Lemma 4.3 polynomial core path gives the same counts."""
+        query = q0()
+        database = workforce_database(seed=9)
+        assert count_structural(query, database, core_width_hint=2) == \
+            count_brute_force(query, database)

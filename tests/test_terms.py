@@ -1,0 +1,58 @@
+"""Unit tests for repro.query.terms."""
+
+from repro.query.terms import (
+    Constant,
+    Variable,
+    is_constant,
+    is_variable,
+    make_variables,
+    variables,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("A") == Variable("A")
+        assert Variable("A") != Variable("B")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Variable("A"), Variable("A"), Variable("B")}) == 2
+
+    def test_ordering_by_name(self):
+        assert Variable("A") < Variable("B")
+
+    def test_str(self):
+        assert str(Variable("Xy")) == "Xy"
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant("3")
+
+    def test_variable_never_equals_constant(self):
+        assert Variable("A") != Constant("A")
+        assert Constant("A") != Variable("A")
+
+    def test_hash_distinct_from_variable(self):
+        mixed = {Variable("A"), Constant("A")}
+        assert len(mixed) == 2
+
+
+class TestHelpers:
+    def test_is_variable_is_constant(self):
+        assert is_variable(Variable("A"))
+        assert not is_variable(Constant(1))
+        assert is_constant(Constant(1))
+        assert not is_constant(Variable("A"))
+
+    def test_variables_preserves_first_occurrence_order(self):
+        a, b = Variable("A"), Variable("B")
+        assert variables((b, Constant(0), a, b)) == (b, a)
+
+    def test_variables_empty(self):
+        assert variables(()) == ()
+        assert variables((Constant(1),)) == ()
+
+    def test_make_variables(self):
+        assert make_variables("A", "B") == (Variable("A"), Variable("B"))

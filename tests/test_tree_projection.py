@@ -1,0 +1,145 @@
+"""Unit tests for the tree-projection search engine (Theorem 3.6)."""
+
+import random
+from itertools import combinations
+
+from repro.decomposition.tree_projection import (
+    candidate_bags,
+    find_min_cost_tree_projection,
+    find_tree_projection,
+    has_tree_projection,
+    tree_projection,
+)
+from repro.hypergraph.acyclicity import is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph, covers
+from repro.query.terms import Variable
+
+A, B, C, D, E = (Variable(x) for x in "ABCDE")
+
+
+def hg(*edges):
+    return Hypergraph([], [frozenset(e) for e in edges])
+
+
+class TestCandidateBags:
+    def test_subset_closure(self):
+        bags = candidate_bags(hg({A, B}), {A, B})
+        assert bags == frozenset({
+            frozenset({A}), frozenset({B}), frozenset({A, B}),
+        })
+
+    def test_restriction_to_nodes(self):
+        bags = candidate_bags(hg({A, B, C}), {A, B})
+        assert frozenset({A, B}) in bags
+        assert all(C not in bag for bag in bags)
+
+    def test_no_closure_mode(self):
+        bags = candidate_bags(hg({A, B, C}), {A, B, C}, subset_closure=False)
+        assert bags == frozenset({frozenset({A, B, C})})
+
+
+class TestTreeProjection:
+    def test_self_projection_of_acyclic(self):
+        h = hg({A, B}, {B, C})
+        assert has_tree_projection(h, h)
+
+    def test_cyclic_base_without_help(self):
+        triangle = hg({A, B}, {B, C}, {C, A})
+        assert not has_tree_projection(triangle, triangle)
+
+    def test_cyclic_base_with_covering_edge(self):
+        triangle = hg({A, B}, {B, C}, {C, A})
+        helper = hg({A, B, C})
+        tree = tree_projection(triangle, helper)
+        assert tree is not None
+        assert tree.is_valid()
+        bag_hg = Hypergraph([], tree.bags)
+        assert covers(triangle, bag_hg)
+        assert covers(bag_hg, helper)
+        assert is_acyclic(bag_hg)
+
+    def test_four_cycle_needs_two_pair_views(self):
+        square = hg({A, B}, {B, C}, {C, D}, {D, A})
+        # Views over {A,B,C} and {A,C,D} absorb the square.
+        assert has_tree_projection(square, hg({A, B, C}, {A, C, D}))
+        # A single triple cannot.
+        assert not has_tree_projection(square, hg({A, B, C}))
+
+    def test_sandwich_property_always_verified(self):
+        h1 = hg({A, B}, {B, C}, {C, D}, {D, A}, {A, C})
+        h2 = hg({A, B, C}, {A, C, D}, {B, D})
+        tree = tree_projection(h1, h2)
+        if tree is not None:
+            bag_hg = Hypergraph([], tree.bags)
+            assert covers(h1, bag_hg) and covers(bag_hg, h2)
+
+    def test_disconnected_base(self):
+        h1 = hg({A, B}, {C, D})
+        assert has_tree_projection(h1, h1)
+
+    def test_empty_edges_ignored(self):
+        h1 = Hypergraph([], [frozenset(), frozenset({A})])
+        assert has_tree_projection(h1, hg({A}))
+
+
+class TestAgainstExhaustiveSearch:
+    """Cross-check the recursive search against a brute-force enumerator on
+    tiny instances: enumerate subsets of candidate bags and test the
+    sandwich conditions directly."""
+
+    @staticmethod
+    def _exhaustive(h1: Hypergraph, h2: Hypergraph) -> bool:
+        bags = sorted(candidate_bags(h2, h1.nodes), key=sorted)
+        max_size = len([e for e in h1.edges if e]) + 1
+        for size in range(1, min(len(bags), max_size) + 1):
+            for combo in combinations(bags, size):
+                candidate = Hypergraph(h1.nodes, combo)
+                if (covers(h1, candidate) and covers(candidate, h2)
+                        and is_acyclic(candidate)):
+                    return True
+        return False
+
+    def test_random_small_instances(self):
+        rng = random.Random(7)
+        variables = [Variable(f"V{i}") for i in range(5)]
+        for trial in range(60):
+            h1_edges = [
+                frozenset(rng.sample(variables, rng.randrange(1, 4)))
+                for _ in range(rng.randrange(1, 5))
+            ]
+            h2_edges = h1_edges + [
+                frozenset(rng.sample(variables, rng.randrange(2, 5)))
+                for _ in range(rng.randrange(0, 3))
+            ]
+            h1 = Hypergraph([], h1_edges)
+            h2 = Hypergraph([], h2_edges)
+            fast = has_tree_projection(h1, h2)
+            slow = self._exhaustive(h1, h2)
+            assert fast == slow, (h1.describe(), h2.describe())
+
+
+class TestMinCostProjection:
+    def test_min_bottleneck_prefers_cheap_bags(self):
+        h1 = hg({A, B}, {B, C})
+        bags = candidate_bags(hg({A, B}, {B, C}, {A, B, C}), {A, B, C})
+        # Make the big bag expensive: forces the two-bag decomposition.
+        cost = lambda bag: 100.0 if len(bag) == 3 else float(len(bag))
+        result = find_min_cost_tree_projection(h1, bags, cost)
+        assert result is not None
+        bottleneck, tree = result
+        assert bottleneck == 2.0
+        assert all(len(bag) <= 2 for bag in tree.bags)
+
+    def test_budget_excludes_everything(self):
+        h1 = hg({A, B})
+        bags = candidate_bags(h1, {A, B})
+        result = find_min_cost_tree_projection(
+            h1, bags, lambda bag: 5.0, cost_budget=1.0
+        )
+        assert result is None
+
+    def test_decision_mode_finds_first(self):
+        h1 = hg({A, B}, {B, C}, {C, A})
+        bags = candidate_bags(hg({A, B, C}), {A, B, C})
+        tree = find_tree_projection(h1, bags)
+        assert tree is not None

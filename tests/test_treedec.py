@@ -1,0 +1,95 @@
+"""Unit tests for tree decompositions and treewidth."""
+
+import random
+
+import pytest
+
+from repro.decomposition.treedec import (
+    exact_treewidth,
+    min_fill_order,
+    tree_decomposition_from_order,
+    treewidth,
+    treewidth_upper_bound,
+    width_of_order,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.query.terms import Variable
+from repro.reductions import clique_query
+
+A, B, C, D, E = (Variable(x) for x in "ABCDE")
+
+
+def hg(*edges):
+    return Hypergraph([], [frozenset(e) for e in edges])
+
+
+def cycle(n):
+    vs = [Variable(f"V{i}") for i in range(n)]
+    return hg(*({vs[i], vs[(i + 1) % n]} for i in range(n)))
+
+
+class TestExactTreewidth:
+    def test_tree_has_treewidth_1(self):
+        assert exact_treewidth(hg({A, B}, {B, C}, {B, D})) == 1
+
+    def test_cycle_has_treewidth_2(self):
+        assert exact_treewidth(cycle(5)) == 2
+
+    def test_clique_has_treewidth_k_minus_1(self):
+        for k in (3, 4, 5):
+            q = clique_query(k)
+            assert exact_treewidth(q.hypergraph()) == k - 1
+
+    def test_empty_graph(self):
+        assert exact_treewidth(hg()) == 0
+
+    def test_isolated_vertices(self):
+        h = Hypergraph([A, B], [])
+        assert exact_treewidth(h) == 0
+
+    def test_big_graph_refused(self):
+        vs = [Variable(f"V{i}") for i in range(25)]
+        h = hg(*({vs[i], vs[i + 1]} for i in range(24)))
+        with pytest.raises(ValueError):
+            exact_treewidth(h)
+        assert treewidth(h) >= 1  # falls back to the heuristic
+
+
+class TestHeuristic:
+    def test_upper_bound_never_below_exact(self):
+        rng = random.Random(11)
+        variables = [Variable(f"V{i}") for i in range(8)]
+        for _ in range(40):
+            edges = [
+                frozenset(rng.sample(variables, 2))
+                for _ in range(rng.randrange(1, 12))
+            ]
+            h = Hypergraph([], edges)
+            assert treewidth_upper_bound(h) >= exact_treewidth(h)
+
+    def test_min_fill_order_touches_every_vertex(self):
+        h = cycle(6)
+        order = min_fill_order(h)
+        assert len(order) == 6
+        assert set(order) == set(h.nodes)
+
+    def test_width_of_order(self):
+        h = cycle(4)
+        assert width_of_order(h, min_fill_order(h)) == 2
+
+
+class TestTreeDecomposition:
+    def test_valid_decomposition_from_order(self):
+        h = cycle(5)
+        order = min_fill_order(h)
+        tree = tree_decomposition_from_order(h, order)
+        assert tree.is_valid()
+        # every edge of the primal graph is inside a bag
+        for edge in h.edges:
+            assert any(edge <= bag for bag in tree.bags)
+
+    def test_bag_sizes_match_width(self):
+        h = cycle(4)
+        order = min_fill_order(h)
+        tree = tree_decomposition_from_order(h, order)
+        assert max(len(bag) for bag in tree.bags) - 1 == width_of_order(h, order)

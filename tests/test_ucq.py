@@ -1,0 +1,212 @@
+"""Tests for the union-of-CQ machinery (:mod:`repro.ucq`)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counting.brute_force import count_brute_force
+from repro.db import Database
+from repro.exceptions import QueryError
+from repro.query import parse_query
+from repro.query.terms import Variable
+from repro.ucq import (
+    UnionQuery,
+    conjoin,
+    conjoin_all,
+    count_union,
+    count_union_brute_force,
+    disjunct_is_subsumed,
+    parse_ucq,
+    prune_subsumed_disjuncts,
+    rename_existentials_apart,
+)
+from repro.workloads.random_instances import random_instance
+
+
+class TestUnionQuery:
+    def test_parse_two_disjuncts(self):
+        union = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A)")
+        assert len(union) == 2
+        assert {v.name for v in union.free_variables} == {"A"}
+
+    def test_single_disjunct(self):
+        union = parse_ucq("ans(A, B) :- r(A, B)")
+        assert len(union) == 1
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(QueryError):
+            parse_ucq("  ;  ")
+
+    def test_mismatched_schemas_rejected(self):
+        with pytest.raises(QueryError):
+            parse_ucq("ans(A) :- r(A, B) ; ans(B) :- r(A, B)")
+
+    def test_equality_ignores_order(self):
+        u1 = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A)")
+        u2 = parse_ucq("ans(A) :- s(A) ; ans(A) :- r(A, B)")
+        assert u1 == u2
+        assert hash(u1) == hash(u2)
+
+    def test_relation_symbols_union(self):
+        union = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A)")
+        assert union.relation_symbols() == {"r", "s"}
+
+    def test_iteration_preserves_order(self):
+        union = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A)")
+        assert [q.atoms_sorted()[0].relation for q in union] == ["r", "s"]
+
+
+class TestRenameApart:
+    def test_existentials_renamed(self):
+        query = parse_query("ans(A) :- r(A, B), s(B, C)")
+        renamed = rename_existentials_apart(query, "_x")
+        names = {v.name for v in renamed.variables}
+        assert names == {"A", "B_x", "C_x"}
+        assert renamed.free_variables == query.free_variables
+
+    def test_quantifier_free_unchanged(self):
+        query = parse_query("ans(A, B) :- r(A, B)")
+        assert rename_existentials_apart(query, "_x") is query
+
+    def test_collision_rejected(self):
+        query = parse_query("ans(A) :- r(A, B), s(B, B_x)")
+        with pytest.raises(QueryError):
+            rename_existentials_apart(query, "_x")
+
+
+class TestConjoin:
+    def test_atoms_union_with_disjoint_existentials(self):
+        q1 = parse_query("ans(A) :- r(A, B)")
+        q2 = parse_query("ans(A) :- s(A, B)")
+        merged = conjoin(q1, q2)
+        assert len(merged.atoms) == 2
+        existentials = {v.name for v in merged.existential_variables}
+        assert existentials == {"B_c0", "B_c1"}
+
+    def test_conjoin_counts_intersection(self):
+        q1 = parse_query("ans(A) :- r(A, B)")
+        q2 = parse_query("ans(A) :- s(A, C)")
+        database = Database.from_dict({
+            "r": [(1, 2), (2, 3), (5, 5)],
+            "s": [(2, 9), (4, 9)],
+        })
+        merged = conjoin(q1, q2)
+        # r-answers {1, 2, 5}; s-answers {2, 4}; intersection {2}.
+        assert count_brute_force(merged, database) == 1
+
+    def test_mismatched_schemas_rejected(self):
+        q1 = parse_query("ans(A) :- r(A, B)")
+        q2 = parse_query("ans(B) :- s(A, B)")
+        with pytest.raises(QueryError):
+            conjoin(q1, q2)
+
+    def test_conjoin_all_requires_input(self):
+        with pytest.raises(QueryError):
+            conjoin_all([])
+
+    def test_self_conjunction_is_idempotent_on_answers(self):
+        q = parse_query("ans(A) :- r(A, B)")
+        database = Database.from_dict({"r": [(1, 2), (3, 4)]})
+        merged = conjoin(q, q)
+        assert count_brute_force(merged, database) == \
+            count_brute_force(q, database)
+
+
+class TestSubsumption:
+    def test_specialization_is_subsumed(self):
+        specific = parse_query("ans(A) :- r(A, B), s(A, B)")
+        general = parse_query("ans(A) :- r(A, C)")
+        assert disjunct_is_subsumed(specific, general)
+        assert not disjunct_is_subsumed(general, specific)
+
+    def test_different_schemas_never_subsume(self):
+        q1 = parse_query("ans(A) :- r(A, B)")
+        q2 = parse_query("ans(A, B) :- r(A, B)")
+        assert not disjunct_is_subsumed(q1, q2)
+
+    def test_equivalent_disjuncts_keep_one(self):
+        union = parse_ucq(
+            "ans(A) :- r(A, B) ; ans(A) :- r(A, C)"
+        )
+        assert len(prune_subsumed_disjuncts(union)) == 1
+
+    def test_incomparable_disjuncts_survive(self):
+        union = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A, B)")
+        assert len(prune_subsumed_disjuncts(union)) == 2
+
+    def test_later_general_disjunct_absorbs_earlier(self):
+        union = parse_ucq(
+            "ans(A) :- r(A, B), s(A, B) ; ans(A) :- r(A, C)"
+        )
+        pruned = prune_subsumed_disjuncts(union)
+        assert len(pruned) == 1
+        assert pruned.disjuncts[0].relation_symbols == {"r"}
+
+
+class TestCountUnion:
+    DATABASE = Database.from_dict({
+        "r": [(1, 2), (2, 3), (5, 5)],
+        "s": [(2, 9), (4, 9)],
+    })
+
+    def test_matches_brute_force(self):
+        union = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A, C)")
+        expected = count_union_brute_force(union, self.DATABASE)
+        assert count_union(union, self.DATABASE) == expected
+        assert expected == 4  # {1, 2, 5} union {2, 4}
+
+    def test_single_disjunct_is_plain_count(self):
+        union = parse_ucq("ans(A) :- r(A, B)")
+        assert count_union(union, self.DATABASE) == 3
+
+    def test_three_disjuncts(self):
+        union = parse_ucq(
+            "ans(A) :- r(A, B) ; ans(A) :- s(A, C) ; ans(A) :- r(B, A)"
+        )
+        expected = count_union_brute_force(union, self.DATABASE)
+        assert count_union(union, self.DATABASE) == expected
+
+    def test_custom_counter_is_used(self):
+        calls = []
+
+        def counter(query, database):
+            calls.append(query)
+            return count_brute_force(query, database)
+
+        union = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- s(A, C)")
+        result = count_union(union, self.DATABASE, counter=counter)
+        assert result == 4
+        assert len(calls) == 3  # two singletons + one pair
+
+    def test_disabling_pruning_still_correct(self):
+        union = parse_ucq(
+            "ans(A) :- r(A, B), s(A, B) ; ans(A) :- r(A, C)"
+        )
+        with_pruning = count_union(union, self.DATABASE, prune=True)
+        without = count_union(union, self.DATABASE, prune=False)
+        assert with_pruning == without
+
+    def test_overlapping_disjuncts_not_double_counted(self):
+        union = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- r(A, C)")
+        assert count_union(union, self.DATABASE) == 3
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_pairs_match_brute_force(self, seed):
+        q1, database = random_instance(
+            n_variables=4, n_atoms=3, domain_size=4,
+            tuples_per_relation=10, seed=seed,
+        )
+        free = sorted(q1.free_variables, key=lambda v: v.name)
+        if not free:
+            free = sorted(q1.variables, key=lambda v: v.name)[:1]
+            q1 = q1.with_free(free)
+        # Second disjunct: a single-atom query over one of q1's atoms,
+        # re-freed to the same schema when possible.
+        atom = q1.atoms_sorted()[0]
+        if not set(free) <= set(atom.variables):
+            return  # schema mismatch; skip this draw
+        q2 = q1.restrict_to_atoms([atom]).with_free(free)
+        union = UnionQuery((q1, q2))
+        assert count_union(union, database, prune=False) == \
+            count_union_brute_force(union, database)

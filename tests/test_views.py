@@ -1,0 +1,101 @@
+"""Unit tests for view sets and their databases (Sections 3, 4)."""
+
+import pytest
+
+from repro.consistency.views import (
+    View,
+    ViewSet,
+    check_legal,
+    hypertree_view_set,
+    standard_view_extension,
+    view_instance,
+)
+from repro.counting.brute_force import full_join
+from repro.db import Database
+from repro.exceptions import IllegalDatabaseError
+from repro.query import Variable, parse_query
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+@pytest.fixture
+def query():
+    return parse_query("ans(A) :- r(A, B), s(B, C), t(C, A)")
+
+
+@pytest.fixture
+def database():
+    return Database.from_dict({
+        "r": [(1, 2), (1, 3), (4, 2)],
+        "s": [(2, 5), (3, 6)],
+        "t": [(5, 1), (6, 4)],
+    })
+
+
+class TestViewSet:
+    def test_vk_counts(self, query):
+        v1 = hypertree_view_set(query, 1)
+        assert len(v1) == 3  # query views only
+        v2 = hypertree_view_set(query, 2)
+        assert len(v2) == 3 + 3  # plus all pairs
+
+    def test_query_views_flagged(self, query):
+        views = hypertree_view_set(query, 2)
+        assert len(views.query_views()) == 3
+        for view in views.query_views():
+            assert len(view.source_atoms) == 1
+
+    def test_duplicate_names_rejected(self):
+        v = View("w", frozenset({A}), ())
+        with pytest.raises(ValueError):
+            ViewSet([v, v])
+
+    def test_view_hypergraph(self, query):
+        views = hypertree_view_set(query, 2)
+        hypergraph = views.hypergraph()
+        assert frozenset({A, B, C}) in hypergraph.edges  # a pair union
+
+    def test_views_covering(self, query):
+        views = hypertree_view_set(query, 2)
+        covering = views.views_covering({A, B, C})
+        assert covering
+        assert all(frozenset({A, B, C}) <= v.variables for v in covering)
+
+
+class TestViewInstances:
+    def test_query_view_instance_equals_matched_relation(self, query, database):
+        views = hypertree_view_set(query, 2)
+        for view in views.query_views():
+            instance = view_instance(view, database)
+            assert instance.variable_set() == view.variables
+
+    def test_pair_view_is_join(self, query, database):
+        views = hypertree_view_set(query, 2)
+        pair = next(v for v in views if len(v.source_atoms) == 2)
+        instance = view_instance(pair, database)
+        left = view_instance(
+            View("l", pair.source_atoms[0].variable_set,
+                 (pair.source_atoms[0],)), database)
+        right = view_instance(
+            View("r", pair.source_atoms[1].variable_set,
+                 (pair.source_atoms[1],)), database)
+        assert instance == left.join(right)
+
+    def test_standard_extension_is_legal(self, query, database):
+        views = hypertree_view_set(query, 2)
+        view_db = standard_view_extension(views, database)
+        answers = full_join(query, database)
+        check_legal(query, views, view_db, answers)  # should not raise
+
+    def test_check_legal_detects_missing_tuples(self, query, database):
+        views = hypertree_view_set(query, 1)
+        view_db = standard_view_extension(views, database)
+        answers = full_join(query, database)
+        # Empty one view: now it misses answer projections.
+        name = views.query_views()[0].name
+        from repro.db.algebra import SubstitutionSet
+
+        view_db[name] = SubstitutionSet.empty(view_db[name].schema)
+        if answers:
+            with pytest.raises(IllegalDatabaseError):
+                check_legal(query, views, view_db, answers)

@@ -1,0 +1,82 @@
+"""Unit tests for counting over explicit view databases (general Thm. 3.7)."""
+
+import pytest
+
+from repro.consistency.views import standard_view_extension
+from repro.counting.brute_force import count_brute_force
+from repro.counting.views_counting import count_with_view_database
+from repro.db.algebra import SubstitutionSet
+from repro.decomposition.sharp import find_sharp_hypertree_decomposition
+from repro.exceptions import IllegalDatabaseError
+from repro.query import parse_query
+from repro.workloads import q0, random_instance, workforce_database
+
+
+class TestViewDatabaseCounting:
+    def test_matches_standard_extension_on_q0(self):
+        query = q0()
+        database = workforce_database(seed=33)
+        decomposition = find_sharp_hypertree_decomposition(query, 2)
+        view_db = standard_view_extension(decomposition.views, database)
+        got = count_with_view_database(query, decomposition, view_db,
+                                       validate=True)
+        assert got == count_brute_force(query, database)
+
+    def test_inflated_views_still_exact(self):
+        """Legality allows views to be *supersets*: pairwise consistency
+        must squeeze them back to the certain tuples."""
+        query = parse_query("ans(A) :- r(A, B), s(B, C)")
+        from repro.db import Database
+
+        database = Database.from_dict({
+            "r": [(1, 2), (1, 3), (4, 2)],
+            "s": [(2, 5), (3, 6)],
+        })
+        decomposition = find_sharp_hypertree_decomposition(query, 2)
+        view_db = standard_view_extension(decomposition.views, database)
+        # Inflate every non-query view with junk rows over its schema.
+        inflated = {}
+        for name, instance in view_db.items():
+            if name.startswith("qv"):
+                inflated[name] = instance
+                continue
+            junk = {tuple(99 + i for i, _v in enumerate(instance.schema))}
+            inflated[name] = SubstitutionSet(
+                instance.schema, set(instance.rows) | junk, _presorted=True
+            )
+        got = count_with_view_database(query, decomposition, inflated)
+        assert got == count_brute_force(query, database)
+
+    def test_missing_view_rejected(self):
+        query = q0()
+        database = workforce_database(seed=1)
+        decomposition = find_sharp_hypertree_decomposition(query, 2)
+        view_db = standard_view_extension(decomposition.views, database)
+        name = decomposition.bag_views[0]
+        del view_db[name]
+        with pytest.raises(IllegalDatabaseError):
+            count_with_view_database(query, decomposition, view_db)
+
+    def test_base_enforcement_optional(self):
+        query = q0()
+        database = workforce_database(seed=2)
+        decomposition = find_sharp_hypertree_decomposition(query, 2)
+        view_db = standard_view_extension(decomposition.views, database)
+        with_base = count_with_view_database(
+            query, decomposition, view_db, base=database
+        )
+        without_base = count_with_view_database(query, decomposition, view_db)
+        assert with_base == without_base == count_brute_force(query, database)
+
+    def test_random_instances(self):
+        checked = 0
+        for seed in range(10):
+            query, database = random_instance(seed=seed + 700)
+            decomposition = find_sharp_hypertree_decomposition(query, 2)
+            if decomposition is None:
+                continue
+            view_db = standard_view_extension(decomposition.views, database)
+            got = count_with_view_database(query, decomposition, view_db)
+            assert got == count_brute_force(query, database), seed + 700
+            checked += 1
+        assert checked >= 5

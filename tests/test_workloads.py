@@ -1,0 +1,112 @@
+"""Unit tests for the paper workloads and random instance generators."""
+
+from repro.counting.brute_force import count_brute_force
+from repro.hypergraph import is_acyclic
+from repro.query import Variable
+from repro.workloads import (
+    all_paper_queries,
+    d2_bar_database,
+    d2_database,
+    q0,
+    q1_cycle,
+    q2_acyclic,
+    q2_bar,
+    qn1_chain,
+    qn2_biclique,
+    random_acyclic_query,
+    random_instance,
+    random_query,
+    workforce_database,
+)
+
+
+class TestPaperQueries:
+    def test_q0_shape(self):
+        q = q0()
+        assert len(q.atoms) == 9
+        assert len(q.free_variables) == 3
+        assert len(q.variables) == 9
+        assert not q.is_simple()  # st and rr repeat
+
+    def test_q1_shape(self):
+        q = q1_cycle()
+        assert len(q.atoms) == 4
+        assert q.free_variables == frozenset({Variable("A"), Variable("C")})
+        assert not is_acyclic(q.hypergraph())
+
+    def test_q2_acyclic_is_acyclic(self):
+        for h in (1, 2, 4):
+            q = q2_acyclic(h)
+            assert is_acyclic(q.hypergraph())
+            assert len(q.free_variables) == h + 1
+
+    def test_q2_bar_is_cyclic(self):
+        assert not is_acyclic(q2_bar(2).hypergraph())
+
+    def test_qn1_all_atoms_same_symbol(self):
+        q = qn1_chain(3)
+        assert q.relation_symbols == frozenset({"r"})
+        assert len(q.atoms) == 3 * 3 - 2
+
+    def test_qn2_boolean(self):
+        q = qn2_biclique(2)
+        assert q.free_variables == frozenset()
+        assert len(q.atoms) == 4
+
+    def test_all_paper_queries_construct(self):
+        assert len(all_paper_queries()) == 6
+
+    def test_invalid_parameters_rejected(self):
+        import pytest
+
+        for factory in (q2_acyclic, q2_bar, qn1_chain, qn2_biclique):
+            with pytest.raises(ValueError):
+                factory(0)
+
+
+class TestPaperDatabases:
+    def test_d2_has_m_answers(self):
+        for h in (1, 2, 3):
+            assert count_brute_force(q2_acyclic(h), d2_database(h)) == 2 ** h
+
+    def test_d2_bar_has_m_answers(self):
+        for h in (1, 2):
+            assert count_brute_force(q2_bar(h), d2_bar_database(h)) == 2 ** h
+
+    def test_d2_bar_z_extensions(self):
+        """Every answer extends to Z in m_z ways (the degree blocker)."""
+        db = d2_bar_database(2, m_z=3)
+        assert len(db["rbar"]) == 4 * 3
+
+    def test_workforce_satisfiable(self):
+        db = workforce_database(seed=0)
+        assert count_brute_force(q0(), db) > 0
+
+    def test_workforce_deterministic(self):
+        assert workforce_database(seed=5) == workforce_database(seed=5)
+
+
+class TestRandomGenerators:
+    def test_random_query_connected_and_valid(self):
+        for seed in range(10):
+            q = random_query(6, 5, seed=seed)
+            assert len(q.atoms) == 5
+            from repro.hypergraph.components import components
+
+            assert len(components(q.hypergraph(), ())) == 1
+
+    def test_random_acyclic_query_is_acyclic(self):
+        for seed in range(15):
+            q = random_acyclic_query(5, seed=seed)
+            assert is_acyclic(q.hypergraph()), q
+
+    def test_random_instance_usually_satisfiable(self):
+        satisfiable = sum(
+            1 for seed in range(10)
+            if count_brute_force(*random_instance(seed=seed)) > 0
+        )
+        assert satisfiable >= 7
+
+    def test_symbol_sharing_forced(self):
+        q = random_query(6, 6, n_symbols=2, seed=0)
+        assert len(q.relation_symbols) <= 2
