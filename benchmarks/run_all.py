@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Benchmark driver: run the suite and emit a ``BENCH_kernel.json`` snapshot.
+
+Two layers of measurement:
+
+* **micro** — direct timings of the relational kernel's hot operations
+  (hash join, semijoin, full reducer, structural counting, Inside-Out,
+  uniform sampling) on fixed workloads, so kernel regressions show up as
+  numbers, not vibes;
+* **files** — wall-clock of each ``benchmarks/bench_*.py`` module run
+  through pytest (``--benchmark-disable``: one pass per test, no
+  calibration loops), so the paper-artifact suite stays runnable end to
+  end.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full snapshot
+    PYTHONPATH=src python benchmarks/run_all.py --fast     # kernel files only
+    PYTHONPATH=src python benchmarks/run_all.py -o out.json
+
+The snapshot lands in ``BENCH_kernel.json`` at the repository root by
+default; successive snapshots give the performance trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+#: The join-heavy benchmarks the indexed kernel is accountable for.
+KERNEL_FILES = ("bench_faq_insideout.py", "bench_fig04_views.py")
+
+
+def _time(fn, repeat: int = 3) -> float:
+    """Best-of-*repeat* wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def micro_benchmarks() -> dict:
+    """Direct timings of the kernel's hot operations."""
+    from repro.counting import count_brute_force, count_structural
+    from repro.counting.engine import count_answers
+    from repro.faq import count_insideout
+    from repro.approx import AnswerSampler
+    from repro.workloads.graph_patterns import gnp_graph, path_query
+
+    query = path_query(3)
+    graph = gnp_graph(60, 0.15, seed=5)
+    results = {
+        "workload": "path_query(3) on gnp_graph(60, 0.15, seed=5)",
+        "insideout_seconds": _time(lambda: count_insideout(query, graph)),
+        "structural_seconds": _time(lambda: count_structural(query, graph)),
+        "brute_force_seconds": _time(
+            lambda: count_brute_force(query, graph)
+        ),
+        "engine_auto_seconds": _time(
+            lambda: count_answers(query, graph).count
+        ),
+        "sampler_build_and_1000_draws_seconds": _time(
+            lambda: AnswerSampler.for_query(query, graph).sample_many(1000)
+        ),
+    }
+    return results
+
+
+def run_benchmark_files(names) -> dict:
+    """One pytest pass over one or more benchmark modules."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    started = time.perf_counter()
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest",
+         *(str(BENCH_DIR / name) for name in names),
+         "-q", "--benchmark-disable", "-p", "no:cacheprovider"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": round(elapsed, 3),
+        "exit_code": completed.returncode,
+        "tail": completed.stdout.strip().splitlines()[-1:],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output",
+                        default=str(REPO_ROOT / "BENCH_kernel.json"))
+    parser.add_argument("--fast", action="store_true",
+                        help="only the kernel-accountable benchmark files")
+    args = parser.parse_args(argv)
+
+    # --fast: only the combined kernel-pair run (below) — no per-file loop,
+    # so the CI smoke pays for the pair once, not twice.
+    files = [] if args.fast else sorted(
+        path.name for path in BENCH_DIR.glob("bench_*.py")
+    )
+    snapshot = {
+        "generated_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "micro": micro_benchmarks(),
+        "files": {},
+    }
+    failures = 0
+    for name in files:
+        print(f"[bench] {name} ...", flush=True)
+        outcome = run_benchmark_files([name])
+        snapshot["files"][name] = outcome
+        if outcome["exit_code"] != 0:
+            failures += 1
+            print(f"[bench]   FAILED ({outcome['tail']})", flush=True)
+        else:
+            print(f"[bench]   {outcome['seconds']}s", flush=True)
+    # The kernel-accountable pair is timed in a single pytest invocation
+    # (one interpreter startup), matching how the seed baseline was taken.
+    print(f"[bench] kernel pair {KERNEL_FILES} (combined) ...", flush=True)
+    pair = run_benchmark_files(KERNEL_FILES)
+    if pair["exit_code"] != 0:
+        failures += 1
+        print(f"[bench]   FAILED ({pair['tail']})", flush=True)
+    snapshot["kernel_pair_seconds"] = pair["seconds"]
+
+    output = pathlib.Path(args.output)
+    previous = None
+    if output.exists():
+        try:
+            previous = json.loads(output.read_text())
+        except (json.JSONDecodeError, OSError):
+            previous = None
+    if previous is not None and "seed_baseline" in previous:
+        snapshot["seed_baseline"] = previous["seed_baseline"]
+    output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"[bench] snapshot -> {output}")
+    baseline = snapshot.get("seed_baseline", {}).get("kernel_pair_seconds")
+    if baseline:
+        speedup = baseline / max(snapshot["kernel_pair_seconds"], 1e-9)
+        print(f"[bench] kernel pair: {snapshot['kernel_pair_seconds']}s "
+              f"vs seed {baseline}s -> {speedup:.1f}x")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

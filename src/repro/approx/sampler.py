@@ -58,6 +58,11 @@ class AnswerSampler:
         self._children: Dict[int, List[int]] = {}
         self._roots: List[int] = []
         self._root_totals: Dict[int, int] = {}
+        # Per (parent, child) edge: {shared_key: (weighted_rows, total)} so
+        # the top-down pass is a hash lookup, not a scan of the child bag.
+        self._edge_index: Dict[
+            Tuple[int, int], Dict[Row, Tuple[List[Tuple[Row, int]], int]]
+        ] = {}
         self._run_bottom_up()
 
     # ------------------------------------------------------------------
@@ -95,10 +100,17 @@ class AnswerSampler:
             for child in children:
                 shared = self._shared(vertex, child)
                 child_positions = self._bags[child]._positions(shared)
-                aggregate: Dict[Row, int] = {}
+                grouped: Dict[Row, Tuple[List[Tuple[Row, int]], int]] = {}
                 for row, count in self._counts[child].items():
                     key = tuple(row[i] for i in child_positions)
-                    aggregate[key] = aggregate.get(key, 0) + count
+                    entry = grouped.get(key)
+                    if entry is None:
+                        grouped[key] = ([(row, count)], count)
+                    else:
+                        entry[0].append((row, count))
+                        grouped[key] = (entry[0], entry[1] + count)
+                self._edge_index[(vertex, child)] = grouped
+                aggregate = {key: total for key, (_, total) in grouped.items()}
                 child_aggregates.append(
                     (relation._positions(shared), aggregate)
                 )
@@ -159,13 +171,7 @@ class AnswerSampler:
             shared = self._shared(vertex, child)
             my_positions = relation._positions(shared)
             key = tuple(row[i] for i in my_positions)
-            child_positions = self._bags[child]._positions(shared)
-            matching = [
-                (child_row, count)
-                for child_row, count in self._counts[child].items()
-                if tuple(child_row[i] for i in child_positions) == key
-            ]
-            total = sum(count for _, count in matching)
+            matching, total = self._edge_index[(vertex, child)][key]
             child_row = self._weighted_choice(matching, total)
             self._descend(child, child_row, answer)
 

@@ -28,7 +28,7 @@ import json
 import sys
 from typing import List, Optional
 
-from .counting.engine import count_answers
+from .counting.engine import count_answers, registered_strategies
 from .counting.starsize import quantified_star_size
 from .db.database import Database
 from .db.relation import Relation
@@ -68,10 +68,17 @@ def _cmd_count(args: argparse.Namespace) -> int:
         query, database,
         method=args.method, max_width=args.max_width,
     )
+    if args.explain:
+        print(result.explain())
+        return 0
     print(f"count    : {result.count}")
     print(f"strategy : {result.strategy}")
-    if result.details:
-        print(f"details  : {result.details}")
+    plain = {
+        key: value for key, value in result.details.items()
+        if key not in ("decision_trail", "actual_seconds", "estimated_cost")
+    }
+    if plain:
+        print(f"details  : {plain}")
     return 0
 
 
@@ -189,9 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("query", help='e.g. "ans(A) :- r(A, B)"')
     count.add_argument("database", help="path to a JSON database file")
     count.add_argument("--method", default="auto",
-                       choices=["auto", "acyclic", "structural", "hybrid",
-                                "degree", "brute_force"])
+                       choices=["auto", *registered_strategies()])
     count.add_argument("--max-width", type=int, default=3)
+    count.add_argument("--explain", action="store_true",
+                       help="dump the engine's cost-ranked decision trail")
     count.set_defaults(func=_cmd_count)
 
     analyze = sub.add_parser("analyze",

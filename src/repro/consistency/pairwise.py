@@ -48,7 +48,7 @@ def pairwise_consistency(relations: Dict[str, SubstitutionSet]
         mine = current[name]
         for other_name in sharers[name]:
             reduced = current[other_name].semijoin(mine)
-            if len(reduced) != len(current[other_name]):
+            if reduced is not current[other_name]:
                 current[other_name] = reduced
                 if other_name not in worklist:
                     worklist.append(other_name)
@@ -85,11 +85,16 @@ def full_reducer(bags: Sequence[SubstitutionSet], tree: JoinTree
         raise ValueError("bag count does not match join tree size")
     reduced = list(bags)
     order = tree.rooted_orders()
-    # Bottom-up: parents absorb children's reductions.
-    for vertex, parent, _children in order:
-        if parent is not None:
-            reduced[parent] = reduced[parent].semijoin(reduced[vertex])
-    # Top-down: children absorb parents' reductions (reverse order).
+    # Bottom-up: each vertex absorbs all of its children in one scan
+    # (children precede their parent in the order, so they are final).
+    for vertex, _parent, children in order:
+        if children:
+            reduced[vertex] = reduced[vertex].semijoin_all(
+                [reduced[child] for child in children]
+            )
+    # Top-down: children absorb parents' reductions (reverse order).  The
+    # parent instance is final here, so its cached key sets are shared by
+    # every child edge probing the same variable subset.
     for vertex, parent, _children in reversed(order):
         if parent is not None:
             reduced[vertex] = reduced[vertex].semijoin(reduced[parent])

@@ -119,12 +119,17 @@ def hypertree_view_set(query: ConjunctiveQuery, width: int) -> ViewSet:
 
 
 def view_instance(view: View, database: Database) -> SubstitutionSet:
-    """Evaluate a view's defining join over *database*."""
-    parts = [
+    """Evaluate a view's defining join over *database*.
+
+    Callers that only need a projection of a view (a bag relation from a
+    wide view) should not materialize the instance at all — see how
+    :func:`repro.counting.structural.exact_bag_relations` routes through
+    :func:`~repro.db.algebra.join_project` instead.
+    """
+    return join_all(
         SubstitutionSet.from_atom(atom, database[atom.relation])
         for atom in view.source_atoms
-    ]
-    return join_all(parts)
+    )
 
 
 def standard_view_extension(views: ViewSet, database: Database

@@ -2,7 +2,16 @@
 
 from .acyclic import bags_for_acyclic_query, count_acyclic, count_join_tree
 from .brute_force import answers, count_brute_force, full_join
-from .engine import STRATEGIES, CountResult, count_answers
+from .engine import (
+    STRATEGIES,
+    CountResult,
+    Strategy,
+    StrategyContext,
+    count_answers,
+    register_strategy,
+    registered_strategies,
+    unregister_strategy,
+)
 from .enumeration import enumerate_answers, iter_answers
 from .explain import Explanation, explain, render_join_tree
 from .semiring import (
@@ -56,7 +65,12 @@ __all__ = [
     "full_join",
     "STRATEGIES",
     "CountResult",
+    "Strategy",
+    "StrategyContext",
     "count_answers",
+    "register_strategy",
+    "registered_strategies",
+    "unregister_strategy",
     "count_hybrid",
     "count_with_hybrid_decomposition",
     "count_sharp_relations",

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from ..consistency.pairwise import full_reducer
-from ..db.algebra import SubstitutionSet
+from ..db.algebra import SubstitutionSet, _row_getter
 from ..db.database import Database
 from ..exceptions import NotAcyclicError
 from ..hypergraph.acyclicity import JoinTree, require_join_tree
@@ -46,29 +46,32 @@ def count_join_tree(bags: Sequence[SubstitutionSet], tree: JoinTree) -> int:
     root_totals: Dict[int, int] = {}
     for vertex, parent, children in order:  # children precede their parent
         relation = reduced[vertex]
-        child_aggregates: List[Tuple[Tuple[int, ...], Dict[tuple, int]]] = []
+        child_aggregates: List[Tuple[object, Dict[tuple, int]]] = []
         for child in children:
             shared = tuple(
                 v for v in relation.schema
                 if v in set(reduced[child].schema)
             )
-            child_positions = reduced[child]._positions(shared)
+            child_key = _row_getter(reduced[child]._positions(shared))
             aggregate: Dict[tuple, int] = {}
             for row, count in counts[child].items():
-                key = tuple(row[i] for i in child_positions)
+                key = child_key(row)
                 aggregate[key] = aggregate.get(key, 0) + count
-            my_positions = relation._positions(shared)
-            child_aggregates.append((my_positions, aggregate))
+            my_key = _row_getter(relation._positions(shared))
+            child_aggregates.append((my_key, aggregate))
         vertex_counts = counts[vertex]
-        for row in relation.rows:
-            total = 1
-            for my_positions, aggregate in child_aggregates:
-                key = tuple(row[i] for i in my_positions)
-                total *= aggregate.get(key, 0)
-                if total == 0:
-                    break
-            if total:
-                vertex_counts[row] = total
+        if child_aggregates:
+            for row in relation.rows:
+                total = 1
+                for my_key, aggregate in child_aggregates:
+                    total *= aggregate.get(my_key(row), 0)
+                    if total == 0:
+                        break
+                if total:
+                    vertex_counts[row] = total
+        else:
+            for row in relation.rows:
+                vertex_counts[row] = 1
         if parent is None:
             root_totals[vertex] = sum(vertex_counts.values())
     answer = 1

@@ -9,7 +9,7 @@ suite and as the baseline in the benchmarks.
 
 from __future__ import annotations
 
-from ..db.algebra import SubstitutionSet
+from ..db.algebra import SubstitutionSet, join_all
 from ..db.database import Database
 from ..query.query import ConjunctiveQuery
 
@@ -17,25 +17,14 @@ from ..query.query import ConjunctiveQuery
 def full_join(query: ConjunctiveQuery, database: Database) -> SubstitutionSet:
     """``Q(D)``: all satisfying substitutions over ``vars(Q)``.
 
-    Atoms are joined smallest-relation-first with greedy connectivity (each
-    step prefers an atom sharing variables with what has been joined so far)
-    to keep intermediate results from degenerating into cross products.
+    Atoms are joined smallest-relation-first with greedy connectivity (the
+    shared :func:`~repro.db.algebra.join_all` ordering) to keep
+    intermediate results from degenerating into cross products.
     """
-    pending = [
+    return join_all(
         SubstitutionSet.from_atom(atom, database[atom.relation])
         for atom in query.atoms_sorted()
-    ]
-    pending.sort(key=len)
-    result = pending.pop(0)
-    while pending:
-        bound = result.variable_set()
-        index = next(
-            (i for i, part in enumerate(pending)
-             if part.variable_set() & bound),
-            0,
-        )
-        result = result.join(pending.pop(index))
-    return result
+    )
 
 
 def answers(query: ConjunctiveQuery, database: Database) -> SubstitutionSet:

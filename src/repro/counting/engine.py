@@ -1,27 +1,43 @@
-"""The top-level counting engine.
+"""The top-level counting engine: a pluggable, cost-ranked strategy registry.
 
-``count_answers`` picks, in order of preference, the cheapest applicable
-algorithm from the paper:
+Counting strategies live in a registry (:func:`register_strategy`); each one
+bundles
 
-1. *acyclic* — quantifier-free and alpha-acyclic: the join-tree DP;
-2. *structural* — a #-hypertree decomposition of width ``<= max_width``
-   exists (Theorem 1.3): the Theorem 3.7 algorithm;
-3. *hybrid* — a #b-GHD exists within the width/degree budget (Section 6):
-   the Theorem 6.6 algorithm;
-4. *degree* — a plain GHD exists: the Figure 13 algorithm, exponential in
-   the measured degree bound only (Theorem 6.2);
-5. *brute-force* — the exact fallback.
+* an **applicability** probe — finds a witness (a decomposition, a join
+  tree, or just ``True``) or reports the strategy inapplicable;
+* a **cost estimate** — a statistics-only, order-of-magnitude figure
+  computed from relation cardinalities *before* any search runs;
+* a **runner** — executes the strategy given its witness.
 
-The returned :class:`CountResult` records which strategy ran, the exact
-count, and the structural diagnostics gathered along the way, so examples
-and benchmarks can display the decision trail.
+``count_answers(method="auto")`` ranks the registered strategies by their
+estimated cost (preference order breaks ties), probes applicability in that
+order, and runs the first applicable strategy.  Decomposition searches are
+memoized per (query, width), so re-probing and repeated counting calls pay
+for each search once.  The full decision trail — every candidate, its
+estimate, whether it was probed, and the winner's estimated vs. actual
+cost — is recorded in :attr:`CountResult.details` and rendered by
+:meth:`CountResult.explain` and the CLI's ``count --explain``.
+
+The built-in strategies are the paper's algorithms:
+
+* *acyclic* — quantifier-free and alpha-acyclic: the join-tree DP;
+* *structural* — a #-hypertree decomposition of width ``<= max_width``
+  exists (Theorem 1.3): the Theorem 3.7 algorithm;
+* *hybrid* — a #b-GHD exists within the width/degree budget (Section 6):
+  the Theorem 6.6 algorithm;
+* *degree* — a plain GHD exists: the Figure 13 algorithm, exponential in
+  the measured degree bound only (Theorem 6.2);
+* *brute-force* — the exact fallback (cheapest on tiny databases, which
+  the cost ranking notices by itself).
 """
 
 from __future__ import annotations
 
 import math
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..db.database import Database
 from ..decomposition.ghd import find_ghd_join_tree
@@ -37,10 +53,307 @@ from .hybrid import count_with_hybrid_decomposition
 from .sharp_relations import count_via_hypertree
 from .structural import count_with_decomposition
 
-#: Strategy names in preference order.
+#: Built-in strategy names in preference (tie-break) order.
 STRATEGIES = ("acyclic", "structural", "hybrid", "degree", "brute_force")
 
 
+# ----------------------------------------------------------------------
+# Strategy context: one counting request plus its database statistics
+# ----------------------------------------------------------------------
+@dataclass
+class StrategyContext:
+    """Everything a strategy needs to probe, estimate, and run."""
+
+    query: ConjunctiveQuery
+    database: Database
+    max_width: int = 3
+    max_degree: float = math.inf
+    hybrid_width: int = 2
+
+    def __post_init__(self) -> None:
+        self.atom_cardinalities: Tuple[int, ...] = tuple(
+            len(self.database[atom.relation])
+            for atom in self.query.atoms_sorted()
+        )
+
+    @property
+    def total_rows(self) -> int:
+        """``N``: summed cardinality of the matched relations."""
+        return sum(self.atom_cardinalities)
+
+    @property
+    def max_rows(self) -> int:
+        """``m``: the largest matched relation."""
+        return max(self.atom_cardinalities, default=0)
+
+    @property
+    def atom_count(self) -> int:
+        return len(self.atom_cardinalities)
+
+    def join_product(self) -> float:
+        """Upper bound on the full join: the product of cardinalities."""
+        product = 1.0
+        for size in self.atom_cardinalities:
+            product *= max(size, 1)
+        return product
+
+    def pair_product(self) -> float:
+        """Upper bound on a binary-join bag: product of the two largest
+        matched relations (the worst width-2 view materialization)."""
+        ranked = sorted(self.atom_cardinalities, reverse=True)
+        if not ranked:
+            return 0.0
+        if len(ranked) == 1:
+            return float(ranked[0])
+        return float(ranked[0]) * float(max(ranked[1], 1))
+
+    def search_overhead(self, width: int) -> float:
+        """Order-of-magnitude cost of a width-*width* decomposition search."""
+        return float((self.atom_count * width) ** 2 * 4)
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One registered counting strategy."""
+
+    name: str
+    applicability: Callable[[StrategyContext], Optional[object]]
+    cost_estimate: Callable[[StrategyContext], float]
+    runner: Callable[[StrategyContext, object], Tuple[int, Dict[str, object]]]
+    failure: Callable[[StrategyContext], Exception]
+
+
+#: The registry, in preference (tie-break) order.
+_REGISTRY: "OrderedDict[str, Strategy]" = OrderedDict()
+
+
+def register_strategy(name: str,
+                      applicability: Callable[[StrategyContext],
+                                              Optional[object]],
+                      cost_estimate: Callable[[StrategyContext], float],
+                      runner: Callable[[StrategyContext, object],
+                                       Tuple[int, Dict[str, object]]],
+                      failure: Optional[Callable[[StrategyContext],
+                                                 Exception]] = None) -> None:
+    """Register (or replace) a counting strategy.
+
+    *applicability* returns a witness object (anything but ``None``) when
+    the strategy can run; *cost_estimate* must be statistics-only (no
+    search, no data access beyond cardinalities); *runner* takes the
+    context and the witness and returns ``(count, details)``.  *failure*
+    builds the exception raised when the strategy is forced by name but
+    inapplicable.
+    """
+    if failure is None:
+        def failure(ctx: StrategyContext, _name=name) -> Exception:
+            return DecompositionNotFoundError(
+                f"{ctx.query.name}: strategy {_name!r} is not applicable"
+            )
+    _REGISTRY[name] = Strategy(name, applicability, cost_estimate, runner,
+                               failure)
+
+
+def registered_strategies() -> Tuple[str, ...]:
+    """The registered strategy names, in preference order."""
+    return tuple(_REGISTRY)
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a strategy from the registry (mainly for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+# ----------------------------------------------------------------------
+# Memoized decomposition searches
+# ----------------------------------------------------------------------
+_GHD_MEMO: "OrderedDict[tuple, object]" = OrderedDict()
+_HYBRID_MEMO: "OrderedDict[tuple, object]" = OrderedDict()
+_MEMO_CAP = 128
+
+
+def _memoized(memo: "OrderedDict[tuple, object]", key: tuple,
+              compute: Callable[[], object]) -> object:
+    if key in memo:
+        memo.move_to_end(key)
+        return memo[key]
+    result = compute()
+    memo[key] = result
+    if len(memo) > _MEMO_CAP:
+        memo.popitem(last=False)
+    return result
+
+
+def clear_engine_memo() -> None:
+    """Drop the engine's memoized searches (mainly for tests)."""
+    _GHD_MEMO.clear()
+    _HYBRID_MEMO.clear()
+
+
+# ----------------------------------------------------------------------
+# Built-in strategies
+# ----------------------------------------------------------------------
+def _acyclic_applicable(ctx: StrategyContext) -> Optional[object]:
+    if ctx.query.is_quantifier_free() and is_acyclic(ctx.query.hypergraph()):
+        return True
+    return None
+
+
+def _acyclic_estimate(ctx: StrategyContext) -> float:
+    # The join-tree DP is near-linear in the reduced relations.
+    return float(ctx.total_rows)
+
+
+def _acyclic_run(ctx: StrategyContext, witness: object
+                 ) -> Tuple[int, Dict[str, object]]:
+    return count_acyclic(ctx.query, ctx.database), {}
+
+
+def _acyclic_failure(ctx: StrategyContext) -> Exception:
+    return NotAcyclicError(
+        f"{ctx.query.name} is not an acyclic quantifier-free query"
+    )
+
+
+def _structural_applicable(ctx: StrategyContext) -> Optional[object]:
+    for width in range(1, ctx.max_width + 1):
+        decomposition = find_sharp_hypertree_decomposition(ctx.query, width)
+        if decomposition is not None:
+            return (width, decomposition)
+    return None
+
+
+def _structural_estimate(ctx: StrategyContext) -> float:
+    # Search + materializing ~atom_count bags, each bounded by the worst
+    # binary-join view (projection push-down keeps wider views below that).
+    return (ctx.search_overhead(ctx.max_width)
+            + ctx.atom_count * ctx.pair_product())
+
+
+def _structural_run(ctx: StrategyContext, witness: object
+                    ) -> Tuple[int, Dict[str, object]]:
+    width, decomposition = witness
+    count = count_with_decomposition(ctx.query, ctx.database, decomposition)
+    return count, {"width": width,
+                   "core_atoms": len(decomposition.core.atoms)}
+
+
+def _structural_failure(ctx: StrategyContext) -> Exception:
+    return DecompositionNotFoundError(
+        f"{ctx.query.name}: #-hypertree width exceeds {ctx.max_width}"
+    )
+
+
+def _hybrid_applicable(ctx: StrategyContext) -> Optional[object]:
+    from ..decomposition.hybrid import quick_pseudo_free_candidates
+
+    def compute():
+        try:
+            return find_hybrid_decomposition(
+                ctx.query, ctx.database, ctx.hybrid_width,
+                max_degree=ctx.max_degree,
+                candidates=quick_pseudo_free_candidates(ctx.query),
+            )
+        except DecompositionNotFoundError:
+            return None
+
+    hybrid = _memoized(
+        _HYBRID_MEMO,
+        (ctx.query, ctx.database.content_fingerprint(), ctx.hybrid_width,
+         ctx.max_degree),
+        compute,
+    )
+    if hybrid is not None and hybrid.degree <= ctx.max_degree:
+        return hybrid
+    return None
+
+
+def _hybrid_estimate(ctx: StrategyContext) -> float:
+    # Two-stage pipeline: the structural phase on Q[S] plus the Figure 13
+    # #-relation phase; the degree bound is unknown before the search, so
+    # the second phase is charged as a 50% premium on the bag work.
+    return (2 * ctx.search_overhead(ctx.hybrid_width)
+            + ctx.atom_count * ctx.pair_product() * 1.5)
+
+
+def _hybrid_run(ctx: StrategyContext, witness: object
+                ) -> Tuple[int, Dict[str, object]]:
+    count = count_with_hybrid_decomposition(ctx.query, ctx.database, witness)
+    return count, {
+        "width": ctx.hybrid_width,
+        "degree": witness.degree,
+        "pseudo_free": sorted(v.name for v in witness.pseudo_free),
+    }
+
+
+def _hybrid_failure(ctx: StrategyContext) -> Exception:
+    return DecompositionNotFoundError(
+        f"{ctx.query.name}: no width-{ctx.hybrid_width} hybrid decomposition "
+        f"within degree {ctx.max_degree}"
+    )
+
+
+def _degree_applicable(ctx: StrategyContext) -> Optional[object]:
+    for width in range(1, ctx.max_width + 1):
+        def compute(width=width):
+            tree = find_ghd_join_tree(ctx.query.hypergraph(), width)
+            if tree is None:
+                return None
+            return hypertree_from_join_tree(tree, ctx.query, max_cover=width)
+        hypertree = _memoized(_GHD_MEMO, (ctx.query, width), compute)
+        if hypertree is not None:
+            return (width, hypertree)
+    return None
+
+
+def _degree_estimate(ctx: StrategyContext) -> float:
+    # Figure 13 is O(vertices * m^{2k} * 4^h); the degree bound h is a data
+    # fact unknown before vertex relations exist — charge a fixed 4^2.
+    return (ctx.search_overhead(ctx.max_width)
+            + float(ctx.max_rows) ** (2 * ctx.max_width) * 16)
+
+
+def _degree_run(ctx: StrategyContext, witness: object
+                ) -> Tuple[int, Dict[str, object]]:
+    width, hypertree = witness
+    count = count_via_hypertree(ctx.query, ctx.database, hypertree)
+    return count, {"width": width}
+
+
+def _degree_failure(ctx: StrategyContext) -> Exception:
+    return DecompositionNotFoundError(
+        f"{ctx.query.name}: generalized hypertree width exceeds "
+        f"{ctx.max_width}"
+    )
+
+
+def _brute_applicable(ctx: StrategyContext) -> Optional[object]:
+    return True
+
+
+def _brute_estimate(ctx: StrategyContext) -> float:
+    return ctx.join_product() + ctx.total_rows
+
+
+def _brute_run(ctx: StrategyContext, witness: object
+               ) -> Tuple[int, Dict[str, object]]:
+    return count_brute_force(ctx.query, ctx.database), {}
+
+
+register_strategy("acyclic", _acyclic_applicable, _acyclic_estimate,
+                  _acyclic_run, _acyclic_failure)
+register_strategy("structural", _structural_applicable, _structural_estimate,
+                  _structural_run, _structural_failure)
+register_strategy("hybrid", _hybrid_applicable, _hybrid_estimate,
+                  _hybrid_run, _hybrid_failure)
+register_strategy("degree", _degree_applicable, _degree_estimate,
+                  _degree_run, _degree_failure)
+register_strategy("brute_force", _brute_applicable, _brute_estimate,
+                  _brute_run, lambda ctx: AssertionError("always applicable"))
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
 @dataclass
 class CountResult:
     """Outcome of a counting run: the count plus the decision trail."""
@@ -52,7 +365,42 @@ class CountResult:
     def __int__(self) -> int:
         return self.count
 
+    def explain(self) -> str:
+        """A query-plan-style rendering of the engine's decision trail."""
+        lines = [
+            f"count     : {self.count}",
+            f"strategy  : {self.strategy}",
+        ]
+        actual = self.details.get("actual_seconds")
+        if actual is not None:
+            lines[-1] += f"  ({actual * 1e3:.1f} ms)"
+        plain = {
+            key: value for key, value in self.details.items()
+            if key not in ("decision_trail", "actual_seconds")
+        }
+        for key, value in plain.items():
+            lines.append(f"{key:<10}: {value}")
+        trail = self.details.get("decision_trail")
+        if trail:
+            lines.append("decision trail (cost-ranked):")
+            lines.append("  rank  strategy     est.cost      outcome")
+            for rank, entry in enumerate(trail, start=1):
+                if entry.get("chosen"):
+                    outcome = "chosen"
+                elif entry.get("probed"):
+                    outcome = "not applicable"
+                else:
+                    outcome = "not probed"
+                lines.append(
+                    f"  {rank:>4}  {entry['strategy']:<12} "
+                    f"{entry['estimated_cost']:>12.3g}  {outcome}"
+                )
+        return "\n".join(lines)
 
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
 def count_answers(query: ConjunctiveQuery, database: Database,
                   method: str = "auto", max_width: int = 3,
                   max_degree: float = math.inf,
@@ -62,7 +410,7 @@ def count_answers(query: ConjunctiveQuery, database: Database,
     Parameters
     ----------
     method:
-        ``"auto"`` or one of :data:`STRATEGIES` to force a strategy
+        ``"auto"`` or a registered strategy name to force that strategy
         (raising when it is inapplicable).
     max_width:
         Largest #-hypertree width probed by the structural strategy.
@@ -72,66 +420,54 @@ def count_answers(query: ConjunctiveQuery, database: Database,
         Width used for the hybrid search (kept small: its candidate
         enumeration is exponential in the number of existential variables).
     """
-    if method not in ("auto",) + STRATEGIES:
+    if method != "auto" and method not in _REGISTRY:
         raise ValueError(f"unknown method {method!r}")
+    context = StrategyContext(query, database, max_width=max_width,
+                              max_degree=max_degree,
+                              hybrid_width=hybrid_width)
 
-    if method in ("auto", "acyclic"):
-        if query.is_quantifier_free() and is_acyclic(query.hypergraph()):
-            return CountResult(count_acyclic(query, database), "acyclic")
-        if method == "acyclic":
-            raise NotAcyclicError(
-                f"{query.name} is not an acyclic quantifier-free query"
-            )
+    if method != "auto":
+        strategy = _REGISTRY[method]
+        witness = strategy.applicability(context)
+        if witness is None:
+            raise strategy.failure(context)
+        count, details = strategy.runner(context, witness)
+        return CountResult(count, method, details)
 
-    if method in ("auto", "structural"):
-        for width in range(1, max_width + 1):
-            decomposition = find_sharp_hypertree_decomposition(query, width)
-            if decomposition is not None:
-                count = count_with_decomposition(query, database, decomposition)
-                return CountResult(
-                    count, "structural",
-                    {"width": width,
-                     "core_atoms": len(decomposition.core.atoms)},
-                )
-        if method == "structural":
-            raise DecompositionNotFoundError(
-                f"{query.name}: #-hypertree width exceeds {max_width}"
-            )
-
-    if method in ("auto", "hybrid"):
-        from ..decomposition.hybrid import quick_pseudo_free_candidates
-
-        try:
-            hybrid = find_hybrid_decomposition(
-                query, database, hybrid_width, max_degree=max_degree,
-                candidates=quick_pseudo_free_candidates(query),
-            )
-        except DecompositionNotFoundError:
-            hybrid = None
-        if hybrid is not None and hybrid.degree <= max_degree:
-            count = count_with_hybrid_decomposition(query, database, hybrid)
-            return CountResult(
-                count, "hybrid",
-                {"width": hybrid_width, "degree": hybrid.degree,
-                 "pseudo_free": sorted(v.name for v in hybrid.pseudo_free)},
-            )
-        if method == "hybrid":
-            raise DecompositionNotFoundError(
-                f"{query.name}: no width-{hybrid_width} hybrid decomposition "
-                f"within degree {max_degree}"
-            )
-
-    if method in ("auto", "degree"):
-        for width in range(1, max_width + 1):
-            tree = find_ghd_join_tree(query.hypergraph(), width)
-            if tree is None:
-                continue
-            hypertree = hypertree_from_join_tree(tree, query, max_cover=width)
-            count = count_via_hypertree(query, database, hypertree)
-            return CountResult(count, "degree", {"width": width})
-        if method == "degree":
-            raise DecompositionNotFoundError(
-                f"{query.name}: generalized hypertree width exceeds {max_width}"
-            )
-
-    return CountResult(count_brute_force(query, database), "brute_force")
+    # Cost-ranked auto selection: estimate every strategy from statistics
+    # alone, then probe applicability cheapest-first and run the winner.
+    preference = {name: rank for rank, name in enumerate(_REGISTRY)}
+    estimates = {
+        name: strategy.cost_estimate(context)
+        for name, strategy in _REGISTRY.items()
+    }
+    ranked = sorted(
+        _REGISTRY.values(),
+        key=lambda s: (estimates[s.name], preference[s.name]),
+    )
+    trail: List[Dict[str, object]] = [
+        {
+            "strategy": strategy.name,
+            "estimated_cost": estimates[strategy.name],
+            "probed": False,
+            "chosen": False,
+        }
+        for strategy in ranked
+    ]
+    for position, strategy in enumerate(ranked):
+        trail[position]["probed"] = True
+        witness = strategy.applicability(context)
+        if witness is None:
+            continue
+        trail[position]["chosen"] = True
+        started = time.perf_counter()
+        count, details = strategy.runner(context, witness)
+        elapsed = time.perf_counter() - started
+        details = dict(details)
+        details["decision_trail"] = trail
+        details["estimated_cost"] = trail[position]["estimated_cost"]
+        details["actual_seconds"] = elapsed
+        return CountResult(count, strategy.name, details)
+    raise AssertionError(  # pragma: no cover - brute force always applies
+        "no applicable counting strategy"
+    )

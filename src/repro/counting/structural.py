@@ -27,8 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..consistency.pairwise import full_reducer
-from ..consistency.views import view_instance
-from ..db.algebra import SubstitutionSet
+from ..db.algebra import SubstitutionSet, join_project
 from ..db.database import Database
 from ..decomposition.sharp import (
     SharpDecomposition,
@@ -45,20 +44,17 @@ def exact_bag_relations(decomposition: SharpDecomposition, database: Database
     """Steps 2-3: bag relations equal to ``pi_bag(Q'(D))`` exactly.
 
     Returns the globally consistent bag relations together with the join
-    tree they live on.
+    tree they live on.  Every core atom is enforced inside one host bag
+    containing its variables, *fused into the bag's factorized join* — the
+    bag relation is materialized once, as
+    ``pi_bag(view parts |><| hosted atoms)`` with projections pushed
+    inside, never as the full view instance.
     """
     tree = decomposition.tree
     views = decomposition.views
-    instance_cache: Dict[str, SubstitutionSet] = {}
-    relations: List[SubstitutionSet] = []
-    for bag, view_name in zip(tree.bags, decomposition.bag_views):
-        if view_name not in instance_cache:
-            instance_cache[view_name] = view_instance(
-                views[view_name], database
-            )
-        relations.append(instance_cache[view_name].project(bag))
-    # Enforce every core atom in one bag that contains its variables; the
+    # Assign every core atom one host bag that contains its variables; the
     # tree projection covers H_Q' so a host bag always exists.
+    hosted: Dict[int, List] = {i: [] for i in range(len(tree.bags))}
     for atom in decomposition.core.atoms_sorted():
         host = next(
             (i for i, bag in enumerate(tree.bags)
@@ -69,8 +65,19 @@ def exact_bag_relations(decomposition: SharpDecomposition, database: Database
             raise DecompositionNotFoundError(
                 f"bag covering atom {atom!r} missing from decomposition"
             )
-        matched = SubstitutionSet.from_atom(atom, database[atom.relation])
-        relations[host] = relations[host].join(matched)
+        hosted[host].append(atom)
+    relations: List[SubstitutionSet] = []
+    for index, (bag, view_name) in enumerate(
+            zip(tree.bags, decomposition.bag_views)):
+        parts = [
+            SubstitutionSet.from_atom(atom, database[atom.relation])
+            for atom in views[view_name].source_atoms
+        ]
+        parts.extend(
+            SubstitutionSet.from_atom(atom, database[atom.relation])
+            for atom in hosted[index]
+        )
+        relations.append(join_project(parts, bag))
     reduced = full_reducer(relations, tree)
     return reduced, tree
 

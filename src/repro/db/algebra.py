@@ -9,10 +9,19 @@ The schema is always kept **sorted by variable name**, so two substitution
 sets over the same variables are directly comparable regardless of how they
 were produced; this canonical form is what makes the Figure 13 algorithm's
 "#-relations" (sets of substitution sets) implementable with frozensets.
+
+Every operator is **index-driven**: a substitution set lazily builds hash
+indexes keyed by variable subsets (:meth:`SubstitutionSet.index_on`) and
+caches them on the instance, so repeated joins/semijoins against the same
+operand — the normal access pattern of the two-pass full reducer, the
+Figure 13 #-relation semijoins and the engine's counting DPs — pay the
+index build once.  Operators that would return an identical set return
+``self`` unchanged, which keeps those caches alive across fixpoint passes.
 """
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Tuple
 
 from ..exceptions import SchemaError
@@ -22,15 +31,29 @@ from .relation import Relation
 
 Row = Tuple[Hashable, ...]
 
+_EMPTY_KEY = ()
+
+
+def _row_getter(positions: Tuple[int, ...]):
+    """A C-speed key extractor for *positions* (always returns a tuple)."""
+    if not positions:
+        return lambda row: _EMPTY_KEY
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: (row[position],)
+    return itemgetter(*positions)
+
 
 class SubstitutionSet:
     """A set of substitutions over a fixed, sorted schema of variables."""
 
-    __slots__ = ("schema", "rows")
+    __slots__ = ("schema", "rows", "_indexes", "_key_sets")
 
     def __init__(self, schema: Iterable[Variable], rows: Iterable[Row] = (),
                  _presorted: bool = False):
         schema = tuple(schema)
+        self._indexes: Dict[Tuple[int, ...], Dict[Row, Tuple[Row, ...]]] = {}
+        self._key_sets: Dict[Tuple[int, ...], FrozenSet[Row]] = {}
         if _presorted:
             self.schema = schema
             self.rows = rows if isinstance(rows, frozenset) else frozenset(rows)
@@ -86,19 +109,22 @@ class SubstitutionSet:
         for index, term in enumerate(atom.terms):
             if isinstance(term, Variable) and term not in positions:
                 positions[term] = index
-        rows = []
-        for db_row in relation:
-            ok = True
-            for index, term in enumerate(atom.terms):
-                if isinstance(term, Constant):
-                    if db_row[index] != term.value:
-                        ok = False
-                        break
-                elif db_row[index] != db_row[positions[term]]:
-                    ok = False
-                    break
-            if ok:
-                rows.append(tuple(db_row[positions[v]] for v in variables))
+        constraints = []  # (position, required value)
+        equalities = []   # (position, first position of the same variable)
+        for index, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                constraints.append((index, term.value))
+            elif positions[term] != index:
+                equalities.append((index, positions[term]))
+        out = _row_getter(tuple(positions[v] for v in variables))
+        if not constraints and not equalities:
+            rows = [out(db_row) for db_row in relation]
+        else:
+            rows = []
+            for db_row in relation:
+                if all(db_row[i] == value for i, value in constraints) and \
+                        all(db_row[i] == db_row[j] for i, j in equalities):
+                    rows.append(out(db_row))
         return cls(variables, rows)
 
     @classmethod
@@ -143,7 +169,7 @@ class SubstitutionSet:
             yield dict(zip(self.schema, row))
 
     # ------------------------------------------------------------------
-    # Algebra
+    # Indexing
     # ------------------------------------------------------------------
     def _positions(self, variables: Iterable[Variable]) -> Tuple[int, ...]:
         index = {v: i for i, v in enumerate(self.schema)}
@@ -154,6 +180,58 @@ class SubstitutionSet:
                 f"variable {exc.args[0]} not in schema {self.schema}"
             ) from None
 
+    def _present_sorted(self, variables: Iterable[Variable]
+                        ) -> Tuple[Variable, ...]:
+        """The schema's subset of *variables*, in canonical sorted order."""
+        wanted = set(variables) & set(self.schema)
+        return tuple(sorted(wanted, key=lambda v: v.name))
+
+    def index_on(self, variables: Iterable[Variable]
+                 ) -> Dict[Row, Tuple[Row, ...]]:
+        """A hash index ``{key_row: rows}`` on the given variable subset.
+
+        Keys follow the canonical sorted order of the variables present in
+        the schema (variables outside the schema are ignored).  The index is
+        built lazily and cached on the instance; the set is immutable, so a
+        cached index never goes stale.  Do not mutate the returned mapping.
+        """
+        positions = self._positions(self._present_sorted(variables))
+        cached = self._indexes.get(positions)
+        if cached is not None:
+            return cached
+        key_of = _row_getter(positions)
+        buckets: Dict[Row, list] = {}
+        for row in self.rows:
+            key = key_of(row)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [row]
+            else:
+                bucket.append(row)
+        index = {key: tuple(rows) for key, rows in buckets.items()}
+        self._indexes[positions] = index
+        self._key_sets.setdefault(positions, frozenset(index))
+        return index
+
+    def projection_keys(self, variables: Iterable[Variable]
+                        ) -> FrozenSet[Row]:
+        """The distinct key rows of :meth:`index_on` (cached, cheaper).
+
+        This is the row set of ``pi_variables(self)`` without materializing
+        a new substitution set — the membership structure semijoins probe.
+        """
+        positions = self._positions(self._present_sorted(variables))
+        cached = self._key_sets.get(positions)
+        if cached is not None:
+            return cached
+        key_of = _row_getter(positions)
+        keys = frozenset(key_of(row) for row in self.rows)
+        self._key_sets[positions] = keys
+        return keys
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
     def project(self, variables: Iterable[Variable]) -> "SubstitutionSet":
         """``pi_W``: restriction of every substitution to *variables*.
 
@@ -161,59 +239,74 @@ class SubstitutionSet:
         intersection), mirroring the paper's convention ``pi_free(Q)(r_v)``
         where ``r_v`` may not contain every free variable.
         """
-        wanted = sorted(
-            (v for v in set(variables) if v in set(self.schema)),
-            key=lambda v: v.name,
+        wanted = self._present_sorted(variables)
+        if wanted == self.schema:
+            return self
+        return SubstitutionSet(
+            wanted, self.projection_keys(wanted), _presorted=True
         )
-        positions = self._positions(wanted)
-        rows = frozenset(tuple(row[i] for i in positions) for row in self.rows)
-        return SubstitutionSet(tuple(wanted), rows, _presorted=True)
 
     def select(self, binding: Mapping[Variable, Hashable]) -> "SubstitutionSet":
         """``sigma_theta``: keep substitutions agreeing with *binding*."""
-        items = [(v, val) for v, val in binding.items() if v in set(self.schema)]
-        if len(items) != len(binding):
-            missing = set(binding) - set(self.schema)
+        in_schema = set(self.schema)
+        if not all(v in in_schema for v in binding):
+            missing = set(binding) - in_schema
             raise SchemaError(f"selection variables {missing} not in schema")
-        positions = self._positions([v for v, _ in items])
-        values = tuple(val for _, val in items)
-        rows = frozenset(
-            row for row in self.rows
-            if tuple(row[i] for i in positions) == values
-        )
-        return SubstitutionSet(self.schema, rows, _presorted=True)
+        wanted = self._present_sorted(binding)
+        key = tuple(binding[v] for v in wanted)
+        rows = self.index_on(wanted).get(key, ())
+        if len(rows) == len(self.rows):
+            return self
+        return SubstitutionSet(self.schema, frozenset(rows), _presorted=True)
 
     def join(self, other: "SubstitutionSet") -> "SubstitutionSet":
-        """Natural join on the shared variables."""
+        """Natural join on the shared variables (hash join).
+
+        The smaller operand is the build side; its cached
+        :meth:`index_on` index over the shared variables is reused across
+        repeated joins.  Output rows are assembled by a precompiled
+        permutation over ``probe_row + build_extras`` so the inner loop
+        stays in C.
+        """
         mine = set(self.schema)
         shared = tuple(v for v in other.schema if v in mine)
         result_schema = tuple(
             sorted(mine | set(other.schema), key=lambda v: v.name)
         )
-        # Index the smaller operand on the shared variables.
-        left, right = (self, other) if len(self) <= len(other) else (other, self)
-        left_shared = left._positions(shared)
-        right_shared = right._positions(shared)
-        index: Dict[Row, list] = {}
-        for row in left.rows:
-            index.setdefault(tuple(row[i] for i in left_shared), []).append(row)
-        left_map = {v: i for i, v in enumerate(left.schema)}
-        right_map = {v: i for i, v in enumerate(right.schema)}
+        build, probe = (self, other) if len(self) <= len(other) else (other, self)
+        if not build.rows or not probe.rows:
+            return SubstitutionSet(result_schema, frozenset(), _presorted=True)
+        index = build.index_on(shared)
+        probe_key = _row_getter(probe._positions(
+            build._present_sorted(shared)  # canonical key order, both sides
+        )) if shared else _row_getter(())
+        # Result rows are permutations of probe_row + build_extra values.
+        probe_map = {v: i for i, v in enumerate(probe.schema)}
+        build_extra = tuple(
+            i for i, v in enumerate(build.schema) if v not in probe_map
+        )
+        extra_of = _row_getter(build_extra)
+        combined = probe.schema + tuple(build.schema[i] for i in build_extra)
+        combined_map = {v: i for i, v in enumerate(combined)}
+        permute = _row_getter(tuple(combined_map[v] for v in result_schema))
         rows = set()
-        for r_row in right.rows:
-            key = tuple(r_row[i] for i in right_shared)
-            for l_row in index.get(key, ()):
-                rows.add(tuple(
-                    l_row[left_map[v]] if v in left_map else r_row[right_map[v]]
-                    for v in result_schema
-                ))
+        add = rows.add
+        for p_row in probe.rows:
+            bucket = index.get(probe_key(p_row))
+            if bucket:
+                for b_row in bucket:
+                    add(permute(p_row + extra_of(b_row)))
         return SubstitutionSet(result_schema, frozenset(rows), _presorted=True)
 
     def semijoin(self, other: "SubstitutionSet") -> "SubstitutionSet":
         """``self |>< other``: substitutions of *self* with a match in *other*.
 
         This is the paper's ``S1 (left-semijoin) S2 = pi_W1(S1 |><| S2)``.
+        Probes *other*'s cached key set; returns ``self`` unchanged (caches
+        intact) when nothing is filtered out.
         """
+        if not self.rows:
+            return self
         mine = set(self.schema)
         shared = tuple(v for v in other.schema if v in mine)
         if not shared:
@@ -221,14 +314,47 @@ class SubstitutionSet:
             if other.rows:
                 return self
             return SubstitutionSet(self.schema, frozenset(), _presorted=True)
-        my_shared = self._positions(shared)
-        other_shared = other._positions(shared)
-        keys = {tuple(row[i] for i in other_shared) for row in other.rows}
-        rows = frozenset(
+        keys = other.projection_keys(shared)
+        my_key = _row_getter(self._positions(self._present_sorted(shared)))
+        kept = frozenset(row for row in self.rows if my_key(row) in keys)
+        if len(kept) == len(self.rows):
+            return self
+        return SubstitutionSet(self.schema, kept, _presorted=True)
+
+    def semijoin_all(self, others: Iterable["SubstitutionSet"]
+                     ) -> "SubstitutionSet":
+        """Semijoin against several sets in a single scan of ``self``.
+
+        Equivalent to folding :meth:`semijoin` over *others*, but the rows
+        of ``self`` are visited once — the shape the full reducer's
+        bottom-up pass wants when a join-tree vertex absorbs all of its
+        children.  Returns ``self`` when nothing is filtered out.
+        """
+        if not self.rows:
+            return self
+        probes = []
+        mine = set(self.schema)
+        for other in others:
+            shared = tuple(v for v in other.schema if v in mine)
+            if not shared:
+                if not other.rows:
+                    return SubstitutionSet(
+                        self.schema, frozenset(), _presorted=True
+                    )
+                continue
+            probes.append((
+                _row_getter(self._positions(self._present_sorted(shared))),
+                other.projection_keys(shared),
+            ))
+        if not probes:
+            return self
+        kept = frozenset(
             row for row in self.rows
-            if tuple(row[i] for i in my_shared) in keys
+            if all(key_of(row) in keys for key_of, keys in probes)
         )
-        return SubstitutionSet(self.schema, rows, _presorted=True)
+        if len(kept) == len(self.rows):
+            return self
+        return SubstitutionSet(self.schema, kept, _presorted=True)
 
     # ------------------------------------------------------------------
     # Grouping / counting helpers
@@ -240,22 +366,14 @@ class SubstitutionSet:
         Returns ``{key_row: group}`` where ``key_row`` follows the sorted
         order of the grouping variables present in the schema.
         """
-        wanted = sorted(
-            (v for v in set(variables) if v in set(self.schema)),
-            key=lambda v: v.name,
-        )
-        positions = self._positions(wanted)
-        buckets: Dict[Row, set] = {}
-        for row in self.rows:
-            buckets.setdefault(tuple(row[i] for i in positions), set()).add(row)
         return {
-            key: SubstitutionSet(self.schema, frozenset(group), _presorted=True)
-            for key, group in buckets.items()
+            key: SubstitutionSet(self.schema, frozenset(rows), _presorted=True)
+            for key, rows in self.index_on(variables).items()
         }
 
     def count_distinct(self, variables: Iterable[Variable]) -> int:
         """Number of distinct projections onto *variables*."""
-        return len(self.project(variables))
+        return len(self.projection_keys(variables))
 
     def max_group_size(self, variables: Iterable[Variable]) -> int:
         """Maximum multiplicity of any projection onto *variables*.
@@ -263,24 +381,86 @@ class SubstitutionSet:
         This is the *degree* ``deg`` of Definition 6.1 for this relation.
         Returns 0 for the empty set.
         """
-        wanted = sorted(
-            (v for v in set(variables) if v in set(self.schema)),
-            key=lambda v: v.name,
+        return max(
+            (len(rows) for rows in self.index_on(variables).values()),
+            default=0,
         )
-        positions = self._positions(wanted)
-        counts: Dict[Row, int] = {}
-        for row in self.rows:
-            key = tuple(row[i] for i in positions)
-            counts[key] = counts.get(key, 0) + 1
-        return max(counts.values(), default=0)
+
+
+def pop_connected(pending: list, bound) -> object:
+    """Remove and return the first pending part sharing a variable with
+    *bound* (falling back to the first part: a cross product is then
+    unavoidable).  ``pending`` must be sorted smallest-first; parts need a
+    ``variable_set()`` method — shared by substitution sets and semiring
+    factors."""
+    index = next(
+        (i for i, part in enumerate(pending)
+         if part.variable_set() & bound),
+        0,
+    )
+    return pending.pop(index)
+
+
+def fold_connected(parts, combine, unit):
+    """Fold *combine* over *parts* smallest-first with greedy connectivity.
+
+    The shared join-ordering heuristic of :func:`join_all`,
+    :func:`join_project`, the brute-force full join and
+    :func:`repro.faq.factor.multiply_all`: each step combines the smallest
+    part that shares a variable with the result so far, deferring cross
+    products until they are unavoidable.  *unit* supplies the result for
+    an empty collection.
+    """
+    pending = sorted(parts, key=len)
+    if not pending:
+        return unit()
+    result = pending.pop(0)
+    while pending:
+        result = combine(result, pop_connected(pending, result.variable_set()))
+    return result
 
 
 def join_all(parts: Iterable[SubstitutionSet]) -> SubstitutionSet:
-    """Natural join of a collection; joins smallest-first for efficiency."""
-    pending = sorted(parts, key=len)
+    """Natural join of a collection; smallest-first with greedy connectivity."""
+    return fold_connected(
+        parts, lambda a, b: a.join(b), SubstitutionSet.unit
+    )
+
+
+def join_project(parts: Iterable[SubstitutionSet],
+                 keep: Iterable[Variable]) -> SubstitutionSet:
+    """``pi_keep`` of the natural join, with projections pushed inside.
+
+    After each pairwise join, variables that occur in no remaining part and
+    are not in *keep* are projected away immediately, so intermediates never
+    carry columns that cannot influence the final result.  This is the
+    factorized-evaluation trick the view-materialization path relies on:
+    a width-``k`` view joined only to be projected onto a bag never
+    materializes the full k-way product.
+    """
+    keep = frozenset(keep)
+    parts = list(parts)
+    # Pre-projection: a column that is neither kept nor shared with any
+    # other part can never constrain anything — drop it before joining
+    # (this turns "join two disjoint atoms, then project" into a cross
+    # product of the *projections*).
+    projected = []
+    for index, part in enumerate(parts):
+        others: set = set()
+        for j, other in enumerate(parts):
+            if j != index:
+                others |= other.variable_set()
+        projected.append(part.project(
+            (keep | others) & part.variable_set()
+        ))
+    pending = sorted(projected, key=len)
     if not pending:
         return SubstitutionSet.unit()
-    result = pending[0]
-    for part in pending[1:]:
-        result = result.join(part)
-    return result
+    result = pending.pop(0)
+    while pending:
+        result = result.join(pop_connected(pending, result.variable_set()))
+        needed = set(keep)
+        for part in pending:
+            needed |= part.variable_set()
+        result = result.project(needed & result.variable_set())
+    return result.project(keep)

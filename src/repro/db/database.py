@@ -16,10 +16,11 @@ class Database:
     extensions, consistency-reduced databases, ...) are new objects.
     """
 
-    __slots__ = ("_relations",)
+    __slots__ = ("_relations", "_fingerprint")
 
     def __init__(self, relations: Iterable[Relation] = ()):
         self._relations: Dict[str, Relation] = {}
+        self._fingerprint = None
         for relation in relations:
             if relation.name in self._relations:
                 raise DatabaseError(f"duplicate relation symbol {relation.name!r}")
@@ -110,6 +111,23 @@ class Database:
     def total_tuples(self) -> int:
         """``||D||``-style size measure: total tuple count."""
         return sum(len(r) for r in self._relations.values())
+
+    def content_fingerprint(self) -> tuple:
+        """A hashable identity for memo keys: the sorted relation contents.
+
+        Databases are not hashable (insertion order is incidental), but
+        row frozensets cache their hashes, so this key is cheap to hash
+        repeatedly and equal for content-equal databases built
+        independently.  Cached on the instance (the database is immutable),
+        since callers — the homomorphism solver, the hybrid probe — ask
+        once per call.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = tuple(sorted(
+                (relation.name, relation.arity, relation.rows)
+                for relation in self._relations.values()
+            ))
+        return self._fingerprint
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Database):

@@ -7,7 +7,7 @@ database value ``v`` when ``constant.value == v``.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Tuple
 
 from ..exceptions import ArityMismatchError
 
@@ -19,9 +19,12 @@ class Relation:
 
     The class is a thin, validated wrapper around a ``frozenset`` of rows.
     It is immutable; "updates" go through :meth:`union` / :meth:`restrict`.
+    Hash indexes over column subsets (:meth:`index_on`) and the
+    :meth:`statistics` handle are built lazily and cached — immutability
+    means they never go stale.
     """
 
-    __slots__ = ("name", "arity", "_rows")
+    __slots__ = ("name", "arity", "_rows", "_indexes", "_statistics")
 
     def __init__(self, name: str, arity: int, rows: Iterable[Row] = ()):
         self.name = name
@@ -36,6 +39,8 @@ class Relation:
                 )
             frozen.append(row)
         self._rows: frozenset = frozenset(frozen)
+        self._indexes: Dict[Tuple[int, ...], Dict[Row, Tuple[Row, ...]]] = {}
+        self._statistics = None
 
     # ------------------------------------------------------------------
     @property
@@ -66,6 +71,41 @@ class Relation:
 
     def __repr__(self) -> str:
         return f"Relation({self.name!r}, arity={self.arity}, |rows|={len(self)})"
+
+    # ------------------------------------------------------------------
+    def index_on(self, positions: Iterable[int]) -> Dict[Row, Tuple[Row, ...]]:
+        """A cached hash index ``{key: rows}`` on the columns at *positions*.
+
+        Built lazily on first use; do not mutate the returned mapping.
+        """
+        positions = tuple(positions)
+        for position in positions:
+            if not 0 <= position < self.arity:
+                raise IndexError(
+                    f"column {position} out of range for arity {self.arity}"
+                )
+        cached = self._indexes.get(positions)
+        if cached is not None:
+            return cached
+        buckets: Dict[Row, list] = {}
+        for row in self._rows:
+            key = tuple(row[i] for i in positions)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [row]
+            else:
+                bucket.append(row)
+        index = {key: tuple(rows) for key, rows in buckets.items()}
+        self._indexes[positions] = index
+        return index
+
+    def statistics(self):
+        """The cached :class:`~repro.db.statistics.Statistics` handle."""
+        if self._statistics is None:
+            from .statistics import Statistics
+
+            self._statistics = Statistics(self)
+        return self._statistics
 
     # ------------------------------------------------------------------
     def union(self, rows: Iterable[Row]) -> "Relation":

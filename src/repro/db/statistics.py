@@ -20,7 +20,7 @@ that reasoning automatic:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..query.atom import Atom
 from ..query.query import ConjunctiveQuery
@@ -29,17 +29,70 @@ from .database import Database
 from .relation import Relation
 
 
+class Statistics:
+    """A cheap, lazily-computed statistics handle for one relation.
+
+    Obtained via :meth:`Relation.statistics` (one cached instance per
+    relation); all figures are computed on demand from the relation's
+    cached column indexes, so asking twice costs nothing.  The engine's
+    cost model consumes these to rank counting strategies.
+    """
+
+    __slots__ = ("relation", "_distinct", "_degrees")
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self._distinct: Dict[int, int] = {}
+        self._degrees: Dict[Tuple[int, ...], int] = {}
+
+    @property
+    def cardinality(self) -> int:
+        """``|r|``: the number of tuples."""
+        return len(self.relation)
+
+    def distinct(self, position: int) -> int:
+        """Number of distinct values in the column at *position*."""
+        cached = self._distinct.get(position)
+        if cached is None:
+            cached = len(self.relation.index_on((position,)))
+            self._distinct[position] = cached
+        return cached
+
+    def distinct_counts(self) -> Tuple[int, ...]:
+        """Distinct-value counts for every column."""
+        return tuple(self.distinct(i) for i in range(self.relation.arity))
+
+    def degree(self, positions: Sequence[int]) -> int:
+        """``deg_D(X, r)`` for the columns at *positions* (cached)."""
+        positions = tuple(positions)
+        cached = self._degrees.get(positions)
+        if cached is None:
+            cached = max(
+                (len(rows)
+                 for rows in self.relation.index_on(positions).values()),
+                default=0,
+            )
+            self._degrees[positions] = cached
+        return cached
+
+    def max_column_degree(self) -> int:
+        """Worst single-column degree: how far the relation is from keyed.
+
+        1 when some column is a key is *not* implied — this is the maximum
+        over columns of per-column degree, a quick skew signal.
+        """
+        if self.relation.arity == 0 or len(self.relation) == 0:
+            return len(self.relation)
+        return max(self.degree((i,)) for i in range(self.relation.arity))
+
+
 def attribute_degree(relation: Relation, positions: Sequence[int]) -> int:
     """``deg_D(X, r)`` for the columns at *positions* (paper, Section 1.2).
 
     The maximum, over value combinations of those columns, of the number of
     full tuples carrying that combination; 0 for the empty relation.
     """
-    counts: Dict[tuple, int] = {}
-    for row in relation:
-        key = tuple(row[i] for i in positions)
-        counts[key] = counts.get(key, 0) + 1
-    return max(counts.values(), default=0)
+    return relation.statistics().degree(tuple(positions))
 
 
 def atom_variable_degree(atom: Atom, relation: Relation,

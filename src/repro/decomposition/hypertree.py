@@ -108,14 +108,26 @@ class Hypertree:
     # Transformations
     # ------------------------------------------------------------------
     def completed_for(self, query: ConjunctiveQuery) -> "Hypertree":
-        """A complete decomposition: attach a leaf per unplaced atom.
+        """A complete decomposition: attach a leaf per unenforced atom.
 
-        Follows the proof of Theorem 6.2: for each atom ``q`` not in any
-        ``lambda(p)``, pick a vertex ``p_q`` with ``vars(q) <= chi(p_q)``
+        Follows the proof of Theorem 6.2: for each atom ``q`` not *enforced*
+        anywhere, pick a vertex ``p_q`` with ``vars(q) <= chi(p_q)``
         (condition (1) guarantees one) and hang a fresh child with
         ``chi = vars(q)``, ``lambda = {q}`` below it.
+
+        An atom is enforced at ``p`` only when it is in ``lambda(p)`` *and*
+        ``vars(q) <= chi(p)``: the vertex relation is
+        ``pi_chi(p)(join lambda(p))``, so an atom whose variables are partly
+        projected away acts as a filter there, not as a constraint — its
+        projected-out variables would otherwise decouple from the rest of
+        the query and the count would be wrong.
         """
-        placed = {atom for lam in self.lams for atom in lam}
+        placed = {
+            atom
+            for chi, lam in zip(self.chis, self.lams)
+            for atom in lam
+            if atom.variable_set <= chi
+        }
         chis = list(self.chis)
         lams = list(self.lams)
         edges = list(self.tree_edges)

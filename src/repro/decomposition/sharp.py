@@ -17,6 +17,7 @@ each, while the default pipeline uses the canonical (deterministic) core.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import combinations
 from typing import FrozenSet, List, Optional, Tuple
@@ -122,12 +123,29 @@ def all_colored_cores(query: ConjunctiveQuery) -> List[ConjunctiveQuery]:
     return cores
 
 
+#: Bounded memo for decomposition searches.  The search is pure in its
+#: arguments (all data-independent), and the engine's ``"auto"`` cascade,
+#: the sampler and repeated counting calls keep asking for the same
+#: (query, width) searches — including failed ones, which are exactly as
+#: expensive and just as cacheable.
+_SEARCH_MEMO: "OrderedDict[tuple, Optional[SharpDecomposition]]" = OrderedDict()
+_SEARCH_MEMO_CAP = 256
+
+
+def clear_search_memo() -> None:
+    """Drop all memoized decomposition searches (mainly for tests)."""
+    _SEARCH_MEMO.clear()
+
+
 def find_sharp_decomposition(query: ConjunctiveQuery, views: ViewSet,
                              colored: Optional[ConjunctiveQuery] = None,
                              try_all_cores: bool = False,
                              core_width_hint: Optional[int] = None,
                              ) -> Optional[SharpDecomposition]:
     """A #-decomposition of *query* w.r.t. *views* (Definition 1.4).
+
+    Results (including ``None`` for failed searches) are memoized in a
+    bounded LRU keyed by the full argument tuple.
 
     Parameters
     ----------
@@ -142,6 +160,24 @@ def find_sharp_decomposition(query: ConjunctiveQuery, views: ViewSet,
         Forwarded to the Lemma 4.3 consistency-based core computation when
         given (polynomial path); otherwise the exhaustive core is used.
     """
+    key = (query, views.views, colored, try_all_cores, core_width_hint)
+    if key in _SEARCH_MEMO:
+        _SEARCH_MEMO.move_to_end(key)
+        return _SEARCH_MEMO[key]
+    result = _find_sharp_decomposition(
+        query, views, colored, try_all_cores, core_width_hint
+    )
+    _SEARCH_MEMO[key] = result
+    if len(_SEARCH_MEMO) > _SEARCH_MEMO_CAP:
+        _SEARCH_MEMO.popitem(last=False)
+    return result
+
+
+def _find_sharp_decomposition(query: ConjunctiveQuery, views: ViewSet,
+                              colored: Optional[ConjunctiveQuery],
+                              try_all_cores: bool,
+                              core_width_hint: Optional[int],
+                              ) -> Optional[SharpDecomposition]:
     if colored is not None:
         candidates = [colored]
     elif try_all_cores:
@@ -185,9 +221,27 @@ def _witness_view(views: ViewSet, bag: FrozenSet) -> str:
 def find_sharp_hypertree_decomposition(query: ConjunctiveQuery, width: int,
                                        **kwargs) -> Optional[SharpDecomposition]:
     """A width-*width* #-hypertree decomposition (Definition 1.2):
-    a #-decomposition w.r.t. ``V^k_Q``."""
+    a #-decomposition w.r.t. ``V^k_Q``.
+
+    Memoized per (query, width, options) *before* the ``V^k_Q`` view set
+    is enumerated, so repeat probes — the engine's auto cascade asks for
+    the same widths over and over — skip the O(m^width) view construction
+    too, not just the tree-projection search.
+    """
+    try:
+        key = (query, width, tuple(sorted(kwargs.items())))
+    except TypeError:  # unhashable option value: fall through uncached
+        key = None
+    if key is not None and key in _SEARCH_MEMO:
+        _SEARCH_MEMO.move_to_end(key)
+        return _SEARCH_MEMO[key]
     views = hypertree_view_set(query, width)
-    return find_sharp_decomposition(query, views, **kwargs)
+    result = find_sharp_decomposition(query, views, **kwargs)
+    if key is not None:
+        _SEARCH_MEMO[key] = result
+        if len(_SEARCH_MEMO) > _SEARCH_MEMO_CAP:
+            _SEARCH_MEMO.popitem(last=False)
+    return result
 
 
 def sharp_hypertree_width(query: ConjunctiveQuery,

@@ -21,10 +21,10 @@ the library.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Mapping, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
 
 from ..counting.semiring import COUNTING, Semiring
-from ..db.algebra import SubstitutionSet
+from ..db.algebra import SubstitutionSet, _row_getter
 from ..exceptions import SchemaError
 from ..query.terms import Variable
 
@@ -34,12 +34,13 @@ Row = Tuple[Hashable, ...]
 class Factor:
     """A sparse semiring-valued relation over a sorted variable schema."""
 
-    __slots__ = ("schema", "values", "semiring")
+    __slots__ = ("schema", "values", "semiring", "_indexes")
 
     def __init__(self, schema: Iterable[Variable],
                  values: Mapping[Row, object],
                  semiring: Semiring = COUNTING,
                  _presorted: bool = False):
+        self._indexes: Dict[Tuple[int, ...], Dict[Row, tuple]] = {}
         schema = tuple(schema)
         if not _presorted:
             order = sorted(range(len(schema)), key=lambda i: schema[i].name)
@@ -121,6 +122,33 @@ class Factor:
                 f"variable {exc.args[0]} not in schema {self.schema}"
             ) from None
 
+    def index_on(self, variables: Iterable[Variable]
+                 ) -> Dict[Row, Tuple[Tuple[Row, object], ...]]:
+        """A cached hash index ``{key: ((row, value), ...)}`` on *variables*.
+
+        Keys follow the canonical sorted order of the variables (which must
+        all be in the schema).  Mirrors
+        :meth:`repro.db.algebra.SubstitutionSet.index_on` for semiring
+        factors; built lazily, cached on the instance.
+        """
+        wanted = tuple(sorted(set(variables), key=lambda v: v.name))
+        positions = self._positions(wanted)
+        cached = self._indexes.get(positions)
+        if cached is not None:
+            return cached
+        key_of = _row_getter(positions)
+        buckets: Dict[Row, list] = {}
+        for row, value in self.values.items():
+            key = key_of(row)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [(row, value)]
+            else:
+                bucket.append((row, value))
+        index = {key: tuple(pairs) for key, pairs in buckets.items()}
+        self._indexes[positions] = index
+        return index
+
     # ------------------------------------------------------------------
     # The variable-elimination kernel
     # ------------------------------------------------------------------
@@ -129,6 +157,8 @@ class Factor:
 
         Rows absent from either factor are zero, and zero annihilates, so
         the support of the product is (a subset of) the join of supports.
+        A hash join: the smaller factor is the build side, and its cached
+        :meth:`index_on` index is reused across repeated multiplications.
         """
         if self.semiring is not other.semiring:
             raise SchemaError(
@@ -137,32 +167,36 @@ class Factor:
             )
         semiring = self.semiring
         mine = set(self.schema)
-        shared = tuple(v for v in other.schema if v in mine)
+        shared = tuple(sorted(
+            (v for v in other.schema if v in mine), key=lambda v: v.name
+        ))
         result_schema = tuple(
             sorted(mine | set(other.schema), key=lambda v: v.name)
         )
-        left, right = (self, other) if len(self) <= len(other) else (other, self)
-        left_shared = left._positions(shared)
-        right_shared = right._positions(shared)
-        index: Dict[Row, list] = {}
-        for row, value in left.values.items():
-            key = tuple(row[i] for i in left_shared)
-            index.setdefault(key, []).append((row, value))
-        left_map = {v: i for i, v in enumerate(left.schema)}
-        right_map = {v: i for i, v in enumerate(right.schema)}
+        build, probe = (self, other) if len(self) <= len(other) else (other, self)
+        index = build.index_on(shared)
+        probe_key = _row_getter(probe._positions(shared))
+        probe_map = {v: i for i, v in enumerate(probe.schema)}
+        build_extra = tuple(
+            i for i, v in enumerate(build.schema) if v not in probe_map
+        )
+        extra_of = _row_getter(build_extra)
+        combined = probe.schema + tuple(build.schema[i] for i in build_extra)
+        combined_map = {v: i for i, v in enumerate(combined)}
+        permute = _row_getter(tuple(combined_map[v] for v in result_schema))
+        times, plus = semiring.times, semiring.plus
         result: Dict[Row, object] = {}
-        for r_row, r_value in right.values.items():
-            key = tuple(r_row[i] for i in right_shared)
-            for l_row, l_value in index.get(key, ()):
-                out = tuple(
-                    l_row[left_map[v]] if v in left_map else r_row[right_map[v]]
-                    for v in result_schema
-                )
-                value = semiring.times(l_value, r_value)
+        for p_row, p_value in probe.values.items():
+            bucket = index.get(probe_key(p_row))
+            if not bucket:
+                continue
+            for b_row, b_value in bucket:
+                out = permute(p_row + extra_of(b_row))
+                value = times(b_value, p_value)
                 if out in result:
                     # Cannot happen for functional joins, but repeated rows
                     # from duplicate-schema inputs must still accumulate.
-                    result[out] = semiring.plus(result[out], value)
+                    result[out] = plus(result[out], value)
                 else:
                     result[out] = value
         return Factor(result_schema, result, semiring, _presorted=True)
@@ -223,11 +257,16 @@ class Factor:
 
 def multiply_all(factors: Iterable[Factor],
                  semiring: Semiring = COUNTING) -> Factor:
-    """Product of a collection of factors (smallest-support first)."""
-    pending = sorted(factors, key=len)
-    if not pending:
-        return Factor.scalar(semiring.one, semiring)
-    result = pending[0]
-    for factor in pending[1:]:
-        result = result.multiply(factor)
-    return result
+    """Product of a collection of factors.
+
+    Smallest-support first with greedy connectivity (the shared
+    :func:`~repro.db.algebra.fold_connected` ordering), so cross products
+    are deferred until unavoidable.
+    """
+    from ..db.algebra import fold_connected
+
+    return fold_connected(
+        factors,
+        lambda a, b: a.multiply(b),
+        lambda: Factor.scalar(semiring.one, semiring),
+    )

@@ -10,12 +10,21 @@ computation — are obtained by viewing the target query as a database via
 The solver is a backtracking search with most-constrained-variable ordering
 and per-atom forward checking.  It is exponential only in the query size,
 matching the paper's parameterization (queries small, databases large).
+
+Consistency checks run against the cached hash indexes of each atom's
+matched :class:`~repro.db.algebra.SubstitutionSet`, and the per-pair search
+space (matched atoms plus unconstrained variable domains) is memoized, so
+repeated existence tests over the same (query, database) pair — the access
+pattern of Monte Carlo membership sampling and of core computation — skip
+straight to the backtracking.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Set, Tuple
 
+from ..db.algebra import SubstitutionSet
 from ..db.database import Database
 from ..db.relation import Relation
 from ..query.query import ConjunctiveQuery
@@ -45,84 +54,99 @@ def query_as_database(query: ConjunctiveQuery) -> Database:
 
 
 class _SearchSpace:
-    """Shared pre-processing for one (query, database) pair."""
+    """Shared pre-processing for one (query, database) pair.
+
+    Each atom's pattern (constants, repeated variables) is matched once
+    into a :class:`SubstitutionSet`; consistency checks probe that set's
+    cached key indexes instead of scanning relation tuples.
+    """
 
     def __init__(self, query: ConjunctiveQuery, database: Database):
         self.query = query
-        self.database = database
         self.atoms = query.atoms_sorted()
-        self.tuples: Dict[str, Tuple[tuple, ...]] = {}
+        self.matched: Dict[object, SubstitutionSet] = {}
         for atom in self.atoms:
-            if atom.relation not in self.tuples:
-                relation = database.get(atom.relation)
-                self.tuples[atom.relation] = (
-                    tuple(relation.rows) if relation is not None else ()
-                )
+            if atom in self.matched:
+                continue
+            relation = database.get(atom.relation)
+            if relation is None:
+                relation = Relation(atom.relation, atom.arity, ())
+            self.matched[atom] = SubstitutionSet.from_atom(atom, relation)
+        self._base_domains: Optional[Dict[Variable, frozenset]] = None
+        self._base_computed = False
+
+    def _compute_base_domains(self) -> Optional[Dict[Variable, frozenset]]:
+        if any(not matched.rows for matched in self.matched.values()):
+            return None  # some atom (even a constant-only one) has no tuple
+        domains: Dict[Variable, set] = {}
+        for atom in self.atoms:
+            matched = self.matched[atom]
+            for variable in matched.schema:
+                values = {
+                    key[0] for key in matched.projection_keys((variable,))
+                }
+                if variable in domains:
+                    domains[variable] &= values
+                else:
+                    domains[variable] = values
+        if any(not values for values in domains.values()):
+            return None
+        return {v: frozenset(values) for v, values in domains.items()}
 
     def initial_domains(self, fixed: Mapping[Variable, Hashable]
                         ) -> Optional[Dict[Variable, Set]]:
         """Per-variable candidate sets, or ``None`` if some variable has none."""
-        domains: Dict[Variable, Set] = {}
-        for atom in self.atoms:
-            rows = self.tuples[atom.relation]
-            for position, term in enumerate(atom.terms):
-                if not isinstance(term, Variable):
-                    continue
-                values = {row[position] for row in rows
-                          if self._row_matches_pattern(row, atom)}
-                if term in domains:
-                    domains[term] &= values
-                else:
-                    domains[term] = set(values)
+        if not self._base_computed:
+            self._base_domains = self._compute_base_domains()
+            self._base_computed = True
+        if self._base_domains is None:
+            return None
+        domains: Dict[Variable, Set] = {
+            v: set(values) for v, values in self._base_domains.items()
+        }
         for variable, value in fixed.items():
             if variable in domains:
                 if value not in domains[variable]:
                     return None
                 domains[variable] = {value}
-        if any(not d for d in domains.values()):
-            return None
         return domains
-
-    def _row_matches_pattern(self, row: tuple, atom) -> bool:
-        """Check constants and repeated-variable equalities within one atom."""
-        first_position: Dict[Variable, int] = {}
-        for position, term in enumerate(atom.terms):
-            if isinstance(term, Constant):
-                if row[position] != term.value:
-                    return False
-            else:
-                if term in first_position:
-                    if row[position] != row[first_position[term]]:
-                        return False
-                else:
-                    first_position[term] = position
-        return True
 
     def atom_consistent(self, atom, assignment: Mapping[Variable, Hashable]
                         ) -> bool:
-        """Is there a target tuple compatible with the partial assignment?"""
-        rows = self.tuples[atom.relation]
-        for row in rows:
-            if self._row_extends(row, atom, assignment):
-                return True
-        return False
+        """Is there a target tuple compatible with the partial assignment?
 
-    def _row_extends(self, row: tuple, atom,
-                     assignment: Mapping[Variable, Hashable]) -> bool:
-        first_position: Dict[Variable, int] = {}
-        for position, term in enumerate(atom.terms):
-            if isinstance(term, Constant):
-                if row[position] != term.value:
-                    return False
-            else:
-                if term in assignment and row[position] != assignment[term]:
-                    return False
-                if term in first_position:
-                    if row[position] != row[first_position[term]]:
-                        return False
-                else:
-                    first_position[term] = position
-        return True
+        A hash probe: the assignment's bound subset of the atom's schema
+        keys into the matched set's cached projection keys.
+        """
+        matched = self.matched[atom]
+        if not matched.rows:
+            return False
+        bound = tuple(v for v in matched.schema if v in assignment)
+        if not bound:
+            return True
+        key = tuple(assignment[v] for v in bound)
+        return key in matched.projection_keys(bound)
+
+
+#: Bounded memo of search spaces.  Keyed by the query plus the database
+#: *content* (relation rows are frozensets, which cache their hashes), so
+#: equal databases built independently — e.g. repeated
+#: ``query_as_database`` results during core computation — share one entry.
+_SPACE_MEMO: "OrderedDict[tuple, _SearchSpace]" = OrderedDict()
+_SPACE_MEMO_CAP = 64
+
+
+def _search_space(query: ConjunctiveQuery, database: Database) -> _SearchSpace:
+    key = (query, database.content_fingerprint())
+    space = _SPACE_MEMO.get(key)
+    if space is not None:
+        _SPACE_MEMO.move_to_end(key)
+        return space
+    space = _SearchSpace(query, database)
+    _SPACE_MEMO[key] = space
+    if len(_SPACE_MEMO) > _SPACE_MEMO_CAP:
+        _SPACE_MEMO.popitem(last=False)
+    return space
 
 
 def iter_homomorphisms(query: ConjunctiveQuery, database: Database,
@@ -134,7 +158,7 @@ def iter_homomorphisms(query: ConjunctiveQuery, database: Database,
     and for the identity-on-free-variables homomorphisms of Section 5.3).
     """
     fixed = dict(fixed or {})
-    space = _SearchSpace(query, database)
+    space = _search_space(query, database)
     domains = space.initial_domains(fixed)
     if domains is None:
         return

@@ -5,6 +5,7 @@ CI, not a reader.  Each script runs in a temporary directory (some write
 output files) with a generous timeout.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -12,6 +13,7 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
 
 
@@ -21,12 +23,20 @@ def test_examples_directory_found():
 
 @pytest.mark.parametrize("script", SCRIPTS)
 def test_example_runs(script, tmp_path):
+    # Examples run from a scratch cwd (some write files), so a relative
+    # PYTHONPATH entry like "src" would no longer resolve — prepend the
+    # absolute src directory.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     completed = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)],
         cwd=tmp_path,
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
     assert completed.returncode == 0, (
         f"{script} failed:\n{completed.stdout}\n{completed.stderr}"
