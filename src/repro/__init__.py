@@ -29,7 +29,9 @@ the full machinery:
 * :mod:`repro.faq` -- the Inside-Out (FAQ) comparator [KNR16];
 * :mod:`repro.ucq` -- unions of CQs: inclusion-exclusion, subsumption;
 * :mod:`repro.approx` -- uniform answer sampling, Monte Carlo, Karp-Luby;
-* :mod:`repro.dynamic` -- answer counting under updates [BKS17].
+* :mod:`repro.dynamic` -- answer counting under updates [BKS17];
+* :mod:`repro.service` -- batched counting over worker pools with a
+  shared, shape-keyed plan cache.
 """
 
 from .approx import monte_carlo_count, sample_answers
@@ -59,6 +61,7 @@ from .query import (
     fullcolor,
     parse_query,
 )
+from .service import CountJob, CountingService, PlanCache
 from .ucq import UnionQuery, count_union, parse_ucq
 
 __version__ = "1.0.0"
@@ -95,5 +98,8 @@ __all__ = [
     "count_insideout",
     "monte_carlo_count",
     "sample_answers",
+    "CountJob",
+    "CountingService",
+    "PlanCache",
     "__version__",
 ]

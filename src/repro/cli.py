@@ -7,6 +7,7 @@ Count answers to a conjunctive query over a database stored as JSON::
     python -m repro ucq "ans(A) :- r(A,B) ; ans(A) :- s(A,C)" db.json
     python -m repro sample "ans(A,C) :- r(A,B), s(B,C)" db.json -k 5
     python -m repro faq "ans(A,C) :- r(A,B), s(B,C)" db.json
+    python -m repro batch jobs.json --workers 4 --mode process
 
 The database JSON maps relation names to lists of rows::
 
@@ -166,6 +167,46 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .service import CountingService, load_jobs
+
+    jobs = load_jobs(args.jobs)
+    with CountingService(workers=args.workers, mode=args.mode) as service:
+        results = service.run_batch(jobs)
+        stats = service.stats()
+    for index, (job, result) in enumerate(zip(jobs, results)):
+        label = job.label if job.label is not None else f"job{index}"
+        print(f"{label:<16} count={result.count:<8} "
+              f"strategy={result.strategy}")
+        if args.explain:
+            for line in result.explain().splitlines():
+                print(f"    {line}")
+    print(f"jobs     : {len(jobs)}")
+    if stats["plan_cache_scope"] == "per-worker":
+        print(f"plan cache: per-worker process caches "
+              f"(mode={stats['mode']}, workers={stats['workers']})")
+    else:
+        print(f"plan cache: {stats['hits']} hits / {stats['misses']} misses "
+              f"({stats['plans']} plans, mode={stats['mode']}, "
+              f"workers={stats['workers']})")
+    if args.output:
+        payload = [
+            {
+                "label": job.label if job.label is not None else f"job{i}",
+                "query": str(job.query),
+                "count": result.count,
+                "strategy": result.strategy,
+                "details": result.details,
+            }
+            for i, (job, result) in enumerate(zip(jobs, results))
+        ]
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, default=repr)
+            handle.write("\n")
+        print(f"results  -> {args.output}")
+    return 0
+
+
 def _cmd_suggest(args: argparse.Namespace) -> int:
     from .db.statistics import degree_profile, suggest_pseudo_free
 
@@ -240,6 +281,21 @@ def build_parser() -> argparse.ArgumentParser:
                                   "hybrid probe)")
     explain_cmd.add_argument("--max-width", type=int, default=3)
     explain_cmd.set_defaults(func=_cmd_explain)
+
+    batch = sub.add_parser(
+        "batch", help="run a batch job file through the counting service"
+    )
+    batch.add_argument("jobs", help="path to a batch job file (JSON)")
+    batch.add_argument("--workers", type=int, default=0,
+                       help="worker-pool size (0/1 = inline execution)")
+    batch.add_argument("--mode", default="auto",
+                       choices=["auto", "inline", "thread", "process"],
+                       help="execution mode (auto: inline unless workers>1)")
+    batch.add_argument("--explain", action="store_true",
+                       help="dump each job's decision trail")
+    batch.add_argument("--output", default=None,
+                       help="write results (counts + details) as JSON")
+    batch.set_defaults(func=_cmd_batch)
 
     suggest = sub.add_parser(
         "suggest", help="degree profile and pseudo-free suggestions"

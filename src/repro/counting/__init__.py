@@ -7,11 +7,13 @@ from .engine import (
     CountResult,
     Strategy,
     StrategyContext,
+    clear_engine_memo,
     count_answers,
     register_strategy,
     registered_strategies,
     unregister_strategy,
 )
+from .plan_cache import PlanCache, default_plan_cache
 from .enumeration import enumerate_answers, iter_answers
 from .explain import Explanation, explain, render_join_tree
 from .semiring import (
@@ -67,7 +69,10 @@ __all__ = [
     "CountResult",
     "Strategy",
     "StrategyContext",
+    "PlanCache",
+    "clear_engine_memo",
     "count_answers",
+    "default_plan_cache",
     "register_strategy",
     "registered_strategies",
     "unregister_strategy",

@@ -11,12 +11,21 @@ bundles
 
 ``count_answers(method="auto")`` ranks the registered strategies by their
 estimated cost (preference order breaks ties), probes applicability in that
-order, and runs the first applicable strategy.  Decomposition searches are
-memoized per (query, width), so re-probing and repeated counting calls pay
-for each search once.  The full decision trail — every candidate, its
-estimate, whether it was probed, and the winner's estimated vs. actual
-cost — is recorded in :attr:`CountResult.details` and rendered by
+order, and runs the first applicable strategy.  The full decision trail —
+every candidate, its estimate, whether it was probed, and the winner's
+estimated vs. actual cost — is recorded in :attr:`CountResult.details`
+(as plain JSON-serializable data) and rendered by
 :meth:`CountResult.explain` and the CLI's ``count --explain``.
+
+Plans are shared through a :class:`~repro.counting.plan_cache.PlanCache`:
+every call canonicalizes its query (variables and relation symbols are
+renamed to a shape-canonical form, the database follows through cached
+relation aliases) and runs in canonical space, so decomposition searches
+are memoized per *shape fingerprint* — two queries that differ only by a
+bijective renaming of variables and symbols share one plan.  Pass
+``plan_cache=`` to use a dedicated cache (the batch service does); by
+default the process-wide cache of
+:func:`~repro.counting.plan_cache.default_plan_cache` is used.
 
 The built-in strategies are the paper's algorithms:
 
@@ -46,10 +55,12 @@ from ..decomposition.hypertree import hypertree_from_join_tree
 from ..decomposition.sharp import find_sharp_hypertree_decomposition
 from ..exceptions import DecompositionNotFoundError, NotAcyclicError
 from ..hypergraph.acyclicity import is_acyclic
+from ..query.canonical import CanonicalForm
 from ..query.query import ConjunctiveQuery
 from .acyclic import count_acyclic
 from .brute_force import count_brute_force
 from .hybrid import count_with_hybrid_decomposition
+from .plan_cache import PlanCache, default_plan_cache
 from .sharp_relations import count_via_hypertree
 from .structural import count_with_decomposition
 
@@ -62,13 +73,22 @@ STRATEGIES = ("acyclic", "structural", "hybrid", "degree", "brute_force")
 # ----------------------------------------------------------------------
 @dataclass
 class StrategyContext:
-    """Everything a strategy needs to probe, estimate, and run."""
+    """Everything a strategy needs to probe, estimate, and run.
+
+    When built by :func:`count_answers`, ``query``/``database`` are the
+    *canonical-space* instances (shape-renamed), and ``plan_cache`` /
+    ``fingerprint`` wire witness searches into the shared plan cache via
+    :meth:`cached_plan`.  Directly-constructed contexts (tests, custom
+    tooling) may leave both unset; searches then run uncached.
+    """
 
     query: ConjunctiveQuery
     database: Database
     max_width: int = 3
     max_degree: float = math.inf
     hybrid_width: int = 2
+    plan_cache: Optional[PlanCache] = None
+    fingerprint: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         self.atom_cardinalities: Tuple[int, ...] = tuple(
@@ -110,6 +130,21 @@ class StrategyContext:
     def search_overhead(self, width: int) -> float:
         """Order-of-magnitude cost of a width-*width* decomposition search."""
         return float((self.atom_count * width) ** 2 * 4)
+
+    def cached_plan(self, kind: str, extra_key: tuple,
+                    compute: Callable[[], object]
+                    ) -> Tuple[object, bool]:
+        """``(plan, was_cached)`` for this context's shape and *kind*.
+
+        Consults the attached :class:`PlanCache` under the key
+        ``(kind, fingerprint, *extra_key)``; with no cache attached the
+        plan is computed directly (``was_cached`` is ``False``).  ``None``
+        plans (failed searches) are cached too.
+        """
+        if self.plan_cache is None or self.fingerprint is None:
+            return compute(), False
+        key = (kind, self.fingerprint) + tuple(extra_key)
+        return self.plan_cache.plan(key, compute)
 
 
 @dataclass(frozen=True)
@@ -163,39 +198,30 @@ def unregister_strategy(name: str) -> None:
     _REGISTRY.pop(name, None)
 
 
-# ----------------------------------------------------------------------
-# Memoized decomposition searches
-# ----------------------------------------------------------------------
-_GHD_MEMO: "OrderedDict[tuple, object]" = OrderedDict()
-_HYBRID_MEMO: "OrderedDict[tuple, object]" = OrderedDict()
-_MEMO_CAP = 128
-
-
-def _memoized(memo: "OrderedDict[tuple, object]", key: tuple,
-              compute: Callable[[], object]) -> object:
-    if key in memo:
-        memo.move_to_end(key)
-        return memo[key]
-    result = compute()
-    memo[key] = result
-    if len(memo) > _MEMO_CAP:
-        memo.popitem(last=False)
-    return result
-
-
 def clear_engine_memo() -> None:
-    """Drop the engine's memoized searches (mainly for tests)."""
-    _GHD_MEMO.clear()
-    _HYBRID_MEMO.clear()
+    """Drop every engine-level memo (mainly for tests and cold-cache
+    benchmarks): the default plan cache plus the decomposition-search
+    and homomorphism-search-space memos underneath it — plans live in
+    both layers (the inner memos also serve non-engine callers like the
+    sampler and ``explain``)."""
+    from ..decomposition.sharp import clear_search_memo
+    from ..homomorphism.solver import clear_space_memo
+
+    default_plan_cache().clear()
+    clear_search_memo()
+    clear_space_memo()
 
 
 # ----------------------------------------------------------------------
 # Built-in strategies
 # ----------------------------------------------------------------------
 def _acyclic_applicable(ctx: StrategyContext) -> Optional[object]:
-    if ctx.query.is_quantifier_free() and is_acyclic(ctx.query.hypergraph()):
-        return True
-    return None
+    witness, _ = ctx.cached_plan(
+        "acyclic", (),
+        lambda: True if (ctx.query.is_quantifier_free()
+                         and is_acyclic(ctx.query.hypergraph())) else None,
+    )
+    return witness
 
 
 def _acyclic_estimate(ctx: StrategyContext) -> float:
@@ -216,7 +242,12 @@ def _acyclic_failure(ctx: StrategyContext) -> Exception:
 
 def _structural_applicable(ctx: StrategyContext) -> Optional[object]:
     for width in range(1, ctx.max_width + 1):
-        decomposition = find_sharp_hypertree_decomposition(ctx.query, width)
+        decomposition, _ = ctx.cached_plan(
+            "structural", (width,),
+            lambda width=width: find_sharp_hypertree_decomposition(
+                ctx.query, width
+            ),
+        )
         if decomposition is not None:
             return (width, decomposition)
     return None
@@ -256,9 +287,9 @@ def _hybrid_applicable(ctx: StrategyContext) -> Optional[object]:
         except DecompositionNotFoundError:
             return None
 
-    hybrid = _memoized(
-        _HYBRID_MEMO,
-        (ctx.query, ctx.database.content_fingerprint(), ctx.hybrid_width,
+    hybrid, _ = ctx.cached_plan(
+        "hybrid",
+        (ctx.database.content_fingerprint(), ctx.hybrid_width,
          ctx.max_degree),
         compute,
     )
@@ -299,7 +330,7 @@ def _degree_applicable(ctx: StrategyContext) -> Optional[object]:
             if tree is None:
                 return None
             return hypertree_from_join_tree(tree, ctx.query, max_cover=width)
-        hypertree = _memoized(_GHD_MEMO, (ctx.query, width), compute)
+        hypertree, _ = ctx.cached_plan("degree", (width,), compute)
         if hypertree is not None:
             return (width, hypertree)
     return None
@@ -401,10 +432,52 @@ class CountResult:
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
+def _json_safe(value):
+    """Recursively coerce *value* to plain JSON-serializable data.
+
+    Strings, numbers, booleans and ``None`` pass through; mappings and
+    sequences recurse (tuples/sets become lists); anything else — live
+    decomposition objects, variables, relations — is replaced by its
+    ``repr``.  ``CountResult.details`` goes through this, so batch
+    results can always be serialized by the CLI and shipped across
+    process boundaries.
+    """
+    if value is None or isinstance(value, (bool, str, int, float)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        items = [_json_safe(item) for item in value]
+        try:
+            items.sort()
+        except TypeError:
+            pass
+        return items
+    return repr(value)
+
+
+def _presentable_details(details: Dict[str, object],
+                         form: CanonicalForm) -> Dict[str, object]:
+    """Details in user space: canonical variable names translated back to
+    the caller's names, everything coerced to plain JSON data, and the
+    plan fingerprint recorded."""
+    details = dict(details)
+    names = form.original_variable_names()
+    if "pseudo_free" in details:
+        details["pseudo_free"] = sorted(
+            names.get(name, name) for name in details["pseudo_free"]
+        )
+    details["plan_fingerprint"] = form.digest
+    return _json_safe(details)
+
+
 def count_answers(query: ConjunctiveQuery, database: Database,
                   method: str = "auto", max_width: int = 3,
                   max_degree: float = math.inf,
-                  hybrid_width: int = 2) -> CountResult:
+                  hybrid_width: int = 2,
+                  plan_cache: Optional[PlanCache] = None) -> CountResult:
     """Count the answers of *query* over *database*.
 
     Parameters
@@ -419,12 +492,27 @@ def count_answers(query: ConjunctiveQuery, database: Database,
     hybrid_width:
         Width used for the hybrid search (kept small: its candidate
         enumeration is exponential in the number of existential variables).
+    plan_cache:
+        The :class:`PlanCache` sharing decomposition plans across calls;
+        defaults to the process-wide cache.  Plans are keyed by the
+        query's canonical shape fingerprint, so bijectively renamed
+        queries share plans.
     """
     if method != "auto" and method not in _REGISTRY:
         raise ValueError(f"unknown method {method!r}")
-    context = StrategyContext(query, database, max_width=max_width,
-                              max_degree=max_degree,
-                              hybrid_width=hybrid_width)
+    cache = plan_cache if plan_cache is not None else default_plan_cache()
+    # Execute in canonical space: the shape-renamed query over the
+    # shape-renamed database (cached relation aliases — contents, index
+    # caches and statistics are shared with the originals).  Counts are
+    # invariant under the bijective renaming; plans become shape-keyed.
+    form = cache.canonical(query)
+    context = StrategyContext(
+        form.query.renamed(query.name),
+        database.renamed_restriction(form.symbol_map),
+        max_width=max_width, max_degree=max_degree,
+        hybrid_width=hybrid_width,
+        plan_cache=cache, fingerprint=form.fingerprint,
+    )
 
     if method != "auto":
         strategy = _REGISTRY[method]
@@ -432,7 +520,7 @@ def count_answers(query: ConjunctiveQuery, database: Database,
         if witness is None:
             raise strategy.failure(context)
         count, details = strategy.runner(context, witness)
-        return CountResult(count, method, details)
+        return CountResult(count, method, _presentable_details(details, form))
 
     # Cost-ranked auto selection: estimate every strategy from statistics
     # alone, then probe applicability cheapest-first and run the winner.
@@ -467,7 +555,8 @@ def count_answers(query: ConjunctiveQuery, database: Database,
         details["decision_trail"] = trail
         details["estimated_cost"] = trail[position]["estimated_cost"]
         details["actual_seconds"] = elapsed
-        return CountResult(count, strategy.name, details)
+        return CountResult(count, strategy.name,
+                           _presentable_details(details, form))
     raise AssertionError(  # pragma: no cover - brute force always applies
         "no applicable counting strategy"
     )

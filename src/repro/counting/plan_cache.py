@@ -1,0 +1,115 @@
+"""A shared, thread-safe plan cache keyed by canonical query shape.
+
+The engine's plans — acyclicity witnesses, #-hypertree decompositions,
+GHDs, hybrid decompositions — depend only on the query's *shape* (its
+canonical hypergraph fingerprint; the hybrid plan also depends on the
+database contents).  A :class:`PlanCache` memoizes both the
+canonicalization itself and every plan computed for a shape, so repeated
+shapes — across the calls of one batch, across batches, and across
+bijectively renamed queries — skip the decomposition search entirely.
+
+One process-wide default cache (:func:`default_plan_cache`) backs plain
+``count_answers`` calls; a :class:`~repro.service.CountingService` owns
+its own instance so concurrent batches share plans deliberately.
+
+Thread safety: lookups and stores take an internal lock; plan *computes*
+run outside the lock, so two threads racing on the same fresh shape may
+both compute it (the results are deterministic and the second store is a
+no-op overwrite) but never block each other behind a long search.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Tuple
+
+from ..query.canonical import CanonicalForm, canonical_form
+from ..query.query import ConjunctiveQuery
+
+
+class PlanCache:
+    """Bounded, thread-safe memo for canonical forms and engine plans."""
+
+    def __init__(self, plan_capacity: int = 1024,
+                 canonical_capacity: int = 1024):
+        self._lock = threading.RLock()
+        self._plans: "OrderedDict[tuple, object]" = OrderedDict()
+        self._forms: "OrderedDict[ConjunctiveQuery, CanonicalForm]" = \
+            OrderedDict()
+        self.plan_capacity = plan_capacity
+        self.canonical_capacity = canonical_capacity
+        self.hits = 0
+        self.misses = 0
+        self.canonical_hits = 0
+        self.canonical_misses = 0
+
+    # ------------------------------------------------------------------
+    def canonical(self, query: ConjunctiveQuery) -> CanonicalForm:
+        """The memoized canonical form of *query*."""
+        with self._lock:
+            cached = self._forms.get(query)
+            if cached is not None:
+                self._forms.move_to_end(query)
+                self.canonical_hits += 1
+                return cached
+            self.canonical_misses += 1
+        form = canonical_form(query)
+        with self._lock:
+            self._forms[query] = form
+            if len(self._forms) > self.canonical_capacity:
+                self._forms.popitem(last=False)
+        return form
+
+    def plan(self, key: tuple, compute: Callable[[], object]
+             ) -> Tuple[object, bool]:
+        """``(plan, was_cached)`` for *key*, computing on a miss.
+
+        ``None`` is a legitimate plan (a failed search is exactly as
+        expensive and as cacheable as a successful one), so presence is
+        tracked by the key, not the value.
+        """
+        with self._lock:
+            if key in self._plans:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return self._plans[key], True
+            self.misses += 1
+        value = compute()
+        with self._lock:
+            self._plans[key] = value
+            if len(self._plans) > self.plan_capacity:
+                self._plans.popitem(last=False)
+        return value, False
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every cached plan and canonical form (counters survive)."""
+        with self._lock:
+            self._plans.clear()
+            self._forms.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the cache counters and sizes."""
+        with self._lock:
+            return {
+                "plans": len(self._plans),
+                "canonical_forms": len(self._forms),
+                "hits": self.hits,
+                "misses": self.misses,
+                "canonical_hits": self.canonical_hits,
+                "canonical_misses": self.canonical_misses,
+            }
+
+
+#: The process-wide cache behind plain ``count_answers`` calls.
+_DEFAULT = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide default plan cache."""
+    return _DEFAULT

@@ -64,6 +64,22 @@ class Database:
         updated.update(other._relations)
         return Database(updated.values())
 
+    def renamed_restriction(self, symbol_map: Mapping[str, str]) -> "Database":
+        """Only ``symbol_map``'s relations, renamed ``original -> target``.
+
+        The renamed relations come from :meth:`Relation.renamed`, which
+        caches the alias and shares the underlying row set, index cache
+        and statistics handle — so the engine's canonical-space execution
+        re-derives this database per call at the cost of a few dict
+        lookups while the expensive per-relation caches stay warm.
+        """
+        return Database(
+            self[original].renamed(target)
+            for original, target in sorted(
+                symbol_map.items(), key=lambda item: item[1]
+            )
+        )
+
     # ------------------------------------------------------------------
     # Mapping protocol
     # ------------------------------------------------------------------

@@ -24,7 +24,8 @@ class Relation:
     means they never go stale.
     """
 
-    __slots__ = ("name", "arity", "_rows", "_indexes", "_statistics")
+    __slots__ = ("name", "arity", "_rows", "_indexes", "_statistics",
+                 "_renamed")
 
     def __init__(self, name: str, arity: int, rows: Iterable[Row] = ()):
         self.name = name
@@ -41,6 +42,7 @@ class Relation:
         self._rows: frozenset = frozenset(frozen)
         self._indexes: Dict[Tuple[int, ...], Dict[Row, Tuple[Row, ...]]] = {}
         self._statistics = None
+        self._renamed: Dict[str, "Relation"] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -71,6 +73,17 @@ class Relation:
 
     def __repr__(self) -> str:
         return f"Relation({self.name!r}, arity={self.arity}, |rows|={len(self)})"
+
+    # ------------------------------------------------------------------
+    # Pickling (process-pool workers): ship the contents, not the caches.
+    def __getstate__(self):
+        return (self.name, self.arity, self._rows)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.arity, self._rows = state
+        self._indexes = {}
+        self._statistics = None
+        self._renamed = {}
 
     # ------------------------------------------------------------------
     def index_on(self, positions: Iterable[int]) -> Dict[Row, Tuple[Row, ...]]:
@@ -117,8 +130,30 @@ class Relation:
         return Relation(self.name, self.arity, (r for r in self._rows if keep(r)))
 
     def renamed(self, name: str) -> "Relation":
-        """The same rows under a different relation symbol."""
-        return Relation(name, self.arity, self._rows)
+        """The same rows under a different relation symbol.
+
+        The result is cached per name and *shares* this relation's row
+        set, index cache and statistics handle — the contents are
+        identical, so an index built through either alias serves both.
+        This is what makes the engine's canonical-space execution (every
+        call runs over shape-canonical relation symbols) essentially
+        free: the canonical alias of a relation is one dict lookup and
+        its caches stay warm across calls and batches.
+        """
+        if name == self.name:
+            return self
+        cached = self._renamed.get(name)
+        if cached is None:
+            cached = object.__new__(Relation)
+            cached.name = name
+            cached.arity = self.arity
+            cached._rows = self._rows
+            cached._indexes = self._indexes         # shared: same contents
+            cached._statistics = self.statistics()  # shared: content-based
+            cached._renamed = self._renamed         # shared alias pool
+            self._renamed[name] = cached
+            self._renamed.setdefault(self.name, self)
+        return cached
 
     def active_domain(self) -> frozenset:
         """All values occurring in any position of any row."""

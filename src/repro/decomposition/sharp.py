@@ -17,6 +17,7 @@ each, while the default pipeline uses the canonical (deterministic) core.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import combinations
@@ -127,14 +128,34 @@ def all_colored_cores(query: ConjunctiveQuery) -> List[ConjunctiveQuery]:
 #: arguments (all data-independent), and the engine's ``"auto"`` cascade,
 #: the sampler and repeated counting calls keep asking for the same
 #: (query, width) searches — including failed ones, which are exactly as
-#: expensive and just as cacheable.
+#: expensive and just as cacheable.  The lock guards the
+#: check/move/evict sequences: the batch service's thread mode reaches
+#: this memo from pool workers.
 _SEARCH_MEMO: "OrderedDict[tuple, Optional[SharpDecomposition]]" = OrderedDict()
 _SEARCH_MEMO_CAP = 256
+_SEARCH_MEMO_LOCK = threading.Lock()
 
 
 def clear_search_memo() -> None:
     """Drop all memoized decomposition searches (mainly for tests)."""
-    _SEARCH_MEMO.clear()
+    with _SEARCH_MEMO_LOCK:
+        _SEARCH_MEMO.clear()
+
+
+def _memo_lookup(key: tuple):
+    """``(value, found)`` for *key*, LRU-touching on a hit."""
+    with _SEARCH_MEMO_LOCK:
+        if key in _SEARCH_MEMO:
+            _SEARCH_MEMO.move_to_end(key)
+            return _SEARCH_MEMO[key], True
+    return None, False
+
+
+def _memo_store(key: tuple, value) -> None:
+    with _SEARCH_MEMO_LOCK:
+        _SEARCH_MEMO[key] = value
+        if len(_SEARCH_MEMO) > _SEARCH_MEMO_CAP:
+            _SEARCH_MEMO.popitem(last=False)
 
 
 def find_sharp_decomposition(query: ConjunctiveQuery, views: ViewSet,
@@ -161,15 +182,13 @@ def find_sharp_decomposition(query: ConjunctiveQuery, views: ViewSet,
         given (polynomial path); otherwise the exhaustive core is used.
     """
     key = (query, views.views, colored, try_all_cores, core_width_hint)
-    if key in _SEARCH_MEMO:
-        _SEARCH_MEMO.move_to_end(key)
-        return _SEARCH_MEMO[key]
+    cached, found = _memo_lookup(key)
+    if found:
+        return cached
     result = _find_sharp_decomposition(
         query, views, colored, try_all_cores, core_width_hint
     )
-    _SEARCH_MEMO[key] = result
-    if len(_SEARCH_MEMO) > _SEARCH_MEMO_CAP:
-        _SEARCH_MEMO.popitem(last=False)
+    _memo_store(key, result)
     return result
 
 
@@ -230,17 +249,17 @@ def find_sharp_hypertree_decomposition(query: ConjunctiveQuery, width: int,
     """
     try:
         key = (query, width, tuple(sorted(kwargs.items())))
+        hash(key)
     except TypeError:  # unhashable option value: fall through uncached
         key = None
-    if key is not None and key in _SEARCH_MEMO:
-        _SEARCH_MEMO.move_to_end(key)
-        return _SEARCH_MEMO[key]
+    if key is not None:
+        cached, found = _memo_lookup(key)
+        if found:
+            return cached
     views = hypertree_view_set(query, width)
     result = find_sharp_decomposition(query, views, **kwargs)
     if key is not None:
-        _SEARCH_MEMO[key] = result
-        if len(_SEARCH_MEMO) > _SEARCH_MEMO_CAP:
-            _SEARCH_MEMO.popitem(last=False)
+        _memo_store(key, result)
     return result
 
 

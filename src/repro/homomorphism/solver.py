@@ -21,6 +21,7 @@ straight to the backtracking.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Set, Tuple
 
@@ -136,16 +137,29 @@ _SPACE_MEMO: "OrderedDict[tuple, _SearchSpace]" = OrderedDict()
 _SPACE_MEMO_CAP = 64
 
 
+#: Guards the check/move/evict sequences: the batch service's thread mode
+#: reaches this memo from pool workers.
+_SPACE_MEMO_LOCK = threading.Lock()
+
+
+def clear_space_memo() -> None:
+    """Drop the memoized search spaces (tests, cold-cache benchmarks)."""
+    with _SPACE_MEMO_LOCK:
+        _SPACE_MEMO.clear()
+
+
 def _search_space(query: ConjunctiveQuery, database: Database) -> _SearchSpace:
     key = (query, database.content_fingerprint())
-    space = _SPACE_MEMO.get(key)
-    if space is not None:
-        _SPACE_MEMO.move_to_end(key)
-        return space
+    with _SPACE_MEMO_LOCK:
+        space = _SPACE_MEMO.get(key)
+        if space is not None:
+            _SPACE_MEMO.move_to_end(key)
+            return space
     space = _SearchSpace(query, database)
-    _SPACE_MEMO[key] = space
-    if len(_SPACE_MEMO) > _SPACE_MEMO_CAP:
-        _SPACE_MEMO.popitem(last=False)
+    with _SPACE_MEMO_LOCK:
+        _SPACE_MEMO[key] = space
+        if len(_SPACE_MEMO) > _SPACE_MEMO_CAP:
+            _SPACE_MEMO.popitem(last=False)
     return space
 
 

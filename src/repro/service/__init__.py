@@ -1,0 +1,31 @@
+"""Batched counting service: jobs, worker pools, shared plan cache.
+
+See ARCHITECTURE.md, section "Batch service & plan cache"."""
+
+from ..counting.plan_cache import PlanCache, default_plan_cache
+from ..query.canonical import (
+    CanonicalForm,
+    canonical_form,
+    query_fingerprint,
+    random_renaming,
+    rename_query,
+)
+from .jobs import CountJob, JobFileError, dump_jobs, load_jobs
+from .service import MODES, CountingService, default_workers
+
+__all__ = [
+    "CanonicalForm",
+    "CountJob",
+    "CountingService",
+    "JobFileError",
+    "MODES",
+    "PlanCache",
+    "canonical_form",
+    "default_plan_cache",
+    "default_workers",
+    "dump_jobs",
+    "load_jobs",
+    "query_fingerprint",
+    "random_renaming",
+    "rename_query",
+]

@@ -1,0 +1,164 @@
+"""Batch job descriptions and their JSON file format.
+
+A *job file* bundles named databases with a list of counting jobs::
+
+    {
+      "databases": {
+        "db0": {"r": [[1, 2], [3, 4]], "s": [[2, 9]]}
+      },
+      "jobs": [
+        {"label": "shape0/0",
+         "query": "ans(A, C) :- r(A, B), s(B, C)",
+         "database": "db0",
+         "method": "auto",
+         "max_width": 3}
+      ]
+    }
+
+``database`` is either a key of the top-level ``databases`` object or a
+path to a standalone JSON database file (resolved relative to the job
+file).  Jobs naming the same database share one in-memory
+:class:`~repro.db.database.Database` instance, which is what lets a
+batch build each relation's indexes and statistics once.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..db.database import Database
+from ..db.io import database_from_dict, database_to_dict, query_to_text
+from ..exceptions import ReproError
+from ..query.parser import parse_query
+from ..query.query import ConjunctiveQuery
+
+
+class JobFileError(ReproError):
+    """A malformed batch job file."""
+
+
+@dataclass
+class CountJob:
+    """One counting request: a query over a database, plus engine knobs."""
+
+    query: ConjunctiveQuery
+    database: Database
+    method: str = "auto"
+    max_width: int = 3
+    max_degree: float = math.inf
+    hybrid_width: int = 2
+    label: Optional[str] = None
+
+    def engine_kwargs(self) -> Dict[str, object]:
+        """The keyword arguments this job passes to ``count_answers``."""
+        return {
+            "method": self.method,
+            "max_width": self.max_width,
+            "max_degree": self.max_degree,
+            "hybrid_width": self.hybrid_width,
+        }
+
+
+def load_jobs(path: str) -> List[CountJob]:
+    """Parse a job file into :class:`CountJob`\\ s with shared databases."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or not isinstance(payload.get("jobs"),
+                                                      list):
+        raise JobFileError(f"{path}: expected an object with a 'jobs' list")
+    named: Dict[str, Database] = {
+        name: database_from_dict(spec)
+        for name, spec in payload.get("databases", {}).items()
+    }
+    loaded_paths: Dict[str, Database] = {}
+    base_dir = os.path.dirname(os.path.abspath(path))
+    jobs: List[CountJob] = []
+    for position, spec in enumerate(payload["jobs"]):
+        if not isinstance(spec, dict):
+            raise JobFileError(
+                f"{path}: job {position} must be an object, "
+                f"got {type(spec).__name__}"
+            )
+        try:
+            query_text = spec["query"]
+            reference = spec["database"]
+        except KeyError as missing:
+            raise JobFileError(
+                f"{path}: job {position} lacks {missing.args[0]!r}"
+            ) from None
+        if not isinstance(query_text, str) or not isinstance(reference, str):
+            raise JobFileError(
+                f"{path}: job {position}: 'query' and 'database' must be "
+                f"strings"
+            )
+        query = parse_query(query_text)
+        if reference in named:
+            database = named[reference]
+        else:
+            resolved = os.path.join(base_dir, reference)
+            if resolved not in loaded_paths:
+                try:
+                    with open(resolved) as handle:
+                        loaded_paths[resolved] = database_from_dict(
+                            json.load(handle)
+                        )
+                except OSError as error:
+                    raise JobFileError(
+                        f"{path}: job {position}: database {reference!r} is "
+                        f"neither a named database nor a readable file "
+                        f"({error})"
+                    ) from None
+            database = loaded_paths[resolved]
+        max_degree = spec.get("max_degree")
+        jobs.append(CountJob(
+            query=query,
+            database=database,
+            method=spec.get("method", "auto"),
+            max_width=int(spec.get("max_width", 3)),
+            max_degree=math.inf if max_degree is None else float(max_degree),
+            hybrid_width=int(spec.get("hybrid_width", 2)),
+            label=spec.get("label"),
+        ))
+    return jobs
+
+
+def dump_jobs(path: str, jobs: Sequence[CountJob]) -> None:
+    """Write *jobs* as a job file, deduplicating shared databases.
+
+    Databases are named ``db0, db1, ...`` in first-appearance order;
+    jobs whose :class:`~repro.db.database.Database` instance (or equal
+    content) repeats reference the same name.
+    """
+    names: List[Database] = []
+    payload_dbs: Dict[str, object] = {}
+
+    def name_of(database: Database) -> str:
+        for index, known in enumerate(names):
+            if known is database or known == database:
+                return f"db{index}"
+        names.append(database)
+        name = f"db{len(names) - 1}"
+        payload_dbs[name] = database_to_dict(database)
+        return name
+
+    payload_jobs = []
+    for index, job in enumerate(jobs):
+        spec: Dict[str, object] = {
+            "label": job.label if job.label is not None else f"job{index}",
+            "query": query_to_text(job.query),
+            "database": name_of(job.database),
+            "method": job.method,
+            "max_width": job.max_width,
+            "hybrid_width": job.hybrid_width,
+        }
+        if not math.isinf(job.max_degree):
+            spec["max_degree"] = job.max_degree
+        payload_jobs.append(spec)
+    with open(path, "w") as handle:
+        json.dump({"databases": payload_dbs, "jobs": payload_jobs},
+                  handle, indent=2)
+        handle.write("\n")

@@ -26,6 +26,7 @@ from .paper_queries import (
     qn2_biclique,
     v0_view_set,
 )
+from .batch_jobs import batch_jobs, batch_shape_instances, write_batch_job_file
 from .random_instances import random_acyclic_query, random_instance, random_query
 from .snowflake import (
     customers_by_category_query,
@@ -66,4 +67,7 @@ __all__ = [
     "random_acyclic_query",
     "random_instance",
     "random_query",
+    "batch_jobs",
+    "batch_shape_instances",
+    "write_batch_job_file",
 ]

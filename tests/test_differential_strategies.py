@@ -1,0 +1,94 @@
+"""Differential test harness: every strategy agrees on a random corpus.
+
+The trust anchor for the batch service and the shape-keyed plan cache:
+on a corpus of random instances, every applicable registered strategy
+(brute force, acyclic DP, structural, #-relation/degree, hybrid) and the
+FAQ Inside-Out comparator must return the same count — and the batched
+service must return exactly the sequential engine's results job-for-job,
+in every execution mode.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.counting.brute_force import count_brute_force
+from repro.counting.engine import count_answers, registered_strategies
+from repro.exceptions import DecompositionNotFoundError, NotAcyclicError
+from repro.faq import count_insideout
+from repro.service import CountJob, CountingService, PlanCache
+from repro.workloads.random_instances import random_instance
+
+#: Worker count for pooled runs; the CI matrix raises it via env.
+WORKERS = max(2, int(os.environ.get("REPRO_SERVICE_WORKERS", "2") or 2))
+
+#: Deterministic corpus: alternating cyclic/acyclic random instances.
+CORPUS_SEEDS = tuple(range(10))
+
+
+def _corpus():
+    instances = []
+    for seed in CORPUS_SEEDS:
+        query, database = random_instance(
+            n_variables=5, n_atoms=4, domain_size=5,
+            tuples_per_relation=14, acyclic=seed % 2 == 1, seed=seed,
+        )
+        instances.append((seed, query, database))
+    return instances
+
+
+CORPUS = _corpus()
+
+
+@pytest.mark.parametrize("seed,query,database", CORPUS,
+                         ids=[f"seed{s}" for s, _, _ in CORPUS])
+def test_every_applicable_strategy_agrees(seed, query, database):
+    expected = count_brute_force(query, database)
+    ran = []
+    for strategy in registered_strategies():
+        try:
+            result = count_answers(query, database, method=strategy,
+                                   max_width=3)
+        except (DecompositionNotFoundError, NotAcyclicError):
+            continue
+        assert result.count == expected, (
+            f"seed {seed}: strategy {strategy!r} returned {result.count}, "
+            f"brute force says {expected}"
+        )
+        ran.append(strategy)
+    # brute_force is always applicable, so the differential is never vacuous.
+    assert "brute_force" in ran
+
+
+@pytest.mark.parametrize("seed,query,database", CORPUS,
+                         ids=[f"seed{s}" for s, _, _ in CORPUS])
+def test_faq_insideout_agrees(seed, query, database):
+    assert count_insideout(query, database) == \
+        count_brute_force(query, database)
+
+
+@pytest.mark.parametrize("mode", ["inline", "thread", "process"])
+def test_batched_service_equals_sequential_job_for_job(mode):
+    jobs = [
+        CountJob(query=query, database=database,
+                 label=f"seed{seed}")
+        for seed, query, database in CORPUS
+    ]
+    sequential = [
+        count_answers(job.query, job.database, **job.engine_kwargs())
+        for job in jobs
+    ]
+    with CountingService(
+        workers=1 if mode == "inline" else WORKERS,
+        mode=mode, plan_cache=PlanCache(),
+    ) as service:
+        batched = service.run_batch(jobs)
+    assert len(batched) == len(jobs)
+    for job, sequential_result, batched_result in zip(jobs, sequential,
+                                                      batched):
+        assert batched_result.count == sequential_result.count, job.label
+        assert batched_result.strategy == sequential_result.strategy, \
+            job.label
+        assert batched_result.details["job"] == job.label
