@@ -1,0 +1,271 @@
+"""Streaming-session benchmark: warm-start process pools and maintained counts.
+
+The two acceptance bars of ISSUE 3, asserted here and recorded into
+``BENCH_kernel.json`` by ``run_all.py``:
+
+* **warm pool >= 1.5x** — the batch acceptance workload (**20 jobs / 4
+  shapes**) served by a *fresh* process pool whose workers warm-start
+  from a populated persistent plan-cache directory must be at least
+  1.5x faster than the same fresh pool starting cold (every worker
+  re-paying the decomposition searches);
+* **session >= 3x** — an interleaved update/count stream (one
+  single-tuple update, one count, repeated) served by a
+  :class:`~repro.service.CountingSession`'s maintained path must beat
+  recompute-per-count (``apply_update`` + a fresh ``count_answers`` per
+  step) by at least 3x.
+
+Standalone usage (CI artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_session.py -o bench-session.json
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import shutil
+import tempfile
+import time
+
+from repro.counting.engine import count_answers
+from repro.counting.plan_cache import (
+    PLAN_CACHE_DIR_ENV,
+    PlanCache,
+    set_default_plan_cache,
+)
+from repro.db.database import Database
+from repro.dynamic import Insert, apply_update
+from repro.query.parser import parse_query
+from repro.service import (
+    CountRequest,
+    CountingService,
+    CountingSession,
+    UpdateRequest,
+)
+from repro.workloads.batch_jobs import batch_jobs
+
+N_JOBS = 20
+N_SHAPES = 4
+SEED = 20260731
+#: Same sizing as bench_batch_service: the decomposition search dominates
+#: a cold call, which is exactly what the persistent cache amortizes.
+SHAPE_KWARGS = dict(n_variables=8, n_atoms=6, domain_size=6,
+                    tuples_per_relation=24)
+POOL_WORKERS = 2
+
+#: Session workload: a maintainable star query — one update repairs one
+#: leaf-to-root path while a recount re-joins every branch from scratch.
+SESSION_BRANCHES = 5
+SESSION_QUERY = parse_query(
+    "ans(A, " + ", ".join(f"B{i}" for i in range(SESSION_BRANCHES)) + ") :- "
+    + "hub(A), "
+    + ", ".join(f"r{i}(A, B{i})" for i in range(SESSION_BRANCHES))
+)
+SESSION_ROUNDS = 40
+SESSION_HUB = 40
+SESSION_ROWS = 1500
+
+
+def _workload():
+    return batch_jobs(n_jobs=N_JOBS, n_shapes=N_SHAPES, seed=SEED,
+                      **SHAPE_KWARGS)
+
+
+# ----------------------------------------------------------------------
+# Part 1: cold vs warm-started process pools
+# ----------------------------------------------------------------------
+def pool_seconds(jobs, cache_dir=None) -> tuple:
+    """Wall-clock of one batch through a *fresh* process pool."""
+    started = time.perf_counter()
+    with CountingService(workers=POOL_WORKERS, mode="process",
+                         cache_dir=cache_dir) as service:
+        results = service.run_batch(jobs)
+    return time.perf_counter() - started, [r.count for r in results]
+
+
+def _drop_parent_memos() -> None:
+    """Make forked workers genuinely cold.
+
+    Worker processes are forked from this process, so its in-memory
+    memos must be dropped before each pool measurement — otherwise the
+    "cold" pool would silently inherit the warmup's plans through fork
+    and the comparison would measure nothing.  The default cache is
+    *replaced* (not cleared): clearing a persistent default would wipe a
+    suite-wide spill directory when ``REPRO_PLAN_CACHE_DIR`` is set.
+    """
+    from repro.decomposition.sharp import clear_search_memo
+    from repro.homomorphism.solver import clear_space_memo
+
+    set_default_plan_cache(PlanCache())
+    clear_search_memo()
+    clear_space_memo()
+
+
+@contextlib.contextmanager
+def _isolated_from_configured_cache():
+    """Run a measurement without ``$REPRO_PLAN_CACHE_DIR`` interference.
+
+    CI's persistent-cache leg sets the variable suite-wide; inside it,
+    ``cache_dir=None`` would silently resolve to the shared directory
+    and the "cold" measurements would neither be cold nor isolated.
+    """
+    saved = os.environ.pop(PLAN_CACHE_DIR_ENV, None)
+    try:
+        yield
+    finally:
+        if saved is not None:
+            os.environ[PLAN_CACHE_DIR_ENV] = saved
+        set_default_plan_cache(None)  # back to lazy, env-honoring creation
+
+
+def measure_pools() -> dict:
+    jobs = _workload()
+    cache_dir = tempfile.mkdtemp(prefix="repro-plan-cache-")
+    try:
+        with _isolated_from_configured_cache():
+            # Populate the spill directory once (inline: plans only).
+            with CountingService(workers=0, cache_dir=cache_dir) as warmup:
+                expected = [r.count for r in warmup.run_batch(jobs)]
+            _drop_parent_memos()
+            cold_seconds, cold_counts = pool_seconds(jobs, cache_dir=None)
+            _drop_parent_memos()
+            warm_seconds, warm_counts = pool_seconds(jobs,
+                                                    cache_dir=cache_dir)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    assert cold_counts == expected and warm_counts == expected
+    speedup = round(cold_seconds / max(warm_seconds, 1e-9), 2)
+    return {
+        "pool_workload": f"{N_JOBS} jobs / {N_SHAPES} shapes "
+                         f"(batch_jobs seed={SEED}), fresh "
+                         f"{POOL_WORKERS}-worker process pools",
+        "pool_cold_seconds": round(cold_seconds, 4),
+        "pool_warm_seconds": round(warm_seconds, 4),
+        "warm_pool_speedup": speedup,
+        "meets_1_5x_bar": speedup >= 1.5,
+    }
+
+
+# ----------------------------------------------------------------------
+# Part 2: maintained session vs recompute-per-count
+# ----------------------------------------------------------------------
+def session_database() -> Database:
+    relations = {"hub": [(a,) for a in range(SESSION_HUB)]}
+    for branch in range(SESSION_BRANCHES):
+        relations[f"r{branch}"] = [
+            (i % SESSION_HUB, (i * (7 + branch)) % SESSION_ROWS)
+            for i in range(SESSION_ROWS)
+        ]
+    return Database.from_dict(relations)
+
+
+def session_updates():
+    """A deterministic stream of fresh inserts, one branch per round."""
+    return [
+        Insert(f"r{round_index % SESSION_BRANCHES}",
+               (round_index % SESSION_HUB, SESSION_ROWS + round_index))
+        for round_index in range(SESSION_ROUNDS)
+    ]
+
+
+def measure_session() -> tuple:
+    """``(snapshot, session_counts, recompute_counts)``."""
+    updates = session_updates()
+
+    with _isolated_from_configured_cache():
+        # Recompute-per-count: apply each update, then count from scratch.
+        database = session_database()
+        recompute_counts = []
+        started = time.perf_counter()
+        for update in updates:
+            database = apply_update(database, update)
+            recompute_counts.append(
+                count_answers(SESSION_QUERY, database).count
+            )
+        recompute_seconds = time.perf_counter() - started
+
+        # The session: same stream, maintained path.
+        stream = []
+        for update in updates:
+            stream.append(UpdateRequest("main", update))
+            stream.append(CountRequest(SESSION_QUERY, "main"))
+        started = time.perf_counter()
+        with CountingSession(
+                databases={"main": session_database()}) as session:
+            results = session.run_stream(stream)
+            stats = session.stats()
+        session_seconds = time.perf_counter() - started
+        session_counts = [r.count for r in results if hasattr(r, "count")]
+
+    speedup = round(recompute_seconds / max(session_seconds, 1e-9), 2)
+    total_tuples = SESSION_HUB + SESSION_BRANCHES * SESSION_ROWS
+    snapshot = {
+        "session_workload": f"{SESSION_ROUNDS} update/count rounds over a "
+                            f"{SESSION_BRANCHES}-branch star, "
+                            f"{total_tuples} tuples",
+        "recompute_seconds": round(recompute_seconds, 4),
+        "session_seconds": round(session_seconds, 4),
+        "session_speedup": speedup,
+        "meets_3x_bar": speedup >= 3.0,
+        "maintained_counts": stats["maintained_counts"],
+        "engine_counts": stats["engine_counts"],
+    }
+    return snapshot, session_counts, recompute_counts
+
+
+def snapshot() -> dict:
+    """The benchmark's JSON snapshot (merged into ``BENCH_kernel.json``)."""
+    result = measure_pools()
+    session_snapshot, session_counts, recompute_counts = measure_session()
+    assert session_counts == recompute_counts
+    result.update(session_snapshot)
+    return result
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (run by benchmarks/run_all.py's snapshot section)
+# ----------------------------------------------------------------------
+def test_warm_pool_at_least_1_5x_faster_than_cold():
+    """ISSUE 3 bar: a warm-started fresh process pool >= 1.5x a cold one."""
+    outcome = measure_pools()
+    assert outcome["meets_1_5x_bar"], (
+        f"warm pool {outcome['pool_warm_seconds']}s not 1.5x faster than "
+        f"cold pool {outcome['pool_cold_seconds']}s "
+        f"({outcome['warm_pool_speedup']}x)"
+    )
+
+
+def test_session_at_least_3x_faster_than_recompute():
+    """ISSUE 3 bar: maintained counts >= 3x over recompute-per-count."""
+    outcome, session_counts, recompute_counts = measure_session()
+    assert session_counts == recompute_counts
+    assert outcome["maintained_counts"] == SESSION_ROUNDS
+    assert outcome["meets_3x_bar"], (
+        f"session {outcome['session_seconds']}s not 3x faster than "
+        f"recompute {outcome['recompute_seconds']}s "
+        f"({outcome['session_speedup']}x)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - CI artifact entry point
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="bench-session.json")
+    args = parser.parse_args()
+    result = snapshot()
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+    failed = []
+    if not result["meets_1_5x_bar"]:
+        failed.append("warm pool is not >= 1.5x faster than a cold pool")
+    if not result["meets_3x_bar"]:
+        failed.append("session is not >= 3x faster than recompute-per-count")
+    for message in failed:
+        print(f"FAILED: {message}", file=sys.stderr)
+    if failed:
+        sys.exit(1)

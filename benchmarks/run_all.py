@@ -76,16 +76,26 @@ def micro_benchmarks() -> dict:
     return results
 
 
-def batch_service_snapshot() -> dict:
-    """The batch-service cold/warm/pooled numbers (bench_batch_service)."""
+def _load_bench_module(name: str):
     import importlib.util
 
     spec = importlib.util.spec_from_file_location(
-        "bench_batch_service", BENCH_DIR / "bench_batch_service.py"
+        name, BENCH_DIR / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    return module.snapshot()
+    return module
+
+
+def batch_service_snapshot() -> dict:
+    """The batch-service cold/warm/pooled numbers (bench_batch_service)."""
+    return _load_bench_module("bench_batch_service").snapshot()
+
+
+def session_snapshot() -> dict:
+    """The streaming-session numbers (bench_session): warm-started
+    process pools and maintained counts vs recompute-per-count."""
+    return _load_bench_module("bench_session").snapshot()
 
 
 def run_benchmark_files(names) -> dict:
@@ -122,11 +132,11 @@ def main(argv=None) -> int:
 
     # --fast: only the combined kernel-pair run (below) — no per-file loop,
     # so the CI smoke pays for the pair once, not twice.
-    # bench_batch_service.py is excluded from the file loop because the
-    # batch_service snapshot section below runs the same measurement.
+    # bench_batch_service.py / bench_session.py are excluded from the file
+    # loop because the snapshot sections below run the same measurements.
     files = [] if args.fast else sorted(
         path.name for path in BENCH_DIR.glob("bench_*.py")
-        if path.name != "bench_batch_service.py"
+        if path.name not in ("bench_batch_service.py", "bench_session.py")
     )
     snapshot = {
         "generated_unix": int(time.time()),
@@ -146,6 +156,20 @@ def main(argv=None) -> int:
         if not snapshot["batch_service"]["meets_2x_bar"]:
             failures += 1
             print("[bench]   FAILED (warm batch below the 2x bar)",
+                  flush=True)
+        snapshot["session"] = session_snapshot()
+        print(f"[bench] session: warm pool "
+              f"{snapshot['session']['warm_pool_speedup']}x vs cold pool; "
+              f"maintained stream "
+              f"{snapshot['session']['session_speedup']}x vs recompute",
+              flush=True)
+        if not snapshot["session"]["meets_1_5x_bar"]:
+            failures += 1
+            print("[bench]   FAILED (warm pool below the 1.5x bar)",
+                  flush=True)
+        if not snapshot["session"]["meets_3x_bar"]:
+            failures += 1
+            print("[bench]   FAILED (maintained stream below the 3x bar)",
                   flush=True)
     for name in files:
         print(f"[bench] {name} ...", flush=True)

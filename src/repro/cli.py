@@ -8,6 +8,7 @@ Count answers to a conjunctive query over a database stored as JSON::
     python -m repro sample "ans(A,C) :- r(A,B), s(B,C)" db.json -k 5
     python -m repro faq "ans(A,C) :- r(A,B), s(B,C)" db.json
     python -m repro batch jobs.json --workers 4 --mode process
+    python -m repro session jobs.jsonl --cache-dir .plans
 
 The database JSON maps relation names to lists of rows::
 
@@ -19,7 +20,10 @@ frontier hypergraph, colored core, acyclicity, star size, and the
 #-hypertree width up to a probe bound) without needing a database;
 ``ucq`` counts a union of CQs by inclusion–exclusion; ``sample`` draws
 uniform answers; ``faq`` runs the Inside-Out comparator and prints its
-elimination diagnostics.
+elimination diagnostics; ``batch`` runs a closed job file through the
+counting service; ``session`` replays a JSON Lines stream of interleaved
+counts and updates through a :class:`~repro.service.CountingSession`
+(``--cache-dir`` persists plans across invocations).
 """
 
 from __future__ import annotations
@@ -171,7 +175,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from .service import CountingService, load_jobs
 
     jobs = load_jobs(args.jobs)
-    with CountingService(workers=args.workers, mode=args.mode) as service:
+    with CountingService(workers=args.workers, mode=args.mode,
+                         cache_dir=args.cache_dir) as service:
         results = service.run_batch(jobs)
         stats = service.stats()
     for index, (job, result) in enumerate(zip(jobs, results)):
@@ -200,6 +205,57 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             }
             for i, (job, result) in enumerate(zip(jobs, results))
         ]
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, default=repr)
+            handle.write("\n")
+        print(f"results  -> {args.output}")
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    from .counting.engine import CountResult
+    from .service import CountingSession, load_stream
+
+    jobs = load_stream(args.jobs)
+    with CountingSession(workers=args.workers, mode=args.mode,
+                         cache_dir=args.cache_dir) as session:
+        results = session.run_stream(jobs)
+        stats = session.stats()
+    payload = []
+    for index, (job, result) in enumerate(zip(jobs, results)):
+        label = getattr(job, "label", None) or f"job{index}"
+        if isinstance(result, CountResult):
+            print(f"{label:<16} count={result.count:<8} "
+                  f"strategy={result.strategy}")
+            if args.explain:
+                for line in result.explain().splitlines():
+                    print(f"    {line}")
+            payload.append({
+                "label": label, "op": "count", "count": result.count,
+                "strategy": result.strategy, "details": result.details,
+            })
+        else:
+            op = result.get("op", "?")
+            print(f"{label:<16} {op} database={result.get('database')} "
+                  f"tuples={result.get('total_tuples')}")
+            payload.append({"label": label, **result})
+    print(f"jobs      : {len(jobs)}")
+    print(f"counts    : {stats['maintained_counts']} maintained / "
+          f"{stats['engine_counts']} engine; "
+          f"updates {stats['updates_applied']}")
+    maintainers = stats["maintainers"]
+    print(f"maintainers: {maintainers['maintainers']} live, "
+          f"{maintainers['clients']} client queries, "
+          f"{maintainers['reads_served']} reads")
+    if stats["plan_cache_scope"] == "per-worker":
+        print(f"plan cache: per-worker process caches "
+              f"(mode={stats['mode']}, workers={stats['workers']}, "
+              f"cache_dir={stats['cache_dir']})")
+    else:
+        print(f"plan cache: {stats['hits']} hits / {stats['misses']} misses "
+              f"({stats['plans']} plans, mode={stats['mode']}, "
+              f"cache_dir={stats['cache_dir']})")
+    if args.output:
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2, default=repr)
             handle.write("\n")
@@ -295,7 +351,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dump each job's decision trail")
     batch.add_argument("--output", default=None,
                        help="write results (counts + details) as JSON")
+    batch.add_argument("--cache-dir", default=None,
+                       help="persistent plan-cache directory (defaults to "
+                            "$REPRO_PLAN_CACHE_DIR when set)")
     batch.set_defaults(func=_cmd_batch)
+
+    session = sub.add_parser(
+        "session",
+        help="replay a JSON Lines stream of counts and updates through a "
+             "counting session",
+    )
+    session.add_argument("jobs", help="path to a session stream (JSONL)")
+    session.add_argument("--workers", type=int, default=0,
+                         help="worker-pool size for engine-bound counts")
+    session.add_argument("--mode", default="auto",
+                         choices=["auto", "inline", "thread", "process"],
+                         help="execution mode of the engine fallback")
+    session.add_argument("--cache-dir", default=None,
+                         help="persistent plan-cache directory (defaults to "
+                              "$REPRO_PLAN_CACHE_DIR when set)")
+    session.add_argument("--explain", action="store_true",
+                         help="dump each count's decision trail")
+    session.add_argument("--output", default=None,
+                         help="write results (counts + acks) as JSON")
+    session.set_defaults(func=_cmd_session)
 
     suggest = sub.add_parser(
         "suggest", help="degree profile and pseudo-free suggestions"

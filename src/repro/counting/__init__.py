@@ -13,7 +13,14 @@ from .engine import (
     registered_strategies,
     unregister_strategy,
 )
-from .plan_cache import PlanCache, default_plan_cache
+from .plan_cache import (
+    PersistentPlanCache,
+    PlanCache,
+    default_plan_cache,
+    relation_content_tag,
+    set_default_plan_cache,
+    stable_key_digest,
+)
 from .enumeration import enumerate_answers, iter_answers
 from .explain import Explanation, explain, render_join_tree
 from .semiring import (
@@ -69,10 +76,14 @@ __all__ = [
     "CountResult",
     "Strategy",
     "StrategyContext",
+    "PersistentPlanCache",
     "PlanCache",
     "clear_engine_memo",
     "count_answers",
     "default_plan_cache",
+    "relation_content_tag",
+    "set_default_plan_cache",
+    "stable_key_digest",
     "register_strategy",
     "registered_strategies",
     "unregister_strategy",

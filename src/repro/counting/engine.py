@@ -60,7 +60,7 @@ from ..query.query import ConjunctiveQuery
 from .acyclic import count_acyclic
 from .brute_force import count_brute_force
 from .hybrid import count_with_hybrid_decomposition
-from .plan_cache import PlanCache, default_plan_cache
+from .plan_cache import PlanCache, default_plan_cache, relation_content_tag
 from .sharp_relations import count_via_hypertree
 from .structural import count_with_decomposition
 
@@ -132,19 +132,28 @@ class StrategyContext:
         return float((self.atom_count * width) ** 2 * 4)
 
     def cached_plan(self, kind: str, extra_key: tuple,
-                    compute: Callable[[], object]
-                    ) -> Tuple[object, bool]:
+                    compute: Callable[[], object],
+                    tags: Tuple[str, ...] = ()) -> Tuple[object, bool]:
         """``(plan, was_cached)`` for this context's shape and *kind*.
 
         Consults the attached :class:`PlanCache` under the key
         ``(kind, fingerprint, *extra_key)``; with no cache attached the
         plan is computed directly (``was_cached`` is ``False``).  ``None``
-        plans (failed searches) are cached too.
+        plans (failed searches) are cached too.  *tags* are content tags
+        for targeted invalidation under dynamic updates — pass them for
+        plans whose validity depends on database contents.
         """
         if self.plan_cache is None or self.fingerprint is None:
             return compute(), False
         key = (kind, self.fingerprint) + tuple(extra_key)
-        return self.plan_cache.plan(key, compute)
+        return self.plan_cache.plan(key, compute, tags=tags)
+
+    def content_tags(self) -> Tuple[str, ...]:
+        """Content tags of every relation this query touches (sorted)."""
+        return tuple(sorted({
+            relation_content_tag(self.database[atom.relation])
+            for atom in self.query.atoms_sorted()
+        }))
 
 
 @dataclass(frozen=True)
@@ -200,10 +209,18 @@ def unregister_strategy(name: str) -> None:
 
 def clear_engine_memo() -> None:
     """Drop every engine-level memo (mainly for tests and cold-cache
-    benchmarks): the default plan cache plus the decomposition-search
-    and homomorphism-search-space memos underneath it — plans live in
-    both layers (the inner memos also serve non-engine callers like the
-    sampler and ``explain``)."""
+    benchmarks): the default plan cache — including its on-disk spill
+    when the default is persistent — plus the decomposition-search and
+    homomorphism-search-space memos underneath it; plans live in both
+    layers (the inner memos also serve non-engine callers like the
+    sampler and ``explain``).
+
+    This is the sledgehammer.  A dynamic update does not need it: the
+    hybrid strategy's data-dependent plans are stored under per-relation
+    content tags, so ``PlanCache.invalidate_tags(relation_content_tag(r))``
+    evicts exactly the plans the update touched (the
+    :class:`~repro.service.session.CountingSession` does this on every
+    update), while shape-only plans survive untouched."""
     from ..decomposition.sharp import clear_search_memo
     from ..homomorphism.solver import clear_space_memo
 
@@ -287,11 +304,17 @@ def _hybrid_applicable(ctx: StrategyContext) -> Optional[object]:
         except DecompositionNotFoundError:
             return None
 
+    # The plan depends on the data, so the key carries the database
+    # content fingerprint (a changed database can never *reuse* a stale
+    # plan) and the store carries per-relation content tags (a dynamic
+    # update can *evict* exactly the plans it touched — see
+    # ``PlanCache.invalidate_tags``).
     hybrid, _ = ctx.cached_plan(
         "hybrid",
         (ctx.database.content_fingerprint(), ctx.hybrid_width,
          ctx.max_degree),
         compute,
+        tags=ctx.content_tags(),
     )
     if hybrid is not None and hybrid.degree <= ctx.max_degree:
         return hybrid

@@ -25,7 +25,7 @@ class Relation:
     """
 
     __slots__ = ("name", "arity", "_rows", "_indexes", "_statistics",
-                 "_renamed")
+                 "_renamed", "_content_tag")
 
     def __init__(self, name: str, arity: int, rows: Iterable[Row] = ()):
         self.name = name
@@ -43,6 +43,11 @@ class Relation:
         self._indexes: Dict[Tuple[int, ...], Dict[Row, Tuple[Row, ...]]] = {}
         self._statistics = None
         self._renamed: Dict[str, "Relation"] = {}
+        #: Lazily computed, name-agnostic content digest (see
+        #: ``repro.counting.plan_cache.relation_content_tag``) — cached
+        #: here because the relation is immutable and rendering a large
+        #: row set is O(n log n) string work.
+        self._content_tag = None
 
     # ------------------------------------------------------------------
     @property
@@ -84,6 +89,7 @@ class Relation:
         self._indexes = {}
         self._statistics = None
         self._renamed = {}
+        self._content_tag = None
 
     # ------------------------------------------------------------------
     def index_on(self, positions: Iterable[int]) -> Dict[Row, Tuple[Row, ...]]:
@@ -151,6 +157,7 @@ class Relation:
             cached._indexes = self._indexes         # shared: same contents
             cached._statistics = self.statistics()  # shared: content-based
             cached._renamed = self._renamed         # shared alias pool
+            cached._content_tag = self._content_tag  # name-agnostic anyway
             self._renamed[name] = cached
             self._renamed.setdefault(self.name, self)
         return cached

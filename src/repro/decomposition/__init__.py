@@ -28,6 +28,12 @@ from .hypertree import (
     hypertree_from_join_tree,
     minimal_atom_cover,
 )
+from .serialize import (
+    PLAN_FORMAT_VERSION,
+    PlanSerializationError,
+    deserialize_plan,
+    serialize_plan,
+)
 from .sharp import (
     SharpDecomposition,
     all_colored_cores,
@@ -71,6 +77,10 @@ __all__ = [
     "Hypertree",
     "hypertree_from_join_tree",
     "minimal_atom_cover",
+    "PLAN_FORMAT_VERSION",
+    "PlanSerializationError",
+    "deserialize_plan",
+    "serialize_plan",
     "SharpDecomposition",
     "all_colored_cores",
     "find_sharp_decomposition",

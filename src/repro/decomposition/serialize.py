@@ -1,0 +1,93 @@
+"""Plan serialization: decomposition plans as verifiable byte blobs.
+
+Every engine plan — the acyclicity witness, a
+:class:`~repro.decomposition.sharp.SharpDecomposition`, a
+:class:`~repro.decomposition.hypertree.Hypertree`, a
+:class:`~repro.decomposition.hybrid.HybridDecomposition`, or ``None`` for
+a memoized *failed* search — is a tree of frozen dataclasses, queries,
+atoms and join trees with no live caches attached, so the stdlib pickle
+round-trips them faithfully (the process-pool service already ships the
+same objects across workers).  What pickle does *not* give us is safety
+against a corrupted or stale spill file, so the persistent plan cache
+never stores a naked pickle: :func:`serialize_plan` wraps the payload in
+an envelope carrying a format version and a content checksum, and
+:func:`deserialize_plan` refuses anything whose envelope does not verify
+— the caller then silently recomputes instead of adopting a wrong plan.
+
+The envelope is byte-oriented; the persistent cache base64-embeds it in
+its per-entry JSON files (see
+:class:`~repro.counting.plan_cache.PersistentPlanCache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Tuple
+
+from ..exceptions import ReproError
+
+#: Bump when the plan object graph changes incompatibly; old spill files
+#: are then rejected (and rebuilt) instead of deserialized into garbage.
+PLAN_FORMAT_VERSION = 1
+
+_MAGIC = b"repro-plan"
+
+
+class PlanSerializationError(ReproError):
+    """A plan blob that cannot be produced or must not be trusted."""
+
+
+def serialize_plan(plan: object) -> bytes:
+    """Encode *plan* as a self-verifying byte blob.
+
+    Raises :class:`PlanSerializationError` when the plan does not pickle
+    (e.g. a user-registered strategy cached a witness holding a live
+    resource); callers treat that plan as memory-only.
+    """
+    try:
+        payload = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as error:
+        raise PlanSerializationError(
+            f"plan of type {type(plan).__name__} does not serialize: {error}"
+        ) from error
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    header = b"%s:%d:%s:" % (_MAGIC, PLAN_FORMAT_VERSION, digest)
+    return header + payload
+
+
+def _split_envelope(blob: bytes) -> Tuple[int, bytes, bytes]:
+    """``(version, checksum, payload)`` of *blob*, or raise."""
+    try:
+        magic, version, digest, payload = blob.split(b":", 3)
+    except ValueError:
+        raise PlanSerializationError("plan blob envelope is malformed")
+    if magic != _MAGIC:
+        raise PlanSerializationError("plan blob has a foreign magic header")
+    try:
+        return int(version), digest, payload
+    except ValueError:
+        raise PlanSerializationError("plan blob version is not an integer")
+
+
+def deserialize_plan(blob: bytes) -> object:
+    """Decode a :func:`serialize_plan` blob, verifying the envelope.
+
+    Raises :class:`PlanSerializationError` on a version mismatch, a
+    checksum mismatch (bit rot, truncation, tampering), or an unpicklable
+    payload — never returns a plan that did not verify end to end.
+    """
+    version, digest, payload = _split_envelope(blob)
+    if version != PLAN_FORMAT_VERSION:
+        raise PlanSerializationError(
+            f"plan blob format {version} != current {PLAN_FORMAT_VERSION}"
+        )
+    actual = hashlib.sha256(payload).hexdigest().encode("ascii")
+    if actual != digest:
+        raise PlanSerializationError("plan blob checksum mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise PlanSerializationError(
+            f"plan blob payload does not unpickle: {error}"
+        ) from error

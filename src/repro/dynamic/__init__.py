@@ -21,11 +21,13 @@ are per-atom (the free-connex-style cases); otherwise a recount is the
 honest fallback, matching the dichotomy of [BKS17].
 """
 
-from .maintainer import IncrementalCounter
+from .maintainer import IncrementalCounter, MaintainerPool, SharedMaintainer
 from .updates import Delete, Insert, Update, apply_update
 
 __all__ = [
     "IncrementalCounter",
+    "MaintainerPool",
+    "SharedMaintainer",
     "Insert",
     "Delete",
     "Update",

@@ -25,7 +25,8 @@ recount — the [BKS17] dichotomy says no better is possible in general.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..db.database import Database
 from ..exceptions import NotAcyclicError
@@ -33,7 +34,7 @@ from ..hypergraph.acyclicity import require_join_tree
 from ..query.atom import Atom
 from ..query.query import ConjunctiveQuery
 from ..query.terms import Variable
-from .updates import Insert, Update
+from .updates import Delete, Insert, Update
 
 Row = Tuple[Hashable, ...]
 
@@ -62,7 +63,8 @@ class _Vertex:
     """Mutable per-vertex state of the materialized DP."""
 
     __slots__ = ("index", "schema", "atoms", "atom_rows", "parent",
-                 "children", "counts", "shared_with_parent")
+                 "children", "counts", "shared_with_parent",
+                 "child_positions", "agg_cache")
 
     def __init__(self, index: int, schema: Tuple[Variable, ...],
                  atoms: List[Atom]):
@@ -77,6 +79,13 @@ class _Vertex:
         self.children: List[int] = []
         self.counts: Dict[Row, int] = {}
         self.shared_with_parent: Tuple[int, ...] = ()
+        #: Per child: the positions (in *this* schema) of the shared
+        #: variables — static once the tree is wired.
+        self.child_positions: Dict[int, Tuple[int, ...]] = {}
+        #: Per child: its aggregated counts keyed by shared-variable
+        #: values.  Cached so that repairing one subtree only rebuilds
+        #: the aggregates of the children that actually changed.
+        self.agg_cache: Dict[int, Dict[Row, int]] = {}
 
     def bag_rows(self) -> Set[Row]:
         """Rows present in *every* atom's match set (the bag relation)."""
@@ -115,7 +124,14 @@ class IncrementalCounter:
             grouped.setdefault(atom.variable_set, []).append(atom)
         for index, bag in enumerate(tree.bags):
             schema = tuple(sorted(bag, key=lambda v: v.name))
-            vertex = _Vertex(index, schema, grouped[bag])
+            atoms = grouped.get(bag)
+            if atoms is None:
+                raise NotAcyclicError(
+                    f"{query.name}: join-tree bag "
+                    f"{sorted(v.name for v in bag)} matches no atom's "
+                    f"variable set; the DP cannot be materialized per atom"
+                )
+            vertex = _Vertex(index, schema, atoms)
             self._vertices.append(vertex)
             for atom_index, atom in enumerate(vertex.atoms):
                 self._atoms_by_relation.setdefault(
@@ -144,6 +160,17 @@ class IncrementalCounter:
                     if v in parent_schema
                 )
                 vertex.shared_with_parent = shared
+        # With parents wired, pin each child's shared variables to their
+        # positions in the parent's schema (static for the tree's life).
+        for vertex in self._vertices:
+            for child_index in vertex.children:
+                child = self._vertices[child_index]
+                shared_vars = tuple(
+                    child.schema[i] for i in child.shared_with_parent
+                )
+                vertex.child_positions[child_index] = tuple(
+                    vertex.schema.index(v) for v in shared_vars
+                )
 
     def _load(self, database: Database) -> None:
         for vertex in self._vertices:
@@ -167,17 +194,22 @@ class IncrementalCounter:
         return aggregate
 
     def _recompute_vertex(self, index: int) -> None:
+        """Rebuild *index*'s counts and child aggregates from scratch.
+
+        Used for the initial load only; updates go through the row-wise
+        delta repair in :meth:`apply_batch`, which patches the cached
+        aggregates in place instead of rebuilding them.
+        """
         vertex = self._vertices[index]
-        aggregates = []
         for child_index in vertex.children:
-            child = self._vertices[child_index]
-            shared_vars = tuple(
-                child.schema[i] for i in child.shared_with_parent
+            vertex.agg_cache[child_index] = self._child_aggregate(
+                self._vertices[child_index]
             )
-            my_positions = tuple(
-                vertex.schema.index(v) for v in shared_vars
-            )
-            aggregates.append((my_positions, self._child_aggregate(child)))
+        aggregates = [
+            (vertex.child_positions[child_index],
+             vertex.agg_cache[child_index])
+            for child_index in vertex.children
+        ]
         vertex.counts = {}
         for row in vertex.bag_rows():
             total = 1
@@ -204,10 +236,11 @@ class IncrementalCounter:
             total *= sum(self._vertices[root].counts.values())
         return total
 
-    def apply(self, update: Update) -> None:
-        """Apply one insert/delete and repair the DP along affected paths."""
+    def _ingest(self, update: Update) -> List[Tuple[int, Row]]:
+        """Fold one update into the atom match sets; return the
+        ``(vertex, bag row)`` pairs whose DP value may have changed."""
         touched = self._atoms_by_relation.get(update.relation, ())
-        dirty: Set[int] = set()
+        dirty: List[Tuple[int, Row]] = []
         for vertex_index, atom_index in touched:
             vertex = self._vertices[vertex_index]
             atom = vertex.atoms[atom_index]
@@ -223,20 +256,223 @@ class IncrementalCounter:
                     matches[bag_row] = remaining
                 else:
                     matches.pop(bag_row, None)
-            dirty.add(vertex_index)
-        # Propagate: recompute each dirty vertex and its ancestors, in
-        # post-order so children are repaired before their parents.
-        affected: Set[int] = set()
-        for vertex_index in dirty:
-            current: Optional[int] = vertex_index
-            while current is not None and current not in affected:
-                affected.add(current)
-                current = self._vertices[current].parent
-        for vertex_index, _parent, _children in self._order:
-            if vertex_index in affected:
-                self._recompute_vertex(vertex_index)
+            dirty.append((vertex_index, bag_row))
+        return dirty
 
-    def apply_many(self, updates) -> None:
-        """Apply a sequence of updates."""
+    def _row_count(self, vertex: _Vertex, row: Row) -> int:
+        """The DP value of one bag *row*, from the cached aggregates."""
+        for matches in vertex.atom_rows:
+            if row not in matches:
+                return 0
+        total = 1
+        for child_index in vertex.children:
+            key = tuple(
+                row[i] for i in vertex.child_positions[child_index]
+            )
+            total *= vertex.agg_cache[child_index].get(key, 0)
+            if total == 0:
+                return 0
+        return total
+
+    def apply(self, update: Update) -> None:
+        """Apply one insert/delete and repair the DP along affected paths."""
+        self.apply_batch((update,))
+
+    def apply_batch(self, updates: Sequence[Update]) -> None:
+        """Apply a *batch* of updates with a single delta-propagation pass.
+
+        Every update's match-set change is folded in first; the DP is
+        then repaired **row-wise** in post-order: each affected vertex
+        re-evaluates exactly its changed bag rows against the cached
+        child aggregates, the resulting count deltas patch the parent's
+        cached aggregate in place, and only parent rows whose
+        shared-variable key actually moved are re-evaluated in turn.
+        Vertices off the affected paths — and the untouched rows *on*
+        them — are never visited, so a single-tuple update costs the
+        affected root-to-leaf paths plus one candidate scan per affected
+        parent, not a rebuild of every bag.  The repair is a pure
+        function of the match sets, so a batch lands in exactly the
+        state sequential application would.
+        """
+        changed: Dict[int, Set[Row]] = {}
         for update in updates:
-            self.apply(update)
+            for vertex_index, bag_row in self._ingest(update):
+                changed.setdefault(vertex_index, set()).add(bag_row)
+        if not changed:
+            return
+        for vertex_index, parent, _children in self._order:
+            rows = changed.get(vertex_index)
+            if not rows:
+                continue
+            vertex = self._vertices[vertex_index]
+            deltas: Dict[Row, int] = {}
+            for row in rows:
+                new = self._row_count(vertex, row)
+                old = vertex.counts.get(row, 0)
+                if new == old:
+                    continue
+                if new:
+                    vertex.counts[row] = new
+                else:
+                    del vertex.counts[row]
+                if parent is not None:
+                    key = tuple(
+                        row[i] for i in vertex.shared_with_parent
+                    )
+                    deltas[key] = deltas.get(key, 0) + (new - old)
+            if parent is None or not deltas:
+                continue
+            parent_vertex = self._vertices[parent]
+            aggregate = parent_vertex.agg_cache[vertex_index]
+            moved = set()
+            for key, delta in deltas.items():
+                if delta == 0:
+                    continue
+                value = aggregate.get(key, 0) + delta
+                if value:
+                    aggregate[key] = value
+                else:
+                    del aggregate[key]
+                moved.add(key)
+            if not moved:
+                continue
+            positions = parent_vertex.child_positions[vertex_index]
+            parent_changed = changed.setdefault(parent, set())
+            # Candidate parent rows live in its smallest atom match set
+            # (bag membership requires presence in every one of them).
+            candidates = (min(parent_vertex.atom_rows, key=len)
+                          if parent_vertex.atom_rows else ())
+            for row in candidates:
+                if tuple(row[i] for i in positions) in moved:
+                    parent_changed.add(row)
+
+    def apply_many(self, updates: Sequence[Update]) -> None:
+        """Apply a sequence of updates (alias of :meth:`apply_batch`)."""
+        self.apply_batch(tuple(updates))
+
+
+# ----------------------------------------------------------------------
+# Multi-query sharing: one materialized DP per decomposition tree
+# ----------------------------------------------------------------------
+class SharedMaintainer:
+    """One :class:`IncrementalCounter` serving every same-shape query.
+
+    The counter runs in *canonical space*: it is built over the
+    shape-canonical query and the database's canonically-renamed
+    restriction, so any query that is a bijective variable renaming of
+    another (same decomposition tree, same symbol mapping onto the
+    database) reads its count from the same maintained DP.  ``clients``
+    records the distinct query objects served; ``served`` counts reads.
+    """
+
+    __slots__ = ("counter", "symbol_map", "clients", "served")
+
+    def __init__(self, counter: IncrementalCounter,
+                 symbol_map: Dict[str, str]):
+        self.counter = counter
+        #: original relation symbol -> canonical symbol of the DP's query.
+        self.symbol_map = symbol_map
+        self.clients: Set[ConjunctiveQuery] = set()
+        self.served = 0
+
+    @property
+    def count(self) -> int:
+        return self.counter.count
+
+    def translate(self, update: Update) -> Optional[Update]:
+        """*update* renamed into canonical space; ``None`` when the
+        updated relation does not occur in the maintained query (the
+        count cannot change, so the DP is left untouched)."""
+        target = self.symbol_map.get(update.relation)
+        if target is None:
+            return None
+        if isinstance(update, Insert):
+            return Insert(target, update.row)
+        return Delete(target, update.row)
+
+
+class MaintainerPool:
+    """A bounded pool of :class:`SharedMaintainer`\\ s, keyed by
+    ``(database token, shape fingerprint, symbol renaming)``.
+
+    The *token* names a database version lineage (the streaming session
+    uses its database names); the fingerprint plus the symbol renaming
+    pin one decomposition tree in canonical space.  All queries landing
+    on the same key share one DP — the "many jobs, few shapes" traffic
+    the batch service targets, carried over to maintained counts.
+
+    Not thread-safe by design: the session applies updates and reads
+    maintained counts from its submission thread only (engine fallbacks
+    are what fan out to worker pools).
+    """
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, SharedMaintainer]" = OrderedDict()
+        self.built = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def counter_for(self, token: Hashable, query: ConjunctiveQuery,
+                    database: Database, form) -> SharedMaintainer:
+        """The shared maintainer for *query* over *database*.
+
+        *form* is the query's :class:`~repro.query.canonical.CanonicalForm`
+        (the session passes the plan cache's memoized form).  Builds the
+        DP on first use — raising :class:`NotAcyclicError` when the shape
+        is not maintainable, which callers should memoize per fingerprint
+        — and LRU-evicts beyond ``capacity``.
+        """
+        key = (token, form.fingerprint,
+               tuple(sorted(form.symbol_map.items())))
+        entry = self._entries.get(key)
+        if entry is None:
+            canonical_database = database.renamed_restriction(form.symbol_map)
+            counter = IncrementalCounter(form.query, canonical_database)
+            entry = SharedMaintainer(counter, dict(form.symbol_map))
+            self._entries[key] = entry
+            self.built += 1
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evicted += 1
+        else:
+            self._entries.move_to_end(key)
+        entry.clients.add(query)
+        return entry
+
+    def apply(self, token: Hashable,
+              updates: Sequence[Update]) -> int:
+        """Batch-apply *updates* to every maintainer of *token*'s
+        database; returns how many maintainers were touched."""
+        touched = 0
+        for key, entry in self._entries.items():
+            if key[0] != token:
+                continue
+            translated = [
+                renamed for renamed in map(entry.translate, updates)
+                if renamed is not None
+            ]
+            if translated:
+                entry.counter.apply_batch(translated)
+                touched += 1
+        return touched
+
+    def discard(self, token: Hashable) -> int:
+        """Drop every maintainer of *token*'s database (e.g. when the
+        named database is re-attached wholesale)."""
+        doomed = [key for key in self._entries if key[0] == token]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def stats(self) -> Dict[str, int]:
+        clients = sum(len(e.clients) for e in self._entries.values())
+        return {
+            "maintainers": len(self._entries),
+            "built": self.built,
+            "evicted": self.evicted,
+            "clients": clients,
+            "reads_served": sum(e.served for e in self._entries.values()),
+        }

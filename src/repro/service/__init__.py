@@ -1,8 +1,14 @@
-"""Batched counting service: jobs, worker pools, shared plan cache.
+"""Counting services: batches, streaming sessions, shared plan caches.
 
-See ARCHITECTURE.md, section "Batch service & plan cache"."""
+See ARCHITECTURE.md, sections "Batch service & plan cache" and
+"Streaming sessions"."""
 
-from ..counting.plan_cache import PlanCache, default_plan_cache
+from ..counting.plan_cache import (
+    PersistentPlanCache,
+    PlanCache,
+    default_plan_cache,
+    set_default_plan_cache,
+)
 from ..query.canonical import (
     CanonicalForm,
     canonical_form,
@@ -12,20 +18,40 @@ from ..query.canonical import (
 )
 from .jobs import CountJob, JobFileError, dump_jobs, load_jobs
 from .service import MODES, CountingService, default_workers
+from .session import (
+    AttachDatabase,
+    CountRequest,
+    CountingSession,
+    SessionJob,
+    UpdateRequest,
+    dump_stream,
+    job_from_spec,
+    load_stream,
+)
 
 __all__ = [
+    "AttachDatabase",
     "CanonicalForm",
     "CountJob",
+    "CountRequest",
     "CountingService",
+    "CountingSession",
     "JobFileError",
     "MODES",
+    "PersistentPlanCache",
     "PlanCache",
+    "SessionJob",
+    "UpdateRequest",
     "canonical_form",
     "default_plan_cache",
     "default_workers",
     "dump_jobs",
+    "dump_stream",
+    "job_from_spec",
     "load_jobs",
+    "load_stream",
     "query_fingerprint",
     "random_renaming",
     "rename_query",
+    "set_default_plan_cache",
 ]

@@ -33,7 +33,13 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 from ..counting.engine import CountResult, count_answers
-from ..counting.plan_cache import PlanCache
+from ..counting.plan_cache import (
+    PLAN_CACHE_DIR_ENV,
+    PersistentPlanCache,
+    PlanCache,
+    default_plan_cache,
+    set_default_plan_cache,
+)
 from ..db.database import Database
 from .jobs import CountJob
 
@@ -41,12 +47,27 @@ from .jobs import CountJob
 MODES = ("auto", "inline", "thread", "process")
 
 
+def _warm_worker(cache_dir: Optional[str]) -> None:
+    """Process-pool initializer: route the worker's default plan cache
+    to the shared spill directory, so the worker starts *warm* — its
+    first job of a persisted shape loads the plan from disk instead of
+    re-running the decomposition search."""
+    if cache_dir:
+        set_default_plan_cache(PersistentPlanCache(cache_dir))
+
+
+def _worker_cache_stats(_: object = None) -> dict:
+    """Process-pool probe: the worker's default plan-cache counters."""
+    return default_plan_cache().stats()
+
+
 def _run_job_group(group: Tuple[Database, List[tuple]]) -> List[CountResult]:
     """Process-pool worker: run one database's chunk of jobs.
 
     Module-level so it pickles; runs each job through the worker's own
     process-wide default plan cache (shapes repeat within a chunk, so the
-    cache warms up even across the pickle boundary).
+    cache warms up even across the pickle boundary — and, with a spill
+    directory configured, across process lifetimes).
     """
     database, specs = group
     results = []
@@ -72,10 +93,17 @@ class CountingService:
         The shared :class:`PlanCache`; a fresh one is created when
         omitted.  Pass the same cache to several services to share plans
         across them.
+    cache_dir:
+        A persistent plan-cache spill directory (defaults to
+        ``$REPRO_PLAN_CACHE_DIR`` when set).  Inline/thread services then
+        back their shared cache with it (unless an explicit *plan_cache*
+        was given); process pools pass it to every worker's initializer,
+        so a fresh pool over a populated directory starts warm.
     """
 
     def __init__(self, workers: int = 0, mode: str = "auto",
-                 plan_cache: Optional[PlanCache] = None):
+                 plan_cache: Optional[PlanCache] = None,
+                 cache_dir: Optional[str] = None):
         if mode not in MODES:
             raise ValueError(f"unknown service mode {mode!r}; "
                              f"expected one of {MODES}")
@@ -87,7 +115,13 @@ class CountingService:
         self.mode = mode
         if self.mode in ("thread", "process"):
             self.workers = max(1, self.workers)
-        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        if cache_dir is None:
+            cache_dir = os.environ.get(PLAN_CACHE_DIR_ENV) or None
+        self.cache_dir = cache_dir
+        if plan_cache is None:
+            plan_cache = (PersistentPlanCache(cache_dir) if cache_dir
+                          else PlanCache())
+        self.plan_cache = plan_cache
         self._process_pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
@@ -136,12 +170,9 @@ class CountingService:
                 ]
                 chunks.append((piece, (database, specs)))
         results: List[Optional[CountResult]] = [None] * len(jobs)
-        # The pool outlives the batch: worker processes keep their own
-        # process-wide plan caches warm across run_batch calls.
-        if self._process_pool is None:
-            self._process_pool = ProcessPoolExecutor(max_workers=self.workers)
+        pool = self._ensure_pool()
         futures = [
-            (piece, self._process_pool.submit(_run_job_group, group))
+            (piece, pool.submit(_run_job_group, group))
             for piece, group in chunks
         ]
         for piece, future in futures:
@@ -167,8 +198,40 @@ class CountingService:
             "plan_cache_scope": (
                 "per-worker" if self.mode == "process" else "shared"
             ),
+            "cache_dir": self.cache_dir,
         })
         return snapshot
+
+    def worker_cache_stats(self) -> List[dict]:
+        """Plan-cache counters as seen by the executing workers.
+
+        Inline/thread modes report the shared cache (one snapshot).  In
+        process mode one probe per worker is submitted to the persistent
+        pool; with more than one worker the pool's dispatch decides which
+        workers answer, so treat multi-worker results as a sample (the
+        warm-start tests pin ``workers=1`` for determinism).
+        """
+        if self.mode != "process":
+            return [self.plan_cache.stats()]
+        pool = self._ensure_pool()
+        futures = [pool.submit(_worker_cache_stats)
+                   for _ in range(self.workers)]
+        return [future.result() for future in futures]
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent process pool, created on first use.
+
+        The pool outlives individual batches: worker processes keep
+        their own process-wide plan caches warm across ``run_batch``
+        calls, and the warm-start initializer points those caches at
+        ``cache_dir`` when one is configured.
+        """
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_warm_worker, initargs=(self.cache_dir,),
+            )
+        return self._process_pool
 
     def close(self) -> None:
         """Shut down the persistent process pool (if one was started)."""

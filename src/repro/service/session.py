@@ -1,0 +1,476 @@
+"""Streaming counting sessions: counts and updates over one long-lived front end.
+
+A :class:`CountingSession` is the service's *open-ended* sibling: instead
+of closed batches it accepts a continuous stream of interleaved jobs —
+:class:`CountRequest`\\ s and :class:`UpdateRequest`\\ s (single-tuple
+inserts/deletes) against **named databases**, plus
+:class:`AttachDatabase` declarations — and unifies the repository's three
+counting paths behind one router:
+
+* **maintained** — a count whose shape is quantifier-free and acyclic is
+  served from a :class:`~repro.dynamic.maintainer.MaintainerPool`: one
+  materialized join-tree DP per decomposition tree (in canonical space,
+  so bijectively renamed queries share it), repaired incrementally under
+  updates with delta batching — pending deltas are folded in lazily, one
+  propagation pass per read, when the next count of that database
+  arrives;
+* **engine** — fresh or non-maintainable shapes fall back to
+  ``count_answers`` through the session's
+  :class:`~repro.service.CountingService` (inline, thread, or process
+  pools), each job bound to the database *version* current at submission
+  so batching never reorders a same-database update/count interleaving;
+* **persistent plans** — both paths share the session's plan cache;
+  with a ``cache_dir`` it is a
+  :class:`~repro.counting.plan_cache.PersistentPlanCache`, so plans
+  survive the session and warm the next process (and the process pool's
+  workers).
+
+An update is atomic: it is validated against the current database (a
+delete of an absent row or an arity mismatch raises
+:class:`~repro.exceptions.DatabaseError` and changes *nothing*), then
+swapped in as a new immutable database version, queued for the
+maintainers, and used to invalidate exactly the data-dependent plans
+whose content tags it touches — never the shape-only plans.
+
+Job streams serialize as JSON Lines (one job object per line; see
+:func:`load_stream`), consumed by the CLI as
+``python -m repro session jobs.jsonl --cache-dir .plans``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..counting.engine import CountResult
+from ..counting.plan_cache import PlanCache, relation_content_tag
+from ..db.database import Database
+from ..db.io import database_from_dict, database_to_dict, query_to_text
+from ..dynamic.maintainer import MaintainerPool
+from ..dynamic.updates import Delete, Insert, Update, apply_update
+from ..exceptions import NotAcyclicError, ReproError
+from ..query.parser import parse_query
+from ..query.query import ConjunctiveQuery
+from .jobs import CountJob, JobFileError
+from .service import CountingService
+
+
+# ----------------------------------------------------------------------
+# The job vocabulary of a session stream
+# ----------------------------------------------------------------------
+@dataclass
+class CountRequest:
+    """Count *query* over the named database, at its current version."""
+
+    query: ConjunctiveQuery
+    database: str
+    method: str = "auto"
+    max_width: int = 3
+    max_degree: float = math.inf
+    hybrid_width: int = 2
+    label: Optional[str] = None
+
+
+@dataclass
+class UpdateRequest:
+    """Apply one insert/delete to the named database."""
+
+    database: str
+    update: Update
+    label: Optional[str] = None
+
+
+@dataclass
+class AttachDatabase:
+    """Attach (or wholesale-replace) a named database."""
+
+    name: str
+    database: Database
+    label: Optional[str] = None
+
+
+SessionJob = Union[CountRequest, UpdateRequest, AttachDatabase]
+
+
+class CountingSession:
+    """A long-lived counting front end over named, updatable databases.
+
+    Parameters mirror :class:`~repro.service.CountingService` (the
+    engine-fallback executor): *workers*, *mode*, *plan_cache*,
+    *cache_dir*.  ``maintain=False`` disables the maintained path
+    entirely (every count goes through the engine) — the differential
+    harness uses it as one of its replay configurations.
+    """
+
+    def __init__(self, databases: Optional[Dict[str, Database]] = None,
+                 workers: int = 0, mode: str = "auto",
+                 plan_cache: Optional[PlanCache] = None,
+                 cache_dir: Optional[str] = None,
+                 maintain: bool = True,
+                 maintainer_capacity: int = 64):
+        self._service = CountingService(workers=workers, mode=mode,
+                                        plan_cache=plan_cache,
+                                        cache_dir=cache_dir)
+        self.plan_cache = self._service.plan_cache
+        self.maintain = maintain
+        self._databases: Dict[str, Database] = {}
+        self._maintainers = MaintainerPool(capacity=maintainer_capacity)
+        #: Updates applied to a database but not yet folded into its
+        #: maintainers (delta batching: one propagation per *read*).
+        self._pending_deltas: Dict[str, List[Update]] = {}
+        #: fingerprint -> is the shape maintainable?  (Probing costs a
+        #: join-tree attempt, so the verdict is memoized per shape.)
+        self._maintainable: Dict[tuple, bool] = {}
+        self.maintained_counts = 0
+        self.engine_counts = 0
+        self.updates_applied = 0
+        for name, database in (databases or {}).items():
+            self.attach_database(name, database)
+
+    # ------------------------------------------------------------------
+    # Databases
+    # ------------------------------------------------------------------
+    def database(self, name: str) -> Database:
+        """The current version of the named database."""
+        try:
+            return self._databases[name]
+        except KeyError:
+            raise ReproError(
+                f"session has no database named {name!r}; attach it first"
+            ) from None
+
+    def database_names(self) -> List[str]:
+        return sorted(self._databases)
+
+    def attach_database(self, name: str, database: Database) -> dict:
+        """Attach *database* under *name*; replacing an existing name
+        drops its maintainers and invalidates its data-dependent plans."""
+        invalidated = 0
+        replaced = name in self._databases
+        if replaced:
+            old = self._databases[name]
+            self._pending_deltas.pop(name, None)
+            self._maintainers.discard(name)
+            invalidated = self.plan_cache.invalidate_tags(*(
+                relation_content_tag(relation)
+                for relation in old.relations()
+            ))
+        self._databases[name] = database
+        return {
+            "op": "database", "database": name, "attached": True,
+            "replaced": replaced,
+            "total_tuples": database.total_tuples(),
+            "invalidated_plans": invalidated,
+        }
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(self, name: str, update: Update,
+               label: Optional[str] = None) -> dict:
+        """Apply *update* to the named database (atomically).
+
+        Validation happens first, against the current version — an
+        invalid update (absent delete, duplicate insert, arity mismatch,
+        unknown relation) raises and leaves the database, the
+        maintainers, and the plan cache untouched.  On success the new
+        version is swapped in, the delta is queued for the maintainers,
+        and exactly the plans tagged with the updated relation's old
+        contents are invalidated (shape-only plans survive).
+        """
+        current = self.database(name)
+        updated = apply_update(current, update)  # raises before any effect
+        if self.plan_cache.has_tagged_plans():
+            stale_tag = relation_content_tag(current[update.relation])
+            invalidated = self.plan_cache.invalidate_tags(stale_tag)
+        else:
+            # No data-dependent plans are loaded, so there is nothing to
+            # evict — and skipping the (O(n log n)) content tag keeps
+            # update cost proportional to the update, not the relation.
+            invalidated = 0
+        self._databases[name] = updated
+        self._pending_deltas.setdefault(name, []).append(update)
+        self.updates_applied += 1
+        ack = {
+            "op": "insert" if isinstance(update, Insert) else "delete",
+            "database": name,
+            "relation": update.relation,
+            "applied": True,
+            "total_tuples": updated.total_tuples(),
+            "invalidated_plans": invalidated,
+        }
+        if label is not None:
+            ack["job"] = label
+        return ack
+
+    def _flush_deltas(self, name: str) -> None:
+        """Fold the pending deltas of *name* into its maintainers."""
+        pending = self._pending_deltas.pop(name, None)
+        if pending:
+            self._maintainers.apply(name, pending)
+
+    # ------------------------------------------------------------------
+    # Counts
+    # ------------------------------------------------------------------
+    def _maintained_result(self, request: CountRequest
+                           ) -> Optional[CountResult]:
+        """Serve *request* from a shared maintainer, or ``None`` when the
+        shape is not maintainable (or maintenance is disabled)."""
+        if not self.maintain or request.method not in ("auto", "maintained"):
+            return None
+        form = self.plan_cache.canonical(request.query)
+        if self._maintainable.get(form.fingerprint) is False:
+            return None
+        # The maintainer must see every applied update before it is read
+        # (and before a fresh DP is built from the current version).
+        self._flush_deltas(request.database)
+        database = self.database(request.database)
+        try:
+            entry = self._maintainers.counter_for(
+                request.database, request.query, database, form
+            )
+        except NotAcyclicError:
+            self._maintainable[form.fingerprint] = False
+            return None
+        self._maintainable[form.fingerprint] = True
+        entry.served += 1
+        self.maintained_counts += 1
+        details = {
+            "maintained": True,
+            "database": request.database,
+            "plan_fingerprint": form.digest,
+            "shared_clients": len(entry.clients),
+        }
+        if request.label is not None:
+            details["job"] = request.label
+        return CountResult(entry.count, "maintained", details)
+
+    def _engine_job(self, request: CountRequest) -> CountJob:
+        """*request* as a :class:`CountJob` bound to the database version
+        current right now — later updates create new versions and can
+        never leak into an already-submitted count."""
+        return CountJob(
+            query=request.query,
+            database=self.database(request.database),
+            method=request.method,
+            max_width=request.max_width,
+            max_degree=request.max_degree,
+            hybrid_width=request.hybrid_width,
+            label=request.label,
+        )
+
+    def _route_count(self, request: CountRequest
+                     ) -> tuple:
+        """``(maintained result, engine job)`` — exactly one is set.
+
+        Raises when ``method='maintained'`` is forced but cannot be
+        served, distinguishing a disabled session from an unmaintainable
+        shape.
+        """
+        maintained = self._maintained_result(request)
+        if maintained is not None:
+            return maintained, None
+        if request.method == "maintained":
+            if not self.maintain:
+                raise ReproError(
+                    f"{request.query.name}: method 'maintained' requested "
+                    f"but this session was created with maintain=False"
+                )
+            raise NotAcyclicError(
+                f"{request.query.name}: method 'maintained' requires a "
+                f"quantifier-free acyclic query"
+            )
+        return None, self._engine_job(request)
+
+    def count(self, request: CountRequest) -> CountResult:
+        """Serve one count now (maintained if possible, engine otherwise)."""
+        maintained, job = self._route_count(request)
+        if maintained is not None:
+            return maintained
+        self.engine_counts += 1
+        return self._service.run_job(job)
+
+    # ------------------------------------------------------------------
+    # The stream
+    # ------------------------------------------------------------------
+    def submit(self, job: SessionJob):
+        """Execute one job immediately; returns its result/acknowledgement."""
+        if isinstance(job, CountRequest):
+            return self.count(job)
+        if isinstance(job, UpdateRequest):
+            return self.update(job.database, job.update, label=job.label)
+        if isinstance(job, AttachDatabase):
+            ack = self.attach_database(job.name, job.database)
+            if job.label is not None:
+                ack["job"] = job.label
+            return ack
+        raise ReproError(f"unknown session job {type(job).__name__}")
+
+    def run_stream(self, jobs: Iterable[SessionJob]) -> List[object]:
+        """Run a job stream; results come back in job order.
+
+        Engine-bound counts are buffered and executed through the
+        service's worker pool in batches; because every buffered job is
+        bound to its database *version* at submission time, updates act
+        on fresh versions and the observable results are exactly those
+        of sequential execution — counts and updates on the same
+        database stay strictly ordered, while counts on distinct
+        databases are free to run concurrently.
+        """
+        jobs = list(jobs)
+        results: List[Optional[object]] = [None] * len(jobs)
+        pending: List[tuple] = []  # (result index, CountJob)
+
+        def flush() -> None:
+            if not pending:
+                return
+            batch = self._service.run_batch([job for _, job in pending])
+            for (index, _), result in zip(pending, batch):
+                results[index] = result
+            self.engine_counts += len(pending)
+            pending.clear()
+
+        for index, job in enumerate(jobs):
+            if isinstance(job, CountRequest):
+                maintained, engine_job = self._route_count(job)
+                if maintained is not None:
+                    results[index] = maintained
+                else:
+                    pending.append((index, engine_job))
+            else:
+                results[index] = self.submit(job)
+        flush()
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Session counters plus the underlying service/cache snapshot."""
+        snapshot = self._service.stats()
+        snapshot.update({
+            "databases": self.database_names(),
+            "maintained_counts": self.maintained_counts,
+            "engine_counts": self.engine_counts,
+            "updates_applied": self.updates_applied,
+            "maintainers": self._maintainers.stats(),
+        })
+        return snapshot
+
+    def close(self) -> None:
+        self._service.close()
+
+    def __enter__(self) -> "CountingSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# JSON Lines streams
+# ----------------------------------------------------------------------
+def _freeze(value):
+    """JSON arrays inside rows become hashable tuples."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def job_from_spec(spec: dict, where: str = "<stream>") -> SessionJob:
+    """One stream job from its JSON object (see :func:`load_stream`)."""
+    if not isinstance(spec, dict):
+        raise JobFileError(f"{where}: job must be an object, "
+                           f"got {type(spec).__name__}")
+    op = spec.get("op", "count")
+    label = spec.get("label")
+    try:
+        if op == "database":
+            return AttachDatabase(
+                name=spec["name"],
+                database=database_from_dict(spec["relations"]),
+                label=label,
+            )
+        if op == "count":
+            max_degree = spec.get("max_degree")
+            return CountRequest(
+                query=parse_query(spec["query"]),
+                database=spec["database"],
+                method=spec.get("method", "auto"),
+                max_width=int(spec.get("max_width", 3)),
+                max_degree=(math.inf if max_degree is None
+                            else float(max_degree)),
+                hybrid_width=int(spec.get("hybrid_width", 2)),
+                label=label,
+            )
+        if op in ("insert", "delete"):
+            row = tuple(_freeze(value) for value in spec["row"])
+            update_type = Insert if op == "insert" else Delete
+            return UpdateRequest(
+                database=spec["database"],
+                update=update_type(spec["relation"], row),
+                label=label,
+            )
+    except KeyError as missing:
+        raise JobFileError(
+            f"{where}: {op!r} job lacks {missing.args[0]!r}"
+        ) from None
+    except (TypeError, ValueError) as error:
+        raise JobFileError(f"{where}: malformed {op!r} job: {error}") from None
+    raise JobFileError(f"{where}: unknown op {op!r}")
+
+
+def load_stream(path: str) -> List[SessionJob]:
+    """Parse a JSON Lines session stream.
+
+    One JSON object per line; blank lines and ``#`` comment lines are
+    skipped.  Recognized ``op`` values: ``database`` (attach named
+    relations), ``count`` (same fields as a batch job), ``insert`` /
+    ``delete`` (``database``, ``relation``, ``row``).
+    """
+    jobs: List[SessionJob] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                spec = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise JobFileError(
+                    f"{path}:{lineno}: not valid JSON: {error}"
+                ) from None
+            jobs.append(job_from_spec(spec, where=f"{path}:{lineno}"))
+    return jobs
+
+
+def dump_stream(path: str, jobs: Sequence[SessionJob]) -> None:
+    """Write *jobs* as a JSON Lines session stream (inverse of
+    :func:`load_stream`)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for job in jobs:
+            if isinstance(job, AttachDatabase):
+                spec = {"op": "database", "name": job.name,
+                        "relations": database_to_dict(job.database)}
+            elif isinstance(job, CountRequest):
+                spec = {"op": "count", "query": query_to_text(job.query),
+                        "database": job.database, "method": job.method,
+                        "max_width": job.max_width,
+                        "hybrid_width": job.hybrid_width}
+                if not math.isinf(job.max_degree):
+                    spec["max_degree"] = job.max_degree
+            elif isinstance(job, UpdateRequest):
+                spec = {
+                    "op": ("insert" if isinstance(job.update, Insert)
+                           else "delete"),
+                    "database": job.database,
+                    "relation": job.update.relation,
+                    "row": list(job.update.row),
+                }
+            else:
+                raise ReproError(
+                    f"cannot serialize session job {type(job).__name__}"
+                )
+            if job.label is not None:
+                spec["label"] = job.label
+            handle.write(json.dumps(spec) + "\n")

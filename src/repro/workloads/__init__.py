@@ -28,6 +28,11 @@ from .paper_queries import (
 )
 from .batch_jobs import batch_jobs, batch_shape_instances, write_batch_job_file
 from .random_instances import random_acyclic_query, random_instance, random_query
+from .session_stream import (
+    session_shape_instances,
+    session_stream_jobs,
+    write_session_stream,
+)
 from .snowflake import (
     customers_by_category_query,
     same_region_pairs_query,
@@ -36,6 +41,9 @@ from .snowflake import (
 )
 
 __all__ = [
+    "session_shape_instances",
+    "session_stream_jobs",
+    "write_session_stream",
     "clique_query",
     "count_cliques_brute_force",
     "cycle_query",

@@ -1,0 +1,170 @@
+"""Session workload generator: interleaved count/update streams.
+
+The streaming session's traffic pattern is the batch service's ("many
+jobs, few shapes") with a dynamic twist: between the counts, single-tuple
+inserts and deletes keep mutating the named databases, so maintained
+shapes exercise the incremental DP while cyclic shapes keep falling back
+to the engine.  This module emits exactly that: ``n_shapes`` instances —
+even indices quantifier-free acyclic (maintainable), odd indices cyclic
+(engine-bound) — each attached as a named database, followed by
+``rounds`` rounds of valid updates and renamed-query counts.
+
+``python -m repro.workloads.session_stream jobs.jsonl`` (or
+:func:`write_session_stream`) writes a JSON Lines stream the CLI's
+``session`` subcommand consumes directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..db.database import Database
+from ..dynamic.updates import Delete, Insert
+from ..query.canonical import random_renaming
+from ..service.session import (
+    AttachDatabase,
+    CountRequest,
+    SessionJob,
+    UpdateRequest,
+    dump_stream,
+)
+from .random_instances import (
+    correlated_database,
+    random_acyclic_query,
+    random_instance,
+)
+
+
+def _random_row(rng: random.Random, arity: int, domain_size: int,
+                present: Set[tuple]) -> Optional[tuple]:
+    """A row over the domain that is not already present (or ``None``)."""
+    for _ in range(50):
+        row = tuple(rng.randrange(domain_size) for _ in range(arity))
+        if row not in present:
+            return row
+    return None
+
+
+def session_shape_instances(n_shapes: int = 4, seed: Optional[int] = None,
+                            n_atoms: int = 4, domain_size: int = 6,
+                            tuples_per_relation: int = 20,
+                            ) -> List[Tuple[object, Database]]:
+    """``n_shapes`` instances alternating maintainable and cyclic.
+
+    Even indices are quantifier-free acyclic queries (every variable
+    free), the shapes the session's maintainer pool can serve; odd
+    indices are cyclic, pinning the engine-fallback path.
+    """
+    rng = random.Random(seed)
+    instances = []
+    for index in range(n_shapes):
+        if index % 2 == 0:
+            query = random_acyclic_query(
+                n_atoms, n_free=10 ** 6,  # clamped: every variable free
+                seed=rng.randrange(2 ** 30),
+            )
+            database = correlated_database(
+                query, domain_size, tuples_per_relation,
+                n_seeds=4, seed=rng.randrange(2 ** 30),
+            )
+        else:
+            query, database = random_instance(
+                n_variables=5, n_atoms=n_atoms, domain_size=domain_size,
+                tuples_per_relation=tuples_per_relation,
+                acyclic=False, seed=rng.randrange(2 ** 30),
+            )
+        instances.append((query.renamed(f"shape{index}"), database))
+    return instances
+
+
+def session_stream_jobs(n_shapes: int = 4, rounds: int = 10,
+                        seed: Optional[int] = None,
+                        updates_per_round: int = 2,
+                        **instance_kwargs) -> List[SessionJob]:
+    """An interleaved session stream over *n_shapes* named databases.
+
+    The stream opens by attaching every database, then runs *rounds*
+    rounds; each round, per shape: *updates_per_round* valid updates
+    (random inserts/deletes, tracked against the evolving contents so
+    replay never faults) followed by one count whose query is a fresh
+    bijective renaming of the shape's query.
+    """
+    rng = random.Random(seed)
+    shapes = session_shape_instances(
+        n_shapes, seed=rng.randrange(2 ** 30), **instance_kwargs
+    )
+    domain_size = instance_kwargs.get("domain_size", 6)
+    jobs: List[SessionJob] = []
+    contents: List[Dict[str, Set[tuple]]] = []
+    arities: List[Dict[str, int]] = []
+    for index, (query, database) in enumerate(shapes):
+        name = f"db{index}"
+        jobs.append(AttachDatabase(name, database, label=name))
+        contents.append({
+            relation.name: set(relation.rows)
+            for relation in database.relations()
+        })
+        arities.append({
+            relation.name: relation.arity
+            for relation in database.relations()
+        })
+    for round_index in range(rounds):
+        for index, (query, _database) in enumerate(shapes):
+            name = f"db{index}"
+            for _ in range(updates_per_round):
+                relation = rng.choice(sorted(contents[index]))
+                rows = contents[index][relation]
+                if rows and rng.random() < 0.4:
+                    row = rng.choice(sorted(rows, key=repr))
+                    jobs.append(UpdateRequest(name, Delete(relation, row)))
+                    rows.discard(row)
+                else:
+                    row = _random_row(rng, arities[index][relation],
+                                      domain_size, rows)
+                    if row is None:
+                        continue
+                    jobs.append(UpdateRequest(name, Insert(relation, row)))
+                    rows.add(row)
+            variant = random_renaming(
+                query, seed=rng.randrange(2 ** 30), prefix="X"
+            ).renamed(f"shape{index}")
+            jobs.append(CountRequest(
+                query=variant, database=name,
+                label=f"shape{index}/round{round_index}",
+            ))
+    return jobs
+
+
+def write_session_stream(path: str, n_shapes: int = 4, rounds: int = 10,
+                         seed: Optional[int] = None,
+                         **kwargs) -> List[SessionJob]:
+    """Generate :func:`session_stream_jobs` traffic and write it as JSONL."""
+    jobs = session_stream_jobs(n_shapes=n_shapes, rounds=rounds, seed=seed,
+                               **kwargs)
+    dump_stream(path, jobs)
+    return jobs
+
+
+def _main(argv=None) -> int:  # pragma: no cover - thin CLI wrapper
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="emit a session stream for `python -m repro session`"
+    )
+    parser.add_argument("output", help="path of the JSONL stream to write")
+    parser.add_argument("--shapes", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    jobs = write_session_stream(args.output, n_shapes=args.shapes,
+                                rounds=args.rounds, seed=args.seed)
+    print(f"wrote {len(jobs)} stream jobs over {args.shapes} shapes "
+          f"-> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(_main())

@@ -1,0 +1,175 @@
+"""Differential update-replay harness (ISSUE 3).
+
+Random update streams — inserts, deletes, adversarial orders, deletes of
+absent rows — are replayed through three independent counting paths:
+
+1. :class:`~repro.service.CountingSession` (the streaming front end,
+   maintained counts plus engine fallbacks),
+2. a bare :class:`~repro.dynamic.IncrementalCounter` (the join-tree DP),
+3. from-scratch ``count_answers`` over the chain of immutable databases,
+
+and all three must agree **at every step** — in inline, thread, and
+process execution modes, with maintenance both enabled and disabled.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.counting.engine import count_answers
+from repro.db import Database
+from repro.dynamic import (
+    Delete,
+    IncrementalCounter,
+    Insert,
+    apply_update,
+)
+from repro.exceptions import DatabaseError
+from repro.query import parse_query
+from repro.query.canonical import random_renaming
+from repro.service import CountingSession, CountRequest, UpdateRequest
+
+QUERY = parse_query("ans(A, B, C) :- r(A, B), s(B, C)")
+#: A shape the maintainer cannot serve (alpha-cyclic triangle), pinning
+#: the engine-fallback path in every replay.
+CYCLIC = parse_query("ans(A, B, C) :- r(A, B), s(B, C), r(C, A)")
+
+
+def random_database(rng: random.Random, size: int = 8,
+                    domain: int = 4) -> Database:
+    return Database.from_dict({
+        "r": list({(rng.randrange(domain), rng.randrange(domain))
+                   for _ in range(size)}),
+        "s": list({(rng.randrange(domain), rng.randrange(domain))
+                   for _ in range(size)}),
+    })
+
+
+def random_update(rng: random.Random, database: Database, domain: int = 4):
+    """A valid random update against *database*'s current contents."""
+    relation = rng.choice(["r", "s"])
+    existing = sorted(database[relation].rows, key=repr)
+    if existing and rng.random() < 0.45:
+        return Delete(relation, rng.choice(existing))
+    while True:
+        row = (rng.randrange(domain), rng.randrange(domain))
+        if row not in database[relation]:
+            return Insert(relation, row)
+
+
+def replay_stream(seed: int, steps: int = 25, **session_kwargs):
+    """Replay one random stream through all three paths, step by step."""
+    rng = random.Random(seed)
+    database = random_database(rng)
+    with CountingSession(databases={"main": database},
+                         **session_kwargs) as session:
+        counter = IncrementalCounter(QUERY, database)
+        for step in range(steps):
+            update = random_update(rng, database)
+            database = apply_update(database, update)
+            counter.apply(update)
+            session.update("main", update)
+            # A renamed query keeps the multi-query sharing path honest.
+            query = random_renaming(QUERY, seed=rng.randrange(2 ** 30))
+            session_count = session.count(
+                CountRequest(query, "main", label=f"step{step}")
+            ).count
+            scratch = count_answers(QUERY, database).count
+            assert counter.count == scratch, (
+                f"seed {seed} step {step}: maintainer {counter.count} "
+                f"!= recount {scratch}"
+            )
+            assert session_count == scratch, (
+                f"seed {seed} step {step}: session {session_count} "
+                f"!= recount {scratch}"
+            )
+
+
+class TestDifferentialReplayInline:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_session_maintainer_and_recount_agree(self, seed):
+        replay_stream(seed)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agreement_with_maintenance_disabled(self, seed):
+        replay_stream(seed, maintain=False)
+
+    def test_insert_then_delete_everything(self):
+        """Adversarial order: drain a relation to empty and refill it."""
+        database = Database.from_dict({"r": [(1, 2)], "s": [(2, 3)]})
+        with CountingSession(databases={"main": database}) as session:
+            counter = IncrementalCounter(QUERY, database)
+            stream = [
+                Delete("r", (1, 2)), Insert("r", (1, 2)),
+                Delete("s", (2, 3)), Delete("r", (1, 2)),
+                Insert("r", (4, 5)), Insert("s", (5, 6)),
+            ]
+            for update in stream:
+                database = apply_update(database, update)
+                counter.apply(update)
+                session.update("main", update)
+                scratch = count_answers(QUERY, database).count
+                assert counter.count == scratch
+                assert session.count(
+                    CountRequest(QUERY, "main")).count == scratch
+
+    def test_delete_of_absent_row_is_rejected_atomically(self):
+        """An invalid update raises and perturbs *nothing* downstream."""
+        database = Database.from_dict({"r": [(1, 10)], "s": [(10, 5)]})
+        with CountingSession(databases={"main": database}) as session:
+            before = session.count(CountRequest(QUERY, "main")).count
+            with pytest.raises(DatabaseError):
+                session.update("main", Delete("r", (9, 9)))
+            with pytest.raises(DatabaseError):
+                session.update("main", Insert("r", (1, 10)))  # duplicate
+            assert session.database("main") is database
+            assert session.count(CountRequest(QUERY, "main")).count == before
+            assert before == count_answers(QUERY, database).count
+
+
+class TestDifferentialReplayPooled:
+    """The same agreement through the worker-pool stream path."""
+
+    def _stream_jobs(self, seed: int, steps: int = 12):
+        rng = random.Random(seed)
+        database = random_database(rng)
+        jobs = []
+        databases = {"main": database}
+        expected = []
+        current = database
+        for _ in range(steps):
+            update = random_update(rng, current)
+            current = apply_update(current, update)
+            jobs.append(UpdateRequest("main", update))
+            query = random_renaming(QUERY, seed=rng.randrange(2 ** 30))
+            jobs.append(CountRequest(query, "main"))
+            jobs.append(CountRequest(CYCLIC, "main"))
+            expected.append(count_answers(QUERY, current).count)
+            expected.append(count_answers(CYCLIC, current).count)
+        return databases, jobs, expected
+
+    @pytest.mark.parametrize("mode,workers", [
+        ("inline", 0), ("thread", 2), ("process", 2),
+    ])
+    def test_stream_matches_sequential_recounts(self, mode, workers):
+        databases, jobs, expected = self._stream_jobs(seed=7)
+        with CountingSession(databases=databases, mode=mode,
+                             workers=workers) as session:
+            results = session.run_stream(jobs)
+        counts = [result.count for result in results
+                  if hasattr(result, "count")]
+        assert counts == expected
+
+    def test_modes_agree_job_for_job(self):
+        databases_a, jobs, _ = self._stream_jobs(seed=11)
+        outcomes = {}
+        for mode, workers in (("inline", 0), ("thread", 2), ("process", 2)):
+            databases, stream, _ = self._stream_jobs(seed=11)
+            with CountingSession(databases=databases, mode=mode,
+                                 workers=workers) as session:
+                results = session.run_stream(stream)
+            outcomes[mode] = [result.count for result in results
+                              if hasattr(result, "count")]
+        assert outcomes["inline"] == outcomes["thread"] == outcomes["process"]
