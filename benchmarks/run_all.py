@@ -98,6 +98,12 @@ def session_snapshot() -> dict:
     return _load_bench_module("bench_session").snapshot()
 
 
+def shards_snapshot() -> dict:
+    """The sharded-session numbers (bench_shards): 2-shard multi-writer
+    vs single-writer, and the spill-forced correctness/cap check."""
+    return _load_bench_module("bench_shards").snapshot()
+
+
 def run_benchmark_files(names) -> dict:
     """One pytest pass over one or more benchmark modules."""
     env = dict(os.environ)
@@ -132,11 +138,13 @@ def main(argv=None) -> int:
 
     # --fast: only the combined kernel-pair run (below) — no per-file loop,
     # so the CI smoke pays for the pair once, not twice.
-    # bench_batch_service.py / bench_session.py are excluded from the file
-    # loop because the snapshot sections below run the same measurements.
+    # bench_batch_service.py / bench_session.py / bench_shards.py are
+    # excluded from the file loop because the snapshot sections below run
+    # the same measurements.
     files = [] if args.fast else sorted(
         path.name for path in BENCH_DIR.glob("bench_*.py")
-        if path.name not in ("bench_batch_service.py", "bench_session.py")
+        if path.name not in ("bench_batch_service.py", "bench_session.py",
+                             "bench_shards.py")
     )
     snapshot = {
         "generated_unix": int(time.time()),
@@ -171,6 +179,21 @@ def main(argv=None) -> int:
             failures += 1
             print("[bench]   FAILED (maintained stream below the 3x bar)",
                   flush=True)
+        snapshot["shards"] = shards_snapshot()
+        print(f"[bench] shards: 2-shard multi-writer "
+              f"{snapshot['shards']['shard_speedup']}x vs single writer; "
+              f"spill-forced peak "
+              f"{snapshot['shards']['spill_peak_resident_bytes']}B "
+              f"under {snapshot['shards']['spill_budget_bytes']}B budget",
+              flush=True)
+        if not snapshot["shards"]["meets_shard_1_5x_bar"]:
+            failures += 1
+            print("[bench]   FAILED (sharded session below the 1.5x bar)",
+                  flush=True)
+        if not snapshot["shards"]["meets_spill_bar"]:
+            failures += 1
+            print("[bench]   FAILED (spill-forced session broke "
+                  "correctness or its byte cap)", flush=True)
     for name in files:
         print(f"[bench] {name} ...", flush=True)
         outcome = run_benchmark_files([name])

@@ -9,6 +9,7 @@ Count answers to a conjunctive query over a database stored as JSON::
     python -m repro faq "ans(A,C) :- r(A,B), s(B,C)" db.json
     python -m repro batch jobs.json --workers 4 --mode process
     python -m repro session jobs.jsonl --cache-dir .plans
+    python -m repro session w0.jsonl w1.jsonl --shards 2 --shard-mode process
 
 The database JSON maps relation names to lists of rows::
 
@@ -21,9 +22,14 @@ frontier hypergraph, colored core, acyclicity, star size, and the
 ``ucq`` counts a union of CQs by inclusion–exclusion; ``sample`` draws
 uniform answers; ``faq`` runs the Inside-Out comparator and prints its
 elimination diagnostics; ``batch`` runs a closed job file through the
-counting service; ``session`` replays a JSON Lines stream of interleaved
+counting service; ``session`` replays JSON Lines streams of interleaved
 counts and updates through a :class:`~repro.service.CountingSession`
-(``--cache-dir`` persists plans across invocations).
+(``--cache-dir`` persists plans across invocations) — several stream
+files, or ``--shards N``, run a sharded
+:class:`~repro.service.MultiWriterSession` instead (one writer per
+file, databases hash-partitioned onto shards,
+``--maintainer-budget-mb`` capping each shard's resident maintainer
+DPs).
 """
 
 from __future__ import annotations
@@ -212,22 +218,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_session(args: argparse.Namespace) -> int:
+def _session_result_lines(prefix: str, jobs, results, payload, explain):
     from .counting.engine import CountResult
-    from .service import CountingSession, load_stream
 
-    jobs = load_stream(args.jobs)
-    with CountingSession(workers=args.workers, mode=args.mode,
-                         cache_dir=args.cache_dir) as session:
-        results = session.run_stream(jobs)
-        stats = session.stats()
-    payload = []
     for index, (job, result) in enumerate(zip(jobs, results)):
-        label = getattr(job, "label", None) or f"job{index}"
+        label = prefix + (getattr(job, "label", None) or f"job{index}")
         if isinstance(result, CountResult):
             print(f"{label:<16} count={result.count:<8} "
                   f"strategy={result.strategy}")
-            if args.explain:
+            if explain:
                 for line in result.explain().splitlines():
                     print(f"    {line}")
             payload.append({
@@ -239,22 +238,79 @@ def _cmd_session(args: argparse.Namespace) -> int:
             print(f"{label:<16} {op} database={result.get('database')} "
                   f"tuples={result.get('total_tuples')}")
             payload.append({"label": label, **result})
-    print(f"jobs      : {len(jobs)}")
-    print(f"counts    : {stats['maintained_counts']} maintained / "
-          f"{stats['engine_counts']} engine; "
-          f"updates {stats['updates_applied']}")
-    maintainers = stats["maintainers"]
-    print(f"maintainers: {maintainers['maintainers']} live, "
-          f"{maintainers['clients']} client queries, "
-          f"{maintainers['reads_served']} reads")
-    if stats["plan_cache_scope"] == "per-worker":
-        print(f"plan cache: per-worker process caches "
-              f"(mode={stats['mode']}, workers={stats['workers']}, "
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    from .service import CountingSession, MultiWriterSession, load_stream
+
+    streams = [load_stream(path) for path in args.jobs]
+    session_kwargs = {}
+    if args.maintainer_budget_mb is not None:
+        # <= 0 means "explicitly unbounded" (overriding the env), never
+        # a degenerate one-byte budget.
+        session_kwargs["maintainer_budget_bytes"] = (
+            max(1, int(args.maintainer_budget_mb * 1024 * 1024))
+            if args.maintainer_budget_mb > 0 else None
+        )
+    payload: List[dict] = []
+    sharded = args.shards > 0 or len(streams) > 1
+    if sharded:
+        with MultiWriterSession(shards=args.shards,
+                                shard_mode=args.shard_mode,
+                                cache_dir=args.cache_dir,
+                                **session_kwargs) as session:
+            outcomes = session.run_streams(streams)
+            stats = session.stats()
+        for index, (jobs, results) in enumerate(zip(streams, outcomes)):
+            prefix = f"w{index}/" if len(streams) > 1 else ""
+            _session_result_lines(prefix, jobs, results, payload,
+                                  args.explain)
+        print(f"jobs      : {sum(len(jobs) for jobs in streams)} over "
+              f"{len(streams)} writer stream(s)")
+        print(f"counts    : {stats['maintained_counts']} maintained / "
+              f"{stats['engine_counts']} engine; "
+              f"updates {stats['updates_applied']}")
+        print(f"shards    : {stats['shards']} ({stats['shard_mode']}; "
+              f"plan cache {stats['plan_cache_scope']}, "
               f"cache_dir={stats['cache_dir']})")
+        for shard in stats["per_shard"]:
+            pool = shard["maintainers"]
+            print(f"  {shard.get('shard', '?'):<8} "
+                  f"databases={len(shard['databases'])} "
+                  f"maintained={shard['maintained_counts']} "
+                  f"engine={shard['engine_counts']} "
+                  f"resident={pool['resident_bytes']}B "
+                  f"(peak {pool['peak_resident_bytes']}B, "
+                  f"spilled {pool['spilled']}, "
+                  f"restored {pool['restored']})")
     else:
-        print(f"plan cache: {stats['hits']} hits / {stats['misses']} misses "
-              f"({stats['plans']} plans, mode={stats['mode']}, "
-              f"cache_dir={stats['cache_dir']})")
+        jobs = streams[0]
+        with CountingSession(workers=args.workers, mode=args.mode,
+                             cache_dir=args.cache_dir,
+                             **session_kwargs) as session:
+            results = session.run_stream(jobs)
+            stats = session.stats()
+        _session_result_lines("", jobs, results, payload, args.explain)
+        print(f"jobs      : {len(jobs)}")
+        print(f"counts    : {stats['maintained_counts']} maintained / "
+              f"{stats['engine_counts']} engine; "
+              f"updates {stats['updates_applied']}")
+        maintainers = stats["maintainers"]
+        print(f"maintainers: {maintainers['maintainers']} live, "
+              f"{maintainers['clients']} client queries, "
+              f"{maintainers['reads_served']} reads, "
+              f"{maintainers['resident_bytes']}B resident "
+              f"(spilled {maintainers['spilled']}, "
+              f"restored {maintainers['restored']})")
+        if stats["plan_cache_scope"] == "per-worker":
+            print(f"plan cache: per-worker process caches "
+                  f"(mode={stats['mode']}, workers={stats['workers']}, "
+                  f"cache_dir={stats['cache_dir']})")
+        else:
+            print(f"plan cache: {stats['hits']} hits / "
+                  f"{stats['misses']} misses "
+                  f"({stats['plans']} plans, mode={stats['mode']}, "
+                  f"cache_dir={stats['cache_dir']})")
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2, default=repr)
@@ -358,15 +414,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     session = sub.add_parser(
         "session",
-        help="replay a JSON Lines stream of counts and updates through a "
-             "counting session",
+        help="replay JSON Lines streams of counts and updates through a "
+             "counting session (several stream files = several writers)",
     )
-    session.add_argument("jobs", help="path to a session stream (JSONL)")
+    session.add_argument("jobs", nargs="+",
+                         help="session stream file(s) (JSONL); each file "
+                              "is one writer stream")
     session.add_argument("--workers", type=int, default=0,
-                         help="worker-pool size for engine-bound counts")
+                         help="worker-pool size for engine-bound counts "
+                              "(single-writer sessions only)")
     session.add_argument("--mode", default="auto",
                          choices=["auto", "inline", "thread", "process"],
-                         help="execution mode of the engine fallback")
+                         help="execution mode of the engine fallback "
+                              "(single-writer sessions only)")
+    session.add_argument("--shards", type=int, default=0,
+                         help="shard the session onto N workers (hash-"
+                             "partitioned by database name; 0 = single-"
+                             "writer unless several stream files are given)")
+    session.add_argument("--shard-mode", default="thread",
+                         choices=["inline", "thread", "process"],
+                         help="shard worker flavor (process = real "
+                              "parallelism, one interpreter per shard)")
+    session.add_argument("--maintainer-budget-mb", type=float, default=None,
+                         help="resident maintainer memory budget per "
+                              "shard/session in MB (cold maintainers spill "
+                              "to checkpoints; 0 = unbounded; defaults to "
+                              "$REPRO_MAINTAINER_BUDGET_MB)")
     session.add_argument("--cache-dir", default=None,
                          help="persistent plan-cache directory (defaults to "
                               "$REPRO_PLAN_CACHE_DIR when set)")

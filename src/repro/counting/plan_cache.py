@@ -121,7 +121,12 @@ class PlanCache:
     """Bounded, thread-safe memo for canonical forms and engine plans."""
 
     def __init__(self, plan_capacity: int = 1024,
-                 canonical_capacity: int = 1024):
+                 canonical_capacity: int = 1024,
+                 label: Optional[str] = None):
+        #: Display name surfaced in :meth:`stats` — the sharded front
+        #: end labels per-shard caches so its aggregated snapshots stay
+        #: attributable ("shard0", ...).
+        self.label = label
         self._lock = threading.RLock()
         self._plans: "OrderedDict[tuple, object]" = OrderedDict()
         self._key_tags: Dict[tuple, Tuple[str, ...]] = {}
@@ -276,7 +281,7 @@ class PlanCache:
     def stats(self) -> Dict[str, int]:
         """A snapshot of the cache counters and sizes."""
         with self._lock:
-            return {
+            snapshot = {
                 "plans": len(self._plans),
                 "canonical_forms": len(self._forms),
                 "hits": self.hits,
@@ -285,6 +290,9 @@ class PlanCache:
                 "canonical_misses": self.canonical_misses,
                 "invalidated": self.invalidated,
             }
+            if self.label is not None:
+                snapshot["label"] = self.label
+            return snapshot
 
 
 class PersistentPlanCache(PlanCache):
@@ -306,9 +314,11 @@ class PersistentPlanCache(PlanCache):
     """
 
     def __init__(self, directory: str, plan_capacity: int = 4096,
-                 canonical_capacity: int = 1024):
+                 canonical_capacity: int = 1024,
+                 label: Optional[str] = None):
         super().__init__(plan_capacity=plan_capacity,
-                         canonical_capacity=canonical_capacity)
+                         canonical_capacity=canonical_capacity,
+                         label=label)
         self.directory = os.path.abspath(directory)
         os.makedirs(self.directory, exist_ok=True)
         self.disk_hits = 0

@@ -1,4 +1,4 @@
-"""Plan serialization: decomposition plans as verifiable byte blobs.
+"""Plan and maintainer-state serialization: verifiable byte blobs.
 
 Every engine plan — the acyclicity witness, a
 :class:`~repro.decomposition.sharp.SharpDecomposition`, a
@@ -14,9 +14,19 @@ an envelope carrying a format version and a content checksum, and
 :func:`deserialize_plan` refuses anything whose envelope does not verify
 — the caller then silently recomputes instead of adopting a wrong plan.
 
-The envelope is byte-oriented; the persistent cache base64-embeds it in
-its per-entry JSON files (see
-:class:`~repro.counting.plan_cache.PersistentPlanCache`).
+The same envelope discipline covers **maintainer checkpoints**: a
+:class:`~repro.dynamic.maintainer.MaintainerPool` spilling a cold
+materialized DP to disk wraps the pickled counter state with
+:func:`serialize_maintainer_state` (its own magic header and format
+version, so a plan blob can never be mistaken for a checkpoint and vice
+versa), and :func:`deserialize_maintainer_state` refuses anything that
+does not verify — the pool then rebuilds the DP from the live database
+instead of adopting corrupt state.
+
+Envelopes are byte-oriented; the persistent plan cache base64-embeds
+them in its per-entry JSON files (see
+:class:`~repro.counting.plan_cache.PersistentPlanCache`), while the
+maintainer pool writes them to checkpoint files directly.
 """
 
 from __future__ import annotations
@@ -31,13 +41,73 @@ from ..exceptions import ReproError
 #: are then rejected (and rebuilt) instead of deserialized into garbage.
 PLAN_FORMAT_VERSION = 1
 
-_MAGIC = b"repro-plan"
+#: Bump when the maintainer DP state changes incompatibly; stale
+#: checkpoints are then rejected and the DP is rebuilt from the database.
+MAINTAINER_FORMAT_VERSION = 1
+
+_PLAN_MAGIC = b"repro-plan"
+_MAINTAINER_MAGIC = b"repro-maint"
 
 
 class PlanSerializationError(ReproError):
-    """A plan blob that cannot be produced or must not be trusted."""
+    """A serialized blob that cannot be produced or must not be trusted."""
 
 
+def _serialize(payload_object: object, magic: bytes, version: int) -> bytes:
+    """Encode *payload_object* as a self-verifying byte blob."""
+    try:
+        payload = pickle.dumps(payload_object,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as error:
+        raise PlanSerializationError(
+            f"payload of type {type(payload_object).__name__} "
+            f"does not serialize: {error}"
+        ) from error
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    header = b"%s:%d:%s:" % (magic, version, digest)
+    return header + payload
+
+
+def _split_envelope(blob: bytes, magic: bytes) -> Tuple[int, bytes, bytes]:
+    """``(version, checksum, payload)`` of *blob*, or raise."""
+    try:
+        found_magic, version, digest, payload = blob.split(b":", 3)
+    except ValueError:
+        raise PlanSerializationError("blob envelope is malformed")
+    if found_magic != magic:
+        raise PlanSerializationError("blob has a foreign magic header")
+    try:
+        return int(version), digest, payload
+    except ValueError:
+        raise PlanSerializationError("blob version is not an integer")
+
+
+def _deserialize(blob: bytes, magic: bytes, expected_version: int) -> object:
+    """Decode a :func:`_serialize` blob, verifying the envelope.
+
+    Raises :class:`PlanSerializationError` on a version mismatch, a
+    checksum mismatch (bit rot, truncation, tampering), or an unpicklable
+    payload — never returns a payload that did not verify end to end.
+    """
+    version, digest, payload = _split_envelope(blob, magic)
+    if version != expected_version:
+        raise PlanSerializationError(
+            f"blob format {version} != current {expected_version}"
+        )
+    actual = hashlib.sha256(payload).hexdigest().encode("ascii")
+    if actual != digest:
+        raise PlanSerializationError("blob checksum mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise PlanSerializationError(
+            f"blob payload does not unpickle: {error}"
+        ) from error
+
+
+# ----------------------------------------------------------------------
+# Engine plans (the persistent plan cache's blobs)
+# ----------------------------------------------------------------------
 def serialize_plan(plan: object) -> bytes:
     """Encode *plan* as a self-verifying byte blob.
 
@@ -45,49 +115,29 @@ def serialize_plan(plan: object) -> bytes:
     (e.g. a user-registered strategy cached a witness holding a live
     resource); callers treat that plan as memory-only.
     """
-    try:
-        payload = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as error:
-        raise PlanSerializationError(
-            f"plan of type {type(plan).__name__} does not serialize: {error}"
-        ) from error
-    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
-    header = b"%s:%d:%s:" % (_MAGIC, PLAN_FORMAT_VERSION, digest)
-    return header + payload
-
-
-def _split_envelope(blob: bytes) -> Tuple[int, bytes, bytes]:
-    """``(version, checksum, payload)`` of *blob*, or raise."""
-    try:
-        magic, version, digest, payload = blob.split(b":", 3)
-    except ValueError:
-        raise PlanSerializationError("plan blob envelope is malformed")
-    if magic != _MAGIC:
-        raise PlanSerializationError("plan blob has a foreign magic header")
-    try:
-        return int(version), digest, payload
-    except ValueError:
-        raise PlanSerializationError("plan blob version is not an integer")
+    return _serialize(plan, _PLAN_MAGIC, PLAN_FORMAT_VERSION)
 
 
 def deserialize_plan(blob: bytes) -> object:
-    """Decode a :func:`serialize_plan` blob, verifying the envelope.
+    """Decode a :func:`serialize_plan` blob, verifying the envelope."""
+    return _deserialize(blob, _PLAN_MAGIC, PLAN_FORMAT_VERSION)
 
-    Raises :class:`PlanSerializationError` on a version mismatch, a
-    checksum mismatch (bit rot, truncation, tampering), or an unpicklable
-    payload — never returns a plan that did not verify end to end.
+
+# ----------------------------------------------------------------------
+# Maintainer checkpoints (the maintainer pool's spill files)
+# ----------------------------------------------------------------------
+def serialize_maintainer_state(state: object) -> bytes:
+    """Encode a maintainer checkpoint as a self-verifying byte blob.
+
+    *state* is whatever the pool chooses to checkpoint (the pickled
+    counter plus its identifying key material); the envelope only
+    guarantees that what comes back out is byte-for-byte what went in.
     """
-    version, digest, payload = _split_envelope(blob)
-    if version != PLAN_FORMAT_VERSION:
-        raise PlanSerializationError(
-            f"plan blob format {version} != current {PLAN_FORMAT_VERSION}"
-        )
-    actual = hashlib.sha256(payload).hexdigest().encode("ascii")
-    if actual != digest:
-        raise PlanSerializationError("plan blob checksum mismatch")
-    try:
-        return pickle.loads(payload)
-    except Exception as error:
-        raise PlanSerializationError(
-            f"plan blob payload does not unpickle: {error}"
-        ) from error
+    return _serialize(state, _MAINTAINER_MAGIC, MAINTAINER_FORMAT_VERSION)
+
+
+def deserialize_maintainer_state(blob: bytes) -> object:
+    """Decode a :func:`serialize_maintainer_state` blob, verifying the
+    envelope; raises :class:`PlanSerializationError` when it does not
+    verify — the pool then rebuilds from the live database."""
+    return _deserialize(blob, _MAINTAINER_MAGIC, MAINTAINER_FORMAT_VERSION)

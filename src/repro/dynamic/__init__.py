@@ -21,13 +21,21 @@ are per-atom (the free-connex-style cases); otherwise a recount is the
 honest fallback, matching the dichotomy of [BKS17].
 """
 
-from .maintainer import IncrementalCounter, MaintainerPool, SharedMaintainer
+from .maintainer import (
+    MAINTAINER_BUDGET_ENV,
+    IncrementalCounter,
+    MaintainerPool,
+    SharedMaintainer,
+    maintainer_budget_from_env,
+)
 from .updates import Delete, Insert, Update, apply_update
 
 __all__ = [
+    "MAINTAINER_BUDGET_ENV",
     "IncrementalCounter",
     "MaintainerPool",
     "SharedMaintainer",
+    "maintainer_budget_from_env",
     "Insert",
     "Delete",
     "Update",

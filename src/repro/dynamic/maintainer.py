@@ -25,10 +25,17 @@ recount — the [BKS17] dichotomy says no better is possible in general.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..db.database import Database
+from ..decomposition.serialize import (
+    PlanSerializationError,
+    deserialize_maintainer_state,
+    serialize_maintainer_state,
+)
 from ..exceptions import NotAcyclicError
 from ..hypergraph.acyclicity import require_join_tree
 from ..query.atom import Atom
@@ -37,6 +44,46 @@ from ..query.terms import Variable
 from .updates import Delete, Insert, Update
 
 Row = Tuple[Hashable, ...]
+
+#: Environment variable naming the default maintainer memory budget in
+#: megabytes (fractions allowed).  An explicit ``budget_bytes=`` always
+#: wins; the CI spill leg sets a tiny value here so the whole suite runs
+#: with spill/restore forced on every long session.
+MAINTAINER_BUDGET_ENV = "REPRO_MAINTAINER_BUDGET_MB"
+
+#: Ballpark bytes per stored DP cell (a dict-entry slot plus its share
+#: of the key tuple).  The budget arithmetic is an *estimate* — it must
+#: be monotone in the DP's row counts and consistent between entries,
+#: not exact; CPython's real per-entry overhead is of this order.
+CELL_BYTES = 28
+
+#: Fixed per-vertex overhead (the vertex object, schemas, empty dicts).
+VERTEX_BASE_BYTES = 512
+
+
+def maintainer_budget_from_env() -> Optional[int]:
+    """The ``REPRO_MAINTAINER_BUDGET_MB`` budget in bytes, or ``None``.
+
+    Unparsable, zero, and negative values all mean *unbounded* — a user
+    writing ``0`` intends "no budget", not a one-byte budget that would
+    thrash a checkpoint on every read.
+    """
+    raw = os.environ.get(MAINTAINER_BUDGET_ENV)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    if value <= 0:
+        return None
+    return max(1, int(value * 1024 * 1024))
+
+
+#: Sentinel: "no explicit budget given, consult the environment".
+#: Pass ``budget_bytes=None`` to force an unbounded pool regardless of
+#: the environment (tests pin this for determinism).
+BUDGET_FROM_ENV = object()
 
 
 def _atom_match(atom: Atom, row: Row) -> Optional[Row]:
@@ -350,6 +397,27 @@ class IncrementalCounter:
         """Apply a sequence of updates (alias of :meth:`apply_batch`)."""
         self.apply_batch(tuple(updates))
 
+    def estimated_bytes(self) -> int:
+        """An estimate of this DP's resident size in bytes.
+
+        Bag-relation rows times aggregate width: every vertex charges its
+        atom match sets, bag counts, and cached child aggregates at
+        :data:`CELL_BYTES` per stored cell (schema width plus the count
+        value), plus :data:`VERTEX_BASE_BYTES` of fixed overhead.  The
+        estimate is O(#vertices) to compute — pure ``len()`` arithmetic,
+        no row visits — so the pool can refresh it after every repair.
+        """
+        total = 0
+        for vertex in self._vertices:
+            width = len(vertex.schema) + 1
+            rows = len(vertex.counts)
+            for matches in vertex.atom_rows:
+                rows += len(matches)
+            for aggregate in vertex.agg_cache.values():
+                rows += len(aggregate)
+            total += VERTEX_BASE_BYTES + rows * width * CELL_BYTES
+        return total
+
 
 # ----------------------------------------------------------------------
 # Multi-query sharing: one materialized DP per decomposition tree
@@ -365,7 +433,8 @@ class SharedMaintainer:
     records the distinct query objects served; ``served`` counts reads.
     """
 
-    __slots__ = ("counter", "symbol_map", "clients", "served")
+    __slots__ = ("counter", "symbol_map", "clients", "served",
+                 "resident_bytes")
 
     def __init__(self, counter: IncrementalCounter,
                  symbol_map: Dict[str, str]):
@@ -374,6 +443,13 @@ class SharedMaintainer:
         self.symbol_map = symbol_map
         self.clients: Set[ConjunctiveQuery] = set()
         self.served = 0
+        #: Cached :meth:`IncrementalCounter.estimated_bytes`, refreshed by
+        #: the pool after every build, restore, and repair.
+        self.resident_bytes = counter.estimated_bytes()
+
+    def refresh_bytes(self) -> int:
+        self.resident_bytes = self.counter.estimated_bytes()
+        return self.resident_bytes
 
     @property
     def count(self) -> int:
@@ -391,8 +467,36 @@ class SharedMaintainer:
         return Delete(target, update.row)
 
 
+#: Updates a token's delta journal may hold before the pool gives up on
+#: its cold checkpoints: past this, replaying the journal stops being
+#: cheaper than rebuilding, and the journal itself becomes the memory
+#: leak the budget exists to prevent — so the checkpoints are dropped,
+#: the journal cleared, and the next read rebuilds from the database.
+JOURNAL_LIMIT = 4096
+
+
+class _SpillRecord:
+    """Where one spilled maintainer's checkpoint lives, how far into its
+    token's delta journal the checkpoint is current, how big the DP was
+    when spilled (for pre-eviction before a restore), and the entry's
+    client/served accounting — kept pool-side so stats survive the
+    spill cycle without pickling query objects into the checkpoint."""
+
+    __slots__ = ("path", "journal_offset", "bytes_estimate", "clients",
+                 "served")
+
+    def __init__(self, path: str, journal_offset: int,
+                 bytes_estimate: int, clients: Set[ConjunctiveQuery],
+                 served: int):
+        self.path = path
+        self.journal_offset = journal_offset
+        self.bytes_estimate = bytes_estimate
+        self.clients = clients
+        self.served = served
+
+
 class MaintainerPool:
-    """A bounded pool of :class:`SharedMaintainer`\\ s, keyed by
+    """A memory-bounded pool of :class:`SharedMaintainer`\\ s, keyed by
     ``(database token, shape fingerprint, symbol renaming)``.
 
     The *token* names a database version lineage (the streaming session
@@ -401,51 +505,276 @@ class MaintainerPool:
     on the same key share one DP — the "many jobs, few shapes" traffic
     the batch service targets, carried over to maintained counts.
 
+    Residency is bounded two ways:
+
+    * ``capacity`` — a count bound (at most this many resident DPs);
+    * ``budget_bytes`` — a *size* bound over the estimated DP bytes
+      (:meth:`IncrementalCounter.estimated_bytes`).  ``None`` disables
+      it; the default consults ``$REPRO_MAINTAINER_BUDGET_MB``.  The
+      most recently used entry is never evicted by the byte budget (a
+      read must be able to complete), so the effective cap is
+      ``max(budget_bytes, largest single DP)``.
+
+    Eviction is strictly LRU over the pool's usage order — deterministic
+    under equal-size ties by construction — and **spills** the victim to
+    a checkpoint file instead of dropping it: the counter state is
+    pickled inside a versioned, checksummed envelope
+    (:func:`~repro.decomposition.serialize.serialize_maintainer_state`).
+    Updates arriving while an entry is cold land in a per-token **delta
+    journal**; a later read of that shape restores the checkpoint and
+    replays only the post-checkpoint deltas instead of recounting from
+    scratch.  A journal that outgrows :data:`JOURNAL_LIMIT` stops being
+    cheaper than a rebuild (and would itself be unbounded memory), so
+    the token's checkpoints are dropped and the next read rebuilds from
+    the live database.  A checkpoint that fails verification
+    (corruption, truncation, format drift) is likewise discarded and
+    the DP rebuilt — wrong state is never adopted.
+
+    Checkpoints live in *spill_dir* (a private temporary directory is
+    created lazily when omitted; :meth:`close` removes it).  Spill files
+    are private to this pool instance — they encode live object state,
+    not a cross-process exchange format.
+
     Not thread-safe by design: the session applies updates and reads
     maintained counts from its submission thread only (engine fallbacks
-    are what fan out to worker pools).
+    are what fan out to worker pools); a sharded front end gives each
+    shard its own pool.
     """
 
-    def __init__(self, capacity: int = 64):
+    def __init__(self, capacity: int = 64,
+                 budget_bytes=BUDGET_FROM_ENV,
+                 spill_dir: Optional[str] = None):
         self.capacity = capacity
+        if budget_bytes is BUDGET_FROM_ENV:
+            budget_bytes = maintainer_budget_from_env()
+        self.budget_bytes: Optional[int] = budget_bytes
         self._entries: "OrderedDict[tuple, SharedMaintainer]" = OrderedDict()
+        self._spilled: Dict[tuple, _SpillRecord] = {}
+        #: token -> original-space updates applied while one or more of
+        #: the token's maintainers were cold (each spill record indexes
+        #: into this list; restore replays the suffix).
+        self._journals: Dict[Hashable, List[Update]] = {}
+        self._spill_dir = spill_dir
+        self._owns_spill_dir = False
+        self._spill_serial = 0
         self.built = 0
         self.evicted = 0
+        self.spilled = 0
+        self.restored = 0
+        self.restore_failures = 0
+        self.spill_failures = 0
+        self.journals_dropped = 0
+        #: Steady-state high-water mark: sampled after every bound
+        #: enforcement, so it tracks what stays resident between reads.
+        #: The transient while one fresh DP is being built (its size is
+        #: unknowable beforehand) can briefly exceed it; restores
+        #: pre-evict using the checkpoint's recorded size, so they do
+        #: not.
+        self.peak_resident_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    # ------------------------------------------------------------------
+    # Residency accounting
+    # ------------------------------------------------------------------
+    def resident_bytes(self) -> int:
+        """The summed size estimate of every resident DP."""
+        return sum(entry.resident_bytes for entry in self._entries.values())
+
+    def _note_peak(self) -> None:
+        resident = self.resident_bytes()
+        if resident > self.peak_resident_bytes:
+            self.peak_resident_bytes = resident
+
+    def _enforce_bounds(self) -> None:
+        """Evict (spill) LRU-first until both bounds hold.
+
+        The byte loop stops with one entry left: the most recently used
+        DP must stay resident for the read that triggered enforcement.
+        """
+        while len(self._entries) > max(1, self.capacity):
+            self._evict_lru()
+        if self.budget_bytes is not None:
+            while (len(self._entries) > 1
+                   and self.resident_bytes() > self.budget_bytes):
+                self._evict_lru()
+        self._note_peak()
+
+    def _make_room_for(self, incoming_bytes: int) -> None:
+        """Pre-evict so *incoming_bytes* fits the budget: a restore
+        knows its checkpoint's recorded size, so the restored DP never
+        transiently stacks on top of the victims it will displace."""
+        if self.budget_bytes is None:
+            return
+        headroom = self.budget_bytes - incoming_bytes
+        while self._entries and self.resident_bytes() > max(headroom, 0):
+            self._evict_lru()
+
+    def _evict_lru(self) -> None:
+        key, entry = self._entries.popitem(last=False)
+        self.evicted += 1
+        if self._spill(key, entry):
+            self.spilled += 1
+
+    # ------------------------------------------------------------------
+    # Spill / restore
+    # ------------------------------------------------------------------
+    def _ensure_spill_dir(self) -> Optional[str]:
+        if self._spill_dir is None:
+            try:
+                self._spill_dir = tempfile.mkdtemp(
+                    prefix="repro-maintainers-"
+                )
+            except OSError:
+                return None
+            self._owns_spill_dir = True
+        else:
+            try:
+                os.makedirs(self._spill_dir, exist_ok=True)
+            except OSError:
+                return None
+        return self._spill_dir
+
+    def _spill(self, key: tuple, entry: SharedMaintainer) -> bool:
+        """Checkpoint *entry* to disk; ``False`` means it was dropped
+        (the next read rebuilds from the database — correct, just
+        slower)."""
+        directory = self._ensure_spill_dir()
+        if directory is None:
+            self.spill_failures += 1
+            return False
+        try:
+            blob = serialize_maintainer_state({
+                "key": key,
+                "counter": entry.counter,
+                "symbol_map": entry.symbol_map,
+            })
+        except PlanSerializationError:
+            self.spill_failures += 1
+            return False
+        self._spill_serial += 1
+        path = os.path.join(directory, f"ckpt-{self._spill_serial}.maint")
+        try:
+            with open(path, "wb") as handle:
+                handle.write(blob)
+        except OSError:
+            self.spill_failures += 1
+            return False
+        token = key[0]
+        offset = len(self._journals.get(token, ()))
+        self._spilled[key] = _SpillRecord(path, offset,
+                                          entry.resident_bytes,
+                                          entry.clients, entry.served)
+        return True
+
+    def _restore(self, key: tuple) -> Optional[SharedMaintainer]:
+        """Reload *key*'s checkpoint and replay its post-checkpoint
+        deltas; ``None`` when there is no checkpoint or it fails
+        verification (the caller rebuilds from the live database)."""
+        record = self._spilled.pop(key, None)
+        if record is None:
+            return None
+        token = key[0]
+        # Make room *before* loading: the checkpoint's recorded size is
+        # known, so the restored DP need never stack on its victims.
+        self._make_room_for(record.bytes_estimate)
+        try:
+            with open(record.path, "rb") as handle:
+                blob = handle.read()
+            payload = deserialize_maintainer_state(blob)
+            if (not isinstance(payload, dict)
+                    or payload.get("key") != key):
+                raise PlanSerializationError("checkpoint key mismatch")
+            counter = payload["counter"]
+            symbol_map = payload["symbol_map"]
+        except (OSError, KeyError, PlanSerializationError):
+            self.restore_failures += 1
+            self._unlink(record.path)
+            self._trim_journal(token)
+            return None
+        self._unlink(record.path)
+        entry = SharedMaintainer(counter, symbol_map)
+        entry.clients = record.clients
+        entry.served = record.served
+        replay = self._journals.get(token, [])[record.journal_offset:]
+        translated = [
+            renamed for renamed in map(entry.translate, replay)
+            if renamed is not None
+        ]
+        if translated:
+            entry.counter.apply_batch(translated)
+        entry.refresh_bytes()
+        self.restored += 1
+        self._trim_journal(token)
+        return entry
+
+    def _trim_journal(self, token: Hashable) -> None:
+        """Drop the journal prefix no cold maintainer still needs."""
+        offsets = [
+            record.journal_offset
+            for key, record in self._spilled.items() if key[0] == token
+        ]
+        if not offsets:
+            self._journals.pop(token, None)
+            return
+        cut = min(offsets)
+        if cut:
+            journal = self._journals.get(token)
+            if journal:
+                del journal[:cut]
+            for key, record in self._spilled.items():
+                if key[0] == token:
+                    record.journal_offset -= cut
+
+    @staticmethod
+    def _unlink(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
     def counter_for(self, token: Hashable, query: ConjunctiveQuery,
                     database: Database, form) -> SharedMaintainer:
         """The shared maintainer for *query* over *database*.
 
         *form* is the query's :class:`~repro.query.canonical.CanonicalForm`
-        (the session passes the plan cache's memoized form).  Builds the
-        DP on first use — raising :class:`NotAcyclicError` when the shape
-        is not maintainable, which callers should memoize per fingerprint
-        — and LRU-evicts beyond ``capacity``.
+        (the session passes the plan cache's memoized form).  A resident
+        entry is served as-is; a spilled entry is restored from its
+        checkpoint plus the delta journal; only a genuinely unknown key
+        builds the DP from scratch — raising :class:`NotAcyclicError`
+        when the shape is not maintainable, which callers should memoize
+        per fingerprint.  Both bounds are enforced afterwards.
         """
         key = (token, form.fingerprint,
                tuple(sorted(form.symbol_map.items())))
         entry = self._entries.get(key)
         if entry is None:
-            canonical_database = database.renamed_restriction(form.symbol_map)
-            counter = IncrementalCounter(form.query, canonical_database)
-            entry = SharedMaintainer(counter, dict(form.symbol_map))
+            entry = self._restore(key)
+            if entry is None:
+                canonical_database = database.renamed_restriction(
+                    form.symbol_map
+                )
+                counter = IncrementalCounter(form.query, canonical_database)
+                entry = SharedMaintainer(counter, dict(form.symbol_map))
+                self.built += 1
             self._entries[key] = entry
-            self.built += 1
-            if len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evicted += 1
+            self._enforce_bounds()
         else:
             self._entries.move_to_end(key)
+            self._note_peak()
         entry.clients.add(query)
         return entry
 
     def apply(self, token: Hashable,
               updates: Sequence[Update]) -> int:
         """Batch-apply *updates* to every maintainer of *token*'s
-        database; returns how many maintainers were touched."""
+        database; returns how many resident maintainers were touched.
+        Cold (spilled) maintainers do not pay: their updates land in the
+        token's delta journal and are replayed on restore."""
         touched = 0
         for key, entry in self._entries.items():
             if key[0] != token:
@@ -456,23 +785,71 @@ class MaintainerPool:
             ]
             if translated:
                 entry.counter.apply_batch(translated)
+                entry.refresh_bytes()
                 touched += 1
+        if any(key[0] == token for key in self._spilled):
+            journal = self._journals.setdefault(token, [])
+            journal.extend(updates)
+            if len(journal) > JOURNAL_LIMIT:
+                # Replaying this much is no cheaper than rebuilding, and
+                # the journal itself has become the memory the budget is
+                # meant to bound: drop the token's checkpoints, clear
+                # the journal, rebuild from the database on next read.
+                for key in [k for k in self._spilled if k[0] == token]:
+                    self._unlink(self._spilled.pop(key).path)
+                self._journals.pop(token, None)
+                self.journals_dropped += 1
+        self._enforce_bounds()
         return touched
 
     def discard(self, token: Hashable) -> int:
-        """Drop every maintainer of *token*'s database (e.g. when the
-        named database is re-attached wholesale)."""
+        """Drop every maintainer of *token*'s database — resident and
+        spilled, plus its delta journal (e.g. when the named database is
+        re-attached wholesale)."""
         doomed = [key for key in self._entries if key[0] == token]
         for key in doomed:
             del self._entries[key]
-        return len(doomed)
+        cold = [key for key in self._spilled if key[0] == token]
+        for key in cold:
+            self._unlink(self._spilled.pop(key).path)
+        self._journals.pop(token, None)
+        return len(doomed) + len(cold)
 
     def stats(self) -> Dict[str, int]:
-        clients = sum(len(e.clients) for e in self._entries.values())
+        # Cold entries keep their accounting on the spill record, so
+        # clients/reads_served cover the whole pool, not just residents.
+        clients = (sum(len(e.clients) for e in self._entries.values())
+                   + sum(len(r.clients) for r in self._spilled.values()))
+        served = (sum(e.served for e in self._entries.values())
+                  + sum(r.served for r in self._spilled.values()))
         return {
             "maintainers": len(self._entries),
+            "spilled_entries": len(self._spilled),
             "built": self.built,
             "evicted": self.evicted,
+            "spilled": self.spilled,
+            "restored": self.restored,
+            "restore_failures": self.restore_failures,
+            "spill_failures": self.spill_failures,
+            "journals_dropped": self.journals_dropped,
+            "resident_bytes": self.resident_bytes(),
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "budget_bytes": self.budget_bytes,
             "clients": clients,
-            "reads_served": sum(e.served for e in self._entries.values()),
+            "reads_served": served,
         }
+
+    def close(self) -> None:
+        """Delete every checkpoint file (and the pool-owned spill
+        directory); resident state is left untouched."""
+        for record in self._spilled.values():
+            self._unlink(record.path)
+        self._spilled.clear()
+        self._journals.clear()
+        if self._owns_spill_dir and self._spill_dir is not None:
+            try:
+                os.rmdir(self._spill_dir)
+            except OSError:
+                pass
+            self._spill_dir = None
+            self._owns_spill_dir = False

@@ -31,6 +31,18 @@ weakens *completeness*: two renamings of a pathologically symmetric
 query may land on different (but individually consistent) fingerprints
 and miss plan sharing.  Ordinary queries refine to singletons and never
 come near the budget.
+
+Symmetric queries are exactly where the budget bites, so the search
+**prunes by discovered automorphisms** (the cheap core of a nauty-style
+refinement): whenever two explored orderings produce the *same*
+encoding, the variable bijection between them is an automorphism of the
+query's shape; at every branch point, cell members lying in the same
+orbit under the automorphisms found so far generate identical subtree
+encodings, so only one representative per orbit is individualized.  A
+k-fold interchangeable structure (e.g. the k branches of a star) then
+costs O(k) explored orderings instead of k!, leaving the budget for
+genuine asymmetry.  :func:`last_search_stats` reports the explored /
+pruned branch counts of the most recent canonicalization.
 """
 
 from __future__ import annotations
@@ -48,6 +60,18 @@ from .terms import Constant, Variable
 #: (interchangeable atoms/variables) branch, and past this budget the
 #: search keeps the best encoding found so far (sound, see module doc).
 CANONICAL_BRANCH_BUDGET = 256
+
+#: Diagnostics of the most recent :func:`canonical_form` search.
+_LAST_SEARCH_STATS = {"explored": 0, "pruned": 0, "automorphisms": 0}
+
+
+def last_search_stats() -> Dict[str, int]:
+    """``{"explored", "pruned", "automorphisms"}`` of the most recent
+    canonicalization: complete orderings encoded, sibling branches
+    skipped as automorphism-orbit duplicates, and automorphism
+    generators discovered.  Diagnostic only (tests assert that symmetric
+    queries stay far under the branch budget)."""
+    return dict(_LAST_SEARCH_STATS)
 
 
 @dataclass(frozen=True)
@@ -178,7 +202,8 @@ def canonical_form(query: ConjunctiveQuery) -> CanonicalForm:
 
     # Individualization–refinement search for the least encoding.  The
     # branch set explored is renaming-invariant (cells are chosen by color
-    # value), so the minimum is a true canonical form.
+    # value, orbits by discovered automorphisms), so the minimum is a true
+    # canonical form.
     initial = refine({
         v: (0 if v in free else 1) for v in variables
     } if variables else {})
@@ -186,8 +211,55 @@ def canonical_form(query: ConjunctiveQuery) -> CanonicalForm:
     best_symbols: Optional[dict] = None
     best_order: Optional[tuple] = None
     budget = [CANONICAL_BRANCH_BUDGET]
+    #: Automorphism generators found so far: two explored orderings with
+    #: equal encodings are related by a shape automorphism.
+    automorphisms: List[Dict[Variable, Variable]] = []
+    stats = {"explored": 0, "pruned": 0, "automorphisms": 0}
 
-    def search(colors: Dict[Variable, int]) -> None:
+    def orbit_representatives(candidates: List[Variable],
+                              path: Tuple[Variable, ...]) -> List[Variable]:
+        """One candidate per orbit under the discovered automorphisms
+        that fix the current individualization *path* pointwise.
+
+        Only path-stabilizing generators may prune: an automorphism
+        moving an already-individualized variable maps this subtree's
+        orderings outside the sibling subtree, so it says nothing about
+        the sibling's minimum.  Orbits are connected components of the
+        candidate set under the applicable generators — individualizing
+        two candidates in one orbit explores isomorphic subtrees with
+        equal minima, so the later one is skipped.
+        """
+        applicable = [
+            generator for generator in automorphisms
+            if all(generator[p] == p for p in path)
+        ]
+        if not applicable:
+            return candidates
+        parent: Dict[Variable, Variable] = {v: v for v in variables}
+
+        def find(v: Variable) -> Variable:
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        for generator in applicable:
+            for source in variables:
+                root_a, root_b = find(source), find(generator[source])
+                if root_a != root_b:
+                    parent[root_b] = root_a
+        seen: set = set()
+        representatives: List[Variable] = []
+        for candidate in candidates:
+            root = find(candidate)
+            if root not in seen:
+                seen.add(root)
+                representatives.append(candidate)
+        stats["pruned"] += len(candidates) - len(representatives)
+        return representatives
+
+    def search(colors: Dict[Variable, int],
+               path: Tuple[Variable, ...]) -> None:
         nonlocal best, best_symbols, best_order
         if budget[0] <= 0:
             return
@@ -199,22 +271,31 @@ def canonical_form(query: ConjunctiveQuery) -> CanonicalForm:
         )
         if not ambiguous:
             budget[0] -= 1
+            stats["explored"] += 1
             order = tuple(sorted(variables, key=lambda v: colors[v]))
             encoding, symbols = encode(order)
             if best is None or encoding < best:
                 best, best_symbols, best_order = encoding, symbols, order
+            elif encoding == best and order != best_order:
+                # Equal faithful encodings: mapping the best ordering's
+                # i-th variable to this ordering's i-th variable is an
+                # automorphism of the shape — a new pruning generator.
+                automorphisms.append(dict(zip(best_order, order)))
+                stats["automorphisms"] += 1
             return
         fresh = max(colors.values()) + 1
-        for variable in sorted(cells[ambiguous[0]]):
+        for variable in orbit_representatives(
+                sorted(cells[ambiguous[0]]), path):
             branched = dict(colors)
             branched[variable] = fresh
-            search(refine(branched))
+            search(refine(branched), path + (variable,))
 
     if variables:
-        search(initial)
+        search(initial, ())
         assert best is not None and best_order is not None
     else:  # constants-only query
         (best, best_symbols), best_order = encode(()), ()
+    _LAST_SEARCH_STATS.update(stats)
 
     symbol_index = best_symbols
     variable_map = {

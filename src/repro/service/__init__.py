@@ -17,7 +17,15 @@ from ..query.canonical import (
     rename_query,
 )
 from .jobs import CountJob, JobFileError, dump_jobs, load_jobs
+from .router import (
+    SESSION_SHARDS_ENV,
+    SHARD_MODES,
+    MultiWriterSession,
+    SessionRouter,
+    default_shards,
+)
 from .service import MODES, CountingService, default_workers
+from .shard import SessionShard
 from .session import (
     AttachDatabase,
     CountRequest,
@@ -38,10 +46,16 @@ __all__ = [
     "CountingSession",
     "JobFileError",
     "MODES",
+    "MultiWriterSession",
     "PersistentPlanCache",
     "PlanCache",
+    "SESSION_SHARDS_ENV",
+    "SHARD_MODES",
     "SessionJob",
+    "SessionRouter",
+    "SessionShard",
     "UpdateRequest",
+    "default_shards",
     "canonical_form",
     "default_plan_cache",
     "default_workers",

@@ -1,0 +1,423 @@
+"""The sharded, multi-writer session front end.
+
+:class:`MultiWriterSession` accepts interleaved job streams from any
+number of producer threads and fans them out over N
+:class:`~repro.service.shard.SessionShard` workers:
+
+* a :class:`SessionRouter` hash-partitions jobs **by database name**
+  (a stable SHA-256 partition — identical in every process, unlike
+  builtin ``hash``), so every job touching one database lands on one
+  shard;
+* each shard is driven by a dedicated single-worker executor, so the
+  jobs of one database execute **in submission order** (the shard's
+  queue *is* the serialization point), while jobs for databases on
+  different shards execute in parallel;
+* :meth:`MultiWriterSession.submit` is thread-safe and returns a
+  :class:`~concurrent.futures.Future` per job — multiple writers just
+  call it concurrently; :meth:`run_streams` wraps that pattern (one
+  producer thread per stream).
+
+Shard workers come in three flavors (``shard_mode``):
+
+* ``"thread"`` — shards are threads sharing one plan cache; the
+  default, cheap, and deterministic enough for tests (counting is
+  GIL-bound, so parallelism is limited);
+* ``"process"`` — each shard is a single-worker process pool holding
+  its databases, maintainers, and plan cache in its own interpreter:
+  real parallelism for concurrent writer streams (the benchmark bar's
+  configuration).  Jobs and results cross the boundary by pickle,
+  which the batch service already guarantees for queries, databases,
+  and :class:`~repro.counting.engine.CountResult`;
+* ``"inline"`` — no workers at all: ``submit`` executes the job before
+  returning a completed future (the deterministic baseline the
+  commutation property tests compare against).
+
+Same-database ordering is per *submitter*: two producers racing on the
+same database serialize in whatever order their ``submit`` calls reach
+the shard queue.  Writers that need a cross-producer order for one
+database must coordinate externally — distinct databases never need to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from ..counting.plan_cache import (
+    PLAN_CACHE_DIR_ENV,
+    PersistentPlanCache,
+    PlanCache,
+)
+from ..db.database import Database
+from ..dynamic.maintainer import BUDGET_FROM_ENV
+from ..exceptions import ReproError
+from .session import AttachDatabase, SessionJob
+from .shard import SessionShard
+
+#: Recognized shard worker flavors.
+SHARD_MODES = ("inline", "thread", "process")
+
+#: Environment variable naming the default shard count (the CI sharded
+#: leg sets it; ``shards=0`` consults it, then falls back to 2).
+SESSION_SHARDS_ENV = "REPRO_SESSION_SHARDS"
+
+
+def default_shards() -> int:
+    """``$REPRO_SESSION_SHARDS`` when set and sane, else 2."""
+    raw = os.environ.get(SESSION_SHARDS_ENV)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return 2
+
+
+class SessionRouter:
+    """Stable hash partitioning of database names onto shards."""
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+
+    def shard_of(self, database_name: str) -> int:
+        """The shard index owning *database_name* (stable across
+        processes and interpreter runs — never builtin ``hash``)."""
+        digest = hashlib.sha256(database_name.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.n_shards
+
+    @staticmethod
+    def database_of(job: SessionJob) -> str:
+        """The database name a session job is routed by."""
+        if isinstance(job, AttachDatabase):
+            return job.name
+        name = getattr(job, "database", None)
+        if not isinstance(name, str):
+            raise ReproError(
+                f"cannot route session job {type(job).__name__}: "
+                f"it names no database"
+            )
+        return name
+
+    def shard_for_job(self, job: SessionJob) -> int:
+        return self.shard_of(self.database_of(job))
+
+
+# ----------------------------------------------------------------------
+# Process-mode shard workers: one core per worker process, module-global
+# so it survives across the single worker's jobs (the same pattern the
+# batch service uses for its per-worker plan caches).
+# ----------------------------------------------------------------------
+_PROCESS_CORE: Optional[SessionShard] = None
+
+
+def _process_shard_init(config: dict) -> None:
+    global _PROCESS_CORE
+    _PROCESS_CORE = SessionShard(**config)
+
+
+def _process_shard_execute(job: SessionJob):
+    return _PROCESS_CORE.execute(job)
+
+
+def _process_shard_stats(_: object = None) -> dict:
+    return _PROCESS_CORE.stats()
+
+
+def _process_shard_close(_: object = None) -> None:
+    _PROCESS_CORE.close()
+
+
+class _InlineHandle:
+    """``submit`` executes immediately (deterministic baseline).
+
+    A per-shard lock keeps the documented thread-safe ``submit``
+    contract even here: concurrent producers serialize on the shard
+    (cores are not thread-safe), they just run on the caller's thread
+    instead of a worker's.
+    """
+
+    def __init__(self, core: SessionShard):
+        self._core = core
+        self._lock = threading.Lock()
+
+    def submit(self, job: SessionJob) -> Future:
+        future: Future = Future()
+        try:
+            with self._lock:
+                result = self._core.execute(job)
+            future.set_result(result)
+        except BaseException as error:  # the future carries the failure
+            future.set_exception(error)
+        return future
+
+    def submit_stats(self) -> Future:
+        future: Future = Future()
+        with self._lock:
+            future.set_result(self._core.stats())
+        return future
+
+    def close(self) -> None:
+        self._core.close()
+
+
+class _ThreadHandle:
+    """A shard core confined to one worker thread."""
+
+    def __init__(self, core: SessionShard):
+        self._core = core
+        self._pool = ThreadPoolExecutor(max_workers=1)
+
+    def submit(self, job: SessionJob) -> Future:
+        return self._pool.submit(self._core.execute, job)
+
+    def submit_stats(self) -> Future:
+        # Runs on the shard thread, after every queued job — a stats
+        # read never races a mutation.
+        return self._pool.submit(self._core.stats)
+
+    def close(self) -> None:
+        self._pool.submit(self._core.close).result()
+        self._pool.shutdown()
+
+
+class _ProcessHandle:
+    """A shard core confined to one single-worker process pool."""
+
+    def __init__(self, config: dict):
+        self._pool = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_process_shard_init, initargs=(config,),
+        )
+
+    def submit(self, job: SessionJob) -> Future:
+        return self._pool.submit(_process_shard_execute, job)
+
+    def submit_stats(self) -> Future:
+        return self._pool.submit(_process_shard_stats)
+
+    def close(self) -> None:
+        try:
+            self._pool.submit(_process_shard_close).result()
+        except Exception:
+            pass  # a dead worker cannot clean up; shutdown regardless
+        self._pool.shutdown()
+
+
+class MultiWriterSession:
+    """A sharded, multi-writer counting front end over named databases.
+
+    Parameters
+    ----------
+    databases:
+        Initial ``{name: Database}`` attachments (routed to their
+        owning shards before the constructor returns).
+    shards:
+        Shard count; ``0`` means ``$REPRO_SESSION_SHARDS`` or 2.
+    shard_mode:
+        One of :data:`SHARD_MODES` (see the module docstring).
+    plan_cache, cache_dir:
+        Inline/thread shards share *plan_cache* (one is created when
+        omitted, persistent when a cache directory is configured);
+        process shards each own a per-process cache warm-started from
+        *cache_dir* — an explicit *plan_cache* is rejected there
+        (OS processes cannot share it; the persistent tier is how
+        process shards share plans).
+    maintain, maintainer_capacity, maintainer_budget_bytes,
+    maintainer_spill_dir:
+        Forwarded to every shard's
+        :class:`~repro.dynamic.maintainer.MaintainerPool`; the byte
+        budget and the spill directory are **per shard** (each shard
+        checkpoints into its own subdirectory when a directory is
+        given).
+    """
+
+    def __init__(self, databases: Optional[Dict[str, Database]] = None,
+                 shards: int = 0, shard_mode: str = "thread",
+                 plan_cache: Optional[PlanCache] = None,
+                 cache_dir: Optional[str] = None,
+                 maintain: bool = True,
+                 maintainer_capacity: int = 64,
+                 maintainer_budget_bytes=BUDGET_FROM_ENV,
+                 maintainer_spill_dir: Optional[str] = None):
+        if shard_mode not in SHARD_MODES:
+            raise ValueError(f"unknown shard mode {shard_mode!r}; "
+                             f"expected one of {SHARD_MODES}")
+        self.shards = int(shards) if shards else default_shards()
+        self.shard_mode = shard_mode
+        if cache_dir is None:
+            cache_dir = os.environ.get(PLAN_CACHE_DIR_ENV) or None
+        self.cache_dir = cache_dir
+        self._router = SessionRouter(self.shards)
+        self._handles: List[object] = []
+        self._closed = False
+        self._close_lock = threading.Lock()
+        if shard_mode == "process":
+            if plan_cache is not None:
+                raise ValueError(
+                    "shard_mode='process' cannot share an in-memory "
+                    "plan_cache across shard processes; pass cache_dir= "
+                    "to share plans through the persistent tier instead"
+                )
+            self.plan_cache = None  # per-worker caches; see stats()
+            for index in range(self.shards):
+                config = {
+                    "cache_dir": cache_dir,
+                    "maintain": maintain,
+                    "maintainer_capacity": maintainer_capacity,
+                    "maintainer_spill_dir": self._shard_spill_dir(
+                        maintainer_spill_dir, index
+                    ),
+                    "label": f"shard{index}",
+                }
+                if maintainer_budget_bytes is not BUDGET_FROM_ENV:
+                    config["maintainer_budget_bytes"] = \
+                        maintainer_budget_bytes
+                self._handles.append(_ProcessHandle(config))
+        else:
+            if plan_cache is None:
+                plan_cache = (PersistentPlanCache(cache_dir) if cache_dir
+                              else PlanCache())
+            self.plan_cache = plan_cache
+            handle_type = (_ThreadHandle if shard_mode == "thread"
+                           else _InlineHandle)
+            for index in range(self.shards):
+                core = SessionShard(
+                    plan_cache=plan_cache,
+                    cache_dir=cache_dir,
+                    maintain=maintain,
+                    maintainer_capacity=maintainer_capacity,
+                    maintainer_budget_bytes=maintainer_budget_bytes,
+                    maintainer_spill_dir=self._shard_spill_dir(
+                        maintainer_spill_dir, index
+                    ),
+                    label=f"shard{index}",
+                )
+                self._handles.append(handle_type(core))
+        for name, database in (databases or {}).items():
+            self.submit(AttachDatabase(name, database)).result()
+
+    @staticmethod
+    def _shard_spill_dir(directory: Optional[str],
+                         index: int) -> Optional[str]:
+        """Per-shard checkpoint subdirectories (pool spill files are
+        private per pool; sharing one directory would collide)."""
+        if directory is None:
+            return None
+        return os.path.join(directory, f"shard{index}")
+
+    # ------------------------------------------------------------------
+    def shard_of(self, database_name: str) -> int:
+        """The shard index owning *database_name*."""
+        return self._router.shard_of(database_name)
+
+    def submit(self, job: SessionJob) -> Future:
+        """Enqueue *job* on its database's shard; thread-safe.
+
+        Returns a future resolving to the job's result (a
+        :class:`~repro.counting.engine.CountResult` or an
+        acknowledgement dict) — or raising the job's error (e.g. a
+        rejected update), which perturbs nothing else.
+        """
+        handle = self._handles[self._router.shard_for_job(job)]
+        return handle.submit(job)
+
+    def run_stream(self, jobs: Sequence[SessionJob]) -> List[object]:
+        """Run one interleaved stream; results come back in job order.
+
+        Jobs for databases on different shards overlap; jobs for one
+        database keep their stream order.
+        """
+        futures = [self.submit(job) for job in jobs]
+        return [future.result() for future in futures]
+
+    def run_streams(self, streams: Sequence[Sequence[SessionJob]]
+                    ) -> List[List[object]]:
+        """Run several writer streams concurrently, one producer thread
+        per stream; returns per-stream results in job order.
+
+        Each producer submits its stream's jobs in order, so every
+        stream keeps its own same-database ordering while the streams'
+        submissions interleave freely — the multi-writer traffic shape.
+        """
+        collected: List[List[Future]] = [[] for _ in streams]
+        producer_errors: List[Optional[BaseException]] = [None] * len(streams)
+
+        def producer(index: int, jobs: Sequence[SessionJob]) -> None:
+            try:
+                for job in jobs:
+                    collected[index].append(self.submit(job))
+            except BaseException as error:
+                # Submission itself failed (unroutable job, closed
+                # session): surface it to the caller instead of dying
+                # silently on this thread.
+                producer_errors[index] = error
+
+        threads = [
+            threading.Thread(target=producer, args=(index, list(jobs)),
+                             name=f"writer{index}")
+            for index, jobs in enumerate(streams)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for error in producer_errors:
+            if error is not None:
+                raise error
+        return [
+            [future.result() for future in futures]
+            for futures in collected
+        ]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Aggregated session counters plus one snapshot per shard.
+
+        Shard snapshots include each shard's maintainer pool (resident
+        bytes, spill/restore counters) and its plan cache view —
+        shared across shards in inline/thread modes, per-process in
+        process mode.  The probes are submitted to every shard first
+        and gathered after, so a stats call under load waits for the
+        slowest shard's backlog, not the sum of all of them.
+        """
+        futures = [handle.submit_stats() for handle in self._handles]
+        per_shard = [future.result() for future in futures]
+        totals = {
+            key: sum(shard[key] for shard in per_shard)
+            for key in ("maintained_counts", "engine_counts",
+                        "updates_applied")
+        }
+        databases = sorted(
+            name for shard in per_shard for name in shard["databases"]
+        )
+        return {
+            "shards": self.shards,
+            "shard_mode": self.shard_mode,
+            "databases": databases,
+            "cache_dir": self.cache_dir,
+            "plan_cache_scope": (
+                "per-shard-process" if self.shard_mode == "process"
+                else "shared"
+            ),
+            **totals,
+            "per_shard": per_shard,
+        }
+
+    def close(self) -> None:
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for handle in self._handles:
+            handle.close()
+
+    def __enter__(self) -> "MultiWriterSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -45,16 +45,17 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..counting.engine import CountResult
-from ..counting.plan_cache import PlanCache, relation_content_tag
+from ..counting.plan_cache import PlanCache
 from ..db.database import Database
 from ..db.io import database_from_dict, database_to_dict, query_to_text
-from ..dynamic.maintainer import MaintainerPool
-from ..dynamic.updates import Delete, Insert, Update, apply_update
-from ..exceptions import NotAcyclicError, ReproError
+from ..dynamic.maintainer import BUDGET_FROM_ENV
+from ..dynamic.updates import Delete, Insert, Update
+from ..exceptions import ReproError
 from ..query.parser import parse_query
 from ..query.query import ConjunctiveQuery
-from .jobs import CountJob, JobFileError
+from .jobs import JobFileError
 from .service import CountingService
+from .shard import SessionShard
 
 
 # ----------------------------------------------------------------------
@@ -102,6 +103,15 @@ class CountingSession:
     *cache_dir*.  ``maintain=False`` disables the maintained path
     entirely (every count goes through the engine) — the differential
     harness uses it as one of its replay configurations.
+    ``maintainer_budget_bytes`` caps the resident maintainer DP bytes
+    (cold maintainers spill to checkpoints and restore by replaying
+    post-checkpoint deltas; see
+    :class:`~repro.dynamic.maintainer.MaintainerPool`).
+
+    A ``CountingSession`` is *single-writer*: one
+    :class:`~repro.service.shard.SessionShard` serializes every job.
+    The sharded, multi-writer front end is
+    :class:`~repro.service.router.MultiWriterSession`.
     """
 
     def __init__(self, databases: Optional[Dict[str, Database]] = None,
@@ -109,204 +119,73 @@ class CountingSession:
                  plan_cache: Optional[PlanCache] = None,
                  cache_dir: Optional[str] = None,
                  maintain: bool = True,
-                 maintainer_capacity: int = 64):
+                 maintainer_capacity: int = 64,
+                 maintainer_budget_bytes=BUDGET_FROM_ENV,
+                 maintainer_spill_dir: Optional[str] = None):
         self._service = CountingService(workers=workers, mode=mode,
                                         plan_cache=plan_cache,
                                         cache_dir=cache_dir)
+        self._shard = SessionShard(
+            service=self._service,
+            maintain=maintain,
+            maintainer_capacity=maintainer_capacity,
+            maintainer_budget_bytes=maintainer_budget_bytes,
+            maintainer_spill_dir=maintainer_spill_dir,
+        )
         self.plan_cache = self._service.plan_cache
         self.maintain = maintain
-        self._databases: Dict[str, Database] = {}
-        self._maintainers = MaintainerPool(capacity=maintainer_capacity)
-        #: Updates applied to a database but not yet folded into its
-        #: maintainers (delta batching: one propagation per *read*).
-        self._pending_deltas: Dict[str, List[Update]] = {}
-        #: fingerprint -> is the shape maintainable?  (Probing costs a
-        #: join-tree attempt, so the verdict is memoized per shape.)
-        self._maintainable: Dict[tuple, bool] = {}
-        self.maintained_counts = 0
-        self.engine_counts = 0
-        self.updates_applied = 0
         for name, database in (databases or {}).items():
             self.attach_database(name, database)
+
+    # ------------------------------------------------------------------
+    # Counters (delegated to the single shard)
+    # ------------------------------------------------------------------
+    @property
+    def maintained_counts(self) -> int:
+        return self._shard.maintained_counts
+
+    @property
+    def engine_counts(self) -> int:
+        return self._shard.engine_counts
+
+    @property
+    def updates_applied(self) -> int:
+        return self._shard.updates_applied
 
     # ------------------------------------------------------------------
     # Databases
     # ------------------------------------------------------------------
     def database(self, name: str) -> Database:
         """The current version of the named database."""
-        try:
-            return self._databases[name]
-        except KeyError:
-            raise ReproError(
-                f"session has no database named {name!r}; attach it first"
-            ) from None
+        return self._shard.database(name)
 
     def database_names(self) -> List[str]:
-        return sorted(self._databases)
+        return self._shard.database_names()
 
     def attach_database(self, name: str, database: Database) -> dict:
         """Attach *database* under *name*; replacing an existing name
         drops its maintainers and invalidates its data-dependent plans."""
-        invalidated = 0
-        replaced = name in self._databases
-        if replaced:
-            old = self._databases[name]
-            self._pending_deltas.pop(name, None)
-            self._maintainers.discard(name)
-            invalidated = self.plan_cache.invalidate_tags(*(
-                relation_content_tag(relation)
-                for relation in old.relations()
-            ))
-        self._databases[name] = database
-        return {
-            "op": "database", "database": name, "attached": True,
-            "replaced": replaced,
-            "total_tuples": database.total_tuples(),
-            "invalidated_plans": invalidated,
-        }
+        return self._shard.attach_database(name, database)
 
     # ------------------------------------------------------------------
-    # Updates
+    # Updates and counts
     # ------------------------------------------------------------------
     def update(self, name: str, update: Update,
                label: Optional[str] = None) -> dict:
-        """Apply *update* to the named database (atomically).
-
-        Validation happens first, against the current version — an
-        invalid update (absent delete, duplicate insert, arity mismatch,
-        unknown relation) raises and leaves the database, the
-        maintainers, and the plan cache untouched.  On success the new
-        version is swapped in, the delta is queued for the maintainers,
-        and exactly the plans tagged with the updated relation's old
-        contents are invalidated (shape-only plans survive).
-        """
-        current = self.database(name)
-        updated = apply_update(current, update)  # raises before any effect
-        if self.plan_cache.has_tagged_plans():
-            stale_tag = relation_content_tag(current[update.relation])
-            invalidated = self.plan_cache.invalidate_tags(stale_tag)
-        else:
-            # No data-dependent plans are loaded, so there is nothing to
-            # evict — and skipping the (O(n log n)) content tag keeps
-            # update cost proportional to the update, not the relation.
-            invalidated = 0
-        self._databases[name] = updated
-        self._pending_deltas.setdefault(name, []).append(update)
-        self.updates_applied += 1
-        ack = {
-            "op": "insert" if isinstance(update, Insert) else "delete",
-            "database": name,
-            "relation": update.relation,
-            "applied": True,
-            "total_tuples": updated.total_tuples(),
-            "invalidated_plans": invalidated,
-        }
-        if label is not None:
-            ack["job"] = label
-        return ack
-
-    def _flush_deltas(self, name: str) -> None:
-        """Fold the pending deltas of *name* into its maintainers."""
-        pending = self._pending_deltas.pop(name, None)
-        if pending:
-            self._maintainers.apply(name, pending)
-
-    # ------------------------------------------------------------------
-    # Counts
-    # ------------------------------------------------------------------
-    def _maintained_result(self, request: CountRequest
-                           ) -> Optional[CountResult]:
-        """Serve *request* from a shared maintainer, or ``None`` when the
-        shape is not maintainable (or maintenance is disabled)."""
-        if not self.maintain or request.method not in ("auto", "maintained"):
-            return None
-        form = self.plan_cache.canonical(request.query)
-        if self._maintainable.get(form.fingerprint) is False:
-            return None
-        # The maintainer must see every applied update before it is read
-        # (and before a fresh DP is built from the current version).
-        self._flush_deltas(request.database)
-        database = self.database(request.database)
-        try:
-            entry = self._maintainers.counter_for(
-                request.database, request.query, database, form
-            )
-        except NotAcyclicError:
-            self._maintainable[form.fingerprint] = False
-            return None
-        self._maintainable[form.fingerprint] = True
-        entry.served += 1
-        self.maintained_counts += 1
-        details = {
-            "maintained": True,
-            "database": request.database,
-            "plan_fingerprint": form.digest,
-            "shared_clients": len(entry.clients),
-        }
-        if request.label is not None:
-            details["job"] = request.label
-        return CountResult(entry.count, "maintained", details)
-
-    def _engine_job(self, request: CountRequest) -> CountJob:
-        """*request* as a :class:`CountJob` bound to the database version
-        current right now — later updates create new versions and can
-        never leak into an already-submitted count."""
-        return CountJob(
-            query=request.query,
-            database=self.database(request.database),
-            method=request.method,
-            max_width=request.max_width,
-            max_degree=request.max_degree,
-            hybrid_width=request.hybrid_width,
-            label=request.label,
-        )
-
-    def _route_count(self, request: CountRequest
-                     ) -> tuple:
-        """``(maintained result, engine job)`` — exactly one is set.
-
-        Raises when ``method='maintained'`` is forced but cannot be
-        served, distinguishing a disabled session from an unmaintainable
-        shape.
-        """
-        maintained = self._maintained_result(request)
-        if maintained is not None:
-            return maintained, None
-        if request.method == "maintained":
-            if not self.maintain:
-                raise ReproError(
-                    f"{request.query.name}: method 'maintained' requested "
-                    f"but this session was created with maintain=False"
-                )
-            raise NotAcyclicError(
-                f"{request.query.name}: method 'maintained' requires a "
-                f"quantifier-free acyclic query"
-            )
-        return None, self._engine_job(request)
+        """Apply *update* to the named database (atomically); see
+        :meth:`SessionShard.update`."""
+        return self._shard.update(name, update, label=label)
 
     def count(self, request: CountRequest) -> CountResult:
         """Serve one count now (maintained if possible, engine otherwise)."""
-        maintained, job = self._route_count(request)
-        if maintained is not None:
-            return maintained
-        self.engine_counts += 1
-        return self._service.run_job(job)
+        return self._shard.count(request)
 
     # ------------------------------------------------------------------
     # The stream
     # ------------------------------------------------------------------
     def submit(self, job: SessionJob):
         """Execute one job immediately; returns its result/acknowledgement."""
-        if isinstance(job, CountRequest):
-            return self.count(job)
-        if isinstance(job, UpdateRequest):
-            return self.update(job.database, job.update, label=job.label)
-        if isinstance(job, AttachDatabase):
-            ack = self.attach_database(job.name, job.database)
-            if job.label is not None:
-                ack["job"] = job.label
-            return ack
-        raise ReproError(f"unknown session job {type(job).__name__}")
+        return self._shard.execute(job)
 
     def run_stream(self, jobs: Iterable[SessionJob]) -> List[object]:
         """Run a job stream; results come back in job order.
@@ -329,12 +208,12 @@ class CountingSession:
             batch = self._service.run_batch([job for _, job in pending])
             for (index, _), result in zip(pending, batch):
                 results[index] = result
-            self.engine_counts += len(pending)
+            self._shard.note_engine_counts(len(pending))
             pending.clear()
 
         for index, job in enumerate(jobs):
             if isinstance(job, CountRequest):
-                maintained, engine_job = self._route_count(job)
+                maintained, engine_job = self._shard.route_count(job)
                 if maintained is not None:
                     results[index] = maintained
                 else:
@@ -348,16 +227,18 @@ class CountingSession:
     def stats(self) -> dict:
         """Session counters plus the underlying service/cache snapshot."""
         snapshot = self._service.stats()
+        shard_snapshot = self._shard.stats()
         snapshot.update({
-            "databases": self.database_names(),
-            "maintained_counts": self.maintained_counts,
-            "engine_counts": self.engine_counts,
-            "updates_applied": self.updates_applied,
-            "maintainers": self._maintainers.stats(),
+            "databases": shard_snapshot["databases"],
+            "maintained_counts": shard_snapshot["maintained_counts"],
+            "engine_counts": shard_snapshot["engine_counts"],
+            "updates_applied": shard_snapshot["updates_applied"],
+            "maintainers": shard_snapshot["maintainers"],
         })
         return snapshot
 
     def close(self) -> None:
+        self._shard.close()
         self._service.close()
 
     def __enter__(self) -> "CountingSession":

@@ -1,0 +1,315 @@
+"""The session shard: one worker's slice of the streaming front end.
+
+A :class:`SessionShard` owns everything that must stay *serialized* per
+database: the current immutable version of every database assigned to
+it, those databases' slice of the maintainer pool (with its byte budget
+and checkpoint spilling), the pending-delta queues, and the
+maintainability memo.  It executes one session job at a time —
+:class:`~repro.service.session.CountRequest`,
+:class:`~repro.service.session.UpdateRequest`, or
+:class:`~repro.service.session.AttachDatabase` — synchronously in
+whatever thread (or process) its owner confines it to.
+
+Two front ends are built on top of it:
+
+* :class:`~repro.service.session.CountingSession` — the single-writer
+  session is exactly one shard plus stream batching through a
+  :class:`~repro.service.CountingService` worker pool;
+* :class:`~repro.service.router.MultiWriterSession` — the sharded
+  front end hash-partitions databases onto N shards, each driven by its
+  own single-worker executor, so writer streams to distinct databases
+  execute in parallel while same-database ordering is preserved.
+
+A shard is **not** thread-safe; its owner must serialize calls (both
+front ends do — that serialization *is* the per-database ordering
+guarantee).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..counting.engine import CountResult
+from ..counting.plan_cache import PlanCache, relation_content_tag
+from ..db.database import Database
+from ..dynamic.maintainer import BUDGET_FROM_ENV, MaintainerPool
+from ..dynamic.updates import Insert, Update, apply_update
+from ..exceptions import NotAcyclicError, ReproError
+from .jobs import CountJob
+from .service import CountingService
+
+
+class SessionShard:
+    """One serialization domain of the session front end.
+
+    Parameters
+    ----------
+    service:
+        The :class:`CountingService` engine fallback.  When omitted an
+        inline service is created (sharded front ends run one shard per
+        worker; parallelism comes from the shards, not nested pools).
+    plan_cache, cache_dir:
+        Forwarded to the created service (ignored when *service* is
+        given).  Thread-mode shards share one plan cache; process-mode
+        shards each own theirs, warm-started through *cache_dir*.
+    maintain, maintainer_capacity, maintainer_budget_bytes,
+    maintainer_spill_dir:
+        The maintained-path knobs: the pool's entry-count bound, its
+        byte budget (``None`` = ``$REPRO_MAINTAINER_BUDGET_MB`` or
+        unbounded), and where cold maintainers checkpoint.
+    label:
+        A display name surfaced in :meth:`stats` (``"shard0"``, ...).
+    """
+
+    def __init__(self, service: Optional[CountingService] = None,
+                 plan_cache: Optional[PlanCache] = None,
+                 cache_dir: Optional[str] = None,
+                 maintain: bool = True,
+                 maintainer_capacity: int = 64,
+                 maintainer_budget_bytes=BUDGET_FROM_ENV,
+                 maintainer_spill_dir: Optional[str] = None,
+                 label: Optional[str] = None):
+        if service is None:
+            service = CountingService(workers=0, mode="auto",
+                                      plan_cache=plan_cache,
+                                      cache_dir=cache_dir)
+            self._owns_service = True
+            if plan_cache is None and label is not None:
+                # A private cache (process-mode shards): make its stats
+                # attributable in aggregated per-shard snapshots.
+                service.plan_cache.label = label
+        else:
+            self._owns_service = False
+        self._service = service
+        self.plan_cache = service.plan_cache
+        self.maintain = maintain
+        self.label = label
+        self._databases: Dict[str, Database] = {}
+        self._maintainers = MaintainerPool(
+            capacity=maintainer_capacity,
+            budget_bytes=maintainer_budget_bytes,
+            spill_dir=maintainer_spill_dir,
+        )
+        #: Updates applied to a database but not yet folded into its
+        #: maintainers (delta batching: one propagation per *read*).
+        self._pending_deltas: Dict[str, List[Update]] = {}
+        #: fingerprint -> is the shape maintainable?  (Probing costs a
+        #: join-tree attempt, so the verdict is memoized per shape.)
+        self._maintainable: Dict[tuple, bool] = {}
+        self.maintained_counts = 0
+        self.engine_counts = 0
+        self.updates_applied = 0
+
+    # ------------------------------------------------------------------
+    # Databases
+    # ------------------------------------------------------------------
+    def database(self, name: str) -> Database:
+        """The current version of the named database."""
+        try:
+            return self._databases[name]
+        except KeyError:
+            raise ReproError(
+                f"session has no database named {name!r}; attach it first"
+            ) from None
+
+    def database_names(self) -> List[str]:
+        return sorted(self._databases)
+
+    def attach_database(self, name: str, database: Database) -> dict:
+        """Attach *database* under *name*; replacing an existing name
+        drops its maintainers (resident, spilled, and journaled) and
+        invalidates its data-dependent plans."""
+        invalidated = 0
+        replaced = name in self._databases
+        if replaced:
+            old = self._databases[name]
+            self._pending_deltas.pop(name, None)
+            self._maintainers.discard(name)
+            invalidated = self.plan_cache.invalidate_tags(*(
+                relation_content_tag(relation)
+                for relation in old.relations()
+            ))
+        self._databases[name] = database
+        return {
+            "op": "database", "database": name, "attached": True,
+            "replaced": replaced,
+            "total_tuples": database.total_tuples(),
+            "invalidated_plans": invalidated,
+        }
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(self, name: str, update: Update,
+               label: Optional[str] = None) -> dict:
+        """Apply *update* to the named database (atomically).
+
+        Validation happens first, against the current version — an
+        invalid update (absent delete, duplicate insert, arity mismatch,
+        unknown relation) raises and leaves the database, the
+        maintainers, and the plan cache untouched.  On success the new
+        version is swapped in, the delta is queued for the maintainers,
+        and exactly the plans tagged with the updated relation's old
+        contents are invalidated (shape-only plans survive).
+        """
+        current = self.database(name)
+        updated = apply_update(current, update)  # raises before any effect
+        if self.plan_cache.has_tagged_plans():
+            stale_tag = relation_content_tag(current[update.relation])
+            invalidated = self.plan_cache.invalidate_tags(stale_tag)
+        else:
+            # No data-dependent plans are loaded, so there is nothing to
+            # evict — and skipping the (O(n log n)) content tag keeps
+            # update cost proportional to the update, not the relation.
+            invalidated = 0
+        self._databases[name] = updated
+        self._pending_deltas.setdefault(name, []).append(update)
+        self.updates_applied += 1
+        ack = {
+            "op": "insert" if isinstance(update, Insert) else "delete",
+            "database": name,
+            "relation": update.relation,
+            "applied": True,
+            "total_tuples": updated.total_tuples(),
+            "invalidated_plans": invalidated,
+        }
+        if label is not None:
+            ack["job"] = label
+        return ack
+
+    def _flush_deltas(self, name: str) -> None:
+        """Fold the pending deltas of *name* into its maintainers."""
+        pending = self._pending_deltas.pop(name, None)
+        if pending:
+            self._maintainers.apply(name, pending)
+
+    # ------------------------------------------------------------------
+    # Counts
+    # ------------------------------------------------------------------
+    def _maintained_result(self, request) -> Optional[CountResult]:
+        """Serve *request* from a shared maintainer, or ``None`` when the
+        shape is not maintainable (or maintenance is disabled)."""
+        if not self.maintain or request.method not in ("auto", "maintained"):
+            return None
+        form = self.plan_cache.canonical(request.query)
+        if self._maintainable.get(form.fingerprint) is False:
+            return None
+        # The maintainer must see every applied update before it is read
+        # (and before a fresh DP is built from the current version).
+        self._flush_deltas(request.database)
+        database = self.database(request.database)
+        try:
+            entry = self._maintainers.counter_for(
+                request.database, request.query, database, form
+            )
+        except NotAcyclicError:
+            self._maintainable[form.fingerprint] = False
+            return None
+        self._maintainable[form.fingerprint] = True
+        entry.served += 1
+        self.maintained_counts += 1
+        details = {
+            "maintained": True,
+            "database": request.database,
+            "plan_fingerprint": form.digest,
+            "shared_clients": len(entry.clients),
+        }
+        if request.label is not None:
+            details["job"] = request.label
+        return CountResult(entry.count, "maintained", details)
+
+    def engine_job(self, request) -> CountJob:
+        """*request* as a :class:`CountJob` bound to the database version
+        current right now — later updates create new versions and can
+        never leak into an already-submitted count."""
+        return CountJob(
+            query=request.query,
+            database=self.database(request.database),
+            method=request.method,
+            max_width=request.max_width,
+            max_degree=request.max_degree,
+            hybrid_width=request.hybrid_width,
+            label=request.label,
+        )
+
+    def route_count(self, request) -> Tuple[Optional[CountResult],
+                                            Optional[CountJob]]:
+        """``(maintained result, engine job)`` — exactly one is set.
+
+        Raises when ``method='maintained'`` is forced but cannot be
+        served, distinguishing a disabled session from an unmaintainable
+        shape.
+        """
+        maintained = self._maintained_result(request)
+        if maintained is not None:
+            return maintained, None
+        if request.method == "maintained":
+            if not self.maintain:
+                raise ReproError(
+                    f"{request.query.name}: method 'maintained' requested "
+                    f"but this session was created with maintain=False"
+                )
+            raise NotAcyclicError(
+                f"{request.query.name}: method 'maintained' requires a "
+                f"quantifier-free acyclic query"
+            )
+        return None, self.engine_job(request)
+
+    def count(self, request) -> CountResult:
+        """Serve one count now (maintained if possible, engine otherwise)."""
+        maintained, job = self.route_count(request)
+        if maintained is not None:
+            return maintained
+        self.engine_counts += 1
+        return self._service.run_job(job)
+
+    def note_engine_counts(self, n: int) -> None:
+        """Account engine-bound counts executed on the shard's behalf
+        (the single-writer session batches them through its worker
+        pool)."""
+        self.engine_counts += n
+
+    # ------------------------------------------------------------------
+    # The uniform job interface (what shard workers execute)
+    # ------------------------------------------------------------------
+    def execute(self, job):
+        """Execute one session job; returns its result/acknowledgement."""
+        from .session import AttachDatabase, CountRequest, UpdateRequest
+
+        if isinstance(job, CountRequest):
+            return self.count(job)
+        if isinstance(job, UpdateRequest):
+            return self.update(job.database, job.update, label=job.label)
+        if isinstance(job, AttachDatabase):
+            ack = self.attach_database(job.name, job.database)
+            if job.label is not None:
+                ack["job"] = job.label
+            return ack
+        raise ReproError(f"unknown session job {type(job).__name__}")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Shard counters plus the maintainer pool and plan cache
+        snapshots."""
+        snapshot = {
+            "databases": self.database_names(),
+            "maintained_counts": self.maintained_counts,
+            "engine_counts": self.engine_counts,
+            "updates_applied": self.updates_applied,
+            "maintainers": self._maintainers.stats(),
+            "plan_cache": self.plan_cache.stats(),
+        }
+        if self.label is not None:
+            snapshot["shard"] = self.label
+        return snapshot
+
+    def close(self) -> None:
+        self._maintainers.close()
+        if self._owns_service:
+            self._service.close()
+
+    def __enter__(self) -> "SessionShard":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -27,6 +27,7 @@ from .paper_queries import (
     v0_view_set,
 )
 from .batch_jobs import batch_jobs, batch_shape_instances, write_batch_job_file
+from .multi_writer import multi_writer_streams, write_multi_writer_streams
 from .random_instances import random_acyclic_query, random_instance, random_query
 from .session_stream import (
     session_shape_instances,
@@ -41,8 +42,10 @@ from .snowflake import (
 )
 
 __all__ = [
+    "multi_writer_streams",
     "session_shape_instances",
     "session_stream_jobs",
+    "write_multi_writer_streams",
     "write_session_stream",
     "clique_query",
     "count_cliques_brute_force",

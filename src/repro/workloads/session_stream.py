@@ -81,6 +81,7 @@ def session_shape_instances(n_shapes: int = 4, seed: Optional[int] = None,
 def session_stream_jobs(n_shapes: int = 4, rounds: int = 10,
                         seed: Optional[int] = None,
                         updates_per_round: int = 2,
+                        name_prefix: str = "",
                         **instance_kwargs) -> List[SessionJob]:
     """An interleaved session stream over *n_shapes* named databases.
 
@@ -89,6 +90,10 @@ def session_stream_jobs(n_shapes: int = 4, rounds: int = 10,
     (random inserts/deletes, tracked against the evolving contents so
     replay never faults) followed by one count whose query is a fresh
     bijective renaming of the shape's query.
+
+    *name_prefix* prefixes every database name — the multi-writer
+    generator gives each writer stream its own disjoint database set
+    this way (``w0-db0``, ``w1-db0``, ...).
     """
     rng = random.Random(seed)
     shapes = session_shape_instances(
@@ -99,7 +104,7 @@ def session_stream_jobs(n_shapes: int = 4, rounds: int = 10,
     contents: List[Dict[str, Set[tuple]]] = []
     arities: List[Dict[str, int]] = []
     for index, (query, database) in enumerate(shapes):
-        name = f"db{index}"
+        name = f"{name_prefix}db{index}"
         jobs.append(AttachDatabase(name, database, label=name))
         contents.append({
             relation.name: set(relation.rows)
@@ -111,7 +116,7 @@ def session_stream_jobs(n_shapes: int = 4, rounds: int = 10,
         })
     for round_index in range(rounds):
         for index, (query, _database) in enumerate(shapes):
-            name = f"db{index}"
+            name = f"{name_prefix}db{index}"
             for _ in range(updates_per_round):
                 relation = rng.choice(sorted(contents[index]))
                 rows = contents[index][relation]

@@ -1,4 +1,4 @@
-"""Differential update-replay harness (ISSUE 3).
+"""Differential update-replay harness (ISSUES 3 and 4).
 
 Random update streams — inserts, deletes, adversarial orders, deletes of
 absent rows — are replayed through three independent counting paths:
@@ -10,6 +10,13 @@ absent rows — are replayed through three independent counting paths:
 
 and all three must agree **at every step** — in inline, thread, and
 process execution modes, with maintenance both enabled and disabled.
+
+The cross-shard commutation property (ISSUE 4) rides the same harness:
+*any* interleaving of multi-writer streams over distinct databases,
+pushed through a sharded :class:`~repro.service.MultiWriterSession`,
+must yield per-database results identical to per-database sequential
+replay — including with real concurrent producer threads and with a
+tiny maintainer budget forcing spill/restore mid-stream.
 """
 
 from __future__ import annotations
@@ -29,7 +36,13 @@ from repro.dynamic import (
 from repro.exceptions import DatabaseError
 from repro.query import parse_query
 from repro.query.canonical import random_renaming
-from repro.service import CountingSession, CountRequest, UpdateRequest
+from repro.service import (
+    CountingSession,
+    CountRequest,
+    MultiWriterSession,
+    UpdateRequest,
+)
+from repro.workloads.multi_writer import multi_writer_streams
 
 QUERY = parse_query("ans(A, B, C) :- r(A, B), s(B, C)")
 #: A shape the maintainer cannot serve (alpha-cyclic triangle), pinning
@@ -173,3 +186,92 @@ class TestDifferentialReplayPooled:
             outcomes[mode] = [result.count for result in results
                               if hasattr(result, "count")]
         assert outcomes["inline"] == outcomes["thread"] == outcomes["process"]
+
+
+# ----------------------------------------------------------------------
+# Cross-shard commutation (ISSUE 4)
+# ----------------------------------------------------------------------
+def sequential_replay(streams):
+    """Per-stream counts from per-database sequential replay (each
+    stream owns its databases, so one single-writer session per stream
+    is exactly the per-database sequential order)."""
+    expected = []
+    for stream in streams:
+        with CountingSession(maintainer_budget_bytes=None) as session:
+            results = session.run_stream(stream)
+        expected.append([r.count for r in results if hasattr(r, "count")])
+    return expected
+
+
+def random_interleaving(streams, rng):
+    """One global order drawing the next job from a random stream while
+    preserving every stream's internal order; returns ``(jobs,
+    origins)``."""
+    cursors = [0] * len(streams)
+    interleaved, origins = [], []
+    while True:
+        available = [i for i, stream in enumerate(streams)
+                     if cursors[i] < len(stream)]
+        if not available:
+            return interleaved, origins
+        index = rng.choice(available)
+        interleaved.append(streams[index][cursors[index]])
+        origins.append(index)
+        cursors[index] += 1
+
+
+class TestCrossShardCommutation:
+    """Any interleaving of multi-writer streams over distinct databases
+    yields results identical to per-database sequential replay."""
+
+    def _streams(self, seed):
+        return multi_writer_streams(
+            n_writers=3, n_shapes=2, rounds=2, seed=seed,
+            tuples_per_relation=8, domain_size=5,
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_random_interleavings_commute(self, seed, shards):
+        streams = self._streams(seed)
+        expected = sequential_replay(streams)
+        rng = random.Random(seed * 31 + shards)
+        interleaved, origins = random_interleaving(streams, rng)
+        with MultiWriterSession(shards=shards,
+                                shard_mode="thread") as session:
+            results = session.run_stream(interleaved)
+        observed = [[] for _ in streams]
+        for origin, result in zip(origins, results):
+            if hasattr(result, "count"):
+                observed[origin].append(result.count)
+        assert observed == expected
+
+    @pytest.mark.parametrize("shard_mode", ["thread", "process"])
+    def test_concurrent_producers_commute(self, shard_mode):
+        """The same property under genuinely concurrent producer
+        threads (one per writer stream) — the nondeterministic global
+        interleave must still replay per-database sequentially."""
+        streams = self._streams(seed=99)
+        expected = sequential_replay(streams)
+        with MultiWriterSession(shards=2,
+                                shard_mode=shard_mode) as session:
+            outcomes = session.run_streams(streams)
+        observed = [[r.count for r in outcome if hasattr(r, "count")]
+                    for outcome in outcomes]
+        assert observed == expected
+
+    def test_commutation_survives_forced_spilling(self):
+        """A tiny maintainer budget spills and restores DPs throughout
+        the interleave; the commutation property must be unaffected."""
+        streams = self._streams(seed=5)
+        expected = sequential_replay(streams)
+        rng = random.Random(13)
+        interleaved, origins = random_interleaving(streams, rng)
+        with MultiWriterSession(shards=2, shard_mode="thread",
+                                maintainer_budget_bytes=1) as session:
+            results = session.run_stream(interleaved)
+        observed = [[] for _ in streams]
+        for origin, result in zip(origins, results):
+            if hasattr(result, "count"):
+                observed[origin].append(result.count)
+        assert observed == expected

@@ -193,3 +193,64 @@ class TestPlanCacheBehavior:
         stats = cache.stats()
         assert stats["hits"] > 0
         assert stats["plans"] >= 1
+
+
+class TestAutomorphismOrbitPruning:
+    """Sibling branches in one automorphism orbit are pruned (ISSUE 4):
+    symmetric queries stay far under the branch budget, and the pruned
+    search still lands on renaming-stable fingerprints."""
+
+    @staticmethod
+    def _symmetric_star(k):
+        return parse_query(
+            "ans(A, " + ", ".join(f"B{i}" for i in range(k)) + ") :- "
+            + ", ".join(f"r(A, B{i})" for i in range(k))
+        )
+
+    def test_symmetric_star_stays_under_the_branch_budget(self):
+        from repro.query.canonical import (
+            CANONICAL_BRANCH_BUDGET,
+            last_search_stats,
+        )
+
+        query = self._symmetric_star(6)
+        fingerprint = query_fingerprint(query)
+        stats = last_search_stats()
+        # 6 interchangeable branches: the unpruned search floods the
+        # 256-ordering budget (6! = 720 consistent orderings); orbit
+        # pruning must leave most of the budget untouched.
+        assert stats["explored"] < CANONICAL_BRANCH_BUDGET // 2
+        assert stats["pruned"] > 0
+        assert stats["automorphisms"] > 0
+        for seed in range(6):
+            variant = random_renaming(query, seed=seed, rename_symbols=True)
+            assert query_fingerprint(variant) == fingerprint
+
+    def test_interchangeable_atom_pairs_prune_too(self):
+        from repro.query.canonical import last_search_stats
+
+        query = parse_query(
+            "ans(A, B, C, D, E) :- e(A, B), e(B, C), e(C, D), e(D, E)"
+        )
+        fingerprint = query_fingerprint(query)
+        path_stats = last_search_stats()
+        assert path_stats["explored"] >= 1
+        for seed in range(4):
+            assert query_fingerprint(
+                random_renaming(query, seed=seed)
+            ) == fingerprint
+
+    def test_asymmetric_queries_explore_one_ordering(self):
+        from repro.query.canonical import last_search_stats
+
+        query_fingerprint(parse_query("ans(A, C) :- r(A, B), s(B, C)"))
+        stats = last_search_stats()
+        assert stats["explored"] == 1
+        assert stats["pruned"] == 0
+
+    def test_pruned_fingerprints_still_separate_shapes(self):
+        # Stars of different fan-out must not collide after pruning.
+        fingerprints = {
+            query_fingerprint(self._symmetric_star(k)) for k in range(2, 7)
+        }
+        assert len(fingerprints) == 5

@@ -251,7 +251,9 @@ class TestMaintainerPoolDirect:
 
     def test_pool_eviction_is_bounded(self):
         database = path_database()
-        pool = MaintainerPool(capacity=2)
+        # budget_bytes pinned: the CI spill leg's tiny env budget must
+        # not change this test's capacity-eviction arithmetic.
+        pool = MaintainerPool(capacity=2, budget_bytes=None)
         for index in range(4):
             query = random_renaming(PATH, seed=index, rename_symbols=True,
                                     prefix=f"P{index}")
