@@ -104,6 +104,13 @@ def shards_snapshot() -> dict:
     return _load_bench_module("bench_shards").snapshot()
 
 
+def reduced_snapshot() -> dict:
+    """The reduction-based maintenance numbers (bench_reduced):
+    maintained quantified/cyclic streams vs recompute-per-count, and the
+    spill-forced reduced-session correctness/cap check."""
+    return _load_bench_module("bench_reduced").snapshot()
+
+
 def run_benchmark_files(names) -> dict:
     """One pytest pass over one or more benchmark modules."""
     env = dict(os.environ)
@@ -138,13 +145,13 @@ def main(argv=None) -> int:
 
     # --fast: only the combined kernel-pair run (below) — no per-file loop,
     # so the CI smoke pays for the pair once, not twice.
-    # bench_batch_service.py / bench_session.py / bench_shards.py are
-    # excluded from the file loop because the snapshot sections below run
-    # the same measurements.
+    # bench_batch_service.py / bench_session.py / bench_shards.py /
+    # bench_reduced.py are excluded from the file loop because the
+    # snapshot sections below run the same measurements.
     files = [] if args.fast else sorted(
         path.name for path in BENCH_DIR.glob("bench_*.py")
         if path.name not in ("bench_batch_service.py", "bench_session.py",
-                             "bench_shards.py")
+                             "bench_shards.py", "bench_reduced.py")
     )
     snapshot = {
         "generated_unix": int(time.time()),
@@ -193,6 +200,22 @@ def main(argv=None) -> int:
         if not snapshot["shards"]["meets_spill_bar"]:
             failures += 1
             print("[bench]   FAILED (spill-forced session broke "
+                  "correctness or its byte cap)", flush=True)
+        snapshot["reduced"] = reduced_snapshot()
+        print(f"[bench] reduced: maintained quantified/cyclic stream "
+              f"{snapshot['reduced']['reduced_speedup']}x vs recompute; "
+              f"spill-forced peak "
+              f"{snapshot['reduced']['reduced_spill_peak_resident_bytes']}B "
+              f"under "
+              f"{snapshot['reduced']['reduced_spill_budget_bytes']}B budget",
+              flush=True)
+        if not snapshot["reduced"]["meets_reduced_3x_bar"]:
+            failures += 1
+            print("[bench]   FAILED (maintained reduced stream below "
+                  "the 3x bar)", flush=True)
+        if not snapshot["reduced"]["meets_reduced_spill_bar"]:
+            failures += 1
+            print("[bench]   FAILED (spill-forced reduced session broke "
                   "correctness or its byte cap)", flush=True)
     for name in files:
         print(f"[bench] {name} ...", flush=True)

@@ -244,7 +244,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
     from .service import CountingSession, MultiWriterSession, load_stream
 
     streams = [load_stream(path) for path in args.jobs]
-    session_kwargs = {}
+    session_kwargs = {"maintain_reduced": not args.no_reduced}
     if args.maintainer_budget_mb is not None:
         # <= 0 means "explicitly unbounded" (overriding the env), never
         # a degenerate one-byte budget.
@@ -267,7 +267,8 @@ def _cmd_session(args: argparse.Namespace) -> int:
                                   args.explain)
         print(f"jobs      : {sum(len(jobs) for jobs in streams)} over "
               f"{len(streams)} writer stream(s)")
-        print(f"counts    : {stats['maintained_counts']} maintained / "
+        print(f"counts    : {stats['maintained_counts']} maintained "
+              f"({stats['reduced_counts']} via Thm 3.7 reduction) / "
               f"{stats['engine_counts']} engine; "
               f"updates {stats['updates_applied']}")
         print(f"shards    : {stats['shards']} ({stats['shard_mode']}; "
@@ -292,11 +293,13 @@ def _cmd_session(args: argparse.Namespace) -> int:
             stats = session.stats()
         _session_result_lines("", jobs, results, payload, args.explain)
         print(f"jobs      : {len(jobs)}")
-        print(f"counts    : {stats['maintained_counts']} maintained / "
+        print(f"counts    : {stats['maintained_counts']} maintained "
+              f"({stats['reduced_counts']} via Thm 3.7 reduction) / "
               f"{stats['engine_counts']} engine; "
               f"updates {stats['updates_applied']}")
         maintainers = stats["maintainers"]
-        print(f"maintainers: {maintainers['maintainers']} live, "
+        print(f"maintainers: {maintainers['maintainers']} live "
+              f"({maintainers['reduced_maintainers']} reduced), "
               f"{maintainers['clients']} client queries, "
               f"{maintainers['reads_served']} reads, "
               f"{maintainers['resident_bytes']}B resident "
@@ -440,6 +443,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "shard/session in MB (cold maintainers spill "
                               "to checkpoints; 0 = unbounded; defaults to "
                               "$REPRO_MAINTAINER_BUDGET_MB)")
+    session.add_argument("--no-reduced", action="store_true",
+                         help="disable Theorem 3.7 reduction-based "
+                              "maintenance (quantified/cyclic shapes "
+                              "then recount through the engine)")
     session.add_argument("--cache-dir", default=None,
                          help="persistent plan-cache directory (defaults to "
                               "$REPRO_PLAN_CACHE_DIR when set)")

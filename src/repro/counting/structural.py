@@ -32,11 +32,39 @@ from ..db.database import Database
 from ..decomposition.sharp import (
     SharpDecomposition,
     find_sharp_hypertree_decomposition,
+    find_sharp_hypertree_decomposition_up_to,
 )
 from ..exceptions import DecompositionNotFoundError
 from ..hypergraph.acyclicity import JoinTree
+from ..query.atom import Atom
 from ..query.query import ConjunctiveQuery
 from .acyclic import count_join_tree
+
+
+def host_core_atoms(decomposition: SharpDecomposition
+                    ) -> Dict[int, List[Atom]]:
+    """Per bag index: the core atoms enforced inside that bag.
+
+    Assigns every core atom one host bag that contains its variables
+    (the tree projection covers ``H_Q'``, so a host always exists).
+    Shared by the static counting path and the reduced maintainer —
+    both must make the *same* assignment or maintained counts could
+    drift from the engine's reduction.
+    """
+    tree = decomposition.tree
+    hosted: Dict[int, List[Atom]] = {i: [] for i in range(len(tree.bags))}
+    for atom in decomposition.core.atoms_sorted():
+        host = next(
+            (i for i, bag in enumerate(tree.bags)
+             if atom.variable_set <= bag),
+            None,
+        )
+        if host is None:  # pragma: no cover - guaranteed by Definition 1.4
+            raise DecompositionNotFoundError(
+                f"bag covering atom {atom!r} missing from decomposition"
+            )
+        hosted[host].append(atom)
+    return hosted
 
 
 def exact_bag_relations(decomposition: SharpDecomposition, database: Database
@@ -52,20 +80,7 @@ def exact_bag_relations(decomposition: SharpDecomposition, database: Database
     """
     tree = decomposition.tree
     views = decomposition.views
-    # Assign every core atom one host bag that contains its variables; the
-    # tree projection covers H_Q' so a host bag always exists.
-    hosted: Dict[int, List] = {i: [] for i in range(len(tree.bags))}
-    for atom in decomposition.core.atoms_sorted():
-        host = next(
-            (i for i, bag in enumerate(tree.bags)
-             if atom.variable_set <= bag),
-            None,
-        )
-        if host is None:  # pragma: no cover - guaranteed by Definition 1.4
-            raise DecompositionNotFoundError(
-                f"bag covering atom {atom!r} missing from decomposition"
-            )
-        hosted[host].append(atom)
+    hosted = host_core_atoms(decomposition)
     relations: List[SubstitutionSet] = []
     for index, (bag, view_name) in enumerate(
             zip(tree.bags, decomposition.bag_views)):
@@ -101,13 +116,16 @@ def count_structural(query: ConjunctiveQuery, database: Database,
     width exceeds the bound — the caller should fall back to the hybrid or
     degree-bounded algorithms.
     """
-    widths = [width] if width is not None else range(1, max_width + 1)
-    for k in widths:
+    if width is not None:
         decomposition = find_sharp_hypertree_decomposition(
-            query, k, **decomposition_kwargs
+            query, width, **decomposition_kwargs
         )
-        if decomposition is not None:
-            return count_with_decomposition(query, database, decomposition)
+    else:
+        decomposition = find_sharp_hypertree_decomposition_up_to(
+            query, max_width, **decomposition_kwargs
+        )
+    if decomposition is not None:
+        return count_with_decomposition(query, database, decomposition)
     raise DecompositionNotFoundError(
         f"{query.name} has no #-hypertree decomposition of width "
         f"<= {width if width is not None else max_width}"

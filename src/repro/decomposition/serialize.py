@@ -43,7 +43,12 @@ PLAN_FORMAT_VERSION = 1
 
 #: Bump when the maintainer DP state changes incompatibly; stale
 #: checkpoints are then rejected and the DP is rebuilt from the database.
-MAINTAINER_FORMAT_VERSION = 1
+#: Version 2: checkpoints may carry a
+#: :class:`~repro.dynamic.reduced.ReducedMaintainer` (reduction-based
+#: maintenance — provenance parts, witness counts, and the inner DP)
+#: where version 1 only ever held an ``IncrementalCounter``; version-1
+#: files are rejected on restore and the DP rebuilt from the database.
+MAINTAINER_FORMAT_VERSION = 2
 
 _PLAN_MAGIC = b"repro-plan"
 _MAINTAINER_MAGIC = b"repro-maint"

@@ -263,6 +263,22 @@ def find_sharp_hypertree_decomposition(query: ConjunctiveQuery, width: int,
     return result
 
 
+def find_sharp_hypertree_decomposition_up_to(query: ConjunctiveQuery,
+                                             max_width: int, **kwargs
+                                             ) -> Optional[SharpDecomposition]:
+    """The least-width #-hypertree decomposition with width
+    ``<= max_width``, or ``None`` — the iterative-deepening loop shared
+    by the structural counter, the reduced maintainer, and the workload
+    generators, so "bounded #-hypertree width" means one thing."""
+    for width in range(1, max_width + 1):
+        decomposition = find_sharp_hypertree_decomposition(
+            query, width, **kwargs
+        )
+        if decomposition is not None:
+            return decomposition
+    return None
+
+
 def sharp_hypertree_width(query: ConjunctiveQuery,
                           max_width: Optional[int] = None, **kwargs) -> int:
     """The #-hypertree width by iterative deepening over ``k``."""

@@ -18,9 +18,14 @@ dynamic-counting results the paper cites.
 
 Scope: quantifier-free acyclic queries, each bag covering atoms with the
 same variable set (exactly the instances
-:func:`repro.counting.acyclic.count_acyclic` accepts).  For queries with
-existential variables, reduce via Theorem 3.7 first or fall back to a
-recount — the [BKS17] dichotomy says no better is possible in general.
+:func:`repro.counting.acyclic.count_acyclic` accepts).  Queries with
+existential variables or cycles are maintained *through* the Theorem 3.7
+reduction by :class:`repro.dynamic.reduced.ReducedMaintainer` (which
+feeds the reduced instance's bag deltas to an inner
+:class:`IncrementalCounter`); :meth:`MaintainerPool.counter_for` routes
+to it automatically.  Only shapes whose #-hypertree width exceeds the
+bound still recount — the [BKS17] dichotomy says no better is possible
+in general.
 """
 
 from __future__ import annotations
@@ -59,6 +64,13 @@ CELL_BYTES = 28
 
 #: Fixed per-vertex overhead (the vertex object, schemas, empty dicts).
 VERTEX_BASE_BYTES = 512
+
+#: Default width ceiling for the Theorem 3.7 reduction's
+#: construction-time decomposition search (matches the engine's
+#: ``max_width`` default for counts).  Shared by :class:`MaintainerPool`
+#: and :class:`~repro.service.shard.SessionShard` so the maintained
+#: class cannot silently drift between direct pool users and sessions.
+DEFAULT_REDUCED_WIDTH = 3
 
 
 def maintainer_budget_from_env() -> Optional[int]:
@@ -160,7 +172,8 @@ class IncrementalCounter:
         if not query.is_quantifier_free():
             raise NotAcyclicError(
                 "IncrementalCounter requires a quantifier-free query; "
-                "reduce via the Theorem 3.7 pipeline first"
+                "use ReducedMaintainer to maintain it through the "
+                "Theorem 3.7 reduction"
             )
         self.query = query
         tree = require_join_tree(query.hypergraph())
@@ -423,14 +436,18 @@ class IncrementalCounter:
 # Multi-query sharing: one materialized DP per decomposition tree
 # ----------------------------------------------------------------------
 class SharedMaintainer:
-    """One :class:`IncrementalCounter` serving every same-shape query.
+    """One maintained DP serving every same-shape query.
 
-    The counter runs in *canonical space*: it is built over the
-    shape-canonical query and the database's canonically-renamed
-    restriction, so any query that is a bijective variable renaming of
-    another (same decomposition tree, same symbol mapping onto the
-    database) reads its count from the same maintained DP.  ``clients``
-    records the distinct query objects served; ``served`` counts reads.
+    The counter — an :class:`IncrementalCounter`, or a
+    :class:`~repro.dynamic.reduced.ReducedMaintainer` for shapes that
+    need the Theorem 3.7 reduction (both expose ``count`` /
+    ``apply_batch`` / ``estimated_bytes``) — runs in *canonical space*:
+    it is built over the shape-canonical query and the database's
+    canonically-renamed restriction, so any query that is a bijective
+    variable renaming of another (same decomposition tree, same symbol
+    mapping onto the database) reads its count from the same maintained
+    DP.  ``clients`` records the distinct query objects served;
+    ``served`` counts reads.
     """
 
     __slots__ = ("counter", "symbol_map", "clients", "served",
@@ -504,6 +521,11 @@ class MaintainerPool:
     pin one decomposition tree in canonical space.  All queries landing
     on the same key share one DP — the "many jobs, few shapes" traffic
     the batch service targets, carried over to maintained counts.
+    Shapes the direct DP rejects are maintained through the Theorem 3.7
+    reduction when ``reduced=True`` (the default); reduced maintainers
+    ride the same eviction, checkpoint-spill, and delta-journal
+    machinery — their provenance state pickles inside the same
+    envelope.
 
     Residency is bounded two ways:
 
@@ -543,11 +565,19 @@ class MaintainerPool:
 
     def __init__(self, capacity: int = 64,
                  budget_bytes=BUDGET_FROM_ENV,
-                 spill_dir: Optional[str] = None):
+                 spill_dir: Optional[str] = None,
+                 reduced: bool = True,
+                 reduced_max_width: int = DEFAULT_REDUCED_WIDTH):
         self.capacity = capacity
         if budget_bytes is BUDGET_FROM_ENV:
             budget_bytes = maintainer_budget_from_env()
         self.budget_bytes: Optional[int] = budget_bytes
+        #: Maintain non-acyclic/quantified shapes through the Theorem
+        #: 3.7 reduction (:class:`~repro.dynamic.reduced.ReducedMaintainer`)
+        #: when the direct DP does not apply; *reduced_max_width* caps
+        #: the construction-time #-decomposition search.
+        self.reduced = reduced
+        self.reduced_max_width = reduced_max_width
         self._entries: "OrderedDict[tuple, SharedMaintainer]" = OrderedDict()
         self._spilled: Dict[tuple, _SpillRecord] = {}
         #: token -> original-space updates applied while one or more of
@@ -558,6 +588,7 @@ class MaintainerPool:
         self._owns_spill_dir = False
         self._spill_serial = 0
         self.built = 0
+        self.built_reduced = 0
         self.evicted = 0
         self.spilled = 0
         self.restored = 0
@@ -737,6 +768,28 @@ class MaintainerPool:
     # ------------------------------------------------------------------
     # Public interface
     # ------------------------------------------------------------------
+    def _build_counter(self, query: ConjunctiveQuery, database: Database):
+        """A fresh maintained DP for the canonical *query*: the direct
+        join-tree DP when it applies, else the Theorem 3.7 reduction.
+
+        Raises :class:`NotAcyclicError` (reduction disabled) or
+        :class:`~repro.exceptions.DecompositionNotFoundError` (width
+        bound exceeded) for unmaintainable shapes — callers should
+        memoize the verdict per fingerprint, versioned by
+        :data:`~repro.dynamic.reduced.MAINTAINED_CLASS_VERSION`.
+        """
+        try:
+            return IncrementalCounter(query, database)
+        except NotAcyclicError:
+            if not self.reduced:
+                raise
+        from .reduced import ReducedMaintainer  # import cycle: lazy
+
+        counter = ReducedMaintainer(query, database,
+                                    max_width=self.reduced_max_width)
+        self.built_reduced += 1
+        return counter
+
     def counter_for(self, token: Hashable, query: ConjunctiveQuery,
                     database: Database, form) -> SharedMaintainer:
         """The shared maintainer for *query* over *database*.
@@ -745,9 +798,11 @@ class MaintainerPool:
         (the session passes the plan cache's memoized form).  A resident
         entry is served as-is; a spilled entry is restored from its
         checkpoint plus the delta journal; only a genuinely unknown key
-        builds the DP from scratch — raising :class:`NotAcyclicError`
-        when the shape is not maintainable, which callers should memoize
-        per fingerprint.  Both bounds are enforced afterwards.
+        builds the DP from scratch — raising :class:`NotAcyclicError` or
+        :class:`~repro.exceptions.DecompositionNotFoundError` when the
+        shape is not maintainable (see :meth:`_build_counter`), which
+        callers should memoize per fingerprint.  Both bounds are
+        enforced afterwards.
         """
         key = (token, form.fingerprint,
                tuple(sorted(form.symbol_map.items())))
@@ -758,7 +813,7 @@ class MaintainerPool:
                 canonical_database = database.renamed_restriction(
                     form.symbol_map
                 )
-                counter = IncrementalCounter(form.query, canonical_database)
+                counter = self._build_counter(form.query, canonical_database)
                 entry = SharedMaintainer(counter, dict(form.symbol_map))
                 self.built += 1
             self._entries[key] = entry
@@ -768,6 +823,19 @@ class MaintainerPool:
             self._note_peak()
         entry.clients.add(query)
         return entry
+
+    def note_read(self, entry: SharedMaintainer) -> None:
+        """Re-sample *entry*'s size after a count was read from it.
+
+        A read is not size-neutral for a reduced maintainer: the lazy
+        consistency repair rebuilds bag relations, grows index caches,
+        and enlarges the inner DP.  Re-sampling here keeps
+        ``resident_bytes``/``peak_resident_bytes`` honest between reads
+        and lets the byte budget evict colder entries immediately (the
+        just-read entry is the MRU, which the budget never evicts).
+        """
+        entry.refresh_bytes()
+        self._enforce_bounds()
 
     def apply(self, token: Hashable,
               updates: Sequence[Update]) -> int:
@@ -822,10 +890,17 @@ class MaintainerPool:
                    + sum(len(r.clients) for r in self._spilled.values()))
         served = (sum(e.served for e in self._entries.values())
                   + sum(r.served for r in self._spilled.values()))
+        from .reduced import ReducedMaintainer  # import cycle: lazy
+
         return {
             "maintainers": len(self._entries),
+            "reduced_maintainers": sum(
+                isinstance(entry.counter, ReducedMaintainer)
+                for entry in self._entries.values()
+            ),
             "spilled_entries": len(self._spilled),
             "built": self.built,
+            "built_reduced": self.built_reduced,
             "evicted": self.evicted,
             "spilled": self.spilled,
             "restored": self.restored,

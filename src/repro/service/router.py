@@ -228,12 +228,14 @@ class MultiWriterSession:
         (OS processes cannot share it; the persistent tier is how
         process shards share plans).
     maintain, maintainer_capacity, maintainer_budget_bytes,
-    maintainer_spill_dir:
+    maintainer_spill_dir, maintain_reduced:
         Forwarded to every shard's
         :class:`~repro.dynamic.maintainer.MaintainerPool`; the byte
         budget and the spill directory are **per shard** (each shard
         checkpoints into its own subdirectory when a directory is
-        given).
+        given).  ``maintain_reduced`` toggles Theorem 3.7
+        reduction-based maintenance of bounded-#htw shapes (on by
+        default).
     """
 
     def __init__(self, databases: Optional[Dict[str, Database]] = None,
@@ -243,7 +245,8 @@ class MultiWriterSession:
                  maintain: bool = True,
                  maintainer_capacity: int = 64,
                  maintainer_budget_bytes=BUDGET_FROM_ENV,
-                 maintainer_spill_dir: Optional[str] = None):
+                 maintainer_spill_dir: Optional[str] = None,
+                 maintain_reduced: bool = True):
         if shard_mode not in SHARD_MODES:
             raise ValueError(f"unknown shard mode {shard_mode!r}; "
                              f"expected one of {SHARD_MODES}")
@@ -272,6 +275,7 @@ class MultiWriterSession:
                     "maintainer_spill_dir": self._shard_spill_dir(
                         maintainer_spill_dir, index
                     ),
+                    "maintain_reduced": maintain_reduced,
                     "label": f"shard{index}",
                 }
                 if maintainer_budget_bytes is not BUDGET_FROM_ENV:
@@ -295,6 +299,7 @@ class MultiWriterSession:
                     maintainer_spill_dir=self._shard_spill_dir(
                         maintainer_spill_dir, index
                     ),
+                    maintain_reduced=maintain_reduced,
                     label=f"shard{index}",
                 )
                 self._handles.append(handle_type(core))
@@ -389,8 +394,8 @@ class MultiWriterSession:
         per_shard = [future.result() for future in futures]
         totals = {
             key: sum(shard[key] for shard in per_shard)
-            for key in ("maintained_counts", "engine_counts",
-                        "updates_applied")
+            for key in ("maintained_counts", "reduced_counts",
+                        "engine_counts", "updates_applied")
         }
         databases = sorted(
             name for shard in per_shard for name in shard["databases"]

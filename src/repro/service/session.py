@@ -7,13 +7,15 @@ inserts/deletes) against **named databases**, plus
 :class:`AttachDatabase` declarations — and unifies the repository's three
 counting paths behind one router:
 
-* **maintained** — a count whose shape is quantifier-free and acyclic is
-  served from a :class:`~repro.dynamic.maintainer.MaintainerPool`: one
-  materialized join-tree DP per decomposition tree (in canonical space,
-  so bijectively renamed queries share it), repaired incrementally under
-  updates with delta batching — pending deltas are folded in lazily, one
-  propagation pass per read, when the next count of that database
-  arrives;
+* **maintained** — a count whose shape is quantifier-free acyclic *or*
+  bounded-#htw (quantified/cyclic shapes with a #-hypertree
+  decomposition, maintained through the paper's Theorem 3.7 reduction by
+  :class:`~repro.dynamic.reduced.ReducedMaintainer`) is served from a
+  :class:`~repro.dynamic.maintainer.MaintainerPool`: one materialized DP
+  per decomposition tree (in canonical space, so bijectively renamed
+  queries share it), repaired incrementally under updates with delta
+  batching — pending deltas are folded in lazily, one propagation pass
+  per read, when the next count of that database arrives;
 * **engine** — fresh or non-maintainable shapes fall back to
   ``count_answers`` through the session's
   :class:`~repro.service.CountingService` (inline, thread, or process
@@ -107,6 +109,9 @@ class CountingSession:
     (cold maintainers spill to checkpoints and restore by replaying
     post-checkpoint deltas; see
     :class:`~repro.dynamic.maintainer.MaintainerPool`).
+    ``maintain_reduced=False`` narrows the maintained class back to
+    quantifier-free acyclic shapes (bounded-#htw shapes then recount
+    through the engine instead of riding the Theorem 3.7 reduction).
 
     A ``CountingSession`` is *single-writer*: one
     :class:`~repro.service.shard.SessionShard` serializes every job.
@@ -121,7 +126,8 @@ class CountingSession:
                  maintain: bool = True,
                  maintainer_capacity: int = 64,
                  maintainer_budget_bytes=BUDGET_FROM_ENV,
-                 maintainer_spill_dir: Optional[str] = None):
+                 maintainer_spill_dir: Optional[str] = None,
+                 maintain_reduced: bool = True):
         self._service = CountingService(workers=workers, mode=mode,
                                         plan_cache=plan_cache,
                                         cache_dir=cache_dir)
@@ -131,6 +137,7 @@ class CountingSession:
             maintainer_capacity=maintainer_capacity,
             maintainer_budget_bytes=maintainer_budget_bytes,
             maintainer_spill_dir=maintainer_spill_dir,
+            maintain_reduced=maintain_reduced,
         )
         self.plan_cache = self._service.plan_cache
         self.maintain = maintain
@@ -143,6 +150,10 @@ class CountingSession:
     @property
     def maintained_counts(self) -> int:
         return self._shard.maintained_counts
+
+    @property
+    def reduced_counts(self) -> int:
+        return self._shard.reduced_counts
 
     @property
     def engine_counts(self) -> int:
@@ -231,6 +242,7 @@ class CountingSession:
         snapshot.update({
             "databases": shard_snapshot["databases"],
             "maintained_counts": shard_snapshot["maintained_counts"],
+            "reduced_counts": shard_snapshot["reduced_counts"],
             "engine_counts": shard_snapshot["engine_counts"],
             "updates_applied": shard_snapshot["updates_applied"],
             "maintainers": shard_snapshot["maintainers"],

@@ -32,9 +32,18 @@ from typing import Dict, List, Optional, Tuple
 from ..counting.engine import CountResult
 from ..counting.plan_cache import PlanCache, relation_content_tag
 from ..db.database import Database
-from ..dynamic.maintainer import BUDGET_FROM_ENV, MaintainerPool
+from ..dynamic.maintainer import (
+    BUDGET_FROM_ENV,
+    DEFAULT_REDUCED_WIDTH,
+    MaintainerPool,
+)
+from ..dynamic.reduced import MAINTAINED_CLASS_VERSION, ReducedMaintainer
 from ..dynamic.updates import Insert, Update, apply_update
-from ..exceptions import NotAcyclicError, ReproError
+from ..exceptions import (
+    DecompositionNotFoundError,
+    NotAcyclicError,
+    ReproError,
+)
 from .jobs import CountJob
 from .service import CountingService
 
@@ -57,6 +66,13 @@ class SessionShard:
         The maintained-path knobs: the pool's entry-count bound, its
         byte budget (``None`` = ``$REPRO_MAINTAINER_BUDGET_MB`` or
         unbounded), and where cold maintainers checkpoint.
+    maintain_reduced, reduced_max_width:
+        Maintain bounded-#htw shapes (quantified/cyclic) through the
+        Theorem 3.7 reduction
+        (:class:`~repro.dynamic.reduced.ReducedMaintainer`); the width
+        bound caps the construction-time #-decomposition search.
+        ``maintain_reduced=False`` restores the quantifier-free-acyclic
+        -only maintained class (those shapes then recount).
     label:
         A display name surfaced in :meth:`stats` (``"shard0"``, ...).
     """
@@ -68,6 +84,8 @@ class SessionShard:
                  maintainer_capacity: int = 64,
                  maintainer_budget_bytes=BUDGET_FROM_ENV,
                  maintainer_spill_dir: Optional[str] = None,
+                 maintain_reduced: bool = True,
+                 reduced_max_width: int = DEFAULT_REDUCED_WIDTH,
                  label: Optional[str] = None):
         if service is None:
             service = CountingService(workers=0, mode="auto",
@@ -89,16 +107,42 @@ class SessionShard:
             capacity=maintainer_capacity,
             budget_bytes=maintainer_budget_bytes,
             spill_dir=maintainer_spill_dir,
+            reduced=maintain_reduced,
+            reduced_max_width=reduced_max_width,
         )
+        self.maintain_reduced = maintain_reduced
         #: Updates applied to a database but not yet folded into its
         #: maintainers (delta batching: one propagation per *read*).
         self._pending_deltas: Dict[str, List[Update]] = {}
-        #: fingerprint -> is the shape maintainable?  (Probing costs a
-        #: join-tree attempt, so the verdict is memoized per shape.)
-        self._maintainable: Dict[tuple, bool] = {}
+        #: fingerprint -> ``(probe version, verdict)``.  Probing costs a
+        #: join-tree attempt (and possibly a #-decomposition search), so
+        #: the verdict is memoized per shape — but *versioned* by
+        #: :data:`~repro.dynamic.reduced.MAINTAINED_CLASS_VERSION`: a
+        #: ``False`` recorded when the maintained class was narrower
+        #: (e.g. the version-1 quantifier-free-only probe, or a carried-
+        #: over legacy plain-``bool`` entry) is stale, not a verdict, and
+        #: is re-probed instead of pinning the shape to recounts forever.
+        self._maintainable: Dict[tuple, tuple] = {}
         self.maintained_counts = 0
+        self.reduced_counts = 0
         self.engine_counts = 0
         self.updates_applied = 0
+
+    def _memo_verdict(self, fingerprint) -> Optional[bool]:
+        """The memoized maintainability verdict, or ``None`` when the
+        shape is unknown or its cached verdict predates the current
+        maintained class (stale entries are dropped and re-probed)."""
+        entry = self._maintainable.get(fingerprint)
+        if (isinstance(entry, tuple) and len(entry) == 2
+                and entry[0] == MAINTAINED_CLASS_VERSION):
+            return entry[1]
+        if entry is not None:
+            del self._maintainable[fingerprint]
+        return None
+
+    def _memoize_verdict(self, fingerprint, verdict: bool) -> None:
+        self._maintainable[fingerprint] = (MAINTAINED_CLASS_VERSION,
+                                           verdict)
 
     # ------------------------------------------------------------------
     # Databases
@@ -192,7 +236,7 @@ class SessionShard:
         if not self.maintain or request.method not in ("auto", "maintained"):
             return None
         form = self.plan_cache.canonical(request.query)
-        if self._maintainable.get(form.fingerprint) is False:
+        if self._memo_verdict(form.fingerprint) is False:
             return None
         # The maintainer must see every applied update before it is read
         # (and before a fresh DP is built from the current version).
@@ -202,21 +246,27 @@ class SessionShard:
             entry = self._maintainers.counter_for(
                 request.database, request.query, database, form
             )
-        except NotAcyclicError:
-            self._maintainable[form.fingerprint] = False
+        except (NotAcyclicError, DecompositionNotFoundError):
+            self._memoize_verdict(form.fingerprint, False)
             return None
-        self._maintainable[form.fingerprint] = True
+        self._memoize_verdict(form.fingerprint, True)
         entry.served += 1
         self.maintained_counts += 1
+        reduced = isinstance(entry.counter, ReducedMaintainer)
+        if reduced:
+            self.reduced_counts += 1
         details = {
             "maintained": True,
+            "reduced": reduced,
             "database": request.database,
             "plan_fingerprint": form.digest,
             "shared_clients": len(entry.clients),
         }
         if request.label is not None:
             details["job"] = request.label
-        return CountResult(entry.count, "maintained", details)
+        count = entry.count  # may lazily repair (and grow) the DP
+        self._maintainers.note_read(entry)
+        return CountResult(count, "maintained", details)
 
     def engine_job(self, request) -> CountJob:
         """*request* as a :class:`CountJob` bound to the database version
@@ -249,9 +299,19 @@ class SessionShard:
                     f"{request.query.name}: method 'maintained' requested "
                     f"but this session was created with maintain=False"
                 )
+            if not self.maintain_reduced:
+                # Do not misdiagnose the shape: with the reduction
+                # disabled, a perfectly reducible query lands here too.
+                raise NotAcyclicError(
+                    f"{request.query.name}: method 'maintained' requires "
+                    f"a quantifier-free acyclic query on this session "
+                    f"(reduction-based maintenance is disabled: "
+                    f"maintain_reduced=False)"
+                )
             raise NotAcyclicError(
                 f"{request.query.name}: method 'maintained' requires a "
-                f"quantifier-free acyclic query"
+                f"quantifier-free acyclic query or a bounded-#htw shape "
+                f"maintainable through the Theorem 3.7 reduction"
             )
         return None, self.engine_job(request)
 
@@ -294,6 +354,7 @@ class SessionShard:
         snapshot = {
             "databases": self.database_names(),
             "maintained_counts": self.maintained_counts,
+            "reduced_counts": self.reduced_counts,
             "engine_counts": self.engine_counts,
             "updates_applied": self.updates_applied,
             "maintainers": self._maintainers.stats(),

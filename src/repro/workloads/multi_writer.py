@@ -35,7 +35,10 @@ def multi_writer_streams(n_writers: int = 2, n_shapes: int = 2,
     :func:`session_stream_jobs` instance (*n_shapes* databases,
     *rounds* update/count rounds) whose database names carry the
     writer's prefix — so any two streams commute under the sharded
-    front end.
+    front end.  A ``shape_mix=`` keyword rides *instance_kwargs* through
+    to :func:`~repro.workloads.session_stream.session_shape_instances`
+    (``quantified``/``cyclic``/``mixed`` exercise the reduction-based
+    maintainer on every shard).
     """
     rng = random.Random(seed)
     return [
@@ -73,17 +76,22 @@ def _main(argv=None) -> int:  # pragma: no cover - thin CLI wrapper
         description="emit multi-writer streams for "
                     "`python -m repro session ... --shards N`"
     )
+    from .session_stream import SHAPE_MIXES
+
     parser.add_argument("prefix",
                         help="output path prefix (-w<i>.jsonl is appended)")
     parser.add_argument("--writers", type=int, default=2)
-    parser.add_argument("--shapes", type=int, default=2,
+    parser.add_argument("--shapes", choices=SHAPE_MIXES, default="classic",
+                        help="shape mix per writer (same vocabulary as "
+                             "the session_stream CLI)")
+    parser.add_argument("--n-shapes", type=int, default=2,
                         help="databases per writer")
     parser.add_argument("--rounds", type=int, default=6)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     paths = write_multi_writer_streams(
-        args.prefix, n_writers=args.writers, n_shapes=args.shapes,
-        rounds=args.rounds, seed=args.seed,
+        args.prefix, n_writers=args.writers, n_shapes=args.n_shapes,
+        rounds=args.rounds, seed=args.seed, shape_mix=args.shapes,
     )
     for path in paths:
         print(f"wrote {path}")

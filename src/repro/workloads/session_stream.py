@@ -2,16 +2,25 @@
 
 The streaming session's traffic pattern is the batch service's ("many
 jobs, few shapes") with a dynamic twist: between the counts, single-tuple
-inserts and deletes keep mutating the named databases, so maintained
-shapes exercise the incremental DP while cyclic shapes keep falling back
-to the engine.  This module emits exactly that: ``n_shapes`` instances —
-even indices quantifier-free acyclic (maintainable), odd indices cyclic
-(engine-bound) — each attached as a named database, followed by
-``rounds`` rounds of valid updates and renamed-query counts.
+inserts and deletes keep mutating the named databases.  ``n_shapes``
+instances are attached as named databases, followed by ``rounds`` rounds
+of valid updates and renamed-query counts.  The *shape mix* picks which
+maintenance path the stream exercises:
 
-``python -m repro.workloads.session_stream jobs.jsonl`` (or
-:func:`write_session_stream`) writes a JSON Lines stream the CLI's
-``session`` subcommand consumes directly.
+* ``"classic"`` (default) — even indices quantifier-free acyclic (the
+  direct :class:`~repro.dynamic.IncrementalCounter` path), odd indices
+  random cyclic quantified shapes that typically fall through to the
+  engine;
+* ``"quantified"`` — acyclic shapes with existential variables and a
+  verified bounded #-hypertree width: the Theorem 3.7 reduction path
+  (:class:`~repro.dynamic.ReducedMaintainer`);
+* ``"cyclic"`` — quantifier-free *cyclic* bounded-#htw shapes (triangle
+  cores with pendant decorations): also the reduction path;
+* ``"mixed"`` — alternating quantified and cyclic reduced shapes.
+
+``python -m repro.workloads.session_stream jobs.jsonl --shapes
+quantified`` (or :func:`write_session_stream`) writes a JSON Lines
+stream the CLI's ``session`` subcommand consumes directly.
 """
 
 from __future__ import annotations
@@ -20,8 +29,12 @@ import random
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..db.database import Database
+from ..decomposition.sharp import find_sharp_hypertree_decomposition_up_to
 from ..dynamic.updates import Delete, Insert
+from ..query.atom import Atom
 from ..query.canonical import random_renaming
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Variable
 from ..service.session import (
     AttachDatabase,
     CountRequest,
@@ -35,6 +48,9 @@ from .random_instances import (
     random_instance,
 )
 
+#: Recognized values of the *shape_mix* parameter / ``--shapes`` option.
+SHAPE_MIXES = ("classic", "quantified", "cyclic", "mixed")
+
 
 def _random_row(rng: random.Random, arity: int, domain_size: int,
                 present: Set[tuple]) -> Optional[tuple]:
@@ -46,27 +62,93 @@ def _random_row(rng: random.Random, arity: int, domain_size: int,
     return None
 
 
+def _reducible(query: ConjunctiveQuery, max_width: int = 2) -> bool:
+    """Does *query* have a #-hypertree decomposition of width
+    ``<= max_width`` (i.e. will the session maintain it through the
+    Theorem 3.7 reduction)?"""
+    return find_sharp_hypertree_decomposition_up_to(
+        query, max_width
+    ) is not None
+
+
+def quantified_shape(seed: Optional[int] = None,
+                     n_atoms: int = 3) -> ConjunctiveQuery:
+    """A random *quantified* acyclic shape with verified bounded #htw.
+
+    Draws random acyclic queries, quantifies a variable subset, and
+    keeps the first draw whose #-hypertree width is ``<= 2`` — the
+    shapes :class:`~repro.dynamic.ReducedMaintainer` serves.  Falls back
+    to a star with quantified leaf tails (always width 1) when the draws
+    go stale, so the generator is total and deterministic per seed.
+    """
+    rng = random.Random(seed)
+    for _attempt in range(12):
+        query = random_acyclic_query(n_atoms, seed=rng.randrange(2 ** 30))
+        used = sorted(query.variables, key=lambda v: v.name)
+        if len(used) < 2:
+            continue
+        quantified = rng.sample(used, k=max(1, len(used) // 3))
+        free = frozenset(used) - frozenset(quantified)
+        if not free:
+            continue
+        query = query.with_free(free, name="Qquant")
+        if not query.is_quantifier_free() and _reducible(query):
+            return query
+    hub, spokes = Variable("A"), [Variable(f"B{i}") for i in range(2)]
+    tails = [Variable(f"C{i}") for i in range(2)]
+    atoms = [Atom("hub", (hub,))]
+    for i in range(2):
+        atoms.append(Atom(f"r{i}", (hub, spokes[i])))
+        atoms.append(Atom(f"t{i}", (spokes[i], tails[i])))
+    return ConjunctiveQuery(frozenset(atoms),
+                            frozenset([hub, *spokes]), name="Qquant")
+
+
+def cyclic_shape(seed: Optional[int] = None) -> ConjunctiveQuery:
+    """A quantifier-free *cyclic* bounded-#htw shape: a triangle core,
+    optionally decorated with pendant atoms (all variables free), so the
+    session can only maintain it through the reduction."""
+    rng = random.Random(seed)
+    a, b, c = Variable("A"), Variable("B"), Variable("C")
+    atoms = [Atom("r0", (a, b)), Atom("r1", (b, c)), Atom("r2", (c, a))]
+    variables = [a, b, c]
+    for extra in range(rng.randrange(0, 2)):
+        pendant = Variable(f"D{extra}")
+        atoms.append(Atom(f"p{extra}", (rng.choice([a, b, c]), pendant)))
+        variables.append(pendant)
+    return ConjunctiveQuery(frozenset(atoms), frozenset(variables),
+                            name="Qcyclic")
+
+
 def session_shape_instances(n_shapes: int = 4, seed: Optional[int] = None,
                             n_atoms: int = 4, domain_size: int = 6,
                             tuples_per_relation: int = 20,
+                            shape_mix: str = "classic",
                             ) -> List[Tuple[object, Database]]:
-    """``n_shapes`` instances alternating maintainable and cyclic.
+    """``n_shapes`` (query, database) instances following *shape_mix*.
 
-    Even indices are quantifier-free acyclic queries (every variable
-    free), the shapes the session's maintainer pool can serve; odd
-    indices are cyclic, pinning the engine-fallback path.
+    ``"classic"`` alternates quantifier-free acyclic (directly
+    maintainable) and random cyclic quantified (typically engine-bound)
+    shapes; the other mixes emit bounded-#htw quantified and/or cyclic
+    shapes that exercise the reduction-based maintainer (see the module
+    docstring).
     """
+    if shape_mix not in SHAPE_MIXES:
+        raise ValueError(f"unknown shape mix {shape_mix!r}; "
+                         f"expected one of {SHAPE_MIXES}")
     rng = random.Random(seed)
     instances = []
     for index in range(n_shapes):
-        if index % 2 == 0:
+        if shape_mix == "quantified" or (shape_mix == "mixed"
+                                         and index % 2 == 0):
+            query = quantified_shape(seed=rng.randrange(2 ** 30),
+                                     n_atoms=max(2, n_atoms - 1))
+        elif shape_mix in ("cyclic", "mixed"):
+            query = cyclic_shape(seed=rng.randrange(2 ** 30))
+        elif index % 2 == 0:
             query = random_acyclic_query(
                 n_atoms, n_free=10 ** 6,  # clamped: every variable free
                 seed=rng.randrange(2 ** 30),
-            )
-            database = correlated_database(
-                query, domain_size, tuples_per_relation,
-                n_seeds=4, seed=rng.randrange(2 ** 30),
             )
         else:
             query, database = random_instance(
@@ -74,6 +156,12 @@ def session_shape_instances(n_shapes: int = 4, seed: Optional[int] = None,
                 tuples_per_relation=tuples_per_relation,
                 acyclic=False, seed=rng.randrange(2 ** 30),
             )
+            instances.append((query.renamed(f"shape{index}"), database))
+            continue
+        database = correlated_database(
+            query, domain_size, tuples_per_relation,
+            n_seeds=4, seed=rng.randrange(2 ** 30),
+        )
         instances.append((query.renamed(f"shape{index}"), database))
     return instances
 
@@ -93,7 +181,9 @@ def session_stream_jobs(n_shapes: int = 4, rounds: int = 10,
 
     *name_prefix* prefixes every database name — the multi-writer
     generator gives each writer stream its own disjoint database set
-    this way (``w0-db0``, ``w1-db0``, ...).
+    this way (``w0-db0``, ``w1-db0``, ...).  A ``shape_mix=`` keyword
+    (one of :data:`SHAPE_MIXES`) selects which maintenance path the
+    stream exercises; see :func:`session_shape_instances`.
     """
     rng = random.Random(seed)
     shapes = session_shape_instances(
@@ -158,14 +248,21 @@ def _main(argv=None) -> int:  # pragma: no cover - thin CLI wrapper
         description="emit a session stream for `python -m repro session`"
     )
     parser.add_argument("output", help="path of the JSONL stream to write")
-    parser.add_argument("--shapes", type=int, default=4)
+    parser.add_argument("--shapes", choices=SHAPE_MIXES, default="classic",
+                        help="shape mix: classic alternates directly "
+                             "maintainable and engine-bound shapes; "
+                             "quantified/cyclic/mixed exercise the "
+                             "Theorem 3.7 reduction path")
+    parser.add_argument("--n-shapes", type=int, default=4,
+                        help="number of named databases")
     parser.add_argument("--rounds", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
-    jobs = write_session_stream(args.output, n_shapes=args.shapes,
-                                rounds=args.rounds, seed=args.seed)
-    print(f"wrote {len(jobs)} stream jobs over {args.shapes} shapes "
-          f"-> {args.output}")
+    jobs = write_session_stream(args.output, n_shapes=args.n_shapes,
+                                rounds=args.rounds, seed=args.seed,
+                                shape_mix=args.shapes)
+    print(f"wrote {len(jobs)} stream jobs over {args.n_shapes} "
+          f"{args.shapes} shapes -> {args.output}")
     return 0
 
 

@@ -1,4 +1,4 @@
-"""Differential update-replay harness (ISSUES 3 and 4).
+"""Differential update-replay harness (ISSUES 3, 4 and 5).
 
 Random update streams — inserts, deletes, adversarial orders, deletes of
 absent rows — are replayed through three independent counting paths:
@@ -17,6 +17,14 @@ pushed through a sharded :class:`~repro.service.MultiWriterSession`,
 must yield per-database results identical to per-database sequential
 replay — including with real concurrent producer threads and with a
 tiny maintainer budget forcing spill/restore mid-stream.
+
+The reduced-maintenance leg (ISSUE 5) widens the harness to *quantified*
+and *cyclic* bounded-#htw shapes — the class
+:class:`~repro.dynamic.ReducedMaintainer` serves through the Theorem 3.7
+reduction: a bare reduced maintainer, the session's maintained path, a
+from-scratch ``count_answers``, and brute force must agree at every step
+of random update streams, in every shard mode and under a spill-forcing
+maintainer budget.
 """
 
 from __future__ import annotations
@@ -275,3 +283,140 @@ class TestCrossShardCommutation:
             if hasattr(result, "count"):
                 observed[origin].append(result.count)
         assert observed == expected
+
+
+# ----------------------------------------------------------------------
+# Reduced-maintenance leg (ISSUE 5): quantified and cyclic shapes
+# ----------------------------------------------------------------------
+from repro.counting.brute_force import count_brute_force  # noqa: E402
+from repro.dynamic import ReducedMaintainer  # noqa: E402
+
+#: Acyclic but quantified (C is existential): the direct DP refuses it,
+#: the Theorem 3.7 reduction maintains it at width 1.
+QUANTIFIED = parse_query("ans(A, B) :- r(A, B), s(B, C)")
+#: Quantifier-free but cyclic (a triangle): width-2 reducible.
+TRIANGLE = parse_query("ans(A, B, C) :- r(A, B), s(B, C), t(C, A)")
+REDUCED_SHAPES = (QUANTIFIED, TRIANGLE)
+
+
+def random_database3(rng: random.Random, size: int = 8,
+                     domain: int = 4) -> Database:
+    return Database.from_dict({
+        name: list({(rng.randrange(domain), rng.randrange(domain))
+                    for _ in range(size)})
+        for name in ("r", "s", "t")
+    })
+
+
+def random_update3(rng: random.Random, database: Database, domain: int = 4):
+    relation = rng.choice(["r", "s", "t"])
+    existing = sorted(database[relation].rows, key=repr)
+    if existing and rng.random() < 0.45:
+        return Delete(relation, rng.choice(existing))
+    while True:
+        row = (rng.randrange(domain), rng.randrange(domain))
+        if row not in database[relation]:
+            return Insert(relation, row)
+
+
+def replay_reduced_stream(seed: int, steps: int = 18, **session_kwargs):
+    """One random stream, four independent paths, agreement per step."""
+    rng = random.Random(seed)
+    database = random_database3(rng)
+    with CountingSession(databases={"main": database},
+                         **session_kwargs) as session:
+        maintainers = [
+            ReducedMaintainer(query, database) for query in REDUCED_SHAPES
+        ]
+        for step in range(steps):
+            update = random_update3(rng, database)
+            database = apply_update(database, update)
+            session.update("main", update)
+            for query, maintainer in zip(REDUCED_SHAPES, maintainers):
+                maintainer.apply(update)
+                variant = random_renaming(query,
+                                          seed=rng.randrange(2 ** 30))
+                session_count = session.count(
+                    CountRequest(variant, "main",
+                                 label=f"{query.name}/step{step}")
+                ).count
+                scratch = count_answers(query, database).count
+                brute = count_brute_force(query, database)
+                bare = maintainer.count
+                assert scratch == brute, (
+                    f"seed {seed} step {step} {query.name}: engine "
+                    f"{scratch} != brute force {brute}"
+                )
+                assert bare == brute, (
+                    f"seed {seed} step {step} {query.name}: reduced "
+                    f"maintainer {bare} != brute force {brute}"
+                )
+                assert session_count == brute, (
+                    f"seed {seed} step {step} {query.name}: session "
+                    f"{session_count} != brute force {brute}"
+                )
+        return session.stats()
+
+
+class TestDifferentialReducedMaintenance:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reduced_paths_agree_with_recount_and_brute_force(self, seed):
+        stats = replay_reduced_stream(seed)
+        assert stats["reduced_counts"] == stats["maintained_counts"] > 0
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_agreement_under_spill_forcing_budget(self, seed):
+        """A one-byte budget forces checkpoint spill/restore of the
+        reduced maintainers on practically every read."""
+        stats = replay_reduced_stream(seed, maintainer_budget_bytes=1)
+        assert stats["maintainers"]["spilled"] > 0
+        assert stats["reduced_counts"] > 0
+
+    def test_agreement_with_reduction_disabled(self):
+        """maintain_reduced=False: same answers, engine path."""
+        stats = replay_reduced_stream(7, maintain_reduced=False)
+        assert stats["reduced_counts"] == 0
+        assert stats["engine_counts"] > 0
+
+    def _reduced_stream_jobs(self, seed: int, steps: int = 10):
+        rng = random.Random(seed)
+        database = random_database3(rng)
+        jobs = []
+        expected = []
+        current = database
+        for _ in range(steps):
+            update = random_update3(rng, current)
+            current = apply_update(current, update)
+            jobs.append(UpdateRequest("main", update))
+            for query in REDUCED_SHAPES:
+                variant = random_renaming(query,
+                                          seed=rng.randrange(2 ** 30))
+                jobs.append(CountRequest(variant, "main"))
+                expected.append(count_brute_force(query, current))
+        return database, jobs, expected
+
+    @pytest.mark.parametrize("shard_mode", ["inline", "thread", "process"])
+    def test_sharded_reduced_stream_matches_brute_force(self, shard_mode):
+        """The maintained reduced path through every shard mode."""
+        database, jobs, expected = self._reduced_stream_jobs(seed=13)
+        with MultiWriterSession(databases={"main": database}, shards=2,
+                                shard_mode=shard_mode) as session:
+            results = session.run_stream(jobs)
+            stats = session.stats()
+        counts = [r.count for r in results if hasattr(r, "count")]
+        assert counts == expected
+        assert stats["reduced_counts"] > 0
+
+    @pytest.mark.parametrize("shard_mode", ["inline", "thread", "process"])
+    def test_sharded_reduced_stream_spill_forced(self, shard_mode):
+        """Same property with a one-byte per-shard maintainer budget."""
+        database, jobs, expected = self._reduced_stream_jobs(seed=29,
+                                                             steps=8)
+        with MultiWriterSession(databases={"main": database}, shards=2,
+                                shard_mode=shard_mode,
+                                maintainer_budget_bytes=1) as session:
+            results = session.run_stream(jobs)
+            stats = session.stats()
+        counts = [r.count for r in results if hasattr(r, "count")]
+        assert counts == expected
+        assert stats["reduced_counts"] > 0

@@ -1,0 +1,352 @@
+"""Reduction-based maintenance (ISSUE 5): unit and property tests.
+
+:class:`~repro.dynamic.ReducedMaintainer` carries [BKS17]-style delta
+propagation through the paper's Theorem 3.7 reduction.  These tests pin
+its three layers independently:
+
+* **provenance delta translation** — for random base update streams,
+  translating base tuples into bag deltas and applying them must leave
+  the per-bag provenance (local bag membership, witness multiplicities,
+  and the exact projected rows fed to the inner DP) *identical* to
+  rebuilding the reduced instance from scratch — including
+  delete-then-reinsert and no-op round trips;
+* **pool integration** — reduced maintainers ride the shared pool's
+  eviction, checkpoint spill/restore, and delta-journal replay exactly
+  like the direct DPs, and stale (version-1) checkpoints are rejected;
+* **the maintainability memo** — a ``False`` verdict cached under the
+  old quantifier-free-only probe is re-probed now that the maintained
+  class is wider (a previously-recounting shape gets maintained).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.counting.brute_force import count_brute_force
+from repro.counting.engine import count_answers
+from repro.db import Database
+from repro.decomposition.serialize import (
+    MAINTAINER_FORMAT_VERSION,
+    PlanSerializationError,
+    _MAINTAINER_MAGIC,
+    _serialize,
+    deserialize_maintainer_state,
+)
+from repro.dynamic import (
+    Delete,
+    Insert,
+    MaintainerPool,
+    ReducedMaintainer,
+    apply_update,
+)
+from repro.dynamic.reduced import MAINTAINED_CLASS_VERSION
+from repro.exceptions import DecompositionNotFoundError
+from repro.query import parse_query
+from repro.query.canonical import canonical_form
+from repro.service import CountingSession, CountRequest
+from repro.workloads.random_instances import random_instance
+
+#: Acyclic with an existential variable: rejected by the direct DP,
+#: width-1 reducible.
+QUANT = parse_query("ans(A, B) :- r(A, B), s(B, C)")
+#: Quantifier-free but cyclic: width-2 reducible.
+TRIANGLE = parse_query("ans(A, B, C) :- r(A, B), s(B, C), t(C, A)")
+#: No free variables at all: the reduced instance keeps no bag and the
+#: count is the 0-or-1 emptiness gate.
+BOOLEAN = parse_query("ans() :- r(A, B), s(B, C)")
+
+
+def seed_database(rng: random.Random, symbols=("r", "s", "t"),
+                  size: int = 8, domain: int = 4) -> Database:
+    return Database.from_dict({
+        name: list({(rng.randrange(domain), rng.randrange(domain))
+                    for _ in range(size)})
+        for name in symbols
+    })
+
+
+def random_update(rng: random.Random, database: Database, domain: int = 4):
+    relation = rng.choice(sorted(database.symbols()))
+    existing = sorted(database[relation].rows, key=repr)
+    arity = database[relation].arity
+    if existing and rng.random() < 0.45:
+        return Delete(relation, rng.choice(existing))
+    while True:
+        row = tuple(rng.randrange(domain) for _ in range(arity))
+        if row not in database[relation]:
+            return Insert(relation, row)
+
+
+# ----------------------------------------------------------------------
+# Direct maintenance correctness
+# ----------------------------------------------------------------------
+class TestReducedMaintainer:
+    @pytest.mark.parametrize("query", [QUANT, TRIANGLE, BOOLEAN],
+                             ids=["quantified", "cyclic", "boolean"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_maintained_count_tracks_brute_force(self, query, seed):
+        rng = random.Random(seed)
+        database = seed_database(rng)
+        maintainer = ReducedMaintainer(query, database)
+        assert maintainer.count == count_brute_force(query, database)
+        for _step in range(25):
+            update = random_update(rng, database)
+            database = apply_update(database, update)
+            maintainer.apply(update)
+            assert maintainer.count == count_brute_force(query, database)
+
+    def test_width_bound_exceeded_raises(self):
+        # A 4-clique needs width > 1; with max_width=1 the reduction
+        # must refuse (the caller then falls back to recounting).
+        clique = parse_query(
+            "ans(A, B, C, D) :- r(A, B), r(A, C), r(A, D), "
+            "r(B, C), r(B, D), r(C, D)"
+        )
+        database = Database.from_dict({"r": [(1, 2)]})
+        with pytest.raises(DecompositionNotFoundError):
+            ReducedMaintainer(clique, database, max_width=1)
+
+    def test_drain_and_refill(self):
+        """Adversarial order: empty a relation entirely, then refill."""
+        database = Database.from_dict({"r": [(1, 2)], "s": [(2, 3)]})
+        maintainer = ReducedMaintainer(QUANT, database)
+        stream = [
+            Delete("r", (1, 2)), Delete("s", (2, 3)),
+            Insert("s", (5, 6)), Insert("r", (4, 5)),
+            Insert("r", (1, 2)), Insert("s", (2, 3)),
+        ]
+        for update in stream:
+            database = apply_update(database, update)
+            maintainer.apply(update)
+            assert maintainer.count == count_brute_force(QUANT, database)
+
+    def test_batch_equals_sequential(self):
+        rng = random.Random(3)
+        database = seed_database(rng)
+        batched = ReducedMaintainer(TRIANGLE, database)
+        sequential = ReducedMaintainer(TRIANGLE, database)
+        updates = []
+        for _ in range(10):
+            update = random_update(rng, database)
+            database = apply_update(database, update)
+            updates.append(update)
+            sequential.apply(update)
+        batched.apply_batch(updates)
+        assert batched.count == sequential.count
+        assert batched.witness_counts() == sequential.witness_counts()
+        assert batched.fed_rows() == sequential.fed_rows()
+
+    def test_estimated_bytes_grows_with_provenance(self):
+        rng = random.Random(9)
+        database = seed_database(rng, size=4)
+        maintainer = ReducedMaintainer(QUANT, database)
+        before = maintainer.estimated_bytes()
+        assert before > 0
+        for value in range(10, 30):
+            maintainer.apply(Insert("r", (value, value)))
+        assert maintainer.estimated_bytes() > before
+
+
+# ----------------------------------------------------------------------
+# Provenance delta translation == rebuild from scratch
+# ----------------------------------------------------------------------
+class TestProvenanceDeltaTranslation:
+    def assert_state_matches_rebuild(self, maintainer, query, database):
+        fresh = ReducedMaintainer(query, database)
+        assert maintainer.local_bag_rows() == fresh.local_bag_rows()
+        assert maintainer.witness_counts() == fresh.witness_counts()
+        assert maintainer.fed_rows() == fresh.fed_rows()
+        assert maintainer.count == fresh.count
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_streams_match_rebuild(self, seed):
+        """The property the satellite asks for: translating random base
+        deltas to bag deltas and applying them yields bag relations
+        identical to rebuilding the reduced instance from scratch."""
+        query, database = random_instance(
+            n_variables=5, n_atoms=3, domain_size=4,
+            tuples_per_relation=10, seed=seed,
+        )
+        try:
+            maintainer = ReducedMaintainer(query, database, max_width=2)
+        except DecompositionNotFoundError:
+            pytest.skip("no width-2 #-decomposition for this draw")
+        rng = random.Random(seed * 17 + 1)
+        for _step in range(10):
+            update = random_update(rng, database, domain=5)
+            database = apply_update(database, update)
+            maintainer.apply(update)
+        self.assert_state_matches_rebuild(maintainer, query, database)
+        assert maintainer.count == count_brute_force(query, database)
+
+    @pytest.mark.parametrize("mix,seed", [
+        ("quantified", 2), ("cyclic", 5),
+    ])
+    def test_workload_shapes_match_rebuild(self, mix, seed):
+        from repro.workloads import session_shape_instances
+
+        [(query, database)] = session_shape_instances(
+            n_shapes=1, seed=seed, tuples_per_relation=10, shape_mix=mix,
+        )
+        maintainer = ReducedMaintainer(query, database)
+        rng = random.Random(seed)
+        for _step in range(8):
+            update = random_update(rng, database, domain=6)
+            database = apply_update(database, update)
+            maintainer.apply(update)
+        self.assert_state_matches_rebuild(maintainer, query, database)
+
+    def test_delete_then_reinsert_is_identity(self):
+        rng = random.Random(4)
+        database = seed_database(rng)
+        maintainer = ReducedMaintainer(TRIANGLE, database)
+        baseline_counts = maintainer.witness_counts()
+        baseline_fed = maintainer.fed_rows()
+        row = sorted(database["r"].rows, key=repr)[0]
+        maintainer.apply(Delete("r", row))
+        maintainer.apply(Insert("r", row))
+        assert maintainer.witness_counts() == baseline_counts
+        assert maintainer.fed_rows() == baseline_fed
+        assert maintainer.count == count_brute_force(TRIANGLE, database)
+
+    def test_noop_insert_then_delete_is_identity(self):
+        rng = random.Random(6)
+        database = seed_database(rng)
+        maintainer = ReducedMaintainer(QUANT, database)
+        baseline_counts = maintainer.witness_counts()
+        baseline_fed = maintainer.fed_rows()
+        fresh_row = (9, 9)
+        assert fresh_row not in database["r"]
+        maintainer.apply_batch([Insert("r", fresh_row),
+                                Delete("r", fresh_row)])
+        assert maintainer.witness_counts() == baseline_counts
+        assert maintainer.fed_rows() == baseline_fed
+
+    def test_update_of_foreign_relation_is_ignored(self):
+        database = Database.from_dict({"r": [(1, 2)], "s": [(2, 3)],
+                                       "zz": [(7, 7)]})
+        maintainer = ReducedMaintainer(QUANT, database)
+        before = maintainer.witness_counts()
+        maintainer.apply(Insert("zz", (8, 8)))
+        assert maintainer.witness_counts() == before
+
+
+# ----------------------------------------------------------------------
+# Pool integration: spill, restore, journal replay
+# ----------------------------------------------------------------------
+class TestReducedMaintainerPool:
+    def _form(self, query):
+        return canonical_form(query)
+
+    def test_spill_restore_and_journal_replay(self, tmp_path):
+        rng = random.Random(11)
+        database = seed_database(rng)
+        pool = MaintainerPool(budget_bytes=1, spill_dir=str(tmp_path))
+        entry = pool.counter_for("db", QUANT, database, self._form(QUANT))
+        assert entry.count == count_brute_force(QUANT, database)
+        # Evict it by pulling a second shape in (budget 1 keeps one).
+        other = pool.counter_for("db", TRIANGLE, database,
+                                 self._form(TRIANGLE))
+        assert other.count == count_brute_force(TRIANGLE, database)
+        assert pool.stats()["spilled"] >= 1
+        # Update while the first maintainer is cold: journal replay.
+        update = Insert("r", (9, 9))
+        database2 = apply_update(database, update)
+        pool.apply("db", [update])
+        restored = pool.counter_for("db", QUANT, database2,
+                                    self._form(QUANT))
+        assert restored.count == count_brute_force(QUANT, database2)
+        assert pool.stats()["restored"] >= 1
+        pool.close()
+
+    def test_reduced_disabled_pool_raises_for_quantified(self):
+        from repro.exceptions import NotAcyclicError
+
+        rng = random.Random(2)
+        database = seed_database(rng)
+        pool = MaintainerPool(reduced=False)
+        with pytest.raises(NotAcyclicError):
+            pool.counter_for("db", QUANT, database, self._form(QUANT))
+        pool.close()
+
+    def test_stats_report_reduced_entries(self):
+        rng = random.Random(8)
+        database = seed_database(rng)
+        pool = MaintainerPool(budget_bytes=None)
+        pool.counter_for("db", QUANT, database, self._form(QUANT))
+        stats = pool.stats()
+        assert stats["reduced_maintainers"] == 1
+        assert stats["built_reduced"] == 1
+        pool.close()
+
+    def test_read_resamples_resident_bytes(self):
+        """A count read lazily repairs (and grows) a reduced DP; the
+        session must re-sample its size so the pool's budget accounting
+        never trails what is actually resident."""
+        rng = random.Random(5)
+        database = seed_database(rng)
+        with CountingSession(databases={"main": database}) as session:
+            session.count(CountRequest(QUANT, "main"))
+            for value in range(20, 40):
+                session.update("main", Insert("r", (value, value)))
+            session.count(CountRequest(QUANT, "main"))  # repairs lazily
+            pool = session._shard._maintainers
+            [entry] = pool._entries.values()
+            assert entry.resident_bytes == entry.counter.estimated_bytes()
+            assert pool.resident_bytes() == entry.resident_bytes
+
+    def test_version1_checkpoint_is_rejected(self):
+        blob = _serialize({"key": "x"}, _MAINTAINER_MAGIC, 1)
+        assert MAINTAINER_FORMAT_VERSION != 1
+        with pytest.raises(PlanSerializationError):
+            deserialize_maintainer_state(blob)
+
+
+# ----------------------------------------------------------------------
+# The maintainability memo: stale verdicts are re-probed
+# ----------------------------------------------------------------------
+class TestMaintainabilityMemoVersioning:
+    def test_stale_false_verdict_is_reprobed_and_maintained(self):
+        """Regression: a fingerprint cached ``False`` under the old
+        quantifier-free-only probe must not pin the shape to recounts
+        now that reduction-based maintenance exists."""
+        rng = random.Random(1)
+        database = seed_database(rng)
+        with CountingSession(databases={"main": database}) as session:
+            shard = session._shard
+            form = shard.plan_cache.canonical(QUANT)
+            # Simulate the version-1 probe's verdict (both the legacy
+            # plain-bool layout and an explicitly versioned one).
+            shard._maintainable[form.fingerprint] = False
+            result = session.count(CountRequest(QUANT, "main"))
+            assert result.strategy == "maintained"
+            assert result.details["reduced"] is True
+            shard._maintainable[form.fingerprint] = (1, False)
+            assert session.count(
+                CountRequest(QUANT, "main")).strategy == "maintained"
+
+    def test_current_false_verdict_short_circuits(self):
+        rng = random.Random(1)
+        database = seed_database(rng)
+        with CountingSession(databases={"main": database}) as session:
+            shard = session._shard
+            form = shard.plan_cache.canonical(QUANT)
+            shard._maintainable[form.fingerprint] = (
+                MAINTAINED_CLASS_VERSION, False
+            )
+            result = session.count(CountRequest(QUANT, "main"))
+            assert result.strategy != "maintained"
+            assert result.count == count_answers(QUANT, database).count
+
+    def test_verdicts_are_memoized_at_current_version(self):
+        rng = random.Random(1)
+        database = seed_database(rng)
+        with CountingSession(databases={"main": database}) as session:
+            shard = session._shard
+            session.count(CountRequest(QUANT, "main"))
+            form = shard.plan_cache.canonical(QUANT)
+            assert shard._maintainable[form.fingerprint] == (
+                MAINTAINED_CLASS_VERSION, True
+            )

@@ -142,15 +142,36 @@ class TestMaintainerRouting:
             assert stats["maintainers"] == 1
             assert stats["clients"] == 5  # PATH + 4 distinct renamings
 
-    def test_cyclic_shape_falls_back_to_engine(self):
+    def test_cyclic_shape_is_maintained_through_the_reduction(self):
+        """Since reduction-based maintenance landed, a bounded-#htw
+        cyclic shape rides the maintained path instead of recounting."""
         with CountingSession(databases={"main": path_database()}) as session:
+            result = session.count(CountRequest(CYCLIC, "main"))
+            assert result.strategy == "maintained"
+            assert result.details["reduced"] is True
+            assert session.maintained_counts == 1
+            assert session.reduced_counts == 1
+            assert session.engine_counts == 0
+
+    def test_cyclic_shape_falls_back_with_reduction_disabled(self):
+        with CountingSession(databases={"main": path_database()},
+                             maintain_reduced=False) as session:
             result = session.count(CountRequest(CYCLIC, "main"))
             assert result.strategy != "maintained"
             assert session.engine_counts == 1
             assert session.maintained_counts == 0
 
-    def test_forced_maintained_method_on_cyclic_raises(self):
+    def test_forced_maintained_method_on_cyclic_now_serves(self):
         with CountingSession(databases={"main": path_database()}) as session:
+            result = session.count(
+                CountRequest(CYCLIC, "main", method="maintained"))
+            assert result.strategy == "maintained"
+            assert result.count == count_answers(
+                CYCLIC, path_database()).count
+
+    def test_forced_maintained_on_cyclic_raises_without_reduction(self):
+        with CountingSession(databases={"main": path_database()},
+                             maintain_reduced=False) as session:
             with pytest.raises(NotAcyclicError):
                 session.count(
                     CountRequest(CYCLIC, "main", method="maintained"))

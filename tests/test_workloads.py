@@ -110,3 +110,96 @@ class TestRandomGenerators:
     def test_symbol_sharing_forced(self):
         q = random_query(6, 6, n_symbols=2, seed=0)
         assert len(q.relation_symbols) <= 2
+
+
+class TestSessionStreamShapeMixes:
+    """The ``--shapes quantified|cyclic|mixed`` reduced-path streams."""
+
+    def _jobs(self, mix, seed=11):
+        from repro.workloads import session_stream_jobs
+
+        return session_stream_jobs(n_shapes=3, rounds=2, seed=seed,
+                                   shape_mix=mix, tuples_per_relation=6,
+                                   domain_size=5)
+
+    def test_unknown_mix_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown shape mix"):
+            self._jobs("nonsense")
+
+    def test_quantified_shapes_are_quantified_and_reducible(self):
+        from repro.workloads import quantified_shape
+        from repro.workloads.session_stream import _reducible
+
+        for seed in range(6):
+            query = quantified_shape(seed=seed)
+            assert not query.is_quantifier_free()
+            assert _reducible(query, max_width=2)
+
+    def test_cyclic_shapes_are_cyclic_quantifier_free_and_reducible(self):
+        from repro.workloads import cyclic_shape
+        from repro.workloads.session_stream import _reducible
+
+        for seed in range(6):
+            query = cyclic_shape(seed=seed)
+            assert query.is_quantifier_free()
+            assert not is_acyclic(query.hypergraph())
+            assert _reducible(query, max_width=2)
+
+    def test_streams_are_deterministic_per_seed(self):
+        for mix in ("quantified", "cyclic", "mixed", "classic"):
+            assert repr(self._jobs(mix)) == repr(self._jobs(mix))
+        assert repr(self._jobs("quantified", seed=1)) != \
+            repr(self._jobs("quantified", seed=2))
+
+    def test_streams_round_trip_through_jsonl(self, tmp_path):
+        from repro.service.session import dump_stream, load_stream
+
+        for mix in ("quantified", "cyclic", "mixed"):
+            path = str(tmp_path / f"{mix}.jsonl")
+            jobs = self._jobs(mix)
+            dump_stream(path, jobs)
+            reloaded = load_stream(path)
+            twice = str(tmp_path / f"{mix}-2.jsonl")
+            dump_stream(twice, reloaded)
+            with open(path) as first, open(twice) as second:
+                assert first.read() == second.read()
+
+    def test_reduced_streams_exercise_the_reduction_path(self):
+        from repro.service import CountingSession
+
+        for mix in ("quantified", "cyclic"):
+            with CountingSession() as session:
+                session.run_stream(self._jobs(mix))
+                stats = session.stats()
+            assert stats["reduced_counts"] > 0
+            assert stats["reduced_counts"] == stats["maintained_counts"]
+
+    def test_stream_counts_match_brute_force_replay(self):
+        from repro.dynamic import apply_update
+        from repro.service import CountingSession
+        from repro.service.session import (
+            AttachDatabase,
+            CountRequest,
+            UpdateRequest,
+        )
+
+        jobs = self._jobs("mixed", seed=23)
+        databases = {}
+        expected = []
+        for job in jobs:
+            if isinstance(job, AttachDatabase):
+                databases[job.name] = job.database
+            elif isinstance(job, UpdateRequest):
+                databases[job.database] = apply_update(
+                    databases[job.database], job.update
+                )
+            elif isinstance(job, CountRequest):
+                expected.append(
+                    count_brute_force(job.query, databases[job.database])
+                )
+        with CountingSession() as session:
+            results = session.run_stream(jobs)
+        counts = [r.count for r in results if hasattr(r, "count")]
+        assert counts == expected
