@@ -111,6 +111,57 @@ def reduced_snapshot() -> dict:
     return _load_bench_module("bench_reduced").snapshot()
 
 
+def compiled_snapshot() -> dict:
+    """The compiled-tier numbers (bench_compiled): linked programs vs
+    the interpreted kernel on the maintained-stream hot-loop shapes."""
+    return _load_bench_module("bench_compiled").snapshot()
+
+
+def _git_revision() -> str:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        if completed.returncode == 0:
+            return completed.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+#: Headline numbers copied into each ``history`` entry — the dotted
+#: paths keep entries small enough to accumulate for every PR.
+_HEADLINES = (
+    ("kernel_pair_seconds", ("kernel_pair_seconds",)),
+    ("engine_auto_seconds", ("micro", "engine_auto_seconds")),
+    ("warm_batch_speedup", ("batch_service", "warm_batch_speedup")),
+    ("warm_pool_speedup", ("session", "warm_pool_speedup")),
+    ("session_speedup", ("session", "session_speedup")),
+    ("shard_speedup", ("shards", "shard_speedup")),
+    ("reduced_speedup", ("reduced", "reduced_speedup")),
+    ("compiled_speedup_geomean",
+     ("compiled", "compiled_speedup_geomean")),
+)
+
+
+def _history_entry(snapshot: dict) -> dict:
+    entry = {
+        "git_rev": _git_revision(),
+        "generated_unix": snapshot["generated_unix"],
+    }
+    for name, path in _HEADLINES:
+        value = snapshot
+        for key in path:
+            if not isinstance(value, dict) or key not in value:
+                value = None
+                break
+            value = value[key]
+        if value is not None:
+            entry[name] = value
+    return entry
+
+
 def run_benchmark_files(names) -> dict:
     """One pytest pass over one or more benchmark modules."""
     env = dict(os.environ)
@@ -151,7 +202,8 @@ def main(argv=None) -> int:
     files = [] if args.fast else sorted(
         path.name for path in BENCH_DIR.glob("bench_*.py")
         if path.name not in ("bench_batch_service.py", "bench_session.py",
-                             "bench_shards.py", "bench_reduced.py")
+                             "bench_shards.py", "bench_reduced.py",
+                             "bench_compiled.py")
     )
     snapshot = {
         "generated_unix": int(time.time()),
@@ -217,6 +269,15 @@ def main(argv=None) -> int:
             failures += 1
             print("[bench]   FAILED (spill-forced reduced session broke "
                   "correctness or its byte cap)", flush=True)
+        snapshot["compiled"] = compiled_snapshot()
+        print(f"[bench] compiled: "
+              f"{snapshot['compiled']['compiled_speedup_geomean']}x geomean "
+              f"vs the interpreted kernel on the hot-loop shapes",
+              flush=True)
+        if not snapshot["compiled"]["meets_compiled_5x_bar"]:
+            failures += 1
+            print("[bench]   FAILED (compiled tier below the 5x bar)",
+                  flush=True)
     for name in files:
         print(f"[bench] {name} ...", flush=True)
         outcome = run_benchmark_files([name])
@@ -244,6 +305,19 @@ def main(argv=None) -> int:
             previous = None
     if previous is not None and "seed_baseline" in previous:
         snapshot["seed_baseline"] = previous["seed_baseline"]
+    # The perf trajectory: carry the previous runs' history forward and
+    # append this run's headline numbers, so successive snapshots
+    # accumulate instead of overwriting each other.  The latest full
+    # snapshot stays at top level.
+    history = []
+    if previous is not None and isinstance(previous.get("history"), list):
+        history = previous["history"]
+    elif previous is not None and "generated_unix" in previous:
+        # First run with history support: salvage the overwritten
+        # predecessor as the trajectory's opening entry.
+        history = [_history_entry(previous)]
+    history.append(_history_entry(snapshot))
+    snapshot["history"] = history
     output.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"[bench] snapshot -> {output}")
     baseline = snapshot.get("seed_baseline", {}).get("kernel_pair_seconds")

@@ -10,6 +10,7 @@ Count answers to a conjunctive query over a database stored as JSON::
     python -m repro batch jobs.json --workers 4 --mode process
     python -m repro session jobs.jsonl --cache-dir .plans
     python -m repro session w0.jsonl w1.jsonl --shards 2 --shard-mode process
+    python -m repro bench --profile
 
 The database JSON maps relation names to lists of rows::
 
@@ -29,7 +30,10 @@ files, or ``--shards N``, run a sharded
 :class:`~repro.service.MultiWriterSession` instead (one writer per
 file, databases hash-partitioned onto shards,
 ``--maintainer-budget-mb`` capping each shard's resident maintainer
-DPs).
+DPs); ``bench`` replays a self-contained maintained star stream and,
+with ``--profile``, cProfiles it.  Subcommands that execute counts
+accept ``--no-compiled`` to force the interpreted strategies
+(equivalent to ``REPRO_COMPILED=0``).
 """
 
 from __future__ import annotations
@@ -72,7 +76,21 @@ def _freeze(value):
     return value
 
 
+def _apply_compiled_flag(args: argparse.Namespace) -> None:
+    """Honor ``--no-compiled`` by forcing the compiled tier off."""
+    if getattr(args, "no_compiled", False):
+        import os
+
+        from .counting.compile import COMPILED_ENV, set_compiled_enabled
+
+        # The env var travels into process-mode shard/pool workers, which
+        # never see this interpreter's module-level override.
+        os.environ[COMPILED_ENV] = "0"
+        set_compiled_enabled(False)
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
+    _apply_compiled_flag(args)
     query = parse_query(args.query)
     database = load_database(args.database)
     result = count_answers(
@@ -171,6 +189,7 @@ def _cmd_faq(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     from .counting.explain import explain
 
+    _apply_compiled_flag(args)
     query = parse_query(args.query)
     database = load_database(args.database) if args.database else None
     print(explain(query, database, max_width=args.max_width))
@@ -180,6 +199,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .service import CountingService, load_jobs
 
+    _apply_compiled_flag(args)
     jobs = load_jobs(args.jobs)
     with CountingService(workers=args.workers, mode=args.mode,
                          cache_dir=args.cache_dir) as service:
@@ -243,6 +263,7 @@ def _session_result_lines(prefix: str, jobs, results, payload, explain):
 def _cmd_session(args: argparse.Namespace) -> int:
     from .service import CountingSession, MultiWriterSession, load_stream
 
+    _apply_compiled_flag(args)
     streams = [load_stream(path) for path in args.jobs]
     session_kwargs = {"maintain_reduced": not args.no_reduced}
     if args.maintainer_budget_mb is not None:
@@ -322,6 +343,81 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time (or cProfile) one maintained-stream round.
+
+    Builds the bench_session star workload in-process — a hub relation
+    plus ``branches`` leaf relations, one fresh insert then one count
+    per round — and replays it through a
+    :class:`~repro.service.CountingSession`.  ``--profile`` wraps the
+    replay in :mod:`cProfile` and prints the top ``--top`` rows by
+    cumulative time, which is the quickest way to see where a
+    maintained round actually spends its cycles (and whether the
+    compiled tier is being exercised).
+    """
+    import time
+
+    from .counting.compile import compiled_enabled
+    from .dynamic import Insert
+    from .service import CountRequest, CountingSession, UpdateRequest
+
+    _apply_compiled_flag(args)
+    branches, hub, rows = 5, 40, 1500
+    query = parse_query(
+        "ans(A, " + ", ".join(f"B{i}" for i in range(branches)) + ") :- "
+        + "hub(A), "
+        + ", ".join(f"r{i}(A, B{i})" for i in range(branches))
+    )
+    relations = {"hub": [(a,) for a in range(hub)]}
+    for branch in range(branches):
+        relations[f"r{branch}"] = [
+            (i % hub, (i * (7 + branch)) % rows) for i in range(rows)
+        ]
+    database = Database.from_dict(relations)
+    stream: List[object] = []
+    for round_index in range(args.rounds):
+        stream.append(UpdateRequest(
+            "bench",
+            Insert(f"r{round_index % branches}",
+                   (round_index % hub, rows + round_index)),
+        ))
+        stream.append(CountRequest(query, "bench",
+                                   label=f"round{round_index}"))
+
+    def replay():
+        with CountingSession(databases={"bench": database}) as session:
+            return session.run_stream(stream), session.stats()
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        started = time.perf_counter()
+        profiler.enable()
+        results, stats = replay()
+        profiler.disable()
+        elapsed = time.perf_counter() - started
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.top)
+    else:
+        started = time.perf_counter()
+        results, stats = replay()
+        elapsed = time.perf_counter() - started
+
+    counts = [r.count for r in results if hasattr(r, "count")]
+    print(f"workload : star query, {branches} branches, hub={hub}, "
+          f"{rows} rows/branch, {args.rounds} update+count rounds")
+    print(f"compiled : {'on' if compiled_enabled() else 'off'}")
+    print(f"elapsed  : {elapsed:.4f}s "
+          f"({elapsed / max(args.rounds, 1) * 1e3:.2f}ms/round)")
+    print(f"counts   : first={counts[0]} last={counts[-1]}; "
+          f"{stats['maintained_counts']} maintained / "
+          f"{stats['engine_counts']} engine "
+          f"({stats['compiled_counts']} compiled); "
+          f"updates {stats['updates_applied']}")
+    return 0
+
+
 def _cmd_suggest(args: argparse.Namespace) -> int:
     from .db.statistics import degree_profile, suggest_pseudo_free
 
@@ -356,6 +452,9 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--max-width", type=int, default=3)
     count.add_argument("--explain", action="store_true",
                        help="dump the engine's cost-ranked decision trail")
+    count.add_argument("--no-compiled", action="store_true",
+                       help="disable the compiled-plan execution tier "
+                            "(interpreted strategies only)")
     count.set_defaults(func=_cmd_count)
 
     analyze = sub.add_parser("analyze",
@@ -395,6 +494,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="optional JSON database (enables the "
                                   "hybrid probe)")
     explain_cmd.add_argument("--max-width", type=int, default=3)
+    explain_cmd.add_argument("--no-compiled", action="store_true",
+                             help="disable the compiled-plan execution tier")
     explain_cmd.set_defaults(func=_cmd_explain)
 
     batch = sub.add_parser(
@@ -413,6 +514,8 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--cache-dir", default=None,
                        help="persistent plan-cache directory (defaults to "
                             "$REPRO_PLAN_CACHE_DIR when set)")
+    batch.add_argument("--no-compiled", action="store_true",
+                       help="disable the compiled-plan execution tier")
     batch.set_defaults(func=_cmd_batch)
 
     session = sub.add_parser(
@@ -447,6 +550,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable Theorem 3.7 reduction-based "
                               "maintenance (quantified/cyclic shapes "
                               "then recount through the engine)")
+    session.add_argument("--no-compiled", action="store_true",
+                         help="disable the compiled-plan execution tier")
     session.add_argument("--cache-dir", default=None,
                          help="persistent plan-cache directory (defaults to "
                               "$REPRO_PLAN_CACHE_DIR when set)")
@@ -455,6 +560,22 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--output", default=None,
                          help="write results (counts + acks) as JSON")
     session.set_defaults(func=_cmd_session)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time (or cProfile) one maintained-stream round in-process",
+    )
+    bench.add_argument("--profile", action="store_true",
+                       help="cProfile the round and print the hottest "
+                            "rows by cumulative time")
+    bench.add_argument("--top", type=int, default=25,
+                       help="rows of profiler output to print "
+                            "(with --profile)")
+    bench.add_argument("--rounds", type=int, default=40,
+                       help="update+count rounds to replay")
+    bench.add_argument("--no-compiled", action="store_true",
+                       help="disable the compiled-plan execution tier")
+    bench.set_defaults(func=_cmd_bench)
 
     suggest = sub.add_parser(
         "suggest", help="degree profile and pseudo-free suggestions"

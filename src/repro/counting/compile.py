@@ -1,0 +1,757 @@
+"""Compiled plan execution: lower cached decompositions to flat programs.
+
+After PRs 1-5 the engine pays the *planning* cost exactly once per query
+shape (canonical fingerprints, shared :class:`~repro.counting.plan_cache.
+PlanCache`, on-disk envelopes, warm-started worker pools) but still
+re-interprets every cached plan over generic schema-carrying operators on
+every execution: each count re-derives shared columns, rebuilds key
+extractors, and re-runs the full reducer even though all of that is a
+function of the *decomposition*, not the data.  This module adds the
+missing tier.
+
+:func:`lower_acyclic` / :func:`lower_structural` lower a fixed join tree
+(respectively a fixed :class:`~repro.decomposition.sharp.
+SharpDecomposition`) into a :class:`CompiledProgram`: a **data-only**
+description — atom scans with resolved output permutations, per-bag fused
+semijoin-then-project fold schedules, a position-based reducer schedule,
+free-variable projections, and a flat join-tree DP whose inner loop is a
+list of ``(extractor, child aggregate)`` steps.  Programs contain plain
+strings/ints/tuples plus a content digest, never closures or pickled
+code, so they ride the ordinary plan-cache envelopes
+(:mod:`repro.decomposition.serialize`) and warm-start across processes;
+:data:`~repro.decomposition.serialize.COMPILED_FORMAT_VERSION` is baked
+into their cache key so a format bump silently orphans stale artifacts.
+
+:func:`link` turns a program into an executable — verifying the digest,
+resolving every position tuple to a memoized C-speed
+:func:`~repro.db.algebra._row_getter` extractor, and memoizing the result
+per digest so repeated executions of a cached plan share one linked
+object.  Execution itself never touches schemas:
+
+* **Acyclic programs** skip the full reducer entirely.  On a join tree
+  with the running-intersection property, edge-consistent per-bag row
+  choices glue bijectively to join tuples, and the bottom-up counting DP
+  already propagates zero aggregates for dangling rows — reduction would
+  only redo that filtering a second time.
+* **Structural programs** run one compiled reduction
+  (:class:`~repro.consistency.local.CompiledReducer`) *before* the free
+  projection — required for exactness of the Theorem 3.7 algorithm (a
+  dangling bag row can create phantom projected tuples) — and none after:
+  globally consistent bags stay consistent under projection.
+* Leaf bags never materialize count tables: the parent aggregates them
+  directly with ``Counter(map(key_of, rows))``, which runs entirely in C.
+
+The tier is on by default; ``REPRO_COMPILED=0`` in the environment or
+:func:`set_compiled_enabled` (the CLI's ``--no-compiled``) opts out, and
+the ``auto`` strategy then falls back to the interpreted paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass
+from os import environ
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from operator import itemgetter
+
+from ..consistency.local import CompiledReducer
+from ..db.algebra import _row_getter
+from ..db.database import Database
+from ..decomposition.sharp import SharpDecomposition
+from ..exceptions import QueryError, SchemaError
+from ..hypergraph.acyclicity import JoinTree, require_join_tree
+from ..query.query import ConjunctiveQuery
+from ..query.terms import Constant, Variable
+
+__all__ = [
+    "COMPILED_ENV",
+    "AtomScan",
+    "FoldStep",
+    "BagStep",
+    "DPChild",
+    "DPStep",
+    "CompiledProgram",
+    "compiled_enabled",
+    "set_compiled_enabled",
+    "lower_acyclic",
+    "lower_structural",
+    "link",
+]
+
+#: Environment opt-out: ``REPRO_COMPILED=0`` disables the compiled tier
+#: (the ``auto`` strategy then never consults it and the maintainers run
+#: their interpreted repair paths).
+COMPILED_ENV = "REPRO_COMPILED"
+
+#: Programmatic override (the CLI's ``--no-compiled``): ``None`` defers
+#: to the environment, a bool wins outright.
+_FORCED: Optional[bool] = None
+
+
+def compiled_enabled() -> bool:
+    """Is the compiled execution tier enabled right now?
+
+    Checked per call (not cached at import) so tests and long-lived
+    services can flip ``REPRO_COMPILED`` without reloading modules.
+    """
+    if _FORCED is not None:
+        return _FORCED
+    return environ.get(COMPILED_ENV, "") != "0"
+
+
+def set_compiled_enabled(value: Optional[bool]) -> None:
+    """Force the compiled tier on/off; ``None`` restores the env check."""
+    global _FORCED
+    _FORCED = value
+
+
+# ----------------------------------------------------------------------
+# Program description (plain data — everything here pickles and renders
+# deterministically for the digest; no closures, ever)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AtomScan:
+    """One atom's rows, matched and permuted into bag order.
+
+    ``out_positions[i]`` is the relation column feeding output column
+    ``i``; *constraints* pin columns to constant values and *equalities*
+    equate columns bound by a repeated variable — exactly the
+    :meth:`~repro.db.algebra.SubstitutionSet.from_atom` semantics, with
+    the downstream projection already fused into ``out_positions``.
+    """
+
+    relation: str
+    arity: int
+    out_positions: Tuple[int, ...]
+    constraints: Tuple[Tuple[int, Hashable], ...] = ()
+    equalities: Tuple[Tuple[int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class FoldStep:
+    """Join scan output *part* into the running intermediate.
+
+    ``key_positions`` / ``part_positions`` extract the (equal-length)
+    join keys from the intermediate row and the part row;
+    ``out_positions`` index into the *concatenation* ``row + part_row``
+    and carry the fused projection onto the columns still needed.
+    ``bound_width`` is the intermediate row's length before this step:
+    when every out position falls below it, the part contributes no
+    output columns and the linker fuses the step into a semijoin filter
+    (key-set probe, no pair materialization).
+    """
+
+    part: int
+    key_positions: Tuple[int, ...]
+    part_positions: Tuple[int, ...]
+    out_positions: Tuple[int, ...]
+    bound_width: int
+
+
+@dataclass(frozen=True)
+class BagStep:
+    """Materialize one bag relation.
+
+    ``intersect=True`` (acyclic bags: every scan has the same variable
+    set, hence the same output schema) intersects the scan outputs as
+    sets.  Otherwise the bag is ``folds`` applied to scan ``start``,
+    with ``project_positions`` as a defensive trailing projection
+    (``None`` = the fold schedule already lands on the bag schema, the
+    common case since projections are pushed into the steps).
+    """
+
+    scans: Tuple[AtomScan, ...]
+    intersect: bool
+    start: int = 0
+    folds: Tuple[FoldStep, ...] = ()
+    project_positions: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class DPChild:
+    """One child aggregate consulted by a DP vertex.
+
+    ``leaf`` children never materialized a count table — the parent
+    aggregates their (projected) rows directly via
+    ``Counter(map(key_of, rows))``.
+    """
+
+    child: int
+    my_positions: Tuple[int, ...]
+    child_positions: Tuple[int, ...]
+    leaf: bool
+
+
+@dataclass(frozen=True)
+class DPStep:
+    """One vertex of the bottom-up counting DP (children come earlier)."""
+
+    vertex: int
+    root: bool
+    children: Tuple[DPChild, ...]
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A lowered, data-only counting program (see the module docstring).
+
+    ``reducer`` is the :meth:`~repro.consistency.local.CompiledReducer.
+    steps` schedule run before the free projection (structural programs
+    only; acyclic programs carry ``None`` — the DP's zero propagation
+    makes reduction redundant for counting).  ``free_positions[i]`` is
+    bag *i*'s projection onto the free variables (``None`` = identity).
+    ``digest`` is a content checksum over everything else, verified by
+    :func:`link` so a corrupted or hand-edited artifact can never
+    execute.
+    """
+
+    kind: str                      # "acyclic" | "structural"
+    source: str                    # query name the program was lowered from
+    width: Optional[int]           # decomposition width (structural only)
+    bags: Tuple[BagStep, ...]
+    reducer: Optional[tuple]
+    free_positions: Tuple[Optional[Tuple[int, ...]], ...]
+    dp: Tuple[DPStep, ...]
+    digest: str
+
+
+def _description(kind: str, source: str, width: Optional[int],
+                 bags: tuple, reducer: Optional[tuple],
+                 free_positions: tuple, dp: tuple) -> str:
+    return repr((kind, source, width, bags, reducer, free_positions, dp))
+
+
+def program_digest(program: CompiledProgram) -> str:
+    """The content digest of *program*'s description (digest excluded)."""
+    text = _description(program.kind, program.source, program.width,
+                        program.bags, program.reducer,
+                        program.free_positions, program.dp)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _finish(kind: str, source: str, width: Optional[int], bags: tuple,
+            reducer: Optional[tuple], free_positions: tuple,
+            dp: tuple) -> CompiledProgram:
+    digest = hashlib.sha256(
+        _description(kind, source, width, bags, reducer, free_positions,
+                     dp).encode("utf-8")
+    ).hexdigest()
+    return CompiledProgram(kind, source, width, bags, reducer,
+                           free_positions, dp, digest)
+
+
+# ----------------------------------------------------------------------
+# Lowering helpers
+# ----------------------------------------------------------------------
+def _sorted_schema(variables) -> Tuple[Variable, ...]:
+    return tuple(sorted(variables, key=lambda v: v.name))
+
+
+def _scan_for_atom(atom, out_schema: Tuple[Variable, ...]) -> AtomScan:
+    """Lower one atom match, output permuted onto *out_schema*.
+
+    *out_schema* must be a subset of the atom's variables; the
+    projection is fused into the scan's output positions.
+    """
+    first_position: Dict[Variable, int] = {}
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Variable) and term not in first_position:
+            first_position[term] = index
+    constraints: List[Tuple[int, Hashable]] = []
+    equalities: List[Tuple[int, int]] = []
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            constraints.append((index, term.value))
+        elif first_position[term] != index:
+            equalities.append((index, first_position[term]))
+    return AtomScan(
+        relation=atom.relation,
+        arity=atom.arity,
+        out_positions=tuple(first_position[v] for v in out_schema),
+        constraints=tuple(constraints),
+        equalities=tuple(equalities),
+    )
+
+
+def _fold_order(seed: int, schemas: Sequence[Tuple[Variable, ...]],
+                pending: List[int]) -> List[int]:
+    """Static analogue of the interpreted greedy connectivity order:
+    prefer a part sharing a variable with what is already bound (a
+    proper join) over a cross product, smallest schema first."""
+    bound: Set[Variable] = set(schemas[seed])
+    ordered: List[int] = []
+    remaining = list(pending)
+    while remaining:
+        pick = next(
+            (i for i in remaining if bound & set(schemas[i])),
+            remaining[0],
+        )
+        remaining.remove(pick)
+        ordered.append(pick)
+        bound.update(schemas[pick])
+    return ordered
+
+
+def _lower_bag_join(part_schemas: Sequence[Tuple[Variable, ...]],
+                    keep: frozenset) -> Tuple[int, Tuple[FoldStep, ...],
+                                              Tuple[Variable, ...]]:
+    """Lower ``pi_keep(part_0 |><| ... |><| part_n)`` to a fold schedule.
+
+    Returns ``(start part, fold steps, final schema)`` where every
+    intermediate is projected down to the columns still needed (the
+    ``keep`` set plus join columns of parts not yet folded), mirroring
+    the interpreted :func:`~repro.db.algebra.join_project` push-down.
+    """
+    order = sorted(range(len(part_schemas)),
+                   key=lambda i: (len(part_schemas[i]), i))
+    start = order[0]
+    ordered = _fold_order(start, part_schemas, order[1:])
+    schema = part_schemas[start]
+    steps: List[FoldStep] = []
+    for rank, part in enumerate(ordered):
+        part_schema = part_schemas[part]
+        part_vars = set(part_schema)
+        needed = set(keep)
+        for later in ordered[rank + 1:]:
+            needed.update(part_schemas[later])
+        shared = tuple(v for v in schema if v in part_vars)
+        combined: Dict[Variable, int] = {
+            v: i for i, v in enumerate(schema)
+        }
+        offset = len(schema)
+        for i, v in enumerate(part_schema):
+            combined.setdefault(v, offset + i)
+        out_schema = _sorted_schema(
+            (set(schema) | part_vars) & needed
+        )
+        schema_index = {v: i for i, v in enumerate(schema)}
+        part_index = {v: i for i, v in enumerate(part_schema)}
+        steps.append(FoldStep(
+            part=part,
+            key_positions=tuple(schema_index[v] for v in shared),
+            part_positions=tuple(part_index[v] for v in shared),
+            out_positions=tuple(combined[v] for v in out_schema),
+            bound_width=len(schema),
+        ))
+        schema = out_schema
+    return start, tuple(steps), schema
+
+
+def _lower_dp(schemas: Sequence[Tuple[Variable, ...]],
+              tree: JoinTree) -> Tuple[DPStep, ...]:
+    """The bottom-up counting DP over *tree* with per-vertex *schemas*."""
+    order = tree.rooted_orders()
+    has_children = {vertex for vertex, _parent, children in order
+                    if children}
+    indexes = [{v: i for i, v in enumerate(schema)} for schema in schemas]
+    steps: List[DPStep] = []
+    for vertex, parent, children in order:
+        mine = set(schemas[vertex])
+        dp_children = []
+        for child in children:
+            shared = tuple(v for v in schemas[vertex]
+                           if v in set(schemas[child]))
+            dp_children.append(DPChild(
+                child=child,
+                my_positions=tuple(indexes[vertex][v] for v in shared),
+                child_positions=tuple(indexes[child][v] for v in shared),
+                leaf=child not in has_children,
+            ))
+        del mine
+        steps.append(DPStep(
+            vertex=vertex,
+            root=parent is None,
+            children=tuple(dp_children),
+        ))
+    return tuple(steps)
+
+
+# ----------------------------------------------------------------------
+# Lowering entry points
+# ----------------------------------------------------------------------
+def lower_acyclic(query: ConjunctiveQuery) -> CompiledProgram:
+    """Lower a quantifier-free acyclic *query* to a compiled program.
+
+    The bag layout mirrors :func:`~repro.counting.acyclic.
+    bags_for_acyclic_query` — one bag per join-tree vertex, atoms with
+    identical variable sets intersected inside their bag — but the full
+    reducer is *not* lowered: on a running-intersection tree the DP's
+    zero aggregates already neutralize dangling rows, so reduction
+    cannot change the count (and an empty bag short-circuits to zero
+    before the DP runs).
+
+    Raises :class:`~repro.exceptions.QueryError` for quantified queries
+    and :class:`~repro.exceptions.NotAcyclicError` for cyclic ones.
+    """
+    if not query.is_quantifier_free():
+        raise QueryError(
+            f"{query.name}: compiled acyclic counting requires a "
+            "quantifier-free query"
+        )
+    tree = require_join_tree(query.hypergraph())
+    grouped: Dict[frozenset, List] = {}
+    for atom in query.atoms_sorted():
+        grouped.setdefault(atom.variable_set, []).append(atom)
+    bag_schemas: List[Tuple[Variable, ...]] = []
+    bags: List[BagStep] = []
+    for bag in tree.bags:
+        schema = _sorted_schema(bag)
+        bag_schemas.append(schema)
+        bags.append(BagStep(
+            scans=tuple(_scan_for_atom(atom, schema)
+                        for atom in grouped[bag]),
+            intersect=True,
+        ))
+    return _finish(
+        kind="acyclic",
+        source=query.name,
+        width=None,
+        bags=tuple(bags),
+        reducer=None,
+        free_positions=tuple(None for _ in bags),
+        dp=_lower_dp(bag_schemas, tree),
+    )
+
+
+def lower_structural(query: ConjunctiveQuery,
+                     decomposition: SharpDecomposition) -> CompiledProgram:
+    """Lower the Theorem 3.7 pipeline for a fixed *decomposition*.
+
+    Per bag: the witness view's source atoms plus the hosted core atoms
+    (same assignment as the interpreted path, via
+    :func:`~repro.counting.structural.host_core_atoms`) are fused into
+    one fold schedule with projections pushed inside.  One compiled
+    reduction runs before the free projection — required for exactness,
+    since a dangling bag row surviving into the projection could create
+    phantom free-variable tuples — and none after, because globally
+    consistent bags stay globally consistent under projection.
+    """
+    from .structural import host_core_atoms  # local import, avoids cycle
+
+    tree = decomposition.tree
+    views = decomposition.views
+    hosted = host_core_atoms(decomposition)
+    free = query.free_variables
+    bag_schemas: List[Tuple[Variable, ...]] = []
+    bags: List[BagStep] = []
+    free_positions: List[Optional[Tuple[int, ...]]] = []
+    projected_schemas: List[Tuple[Variable, ...]] = []
+    for index, (bag, view_name) in enumerate(
+            zip(tree.bags, decomposition.bag_views)):
+        atoms = list(views[view_name].source_atoms) + list(hosted[index])
+        part_schemas = [_sorted_schema(atom.variables) for atom in atoms]
+        start, folds, schema = _lower_bag_join(part_schemas, frozenset(bag))
+        scans = []
+        for part, (atom, part_schema) in enumerate(
+                zip(atoms, part_schemas)):
+            if part == start and not folds:
+                # Single-part bag: fuse the bag projection into the scan.
+                out = tuple(v for v in part_schema if v in bag)
+                schema = out
+            else:
+                needed = set(bag)
+                for other, other_schema in enumerate(part_schemas):
+                    if other != part:
+                        needed.update(other_schema)
+                out = tuple(v for v in part_schema if v in needed)
+            scans.append(_scan_for_atom(atom, out))
+        # Fold schedules were lowered over full part schemas; re-lower
+        # over the pre-projected scan outputs so positions line up.
+        if folds:
+            scan_schemas = [
+                tuple(v for v in part_schema
+                      if v in set(bag) | set().union(
+                          *(set(part_schemas[o])
+                            for o in range(len(part_schemas)) if o != p)
+                      ))
+                for p, part_schema in enumerate(part_schemas)
+            ]
+            start, folds, schema = _lower_bag_join(scan_schemas,
+                                                   frozenset(bag))
+        project = None
+        wanted = tuple(v for v in schema if v in bag)
+        if wanted != schema:  # pragma: no cover - push-down lands on bag
+            schema_index = {v: i for i, v in enumerate(schema)}
+            project = tuple(schema_index[v] for v in wanted)
+            schema = wanted
+        bags.append(BagStep(
+            scans=tuple(scans),
+            intersect=False,
+            start=start,
+            folds=folds,
+            project_positions=project,
+        ))
+        bag_schemas.append(schema)
+        projected = tuple(v for v in schema if v in free)
+        projected_schemas.append(projected)
+        if projected == schema:
+            free_positions.append(None)
+        else:
+            schema_index = {v: i for i, v in enumerate(schema)}
+            free_positions.append(
+                tuple(schema_index[v] for v in projected)
+            )
+    reducer = CompiledReducer(bag_schemas, tree).steps()
+    return _finish(
+        kind="structural",
+        source=query.name,
+        width=decomposition.width(),
+        bags=tuple(bags),
+        reducer=reducer,
+        free_positions=tuple(free_positions),
+        dp=_lower_dp(projected_schemas, tree),
+    )
+
+
+# ----------------------------------------------------------------------
+# Linking and execution
+# ----------------------------------------------------------------------
+def _key_getter(positions: Tuple[int, ...]):
+    """A probe-key extractor: a single position yields the bare value.
+
+    Probe keys never leave the executor (fold indexes, DP aggregates,
+    reducer key sets), so both sides of every probe can agree on scalar
+    keys — a bare ``itemgetter`` runs at C speed and hashing a scalar
+    beats hashing a 1-tuple.  Row *outputs* keep :func:`_row_getter`
+    (always a tuple, matching the bag schema).
+    """
+    if len(positions) == 1:
+        return itemgetter(positions[0])
+    return _row_getter(positions)
+
+
+class _LinkedScan:
+    """An :class:`AtomScan` with its extractor resolved."""
+
+    __slots__ = ("relation", "arity", "out", "identity", "constraints",
+                 "equalities")
+
+    def __init__(self, scan: AtomScan):
+        self.relation = scan.relation
+        self.arity = scan.arity
+        self.out = _row_getter(scan.out_positions)
+        self.identity = (not scan.constraints and not scan.equalities
+                         and scan.out_positions == tuple(range(scan.arity)))
+        self.constraints = scan.constraints
+        self.equalities = scan.equalities
+
+    def rows(self, database: Database) -> set:
+        relation = database[self.relation]
+        if relation.arity != self.arity:
+            raise SchemaError(
+                f"compiled scan of {self.relation!r} expects arity "
+                f"{self.arity}, relation has {relation.arity}"
+            )
+        if self.identity:
+            # The executor never mutates bag rows in place (intersection
+            # rebinds, folds build fresh sets), so the relation's own
+            # frozenset is safe to hand out without a copy.
+            return relation.rows
+        if not self.constraints and not self.equalities:
+            return set(map(self.out, relation))
+        constraints = self.constraints
+        equalities = self.equalities
+        out = self.out
+        matched = set()
+        add = matched.add
+        for row in relation:
+            if all(row[i] == value for i, value in constraints) and \
+                    all(row[i] == row[j] for i, j in equalities):
+                add(out(row))
+        return matched
+
+
+class _LinkedBag:
+    """A :class:`BagStep` with extractors resolved."""
+
+    __slots__ = ("scans", "intersect", "start", "folds", "project")
+
+    def __init__(self, bag: BagStep):
+        self.scans = tuple(_LinkedScan(scan) for scan in bag.scans)
+        self.intersect = bag.intersect
+        self.start = bag.start
+        folds = []
+        for step in bag.folds:
+            if all(p < step.bound_width for p in step.out_positions):
+                # The part contributes no output columns: fuse the step
+                # into a semijoin filter (``out_of`` applies to the
+                # bound row alone; ``None`` = it is the identity).
+                out_of = (None
+                          if step.out_positions ==
+                          tuple(range(step.bound_width))
+                          else _row_getter(step.out_positions))
+                semi = True
+            else:
+                out_of = _row_getter(step.out_positions)
+                semi = False
+            folds.append((semi, step.part,
+                          _key_getter(step.part_positions),
+                          _key_getter(step.key_positions), out_of))
+        self.folds = tuple(folds)
+        self.project = (None if bag.project_positions is None
+                        else _row_getter(bag.project_positions))
+
+    def rows(self, database: Database) -> set:
+        if self.intersect:
+            first = self.scans[0].rows(database)
+            for scan in self.scans[1:]:
+                if not first:
+                    return first
+                first &= scan.rows(database)
+            return first
+        outputs = [scan.rows(database) for scan in self.scans]
+        current = outputs[self.start]
+        for semi, part, part_key, key_of, out_of in self.folds:
+            if not current:
+                return current
+            if semi:
+                keys = set(map(part_key, outputs[part]))
+                if out_of is None:
+                    current = {row for row in current
+                               if key_of(row) in keys}
+                else:
+                    current = {out_of(row) for row in current
+                               if key_of(row) in keys}
+                continue
+            index: Dict[tuple, list] = {}
+            for part_row in outputs[part]:
+                key = part_key(part_row)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [part_row]
+                else:
+                    bucket.append(part_row)
+            joined: set = set()
+            add = joined.add
+            get = index.get
+            for row in current:
+                bucket = get(key_of(row))
+                if bucket:
+                    for part_row in bucket:
+                        add(out_of(row + part_row))
+            current = joined
+        if self.project is not None and current:
+            current = set(map(self.project, current))
+        return current
+
+
+class _Executable:
+    """A linked :class:`CompiledProgram` — call :meth:`count`."""
+
+    __slots__ = ("program", "_bags", "_reducer", "_free", "_dp")
+
+    def __init__(self, program: CompiledProgram):
+        self.program = program
+        self._bags = tuple(_LinkedBag(bag) for bag in program.bags)
+        self._reducer = (None if program.reducer is None
+                         else CompiledReducer.from_steps(program.reducer))
+        self._free = tuple(
+            None if positions is None else _row_getter(positions)
+            for positions in program.free_positions
+        )
+        self._dp = tuple(
+            (step.vertex, step.root, tuple(
+                (child.child, child.leaf,
+                 _key_getter(child.my_positions),
+                 _key_getter(child.child_positions))
+                for child in step.children
+            ))
+            for step in program.dp
+        )
+
+    def count(self, database: Database) -> int:
+        bag_rows: List[set] = []
+        for bag in self._bags:
+            rows = bag.rows(database)
+            if not rows:
+                return 0
+            bag_rows.append(rows)
+        if self._reducer is not None:
+            bag_rows = self._reducer.reduce(bag_rows)
+            if not bag_rows[0]:  # empty propagation: any empty => all
+                return 0
+        projected = [
+            rows if project is None else set(map(project, rows))
+            for rows, project in zip(bag_rows, self._free)
+        ]
+        counts: Dict[int, Dict[tuple, int]] = {}
+        answer = 1
+        for vertex, root, children in self._dp:
+            rows = projected[vertex]
+            if not children:
+                if root:  # isolated component: plain cardinality
+                    answer *= len(rows)
+                continue
+            aggregates = []
+            for child, leaf, my_key, child_key in children:
+                if leaf:
+                    aggregate = Counter(map(child_key, projected[child]))
+                else:
+                    aggregate = {}
+                    get = aggregate.get
+                    for child_row, multiplicity in \
+                            counts.pop(child).items():
+                        key = child_key(child_row)
+                        aggregate[key] = get(key, 0) + multiplicity
+                aggregates.append((my_key, aggregate))
+            if root:
+                # Roots only contribute a scalar — never build the table.
+                if len(aggregates) == 1:
+                    my_key, aggregate = aggregates[0]
+                    get = aggregate.get
+                    # Aggregates hold strictly positive multiplicities,
+                    # so filtering falsy drops exactly the misses (None).
+                    total_sum = sum(filter(None, map(get, map(my_key,
+                                                              rows))))
+                else:
+                    total_sum = 0
+                    for row in rows:
+                        total = 1
+                        for my_key, aggregate in aggregates:
+                            total *= aggregate.get(my_key(row), 0)
+                            if not total:
+                                break
+                        total_sum += total
+                answer *= total_sum
+                if not answer:
+                    return 0
+            else:
+                table: Dict[tuple, int] = {}
+                for row in rows:
+                    total = 1
+                    for my_key, aggregate in aggregates:
+                        total *= aggregate.get(my_key(row), 0)
+                        if not total:
+                            break
+                    if total:
+                        table[row] = total
+                counts[vertex] = table
+        return answer
+
+
+#: Linked executables memoized per program digest: every execution of a
+#: cached plan — across sessions, shards, and repeated counts — shares
+#: one linked object (and therefore one set of resolved extractors).
+_LINKED: Dict[str, _Executable] = {}
+
+
+def link(program: CompiledProgram) -> _Executable:
+    """Resolve *program* into an executable, verifying its digest.
+
+    Raises :class:`~repro.decomposition.serialize.
+    PlanSerializationError` when the stored digest does not match the
+    program body — a corrupted artifact must never execute.
+    """
+    if program_digest(program) != program.digest:
+        from ..decomposition.serialize import PlanSerializationError
+        raise PlanSerializationError(
+            "compiled program digest mismatch — artifact corrupted"
+        )
+    executable = _LINKED.get(program.digest)
+    if executable is not None:
+        return executable
+    executable = _Executable(program)
+    _LINKED[program.digest] = executable
+    return executable

@@ -29,6 +29,9 @@ default the process-wide cache of
 
 The built-in strategies are the paper's algorithms:
 
+* *compiled* — a lowered, cache-shared execution program for the acyclic
+  or structural plan (see :mod:`repro.counting.compile`); the default
+  fast path, opt-out via ``REPRO_COMPILED=0``;
 * *acyclic* — quantifier-free and alpha-acyclic: the join-tree DP;
 * *structural* — a #-hypertree decomposition of width ``<= max_width``
   exists (Theorem 1.3): the Theorem 3.7 algorithm;
@@ -49,6 +52,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..db.database import Database
+from ..decomposition.serialize import COMPILED_FORMAT_VERSION
 from ..decomposition.ghd import find_ghd_join_tree
 from ..decomposition.hybrid import find_hybrid_decomposition
 from ..decomposition.hypertree import hypertree_from_join_tree
@@ -59,13 +63,15 @@ from ..query.canonical import CanonicalForm
 from ..query.query import ConjunctiveQuery
 from .acyclic import count_acyclic
 from .brute_force import count_brute_force
+from .compile import compiled_enabled, link, lower_acyclic, lower_structural
 from .hybrid import count_with_hybrid_decomposition
 from .plan_cache import PlanCache, default_plan_cache, relation_content_tag
 from .sharp_relations import count_via_hypertree
 from .structural import count_with_decomposition
 
 #: Built-in strategy names in preference (tie-break) order.
-STRATEGIES = ("acyclic", "structural", "hybrid", "degree", "brute_force")
+STRATEGIES = ("compiled", "acyclic", "structural", "hybrid", "degree",
+              "brute_force")
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +238,81 @@ def clear_engine_memo() -> None:
 # ----------------------------------------------------------------------
 # Built-in strategies
 # ----------------------------------------------------------------------
+def _compiled_lower(ctx: StrategyContext):
+    """Lower the best available plan for this shape, or ``None``.
+
+    Nested :meth:`StrategyContext.cached_plan` calls are safe — the plan
+    cache computes outside its lock — so the acyclicity witness and any
+    decomposition found here land in the cache exactly as the
+    interpreted strategies would have left them.
+    """
+    acyclic, _ = ctx.cached_plan(
+        "acyclic", (),
+        lambda: True if (ctx.query.is_quantifier_free()
+                         and is_acyclic(ctx.query.hypergraph())) else None,
+    )
+    if acyclic:
+        return lower_acyclic(ctx.query)
+    for width in range(1, ctx.max_width + 1):
+        decomposition, _ = ctx.cached_plan(
+            "structural", (width,),
+            lambda width=width: find_sharp_hypertree_decomposition(
+                ctx.query, width
+            ),
+        )
+        if decomposition is not None:
+            return lower_structural(ctx.query, decomposition)
+    return None
+
+
+def _compiled_applicable(ctx: StrategyContext) -> Optional[object]:
+    # The enabled check comes *before* any cache access, so a run with
+    # the tier disabled can never poison the memo for enabled callers.
+    if not compiled_enabled():
+        return None
+    program, was_cached = ctx.cached_plan(
+        "compiled", (ctx.max_width, COMPILED_FORMAT_VERSION),
+        lambda: _compiled_lower(ctx),
+    )
+    if program is None:
+        return None
+    return (program, was_cached)
+
+
+def _compiled_estimate(ctx: StrategyContext) -> float:
+    # Same asymptotics as the interpreted join-tree DP, minus the
+    # per-execution schema interpretation — rank it ahead of acyclic.
+    return 0.5 * ctx.total_rows
+
+
+def _compiled_run(ctx: StrategyContext, witness: object
+                  ) -> Tuple[int, Dict[str, object]]:
+    program, artifact_cached = witness
+    executable = link(program)
+    count = executable.count(ctx.database)
+    details: Dict[str, object] = {
+        "compiled": True,
+        "compiled_kind": program.kind,
+        "artifact_cached": artifact_cached,
+        "bags": len(program.bags),
+    }
+    if program.width is not None:
+        details["width"] = program.width
+    return count, details
+
+
+def _compiled_failure(ctx: StrategyContext) -> Exception:
+    if not compiled_enabled():
+        return DecompositionNotFoundError(
+            f"{ctx.query.name}: the compiled tier is disabled "
+            f"(REPRO_COMPILED=0 or --no-compiled)"
+        )
+    return DecompositionNotFoundError(
+        f"{ctx.query.name}: no compilable plan within width "
+        f"{ctx.max_width} (quantified non-decomposable shape)"
+    )
+
+
 def _acyclic_applicable(ctx: StrategyContext) -> Optional[object]:
     witness, _ = ctx.cached_plan(
         "acyclic", (),
@@ -393,6 +474,8 @@ def _brute_run(ctx: StrategyContext, witness: object
     return count_brute_force(ctx.query, ctx.database), {}
 
 
+register_strategy("compiled", _compiled_applicable, _compiled_estimate,
+                  _compiled_run, _compiled_failure)
 register_strategy("acyclic", _acyclic_applicable, _acyclic_estimate,
                   _acyclic_run, _acyclic_failure)
 register_strategy("structural", _structural_applicable, _structural_estimate,

@@ -28,6 +28,13 @@ renaming and in both tiers, leaving shape-only plans and other
 databases' plans untouched — the targeted alternative to
 ``clear_engine_memo()``'s drop-everything semantics.
 
+Plans are not only decompositions: the compiled execution tier
+(``counting/compile.py``) stores its lowered
+:class:`~repro.counting.compile.CompiledProgram` artifacts under the same
+shape keys (kind ``"compiled"``, keyed by the compiled format version),
+so both tiers — and therefore fleets sharing a cache directory — reuse
+*compiled* plans, not just decompositions.
+
 One process-wide default cache (:func:`default_plan_cache`) backs plain
 ``count_answers`` calls; a :class:`~repro.service.CountingService` owns
 its own instance so concurrent batches share plans deliberately.

@@ -33,15 +33,28 @@ Row = Tuple[Hashable, ...]
 
 _EMPTY_KEY = ()
 
+#: Memo of :func:`_row_getter` extractors keyed by position tuple.  The
+#: extractors are stateless and immutable, so sharing them module-wide is
+#: safe; every join/project/semijoin call site used to rebuild identical
+#: ``itemgetter`` objects even for identical schemas.  Holders that get
+#: pickled (maintainer checkpoints) must drop the extractors first — the
+#: zero/one-position cases are lambdas, which do not pickle.
+_GETTER_MEMO: Dict[Tuple[int, ...], object] = {}
+
 
 def _row_getter(positions: Tuple[int, ...]):
     """A C-speed key extractor for *positions* (always returns a tuple)."""
-    if not positions:
-        return lambda row: _EMPTY_KEY
-    if len(positions) == 1:
-        position = positions[0]
-        return lambda row: (row[position],)
-    return itemgetter(*positions)
+    getter = _GETTER_MEMO.get(positions)
+    if getter is None:
+        if not positions:
+            getter = lambda row: _EMPTY_KEY  # noqa: E731
+        elif len(positions) == 1:
+            position = positions[0]
+            getter = lambda row: (row[position],)  # noqa: E731
+        else:
+            getter = itemgetter(*positions)
+        _GETTER_MEMO[positions] = getter
+    return getter
 
 
 class SubstitutionSet:

@@ -3,8 +3,11 @@
 Every engine plan — the acyclicity witness, a
 :class:`~repro.decomposition.sharp.SharpDecomposition`, a
 :class:`~repro.decomposition.hypertree.Hypertree`, a
-:class:`~repro.decomposition.hybrid.HybridDecomposition`, or ``None`` for
-a memoized *failed* search — is a tree of frozen dataclasses, queries,
+:class:`~repro.decomposition.hybrid.HybridDecomposition`, a
+:class:`~repro.counting.compile.CompiledProgram` (a lowered, data-only
+execution plan — step lists and permutations, never pickled code), or
+``None`` for a memoized *failed* search — is a tree of frozen dataclasses,
+queries,
 atoms and join trees with no live caches attached, so the stdlib pickle
 round-trips them faithfully (the process-pool service already ships the
 same objects across workers).  What pickle does *not* give us is safety
@@ -40,6 +43,16 @@ from ..exceptions import ReproError
 #: Bump when the plan object graph changes incompatibly; old spill files
 #: are then rejected (and rebuilt) instead of deserialized into garbage.
 PLAN_FORMAT_VERSION = 1
+
+#: Format version of **compiled execution plans**
+#: (:class:`~repro.counting.compile.CompiledProgram`).  Compiled
+#: artifacts are data-only step lists riding the ordinary plan envelope
+#: above (they are plan-cache values like any decomposition), so this
+#: version is baked into their *cache key* instead of the envelope:
+#: bumping it makes every stale artifact unreachable — no invalidation
+#: pass needed — while same-version artifacts keep warm-starting worker
+#: pools through the persistent tier.
+COMPILED_FORMAT_VERSION = 1
 
 #: Bump when the maintainer DP state changes incompatibly; stale
 #: checkpoints are then rejected and the DP is rebuilt from the database.

@@ -35,6 +35,7 @@ import tempfile
 from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from ..db.algebra import _row_getter
 from ..db.database import Database
 from ..decomposition.serialize import (
     PlanSerializationError,
@@ -123,7 +124,14 @@ class _Vertex:
 
     __slots__ = ("index", "schema", "atoms", "atom_rows", "parent",
                  "children", "counts", "shared_with_parent",
-                 "child_positions", "agg_cache")
+                 "child_positions", "agg_cache", "parent_key_of",
+                 "child_key_of")
+
+    #: Slots carrying :func:`~repro.db.algebra._row_getter` extractors —
+    #: compiled once per tree wiring, excluded from pickled checkpoints
+    #: (the zero/one-position getters are lambdas) and relinked from the
+    #: position data on restore.
+    _GETTER_SLOTS = ("parent_key_of", "child_key_of")
 
     def __init__(self, index: int, schema: Tuple[Variable, ...],
                  atoms: List[Atom]):
@@ -145,6 +153,26 @@ class _Vertex:
         #: values.  Cached so that repairing one subtree only rebuilds
         #: the aggregates of the children that actually changed.
         self.agg_cache: Dict[int, Dict[Row, int]] = {}
+        self.link_getters()
+
+    def link_getters(self) -> None:
+        """(Re)compile the key extractors from the position data."""
+        self.parent_key_of = _row_getter(self.shared_with_parent)
+        self.child_key_of = {
+            child: _row_getter(positions)
+            for child, positions in self.child_positions.items()
+        }
+
+    def __getstate__(self):
+        return {
+            slot: getattr(self, slot) for slot in self.__slots__
+            if slot not in self._GETTER_SLOTS
+        }
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self.link_getters()
 
     def bag_rows(self) -> Set[Row]:
         """Rows present in *every* atom's match set (the bag relation)."""
@@ -231,6 +259,9 @@ class IncrementalCounter:
                 vertex.child_positions[child_index] = tuple(
                     vertex.schema.index(v) for v in shared_vars
                 )
+        # Positions are final: compile the key extractors once.
+        for vertex in self._vertices:
+            vertex.link_getters()
 
     def _load(self, database: Database) -> None:
         for vertex in self._vertices:
@@ -247,9 +278,9 @@ class IncrementalCounter:
     def _child_aggregate(self, child: _Vertex) -> Dict[Row, int]:
         """Child counts summed over the variables shared with the parent."""
         aggregate: Dict[Row, int] = {}
-        positions = child.shared_with_parent
+        key_of = child.parent_key_of
         for row, count in child.counts.items():
-            key = tuple(row[i] for i in positions)
+            key = key_of(row)
             aggregate[key] = aggregate.get(key, 0) + count
         return aggregate
 
@@ -266,16 +297,15 @@ class IncrementalCounter:
                 self._vertices[child_index]
             )
         aggregates = [
-            (vertex.child_positions[child_index],
+            (vertex.child_key_of[child_index],
              vertex.agg_cache[child_index])
             for child_index in vertex.children
         ]
         vertex.counts = {}
         for row in vertex.bag_rows():
             total = 1
-            for positions, aggregate in aggregates:
-                key = tuple(row[i] for i in positions)
-                total *= aggregate.get(key, 0)
+            for key_of, aggregate in aggregates:
+                total *= aggregate.get(key_of(row), 0)
                 if total == 0:
                     break
             if total:
@@ -326,9 +356,7 @@ class IncrementalCounter:
                 return 0
         total = 1
         for child_index in vertex.children:
-            key = tuple(
-                row[i] for i in vertex.child_positions[child_index]
-            )
+            key = vertex.child_key_of[child_index](row)
             total *= vertex.agg_cache[child_index].get(key, 0)
             if total == 0:
                 return 0
@@ -376,9 +404,7 @@ class IncrementalCounter:
                 else:
                     del vertex.counts[row]
                 if parent is not None:
-                    key = tuple(
-                        row[i] for i in vertex.shared_with_parent
-                    )
+                    key = vertex.parent_key_of(row)
                     deltas[key] = deltas.get(key, 0) + (new - old)
             if parent is None or not deltas:
                 continue

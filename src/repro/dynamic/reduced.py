@@ -48,7 +48,9 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
+from ..consistency.local import CompiledReducer
 from ..consistency.pairwise import full_reducer
+from ..counting.compile import compiled_enabled
 from ..db.algebra import SubstitutionSet, _row_getter
 from ..db.database import Database
 from ..db.relation import Relation
@@ -135,8 +137,8 @@ class _DynPart:
 class _BagState:
     """One bag of the reduced instance: provenance plus fed snapshot."""
 
-    __slots__ = ("schema", "parts", "counts", "free_schema", "inner_symbol",
-                 "relation", "members_dirty", "fed")
+    __slots__ = ("schema", "parts", "counts", "free_schema", "free_positions",
+                 "inner_symbol", "relation", "members_dirty", "fed")
 
     def __init__(self, bag: FrozenSet[Variable], atoms: Sequence[Atom],
                  free: FrozenSet[Variable], inner_symbol: Optional[str]):
@@ -151,6 +153,13 @@ class _BagState:
         self.counts: Dict[Row, int] = {}
         self.free_schema: Tuple[Variable, ...] = tuple(
             v for v in self.schema if v in free
+        )
+        #: Positions of the free schema inside the bag schema, for the
+        #: compiled refresh (``None`` = every column is free: identity).
+        self.free_positions: Optional[Tuple[int, ...]] = (
+            None if self.free_schema == self.schema else tuple(
+                i for i, v in enumerate(self.schema) if v in free
+            )
         )
         #: The reduced instance's relation symbol — ``None`` when the
         #: bag has no free variables (it then only gates emptiness).
@@ -168,6 +177,100 @@ class _BagState:
                 self.schema, frozenset(self.counts), _presorted=True
             )
             self.members_dirty = False
+
+
+class _DeltaPlan:
+    """A compiled per-``(bag, part)`` delta join.
+
+    :func:`_fold_witnesses` re-derives, on *every* update, the fold
+    order, the shared variables, and the key/output extractors of the
+    same join — all functions of the part schemas, which are fixed for
+    the maintainer's life.  This plan resolves them once; :meth:`fold`
+    then only probes the parts' warm indexes and merges multiplicities.
+
+    The fold order is static (greedy connectivity over schemas, smallest
+    schema first) where the interpreted path re-sorts by live match-set
+    size; the multiset semantics are order-independent, so the two paths
+    agree exactly.  Holds extractor closures — never pickled; the
+    maintainer rebuilds plans lazily after a checkpoint restore.
+    """
+
+    __slots__ = ("_steps", "_final")
+
+    def __init__(self, seed_schema: Tuple[Variable, ...],
+                 part_schemas: Sequence[Tuple[Variable, ...]],
+                 keep: FrozenSet[Variable]):
+        pending = sorted(range(len(part_schemas)),
+                         key=lambda i: (len(part_schemas[i]), i))
+        bound = set(seed_schema)
+        ordered: List[int] = []
+        while pending:
+            position = next(
+                (p for p, slot in enumerate(pending)
+                 if bound & set(part_schemas[slot])), 0,
+            )
+            slot = pending.pop(position)
+            ordered.append(slot)
+            bound |= set(part_schemas[slot])
+        schema = seed_schema
+        steps = []
+        for rank, slot in enumerate(ordered):
+            part_schema = part_schemas[slot]
+            part_vars = set(part_schema)
+            needed = set(keep)
+            for later in ordered[rank + 1:]:
+                needed.update(part_schemas[later])
+            shared = tuple(v for v in schema if v in part_vars)
+            part_index = {v: i for i, v in enumerate(part_schema)}
+            schema_index = {v: i for i, v in enumerate(schema)}
+            combined = dict(schema_index)
+            offset = len(schema)
+            for i, v in enumerate(part_schema):
+                combined.setdefault(v, offset + i)
+            out_schema = tuple(sorted(
+                (set(schema) | part_vars) & needed, key=lambda v: v.name
+            ))
+            steps.append((
+                slot,
+                tuple(part_index[v] for v in shared),
+                _row_getter(tuple(schema_index[v] for v in shared)),
+                _row_getter(tuple(combined[v] for v in out_schema)),
+            ))
+            schema = out_schema
+        self._steps = tuple(steps)
+        wanted = tuple(v for v in schema if v in keep)
+        self._final = (None if wanted == schema else _row_getter(
+            tuple({v: i for i, v in enumerate(schema)}[v] for v in wanted)
+        ))
+
+    def fold(self, counts: Dict[Row, int],
+             parts: Sequence[_DynPart]) -> Dict[Row, int]:
+        """Witness counts of ``pi_keep(counts |><| join of parts)``;
+        *parts* is the same others list the interpreted fold receives."""
+        for slot, part_positions, key_of, out_of in self._steps:
+            if not counts:
+                break
+            index = parts[slot].index_on(part_positions)
+            get_bucket = index.get
+            folded: Dict[Row, int] = {}
+            get = folded.get
+            for row, multiplicity in counts.items():
+                bucket = get_bucket(key_of(row))
+                if not bucket:
+                    continue
+                for part_row in bucket:
+                    out_row = out_of(row + part_row)
+                    folded[out_row] = get(out_row, 0) + multiplicity
+            counts = folded
+        final = self._final
+        if final is not None and counts:
+            projected: Dict[Row, int] = {}
+            get = projected.get
+            for row, multiplicity in counts.items():
+                out_row = final(row)
+                projected[out_row] = get(out_row, 0) + multiplicity
+            counts = projected
+        return counts
 
 
 class ReducedMaintainer:
@@ -225,12 +328,25 @@ class ReducedMaintainer:
                 self._parts_by_relation.setdefault(
                     part.atom.relation, []
                 ).append((index, part_index))
+        # Compiled repair state (extractor closures — rebuilt lazily, and
+        # dropped from pickled checkpoints by ``__getstate__``).
+        self._delta_plans: Optional[Dict[Tuple[int, int], _DeltaPlan]] = None
+        self._compiled_reducer: Optional[CompiledReducer] = None
         self._load(database)
         self._dirty = True
         self._nonempty = False
         self._inner: Optional[IncrementalCounter] = None
         self._refresh()
         self._build_inner()
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_delta_plans"] = None
+        state["_compiled_reducer"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Construction
@@ -311,9 +427,14 @@ class ReducedMaintainer:
                 continue
             others = [p for i, p in enumerate(state.parts)
                       if i != part_index]
-            deltas = _fold_witnesses(
-                part.schema, {matched: 1}, others, frozenset(state.schema)
-            )
+            if compiled_enabled():
+                plan = self._delta_plan(bag_index, part_index, state, part)
+                deltas = plan.fold({matched: 1}, others)
+            else:
+                deltas = _fold_witnesses(
+                    part.schema, {matched: 1}, others,
+                    frozenset(state.schema)
+                )
             flipped = False
             counts = state.counts
             for bag_row, witnesses in deltas.items():
@@ -333,6 +454,24 @@ class ReducedMaintainer:
                 state.members_dirty = True
                 self._dirty = True
 
+    def _delta_plan(self, bag_index: int, part_index: int,
+                    state: _BagState, part: _DynPart) -> _DeltaPlan:
+        """The compiled delta join for one ``(bag, part)`` pair, lowered
+        on first use (and again after a checkpoint restore)."""
+        plans = self._delta_plans
+        if plans is None:
+            plans = self._delta_plans = {}
+        plan = plans.get((bag_index, part_index))
+        if plan is None:
+            plan = _DeltaPlan(
+                part.schema,
+                [p.schema for i, p in enumerate(state.parts)
+                 if i != part_index],
+                frozenset(state.schema),
+            )
+            plans[(bag_index, part_index)] = plan
+        return plan
+
     # ------------------------------------------------------------------
     # Read path: exactness + row-wise DP repair
     # ------------------------------------------------------------------
@@ -347,22 +486,52 @@ class ReducedMaintainer:
         """
         for state in self._bags:
             state.refresh_relation()
-        reduced = full_reducer(
-            [state.relation for state in self._bags], self.tree
-        )
-        self._nonempty = all(len(bag) > 0 for bag in reduced)
         deltas: List[Update] = []
-        for state, exact in zip(self._bags, reduced):
-            if state.inner_symbol is None:
-                continue
-            projected = exact.projection_keys(state.free_schema)
-            if projected == state.fed:
-                continue
-            for row in projected - state.fed:
-                deltas.append(Insert(state.inner_symbol, row))
-            for row in state.fed - projected:
-                deltas.append(Delete(state.inner_symbol, row))
-            state.fed = projected
+        if compiled_enabled():
+            # Compiled leg: the semijoin schedule's extractors and probe
+            # order were resolved once; each pass runs over plain row
+            # sets with no per-read schema work.
+            reducer = self._compiled_reducer
+            if reducer is None:
+                reducer = self._compiled_reducer = CompiledReducer(
+                    [state.schema for state in self._bags], self.tree
+                )
+            exact_sets = reducer.reduce(
+                [state.relation.rows for state in self._bags]
+            )
+            self._nonempty = all(exact_sets)
+            for state, exact_rows in zip(self._bags, exact_sets):
+                if state.inner_symbol is None:
+                    continue
+                if state.free_positions is None:
+                    projected = exact_rows
+                else:
+                    projected = frozenset(map(
+                        _row_getter(state.free_positions), exact_rows
+                    ))
+                if projected == state.fed:
+                    continue
+                for row in projected - state.fed:
+                    deltas.append(Insert(state.inner_symbol, row))
+                for row in state.fed - projected:
+                    deltas.append(Delete(state.inner_symbol, row))
+                state.fed = projected
+        else:
+            reduced = full_reducer(
+                [state.relation for state in self._bags], self.tree
+            )
+            self._nonempty = all(len(bag) > 0 for bag in reduced)
+            for state, exact in zip(self._bags, reduced):
+                if state.inner_symbol is None:
+                    continue
+                projected = exact.projection_keys(state.free_schema)
+                if projected == state.fed:
+                    continue
+                for row in projected - state.fed:
+                    deltas.append(Insert(state.inner_symbol, row))
+                for row in state.fed - projected:
+                    deltas.append(Delete(state.inner_symbol, row))
+                state.fed = projected
         if deltas and self._inner is not None:
             self._inner.apply_batch(deltas)
         self._dirty = False

@@ -395,7 +395,8 @@ class MultiWriterSession:
         totals = {
             key: sum(shard[key] for shard in per_shard)
             for key in ("maintained_counts", "reduced_counts",
-                        "engine_counts", "updates_applied")
+                        "engine_counts", "compiled_counts",
+                        "updates_applied")
         }
         databases = sorted(
             name for shard in per_shard for name in shard["databases"]

@@ -160,6 +160,10 @@ class CountingSession:
         return self._shard.engine_counts
 
     @property
+    def compiled_counts(self) -> int:
+        return self._shard.compiled_counts
+
+    @property
     def updates_applied(self) -> int:
         return self._shard.updates_applied
 
@@ -219,7 +223,11 @@ class CountingSession:
             batch = self._service.run_batch([job for _, job in pending])
             for (index, _), result in zip(pending, batch):
                 results[index] = result
-            self._shard.note_engine_counts(len(pending))
+            compiled = sum(
+                1 for result in batch
+                if getattr(result, "strategy", None) == "compiled"
+            )
+            self._shard.note_engine_counts(len(pending), compiled)
             pending.clear()
 
         for index, job in enumerate(jobs):
@@ -244,6 +252,7 @@ class CountingSession:
             "maintained_counts": shard_snapshot["maintained_counts"],
             "reduced_counts": shard_snapshot["reduced_counts"],
             "engine_counts": shard_snapshot["engine_counts"],
+            "compiled_counts": shard_snapshot["compiled_counts"],
             "updates_applied": shard_snapshot["updates_applied"],
             "maintainers": shard_snapshot["maintainers"],
         })

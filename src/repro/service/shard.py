@@ -126,6 +126,10 @@ class SessionShard:
         self.maintained_counts = 0
         self.reduced_counts = 0
         self.engine_counts = 0
+        #: Engine-bound counts served by the compiled execution tier
+        #: (result strategy ``"compiled"``) — a subset of
+        #: ``engine_counts``.
+        self.compiled_counts = 0
         self.updates_applied = 0
 
     def _memo_verdict(self, fingerprint) -> Optional[bool]:
@@ -321,13 +325,17 @@ class SessionShard:
         if maintained is not None:
             return maintained
         self.engine_counts += 1
-        return self._service.run_job(job)
+        result = self._service.run_job(job)
+        if result.strategy == "compiled":
+            self.compiled_counts += 1
+        return result
 
-    def note_engine_counts(self, n: int) -> None:
+    def note_engine_counts(self, n: int, compiled: int = 0) -> None:
         """Account engine-bound counts executed on the shard's behalf
         (the single-writer session batches them through its worker
-        pool)."""
+        pool); *compiled* of them were served by the compiled tier."""
         self.engine_counts += n
+        self.compiled_counts += compiled
 
     # ------------------------------------------------------------------
     # The uniform job interface (what shard workers execute)
@@ -356,6 +364,7 @@ class SessionShard:
             "maintained_counts": self.maintained_counts,
             "reduced_counts": self.reduced_counts,
             "engine_counts": self.engine_counts,
+            "compiled_counts": self.compiled_counts,
             "updates_applied": self.updates_applied,
             "maintainers": self._maintainers.stats(),
             "plan_cache": self.plan_cache.stats(),

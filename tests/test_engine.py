@@ -3,6 +3,7 @@
 import pytest
 
 from repro.counting.brute_force import count_brute_force
+from repro.counting.compile import compiled_enabled
 from repro.counting.engine import STRATEGIES, count_answers
 from repro.db import Database
 from repro.exceptions import DecompositionNotFoundError, NotAcyclicError
@@ -20,13 +21,16 @@ class TestStrategySelection:
         q = parse_query("ans(A, B) :- r(A, B)")
         db = Database.from_dict({"r": [(1, 2), (3, 4)]})
         result = count_answers(q, db)
-        assert result.strategy == "acyclic"
+        # The compiled tier executes the same join-tree plan when enabled.
+        expected = "compiled" if compiled_enabled() else "acyclic"
+        assert result.strategy == expected
         assert result.count == 2
 
     def test_structural_strategy_for_q0(self):
         db = workforce_database(seed=2)
         result = count_answers(q0(), db)
-        assert result.strategy == "structural"
+        expected = "compiled" if compiled_enabled() else "structural"
+        assert result.strategy == expected
         assert result.details["width"] == 2
         assert result.count == count_brute_force(q0(), db)
 
@@ -77,5 +81,6 @@ class TestForcedStrategies:
 
     def test_strategies_constant_complete(self):
         assert STRATEGIES == (
-            "acyclic", "structural", "hybrid", "degree", "brute_force",
+            "compiled", "acyclic", "structural", "hybrid", "degree",
+            "brute_force",
         )

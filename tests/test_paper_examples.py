@@ -84,7 +84,9 @@ class TestFigure3:
     def test_counting_agrees_with_brute_force(self):
         db = workforce_database(seed=11)
         result = count_answers(q0(), db)
-        assert result.strategy == "structural"
+        from repro.counting.compile import compiled_enabled
+        expected = "compiled" if compiled_enabled() else "structural"
+        assert result.strategy == expected
         assert result.count == count_brute_force(q0(), db)
 
 

@@ -146,13 +146,15 @@ class TestPersistentRoundTrip:
         directory = str(tmp_path / "plans")
         cache = PersistentPlanCache(directory)
         count_answers(TRIANGLE, triangle_database(), plan_cache=cache)
-        names = entry_files(directory)
-        path = os.path.join(directory, names[0])
-        with open(path) as handle:
-            entry = json.load(handle)
-        entry["key"] = entry["key"] + "STALE"
-        with open(path, "w") as handle:
-            json.dump(entry, handle)
+        # Stale every entry: a warm compiled-tier run only consults the
+        # compiled artifact, so a single victim might never be read.
+        for name in entry_files(directory):
+            path = os.path.join(directory, name)
+            with open(path) as handle:
+                entry = json.load(handle)
+            entry["key"] = entry["key"] + "STALE"
+            with open(path, "w") as handle:
+                json.dump(entry, handle)
 
         suspicious = PersistentPlanCache(directory)
         count_answers(TRIANGLE, triangle_database(), plan_cache=suspicious)
