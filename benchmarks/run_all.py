@@ -117,6 +117,13 @@ def compiled_snapshot() -> dict:
     return _load_bench_module("bench_compiled").snapshot()
 
 
+def deadline_snapshot() -> dict:
+    """The deadline-serving numbers (bench_deadline): a heavy triangle
+    whose exact count misses the deadline answers approximately within
+    budget, cheap shapes stay exact."""
+    return _load_bench_module("bench_deadline").snapshot()
+
+
 def _git_revision() -> str:
     try:
         completed = subprocess.run(
@@ -142,6 +149,8 @@ _HEADLINES = (
     ("reduced_speedup", ("reduced", "reduced_speedup")),
     ("compiled_speedup_geomean",
      ("compiled", "compiled_speedup_geomean")),
+    ("deadline_within_fraction",
+     ("deadline", "deadline_within_fraction")),
 )
 
 
@@ -203,7 +212,7 @@ def main(argv=None) -> int:
         path.name for path in BENCH_DIR.glob("bench_*.py")
         if path.name not in ("bench_batch_service.py", "bench_session.py",
                              "bench_shards.py", "bench_reduced.py",
-                             "bench_compiled.py")
+                             "bench_compiled.py", "bench_deadline.py")
     )
     snapshot = {
         "generated_unix": int(time.time()),
@@ -278,6 +287,18 @@ def main(argv=None) -> int:
             failures += 1
             print("[bench]   FAILED (compiled tier below the 5x bar)",
                   flush=True)
+        snapshot["deadline"] = deadline_snapshot()
+        print(f"[bench] deadline: exact baseline "
+              f"{snapshot['deadline']['deadline_exact_baseline_ms']}ms vs "
+              f"{snapshot['deadline']['deadline_ms']}ms budget; "
+              f"{snapshot['deadline']['deadline_within_fraction']:.0%} of "
+              f"requests within budget (worst "
+              f"{snapshot['deadline']['deadline_max_request_ms']}ms)",
+              flush=True)
+        if not snapshot["deadline"]["meets_deadline_bar"]:
+            failures += 1
+            print("[bench]   FAILED (deadline serving missed its budget, "
+                  "epsilon, or exactness bar)", flush=True)
     for name in files:
         print(f"[bench] {name} ...", flush=True)
         outcome = run_benchmark_files([name])

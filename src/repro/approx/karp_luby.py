@@ -37,7 +37,16 @@ from .sampler import AnswerSampler
 
 @dataclass(frozen=True)
 class KarpLubyEstimate:
-    """Outcome of a Karp–Luby run."""
+    """Outcome of a Karp–Luby run.
+
+    When ``exact`` is true the run resolved the count *exactly* (the
+    zero-overcount shortcut: every disjunct is empty, so the union is
+    empty).  Then ``estimate`` is the true count, ``half_width`` is
+    0.0, and the stated ``confidence`` is vacuous — the result holds
+    with certainty despite ``samples == 0``.  Consumers forwarding
+    ``(estimate, epsilon, delta)`` guarantees can report ``delta=0``
+    for exact results.
+    """
 
     estimate: float
     samples: int
@@ -46,6 +55,7 @@ class KarpLubyEstimate:
     overcount: int
     confidence: float
     half_width: float
+    exact: bool = False
 
     @property
     def interval(self) -> Tuple[float, float]:
@@ -87,9 +97,12 @@ def karp_luby_union_count(union: UnionQuery, database: Database,
     counts = tuple(len(sampler) for sampler in samplers)
     overcount = sum(counts)
     if overcount == 0:
+        # Every disjunct is empty, so the union count is exactly 0 —
+        # labeled exact rather than as a zero-sample "approximation".
         return KarpLubyEstimate(
             estimate=0.0, samples=0, hits=0, per_disjunct_counts=counts,
             overcount=0, confidence=confidence, half_width=0.0,
+            exact=True,
         )
     cumulative: List[int] = []
     running = 0

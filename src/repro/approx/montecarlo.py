@@ -32,7 +32,17 @@ from ..query.terms import Variable
 
 @dataclass(frozen=True)
 class MonteCarloEstimate:
-    """Outcome of a Monte Carlo run."""
+    """Outcome of a Monte Carlo run.
+
+    When ``exact`` is true the run resolved the count *exactly* — a
+    degenerate case (empty candidate space, Boolean query) decided
+    without meaningful sampling.  Then ``estimate`` is the true count,
+    ``half_width`` is 0.0, and the stated ``confidence`` is vacuous:
+    the result holds with certainty, regardless of the sample count
+    (which reports what was actually drawn, possibly 0 or 1).
+    Consumers forwarding ``(estimate, epsilon, delta)`` guarantees can
+    report ``delta=0`` for exact results.
+    """
 
     estimate: float
     samples: int
@@ -40,6 +50,7 @@ class MonteCarloEstimate:
     space_size: int
     confidence: float
     half_width: float
+    exact: bool = False
 
     @property
     def interval(self) -> Tuple[float, float]:
@@ -97,13 +108,17 @@ def monte_carlo_count(query: ConjunctiveQuery, database: Database,
         return MonteCarloEstimate(
             estimate=float(hit), samples=1, hits=int(hit),
             space_size=1, confidence=confidence, half_width=0.0,
+            exact=True,
         )
     domains = candidate_domains(query, database)
     variables = sorted(query.free_variables, key=lambda v: v.name)
     if any(not domains.get(v) for v in variables):
+        # Empty candidate space: the count is exactly 0 — no samples
+        # were drawn, so the result must not masquerade as a sampled
+        # interval at the caller's confidence.
         return MonteCarloEstimate(
             estimate=0.0, samples=0, hits=0, space_size=0,
-            confidence=confidence, half_width=0.0,
+            confidence=confidence, half_width=0.0, exact=True,
         )
     space_size = math.prod(len(domains[v]) for v in variables)
     rng = random.Random(seed)

@@ -16,6 +16,10 @@ The database JSON maps relation names to lists of rows::
 
     {"r": [[1, 2], [3, 4]], "s": [[2, 9]]}
 
+``count``, ``batch``, and ``session`` accept ``--deadline-ms`` (and
+``--error-budget``) for deadline-aware serving: counts the cost model
+predicts to fit the budget stay exact, the rest come back from the
+approximate tier as guaranteed ``(estimate, epsilon, delta)`` answers;
 ``count`` prints the answer count and the strategy the engine selected;
 ``analyze`` prints the structural profile of the query (hypergraph,
 frontier hypergraph, colored core, acyclicity, star size, and the
@@ -96,12 +100,17 @@ def _cmd_count(args: argparse.Namespace) -> int:
     result = count_answers(
         query, database,
         method=args.method, max_width=args.max_width,
+        deadline_ms=args.deadline_ms, error_budget=args.error_budget,
     )
     if args.explain:
         print(result.explain())
         return 0
     print(f"count    : {result.count}")
     print(f"strategy : {result.strategy}")
+    if result.details.get("method") == "approx":
+        print(f"approx   : estimate={result.details['estimate']} "
+              f"epsilon={result.details['epsilon']:.1f} "
+              f"delta={result.details['delta']}")
     plain = {
         key: value for key, value in result.details.items()
         if key not in ("decision_trail", "actual_seconds", "estimated_cost")
@@ -196,11 +205,26 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_deadline_defaults(jobs, deadline_ms, error_budget) -> None:
+    """Stamp CLI-level deadline/error-budget defaults onto count jobs
+    that do not carry their own (job-file values win)."""
+    if deadline_ms is None and error_budget is None:
+        return
+    for job in jobs:
+        if not hasattr(job, "deadline_ms"):
+            continue  # updates / attachments carry no deadline
+        if job.deadline_ms is None:
+            job.deadline_ms = deadline_ms
+        if job.error_budget is None:
+            job.error_budget = error_budget
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .service import CountingService, load_jobs
 
     _apply_compiled_flag(args)
     jobs = load_jobs(args.jobs)
+    _apply_deadline_defaults(jobs, args.deadline_ms, args.error_budget)
     with CountingService(workers=args.workers, mode=args.mode,
                          cache_dir=args.cache_dir) as service:
         results = service.run_batch(jobs)
@@ -265,6 +289,9 @@ def _cmd_session(args: argparse.Namespace) -> int:
 
     _apply_compiled_flag(args)
     streams = [load_stream(path) for path in args.jobs]
+    for stream in streams:
+        _apply_deadline_defaults(stream, args.deadline_ms,
+                                 args.error_budget)
     session_kwargs = {"maintain_reduced": not args.no_reduced}
     if args.maintainer_budget_mb is not None:
         # <= 0 means "explicitly unbounded" (overriding the env), never
@@ -279,6 +306,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
         with MultiWriterSession(shards=args.shards,
                                 shard_mode=args.shard_mode,
                                 cache_dir=args.cache_dir,
+                                max_pending=args.max_pending,
                                 **session_kwargs) as session:
             outcomes = session.run_streams(streams)
             stats = session.stats()
@@ -444,6 +472,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_deadline_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--deadline-ms", type=float, default=None,
+            help="per-count deadline in milliseconds: exact when the "
+                 "cost model predicts it fits, otherwise a guaranteed "
+                 "(estimate, epsilon, delta) approximate answer",
+        )
+        command.add_argument(
+            "--error-budget", type=float, default=None,
+            help="relative error budget in (0, 1) for deadline-degraded "
+                 "counts (default 0.05; also enables the approx "
+                 "strategy on its own)",
+        )
+
     count = sub.add_parser("count", help="count answers over a JSON database")
     count.add_argument("query", help='e.g. "ans(A) :- r(A, B)"')
     count.add_argument("database", help="path to a JSON database file")
@@ -455,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--no-compiled", action="store_true",
                        help="disable the compiled-plan execution tier "
                             "(interpreted strategies only)")
+    add_deadline_flags(count)
     count.set_defaults(func=_cmd_count)
 
     analyze = sub.add_parser("analyze",
@@ -516,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_PLAN_CACHE_DIR when set)")
     batch.add_argument("--no-compiled", action="store_true",
                        help="disable the compiled-plan execution tier")
+    add_deadline_flags(batch)
     batch.set_defaults(func=_cmd_batch)
 
     session = sub.add_parser(
@@ -559,6 +603,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="dump each count's decision trail")
     session.add_argument("--output", default=None,
                          help="write results (counts + acks) as JSON")
+    session.add_argument("--max-pending", type=int, default=None,
+                         help="per-shard admission bound (sharded "
+                              "sessions): producers backpressure when a "
+                              "shard has this many jobs in flight")
+    add_deadline_flags(session)
     session.set_defaults(func=_cmd_session)
 
     bench = sub.add_parser(

@@ -51,7 +51,6 @@ from __future__ import annotations
 import hashlib
 from collections import Counter
 from dataclasses import dataclass
-from os import environ
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from operator import itemgetter
@@ -60,6 +59,7 @@ from ..consistency.local import CompiledReducer
 from ..db.algebra import _row_getter
 from ..db.database import Database
 from ..decomposition.sharp import SharpDecomposition
+from ..envknobs import env_flag
 from ..exceptions import QueryError, SchemaError
 from ..hypergraph.acyclicity import JoinTree, require_join_tree
 from ..query.query import ConjunctiveQuery
@@ -95,10 +95,13 @@ def compiled_enabled() -> bool:
 
     Checked per call (not cached at import) so tests and long-lived
     services can flip ``REPRO_COMPILED`` without reloading modules.
+    Accepts the usual boolean spellings (``0/1/true/false/on/off``);
+    anything else warns once (see :mod:`repro.envknobs`) and leaves the
+    tier enabled.
     """
     if _FORCED is not None:
         return _FORCED
-    return environ.get(COMPILED_ENV, "") != "0"
+    return env_flag(COMPILED_ENV, True)
 
 
 def set_compiled_enabled(value: Optional[bool]) -> None:

@@ -40,23 +40,34 @@ The built-in strategies are the paper's algorithms:
 * *degree* — a plain GHD exists: the Figure 13 algorithm, exponential in
   the measured degree bound only (Theorem 6.2);
 * *brute-force* — the exact fallback (cheapest on tiny databases, which
-  the cost ranking notices by itself).
+  the cost ranking notices by itself);
+* *approx* — the deadline tier: a Monte Carlo ``(estimate, epsilon,
+  delta)`` answer (:mod:`repro.approx.montecarlo`), applicable only when
+  the request carries a ``deadline_ms`` or ``error_budget``.  ``auto``
+  never prefers it over an exact strategy that fits the deadline —
+  *exact when possible, approximate when necessary*: exact strategies
+  whose cost estimate exceeds the deadline's cost budget (or that would
+  start after an observed mid-flight overrun) are skipped, and only
+  when every exact option is ruled out does the approx tier answer.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..approx.montecarlo import monte_carlo_count
 from ..db.database import Database
 from ..decomposition.serialize import COMPILED_FORMAT_VERSION
 from ..decomposition.ghd import find_ghd_join_tree
 from ..decomposition.hybrid import find_hybrid_decomposition
 from ..decomposition.hypertree import hypertree_from_join_tree
 from ..decomposition.sharp import find_sharp_hypertree_decomposition
+from ..envknobs import env_float
 from ..exceptions import DecompositionNotFoundError, NotAcyclicError
 from ..hypergraph.acyclicity import is_acyclic
 from ..query.canonical import CanonicalForm
@@ -71,7 +82,35 @@ from .structural import count_with_decomposition
 
 #: Built-in strategy names in preference (tie-break) order.
 STRATEGIES = ("compiled", "acyclic", "structural", "hybrid", "degree",
-              "brute_force")
+              "brute_force", "approx")
+
+# ----------------------------------------------------------------------
+# Deadline calibration: cost-estimate units per millisecond
+# ----------------------------------------------------------------------
+#: Environment knob calibrating how many cost-estimate units the engine
+#: assumes it can execute per millisecond of wall clock.  Cost estimates
+#: are order-of-magnitude row counts; the default of 1000 units/ms
+#: (~1M rows/s of interpreted Python) is deliberately conservative —
+#: over-admitting blows deadlines, under-admitting merely answers
+#: approximately when exact would have squeaked by.
+COST_UNITS_ENV = "REPRO_COST_UNITS_PER_MS"
+
+#: Default calibration when the knob is unset (units per millisecond).
+DEFAULT_COST_UNITS_PER_MS = 1000.0
+
+#: Fraction of the deadline the auto loop may observably burn on
+#: probing/planning before it stops starting new exact strategies (the
+#: winner's runner still has to fit in what remains).
+OBSERVED_OVERRUN_FRACTION = 0.5
+
+
+def cost_units_per_ms() -> float:
+    """Calibrated cost units per millisecond (``$REPRO_COST_UNITS_PER_MS``
+    when set and positive, else :data:`DEFAULT_COST_UNITS_PER_MS`)."""
+    value = env_float(COST_UNITS_ENV)
+    if value is None or value <= 0:
+        return DEFAULT_COST_UNITS_PER_MS
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -95,6 +134,17 @@ class StrategyContext:
     hybrid_width: int = 2
     plan_cache: Optional[PlanCache] = None
     fingerprint: Optional[tuple] = None
+    #: Wall-clock budget for this request in milliseconds.  ``None``
+    #: means no deadline: exact counting runs unconditionally.  When
+    #: set, ``auto`` skips exact strategies whose cost estimate exceeds
+    #: the corresponding unit budget and falls back to the approx tier.
+    deadline_ms: Optional[float] = None
+    #: Relative error budget for the approx tier (a fraction of the
+    #: candidate-space size, the scale of the Hoeffding guarantee).
+    #: Setting it (with or without a deadline) makes the approx
+    #: strategy applicable; ``None`` uses the tier's default when a
+    #: deadline forces an approximate answer.
+    error_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.atom_cardinalities: Tuple[int, ...] = tuple(
@@ -160,6 +210,12 @@ class StrategyContext:
             relation_content_tag(self.database[atom.relation])
             for atom in self.query.atoms_sorted()
         }))
+
+    def cost_budget_units(self) -> Optional[float]:
+        """The deadline expressed in cost-estimate units, or ``None``."""
+        if self.deadline_ms is None:
+            return None
+        return self.deadline_ms * cost_units_per_ms()
 
 
 @dataclass(frozen=True)
@@ -280,8 +336,17 @@ def _compiled_applicable(ctx: StrategyContext) -> Optional[object]:
 
 
 def _compiled_estimate(ctx: StrategyContext) -> float:
-    # Same asymptotics as the interpreted join-tree DP, minus the
-    # per-execution schema interpretation — rank it ahead of acyclic.
+    # Ranking heuristic: same asymptotics as the interpreted join-tree
+    # DP, minus the per-execution schema interpretation — rank it ahead
+    # of acyclic.  Under a deadline the figure doubles as an admission
+    # bound, so it must be honest about *work*: a compiled structural
+    # program still materializes its bags, so a cyclic or quantified
+    # shape is charged like the structural strategy (halved for the
+    # compiled execution), not like a linear join-tree pass.
+    if ctx.deadline_ms is not None and not (
+            ctx.query.is_quantifier_free()
+            and is_acyclic(ctx.query.hypergraph())):
+        return 0.5 * _structural_estimate(ctx)
     return 0.5 * ctx.total_rows
 
 
@@ -474,6 +539,120 @@ def _brute_run(ctx: StrategyContext, witness: object
     return count_brute_force(ctx.query, ctx.database), {}
 
 
+# ----------------------------------------------------------------------
+# The approx strategy: the deadline tier's Monte Carlo answer
+# ----------------------------------------------------------------------
+#: Default relative error budget (fraction of the candidate-space size)
+#: when a deadline forces an approximate answer without an explicit
+#: ``error_budget``.
+APPROX_DEFAULT_ERROR_BUDGET = 0.05
+
+#: Failure probability of the stated interval: the Hoeffding sample size
+#: targets ``P(|estimate - exact| > epsilon) <= delta``.
+APPROX_DEFAULT_DELTA = 0.05
+
+#: Sample-count floor/ceiling: never degenerate, never unbounded.
+APPROX_MIN_SAMPLES = 16
+APPROX_MAX_SAMPLES = 20000
+
+#: Cost-model charge for one Boolean membership test, per query atom.
+#: A sample probes each atom's hash index a handful of times (the
+#: candidate assignment is fully fixed, so there is no search) —
+#: measured at roughly 10–15 units/atom on the reference workloads;
+#: 25 keeps the charge conservative without starving the sampler.
+APPROX_UNITS_PER_ATOM = 25.0
+
+
+def _approx_error_budget(ctx: StrategyContext) -> float:
+    if ctx.error_budget is not None and ctx.error_budget > 0:
+        return ctx.error_budget
+    return APPROX_DEFAULT_ERROR_BUDGET
+
+
+def _approx_per_sample_units(ctx: StrategyContext) -> float:
+    return max(APPROX_UNITS_PER_ATOM * len(ctx.query.atoms), 50.0)
+
+
+def _approx_samples(ctx: StrategyContext) -> int:
+    """Hoeffding-sized sample count, capped by the remaining deadline.
+
+    ``ceil(ln(2/delta) / (2 eps^2))`` samples bound the hit-rate error
+    by *eps* with probability ``1 - delta``.  Under a deadline the
+    count is additionally capped so sampling (one O(atoms) Boolean
+    membership test per sample) spends at most half the budget — the
+    guarantee degrades gracefully (wider stated epsilon) instead of the
+    deadline being blown by its own fallback.
+    """
+    epsilon = _approx_error_budget(ctx)
+    sized = math.ceil(
+        math.log(2.0 / APPROX_DEFAULT_DELTA) / (2.0 * epsilon * epsilon)
+    )
+    budget = ctx.cost_budget_units()
+    if budget is not None:
+        per_sample = _approx_per_sample_units(ctx)
+        sized = min(sized, int(budget / (2.0 * per_sample)))
+    return max(APPROX_MIN_SAMPLES, min(sized, APPROX_MAX_SAMPLES))
+
+
+def _approx_applicable(ctx: StrategyContext) -> Optional[object]:
+    # The tier serves deadline/error-budget requests only: a plain
+    # request never silently receives an estimate.
+    if ctx.deadline_ms is None and ctx.error_budget is None:
+        return None
+    return True
+
+
+def _approx_estimate(ctx: StrategyContext) -> float:
+    # One O(atoms) Boolean membership test per sample: the candidate
+    # assignment is fully fixed, so checking is hash probes, not search.
+    return _approx_samples(ctx) * _approx_per_sample_units(ctx)
+
+
+def _approx_run(ctx: StrategyContext, witness: object
+                ) -> Tuple[int, Dict[str, object]]:
+    samples = _approx_samples(ctx)
+    delta = APPROX_DEFAULT_DELTA
+    # Deterministic seed from (shape, database content, sample count):
+    # inline, thread, and process shards — and any replay of the same
+    # request — produce bit-identical estimates.
+    material = repr((
+        ctx.fingerprint if ctx.fingerprint is not None else ctx.query.name,
+        ctx.database.content_fingerprint(),
+        samples,
+    ))
+    seed = int.from_bytes(
+        hashlib.sha256(material.encode("utf-8")).digest()[:8], "big"
+    )
+    outcome = monte_carlo_count(
+        ctx.query, ctx.database,
+        samples=samples, confidence=1.0 - delta, seed=seed,
+    )
+    details: Dict[str, object] = {
+        "method": "approx",
+        "estimate": outcome.estimate,
+        # The honesty contract forwarded to users:
+        #   P(|estimate - exact| > epsilon) <= delta
+        # with epsilon *absolute* (the Hoeffding half-width, i.e. the
+        # relative error budget scaled by the candidate-space size) and
+        # delta = 0 for degenerate cases the estimator resolved exactly.
+        "epsilon": outcome.half_width,
+        "delta": 0.0 if outcome.exact else delta,
+        "samples": outcome.samples,
+        "hits": outcome.hits,
+        "space_size": outcome.space_size,
+        "exact": outcome.exact,
+        "error_budget": _approx_error_budget(ctx),
+    }
+    return int(round(outcome.estimate)), details
+
+
+def _approx_failure(ctx: StrategyContext) -> Exception:
+    return DecompositionNotFoundError(
+        f"{ctx.query.name}: the approx strategy serves deadline/error-budget "
+        f"requests only — pass deadline_ms= or error_budget="
+    )
+
+
 register_strategy("compiled", _compiled_applicable, _compiled_estimate,
                   _compiled_run, _compiled_failure)
 register_strategy("acyclic", _acyclic_applicable, _acyclic_estimate,
@@ -486,6 +665,8 @@ register_strategy("degree", _degree_applicable, _degree_estimate,
                   _degree_run, _degree_failure)
 register_strategy("brute_force", _brute_applicable, _brute_estimate,
                   _brute_run, lambda ctx: AssertionError("always applicable"))
+register_strategy("approx", _approx_applicable, _approx_estimate,
+                  _approx_run, _approx_failure)
 
 
 # ----------------------------------------------------------------------
@@ -524,6 +705,8 @@ class CountResult:
             for rank, entry in enumerate(trail, start=1):
                 if entry.get("chosen"):
                     outcome = "chosen"
+                elif entry.get("skipped"):
+                    outcome = f"skipped: {entry['skipped']}"
                 elif entry.get("probed"):
                     outcome = "not applicable"
                 else:
@@ -583,7 +766,9 @@ def count_answers(query: ConjunctiveQuery, database: Database,
                   method: str = "auto", max_width: int = 3,
                   max_degree: float = math.inf,
                   hybrid_width: int = 2,
-                  plan_cache: Optional[PlanCache] = None) -> CountResult:
+                  plan_cache: Optional[PlanCache] = None,
+                  deadline_ms: Optional[float] = None,
+                  error_budget: Optional[float] = None) -> CountResult:
     """Count the answers of *query* over *database*.
 
     Parameters
@@ -603,9 +788,27 @@ def count_answers(query: ConjunctiveQuery, database: Database,
         defaults to the process-wide cache.  Plans are keyed by the
         query's canonical shape fingerprint, so bijectively renamed
         queries share plans.
+    deadline_ms:
+        Wall-clock budget in milliseconds.  ``auto`` then skips exact
+        strategies whose cost estimate exceeds the calibrated unit
+        budget (see :func:`cost_units_per_ms`) — and stops starting new
+        ones once probing has observably burned too much of the
+        deadline — answering from the ``approx`` strategy instead: a
+        deterministic Monte Carlo ``(estimate, epsilon, delta)`` result
+        carried in ``details``.  Cheap requests still answer exact.
+    error_budget:
+        Relative error budget for approximate answers (a fraction of
+        the candidate-space size).  Also makes ``method="approx"``
+        and the auto fallback applicable without a deadline.
     """
     if method != "auto" and method not in _REGISTRY:
         raise ValueError(f"unknown method {method!r}")
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
+    if error_budget is not None and not 0 < error_budget < 1:
+        raise ValueError(
+            f"error_budget must be a fraction in (0, 1), got {error_budget}"
+        )
     cache = plan_cache if plan_cache is not None else default_plan_cache()
     # Execute in canonical space: the shape-renamed query over the
     # shape-renamed database (cached relation aliases — contents, index
@@ -618,6 +821,7 @@ def count_answers(query: ConjunctiveQuery, database: Database,
         max_width=max_width, max_degree=max_degree,
         hybrid_width=hybrid_width,
         plan_cache=cache, fingerprint=form.fingerprint,
+        deadline_ms=deadline_ms, error_budget=error_budget,
     )
 
     if method != "auto":
@@ -626,10 +830,18 @@ def count_answers(query: ConjunctiveQuery, database: Database,
         if witness is None:
             raise strategy.failure(context)
         count, details = strategy.runner(context, witness)
+        details = dict(details)
+        if deadline_ms is not None:
+            details["deadline_ms"] = deadline_ms
         return CountResult(count, method, _presentable_details(details, form))
 
     # Cost-ranked auto selection: estimate every strategy from statistics
     # alone, then probe applicability cheapest-first and run the winner.
+    # Under a deadline, exact strategies over the unit budget are skipped
+    # and the approx tier is held back as the fallback — exact when
+    # possible, approximate when necessary.
+    started_auto = time.perf_counter()
+    budget_units = context.cost_budget_units()
     preference = {name: rank for rank, name in enumerate(_REGISTRY)}
     estimates = {
         name: strategy.cost_estimate(context)
@@ -648,11 +860,9 @@ def count_answers(query: ConjunctiveQuery, database: Database,
         }
         for strategy in ranked
     ]
-    for position, strategy in enumerate(ranked):
-        trail[position]["probed"] = True
-        witness = strategy.applicability(context)
-        if witness is None:
-            continue
+
+    def run_winner(position: int, strategy: Strategy,
+                   witness: object) -> CountResult:
         trail[position]["chosen"] = True
         started = time.perf_counter()
         count, details = strategy.runner(context, witness)
@@ -661,8 +871,58 @@ def count_answers(query: ConjunctiveQuery, database: Database,
         details["decision_trail"] = trail
         details["estimated_cost"] = trail[position]["estimated_cost"]
         details["actual_seconds"] = elapsed
+        if deadline_ms is not None:
+            details["deadline_ms"] = deadline_ms
+            details["cost_budget_units"] = budget_units
         return CountResult(count, strategy.name,
                            _presentable_details(details, form))
+
+    for position, strategy in enumerate(ranked):
+        if strategy.name == "approx":
+            # The deadline fallback: only after every exact option is
+            # ruled out — never preferred over an exact answer that fits.
+            trail[position]["skipped"] = "held back as deadline fallback"
+            continue
+        if budget_units is not None:
+            elapsed_ms = (time.perf_counter() - started_auto) * 1e3
+            if elapsed_ms >= OBSERVED_OVERRUN_FRACTION * context.deadline_ms:
+                trail[position]["skipped"] = "observed deadline overrun"
+                continue
+            if estimates[strategy.name] > budget_units:
+                trail[position]["skipped"] = "predicted deadline overrun"
+                continue
+        trail[position]["probed"] = True
+        witness = strategy.applicability(context)
+        if witness is None:
+            continue
+        return run_winner(position, strategy, witness)
+
+    # Every exact strategy was skipped (deadline pressure) or
+    # inapplicable: answer approximately when the tier is available.
+    for position, strategy in enumerate(ranked):
+        if strategy.name != "approx":
+            continue
+        trail[position]["probed"] = True
+        witness = strategy.applicability(context)
+        if witness is not None:
+            trail[position].pop("skipped", None)
+            return run_winner(position, strategy, witness)
+
+    # No approx tier either (it was unregistered, or no deadline was
+    # set and nothing applied): run the cheapest applicable exact
+    # strategy regardless of the budget — a best-effort late answer
+    # beats no answer.
+    for position, strategy in enumerate(ranked):
+        if strategy.name == "approx":
+            continue
+        trail[position]["probed"] = True
+        witness = strategy.applicability(context)
+        if witness is None:
+            continue
+        trail[position].pop("skipped", None)
+        result = run_winner(position, strategy, witness)
+        result.details["deadline_missed"] = True
+        return result
     raise AssertionError(  # pragma: no cover - brute force always applies
         "no applicable counting strategy"
     )

@@ -42,6 +42,7 @@ from ..decomposition.serialize import (
     deserialize_maintainer_state,
     serialize_maintainer_state,
 )
+from ..envknobs import env_float
 from ..exceptions import NotAcyclicError
 from ..hypergraph.acyclicity import require_join_tree
 from ..query.atom import Atom
@@ -77,18 +78,14 @@ DEFAULT_REDUCED_WIDTH = 3
 def maintainer_budget_from_env() -> Optional[int]:
     """The ``REPRO_MAINTAINER_BUDGET_MB`` budget in bytes, or ``None``.
 
-    Unparsable, zero, and negative values all mean *unbounded* — a user
-    writing ``0`` intends "no budget", not a one-byte budget that would
-    thrash a checkpoint on every read.
+    Zero and negative values mean *unbounded* — a user writing ``0``
+    intends "no budget", not a one-byte budget that would thrash a
+    checkpoint on every read.  An unparseable value also means
+    unbounded, but warns once (see :mod:`repro.envknobs`) instead of
+    being silently swallowed.
     """
-    raw = os.environ.get(MAINTAINER_BUDGET_ENV)
-    if not raw:
-        return None
-    try:
-        value = float(raw)
-    except ValueError:
-        return None
-    if value <= 0:
+    value = env_float(MAINTAINER_BUDGET_ENV)
+    if value is None or value <= 0:
         return None
     return max(1, int(value * 1024 * 1024))
 

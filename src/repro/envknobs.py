@@ -1,0 +1,105 @@
+"""Shared parsing of the ``REPRO_*`` environment knobs.
+
+Every environment knob in the repository goes through these helpers so a
+malformed value is **never silently swallowed**: an unparseable setting
+(``REPRO_SESSION_SHARDS=two``) emits one :class:`RuntimeWarning` per
+distinct ``(name, value)`` pair and falls back to the knob's default —
+visible, deterministic, and impossible to mistake for the knob having
+taken effect.
+
+Unset and empty values mean "use the default" and never warn (an empty
+string is how the CI matrix expresses "leg does not set this knob").
+The knobs currently wired through here:
+
+* ``REPRO_SESSION_SHARDS`` — :func:`repro.service.default_shards`
+* ``REPRO_SERVICE_WORKERS`` — :func:`repro.service.default_workers`
+* ``REPRO_MAINTAINER_BUDGET_MB`` —
+  :func:`repro.dynamic.maintainer.maintainer_budget_from_env`
+* ``REPRO_COMPILED`` — :func:`repro.counting.compile.compiled_enabled`
+* ``REPRO_COST_UNITS_PER_MS`` —
+  :func:`repro.counting.engine.cost_units_per_ms` (deadline calibration)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import Optional, Set, Tuple
+
+#: ``(name, raw value)`` pairs already warned about — one warning per
+#: distinct misconfiguration per process, not one per read (knobs like
+#: ``REPRO_COMPILED`` are consulted on every count).
+_WARNED: Set[Tuple[str, str]] = set()
+_WARNED_LOCK = threading.Lock()
+
+#: Accepted spellings for boolean knobs (case-insensitive).
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"0", "false", "no", "off"})
+
+
+def _warn_once(name: str, raw: str, expected: str) -> None:
+    with _WARNED_LOCK:
+        key = (name, raw)
+        if key in _WARNED:
+            return
+        _WARNED.add(key)
+    warnings.warn(
+        f"ignoring unparseable environment knob {name}={raw!r} "
+        f"(expected {expected}); using the default instead",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+def reset_env_warnings() -> None:
+    """Forget which misconfigurations were warned about (tests only)."""
+    with _WARNED_LOCK:
+        _WARNED.clear()
+
+
+def env_int(name: str, default: Optional[int] = None) -> Optional[int]:
+    """``$name`` as an ``int``, or *default*.
+
+    Unset/empty values return *default* silently; an unparseable value
+    warns once (per distinct value) and returns *default*.
+    """
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        _warn_once(name, raw, "an integer")
+        return default
+
+
+def env_float(name: str, default: Optional[float] = None) -> Optional[float]:
+    """``$name`` as a ``float``, or *default* (same contract as
+    :func:`env_int`)."""
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        _warn_once(name, raw, "a number")
+        return default
+
+
+def env_flag(name: str, default: bool = True) -> bool:
+    """``$name`` as a boolean, or *default*.
+
+    Accepts ``1/true/yes/on`` and ``0/false/no/off`` (case-insensitive);
+    anything else warns once and returns *default*.
+    """
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    lowered = raw.strip().lower()
+    if lowered in _TRUTHY:
+        return True
+    if lowered in _FALSY:
+        return False
+    _warn_once(name, raw, "one of 1/0/true/false/yes/no/on/off")
+    return default

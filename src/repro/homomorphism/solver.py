@@ -183,6 +183,14 @@ def iter_homomorphisms(query: ConjunctiveQuery, database: Database,
             atoms_by_var[variable].append(atom)
 
     assignment: Dict[Variable, Hashable] = dict(fixed)
+    # Pre-bound variables never trigger the per-variable consistency
+    # checks below (backtracking skips them), so an atom whose variables
+    # are *all* fixed would otherwise never be probed at all — a full
+    # ``fixed`` assignment must still be a homomorphism, not merely
+    # domain-wise plausible.  One hash probe per atom settles it.
+    if fixed and not all(space.atom_consistent(atom, assignment)
+                         for atom in space.atoms):
+        return
 
     def backtrack(index: int) -> Iterator[Dict[Variable, Hashable]]:
         if index == len(variables):

@@ -18,10 +18,12 @@ from ..query.canonical import (
 )
 from .jobs import CountJob, JobFileError, dump_jobs, load_jobs
 from .router import (
+    DEFAULT_RETRY_AFTER_MS,
     SESSION_SHARDS_ENV,
     SHARD_MODES,
     MultiWriterSession,
     SessionRouter,
+    ShardSaturatedError,
     default_shards,
 )
 from .service import MODES, CountingService, default_workers
@@ -44,9 +46,11 @@ __all__ = [
     "CountRequest",
     "CountingService",
     "CountingSession",
+    "DEFAULT_RETRY_AFTER_MS",
     "JobFileError",
     "MODES",
     "MultiWriterSession",
+    "ShardSaturatedError",
     "PersistentPlanCache",
     "PlanCache",
     "SESSION_SHARDS_ENV",

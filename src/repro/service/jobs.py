@@ -43,7 +43,14 @@ class JobFileError(ReproError):
 
 @dataclass
 class CountJob:
-    """One counting request: a query over a database, plus engine knobs."""
+    """One counting request: a query over a database, plus engine knobs.
+
+    ``deadline_ms`` / ``error_budget`` make the request deadline-aware:
+    the engine answers exactly when its cost model predicts the exact
+    strategies fit the budget, and from the approximate tier (a
+    ``(estimate, epsilon, delta)`` Monte Carlo result) otherwise — see
+    :func:`repro.counting.engine.count_answers`.
+    """
 
     query: ConjunctiveQuery
     database: Database
@@ -52,6 +59,8 @@ class CountJob:
     max_degree: float = math.inf
     hybrid_width: int = 2
     label: Optional[str] = None
+    deadline_ms: Optional[float] = None
+    error_budget: Optional[float] = None
 
     def engine_kwargs(self) -> Dict[str, object]:
         """The keyword arguments this job passes to ``count_answers``."""
@@ -60,6 +69,8 @@ class CountJob:
             "max_width": self.max_width,
             "max_degree": self.max_degree,
             "hybrid_width": self.hybrid_width,
+            "deadline_ms": self.deadline_ms,
+            "error_budget": self.error_budget,
         }
 
 
@@ -114,6 +125,8 @@ def load_jobs(path: str) -> List[CountJob]:
                     ) from None
             database = loaded_paths[resolved]
         max_degree = spec.get("max_degree")
+        deadline_ms = spec.get("deadline_ms")
+        error_budget = spec.get("error_budget")
         jobs.append(CountJob(
             query=query,
             database=database,
@@ -122,6 +135,9 @@ def load_jobs(path: str) -> List[CountJob]:
             max_degree=math.inf if max_degree is None else float(max_degree),
             hybrid_width=int(spec.get("hybrid_width", 2)),
             label=spec.get("label"),
+            deadline_ms=None if deadline_ms is None else float(deadline_ms),
+            error_budget=(None if error_budget is None
+                          else float(error_budget)),
         ))
     return jobs
 
@@ -157,6 +173,10 @@ def dump_jobs(path: str, jobs: Sequence[CountJob]) -> None:
         }
         if not math.isinf(job.max_degree):
             spec["max_degree"] = job.max_degree
+        if job.deadline_ms is not None:
+            spec["deadline_ms"] = job.deadline_ms
+        if job.error_budget is not None:
+            spec["error_budget"] = job.error_budget
         payload_jobs.append(spec)
     with open(path, "w") as handle:
         json.dump({"databases": payload_dbs, "jobs": payload_jobs},

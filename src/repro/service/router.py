@@ -43,6 +43,7 @@ from __future__ import annotations
 import hashlib
 import os
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
@@ -53,6 +54,7 @@ from ..counting.plan_cache import (
 )
 from ..db.database import Database
 from ..dynamic.maintainer import BUDGET_FROM_ENV
+from ..envknobs import env_int
 from ..exceptions import ReproError
 from .session import AttachDatabase, SessionJob
 from .shard import SessionShard
@@ -60,20 +62,42 @@ from .shard import SessionShard
 #: Recognized shard worker flavors.
 SHARD_MODES = ("inline", "thread", "process")
 
+#: Retry hint when a saturated shard has no completion-latency sample
+#: yet (milliseconds).
+DEFAULT_RETRY_AFTER_MS = 25.0
+
+
+class ShardSaturatedError(ReproError):
+    """A shard's queue is at its admission bound; retry after a delay.
+
+    Raised by :meth:`MultiWriterSession.submit` when ``max_pending`` is
+    configured and the target shard already has that many jobs in
+    flight.  ``retry_after_ms`` estimates when a slot frees up (queue
+    depth times the shard's smoothed completion latency); the stream
+    runners honor it and resubmit, external callers should too.
+    """
+
+    def __init__(self, shard: int, pending: int, retry_after_ms: float):
+        super().__init__(
+            f"shard{shard} is saturated ({pending} jobs pending); "
+            f"retry in ~{retry_after_ms:.0f}ms"
+        )
+        self.shard = shard
+        self.pending = pending
+        self.retry_after_ms = retry_after_ms
+
 #: Environment variable naming the default shard count (the CI sharded
 #: leg sets it; ``shards=0`` consults it, then falls back to 2).
 SESSION_SHARDS_ENV = "REPRO_SESSION_SHARDS"
 
 
 def default_shards() -> int:
-    """``$REPRO_SESSION_SHARDS`` when set and sane, else 2."""
-    raw = os.environ.get(SESSION_SHARDS_ENV)
-    if raw:
-        try:
-            return max(1, int(raw))
-        except ValueError:
-            pass
-    return 2
+    """``$REPRO_SESSION_SHARDS`` when set and sane, else 2.
+
+    An unparseable value warns once (see :mod:`repro.envknobs`) and
+    falls back to the default rather than silently ignoring the knob.
+    """
+    return max(1, env_int(SESSION_SHARDS_ENV, 2))
 
 
 class SessionRouter:
@@ -144,6 +168,8 @@ class _InlineHandle:
     def __init__(self, core: SessionShard):
         self._core = core
         self._lock = threading.Lock()
+        self.close_errors = 0
+        self.last_close_error: Optional[str] = None
 
     def submit(self, job: SessionJob) -> Future:
         future: Future = Future()
@@ -162,7 +188,11 @@ class _InlineHandle:
         return future
 
     def close(self) -> None:
-        self._core.close()
+        try:
+            self._core.close()
+        except Exception as error:
+            self.close_errors += 1
+            self.last_close_error = repr(error)
 
 
 class _ThreadHandle:
@@ -171,6 +201,8 @@ class _ThreadHandle:
     def __init__(self, core: SessionShard):
         self._core = core
         self._pool = ThreadPoolExecutor(max_workers=1)
+        self.close_errors = 0
+        self.last_close_error: Optional[str] = None
 
     def submit(self, job: SessionJob) -> Future:
         return self._pool.submit(self._core.execute, job)
@@ -181,7 +213,13 @@ class _ThreadHandle:
         return self._pool.submit(self._core.stats)
 
     def close(self) -> None:
-        self._pool.submit(self._core.close).result()
+        try:
+            self._pool.submit(self._core.close).result()
+        except Exception as error:
+            # A dying shard core must not abort the session shutdown —
+            # but the failure is counted, not dropped (see stats()).
+            self.close_errors += 1
+            self.last_close_error = repr(error)
         self._pool.shutdown()
 
 
@@ -193,6 +231,8 @@ class _ProcessHandle:
             max_workers=1,
             initializer=_process_shard_init, initargs=(config,),
         )
+        self.close_errors = 0
+        self.last_close_error: Optional[str] = None
 
     def submit(self, job: SessionJob) -> Future:
         return self._pool.submit(_process_shard_execute, job)
@@ -203,8 +243,12 @@ class _ProcessHandle:
     def close(self) -> None:
         try:
             self._pool.submit(_process_shard_close).result()
-        except Exception:
-            pass  # a dead worker cannot clean up; shutdown regardless
+        except Exception as error:
+            # A dead worker cannot clean up; shutdown proceeds
+            # regardless — but the death is *counted*, not silently
+            # swallowed, so a broken shard shows up in session stats.
+            self.close_errors += 1
+            self.last_close_error = repr(error)
         self._pool.shutdown()
 
 
@@ -236,6 +280,13 @@ class MultiWriterSession:
         given).  ``maintain_reduced`` toggles Theorem 3.7
         reduction-based maintenance of bounded-#htw shapes (on by
         default).
+    max_pending:
+        Per-shard admission bound.  When set, :meth:`submit` rejects a
+        job whose target shard already has ``max_pending`` jobs in
+        flight, raising :class:`ShardSaturatedError` with a
+        ``retry_after_ms`` hint (queue depth times the shard's smoothed
+        completion latency).  ``None`` (the default) admits unboundedly,
+        the historical behavior.
     """
 
     def __init__(self, databases: Optional[Dict[str, Database]] = None,
@@ -246,12 +297,16 @@ class MultiWriterSession:
                  maintainer_capacity: int = 64,
                  maintainer_budget_bytes=BUDGET_FROM_ENV,
                  maintainer_spill_dir: Optional[str] = None,
-                 maintain_reduced: bool = True):
+                 maintain_reduced: bool = True,
+                 max_pending: Optional[int] = None):
         if shard_mode not in SHARD_MODES:
             raise ValueError(f"unknown shard mode {shard_mode!r}; "
                              f"expected one of {SHARD_MODES}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.shards = int(shards) if shards else default_shards()
         self.shard_mode = shard_mode
+        self.max_pending = max_pending
         if cache_dir is None:
             cache_dir = os.environ.get(PLAN_CACHE_DIR_ENV) or None
         self.cache_dir = cache_dir
@@ -259,6 +314,13 @@ class MultiWriterSession:
         self._handles: List[object] = []
         self._closed = False
         self._close_lock = threading.Lock()
+        # Admission state: per-shard in-flight counters plus an EWMA of
+        # completion latency (the retry-after estimator).  One lock
+        # guards both; submit touches it briefly, never while a job runs.
+        self._admission_lock = threading.Lock()
+        self._pending = [0] * self.shards
+        self._latency_ms: List[Optional[float]] = [None] * self.shards
+        self._rejected = 0
         if shard_mode == "process":
             if plan_cache is not None:
                 raise ValueError(
@@ -320,24 +382,79 @@ class MultiWriterSession:
         """The shard index owning *database_name*."""
         return self._router.shard_of(database_name)
 
+    def _retry_after_ms(self, shard: int, pending: int) -> float:
+        """Estimated wait for a slot on *shard* with *pending* jobs
+        queued: depth times the smoothed completion latency, or a fixed
+        hint before the first completion has been observed."""
+        latency = self._latency_ms[shard]
+        if latency is None:
+            return DEFAULT_RETRY_AFTER_MS
+        return max(pending * latency, 1.0)
+
     def submit(self, job: SessionJob) -> Future:
         """Enqueue *job* on its database's shard; thread-safe.
 
         Returns a future resolving to the job's result (a
         :class:`~repro.counting.engine.CountResult` or an
         acknowledgement dict) — or raising the job's error (e.g. a
-        rejected update), which perturbs nothing else.
+        rejected update), which perturbs nothing else.  With
+        ``max_pending`` configured, a saturated shard rejects the job
+        with :class:`ShardSaturatedError` *before* it is enqueued.
         """
-        handle = self._handles[self._router.shard_for_job(job)]
-        return handle.submit(job)
+        shard = self._router.shard_for_job(job)
+        now = time.monotonic()
+        with self._admission_lock:
+            pending = self._pending[shard]
+            if self.max_pending is not None and pending >= self.max_pending:
+                self._rejected += 1
+                raise ShardSaturatedError(
+                    shard, pending, self._retry_after_ms(shard, pending)
+                )
+            self._pending[shard] = pending + 1
+        # Deadline-aware jobs carry their enqueue instant so the shard
+        # can charge queue wait against the deadline (see
+        # SessionShard.engine_job).
+        if getattr(job, "deadline_ms", None) is not None:
+            job.submitted_at = now
+
+        def settle(_: Future) -> None:
+            elapsed_ms = (time.monotonic() - now) * 1e3
+            with self._admission_lock:
+                self._pending[shard] -= 1
+                previous = self._latency_ms[shard]
+                self._latency_ms[shard] = (
+                    elapsed_ms if previous is None
+                    else 0.2 * elapsed_ms + 0.8 * previous
+                )
+
+        try:
+            future = self._handles[shard].submit(job)
+        except BaseException:
+            # Enqueue itself failed (e.g. a broken process pool): the
+            # settle callback will never run, so release the slot here.
+            with self._admission_lock:
+                self._pending[shard] -= 1
+            raise
+        future.add_done_callback(settle)
+        return future
+
+    def _submit_with_retry(self, job: SessionJob) -> Future:
+        """``submit``, sleeping out :class:`ShardSaturatedError` retry
+        hints — the stream runners' backpressure loop."""
+        while True:
+            try:
+                return self.submit(job)
+            except ShardSaturatedError as saturated:
+                time.sleep(saturated.retry_after_ms / 1e3)
 
     def run_stream(self, jobs: Sequence[SessionJob]) -> List[object]:
         """Run one interleaved stream; results come back in job order.
 
         Jobs for databases on different shards overlap; jobs for one
-        database keep their stream order.
+        database keep their stream order.  Saturated shards backpressure
+        the producer (sleep-and-retry) instead of failing the stream.
         """
-        futures = [self.submit(job) for job in jobs]
+        futures = [self._submit_with_retry(job) for job in jobs]
         return [future.result() for future in futures]
 
     def run_streams(self, streams: Sequence[Sequence[SessionJob]]
@@ -355,7 +472,7 @@ class MultiWriterSession:
         def producer(index: int, jobs: Sequence[SessionJob]) -> None:
             try:
                 for job in jobs:
-                    collected[index].append(self.submit(job))
+                    collected[index].append(self._submit_with_retry(job))
             except BaseException as error:
                 # Submission itself failed (unroutable job, closed
                 # session): surface it to the caller instead of dying
@@ -389,11 +506,48 @@ class MultiWriterSession:
         process mode.  The probes are submitted to every shard first
         and gathered after, so a stats call under load waits for the
         slowest shard's backlog, not the sum of all of them.
+
+        A shard whose worker has died (e.g. a killed process-mode
+        worker) contributes a ``{"dead": True, ...}`` stub with zeroed
+        counters instead of poisoning the whole snapshot; the session
+        totals also carry ``close_errors`` — shard-teardown failures
+        that would otherwise vanish into the handles' shutdown paths.
         """
-        futures = [handle.submit_stats() for handle in self._handles]
-        per_shard = [future.result() for future in futures]
+        def probe(handle) -> Future:
+            try:
+                return handle.submit_stats()
+            except Exception as error:
+                # A broken pool rejects at submission time; carry the
+                # failure in a future so the loop below stubs it out.
+                failed: Future = Future()
+                failed.set_exception(error)
+                return failed
+
+        futures = [probe(handle) for handle in self._handles]
+        per_shard = []
+        for index, future in enumerate(futures):
+            try:
+                per_shard.append(future.result())
+            except Exception as error:
+                per_shard.append({
+                    "shard": f"shard{index}",
+                    "dead": True,
+                    "error": repr(error),
+                    "databases": [],
+                    "maintained_counts": 0,
+                    "reduced_counts": 0,
+                    "engine_counts": 0,
+                    "compiled_counts": 0,
+                    "updates_applied": 0,
+                    "maintainers": {
+                        "maintainers": 0, "reduced_maintainers": 0,
+                        "spilled_entries": 0, "resident_bytes": 0,
+                        "peak_resident_bytes": 0, "spilled": 0,
+                        "restored": 0,
+                    },
+                })
         totals = {
-            key: sum(shard[key] for shard in per_shard)
+            key: sum(shard.get(key, 0) for shard in per_shard)
             for key in ("maintained_counts", "reduced_counts",
                         "engine_counts", "compiled_counts",
                         "updates_applied")
@@ -401,6 +555,9 @@ class MultiWriterSession:
         databases = sorted(
             name for shard in per_shard for name in shard["databases"]
         )
+        with self._admission_lock:
+            pending = list(self._pending)
+            rejected = self._rejected
         return {
             "shards": self.shards,
             "shard_mode": self.shard_mode,
@@ -411,6 +568,11 @@ class MultiWriterSession:
                 else "shared"
             ),
             **totals,
+            "max_pending": self.max_pending,
+            "pending": pending,
+            "rejected_submissions": rejected,
+            "close_errors": sum(handle.close_errors
+                                for handle in self._handles),
             "per_shard": per_shard,
         }
 

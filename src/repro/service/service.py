@@ -41,6 +41,7 @@ from ..counting.plan_cache import (
     set_default_plan_cache,
 )
 from ..db.database import Database
+from ..envknobs import env_int
 from .jobs import CountJob
 
 #: Recognized execution modes.
@@ -247,11 +248,12 @@ class CountingService:
 
 
 def default_workers() -> int:
-    """A sensible worker count: ``REPRO_SERVICE_WORKERS`` or the CPU count."""
-    configured = os.environ.get("REPRO_SERVICE_WORKERS")
-    if configured:
-        try:
-            return max(1, int(configured))
-        except ValueError:
-            pass
+    """A sensible worker count: ``REPRO_SERVICE_WORKERS`` or the CPU count.
+
+    An unparseable value warns once (see :mod:`repro.envknobs`) and
+    falls back to the CPU count rather than silently ignoring the knob.
+    """
+    configured = env_int("REPRO_SERVICE_WORKERS")
+    if configured is not None:
+        return max(1, configured)
     return os.cpu_count() or 1

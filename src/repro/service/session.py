@@ -65,7 +65,16 @@ from .shard import SessionShard
 # ----------------------------------------------------------------------
 @dataclass
 class CountRequest:
-    """Count *query* over the named database, at its current version."""
+    """Count *query* over the named database, at its current version.
+
+    ``deadline_ms`` / ``error_budget`` make the request deadline-aware
+    on the engine path (maintained answers are O(1) reads and always
+    exact — a deadline never degrades them): exact when the cost model
+    predicts it fits, an approximate ``(estimate, epsilon, delta)``
+    answer otherwise.  The deadline covers queue wait too — shards
+    shrink the engine budget by the time a request already spent
+    waiting (see :meth:`SessionShard.engine_job`).
+    """
 
     query: ConjunctiveQuery
     database: str
@@ -74,6 +83,8 @@ class CountRequest:
     max_degree: float = math.inf
     hybrid_width: int = 2
     label: Optional[str] = None
+    deadline_ms: Optional[float] = None
+    error_budget: Optional[float] = None
 
 
 @dataclass
@@ -295,6 +306,8 @@ def job_from_spec(spec: dict, where: str = "<stream>") -> SessionJob:
             )
         if op == "count":
             max_degree = spec.get("max_degree")
+            deadline_ms = spec.get("deadline_ms")
+            error_budget = spec.get("error_budget")
             return CountRequest(
                 query=parse_query(spec["query"]),
                 database=spec["database"],
@@ -304,6 +317,10 @@ def job_from_spec(spec: dict, where: str = "<stream>") -> SessionJob:
                             else float(max_degree)),
                 hybrid_width=int(spec.get("hybrid_width", 2)),
                 label=label,
+                deadline_ms=(None if deadline_ms is None
+                             else float(deadline_ms)),
+                error_budget=(None if error_budget is None
+                              else float(error_budget)),
             )
         if op in ("insert", "delete"):
             row = tuple(_freeze(value) for value in spec["row"])
@@ -361,6 +378,10 @@ def dump_stream(path: str, jobs: Sequence[SessionJob]) -> None:
                         "hybrid_width": job.hybrid_width}
                 if not math.isinf(job.max_degree):
                     spec["max_degree"] = job.max_degree
+                if job.deadline_ms is not None:
+                    spec["deadline_ms"] = job.deadline_ms
+                if job.error_budget is not None:
+                    spec["error_budget"] = job.error_budget
             elif isinstance(job, UpdateRequest):
                 spec = {
                     "op": ("insert" if isinstance(job.update, Insert)

@@ -27,6 +27,7 @@ guarantee).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..counting.engine import CountResult
@@ -275,7 +276,22 @@ class SessionShard:
     def engine_job(self, request) -> CountJob:
         """*request* as a :class:`CountJob` bound to the database version
         current right now — later updates create new versions and can
-        never leak into an already-submitted count."""
+        never leak into an already-submitted count.
+
+        A deadline covers the whole request, not just engine time:
+        requests stamped with ``submitted_at`` (a ``time.monotonic()``
+        reading taken by :meth:`MultiWriterSession.submit`) have their
+        engine budget shrunk by the time already spent queued behind
+        the shard — clamped to 1ms, so a request that waited out its
+        whole deadline still gets the fastest possible (approximate)
+        answer instead of an unbounded exact run.
+        """
+        deadline_ms = getattr(request, "deadline_ms", None)
+        if deadline_ms is not None:
+            submitted_at = getattr(request, "submitted_at", None)
+            if submitted_at is not None:
+                waited_ms = (time.monotonic() - submitted_at) * 1e3
+                deadline_ms = max(deadline_ms - waited_ms, 1.0)
         return CountJob(
             query=request.query,
             database=self.database(request.database),
@@ -284,6 +300,8 @@ class SessionShard:
             max_degree=request.max_degree,
             hybrid_width=request.hybrid_width,
             label=request.label,
+            deadline_ms=deadline_ms,
+            error_budget=getattr(request, "error_budget", None),
         )
 
     def route_count(self, request) -> Tuple[Optional[CountResult],

@@ -170,6 +170,8 @@ def session_stream_jobs(n_shapes: int = 4, rounds: int = 10,
                         seed: Optional[int] = None,
                         updates_per_round: int = 2,
                         name_prefix: str = "",
+                        deadline_ms: Optional[float] = None,
+                        error_budget: Optional[float] = None,
                         **instance_kwargs) -> List[SessionJob]:
     """An interleaved session stream over *n_shapes* named databases.
 
@@ -184,6 +186,11 @@ def session_stream_jobs(n_shapes: int = 4, rounds: int = 10,
     this way (``w0-db0``, ``w1-db0``, ...).  A ``shape_mix=`` keyword
     (one of :data:`SHAPE_MIXES`) selects which maintenance path the
     stream exercises; see :func:`session_shape_instances`.
+
+    *deadline_ms* / *error_budget* stamp every count request in the
+    stream, making it deadline-aware traffic: shapes the engine can
+    answer exactly within budget stay exact, the rest degrade to the
+    approximate tier (see ``repro.counting.engine.count_answers``).
     """
     rng = random.Random(seed)
     shapes = session_shape_instances(
@@ -227,6 +234,7 @@ def session_stream_jobs(n_shapes: int = 4, rounds: int = 10,
             jobs.append(CountRequest(
                 query=variant, database=name,
                 label=f"shape{index}/round{round_index}",
+                deadline_ms=deadline_ms, error_budget=error_budget,
             ))
     return jobs
 
@@ -257,10 +265,18 @@ def _main(argv=None) -> int:  # pragma: no cover - thin CLI wrapper
                         help="number of named databases")
     parser.add_argument("--rounds", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="stamp every count with this deadline "
+                             "(deadline-aware traffic)")
+    parser.add_argument("--error-budget", type=float, default=None,
+                        help="relative error budget for deadline-degraded "
+                             "counts (default 0.05 when a deadline is set)")
     args = parser.parse_args(argv)
     jobs = write_session_stream(args.output, n_shapes=args.n_shapes,
                                 rounds=args.rounds, seed=args.seed,
-                                shape_mix=args.shapes)
+                                shape_mix=args.shapes,
+                                deadline_ms=args.deadline_ms,
+                                error_budget=args.error_budget)
     print(f"wrote {len(jobs)} stream jobs over {args.n_shapes} "
           f"{args.shapes} shapes -> {args.output}")
     return 0

@@ -54,6 +54,10 @@ class TestMonteCarlo:
         assert estimate.estimate == 0.0
         assert estimate.space_size == 0
         assert estimate.samples == 0
+        # The shortcut reports itself as exact: no sampled interval is
+        # being claimed at the caller's confidence.
+        assert estimate.exact
+        assert estimate.half_width == 0.0
 
     def test_unsatisfiable_query_estimates_zero(self):
         # Candidate space nonempty (per-variable pruning cannot see the
@@ -63,6 +67,9 @@ class TestMonteCarlo:
         estimate = monte_carlo_count(query, database, samples=10, seed=0)
         assert estimate.estimate == 0.0
         assert estimate.hits == 0
+        # A sampled zero is NOT exact: the estimator cannot tell an
+        # unsatisfiable query from a sparse one.
+        assert not estimate.exact
 
     def test_boolean_query_shortcut(self):
         query = parse_query("ans() :- r(A, B)")
@@ -70,6 +77,13 @@ class TestMonteCarlo:
         estimate = monte_carlo_count(query, database, samples=5)
         assert estimate.estimate == 1.0
         assert estimate.samples == 1
+        assert estimate.exact
+        assert estimate.half_width == 0.0
+
+    def test_sampled_run_is_not_exact(self):
+        estimate = monte_carlo_count(PATH, PATH_DB, samples=100, seed=0)
+        assert not estimate.exact
+        assert estimate.half_width > 0.0
 
     def test_interval_clamped_to_space(self):
         estimate = monte_carlo_count(PATH, PATH_DB, samples=10, seed=0)
@@ -121,6 +135,13 @@ class TestKarpLuby:
         estimate = karp_luby_union_count(union, database, samples=10, seed=0)
         assert estimate.estimate == 0.0
         assert estimate.samples == 0
+        assert estimate.exact
+        assert estimate.half_width == 0.0
+
+    def test_sampled_union_is_not_exact(self):
+        estimate = karp_luby_union_count(self.UNION, self.DATABASE,
+                                         samples=100, seed=0)
+        assert not estimate.exact
 
     def test_identical_disjuncts_halve_hit_rate(self):
         union = parse_ucq("ans(A) :- r(A, B) ; ans(A) :- r(A, C)")
@@ -141,3 +162,45 @@ class TestKarpLuby:
         second = karp_luby_union_count(self.UNION, self.DATABASE,
                                        samples=200, seed=5)
         assert first == second
+
+
+class TestStatisticalCoverage:
+    """The stated (epsilon, delta) contract, measured empirically.
+
+    Over many independent seeded runs, the fraction of runs whose
+    Hoeffding interval misses the exact count must not exceed
+    ``delta = 1 - confidence`` (plus slack for the finite trial count).
+    Hoeffding is conservative, so observed violation rates are
+    typically far below delta — the assertion guards against any
+    regression that misstates the interval (e.g. scaling epsilon by
+    the wrong space size, or shortcuts claiming sampled confidence).
+    """
+
+    def test_monte_carlo_interval_coverage(self):
+        true = count_brute_force(PATH, PATH_DB)
+        confidence = 0.95
+        trials, violations = 150, 0
+        for seed in range(150):
+            estimate = monte_carlo_count(PATH, PATH_DB, samples=60,
+                                         confidence=confidence, seed=seed)
+            assert not estimate.exact
+            if not estimate.covers(true):
+                violations += 1
+        # delta = 0.05; allow generous slack for 150 trials (the
+        # binomial 99.9th percentile at p=0.05 is ~16 violations).
+        assert violations <= 16, (
+            f"{violations}/{trials} intervals missed the exact count "
+            f"{true} — the stated 95% confidence is being violated"
+        )
+
+    def test_karp_luby_interval_coverage(self):
+        true = count_union_brute_force(TestKarpLuby.UNION,
+                                       TestKarpLuby.DATABASE)
+        violations = sum(
+            not karp_luby_union_count(
+                TestKarpLuby.UNION, TestKarpLuby.DATABASE,
+                samples=60, confidence=0.95, seed=seed,
+            ).covers(true)
+            for seed in range(150)
+        )
+        assert violations <= 16

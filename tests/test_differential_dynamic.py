@@ -420,3 +420,99 @@ class TestDifferentialReducedMaintenance:
         counts = [r.count for r in results if hasattr(r, "count")]
         assert counts == expected
         assert stats["reduced_counts"] > 0
+
+
+# ----------------------------------------------------------------------
+# Approx leg (deadline-aware serving): the estimate's stated honesty
+# interval must contain the exact count at every replay step
+# ----------------------------------------------------------------------
+class TestDifferentialApproxLeg:
+    """Widen the harness with an approximate path: at every step of a
+    random update stream, the approx tier's ``(estimate, epsilon,
+    delta)`` answer is checked against the exact recount — the exact
+    count must lie within the stated epsilon (deterministic seeds make
+    this a fixed outcome, not a flaky statistical one) — and all shard
+    modes must produce bit-identical estimates."""
+
+    def _approx_stream(self, seed: int, steps: int = 8):
+        rng = random.Random(seed)
+        database = random_database3(rng)
+        jobs, expected = [], []
+        current = database
+        for _ in range(steps):
+            update = random_update3(rng, current)
+            current = apply_update(current, update)
+            jobs.append(UpdateRequest("main", update))
+            for query in REDUCED_SHAPES:
+                variant = random_renaming(query,
+                                          seed=rng.randrange(2 ** 30))
+                jobs.append(CountRequest(variant, "main", method="approx",
+                                         error_budget=0.05))
+                expected.append(count_answers(query, current).count)
+        return database, jobs, expected
+
+    @pytest.mark.parametrize("shard_mode", ["inline", "thread", "process"])
+    def test_approx_within_stated_epsilon_every_step(self, shard_mode):
+        database, jobs, expected = self._approx_stream(seed=17)
+        with MultiWriterSession(databases={"main": database}, shards=2,
+                                shard_mode=shard_mode,
+                                maintain=False) as session:
+            results = session.run_stream(jobs)
+        counted = [r for r in results if hasattr(r, "count")]
+        assert len(counted) == len(expected)
+        for step, (result, exact) in enumerate(zip(counted, expected)):
+            assert result.strategy == "approx"
+            details = result.details
+            assert details["method"] == "approx"
+            assert abs(details["estimate"] - exact) <= details["epsilon"], (
+                f"step {step}: estimate {details['estimate']} misses exact "
+                f"{exact} by more than epsilon {details['epsilon']}"
+            )
+
+    def test_shard_modes_agree_bit_for_bit(self):
+        """Deterministic seeds: inline, thread, and process shards give
+        identical estimates for identical streams."""
+        outcomes = {}
+        for shard_mode in ("inline", "thread", "process"):
+            database, jobs, _ = self._approx_stream(seed=23, steps=5)
+            with MultiWriterSession(databases={"main": database}, shards=2,
+                                    shard_mode=shard_mode,
+                                    maintain=False) as session:
+                results = session.run_stream(jobs)
+            outcomes[shard_mode] = [
+                (r.count, r.details["estimate"], r.details["samples"])
+                for r in results if hasattr(r, "count")
+            ]
+        assert outcomes["inline"] == outcomes["thread"] == \
+            outcomes["process"]
+
+    def test_deadline_degrades_heavy_not_cheap(self):
+        """A replayed stream mixing a heavy shape (deadline-degraded to
+        approx) and a cheap one (stays exact) — the degradation is
+        per-request honesty, never a blanket downgrade."""
+        heavy = Database.from_dict({
+            "r": [(i, (i * 7) % 500) for i in range(500)],
+            "s": [(i, (i * 11) % 500) for i in range(500)],
+            "t": [(i, (i * 13) % 500) for i in range(500)],
+        })
+        cheap_q = parse_query("ans(A, B) :- r(A, B)")
+        current = heavy
+        with MultiWriterSession(databases={"h": heavy}, shards=1,
+                                shard_mode="inline",
+                                maintain=False) as session:
+            for step in range(4):
+                update = Insert("r", (1000 + step, step))
+                current = apply_update(current, update)
+                session.submit(UpdateRequest("h", update)).result()
+                degraded = session.submit(CountRequest(
+                    TRIANGLE, "h", deadline_ms=50.0,
+                )).result()
+                exact = count_answers(TRIANGLE, current).count
+                assert degraded.strategy == "approx"
+                assert abs(degraded.details["estimate"] - exact) <= \
+                    degraded.details["epsilon"]
+                kept = session.submit(CountRequest(
+                    cheap_q, "h", deadline_ms=50.0,
+                )).result()
+                assert kept.strategy != "approx"
+                assert kept.count == len(current["r"].rows)

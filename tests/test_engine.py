@@ -82,5 +82,5 @@ class TestForcedStrategies:
     def test_strategies_constant_complete(self):
         assert STRATEGIES == (
             "compiled", "acyclic", "structural", "hybrid", "degree",
-            "brute_force",
+            "brute_force", "approx",
         )

@@ -426,10 +426,14 @@ class TestMaintainerBudget:
         pool.close()
 
     def test_budget_env_parsing(self, monkeypatch):
+        from repro.envknobs import reset_env_warnings
+
+        reset_env_warnings()
         monkeypatch.setenv(MAINTAINER_BUDGET_ENV, "0.5")
         assert maintainer_budget_from_env() == 512 * 1024
         monkeypatch.setenv(MAINTAINER_BUDGET_ENV, "junk")
-        assert maintainer_budget_from_env() is None
+        with pytest.warns(RuntimeWarning, match=MAINTAINER_BUDGET_ENV):
+            assert maintainer_budget_from_env() is None
         monkeypatch.delenv(MAINTAINER_BUDGET_ENV)
         assert maintainer_budget_from_env() is None
 

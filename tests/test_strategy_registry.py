@@ -170,9 +170,9 @@ class TestCustomStrategies:
     def test_builtin_strategy_constant(self):
         assert STRATEGIES == (
             "compiled", "acyclic", "structural", "hybrid", "degree",
-            "brute_force",
+            "brute_force", "approx",
         )
-        assert tuple(registered_strategies()[:6]) == STRATEGIES
+        assert tuple(registered_strategies()[:7]) == STRATEGIES
 
     def test_context_statistics(self):
         q = parse_query("ans(A) :- r(A, B), s(B, C)")
