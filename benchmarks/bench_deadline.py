@@ -27,8 +27,6 @@ Standalone usage (CI artifact)::
 
 from __future__ import annotations
 
-import contextlib
-import os
 import random
 import time
 
@@ -36,13 +34,16 @@ from repro.counting.engine import count_answers
 from repro.db.database import Database
 from repro.dynamic import Insert
 from repro.dynamic.maintainer import MAINTAINER_BUDGET_ENV
+from repro.envknobs import isolated_repro_env
 from repro.query.parser import parse_query
 from repro.service import (
     SESSION_SHARDS_ENV,
+    SHARD_MODE_ENV,
     CountRequest,
     MultiWriterSession,
     UpdateRequest,
 )
+from repro.service.net import SHARD_ADDRS_ENV
 
 #: Per-request deadline.  The heavy instance below counts exactly in
 #: roughly 2x this on the reference machine — a genuine miss with
@@ -62,19 +63,14 @@ TRIANGLE = parse_query("ans(A, B, C) :- r(A, B), s(B, C), t(C, A)")
 CHEAP = parse_query("ans(A, B) :- e(A, B)")
 
 
-@contextlib.contextmanager
 def _isolated_from_configured_session_env():
     """Run measurements without the CI leg's suite-wide session knobs."""
-    saved = {
-        name: os.environ.pop(name, None)
-        for name in (MAINTAINER_BUDGET_ENV, SESSION_SHARDS_ENV)
-    }
-    try:
-        yield
-    finally:
-        for name, value in saved.items():
-            if value is not None:
-                os.environ[name] = value
+    return isolated_repro_env(**{
+        MAINTAINER_BUDGET_ENV: None,
+        SESSION_SHARDS_ENV: None,
+        SHARD_MODE_ENV: None,
+        SHARD_ADDRS_ENV: None,
+    })
 
 
 def heavy_database() -> Database:

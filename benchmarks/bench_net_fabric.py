@@ -1,0 +1,390 @@
+"""Networked shard fabric benchmark: TCP scale-out, handoff, chaos.
+
+The acceptance bars of ISSUE 8, asserted here and recorded into
+``BENCH_kernel.json`` by ``run_all.py``:
+
+* **TCP 2-shard multi-writer >= 1.0x the single-writer session on
+  localhost** — the same fixed-budget star workload as
+  ``bench_shards.py``, but the sharded side runs against two *real*
+  ``python -m repro shardserver`` subprocesses over TCP: four
+  maintained star databases, every worker holding a maintainer byte
+  budget that fits two of the four DPs.  The single-writer round-robin
+  LRU-thrashes its budget (every read restores a checkpoint); each TCP
+  shard's two-database slice stays resident.  The bar says the fabric's
+  framing/RTT overhead must not eat that win: >= 1.0x on the same jobs,
+  counts bit-identical, and it holds on a single-core host.
+* **graceful handoff pauses a database for a bounded window** — a
+  :class:`~repro.service.net.ShardDirectory` moves a live maintained
+  database between two shard servers mid-stream.  No job is lost or
+  doubled (counts match the from-scratch oracle) and the
+  checkpoint-ship-restore pause stays under
+  :data:`HANDOFF_PAUSE_BOUND_S`.
+* **``--chaos``: exactly-once under an adversarial proxy** (flag /
+  dedicated CI step, not part of the default snapshot) — the TCP
+  session runs through :class:`~repro.service.net.FaultyTransport`
+  proxies that drop, duplicate, corrupt, and delay frames; every count
+  must still match the inline oracle bit-for-bit, and the proxy must
+  certify it actually injected faults.
+
+Standalone usage (CI artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_net_fabric.py -o bench-net.json
+    PYTHONPATH=src python benchmarks/bench_net_fabric.py --chaos
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.db.database import Database
+from repro.dynamic import Insert
+from repro.dynamic.maintainer import MAINTAINER_BUDGET_ENV
+from repro.envknobs import isolated_repro_env
+from repro.query.parser import parse_query
+from repro.service import (
+    SESSION_SHARDS_ENV,
+    SHARD_MODE_ENV,
+    AttachDatabase,
+    CountRequest,
+    CountingSession,
+    MultiWriterSession,
+    UpdateRequest,
+)
+from repro.service.net import (
+    NET_RETRIES_ENV,
+    NET_TIMEOUT_ENV,
+    SHARD_ADDRS_ENV,
+    FaultPlan,
+    FaultyTransport,
+    ShardDirectory,
+    spawn_shard_server,
+)
+
+N_DATABASES = 4
+N_SHARDS = 2
+DB_NAMES = tuple(f"star{index}" for index in range(N_DATABASES))
+
+BRANCHES = 5
+HUB = 40
+ROWS = 3000
+ROUNDS = 24
+QUERY = parse_query(
+    "ans(A, " + ", ".join(f"B{i}" for i in range(BRANCHES)) + ") :- "
+    + "hub(A), "
+    + ", ".join(f"r{i}(A, B{i})" for i in range(BRANCHES))
+)
+#: Fits two of the four star DPs, not three (same budget geometry as
+#: ``bench_shards.py``): the single-writer round-robin thrashes, each
+#: TCP shard's two-database slice stays resident.
+BUDGET_BYTES = int(4.4 * 1024 * 1024)
+
+#: Graceful-handoff pause budget (checkpoint + ship + restore of one
+#: live maintained star database over localhost).
+HANDOFF_PAUSE_BOUND_S = 2.0
+
+#: Chaos sizing: smaller stream — every fault costs a retry round-trip.
+CHAOS_ROUNDS = 8
+CHAOS_PLAN = FaultPlan(drop_every=13, duplicate_every=11,
+                       corrupt_every=17, delay_every=19, delay_ms=2.0)
+
+#: Env pins for every measurement: no CI-leg budget/shard/net knob may
+#: leak into sessions that pin their own.
+_ISOLATION_PINS = {
+    MAINTAINER_BUDGET_ENV: None,
+    SESSION_SHARDS_ENV: None,
+    SHARD_MODE_ENV: None,
+    SHARD_ADDRS_ENV: None,
+    NET_TIMEOUT_ENV: None,
+    NET_RETRIES_ENV: None,
+}
+
+
+def star_database(shift: int, rows: int = ROWS) -> Database:
+    relations = {"hub": [(a,) for a in range(HUB)]}
+    for branch in range(BRANCHES):
+        relations[f"r{branch}"] = [
+            (i % HUB, (i * (7 + branch) + shift) % rows)
+            for i in range(rows)
+        ]
+    return Database.from_dict(relations)
+
+
+def writer_streams(rows: int = ROWS, rounds: int = ROUNDS):
+    streams = []
+    for index, name in enumerate(DB_NAMES):
+        jobs = [AttachDatabase(name, star_database(index, rows))]
+        for round_index in range(rounds):
+            jobs.append(UpdateRequest(name, Insert(
+                f"r{round_index % BRANCHES}",
+                (round_index % HUB, rows + round_index),
+            )))
+            jobs.append(CountRequest(QUERY, name, label=name))
+        streams.append(jobs)
+    return streams
+
+
+def round_robin(streams):
+    """The single-writer order: one global stream drawing from the
+    writers in rotation (the exact jobs the TCP session executes)."""
+    interleaved = []
+    cursors = [0] * len(streams)
+    while any(cursor < len(stream)
+              for cursor, stream in zip(cursors, streams)):
+        for index, stream in enumerate(streams):
+            if cursors[index] < len(stream):
+                interleaved.append(stream[cursors[index]])
+                cursors[index] += 1
+    return interleaved
+
+
+def stream_counts(jobs, results, names):
+    """Per-database count sequences out of one interleaved result list."""
+    per_database = {name: [] for name in names}
+    for job, result in zip(jobs, results):
+        if hasattr(result, "count"):
+            per_database[job.database].append(result.count)
+    return [per_database[name] for name in names]
+
+
+# ----------------------------------------------------------------------
+# Part 1: TCP 2-shard multi-writer vs the single-writer session
+# ----------------------------------------------------------------------
+def measure_tcp() -> dict:
+    with isolated_repro_env(**_ISOLATION_PINS):
+        streams = writer_streams()
+        interleaved = round_robin(streams)
+
+        started = time.perf_counter()
+        with CountingSession(
+                maintainer_budget_bytes=BUDGET_BYTES) as single:
+            single_results = single.run_stream(interleaved)
+            single_stats = single.stats()
+        single_seconds = time.perf_counter() - started
+        expected = stream_counts(interleaved, single_results, DB_NAMES)
+
+        with spawn_shard_server() as first, spawn_shard_server() as second:
+            started = time.perf_counter()
+            with MultiWriterSession(
+                    shards=N_SHARDS, shard_mode="tcp",
+                    shard_addrs=[first.address, second.address],
+                    maintainer_budget_bytes=BUDGET_BYTES) as sharded:
+                outcomes = sharded.run_streams(streams)
+                sharded_stats = sharded.stats()
+            tcp_seconds = time.perf_counter() - started
+    observed = [
+        [result.count for result in outcome if hasattr(result, "count")]
+        for outcome in outcomes
+    ]
+    assert observed == expected, "TCP counts diverge from single-writer"
+    speedup = round(single_seconds / max(tcp_seconds, 1e-9), 2)
+    return {
+        "net_workload": f"{N_DATABASES} writers x {ROUNDS} update/count "
+                        f"rounds over {BRANCHES}-branch stars "
+                        f"({ROWS} rows/branch), {BUDGET_BYTES} B budget "
+                        f"per worker, 2 shardserver subprocesses",
+        "net_single_writer_seconds": round(single_seconds, 4),
+        "net_single_writer_restores":
+            single_stats["maintainers"]["restored"],
+        "net_tcp_seconds": round(tcp_seconds, 4),
+        "net_shard_addrs": sharded_stats["shard_addrs"],
+        "net_speedup": speedup,
+        "meets_net_1x_bar": speedup >= 1.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Part 2: graceful handoff under a bounded pause
+# ----------------------------------------------------------------------
+def measure_handoff() -> dict:
+    database_name = "moving"
+    rounds = 12
+
+    def jobs_for(round_index: int):
+        return [
+            UpdateRequest(database_name, Insert(
+                f"r{round_index % BRANCHES}",
+                (round_index % HUB, ROWS + round_index),
+            )),
+            CountRequest(QUERY, database_name, label=database_name),
+        ]
+
+    with isolated_repro_env(**_ISOLATION_PINS):
+        # From-scratch oracle for the full stream.
+        with CountingSession() as oracle:
+            oracle.run_stream([AttachDatabase(database_name,
+                                              star_database(0))])
+            expected = [
+                result.count
+                for round_index in range(rounds)
+                for result in oracle.run_stream(jobs_for(round_index))
+                if hasattr(result, "count")
+            ]
+
+        with spawn_shard_server() as first, spawn_shard_server() as second:
+            with ShardDirectory([first.address, second.address]) as fabric:
+                fabric.run_stream([AttachDatabase(database_name,
+                                                  star_database(0))])
+                observed = []
+                move = None
+                for round_index in range(rounds):
+                    if round_index == rounds // 2:
+                        source = fabric.assignment()[database_name]
+                        target = (second.address
+                                  if source == first.address
+                                  else first.address)
+                        move = fabric.handoff(database_name, target)
+                    observed.extend(
+                        result.count
+                        for result in fabric.run_stream(
+                            jobs_for(round_index))
+                        if hasattr(result, "count")
+                    )
+                stats = fabric.stats()
+    assert move is not None and move["moved"], "handoff did not move"
+    correct = observed == expected
+    return {
+        "handoff_workload": f"{rounds} update/count rounds on one live "
+                            f"maintained star, moved between two "
+                            f"shardservers at the midpoint",
+        "handoff_paused_s": round(move["paused_s"], 4),
+        "handoff_shipped_tuples": move["total_tuples"],
+        "handoff_correct": correct,
+        "handoffs": stats["handoffs"],
+        "meets_handoff_bar": (correct
+                              and move["paused_s"]
+                              <= HANDOFF_PAUSE_BOUND_S),
+    }
+
+
+# ----------------------------------------------------------------------
+# Part 3 (--chaos): exactly-once through an adversarial proxy
+# ----------------------------------------------------------------------
+def measure_chaos() -> dict:
+    pins = dict(_ISOLATION_PINS)
+    # Short timeouts + deep retry budget: dropped frames are *detected*
+    # quickly and retried (same request id — the server dedups), so the
+    # run terminates fast without ever double-executing a job.
+    pins[NET_TIMEOUT_ENV] = "1000"
+    pins[NET_RETRIES_ENV] = "10"
+    with isolated_repro_env(**pins):
+        streams = writer_streams(rounds=CHAOS_ROUNDS)
+        interleaved = round_robin(streams)
+
+        with CountingSession() as oracle:
+            expected = stream_counts(
+                interleaved, oracle.run_stream(interleaved), DB_NAMES
+            )
+
+        started = time.perf_counter()
+        with spawn_shard_server() as first, spawn_shard_server() as second:
+            with FaultyTransport(first.address, CHAOS_PLAN) as noisy_a, \
+                    FaultyTransport(second.address, CHAOS_PLAN) as noisy_b:
+                with MultiWriterSession(
+                        shards=N_SHARDS, shard_mode="tcp",
+                        shard_addrs=[noisy_a.address, noisy_b.address],
+                        ) as sharded:
+                    outcomes = sharded.run_streams(streams)
+                faults = {
+                    kind: noisy_a.counters[kind] + noisy_b.counters[kind]
+                    for kind in ("dropped", "duplicated", "corrupted",
+                                 "delayed", "forwarded")
+                }
+        chaos_seconds = time.perf_counter() - started
+    observed = [
+        [result.count for result in outcome if hasattr(result, "count")]
+        for outcome in outcomes
+    ]
+    correct = observed == expected
+    injected = sum(faults[kind] for kind in
+                   ("dropped", "duplicated", "corrupted")) >= 1
+    return {
+        "chaos_workload": f"{N_DATABASES} writers x {CHAOS_ROUNDS} "
+                          f"update/count rounds through FaultyTransport "
+                          f"(drop/dup/corrupt/delay every "
+                          f"{CHAOS_PLAN.drop_every}/"
+                          f"{CHAOS_PLAN.duplicate_every}/"
+                          f"{CHAOS_PLAN.corrupt_every}/"
+                          f"{CHAOS_PLAN.delay_every} frames)",
+        "chaos_seconds": round(chaos_seconds, 4),
+        "chaos_faults": faults,
+        "chaos_correct": correct,
+        "meets_chaos_bar": correct and injected,
+    }
+
+
+def snapshot(chaos: bool = False) -> dict:
+    """The benchmark's JSON snapshot (merged into ``BENCH_kernel.json``).
+
+    The chaos section is opt-in (``--chaos`` / the dedicated CI step):
+    it multiplies the stream's wall-clock by the injected fault rate, so
+    the default snapshot keeps the two timing bars tight.
+    """
+    result = measure_tcp()
+    result.update(measure_handoff())
+    if chaos:
+        result.update(measure_chaos())
+    return result
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (run by the CI net leg)
+# ----------------------------------------------------------------------
+def test_tcp_session_at_least_1x_single_writer():
+    """ISSUE 8 bar: TCP 2-shard multi-writer >= 1.0x the single-writer
+    session on localhost, counts bit-identical."""
+    outcome = measure_tcp()
+    assert outcome["meets_net_1x_bar"], (
+        f"TCP session {outcome['net_tcp_seconds']}s slower than "
+        f"single-writer {outcome['net_single_writer_seconds']}s "
+        f"({outcome['net_speedup']}x)"
+    )
+
+
+def test_graceful_handoff_pause_is_bounded():
+    """ISSUE 8 bar: a mid-stream handoff loses nothing and pauses the
+    database under the bound."""
+    outcome = measure_handoff()
+    assert outcome["handoff_correct"], "handoff lost or doubled a job"
+    assert outcome["handoff_paused_s"] <= HANDOFF_PAUSE_BOUND_S, (
+        f"handoff paused {outcome['handoff_paused_s']}s, over the "
+        f"{HANDOFF_PAUSE_BOUND_S}s bound"
+    )
+
+
+def test_chaos_replay_is_exactly_once():
+    """ISSUE 8 satellite: drop/dup/corrupt/delay faults cost retries,
+    never correctness."""
+    outcome = measure_chaos()
+    assert outcome["meets_chaos_bar"], (
+        f"chaos run broke exactly-once: {outcome}"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - CI artifact entry point
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="bench-net.json")
+    parser.add_argument("--chaos", action="store_true",
+                        help="also run the fault-injection section")
+    args = parser.parse_args()
+    result = snapshot(chaos=args.chaos)
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+    failed = []
+    if not result["meets_net_1x_bar"]:
+        failed.append("TCP 2-shard session is not >= 1.0x the "
+                      "single writer")
+    if not result["meets_handoff_bar"]:
+        failed.append("graceful handoff lost a job or overran its "
+                      "pause bound")
+    if args.chaos and not result["meets_chaos_bar"]:
+        failed.append("chaos run broke exactly-once delivery")
+    for message in failed:
+        print(f"FAILED: {message}", file=sys.stderr)
+    if failed:
+        sys.exit(1)

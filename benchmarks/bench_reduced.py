@@ -31,22 +31,23 @@ Standalone usage (CI artifact)::
 
 from __future__ import annotations
 
-import contextlib
-import os
 import time
 
 from repro.counting.engine import count_answers
-from repro.counting.plan_cache import PLAN_CACHE_DIR_ENV, set_default_plan_cache
+from repro.counting.plan_cache import PLAN_CACHE_DIR_ENV
 from repro.db.database import Database
 from repro.dynamic import Insert, apply_update
 from repro.dynamic.maintainer import MAINTAINER_BUDGET_ENV
+from repro.envknobs import isolated_repro_env
 from repro.query.parser import parse_query
 from repro.service import (
     SESSION_SHARDS_ENV,
+    SHARD_MODE_ENV,
     CountRequest,
     CountingSession,
     UpdateRequest,
 )
+from repro.service.net import SHARD_ADDRS_ENV
 
 #: Quantified star: the C tails are existential, so the direct DP
 #: refuses the shape and every maintained count rides the reduction.
@@ -72,33 +73,24 @@ TRI_NODES = 60
 TRI_EDGES = 500
 
 
-@contextlib.contextmanager
 def _isolated_from_configured_env():
     """Run measurements without CI's suite-wide session/cache knobs.
 
     The CI legs set tiny ``REPRO_MAINTAINER_BUDGET_MB`` values and a
     shared ``REPRO_PLAN_CACHE_DIR`` suite-wide; this benchmark pins its
     own budgets and must not share (or wipe) a suite-wide spill
-    directory, so the variables are held back for the measurement.
+    directory.  ``isolated_repro_env`` holds the variables back and
+    parks the process-global default cache (which may already be the CI
+    leg's shared ``PersistentPlanCache``) so the measurement neither
+    reads nor writes the suite-wide spill directory.
     """
-    saved = {
-        name: os.environ.pop(name, None)
-        for name in (MAINTAINER_BUDGET_ENV, SESSION_SHARDS_ENV,
-                     PLAN_CACHE_DIR_ENV)
-    }
-    # The process-global default cache may already be the CI leg's
-    # shared PersistentPlanCache (an earlier snapshot section touched
-    # it); dropping it here makes the lazy re-creation honor the popped
-    # environment, so the measurement neither reads nor writes the
-    # suite-wide spill directory.
-    set_default_plan_cache(None)
-    try:
-        yield
-    finally:
-        for name, value in saved.items():
-            if value is not None:
-                os.environ[name] = value
-        set_default_plan_cache(None)  # back to lazy, env-honoring creation
+    return isolated_repro_env(**{
+        MAINTAINER_BUDGET_ENV: None,
+        SESSION_SHARDS_ENV: None,
+        PLAN_CACHE_DIR_ENV: None,
+        SHARD_MODE_ENV: None,
+        SHARD_ADDRS_ENV: None,
+    })
 
 
 def quantified_database(shift: int = 0, rows: int = STAR_ROWS) -> Database:

@@ -27,8 +27,6 @@ Standalone usage (CI artifact)::
 
 from __future__ import annotations
 
-import contextlib
-import os
 import shutil
 import tempfile
 import time
@@ -41,6 +39,7 @@ from repro.counting.plan_cache import (
 )
 from repro.db.database import Database
 from repro.dynamic import Insert, apply_update
+from repro.envknobs import isolated_repro_env
 from repro.query.parser import parse_query
 from repro.service import (
     CountRequest,
@@ -112,21 +111,17 @@ def _drop_parent_memos() -> None:
     clear_space_memo()
 
 
-@contextlib.contextmanager
 def _isolated_from_configured_cache():
     """Run a measurement without ``$REPRO_PLAN_CACHE_DIR`` interference.
 
     CI's persistent-cache leg sets the variable suite-wide; inside it,
     ``cache_dir=None`` would silently resolve to the shared directory
     and the "cold" measurements would neither be cold nor isolated.
+    ``isolated_repro_env`` also parks the process default plan cache
+    for the duration, so a suite-wide persistent cache is neither read
+    nor replaced by the measurement's throwaway caches.
     """
-    saved = os.environ.pop(PLAN_CACHE_DIR_ENV, None)
-    try:
-        yield
-    finally:
-        if saved is not None:
-            os.environ[PLAN_CACHE_DIR_ENV] = saved
-        set_default_plan_cache(None)  # back to lazy, env-honoring creation
+    return isolated_repro_env(**{PLAN_CACHE_DIR_ENV: None})
 
 
 def measure_pools() -> dict:

@@ -28,16 +28,16 @@ Standalone usage (CI artifact)::
 
 from __future__ import annotations
 
-import contextlib
-import os
 import time
 
 from repro.db.database import Database
 from repro.dynamic import Insert
 from repro.dynamic.maintainer import MAINTAINER_BUDGET_ENV
+from repro.envknobs import isolated_repro_env
 from repro.query.parser import parse_query
 from repro.service import (
     SESSION_SHARDS_ENV,
+    SHARD_MODE_ENV,
     AttachDatabase,
     CountRequest,
     CountingSession,
@@ -45,6 +45,7 @@ from repro.service import (
     SessionRouter,
     UpdateRequest,
 )
+from repro.service.net import SHARD_ADDRS_ENV
 
 N_DATABASES = 4
 N_SHARDS = 2
@@ -72,24 +73,21 @@ SPILL_ROWS = 400
 SPILL_ROUNDS = 6
 
 
-@contextlib.contextmanager
 def _isolated_from_configured_session_env():
     """Run measurements without the CI leg's suite-wide session knobs.
 
     The sharded CI leg sets a tiny ``REPRO_MAINTAINER_BUDGET_MB`` (and
-    ``REPRO_SESSION_SHARDS``) for the whole suite; this benchmark pins
-    its own budgets, so the env must not leak into its sessions.
+    ``REPRO_SESSION_SHARDS``) for the whole suite, and the net leg
+    routes sessions to TCP shard servers via ``REPRO_SHARD_MODE`` /
+    ``REPRO_SHARD_ADDRS``; this benchmark pins its own budgets and
+    shard modes, so none of that may leak into its sessions.
     """
-    saved = {
-        name: os.environ.pop(name, None)
-        for name in (MAINTAINER_BUDGET_ENV, SESSION_SHARDS_ENV)
-    }
-    try:
-        yield
-    finally:
-        for name, value in saved.items():
-            if value is not None:
-                os.environ[name] = value
+    return isolated_repro_env(**{
+        MAINTAINER_BUDGET_ENV: None,
+        SESSION_SHARDS_ENV: None,
+        SHARD_MODE_ENV: None,
+        SHARD_ADDRS_ENV: None,
+    })
 
 
 def star_database(shift: int, rows: int = ROWS) -> Database:

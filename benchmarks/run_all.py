@@ -117,6 +117,15 @@ def compiled_snapshot() -> dict:
     return _load_bench_module("bench_compiled").snapshot()
 
 
+def net_snapshot() -> dict:
+    """The networked-shard-fabric numbers (bench_net_fabric): TCP
+    2-shard session vs single-writer over real shardserver
+    subprocesses, and the bounded graceful-handoff pause (the chaos
+    section stays behind the benchmark's ``--chaos`` flag / its
+    dedicated CI step)."""
+    return _load_bench_module("bench_net_fabric").snapshot()
+
+
 def deadline_snapshot() -> dict:
     """The deadline-serving numbers (bench_deadline): a heavy triangle
     whose exact count misses the deadline answers approximately within
@@ -151,6 +160,8 @@ _HEADLINES = (
      ("compiled", "compiled_speedup_geomean")),
     ("deadline_within_fraction",
      ("deadline", "deadline_within_fraction")),
+    ("net_speedup", ("net", "net_speedup")),
+    ("handoff_paused_s", ("net", "handoff_paused_s")),
 )
 
 
@@ -212,7 +223,8 @@ def main(argv=None) -> int:
         path.name for path in BENCH_DIR.glob("bench_*.py")
         if path.name not in ("bench_batch_service.py", "bench_session.py",
                              "bench_shards.py", "bench_reduced.py",
-                             "bench_compiled.py", "bench_deadline.py")
+                             "bench_compiled.py", "bench_deadline.py",
+                             "bench_net_fabric.py")
     )
     snapshot = {
         "generated_unix": int(time.time()),
@@ -299,6 +311,21 @@ def main(argv=None) -> int:
             failures += 1
             print("[bench]   FAILED (deadline serving missed its budget, "
                   "epsilon, or exactness bar)", flush=True)
+        snapshot["net"] = net_snapshot()
+        print(f"[bench] net: TCP 2-shard session "
+              f"{snapshot['net']['net_speedup']}x vs single writer over "
+              f"localhost; handoff paused "
+              f"{snapshot['net']['handoff_paused_s']}s "
+              f"(shipped {snapshot['net']['handoff_shipped_tuples']} "
+              f"tuples)", flush=True)
+        if not snapshot["net"]["meets_net_1x_bar"]:
+            failures += 1
+            print("[bench]   FAILED (TCP session below the 1.0x bar)",
+                  flush=True)
+        if not snapshot["net"]["meets_handoff_bar"]:
+            failures += 1
+            print("[bench]   FAILED (graceful handoff lost a job or "
+                  "overran its pause bound)", flush=True)
     for name in files:
         print(f"[bench] {name} ...", flush=True)
         outcome = run_benchmark_files([name])

@@ -10,6 +10,8 @@ Count answers to a conjunctive query over a database stored as JSON::
     python -m repro batch jobs.json --workers 4 --mode process
     python -m repro session jobs.jsonl --cache-dir .plans
     python -m repro session w0.jsonl w1.jsonl --shards 2 --shard-mode process
+    python -m repro shardserver --listen 127.0.0.1:7070 --shards 2
+    python -m repro session w0.jsonl w1.jsonl --shard-addrs 127.0.0.1:7070
     python -m repro bench --profile
 
 The database JSON maps relation names to lists of rows::
@@ -34,9 +36,12 @@ files, or ``--shards N``, run a sharded
 :class:`~repro.service.MultiWriterSession` instead (one writer per
 file, databases hash-partitioned onto shards,
 ``--maintainer-budget-mb`` capping each shard's resident maintainer
-DPs); ``bench`` replays a self-contained maintained star stream and,
-with ``--profile``, cProfiles it.  Subcommands that execute counts
-accept ``--no-compiled`` to force the interpreted strategies
+DPs); ``shardserver`` hosts session shards over TCP (sessions reach
+them with ``--shard-addrs host:port[,host:port...]`` or
+``$REPRO_SHARD_ADDRS`` — see ARCHITECTURE.md, "Networked shard
+fabric"); ``bench`` replays a self-contained maintained star stream
+and, with ``--profile``, cProfiles it.  Subcommands that execute
+counts accept ``--no-compiled`` to force the interpreted strategies
 (equivalent to ``REPRO_COMPILED=0``).
 """
 
@@ -300,8 +305,15 @@ def _cmd_session(args: argparse.Namespace) -> int:
             max(1, int(args.maintainer_budget_mb * 1024 * 1024))
             if args.maintainer_budget_mb > 0 else None
         )
+    if args.shard_addrs:
+        from .service.net import parse_shard_addrs
+
+        session_kwargs["shard_addrs"] = parse_shard_addrs(args.shard_addrs)
+        if args.shard_mode is None:
+            args.shard_mode = "tcp"  # addresses imply the TCP fabric
     payload: List[dict] = []
-    sharded = args.shards > 0 or len(streams) > 1
+    sharded = (args.shards > 0 or len(streams) > 1
+               or bool(args.shard_addrs) or args.shard_mode == "tcp")
     if sharded:
         with MultiWriterSession(shards=args.shards,
                                 shard_mode=args.shard_mode,
@@ -446,6 +458,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shardserver(args: argparse.Namespace) -> int:
+    """Host session shards over TCP until interrupted.
+
+    Prints one machine-readable ready line once the listener is bound —
+    ``shardserver listening on HOST:PORT (shards=N)`` — which
+    :func:`~repro.service.net.server.spawn_shard_server` (and the CI
+    ``net`` leg) waits for.  ``SIGINT``/``SIGTERM`` shut the server
+    down gracefully: drain, close every hosted core, stop listening.
+    """
+    import signal
+    import threading
+
+    from .service.net import ShardServer, parse_address
+
+    _apply_compiled_flag(args)
+    host, port = parse_address(args.listen)
+    shard_defaults = {}
+    if args.maintainer_budget_mb is not None:
+        shard_defaults["maintainer_budget_bytes"] = (
+            max(1, int(args.maintainer_budget_mb * 1024 * 1024))
+            if args.maintainer_budget_mb > 0 else None
+        )
+    server = ShardServer(
+        host=host, port=port, shards=args.shards,
+        max_pending=args.max_pending, cache_dir=args.cache_dir,
+        cache_url=args.cache_url, allow_chaos=args.allow_chaos,
+        shard_defaults=shard_defaults or None, label=args.label,
+    )
+    print(f"shardserver listening on {server.address} "
+          f"(shards={args.shards})", flush=True)
+    if server.kv is not None:
+        print(f"shardserver plan-cache kv at {server.kv.url}", flush=True)
+    stop = threading.Event()
+
+    def _request_stop(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    try:
+        stop.wait()
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_suggest(args: argparse.Namespace) -> int:
     from .db.statistics import degree_profile, suggest_pseudo_free
 
@@ -581,10 +639,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shard the session onto N workers (hash-"
                              "partitioned by database name; 0 = single-"
                              "writer unless several stream files are given)")
-    session.add_argument("--shard-mode", default="thread",
-                         choices=["inline", "thread", "process"],
+    session.add_argument("--shard-mode", default=None,
+                         choices=["inline", "thread", "process", "tcp"],
                          help="shard worker flavor (process = real "
-                              "parallelism, one interpreter per shard)")
+                              "parallelism, one interpreter per shard; "
+                              "tcp = remote shard servers; default "
+                              "$REPRO_SHARD_MODE or thread)")
+    session.add_argument("--shard-addrs", default=None,
+                         help="comma-separated host:port shard server "
+                              "addresses (implies --shard-mode tcp; "
+                              "defaults to $REPRO_SHARD_ADDRS)")
     session.add_argument("--maintainer-budget-mb", type=float, default=None,
                          help="resident maintainer memory budget per "
                               "shard/session in MB (cold maintainers spill "
@@ -609,6 +673,46 @@ def build_parser() -> argparse.ArgumentParser:
                               "shard has this many jobs in flight")
     add_deadline_flags(session)
     session.set_defaults(func=_cmd_session)
+
+    shardserver = sub.add_parser(
+        "shardserver",
+        help="host session shards over TCP for --shard-addrs sessions "
+             "(readiness/liveness probes, graceful drain)",
+    )
+    shardserver.add_argument("--listen", required=True, metavar="HOST:PORT",
+                             help="listen address (port 0 = ephemeral; "
+                                  "the bound address is printed on the "
+                                  "ready line)")
+    shardserver.add_argument("--shards", type=int, default=1,
+                             help="eagerly created default shard cores "
+                                  "(sessions create namespaced cores "
+                                  "lazily regardless)")
+    shardserver.add_argument("--max-pending", type=int, default=None,
+                             help="per-core admission bound: saturated "
+                                  "cores reject submits over the wire "
+                                  "with a retry-after hint")
+    shardserver.add_argument("--cache-dir", default=None,
+                             help="persistent plan-cache directory; also "
+                                  "served to other shard servers over a "
+                                  "local HTTP/KV endpoint")
+    shardserver.add_argument("--cache-url", default=None,
+                             help="remote plan-cache KV endpoint "
+                                  "(another shardserver's --cache-dir "
+                                  "export) to warm-start plans from")
+    shardserver.add_argument("--maintainer-budget-mb", type=float,
+                             default=None,
+                             help="resident maintainer budget per hosted "
+                                  "core in MB (0 = unbounded; defaults "
+                                  "to $REPRO_MAINTAINER_BUDGET_MB)")
+    shardserver.add_argument("--allow-chaos", action="store_true",
+                             help="enable the fault-injection 'stall' op "
+                                  "(tests and chaos benchmarks only)")
+    shardserver.add_argument("--label", default=None,
+                             help="label for this server's stats")
+    shardserver.add_argument("--no-compiled", action="store_true",
+                             help="disable the compiled-plan execution "
+                                  "tier")
+    shardserver.set_defaults(func=_cmd_shardserver)
 
     bench = sub.add_parser(
         "bench",

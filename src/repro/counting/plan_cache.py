@@ -124,6 +124,59 @@ def relation_content_tag(relation: Relation) -> str:
     return tag
 
 
+# ----------------------------------------------------------------------
+# The spill-entry codec: one self-verifying JSON document per plan.
+# Shared by the disk tier (PersistentPlanCache) and the networked tier
+# (repro.service.net.kv.RemotePlanCache) so every consumer applies the
+# exact same validation — entry format, *full* key match, blob envelope.
+# ----------------------------------------------------------------------
+def encode_plan_entry(key: tuple, value: object,
+                      tags: Iterable[str] = ()) -> Optional[str]:
+    """*value* as a spill-entry JSON document, or ``None`` when the plan
+    does not serialize (an unpicklable witness stays memory-only)."""
+    try:
+        blob = serialize_plan(value)
+    except PlanSerializationError:
+        return None
+    return json.dumps({
+        "format": ENTRY_FORMAT,
+        "key": stable_key_render(key),
+        "tags": sorted(tags),
+        "plan": base64.b64encode(blob).decode("ascii"),
+    })
+
+
+def decode_plan_entry(text: str, key: tuple) -> Tuple[object, Tuple[str, ...]]:
+    """``(plan, tags)`` from a spill-entry document, fully validated.
+
+    Raises :class:`PlanSerializationError` on *anything* that does not
+    verify — malformed JSON, a foreign entry format, a stale or
+    colliding key (the full stable rendering is compared, never just the
+    digest), a bad base64 embedding, or a blob whose envelope checksum
+    fails.  A wrong plan is never returned.
+    """
+    try:
+        entry = json.loads(text)
+    except ValueError:
+        raise PlanSerializationError("plan entry is not valid JSON") \
+            from None
+    try:
+        if entry["format"] != ENTRY_FORMAT:
+            raise PlanSerializationError("entry format mismatch")
+        if entry["key"] != stable_key_render(key):
+            raise PlanSerializationError("stale or colliding entry key")
+        entry_tags = tuple(entry.get("tags") or ())
+        blob = base64.b64decode(entry["plan"].encode("ascii"),
+                                validate=True)
+        value = deserialize_plan(blob)
+    except (KeyError, TypeError, AttributeError, ValueError,
+            binascii.Error) as error:
+        raise PlanSerializationError(
+            f"malformed plan entry: {error}"
+        ) from None
+    return value, entry_tags
+
+
 class PlanCache:
     """Bounded, thread-safe memo for canonical forms and engine plans."""
 
@@ -363,25 +416,17 @@ class PersistentPlanCache(PlanCache):
         path = self._entry_path(digest)
         try:
             with open(path, encoding="utf-8") as handle:
-                entry = json.load(handle)
+                text = handle.read()
         except FileNotFoundError:
             with self._lock:
                 self.disk_misses += 1
             return None, False
-        except (OSError, ValueError, UnicodeDecodeError):
+        except (OSError, UnicodeDecodeError):
             self._reject(path)
             return None, False
         try:
-            if entry["format"] != ENTRY_FORMAT:
-                raise PlanSerializationError("entry format mismatch")
-            if entry["key"] != stable_key_render(key):
-                raise PlanSerializationError("stale or colliding entry key")
-            entry_tags = entry.get("tags") or ()
-            blob = base64.b64decode(entry["plan"].encode("ascii"),
-                                    validate=True)
-            value = deserialize_plan(blob)
-        except (KeyError, TypeError, AttributeError, ValueError,
-                binascii.Error, PlanSerializationError):
+            value, entry_tags = decode_plan_entry(text, key)
+        except PlanSerializationError:
             self._reject(path)
             return None, False
         if entry_tags:
@@ -392,22 +437,15 @@ class PersistentPlanCache(PlanCache):
 
     def _store_cold(self, key: tuple, value: object,
                     tags: Tuple[str, ...]) -> None:
-        try:
-            blob = serialize_plan(value)
-        except PlanSerializationError:
+        text = encode_plan_entry(key, value, tags)
+        if text is None:
             return  # memory-only plan (unpicklable witness); never spilled
         digest = stable_key_digest(key)
-        entry = {
-            "format": ENTRY_FORMAT,
-            "key": stable_key_render(key),
-            "tags": sorted(tags),
-            "plan": base64.b64encode(blob).decode("ascii"),
-        }
         path = self._entry_path(digest)
         temporary = f"{path}.tmp.{os.getpid()}"
         try:
             with open(temporary, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle)
+                handle.write(text)
             os.replace(temporary, path)
         except OSError:
             try:

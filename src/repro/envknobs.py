@@ -18,14 +18,31 @@ The knobs currently wired through here:
 * ``REPRO_COMPILED`` — :func:`repro.counting.compile.compiled_enabled`
 * ``REPRO_COST_UNITS_PER_MS`` —
   :func:`repro.counting.engine.cost_units_per_ms` (deadline calibration)
+* ``REPRO_PLAN_CACHE_DIR`` —
+  :func:`repro.counting.plan_cache.default_plan_cache`
+* ``REPRO_SHARD_MODE`` — :func:`repro.service.router.default_shard_mode`
+  (the default ``MultiWriterSession`` shard flavor; the CI ``net`` leg
+  sets ``tcp``)
+* ``REPRO_SHARD_ADDRS`` — comma-separated ``host:port`` shard server
+  addresses for ``shard_mode='tcp'``
+  (:func:`repro.service.net.default_shard_addrs`)
+* ``REPRO_NET_TIMEOUT_MS`` / ``REPRO_NET_RETRIES`` — per-request
+  timeout and transport retry budget of the networked shard clients
+  (:mod:`repro.service.net.client`)
+
+Tests and benchmarks that must run under *their own* knob settings use
+:func:`isolated_repro_env`, the one shared snapshot/restore helper (it
+also resets the process-wide default plan cache, which may have been
+built from a knob that no longer applies inside the sandbox).
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import threading
 import warnings
-from typing import Optional, Set, Tuple
+from typing import Iterator, Optional, Sequence, Set, Tuple
 
 #: ``(name, raw value)`` pairs already warned about — one warning per
 #: distinct misconfiguration per process, not one per read (knobs like
@@ -103,3 +120,58 @@ def env_flag(name: str, default: bool = True) -> bool:
         return False
     _warn_once(name, raw, "one of 1/0/true/false/yes/no/on/off")
     return default
+
+
+def env_choice(name: str, choices: Sequence[str], default: str) -> str:
+    """``$name`` restricted to *choices* (case-insensitive), or *default*.
+
+    Unset/empty values return *default* silently; a value outside
+    *choices* warns once and returns *default* — same contract as the
+    numeric knobs.
+    """
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    lowered = raw.strip().lower()
+    if lowered in choices:
+        return lowered
+    _warn_once(name, raw, "one of " + "/".join(choices))
+    return default
+
+
+#: Prefix of every environment knob this repository reads.
+ENV_PREFIX = "REPRO_"
+
+
+@contextlib.contextmanager
+def isolated_repro_env(**pins: object) -> Iterator[None]:
+    """Run a block under snapshot/restored ``REPRO_*`` knobs.
+
+    On entry every ``REPRO_*`` environment variable is snapshotted and
+    the process-wide default plan cache is cleared (so a cache built
+    under outside knobs never leaks into the sandbox); *pins* are then
+    applied (``NAME=value`` sets the variable, ``NAME=None`` unsets it).
+    On exit the environment is restored exactly — pins removed,
+    outside-world knobs reinstated — and the previous default plan cache
+    is put back.  This is the one shared isolation helper behind the
+    ``repro_env_sandbox`` test fixture and the benchmarks' "measure
+    under my own knobs" blocks.
+    """
+    from .counting.plan_cache import set_default_plan_cache
+
+    saved = {name: value for name, value in os.environ.items()
+             if name.startswith(ENV_PREFIX)}
+    previous_cache = set_default_plan_cache(None)
+    try:
+        for name, value in pins.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = str(value)
+        yield
+    finally:
+        for name in list(os.environ):
+            if name.startswith(ENV_PREFIX) and name not in saved:
+                del os.environ[name]
+        os.environ.update(saved)
+        set_default_plan_cache(previous_cache)

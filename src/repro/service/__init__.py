@@ -1,7 +1,10 @@
-"""Counting services: batches, streaming sessions, shared plan caches.
+"""Counting services: batches, sessions, plan caches, the net fabric.
 
-See ARCHITECTURE.md, sections "Batch service & plan cache" and
-"Streaming sessions"."""
+See ARCHITECTURE.md, sections "Batch service & plan cache",
+"Streaming sessions", and "Networked shard fabric".  The socket
+transport itself (frame codec, shard servers, remote handles, the
+directory control plane, fault injection) lives in
+:mod:`repro.service.net`."""
 
 from ..counting.plan_cache import (
     PersistentPlanCache,
@@ -16,14 +19,24 @@ from ..query.canonical import (
     random_renaming,
     rename_query,
 )
-from .jobs import CountJob, JobFileError, dump_jobs, load_jobs
+from .jobs import (
+    CountJob,
+    JobFileError,
+    dump_jobs,
+    json_safe,
+    load_jobs,
+    result_from_dict,
+    result_to_dict,
+)
 from .router import (
     DEFAULT_RETRY_AFTER_MS,
     SESSION_SHARDS_ENV,
+    SHARD_MODE_ENV,
     SHARD_MODES,
     MultiWriterSession,
     SessionRouter,
     ShardSaturatedError,
+    default_shard_mode,
     default_shards,
 )
 from .service import MODES, CountingService, default_workers
@@ -36,6 +49,7 @@ from .session import (
     UpdateRequest,
     dump_stream,
     job_from_spec,
+    job_to_spec,
     load_stream,
 )
 
@@ -54,11 +68,13 @@ __all__ = [
     "PersistentPlanCache",
     "PlanCache",
     "SESSION_SHARDS_ENV",
+    "SHARD_MODE_ENV",
     "SHARD_MODES",
     "SessionJob",
     "SessionRouter",
     "SessionShard",
     "UpdateRequest",
+    "default_shard_mode",
     "default_shards",
     "canonical_form",
     "default_plan_cache",
@@ -66,8 +82,12 @@ __all__ = [
     "dump_jobs",
     "dump_stream",
     "job_from_spec",
+    "job_to_spec",
+    "json_safe",
     "load_jobs",
     "load_stream",
+    "result_from_dict",
+    "result_to_dict",
     "query_fingerprint",
     "random_renaming",
     "rename_query",

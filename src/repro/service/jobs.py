@@ -30,6 +30,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..counting.engine import CountResult
 from ..db.database import Database
 from ..db.io import database_from_dict, database_to_dict, query_to_text
 from ..exceptions import ReproError
@@ -39,6 +40,48 @@ from ..query.query import ConjunctiveQuery
 
 class JobFileError(ReproError):
     """A malformed batch job file."""
+
+
+def json_safe(value):
+    """*value* with every non-JSON leaf replaced by its ``repr``.
+
+    Result ``details`` may carry rich objects (decomposition
+    fingerprints, tuples, infinities); batch output and the network
+    frame codec both need them embeddable in a JSON document without
+    ever failing the dump.
+    """
+    if isinstance(value, dict):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, float) and (math.isinf(value) or math.isnan(value)):
+        return repr(value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def result_to_dict(result: CountResult) -> Dict[str, object]:
+    """A :class:`~repro.counting.engine.CountResult` as a JSON object."""
+    return {
+        "count": result.count,
+        "strategy": result.strategy,
+        "details": json_safe(result.details),
+    }
+
+
+def result_from_dict(payload: Dict[str, object]) -> CountResult:
+    """The inverse of :func:`result_to_dict` (details stay JSON-shaped)."""
+    try:
+        count = payload["count"]
+        strategy = payload["strategy"]
+    except (KeyError, TypeError):
+        raise JobFileError("count result object lacks count/strategy") \
+            from None
+    details = payload.get("details")
+    if not isinstance(details, dict):
+        details = {}
+    return CountResult(count, str(strategy), details)
 
 
 @dataclass

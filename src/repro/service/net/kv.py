@@ -1,0 +1,302 @@
+"""The networked plan-cache tier: a tiny HTTP/KV front for plan entries.
+
+A :class:`PlanCacheKVServer` exposes a plan spill directory (the same
+``<digest>.plan.json`` documents :class:`~repro.counting.plan_cache.
+PersistentPlanCache` writes) over two HTTP verbs::
+
+    GET /plan/<digest>   -> 200 entry document | 404
+    PUT /plan/<digest>   -> 204 (atomic tmp+rename store)
+    GET /healthz         -> 200 "ok"
+
+A :class:`RemotePlanCache` is a :class:`~repro.counting.plan_cache.
+PlanCache` whose *cold tier* is such an endpoint: misses consult the
+remote store, computed plans are pushed back, and every fetched entry
+goes through the exact same validation as a local spill file
+(:func:`~repro.counting.plan_cache.decode_plan_entry`: entry format,
+full key match, blob envelope) — a corrupted or stale remote entry is
+counted and recomputed, never adopted.  Network failures degrade, never
+break: on any error the cache falls back to a local spill directory
+(when configured) and otherwise behaves as memory-only, so a dead cache
+server costs warm starts, not correctness.
+
+This closes the PR 3 leftover: fleets of shard servers pointed at one
+KV endpoint (``shardserver --cache-url``) warm-start each other's plans
+without sharing a filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterable, Optional, Tuple
+
+from ...counting.plan_cache import (
+    ENTRY_SUFFIX,
+    PlanCache,
+    decode_plan_entry,
+    encode_plan_entry,
+    stable_key_digest,
+)
+from ...decomposition.serialize import PlanSerializationError
+
+#: Bound on one stored entry document (matches the frame codec's spirit:
+#: an absurd Content-Length is a broken client, not a big plan).
+MAX_ENTRY_BYTES = 64 * 1024 * 1024
+
+
+def _safe_digest(stem: str) -> Optional[str]:
+    """The digest from a ``/plan/<digest>`` path component, or ``None``
+    when it smells like traversal (only hex stems are ever served)."""
+    if stem and all(ch in "0123456789abcdef" for ch in stem):
+        return stem
+    return None
+
+
+class _PlanKVHandler(BaseHTTPRequestHandler):
+    server_version = "repro-plan-kv/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args) -> None:  # quiet by design
+        pass
+
+    def _reply(self, status: int, body: bytes = b"",
+               content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _digest_of_path(self) -> Optional[str]:
+        prefix = "/plan/"
+        if not self.path.startswith(prefix):
+            return None
+        stem = self.path[len(prefix):]
+        if stem.endswith(ENTRY_SUFFIX):
+            stem = stem[:-len(ENTRY_SUFFIX)]
+        return _safe_digest(stem)
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._reply(200, b"ok", "text/plain")
+            return
+        digest = self._digest_of_path()
+        if digest is None:
+            self._reply(404)
+            return
+        path = os.path.join(self.server.plan_directory,
+                            digest + ENTRY_SUFFIX)
+        try:
+            with open(path, "rb") as handle:
+                body = handle.read()
+        except OSError:
+            self._reply(404)
+            return
+        self._reply(200, body)
+
+    def do_PUT(self) -> None:
+        digest = self._digest_of_path()
+        if digest is None:
+            self._reply(404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._reply(411)
+            return
+        if not (0 < length <= MAX_ENTRY_BYTES):
+            self._reply(413)
+            return
+        body = self.rfile.read(length)
+        path = os.path.join(self.server.plan_directory,
+                            digest + ENTRY_SUFFIX)
+        temporary = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            with open(temporary, "wb") as handle:
+                handle.write(body)
+            os.replace(temporary, path)
+        except OSError:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+            self._reply(500)
+            return
+        self._reply(204)
+
+
+class PlanCacheKVServer:
+    """Serve a plan spill directory over HTTP (daemon thread)."""
+
+    def __init__(self, directory: str, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._http = ThreadingHTTPServer((host, port), _PlanKVHandler)
+        self._http.plan_directory = self.directory
+        self._http.daemon_threads = True
+        self.host, self.port = self._http.server_address[:2]
+        self.url = f"http://{self.host}:{self.port}"
+        self._thread = threading.Thread(target=self._http.serve_forever,
+                                        name="plan-kv", daemon=True)
+        self._thread.start()
+
+    def close(self) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "PlanCacheKVServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RemotePlanCache(PlanCache):
+    """A plan cache whose cold tier is a :class:`PlanCacheKVServer`.
+
+    Lookup order on a memory miss: remote GET, then the local
+    *fallback_dir* (entries spilled there during outages).  Stores go to
+    the remote PUT, spilling locally instead when the endpoint is
+    unreachable.  All failure modes are counted (``net_errors``,
+    ``net_rejected``) and none are fatal — the caller recomputes, which
+    is always sound.
+
+    Remote entries are never invalidated over the wire: tagged
+    (data-dependent) plans are keyed by database-content fingerprint, so
+    a stale remote entry is unreachable for updated contents — the same
+    argument that lets :class:`~repro.counting.plan_cache.
+    PersistentPlanCache` leave other processes' tagged files behind.
+    """
+
+    def __init__(self, url: str, fallback_dir: Optional[str] = None,
+                 timeout_s: float = 2.0, plan_capacity: int = 4096,
+                 canonical_capacity: int = 1024,
+                 label: Optional[str] = None):
+        super().__init__(plan_capacity=plan_capacity,
+                         canonical_capacity=canonical_capacity,
+                         label=label)
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.fallback_dir = (os.path.abspath(fallback_dir)
+                             if fallback_dir else None)
+        if self.fallback_dir:
+            os.makedirs(self.fallback_dir, exist_ok=True)
+        self.net_hits = 0
+        self.net_misses = 0
+        self.net_errors = 0
+        self.net_rejected = 0
+        self.net_stored = 0
+        self.fallback_hits = 0
+        self.fallback_stored = 0
+
+    # ------------------------------------------------------------------
+    def _entry_url(self, digest: str) -> str:
+        return f"{self.url}/plan/{digest}"
+
+    def _fallback_path(self, digest: str) -> Optional[str]:
+        if self.fallback_dir is None:
+            return None
+        return os.path.join(self.fallback_dir, digest + ENTRY_SUFFIX)
+
+    def _net_get(self, digest: str) -> Optional[str]:
+        try:
+            with urllib.request.urlopen(self._entry_url(digest),
+                                        timeout=self.timeout_s) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            with self._lock:
+                if error.code == 404:
+                    self.net_misses += 1
+                else:
+                    self.net_errors += 1
+            return None
+        except (urllib.error.URLError, OSError, ValueError,
+                UnicodeDecodeError):
+            with self._lock:
+                self.net_errors += 1
+            return None
+
+    def _cold_lookup(self, key: tuple) -> Tuple[object, bool]:
+        digest = stable_key_digest(key)
+        text = self._net_get(digest)
+        if text is not None:
+            try:
+                value, _ = decode_plan_entry(text, key)
+            except PlanSerializationError:
+                with self._lock:
+                    self.net_rejected += 1
+            else:
+                with self._lock:
+                    self.net_hits += 1
+                return value, True
+        path = self._fallback_path(digest)
+        if path is not None:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    value, _ = decode_plan_entry(handle.read(), key)
+            except (OSError, UnicodeDecodeError, PlanSerializationError):
+                pass
+            else:
+                with self._lock:
+                    self.fallback_hits += 1
+                return value, True
+        return None, False
+
+    def _store_cold(self, key: tuple, value: object,
+                    tags: Iterable[str]) -> None:
+        text = encode_plan_entry(key, value, tags)
+        if text is None:
+            return  # memory-only plan; never shipped
+        digest = stable_key_digest(key)
+        body = text.encode("utf-8")
+        request = urllib.request.Request(self._entry_url(digest), data=body,
+                                         method="PUT")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s):
+                pass
+        except (urllib.error.URLError, OSError, ValueError):
+            with self._lock:
+                self.net_errors += 1
+            self._store_fallback(digest, text)
+            return
+        with self._lock:
+            self.net_stored += 1
+
+    def _store_fallback(self, digest: str, text: str) -> None:
+        path = self._fallback_path(digest)
+        if path is None:
+            return
+        temporary = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(temporary, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temporary, path)
+        except OSError:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+            return
+        with self._lock:
+            self.fallback_stored += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        snapshot = super().stats()
+        snapshot.update({
+            "cache_url": self.url,
+            "net_hits": self.net_hits,
+            "net_misses": self.net_misses,
+            "net_errors": self.net_errors,
+            "net_rejected": self.net_rejected,
+            "net_stored": self.net_stored,
+            "fallback_hits": self.fallback_hits,
+            "fallback_stored": self.fallback_stored,
+        })
+        return snapshot

@@ -30,7 +30,14 @@ Shard workers come in three flavors (``shard_mode``):
   and :class:`~repro.counting.engine.CountResult`;
 * ``"inline"`` — no workers at all: ``submit`` executes the job before
   returning a completed future (the deterministic baseline the
-  commutation property tests compare against).
+  commutation property tests compare against);
+* ``"tcp"`` — each shard is a :class:`~repro.service.net.client.
+  RemoteShardHandle` driving a session-namespaced shard on a
+  :class:`~repro.service.net.server.ShardServer` over the socket
+  fabric.  Addresses come from ``shard_addrs=`` or
+  ``$REPRO_SHARD_ADDRS``; the default mode itself can be switched with
+  ``$REPRO_SHARD_MODE`` (how the CI ``net`` leg runs the whole session
+  suite over TCP without editing a single test).
 
 Same-database ordering is per *submitter*: two producers racing on the
 same database serialize in whatever order their ``submit`` calls reach
@@ -44,6 +51,7 @@ import hashlib
 import os
 import threading
 import time
+import uuid
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
@@ -54,13 +62,23 @@ from ..counting.plan_cache import (
 )
 from ..db.database import Database
 from ..dynamic.maintainer import BUDGET_FROM_ENV
-from ..envknobs import env_int
+from ..envknobs import env_choice, env_int
 from ..exceptions import ReproError
 from .session import AttachDatabase, SessionJob
 from .shard import SessionShard
 
 #: Recognized shard worker flavors.
-SHARD_MODES = ("inline", "thread", "process")
+SHARD_MODES = ("inline", "thread", "process", "tcp")
+
+#: Environment variable naming the default shard mode (the CI ``net``
+#: leg sets ``tcp``; sessions built without an explicit ``shard_mode``
+#: consult it, then fall back to ``thread``).
+SHARD_MODE_ENV = "REPRO_SHARD_MODE"
+
+
+def default_shard_mode() -> str:
+    """``$REPRO_SHARD_MODE`` when set and recognized, else ``thread``."""
+    return env_choice(SHARD_MODE_ENV, SHARD_MODES, "thread")
 
 #: Retry hint when a saturated shard has no completion-latency sample
 #: yet (milliseconds).
@@ -263,7 +281,14 @@ class MultiWriterSession:
     shards:
         Shard count; ``0`` means ``$REPRO_SESSION_SHARDS`` or 2.
     shard_mode:
-        One of :data:`SHARD_MODES` (see the module docstring).
+        One of :data:`SHARD_MODES` (see the module docstring); ``None``
+        (the default) means ``$REPRO_SHARD_MODE`` or ``"thread"``.
+    shard_addrs:
+        ``host:port`` shard server addresses for ``shard_mode='tcp'``
+        (``None`` means ``$REPRO_SHARD_ADDRS``).  Shards are spread
+        round-robin over the addresses, each under a session-unique
+        namespace, so many sessions share one server fleet without
+        touching each other's state.
     plan_cache, cache_dir:
         Inline/thread shards share *plan_cache* (one is created when
         omitted, persistent when a cache directory is configured);
@@ -290,7 +315,7 @@ class MultiWriterSession:
     """
 
     def __init__(self, databases: Optional[Dict[str, Database]] = None,
-                 shards: int = 0, shard_mode: str = "thread",
+                 shards: int = 0, shard_mode: Optional[str] = None,
                  plan_cache: Optional[PlanCache] = None,
                  cache_dir: Optional[str] = None,
                  maintain: bool = True,
@@ -298,13 +323,34 @@ class MultiWriterSession:
                  maintainer_budget_bytes=BUDGET_FROM_ENV,
                  maintainer_spill_dir: Optional[str] = None,
                  maintain_reduced: bool = True,
-                 max_pending: Optional[int] = None):
+                 max_pending: Optional[int] = None,
+                 shard_addrs: Optional[Sequence[str]] = None):
+        if shard_mode is None:
+            shard_mode = default_shard_mode()
         if shard_mode not in SHARD_MODES:
             raise ValueError(f"unknown shard mode {shard_mode!r}; "
                              f"expected one of {SHARD_MODES}")
         if max_pending is not None and max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
-        self.shards = int(shards) if shards else default_shards()
+        self.shard_addrs: Optional[List[str]] = None
+        self.shard_namespace: Optional[str] = None
+        if shard_mode == "tcp":
+            from .net import default_shard_addrs
+            addresses = (list(shard_addrs) if shard_addrs
+                         else default_shard_addrs())
+            if not addresses:
+                raise ValueError(
+                    "shard_mode='tcp' needs shard server addresses: "
+                    "pass shard_addrs= or set $REPRO_SHARD_ADDRS"
+                )
+            self.shard_addrs = addresses
+            # Default the shard count to the fleet size (still
+            # overridable explicitly or via $REPRO_SESSION_SHARDS).
+            self.shards = (int(shards) if shards
+                           else max(env_int(SESSION_SHARDS_ENV, 0), 0)
+                           or len(addresses))
+        else:
+            self.shards = int(shards) if shards else default_shards()
         self.shard_mode = shard_mode
         self.max_pending = max_pending
         if cache_dir is None:
@@ -321,7 +367,35 @@ class MultiWriterSession:
         self._pending = [0] * self.shards
         self._latency_ms: List[Optional[float]] = [None] * self.shards
         self._rejected = 0
-        if shard_mode == "process":
+        if shard_mode == "tcp":
+            if plan_cache is not None:
+                raise ValueError(
+                    "shard_mode='tcp' cannot share an in-memory "
+                    "plan_cache with remote shard servers; point the "
+                    "servers at a cache directory or KV endpoint "
+                    "(shardserver --cache-dir/--cache-url) instead"
+                )
+            from .net import RemoteShardHandle
+            self.plan_cache = None  # server-side caches; see stats()
+            self.shard_namespace = uuid.uuid4().hex[:12]
+            for index in range(self.shards):
+                config = {
+                    "maintain": maintain,
+                    "maintainer_capacity": maintainer_capacity,
+                    "maintain_reduced": maintain_reduced,
+                }
+                if maintainer_budget_bytes is not BUDGET_FROM_ENV:
+                    config["maintainer_budget_bytes"] = \
+                        maintainer_budget_bytes
+                spill = self._shard_spill_dir(maintainer_spill_dir, index)
+                if spill is not None:
+                    config["maintainer_spill_dir"] = spill
+                self._handles.append(RemoteShardHandle(
+                    self.shard_addrs[index % len(self.shard_addrs)],
+                    shard=f"{self.shard_namespace}/shard{index}",
+                    config=config,
+                ))
+        elif shard_mode == "process":
             if plan_cache is not None:
                 raise ValueError(
                     "shard_mode='process' cannot share an in-memory "
@@ -565,8 +639,10 @@ class MultiWriterSession:
             "cache_dir": self.cache_dir,
             "plan_cache_scope": (
                 "per-shard-process" if self.shard_mode == "process"
+                else "remote" if self.shard_mode == "tcp"
                 else "shared"
             ),
+            "shard_addrs": self.shard_addrs,
             **totals,
             "max_pending": self.max_pending,
             "pending": pending,

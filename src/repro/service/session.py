@@ -363,37 +363,44 @@ def load_stream(path: str) -> List[SessionJob]:
     return jobs
 
 
+def job_to_spec(job: SessionJob) -> dict:
+    """One stream job as its JSON object (inverse of
+    :func:`job_from_spec`) — the one serialization used by stream files
+    *and* by the network frame codec (:mod:`repro.service.net`)."""
+    if isinstance(job, AttachDatabase):
+        spec = {"op": "database", "name": job.name,
+                "relations": database_to_dict(job.database)}
+    elif isinstance(job, CountRequest):
+        spec = {"op": "count", "query": query_to_text(job.query),
+                "database": job.database, "method": job.method,
+                "max_width": job.max_width,
+                "hybrid_width": job.hybrid_width}
+        if not math.isinf(job.max_degree):
+            spec["max_degree"] = job.max_degree
+        if job.deadline_ms is not None:
+            spec["deadline_ms"] = job.deadline_ms
+        if job.error_budget is not None:
+            spec["error_budget"] = job.error_budget
+    elif isinstance(job, UpdateRequest):
+        spec = {
+            "op": ("insert" if isinstance(job.update, Insert)
+                   else "delete"),
+            "database": job.database,
+            "relation": job.update.relation,
+            "row": list(job.update.row),
+        }
+    else:
+        raise ReproError(
+            f"cannot serialize session job {type(job).__name__}"
+        )
+    if job.label is not None:
+        spec["label"] = job.label
+    return spec
+
+
 def dump_stream(path: str, jobs: Sequence[SessionJob]) -> None:
     """Write *jobs* as a JSON Lines session stream (inverse of
     :func:`load_stream`)."""
     with open(path, "w", encoding="utf-8") as handle:
         for job in jobs:
-            if isinstance(job, AttachDatabase):
-                spec = {"op": "database", "name": job.name,
-                        "relations": database_to_dict(job.database)}
-            elif isinstance(job, CountRequest):
-                spec = {"op": "count", "query": query_to_text(job.query),
-                        "database": job.database, "method": job.method,
-                        "max_width": job.max_width,
-                        "hybrid_width": job.hybrid_width}
-                if not math.isinf(job.max_degree):
-                    spec["max_degree"] = job.max_degree
-                if job.deadline_ms is not None:
-                    spec["deadline_ms"] = job.deadline_ms
-                if job.error_budget is not None:
-                    spec["error_budget"] = job.error_budget
-            elif isinstance(job, UpdateRequest):
-                spec = {
-                    "op": ("insert" if isinstance(job.update, Insert)
-                           else "delete"),
-                    "database": job.database,
-                    "relation": job.update.relation,
-                    "row": list(job.update.row),
-                }
-            else:
-                raise ReproError(
-                    f"cannot serialize session job {type(job).__name__}"
-                )
-            if job.label is not None:
-                spec["label"] = job.label
-            handle.write(json.dumps(spec) + "\n")
+            handle.write(json.dumps(job_to_spec(job)) + "\n")

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from ..counting.engine import CountResult
 from ..counting.plan_cache import PlanCache, relation_content_tag
 from ..db.database import Database
+from ..db.io import database_from_dict, database_to_dict
 from ..dynamic.maintainer import (
     BUDGET_FROM_ENV,
     DEFAULT_REDUCED_WIDTH,
@@ -185,6 +186,47 @@ class SessionShard:
             "total_tuples": database.total_tuples(),
             "invalidated_plans": invalidated,
         }
+
+    # ------------------------------------------------------------------
+    # Handoff checkpoints (the networked fabric ships these between
+    # shard servers; see repro.service.net.directory)
+    # ------------------------------------------------------------------
+    def checkpoint_database(self, name: str) -> dict:
+        """A wire-shippable snapshot of the named database.
+
+        The payload is pure data (relation rows, no live indexes or
+        maintainers) — the receiving shard rebuilds maintainers lazily
+        from the restored database, exactly as it would after a fresh
+        attach.  Callers wrap it in a verifying envelope
+        (:func:`~repro.decomposition.serialize.serialize_handoff_state`)
+        before shipping.
+        """
+        database = self.database(name)
+        return {
+            "database": name,
+            "relations": database_to_dict(database),
+            "total_tuples": database.total_tuples(),
+        }
+
+    def restore_database(self, name: str, payload: dict) -> dict:
+        """Adopt a :meth:`checkpoint_database` snapshot as *name*.
+
+        The payload must name the same database it is restored as (a
+        misrouted handoff is refused before any state changes); the
+        restore itself is an attach, so a replaced database drops its
+        maintainers and invalidates its data-dependent plans.
+        """
+        if not isinstance(payload, dict) or "relations" not in payload:
+            raise ReproError(
+                f"handoff payload for {name!r} carries no relations"
+            )
+        if payload.get("database") != name:
+            raise ReproError(
+                f"handoff payload names database "
+                f"{payload.get('database')!r}, not {name!r}"
+            )
+        return self.attach_database(name,
+                                    database_from_dict(payload["relations"]))
 
     # ------------------------------------------------------------------
     # Updates

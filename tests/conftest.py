@@ -5,9 +5,20 @@ from __future__ import annotations
 import pytest
 
 from repro.db import Database
+from repro.envknobs import isolated_repro_env
 from repro.query import Atom, ConjunctiveQuery, Variable, parse_query
 
 A, B, C, D, E, F, G, H, I = (Variable(x) for x in "ABCDEFGHI")
+
+
+@pytest.fixture
+def repro_env_sandbox():
+    """Snapshot and restore every ``REPRO_*`` knob plus the process
+    default plan cache — tests that mutate the environment (or run
+    under a knob-setting CI leg and need a clean slate) opt in with
+    this instead of hand-rolled save/restore blocks."""
+    with isolated_repro_env():
+        yield
 
 
 @pytest.fixture

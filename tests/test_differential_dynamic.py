@@ -11,6 +11,16 @@ absent rows — are replayed through three independent counting paths:
 and all three must agree **at every step** — in inline, thread, and
 process execution modes, with maintenance both enabled and disabled.
 
+The networked leg (PR 8) widens the harness across the socket fabric:
+the same streams through a ``shard_mode='tcp'``
+:class:`~repro.service.MultiWriterSession` against in-process
+:class:`~repro.service.net.ShardServer`\\ s must agree bit-for-bit with
+every in-process mode — including with a fault-injection proxy
+dropping, duplicating, corrupting, and delaying frames (exactly-once
+under retries), and across a mid-stream server kill recovered by
+:class:`~repro.service.net.ShardDirectory` failover plus a graceful
+handoff, with no job lost or doubled.
+
 The cross-shard commutation property (ISSUE 4) rides the same harness:
 *any* interleaving of multi-writer streams over distinct databases,
 pushed through a sharded :class:`~repro.service.MultiWriterSession`,
@@ -45,10 +55,17 @@ from repro.exceptions import DatabaseError
 from repro.query import parse_query
 from repro.query.canonical import random_renaming
 from repro.service import (
+    AttachDatabase,
     CountingSession,
     CountRequest,
     MultiWriterSession,
     UpdateRequest,
+)
+from repro.service.net import (
+    FaultPlan,
+    FaultyTransport,
+    ShardDirectory,
+    ShardServer,
 )
 from repro.workloads.multi_writer import multi_writer_streams
 
@@ -283,6 +300,124 @@ class TestCrossShardCommutation:
             if hasattr(result, "count"):
                 observed[origin].append(result.count)
         assert observed == expected
+
+
+# ----------------------------------------------------------------------
+# Networked leg (PR 8): the same agreements across the socket fabric
+# ----------------------------------------------------------------------
+class TestDifferentialTCPLeg:
+    """A 2-shard TCP session must be indistinguishable — result for
+    result, step for step — from the in-process modes, with and without
+    injected faults, and across server death."""
+
+    def _streams(self, seed):
+        return multi_writer_streams(
+            n_writers=3, n_shapes=2, rounds=2, seed=seed,
+            tuples_per_relation=8, domain_size=5,
+        )
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_tcp_session_commutes_with_sequential_replay(self, seed):
+        streams = self._streams(seed)
+        expected = sequential_replay(streams)
+        with ShardServer(shards=1) as a, ShardServer(shards=1) as b:
+            with MultiWriterSession(
+                    shards=2, shard_mode="tcp",
+                    shard_addrs=[a.address, b.address]) as session:
+                outcomes = session.run_streams(streams)
+                assert session.stats()["plan_cache_scope"] == "remote"
+        observed = [[r.count for r in outcome if hasattr(r, "count")]
+                    for outcome in outcomes]
+        assert observed == expected
+
+    def test_every_shard_mode_agrees_job_for_job_including_tcp(self):
+        streams = self._streams(seed=3)
+        interleaved, _ = random_interleaving(streams, random.Random(41))
+
+        def run(shard_mode, **kwargs):
+            with MultiWriterSession(shards=2, shard_mode=shard_mode,
+                                    **kwargs) as session:
+                return [getattr(result, "count", None)
+                        for result in session.run_stream(interleaved)]
+
+        with ShardServer(shards=1) as a, ShardServer(shards=1) as b:
+            tcp = run("tcp", shard_addrs=[a.address, b.address])
+        assert tcp == run("inline") == run("thread") == run("process")
+
+    def test_tcp_replay_is_bit_identical_under_chaos(self, repro_env_sandbox):
+        """Frames dropped, duplicated, corrupted, and delayed between
+        the session and both servers: retries + server-side dedup must
+        keep every replay step's answer identical to the inline oracle
+        (exactly-once — a double-applied insert would change counts)."""
+        import os
+        os.environ["REPRO_NET_TIMEOUT_MS"] = "500"
+        os.environ["REPRO_NET_RETRIES"] = "10"
+        streams = self._streams(seed=5)
+        interleaved, _ = random_interleaving(streams, random.Random(7))
+        with MultiWriterSession(shards=2,
+                                shard_mode="inline") as oracle_session:
+            oracle = [getattr(result, "count", None) for result
+                      in oracle_session.run_stream(interleaved)]
+        plan = FaultPlan(drop_every=13, duplicate_every=11,
+                        corrupt_every=17, delay_every=19, delay_ms=5.0)
+        with ShardServer(shards=1) as a, ShardServer(shards=1) as b:
+            with FaultyTransport(a.address, plan) as proxy_a, \
+                    FaultyTransport(b.address, plan) as proxy_b:
+                with MultiWriterSession(
+                        shards=2, shard_mode="tcp",
+                        shard_addrs=[proxy_a.address,
+                                     proxy_b.address]) as session:
+                    observed = [getattr(result, "count", None) for result
+                                in session.run_stream(interleaved)]
+                injected = proxy_a.counters, proxy_b.counters
+        assert observed == oracle
+        # The chaos must actually have happened for this to mean much.
+        assert sum(counters["dropped"] + counters["duplicated"]
+                   + counters["corrupted"]
+                   for counters in injected) >= 1
+
+    def test_midstream_kill_then_handoff_loses_and_doubles_nothing(self):
+        """One stream, three owners: the primary dies mid-stream
+        (directory failover rebuilds from origin + journal on the
+        standby), then the database is gracefully handed to a third
+        server — and every count still matches the from-scratch
+        oracle."""
+        rng = random.Random(23)
+        database = random_database(rng)
+        jobs, expected = [AttachDatabase("main", database)], [None]
+        current = database
+        for _ in range(12):
+            update = random_update(rng, current)
+            current = apply_update(current, update)
+            jobs.append(UpdateRequest("main", update))
+            expected.append(None)
+            jobs.append(CountRequest(QUERY, "main"))
+            expected.append(count_answers(QUERY, current).count)
+        with ShardServer(shards=1) as standby, \
+                ShardServer(shards=1) as third:
+            doomed = ShardServer(shards=1)
+            directory = ShardDirectory([doomed.address],
+                                       standbys=[standby.address],
+                                       timeout_ms=300, retries=1)
+            third_of = len(jobs) // 3
+            futures = [directory.submit(job) for job in jobs[:third_of]]
+            [future.result() for future in futures]
+            doomed.kill()  # abrupt: all server-side state is gone
+            futures += [directory.submit(job)
+                        for job in jobs[third_of:2 * third_of]]
+            [future.result() for future in futures]
+            move = directory.handoff("main", third.address)
+            assert move["moved"] and move["to"] == third.address
+            futures += [directory.submit(job)
+                        for job in jobs[2 * third_of:]]
+            observed = [getattr(future.result(), "count", None)
+                        for future in futures]
+            assert observed == expected
+            stats = directory.stats()
+            assert stats["failovers"] == 1 and stats["handoffs"] == 1
+            assert stats["assignment"]["main"] == third.address
+            directory.close()
+            doomed.close()
 
 
 # ----------------------------------------------------------------------

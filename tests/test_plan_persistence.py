@@ -22,7 +22,6 @@ from repro.counting.plan_cache import (
     PlanCache,
     default_plan_cache,
     relation_content_tag,
-    set_default_plan_cache,
     stable_key_digest,
     stable_key_render,
 )
@@ -34,6 +33,7 @@ from repro.decomposition.serialize import (
 )
 from repro.decomposition.sharp import find_sharp_hypertree_decomposition
 from repro.dynamic import Insert, apply_update
+from repro.envknobs import isolated_repro_env
 from repro.query import parse_query
 from repro.service import CountingService, CountingSession, CountRequest
 from repro.workloads.batch_jobs import batch_jobs
@@ -211,11 +211,9 @@ class TestWarmProcessPool:
         )
         assert stats["disk_hits"] > 0
 
-    def test_default_cache_honors_environment(self, tmp_path, monkeypatch):
+    def test_default_cache_honors_environment(self, tmp_path):
         directory = str(tmp_path / "env-plans")
-        monkeypatch.setenv("REPRO_PLAN_CACHE_DIR", directory)
-        previous = set_default_plan_cache(None)
-        try:
+        with isolated_repro_env(REPRO_PLAN_CACHE_DIR=directory):
             cache = default_plan_cache()
             assert isinstance(cache, PersistentPlanCache)
             assert cache.directory == os.path.abspath(directory)
@@ -223,8 +221,6 @@ class TestWarmProcessPool:
             assert cache.disk_entries() > 0
             clear_engine_memo()  # must drop the disk tier as well
             assert cache.disk_entries() == 0
-        finally:
-            set_default_plan_cache(previous)
 
 
 class TestTargetedInvalidation:
