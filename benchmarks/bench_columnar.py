@@ -1,0 +1,138 @@
+"""Columnar-backend benchmark: vectorized frames vs the tuple kernel.
+
+The acceptance bar of ISSUE 9, asserted here and recorded into
+``BENCH_kernel.json`` by ``run_all.py``:
+
+* **columnar >= 2x** — executing a linked
+  :class:`~repro.counting.compile.CompiledProgram` against a columnar
+  database (code-space scans, dense-table semijoins, staged frames,
+  ``KeyAggregate`` DP) must beat the same program against the same data
+  on the tuple backend by at least 2x on the maintained-stream hot-loop
+  shapes: the ``bench_session`` star and the ``bench_reduced``
+  quantified star and cyclic triangle.  The bar is the *geometric mean*
+  across the three workloads, with every individual workload required
+  to beat the tuple path at all — a single spectacular shape must not
+  paper over a regression on another.
+
+Both sides run the identical compiled program on content-equal
+databases; only the relation backend differs, so the measurement
+isolates exactly what the columnar tier buys.  Both paths are measured
+warm (plans lowered, dictionaries encoded, caches primed outside the
+timed loop — the hot-loop shape: many counts, one database).  Counts
+are cross-checked bit-identical before any timing is trusted.
+
+Standalone usage (CI artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py -o bench-columnar.json
+"""
+
+from __future__ import annotations
+
+import time
+
+import bench_compiled
+
+#: Repeated warm executions per measured loop and best-of repetitions.
+LOOP_ROUNDS = 20
+REPEAT = 3
+
+COLUMNAR_BAR = 2.0
+
+
+def _best(fn, repeat: int = REPEAT) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _workloads():
+    """``(name, tuple database, columnar database, executable)`` —
+    the compiled benchmark's hot-loop shapes, on both backends."""
+    for name, _query, database, executable, _interp in \
+            bench_compiled._workloads():
+        yield (name, database, database.with_backend("columnar"),
+               executable)
+
+
+def measure() -> dict:
+    from repro.db.columnar import columnar_kernels_available
+
+    assert columnar_kernels_available(), \
+        "numpy unavailable: the columnar benchmark cannot run"
+    workloads = {}
+    speedups = []
+    for name, tuple_db, columnar_db, executable in _workloads():
+        columnar_count = executable.count(columnar_db)
+        tuple_count = executable.count(tuple_db)
+        assert columnar_count == tuple_count, (
+            name, columnar_count, tuple_count
+        )
+        columnar_seconds = _best(
+            lambda: [executable.count(columnar_db)
+                     for _ in range(LOOP_ROUNDS)]
+        )
+        tuple_seconds = _best(
+            lambda: [executable.count(tuple_db)
+                     for _ in range(LOOP_ROUNDS)]
+        )
+        speedup = round(tuple_seconds / max(columnar_seconds, 1e-9), 2)
+        speedups.append(speedup)
+        workloads[name] = {
+            "count": columnar_count,
+            "columnar_seconds": round(columnar_seconds, 4),
+            "tuple_seconds": round(tuple_seconds, 4),
+            "speedup": speedup,
+        }
+    geomean = 1.0
+    for speedup in speedups:
+        geomean *= speedup
+    geomean = round(geomean ** (1.0 / len(speedups)), 2)
+    return {
+        "workloads": workloads,
+        "loop_rounds": LOOP_ROUNDS,
+        "columnar_speedup_geomean": geomean,
+        "meets_columnar_2x_bar": (geomean >= COLUMNAR_BAR
+                                  and all(s > 1.0 for s in speedups)),
+    }
+
+
+def snapshot() -> dict:
+    return measure()
+
+
+def test_columnar_backend_meets_the_2x_bar():
+    result = measure()
+    assert result["meets_columnar_2x_bar"], result
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default=None)
+    args = parser.parse_args(argv)
+    result = measure()
+    for name, numbers in result["workloads"].items():
+        print(f"[bench-columnar] {name}: columnar "
+              f"{numbers['columnar_seconds']}s vs tuple "
+              f"{numbers['tuple_seconds']}s -> "
+              f"{numbers['speedup']}x")
+    print(f"[bench-columnar] geomean "
+          f"{result['columnar_speedup_geomean']}x "
+          f"(bar: >= {COLUMNAR_BAR}x)")
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print(f"[bench-columnar] -> {args.output}")
+    return 0 if result["meets_columnar_2x_bar"] else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -117,6 +117,13 @@ def compiled_snapshot() -> dict:
     return _load_bench_module("bench_compiled").snapshot()
 
 
+def columnar_snapshot() -> dict:
+    """The columnar-backend numbers (bench_columnar): compiled programs
+    over dictionary-encoded frames vs the tuple backend on the same
+    hot-loop shapes."""
+    return _load_bench_module("bench_columnar").snapshot()
+
+
 def net_snapshot() -> dict:
     """The networked-shard-fabric numbers (bench_net_fabric): TCP
     2-shard session vs single-writer over real shardserver
@@ -158,6 +165,8 @@ _HEADLINES = (
     ("reduced_speedup", ("reduced", "reduced_speedup")),
     ("compiled_speedup_geomean",
      ("compiled", "compiled_speedup_geomean")),
+    ("columnar_speedup_geomean",
+     ("columnar", "columnar_speedup_geomean")),
     ("deadline_within_fraction",
      ("deadline", "deadline_within_fraction")),
     ("net_speedup", ("net", "net_speedup")),
@@ -223,8 +232,8 @@ def main(argv=None) -> int:
         path.name for path in BENCH_DIR.glob("bench_*.py")
         if path.name not in ("bench_batch_service.py", "bench_session.py",
                              "bench_shards.py", "bench_reduced.py",
-                             "bench_compiled.py", "bench_deadline.py",
-                             "bench_net_fabric.py")
+                             "bench_compiled.py", "bench_columnar.py",
+                             "bench_deadline.py", "bench_net_fabric.py")
     )
     snapshot = {
         "generated_unix": int(time.time()),
@@ -298,6 +307,14 @@ def main(argv=None) -> int:
         if not snapshot["compiled"]["meets_compiled_5x_bar"]:
             failures += 1
             print("[bench]   FAILED (compiled tier below the 5x bar)",
+                  flush=True)
+        snapshot["columnar"] = columnar_snapshot()
+        print(f"[bench] columnar: "
+              f"{snapshot['columnar']['columnar_speedup_geomean']}x geomean "
+              f"vs the tuple backend on the hot-loop shapes", flush=True)
+        if not snapshot["columnar"]["meets_columnar_2x_bar"]:
+            failures += 1
+            print("[bench]   FAILED (columnar backend below the 2x bar)",
                   flush=True)
         snapshot["deadline"] = deadline_snapshot()
         print(f"[bench] deadline: exact baseline "

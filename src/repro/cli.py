@@ -42,7 +42,10 @@ them with ``--shard-addrs host:port[,host:port...]`` or
 fabric"); ``bench`` replays a self-contained maintained star stream
 and, with ``--profile``, cProfiles it.  Subcommands that execute
 counts accept ``--no-compiled`` to force the interpreted strategies
-(equivalent to ``REPRO_COMPILED=0``).
+(equivalent to ``REPRO_COMPILED=0``), and ``count``/``batch``/
+``session``/``bench`` accept ``--backend tuple|columnar`` to pick the
+relation storage backend (equivalent to ``$REPRO_BACKEND``; see
+ARCHITECTURE.md, "Columnar backend").
 """
 
 from __future__ import annotations
@@ -55,7 +58,6 @@ from typing import List, Optional
 from .counting.engine import count_answers, registered_strategies
 from .counting.starsize import quantified_star_size
 from .db.database import Database
-from .db.relation import Relation
 from .decomposition.sharp import sharp_hypertree_width
 from .exceptions import DecompositionNotFoundError, ReproError
 from .homomorphism.core import colored_core
@@ -66,7 +68,13 @@ from .query.parser import parse_query
 
 
 def load_database(path: str) -> Database:
-    """Load a database from a JSON file of ``{relation: [rows...]}``."""
+    """Load a database from a JSON file of ``{relation: [rows...]}``.
+
+    Relations are built on the default backend (``$REPRO_BACKEND`` /
+    ``--backend``).
+    """
+    from .db.columnar import make_relation
+
     with open(path) as handle:
         data = json.load(handle)
     relations = []
@@ -74,7 +82,7 @@ def load_database(path: str) -> Database:
         rows = [tuple(_freeze(value) for value in row) for row in rows]
         if not rows:
             continue
-        relations.append(Relation(name, len(rows[0]), rows))
+        relations.append(make_relation(name, len(rows[0]), rows))
     return Database(relations)
 
 
@@ -98,8 +106,23 @@ def _apply_compiled_flag(args: argparse.Namespace) -> None:
         set_compiled_enabled(False)
 
 
+def _apply_backend_flag(args: argparse.Namespace) -> None:
+    """Honor ``--backend`` by forcing the relation backend."""
+    backend = getattr(args, "backend", None)
+    if backend:
+        import os
+
+        from .db.columnar import BACKEND_ENV, set_default_backend
+
+        # Same pattern as --no-compiled: the env var reaches process-
+        # mode pool workers and TCP shard servers spawned from here.
+        os.environ[BACKEND_ENV] = backend
+        set_default_backend(backend)
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
     _apply_compiled_flag(args)
+    _apply_backend_flag(args)
     query = parse_query(args.query)
     database = load_database(args.database)
     result = count_answers(
@@ -228,6 +251,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from .service import CountingService, load_jobs
 
     _apply_compiled_flag(args)
+    _apply_backend_flag(args)
     jobs = load_jobs(args.jobs)
     _apply_deadline_defaults(jobs, args.deadline_ms, args.error_budget)
     with CountingService(workers=args.workers, mode=args.mode,
@@ -293,6 +317,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
     from .service import CountingSession, MultiWriterSession, load_stream
 
     _apply_compiled_flag(args)
+    _apply_backend_flag(args)
     streams = [load_stream(path) for path in args.jobs]
     for stream in streams:
         _apply_deadline_defaults(stream, args.deadline_ms,
@@ -402,6 +427,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .service import CountRequest, CountingSession, UpdateRequest
 
     _apply_compiled_flag(args)
+    _apply_backend_flag(args)
     branches, hub, rows = 5, 40, 1500
     query = parse_query(
         "ans(A, " + ", ".join(f"B{i}" for i in range(branches)) + ") :- "
@@ -555,6 +581,10 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--no-compiled", action="store_true",
                        help="disable the compiled-plan execution tier "
                             "(interpreted strategies only)")
+    count.add_argument("--backend", default=None,
+                       choices=["tuple", "columnar"],
+                       help="relation storage backend for loaded "
+                            "databases (defaults to $REPRO_BACKEND or 'tuple')")
     add_deadline_flags(count)
     count.set_defaults(func=_cmd_count)
 
@@ -617,6 +647,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_PLAN_CACHE_DIR when set)")
     batch.add_argument("--no-compiled", action="store_true",
                        help="disable the compiled-plan execution tier")
+    batch.add_argument("--backend", default=None,
+                       choices=["tuple", "columnar"],
+                       help="relation storage backend for loaded "
+                            "databases (defaults to $REPRO_BACKEND or 'tuple')")
     add_deadline_flags(batch)
     batch.set_defaults(func=_cmd_batch)
 
@@ -660,6 +694,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "then recount through the engine)")
     session.add_argument("--no-compiled", action="store_true",
                          help="disable the compiled-plan execution tier")
+    session.add_argument("--backend", default=None,
+                         choices=["tuple", "columnar"],
+                         help="relation storage backend for loaded "
+                              "databases (defaults to $REPRO_BACKEND or 'tuple')")
     session.add_argument("--cache-dir", default=None,
                          help="persistent plan-cache directory (defaults to "
                               "$REPRO_PLAN_CACHE_DIR when set)")
@@ -728,6 +766,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="update+count rounds to replay")
     bench.add_argument("--no-compiled", action="store_true",
                        help="disable the compiled-plan execution tier")
+    bench.add_argument("--backend", default=None,
+                       choices=["tuple", "columnar"],
+                       help="relation storage backend for loaded "
+                            "databases (defaults to $REPRO_BACKEND or 'tuple')")
     bench.set_defaults(func=_cmd_bench)
 
     suggest = sub.add_parser(

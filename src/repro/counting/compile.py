@@ -44,6 +44,21 @@ object.  Execution itself never touches schemas:
 The tier is on by default; ``REPRO_COMPILED=0`` in the environment or
 :func:`set_compiled_enabled` (the CLI's ``--no-compiled``) opts out, and
 the ``auto`` strategy then falls back to the interpreted paths.
+
+When every relation a program scans is a
+:class:`~repro.db.columnar.ColumnarRelation` (and numpy is importable),
+the linked executable runs a **columnar** rendition of the same program:
+scans become vectorized masks over int64 code columns, folds become
+code-space hash joins / ``isin`` semijoin filters, the reducer becomes a
+schedule of frame semijoins, and the DP aggregates become sorted-key
+group tables probed with ``searchsorted``
+(:class:`~repro.db.columnar.KeyAggregate`).  The program *description*
+and its digest are backend-agnostic — the columnar path is resolved at
+link/execution time, so cached artifacts are shared between backends —
+and any input the kernels cannot handle exactly
+(:class:`~repro.db.columnar.ColumnarFallback`: mixed backends, key
+spaces or counts that would overflow int64) falls back to the tuple
+path, which is always exact.
 """
 
 from __future__ import annotations
@@ -57,6 +72,17 @@ from operator import itemgetter
 
 from ..consistency.local import CompiledReducer
 from ..db.algebra import _row_getter
+from ..db.columnar import (
+    ColumnarFallback,
+    ColumnarRelation,
+    KeyAggregate,
+    columnar_kernels_available,
+    intersect_frames,
+    join_frames,
+    project_frame,
+    scan_frame,
+    semijoin_frames,
+)
 from ..db.database import Database
 from ..decomposition.sharp import SharpDecomposition
 from ..envknobs import env_flag
@@ -640,13 +666,239 @@ class _LinkedBag:
         return current
 
 
-class _Executable:
-    """A linked :class:`CompiledProgram` — call :meth:`count`."""
+#: Count bounds must stay well inside int64 for the vectorized DP.
+_MAX_TOTAL = 2 ** 62
 
-    __slots__ = ("program", "_bags", "_reducer", "_free", "_dp")
+
+class _ColumnarBag:
+    """A :class:`BagStep` run over code-column frames."""
+
+    __slots__ = ("scans", "intersect", "start", "folds", "project")
+
+    def __init__(self, bag: BagStep):
+        self.scans = bag.scans
+        self.intersect = bag.intersect
+        self.start = bag.start
+        self.folds = tuple(
+            (all(p < step.bound_width for p in step.out_positions), step)
+            for step in bag.folds
+        )
+        self.project = bag.project_positions
+
+    def frame(self, database: Database):
+        def scanned(scan: AtomScan):
+            return scan_frame(database[scan.relation], scan.out_positions,
+                              scan.constraints, scan.equalities)
+
+        if self.intersect:
+            current = scanned(self.scans[0])
+            for scan in self.scans[1:]:
+                if current.n == 0:
+                    return current
+                current = intersect_frames(current, scanned(scan))
+            return current
+        frames = [scanned(scan) for scan in self.scans]
+        current = frames[self.start]
+        for semi, step in self.folds:
+            if current.n == 0:
+                return current
+            part = frames[step.part]
+            if semi:
+                current = semijoin_frames(current, part,
+                                          step.key_positions,
+                                          step.part_positions)
+                if step.out_positions != tuple(range(step.bound_width)):
+                    current = project_frame(current, step.out_positions)
+            else:
+                current = join_frames(current, part, step.key_positions,
+                                      step.part_positions,
+                                      step.out_positions, step.bound_width)
+        if self.project is not None and current.n:
+            current = project_frame(current, self.project)
+        return current
+
+
+def _leaf_aggregate(frame, positions: Tuple[int, ...]) -> KeyAggregate:
+    """Group-count a (projected, deduplicated) leaf frame by *positions* —
+    the columnar ``Counter(map(key_of, rows))``, cached on the host
+    relation when the frame is a pure derivation of one."""
+    return frame.cached(("agg", positions), lambda: KeyAggregate.over(
+        [frame.cols[p] for p in positions],
+        [frame.dicts[p] for p in positions], frame.n,
+    ))
+
+
+class _ColumnarProgram:
+    """The columnar rendition of one compiled program.
+
+    Semantically identical to the tuple executor — same bag schedules,
+    same sequential reducer passes, same bottom-up DP — just phrased
+    over frames and :class:`KeyAggregate` tables.  Counts are exact:
+    every step that could leave int64 raises :class:`ColumnarFallback`
+    instead, and the caller reruns the tuple path.
+    """
+
+    __slots__ = ("_bags", "_reducer", "_free", "_dp", "_digest")
+
+    def __init__(self, program: CompiledProgram):
+        self._bags = tuple(_ColumnarBag(bag) for bag in program.bags)
+        self._reducer = program.reducer
+        self._free = program.free_positions
+        self._dp = program.dp
+        self._digest = program.digest
+
+    def supports(self, database: Database) -> bool:
+        """All scanned relations present, arity-consistent, columnar.
+
+        Missing relations / arity mismatches return ``False`` so the
+        tuple path raises its usual errors.
+        """
+        for bag in self._bags:
+            for scan in bag.scans:
+                relation = database.get(scan.relation)
+                if (not isinstance(relation, ColumnarRelation)
+                        or relation.arity != scan.arity):
+                    return False
+        return True
+
+    def _reduce(self, frames: list) -> list:
+        """The :class:`~repro.consistency.local.CompiledReducer` schedule
+        as frame semijoins (same sequential up/down passes)."""
+        _size, up, down = self._reducer
+        for vertex, probes in up:
+            frame = frames[vertex]
+            for mine, child, child_positions in probes:
+                if frame.n == 0:
+                    break
+                frame = semijoin_frames(frame, frames[child], mine,
+                                        child_positions)
+            frames[vertex] = frame
+        for vertex, mine, parent, parent_positions in down:
+            frame = frames[vertex]
+            if frame.n == 0:
+                continue
+            frames[vertex] = semijoin_frames(frame, frames[parent], mine,
+                                             parent_positions)
+        return frames
+
+    def _staged(self, database: Database):
+        """The reduced, free-projected bag frames, or ``None`` when an
+        empty bag (or empty reduction) already forces count 0.
+
+        Frames are a pure function of the program and the (immutable)
+        scanned relations, so the stage memoizes on the first scanned
+        relation keyed by the *identities* of all of them — the cached
+        tuple holds the relations strongly, so the ``is`` checks can
+        never be fooled by a recycled object.  The hot maintained-stream
+        loop (many counts, one database) pays for folds, reduction and
+        projection once; any update rebuilds a relation and thereby
+        rotates the entry.
+        """
+        relations = tuple(
+            database[scan.relation]
+            for bag in self._bags for scan in bag.scans
+        )
+        key = ("staged", self._digest)
+        host = relations[0] if relations else None
+        entry = None if host is None else host._kcache.get(key)
+        if entry is not None:
+            cached_relations, projected = entry
+            if len(cached_relations) == len(relations) and all(
+                    cached is current for cached, current
+                    in zip(cached_relations, relations)):
+                return projected
+        projected = None
+        frames = []
+        for bag in self._bags:
+            frame = bag.frame(database)
+            if frame.n == 0:
+                frames = None
+                break
+            frames.append(frame)
+        if frames is not None:
+            if self._reducer is not None:
+                frames = self._reduce(frames)
+                if any(frame.n == 0 for frame in frames):
+                    frames = None  # empty propagation: any empty => 0
+        if frames is not None:
+            projected = [
+                frame if positions is None
+                else project_frame(frame, positions)
+                for frame, positions in zip(frames, self._free)
+            ]
+        if host is not None:
+            host._kcache[key] = (relations, projected)
+        return projected
+
+    def count(self, database: Database) -> int:
+        projected = self._staged(database)
+        if projected is None:
+            return 0
+        counts: Dict[int, tuple] = {}  # vertex -> (frame, totals, max)
+        answer = 1
+        for step in self._dp:
+            frame = projected[step.vertex]
+            if not step.children:
+                if step.root:  # isolated component: plain cardinality
+                    answer *= frame.n
+                continue
+            aggregates = []
+            bound = 1
+            for child in step.children:
+                if child.leaf:
+                    aggregate = _leaf_aggregate(projected[child.child],
+                                                child.child_positions)
+                else:
+                    child_frame, totals, biggest = counts.pop(child.child)
+                    if biggest * max(child_frame.n, 1) >= _MAX_TOTAL:
+                        raise ColumnarFallback("group total exceeds int64")
+                    aggregate = KeyAggregate.over(
+                        [child_frame.cols[p]
+                         for p in child.child_positions],
+                        [child_frame.dicts[p]
+                         for p in child.child_positions],
+                        child_frame.n, weights=totals,
+                    )
+                aggregates.append((child.my_positions, aggregate))
+                bound *= max(aggregate.max_total, 1)
+            if bound * max(frame.n, 1) >= _MAX_TOTAL:
+                raise ColumnarFallback("count bound exceeds int64")
+            totals = None
+            for my_positions, aggregate in aggregates:
+                found = aggregate.counts_for(
+                    [frame.cols[p] for p in my_positions],
+                    [frame.dicts[p] for p in my_positions], frame.n,
+                )
+                totals = found if totals is None else totals * found
+            if step.root:
+                answer *= int(totals.sum())
+                if not answer:
+                    return 0
+            else:
+                keep = totals > 0
+                if not bool(keep.all()):
+                    survivors = keep.nonzero()[0]
+                    frame = frame.take(survivors)
+                    totals = totals[survivors]
+                biggest = int(totals.max()) if frame.n else 0
+                counts[step.vertex] = (frame, totals, biggest)
+        return answer
+
+
+class _Executable:
+    """A linked :class:`CompiledProgram` — call :meth:`count`.
+
+    The tuple path below is the reference semantics; :meth:`count`
+    dispatches to the columnar rendition first whenever the database
+    qualifies (see :class:`_ColumnarProgram`).
+    """
+
+    __slots__ = ("program", "_bags", "_reducer", "_free", "_dp",
+                 "_columnar")
 
     def __init__(self, program: CompiledProgram):
         self.program = program
+        self._columnar = None  # built on first qualifying count
         self._bags = tuple(_LinkedBag(bag) for bag in program.bags)
         self._reducer = (None if program.reducer is None
                          else CompiledReducer.from_steps(program.reducer))
@@ -665,6 +917,22 @@ class _Executable:
         )
 
     def count(self, database: Database) -> int:
+        columnar = self._columnar
+        if columnar is not False:
+            try:
+                if columnar is None:
+                    if columnar_kernels_available():
+                        columnar = _ColumnarProgram(self.program)
+                    else:
+                        columnar = False
+                    self._columnar = columnar
+                if columnar is not False and columnar.supports(database):
+                    return columnar.count(database)
+            except ColumnarFallback:
+                pass  # exactness first: rerun on the tuple path
+        return self._tuple_count(database)
+
+    def _tuple_count(self, database: Database) -> int:
         bag_rows: List[set] = []
         for bag in self._bags:
             rows = bag.rows(database)

@@ -30,12 +30,18 @@ class Database:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_dict(cls, data: Mapping[str, Iterable[Row]]) -> "Database":
+    def from_dict(cls, data: Mapping[str, Iterable[Row]],
+                  backend: str | None = None) -> "Database":
         """Build a database from ``{symbol: iterable-of-rows}``.
 
         Arity is inferred from the first row of each relation; empty
         relations cannot be created this way (use :meth:`with_relation`).
+        Relations are built under *backend* (default: the process-wide
+        :func:`~repro.db.columnar.default_backend`, i.e.
+        ``$REPRO_BACKEND``).
         """
+        from .columnar import make_relation  # lazy: columnar imports db
+
         relations = []
         for name, rows in data.items():
             rows = [tuple(r) for r in rows]
@@ -44,8 +50,31 @@ class Database:
                     f"cannot infer arity of empty relation {name!r}; "
                     "use Database.with_relation instead"
                 )
-            relations.append(Relation(name, len(rows[0]), rows))
+            relations.append(
+                make_relation(name, len(rows[0]), rows, backend=backend)
+            )
         return cls(relations)
+
+    def with_backend(self, backend: str) -> "Database":
+        """This database with every relation rebuilt under *backend*.
+
+        Relations already on the target backend are reused as-is (their
+        caches stay warm); the rest are re-encoded from their rows.
+        """
+        from .columnar import ColumnarRelation, make_relation
+
+        converted = []
+        for relation in self._relations.values():
+            current = ("columnar" if isinstance(relation, ColumnarRelation)
+                       else "tuple")
+            if current == backend:
+                converted.append(relation)
+            else:
+                converted.append(make_relation(
+                    relation.name, relation.arity, relation.rows,
+                    backend=backend,
+                ))
+        return Database(converted)
 
     def with_relation(self, relation: Relation) -> "Database":
         """A new database with *relation* added or replaced."""

@@ -19,8 +19,8 @@ from typing import Dict, Iterable, Optional, Sequence
 
 from ..query.query import ConjunctiveQuery
 from ..query.terms import Variable
+from .columnar import make_relation
 from .database import Database
-from .relation import Relation
 
 
 def _rng(seed: Optional[int]) -> random.Random:
@@ -45,7 +45,7 @@ def random_database(query: ConjunctiveQuery, domain_size: int,
             tuple(rng.randrange(domain_size) for _ in range(arity))
             for _ in range(tuples_per_relation)
         }
-        relations.append(Relation(symbol, arity, rows))
+        relations.append(make_relation(symbol, arity, rows))
     return Database(relations)
 
 
@@ -82,7 +82,7 @@ def correlated_database(query: ConjunctiveQuery, domain_size: int,
                 tuple(rng.randrange(domain_size) for _ in range(arity))
             )
     return Database(
-        Relation(symbol, arity, rows_by_symbol[symbol])
+        make_relation(symbol, arity, rows_by_symbol[symbol])
         for symbol, arity in sorted(arities.items())
     )
 
@@ -120,7 +120,7 @@ def functional_database(query: ConjunctiveQuery, domain_size: int,
                           for _ in range(arity - width))
                 )
             rows.add(key + rng.choice(sorted(pool)))
-        relations.append(Relation(symbol, arity, rows))
+        relations.append(make_relation(symbol, arity, rows))
     return Database(relations)
 
 
@@ -129,7 +129,7 @@ def single_relation(name: str, rows: Iterable[Sequence]) -> Database:
     rows = [tuple(r) for r in rows]
     if not rows:
         raise ValueError("single_relation needs at least one row")
-    return Database([Relation(name, len(rows[0]), rows)])
+    return Database([make_relation(name, len(rows[0]), rows)])
 
 
 def _arities(query: ConjunctiveQuery) -> Dict[str, int]:

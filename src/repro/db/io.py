@@ -22,8 +22,8 @@ from ..exceptions import DatabaseError
 from ..query.atom import Atom
 from ..query.query import ConjunctiveQuery
 from ..query.terms import Constant, Variable
+from .columnar import make_relation
 from .database import Database
-from .relation import Relation
 
 #: Key carrying explicit arities in the JSON object (optional on input).
 ARITY_KEY = "__arities__"
@@ -41,10 +41,18 @@ def database_to_dict(database: Database) -> Dict[str, object]:
     return payload
 
 
-def database_from_dict(payload: Dict[str, object]) -> Database:
-    """Inverse of :func:`database_to_dict`; tolerates a missing arity map."""
+def database_from_dict(payload: Dict[str, object],
+                       backend: str | None = None) -> Database:
+    """Inverse of :func:`database_to_dict`; tolerates a missing arity map.
+
+    Relations are built under *backend* (default: the process-wide
+    :func:`~repro.db.columnar.default_backend`, i.e. ``$REPRO_BACKEND``).
+    Every service-side database rebuild — session attach, shard handoff,
+    job specs — funnels through here, so a shard server's environment
+    decides the backend its resident databases run on.
+    """
     arities = payload.get(ARITY_KEY, {})
-    relations: List[Relation] = []
+    relations: List = []
     for name, rows in payload.items():
         if name == ARITY_KEY:
             continue
@@ -58,7 +66,7 @@ def database_from_dict(payload: Dict[str, object]) -> Database:
                 f"empty relation {name!r} needs an explicit arity under "
                 f"{ARITY_KEY!r}"
             )
-        relations.append(Relation(name, arity, rows))
+        relations.append(make_relation(name, arity, rows, backend=backend))
     return Database(relations)
 
 

@@ -25,7 +25,7 @@ class Relation:
     """
 
     __slots__ = ("name", "arity", "_rows", "_indexes", "_statistics",
-                 "_renamed", "_content_tag")
+                 "_renamed", "_content_tag", "_domain")
 
     def __init__(self, name: str, arity: int, rows: Iterable[Row] = ()):
         self.name = name
@@ -48,6 +48,11 @@ class Relation:
         #: here because the relation is immutable and rendering a large
         #: row set is O(n log n) string work.
         self._content_tag = None
+        #: Cached :meth:`active_domain` — a shared one-element cell so a
+        #: domain computed through any :meth:`renamed` alias serves every
+        #: alias (recomputing was O(n * arity) per call and the sampler
+        #: and canonicalization layers ask repeatedly).
+        self._domain = [None]
 
     # ------------------------------------------------------------------
     @property
@@ -90,6 +95,7 @@ class Relation:
         self._statistics = None
         self._renamed = {}
         self._content_tag = None
+        self._domain = [None]
 
     # ------------------------------------------------------------------
     def index_on(self, positions: Iterable[int]) -> Dict[Row, Tuple[Row, ...]]:
@@ -150,21 +156,39 @@ class Relation:
             return self
         cached = self._renamed.get(name)
         if cached is None:
-            cached = object.__new__(Relation)
+            cached = object.__new__(type(self))
             cached.name = name
             cached.arity = self.arity
-            cached._rows = self._rows
-            cached._indexes = self._indexes         # shared: same contents
-            cached._statistics = self.statistics()  # shared: content-based
-            cached._renamed = self._renamed         # shared alias pool
-            cached._content_tag = self._content_tag  # name-agnostic anyway
+            self._share_contents(cached)
             self._renamed[name] = cached
             self._renamed.setdefault(self.name, self)
         return cached
 
+    def _share_contents(self, alias: "Relation") -> None:
+        """Point *alias* at this relation's contents and caches.
+
+        Subclasses with extra content slots (the columnar backend's
+        column arrays and dictionaries) extend this so an alias shares
+        those too — an alias differs from its source by name only.
+        """
+        alias._rows = self._rows
+        alias._indexes = self._indexes         # shared: same contents
+        alias._statistics = self.statistics()  # shared: content-based
+        alias._renamed = self._renamed         # shared alias pool
+        alias._content_tag = self._content_tag  # name-agnostic anyway
+        alias._domain = self._domain           # shared cell: one compute
+
     def active_domain(self) -> frozenset:
-        """All values occurring in any position of any row."""
-        values: set = set()
-        for row in self._rows:
-            values.update(row)
-        return frozenset(values)
+        """All values occurring in any position of any row (cached).
+
+        The relation is immutable, so the domain is computed once and
+        shared across every :meth:`renamed` alias.
+        """
+        cached = self._domain[0]
+        if cached is None:
+            values: set = set()
+            for row in self.rows:
+                values.update(row)
+            cached = frozenset(values)
+            self._domain[0] = cached
+        return cached

@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from typing import Hashable, Tuple, Union
 
 from ..db.database import Database
-from ..db.relation import Relation
 from ..exceptions import DatabaseError
 
 Row = Tuple[Hashable, ...]
@@ -69,6 +68,8 @@ def apply_update(database: Database, update: Update) -> Database:
                 f"row {update.row!r} not present in {update.relation!r}"
             )
         rows.discard(update.row)
+    # type(relation): updates preserve the relation's backend, so a
+    # columnar database stays columnar across a maintained stream.
     return database.with_relation(
-        Relation(relation.name, relation.arity, sorted(rows, key=repr))
+        type(relation)(relation.name, relation.arity, sorted(rows, key=repr))
     )

@@ -16,6 +16,8 @@ The knobs currently wired through here:
 * ``REPRO_MAINTAINER_BUDGET_MB`` —
   :func:`repro.dynamic.maintainer.maintainer_budget_from_env`
 * ``REPRO_COMPILED`` — :func:`repro.counting.compile.compiled_enabled`
+* ``REPRO_BACKEND`` — :func:`repro.db.columnar.default_backend`
+  (``tuple`` or ``columnar``; the relation storage / kernel backend)
 * ``REPRO_COST_UNITS_PER_MS`` —
   :func:`repro.counting.engine.cost_units_per_ms` (deadline calibration)
 * ``REPRO_PLAN_CACHE_DIR`` —

@@ -68,13 +68,23 @@ class ShardDirectory:
         The server-side shard name this directory drives its jobs into
         (namespaced per directory by default, so directories sharing
         servers stay isolated).
+    journal_cap:
+        Truncation threshold for per-database journals.  Once a journal
+        reaches this many acknowledged updates, the directory pulls a
+        fresh checkpoint from the owning server (on the database's own
+        lane, so no job interleaves), makes it the new origin, and drops
+        the journal — bounding both recovery-material memory and
+        failover replay length.  ``None`` disables truncation.
     """
 
     def __init__(self, addresses: Sequence[str],
                  standbys: Sequence[str] = (),
                  shard: Optional[str] = None,
                  timeout_ms: Optional[float] = None,
-                 retries: Optional[int] = None):
+                 retries: Optional[int] = None,
+                 journal_cap: Optional[int] = None):
+        if journal_cap is not None and journal_cap < 1:
+            raise ValueError("journal_cap must be at least 1")
         if not addresses:
             raise ValueError("a shard directory needs at least one address")
         self.shard = shard or f"dir-{uuid.uuid4().hex[:12]}/shard0"
@@ -92,8 +102,10 @@ class ShardDirectory:
         self._recovery_events: Dict[str, threading.Event] = {}
         self._recovery_errors: Dict[str, TransportError] = {}
         self._closed = False
+        self._journal_cap = journal_cap
         self.failovers = 0
         self.handoffs = 0
+        self.truncations = 0
 
     # ------------------------------------------------------------------
     def _state_for(self, address: str) -> _AddressState:
@@ -183,7 +195,43 @@ class ShardDirectory:
                 self._journals[database] = []
         elif isinstance(job, UpdateRequest):
             with self._lock:
-                self._journals.setdefault(database, []).append(job)
+                journal = self._journals.setdefault(database, [])
+                journal.append(job)
+                cap = self._journal_cap
+                full = cap is not None and len(journal) >= cap
+            if full:
+                self._truncate_journal(database)
+
+    def _truncate_journal(self, database: str) -> None:
+        """Fold the journal into a fresh origin checkpoint.
+
+        Runs on the database's single-worker lane right after an
+        acknowledged update, so the checkpoint cannot interleave with
+        another of this database's jobs.  A transport failure here is
+        harmless — the old origin plus the (longer) journal remains a
+        complete recovery recipe, and the next acknowledged update
+        retries the truncation.
+        """
+        with self._lock:
+            address = self._assignment.get(database)
+            if address is None:
+                return
+        state = self._state_for(address)
+        try:
+            with state.lock:
+                checkpoint = state.client.checkpoint(self.shard, database)
+        except TransportError:
+            return
+        envelope = checkpoint["envelope"]
+        with self._lock:
+            # The assignment may have moved under a concurrent failover;
+            # the fresh checkpoint is only authoritative for the server
+            # it was taken from.
+            if self._assignment.get(database) != address:
+                return
+            self._origins[database] = envelope
+            self._journals[database] = []
+            self.truncations += 1
 
     @staticmethod
     def _checkpoint_from_job(job: AttachDatabase) -> str:
@@ -327,8 +375,10 @@ class ShardDirectory:
                 "assignment": dict(self._assignment),
                 "journal_depths": {database: len(journal) for database,
                                    journal in self._journals.items()},
+                "journal_cap": self._journal_cap,
                 "failovers": self.failovers,
                 "handoffs": self.handoffs,
+                "truncations": self.truncations,
             }
 
     def close(self) -> None:

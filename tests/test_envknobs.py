@@ -12,6 +12,7 @@ import warnings
 import pytest
 
 from repro.counting.compile import COMPILED_ENV, compiled_enabled
+from repro.db.columnar import BACKEND_ENV, default_backend
 from repro.dynamic.maintainer import (
     MAINTAINER_BUDGET_ENV,
     maintainer_budget_from_env,
@@ -113,6 +114,31 @@ class TestMaintainerBudgetKnob:
         monkeypatch.setenv(MAINTAINER_BUDGET_ENV, "lots")
         with pytest.warns(RuntimeWarning, match=MAINTAINER_BUDGET_ENV):
             assert maintainer_budget_from_env() is None
+
+
+class TestBackendKnob:
+    def test_valid_and_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "columnar")
+        assert default_backend() == "columnar"
+        monkeypatch.setenv(BACKEND_ENV, "COLUMNAR")
+        assert default_backend() == "columnar"
+        monkeypatch.setenv(BACKEND_ENV, "tuple")
+        assert default_backend() == "tuple"
+
+    def test_unset_defaults_to_tuple(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_backend() == "tuple"
+
+    def test_garbage_warns_once_and_falls_back_to_tuple(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "arrow")
+        with pytest.warns(RuntimeWarning, match=BACKEND_ENV):
+            assert default_backend() == "tuple"
+        # Same garbage value: silent on re-read, same fallback.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_backend() == "tuple"
 
 
 class TestCompiledKnob:

@@ -540,6 +540,40 @@ class TestShardDirectory:
             directory.close()
             doomed.close()
 
+    def test_journal_truncation_bounds_replay_and_survives_failover(self):
+        with ShardServer(shards=1) as standby:
+            doomed = ShardServer(shards=1)
+            directory = ShardDirectory([doomed.address],
+                                       standbys=[standby.address],
+                                       timeout_ms=300, retries=1,
+                                       journal_cap=3)
+            jobs = self.stream(rounds=8)
+            expected = self.expected(rounds=8)
+            prefix = [directory.submit(job) for job in jobs[:13]]
+            assert [getattr(f.result(), "count", None)
+                    for f in prefix] == expected[:13]
+            stats = directory.stats()
+            # Six acknowledged updates under a cap of three: the
+            # directory re-checkpointed (at least) twice and never
+            # holds a full-history journal.
+            assert stats["truncations"] >= 2
+            assert stats["journal_depths"]["db"] < 3
+            assert stats["journal_cap"] == 3
+            doomed.kill()  # mid-stream death after truncations
+            rest = [directory.submit(job) for job in jobs[13:]]
+            counts = [getattr(future.result(), "count", None)
+                      for future in rest]
+            # The truncated origin subsumes every dropped journal
+            # prefix: failover replay is still exact.
+            assert counts == expected[13:]
+            assert directory.stats()["failovers"] == 1
+            directory.close()
+            doomed.close()
+
+    def test_journal_cap_must_be_positive(self):
+        with pytest.raises(ValueError, match="journal_cap"):
+            ShardDirectory(["127.0.0.1:1"], journal_cap=0)
+
     def test_failover_without_standby_or_origin_fails_loudly(self):
         doomed = ShardServer(shards=1)
         directory = ShardDirectory([doomed.address],
