@@ -24,6 +24,15 @@ The two acceptance bars of ISSUE 5, asserted here and recorded into
   maintainers, and (c) keep peak resident maintainer bytes under the
   configured budget.
 
+ISSUE 10 added a third bar:
+
+* **single-update dirty reads repair in O(delta)** — on a large
+  resident triangle instance, a stream of single-tuple-update-then-read
+  rounds against the frontier-propagating delta repair must beat the
+  same stream against a maintainer forced through a full re-reduction
+  before every read (``rebuild_consistency()``, the pre-ISSUE-10
+  per-read cost) by at least 3x.
+
 Standalone usage (CI artifact)::
 
     PYTHONPATH=src python benchmarks/bench_reduced.py -o bench-reduced.json
@@ -36,7 +45,7 @@ import time
 from repro.counting.engine import count_answers
 from repro.counting.plan_cache import PLAN_CACHE_DIR_ENV
 from repro.db.database import Database
-from repro.dynamic import Insert, apply_update
+from repro.dynamic import Insert, ReducedMaintainer, apply_update
 from repro.dynamic.maintainer import MAINTAINER_BUDGET_ENV
 from repro.envknobs import isolated_repro_env
 from repro.query.parser import parse_query
@@ -295,10 +304,78 @@ def measure_spill() -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Part 3: O(delta) dirty-read repair vs full re-reduction per read
+# ----------------------------------------------------------------------
+#: Identity relations on this many nodes: every node closes the
+#: triangle, so each bag keeps ~ODELTA_NODES resident survivors while a
+#: single fresh-edge update's frontier is a handful of keys.
+ODELTA_NODES = 1500
+ODELTA_ROUNDS = 30
+
+
+def _odelta_database() -> Database:
+    loops = [(i, i) for i in range(ODELTA_NODES)]
+    return Database.from_dict({"r": loops, "s": loops, "t": loops})
+
+
+def _odelta_updates():
+    """Single fresh-edge inserts; every third round closes a triangle."""
+    updates = []
+    for index in range(ODELTA_ROUNDS):
+        node = ODELTA_NODES + index // 3
+        name = ("r", "s", "t")[index % 3]
+        updates.append(Insert(name, (node, node)))
+    return updates
+
+
+def measure_odelta() -> dict:
+    with _isolated_from_configured_env():
+        updates = _odelta_updates()
+        delta = ReducedMaintainer(TRI_QUERY, _odelta_database())
+        baseline = ReducedMaintainer(TRI_QUERY, _odelta_database())
+        assert delta.count == baseline.count  # both warm before timing
+
+        delta_counts = []
+        started = time.perf_counter()
+        for update in updates:
+            delta.apply(update)
+            delta_counts.append(delta.count)
+        delta_seconds = time.perf_counter() - started
+
+        baseline_counts = []
+        started = time.perf_counter()
+        for update in updates:
+            baseline.apply(update)
+            # The pre-frontier per-read cost: drop the delta reducer so
+            # the next read pays a full re-reduction of every bag.
+            baseline.rebuild_consistency()
+            baseline_counts.append(baseline.count)
+        baseline_seconds = time.perf_counter() - started
+
+        stats = delta.repair_stats()
+    assert delta_counts == baseline_counts, "O(delta) repair diverged"
+    speedup = round(baseline_seconds / max(delta_seconds, 1e-9), 2)
+    return {
+        "reduced_odelta_workload": f"{ODELTA_ROUNDS} single-update/read "
+                                   f"rounds on a {ODELTA_NODES}-node "
+                                   f"resident triangle, delta repair vs "
+                                   f"full re-reduction per read",
+        "reduced_odelta_resident_nodes": ODELTA_NODES,
+        "reduced_odelta_baseline_seconds": round(baseline_seconds, 4),
+        "reduced_odelta_delta_seconds": round(delta_seconds, 4),
+        "reduced_odelta_repair_rows": (stats["applied_rows"]
+                                       + stats["rows_touched"]),
+        "reduced_odelta_speedup": speedup,
+        "meets_reduced_odelta_bar": speedup >= 3.0,
+    }
+
+
 def snapshot() -> dict:
     """The benchmark's JSON snapshot (merged into ``BENCH_kernel.json``)."""
     result = measure_reduced_streams()
     result.update(measure_spill())
+    result.update(measure_odelta())
     return result
 
 
@@ -336,6 +413,19 @@ def test_spill_forced_reduced_session_correct_under_cap():
     assert outcome["reduced_spill_reduced_counts"] > 0
 
 
+def test_single_update_read_repair_is_odelta():
+    """ISSUE 10 bar: frontier-propagating repair of a single-update
+    dirty read >= 3x over full re-reduction on a large resident
+    instance."""
+    outcome = measure_odelta()
+    assert outcome["meets_reduced_odelta_bar"], (
+        f"delta repair {outcome['reduced_odelta_delta_seconds']}s not 3x "
+        f"faster than per-read re-reduction "
+        f"{outcome['reduced_odelta_baseline_seconds']}s "
+        f"({outcome['reduced_odelta_speedup']}x)"
+    )
+
+
 if __name__ == "__main__":  # pragma: no cover - CI artifact entry point
     import argparse
     import json
@@ -356,6 +446,9 @@ if __name__ == "__main__":  # pragma: no cover - CI artifact entry point
     if not result["meets_reduced_spill_bar"]:
         failed.append("spill-forced reduced session broke correctness "
                       "or its byte cap")
+    if not result["meets_reduced_odelta_bar"]:
+        failed.append("single-update dirty-read repair is not >= 3x "
+                      "faster than full re-reduction per read")
     for message in failed:
         print(f"FAILED: {message}", file=sys.stderr)
     if failed:

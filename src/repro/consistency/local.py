@@ -25,6 +25,7 @@ from ..db.database import Database
 from ..hypergraph.acyclicity import JoinTree
 from ..query.query import ConjunctiveQuery
 from ..query.terms import Variable
+from .delta import DeltaReducer
 from .pairwise import pairwise_consistency
 from .views import hypertree_view_set, standard_view_extension
 
@@ -155,13 +156,18 @@ class CompiledReducer:
         if len(row_sets) != self._size:
             raise ValueError("row set count does not match compiled tree")
         reduced: List = list(row_sets)
-        key_sets: dict = {}
+        # Key sets indexed per vertex (getter -> keys), so a shrink
+        # invalidates exactly the shrunk vertex's slot instead of
+        # rebuilding a flat dict over every cached edge.
+        key_sets: List = [None] * self._size
 
         def keys_of(index: int, getter) -> Set[tuple]:
-            cached = key_sets.get((index, getter))
+            per_vertex = key_sets[index]
+            if per_vertex is None:
+                per_vertex = key_sets[index] = {}
+            cached = per_vertex.get(getter)
             if cached is None:
-                cached = set(map(getter, reduced[index]))
-                key_sets[(index, getter)] = cached
+                cached = per_vertex[getter] = set(map(getter, reduced[index]))
             return cached
 
         for vertex, probes in self._up_steps:
@@ -183,10 +189,7 @@ class CompiledReducer:
                 }
             if len(kept) != len(rows):
                 reduced[vertex] = kept
-                key_sets = {
-                    cache_key: value for cache_key, value in key_sets.items()
-                    if cache_key[0] != vertex
-                }
+                key_sets[vertex] = None
         for vertex, mine_of, parent, parent_of in self._down_steps:
             rows = reduced[vertex]
             if not rows:
@@ -195,14 +198,35 @@ class CompiledReducer:
             kept = {row for row in rows if mine_of(row) in keys}
             if len(kept) != len(rows):
                 reduced[vertex] = kept
-                key_sets = {
-                    cache_key: value for cache_key, value in key_sets.items()
-                    if cache_key[0] != vertex
-                }
+                key_sets[vertex] = None
         if any(not rows for rows in reduced):
             return [frozenset() for _ in reduced]
         return [rows if isinstance(rows, frozenset) else frozenset(rows)
                 for rows in reduced]
+
+
+class CompiledDeltaReducer(DeltaReducer):
+    """Compiled rendition of :class:`~repro.consistency.delta.DeltaReducer`.
+
+    Identical support-counter / changed-key-frontier algorithm; the only
+    lowering is the key-extractor family: shared-variable keys are
+    extracted through the same scalar-fused :func:`_key_getter` memo the
+    :class:`CompiledReducer` semijoin passes use (bare C-speed
+    ``itemgetter`` value for a single shared position, tuple extractor
+    otherwise), resolved once at link time.  Keys never leave the
+    reducer, so scalar keys are safe — both endpoints of an edge always
+    extract through the same family.
+
+    Like the compiled delta-join plans, the extractors are closures:
+    :meth:`~repro.consistency.delta.DeltaReducer.steps` data is plain
+    pickle-safe positions, and a pickle round trip (or
+    :meth:`from_steps`) relinks them.  The
+    :class:`~repro.dynamic.reduced.ReducedMaintainer` links this class
+    on the compiled tier and the interpreted ``DeltaReducer`` under
+    ``REPRO_COMPILED=0``.
+    """
+
+    _getter = staticmethod(_key_getter)
 
 
 def nonempty_after_pairwise_consistency(query: ConjunctiveQuery,

@@ -61,7 +61,13 @@ COMPILED_FORMAT_VERSION = 1
 #: maintenance — provenance parts, witness counts, and the inner DP)
 #: where version 1 only ever held an ``IncrementalCounter``; version-1
 #: files are rejected on restore and the DP rebuilt from the database.
-MAINTAINER_FORMAT_VERSION = 2
+#: Version 3: ``ReducedMaintainer`` bag state switched from the fed-row
+#: snapshot / dirty-bit layout to the delta-reducer layout (pending
+#: membership flips plus projection-support multisets; the reducer's
+#: support counters themselves are reseeded on first read after
+#: restore) — version-2 envelopes would unpickle into the wrong slot
+#: set, so they are rejected and the maintainer rebuilt.
+MAINTAINER_FORMAT_VERSION = 3
 
 #: Bump when the shard-handoff payload (a database snapshot shipped
 #: between shard servers; see :mod:`repro.service.net.directory`)

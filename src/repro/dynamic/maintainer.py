@@ -222,6 +222,10 @@ class IncrementalCounter:
                 self._atoms_by_relation.setdefault(
                     atom.relation, []
                 ).append((index, atom_index))
+        #: Cumulative count of bag rows re-evaluated by repair passes —
+        #: the DP-side observable the operation-counting differential
+        #: leg bounds per read (frontier-sized, not resident-sized).
+        self.repair_rows = 0
         self._wire_tree(tree)
         self._load(database)
         self._recompute_all()
@@ -391,6 +395,7 @@ class IncrementalCounter:
                 continue
             vertex = self._vertices[vertex_index]
             deltas: Dict[Row, int] = {}
+            self.repair_rows += len(rows)
             for row in rows:
                 new = self._row_count(vertex, row)
                 old = vertex.counts.get(row, 0)

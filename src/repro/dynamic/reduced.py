@@ -27,31 +27,38 @@ Each base-relation :class:`~repro.dynamic.updates.Insert` /
 a **delta join** of the single matched row against the bag's other parts
 patches the witness counts of exactly the affected bags (occurrences of
 a repeated symbol are processed one at a time, so self-joins telescope
-correctly), and bag-membership flips mark the instance dirty.  The next
-read re-runs only the cheap two-pass semijoin reduction over the
-already-materialized bag rows, diffs the projected exact bags against
-what the inner DP was last fed, and repairs the DP row-wise through
-``apply_batch`` — never a recount, and nothing at all when updates
-cancelled out.
+correctly), and bag-membership flips are *recorded* as per-bag
+added/removed row sets (flips that cancel within a batch net out to
+nothing).  The next read folds those membership deltas into a
+counting-semijoin :class:`~repro.consistency.delta.DeltaReducer`, which
+re-establishes global consistency by propagating only through shared
+keys whose per-edge support counter crossed zero — the changed-key
+frontier — and reports exactly the bag rows whose *globally consistent*
+(survivor) status flipped.  Per-bag projection-support counters turn
+those survivor flips into fed-row deltas for the inner DP, repaired
+row-wise through ``apply_batch`` — never a recount, never a pass over
+resident rows, and nothing at all when updates cancelled out.
 
-Why global consistency is re-established per read instead of per bag
-row: the projected bag family only joins back to ``pi_free(Q'(D))``
-when every bag is exactly ``pi_bag(Q'(D))`` first (the tp-covered
-property in the proof of Theorem 3.7) — locally consistent bags can
-overcount after projection.  The semijoin passes are linear in the
-resident bag rows, which the provenance layer keeps materialized; the
-expensive work a recount pays (scanning base relations, re-joining every
-view) never recurs.
+Global consistency still cannot be skipped: the projected bag family
+only joins back to ``pi_free(Q'(D))`` when every bag is exactly
+``pi_bag(Q'(D))`` first (the tp-covered property in the proof of
+Theorem 3.7) — locally consistent bags can overcount after projection.
+What *changed* (the PR 5 design re-ran two full semijoin passes over all
+resident bag rows per dirty read) is how consistency is re-established:
+the reducer maintains the same fixpoint incrementally, so a dirty read
+now costs O(delta + frontier reached), independent of the resident
+instance.  Only a checkpoint restore pays a full re-reduction — once, to
+reseed the support counters the pickled envelope intentionally omits.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
-from ..consistency.local import CompiledReducer
-from ..consistency.pairwise import full_reducer
+from ..consistency.delta import DeltaReducer
+from ..consistency.local import CompiledDeltaReducer
 from ..counting.compile import compiled_enabled
-from ..db.algebra import SubstitutionSet, _row_getter
+from ..db.algebra import _row_getter
 from ..db.database import Database
 from ..db.relation import Relation
 from ..decomposition.sharp import (
@@ -135,10 +142,11 @@ class _DynPart:
 
 
 class _BagState:
-    """One bag of the reduced instance: provenance plus fed snapshot."""
+    """One bag of the reduced instance: provenance plus repair deltas."""
 
     __slots__ = ("schema", "parts", "counts", "free_schema", "free_positions",
-                 "inner_symbol", "relation", "members_dirty", "fed")
+                 "inner_symbol", "pending_added", "pending_removed",
+                 "fed_support")
 
     def __init__(self, bag: FrozenSet[Variable], atoms: Sequence[Atom],
                  free: FrozenSet[Variable], inner_symbol: Optional[str]):
@@ -155,7 +163,7 @@ class _BagState:
             v for v in self.schema if v in free
         )
         #: Positions of the free schema inside the bag schema, for the
-        #: compiled refresh (``None`` = every column is free: identity).
+        #: fed projection (``None`` = every column is free: identity).
         self.free_positions: Optional[Tuple[int, ...]] = (
             None if self.free_schema == self.schema else tuple(
                 i for i, v in enumerate(self.schema) if v in free
@@ -164,19 +172,18 @@ class _BagState:
         #: The reduced instance's relation symbol — ``None`` when the
         #: bag has no free variables (it then only gates emptiness).
         self.inner_symbol = inner_symbol
-        #: The bag's membership as an immutable set (what the semijoin
-        #: reduction consumes); rebuilt lazily when membership flips.
-        self.relation = SubstitutionSet(self.schema, (), _presorted=True)
-        self.members_dirty = True
-        #: Projected exact rows last fed to the inner DP.
-        self.fed: FrozenSet[Row] = frozenset()
-
-    def refresh_relation(self) -> None:
-        if self.members_dirty:
-            self.relation = SubstitutionSet(
-                self.schema, frozenset(self.counts), _presorted=True
-            )
-            self.members_dirty = False
+        #: Membership flips not yet folded into the delta reducer (the
+        #: next read's frontier seed).  Disjoint; a flip that reverts
+        #: within a batch cancels out of both.
+        self.pending_added: Set[Row] = set()
+        self.pending_removed: Set[Row] = set()
+        #: Projection-support multiset over the *survivor* rows:
+        #: ``fed_support[projected_row]`` = number of globally consistent
+        #: bag rows projecting onto it.  Zero crossings are exactly the
+        #: fed-row deltas for the inner DP; its key set is what the DP
+        #: was fed (whenever the global-emptiness gate is open).  Only
+        #: maintained for bags with an ``inner_symbol``.
+        self.fed_support: Dict[Row, int] = {}
 
 
 class _DeltaPlan:
@@ -328,10 +335,15 @@ class ReducedMaintainer:
                 self._parts_by_relation.setdefault(
                     part.atom.relation, []
                 ).append((index, part_index))
-        # Compiled repair state (extractor closures — rebuilt lazily, and
-        # dropped from pickled checkpoints by ``__getstate__``).
+        # Repair state holding extractor closures — rebuilt lazily, and
+        # dropped from pickled checkpoints by ``__getstate__``.  The
+        # reducer's support counters are intentionally not checkpointed:
+        # the first read after a restore reseeds them with one full
+        # reduction (construction-shaped work), after which repair is
+        # frontier-priced again.
         self._delta_plans: Optional[Dict[Tuple[int, int], _DeltaPlan]] = None
-        self._compiled_reducer: Optional[CompiledReducer] = None
+        self._delta_reducer: Optional[DeltaReducer] = None
+        self._refreshes = 0
         self._load(database)
         self._dirty = True
         self._nonempty = False
@@ -342,7 +354,7 @@ class ReducedMaintainer:
     def __getstate__(self):
         state = dict(self.__dict__)
         state["_delta_plans"] = None
-        state["_compiled_reducer"] = None
+        state["_delta_reducer"] = None
         return state
 
     def __setstate__(self, state):
@@ -385,7 +397,8 @@ class ReducedMaintainer:
                 continue
             atoms.append(Atom(state.inner_symbol, state.free_schema))
             relations.append(Relation(
-                state.inner_symbol, len(state.free_schema), state.fed
+                state.inner_symbol, len(state.free_schema),
+                self._fed_target(state),
             ))
         if not atoms:
             self._inner = None
@@ -435,8 +448,9 @@ class ReducedMaintainer:
                     part.schema, {matched: 1}, others,
                     frozenset(state.schema)
                 )
-            flipped = False
             counts = state.counts
+            pending_added = state.pending_added
+            pending_removed = state.pending_removed
             for bag_row, witnesses in deltas.items():
                 old = counts.get(bag_row, 0)
                 new = old + sign * witnesses
@@ -444,15 +458,25 @@ class ReducedMaintainer:
                     counts[bag_row] = new
                 else:
                     counts.pop(bag_row, None)
-                if (old == 0) != (new == 0):
-                    flipped = True
+                if (old == 0) == (new == 0):
+                    continue
+                # Membership flipped: record the row for the next read's
+                # frontier repair, cancelling a flip that just reverted.
+                if new:
+                    if bag_row in pending_removed:
+                        pending_removed.discard(bag_row)
+                    else:
+                        pending_added.add(bag_row)
+                else:
+                    if bag_row in pending_added:
+                        pending_added.discard(bag_row)
+                    else:
+                        pending_removed.add(bag_row)
+                self._dirty = True
             if sign > 0:
                 part.add(matched)
             else:
                 part.remove(matched)
-            if flipped:
-                state.members_dirty = True
-                self._dirty = True
 
     def _delta_plan(self, bag_index: int, part_index: int,
                     state: _BagState, part: _DynPart) -> _DeltaPlan:
@@ -475,66 +499,204 @@ class ReducedMaintainer:
     # ------------------------------------------------------------------
     # Read path: exactness + row-wise DP repair
     # ------------------------------------------------------------------
+    def _make_reducer(self) -> DeltaReducer:
+        """Link the delta reducer for this tree — the compiled rendition
+        (scalar-fused key extractors) unless ``REPRO_COMPILED=0``."""
+        factory = CompiledDeltaReducer if compiled_enabled() else DeltaReducer
+        return factory([state.schema for state in self._bags], self.tree)
+
+    def _fed_target(self, state: _BagState) -> FrozenSet[Row]:
+        """What the inner DP should hold for one bag right now: the
+        supported projected rows while the global-emptiness gate is
+        open, nothing otherwise (``full_reducer``'s empty propagation —
+        one empty reduced bag empties every fed relation)."""
+        if not self._nonempty:
+            return frozenset()
+        return frozenset(state.fed_support)
+
+    def _project_changes(self, state: _BagState,
+                         added: FrozenSet[Row], removed: FrozenSet[Row],
+                         ) -> Tuple[Set[Row], Set[Row]]:
+        """Fold one bag's survivor diff into its projection-support
+        multiset; returns the projected rows whose support crossed zero
+        (the bag's fed-row delta).  O(|diff|), never O(survivors)."""
+        support = state.fed_support
+        if state.free_positions is None:
+            # Identity projection: support is survivor membership.
+            for row in removed:
+                support.pop(row, None)
+            for row in added:
+                support[row] = 1
+            return set(added), set(removed)
+        project = _row_getter(state.free_positions)
+        proj_added: Set[Row] = set()
+        proj_removed: Set[Row] = set()
+        for row in removed:
+            key = project(row)
+            value = support.get(key, 0) - 1
+            if value > 0:
+                support[key] = value
+            else:
+                support.pop(key, None)
+                proj_removed.add(key)
+        for row in added:
+            key = project(row)
+            value = support.get(key, 0) + 1
+            support[key] = value
+            if value == 1:
+                # A key both dropped and re-supported this round never
+                # left the fed set: cancel instead of double-reporting.
+                if key in proj_removed:
+                    proj_removed.discard(key)
+                else:
+                    proj_added.add(key)
+        return proj_added, proj_removed
+
     def _refresh(self) -> None:
         """Re-establish global consistency and repair the inner DP.
 
-        Two semijoin passes over the *materialized* bag rows (bags whose
-        membership did not move keep their cached relation and index
-        caches), then per bag: diff the exact rows projected to the free
-        variables against what the inner DP holds and feed exactly the
-        difference as bag-relation deltas.
+        Steady state: fold each bag's recorded membership flips into the
+        delta reducer — support-counter maintenance plus changed-key
+        frontier propagation, O(delta + frontier) — and turn the
+        returned survivor diffs into fed-row deltas through the
+        projection-support counters.  Only two events cost a pass over
+        resident rows: reseeding after a checkpoint restore (the reducer
+        is rebuilt with one full reduction) and a flip of the
+        global-emptiness gate (every fed relation empties or refills).
         """
-        for state in self._bags:
-            state.refresh_relation()
+        self._refreshes += 1
+        reducer = self._delta_reducer
         deltas: List[Update] = []
-        if compiled_enabled():
-            # Compiled leg: the semijoin schedule's extractors and probe
-            # order were resolved once; each pass runs over plain row
-            # sets with no per-read schema work.
-            reducer = self._compiled_reducer
-            if reducer is None:
-                reducer = self._compiled_reducer = CompiledReducer(
-                    [state.schema for state in self._bags], self.tree
-                )
-            exact_sets = reducer.reduce(
-                [state.relation.rows for state in self._bags]
-            )
-            self._nonempty = all(exact_sets)
-            for state, exact_rows in zip(self._bags, exact_sets):
+        if reducer is None:
+            # Reseed (construction, checkpoint restore, or an explicit
+            # rebuild_consistency): full reduction over the resident bag
+            # rows, then diff each bag's fed target against what the
+            # inner DP was last known to hold — the pickled support
+            # multiset plus gate flag describe that exactly.
+            old_feds = [self._fed_target(state) for state in self._bags]
+            reducer = self._delta_reducer = self._make_reducer()
+            reducer.reduce([frozenset(state.counts) for state in self._bags])
+            self._nonempty = not reducer.any_empty()
+            for index, state in enumerate(self._bags):
+                state.pending_added.clear()
+                state.pending_removed.clear()
                 if state.inner_symbol is None:
                     continue
+                survivors = reducer.survivors(index)
                 if state.free_positions is None:
-                    projected = exact_rows
+                    state.fed_support = dict.fromkeys(survivors, 1)
                 else:
-                    projected = frozenset(map(
-                        _row_getter(state.free_positions), exact_rows
-                    ))
-                if projected == state.fed:
-                    continue
-                for row in projected - state.fed:
+                    project = _row_getter(state.free_positions)
+                    support: Dict[Row, int] = {}
+                    for row in survivors:
+                        key = project(row)
+                        support[key] = support.get(key, 0) + 1
+                    state.fed_support = support
+                target = self._fed_target(state)
+                for row in target - old_feds[index]:
                     deltas.append(Insert(state.inner_symbol, row))
-                for row in state.fed - projected:
+                for row in old_feds[index] - target:
                     deltas.append(Delete(state.inner_symbol, row))
-                state.fed = projected
         else:
-            reduced = full_reducer(
-                [state.relation for state in self._bags], self.tree
-            )
-            self._nonempty = all(len(bag) > 0 for bag in reduced)
-            for state, exact in zip(self._bags, reduced):
-                if state.inner_symbol is None:
+            # Frontier repair: per dirty bag, apply the recorded
+            # membership flips and merge the survivor diffs (a row's
+            # status can move more than once across bags' applications;
+            # the net sign is what matters).
+            merged: Dict[int, Dict[Row, int]] = {}
+            for index, state in enumerate(self._bags):
+                if not (state.pending_added or state.pending_removed):
                     continue
-                projected = exact.projection_keys(state.free_schema)
-                if projected == state.fed:
+                changes = reducer.apply(
+                    index, state.pending_added, state.pending_removed
+                )
+                state.pending_added = set()
+                state.pending_removed = set()
+                for bag, (added, removed) in changes.items():
+                    signs = merged.setdefault(bag, {})
+                    for row in added:
+                        value = signs.get(row, 0) + 1
+                        if value:
+                            signs[row] = value
+                        else:
+                            del signs[row]
+                    for row in removed:
+                        value = signs.get(row, 0) - 1
+                        if value:
+                            signs[row] = value
+                        else:
+                            del signs[row]
+            was_nonempty = self._nonempty
+            nonempty = not reducer.any_empty()
+            if was_nonempty and not nonempty:
+                # Gate closed: every fed relation empties.  Emit the
+                # deletes against the *pre-update* support (what the DP
+                # holds), then fold the survivor diffs in silently.
+                for state in self._bags:
+                    if state.inner_symbol is None:
+                        continue
+                    deltas.extend(
+                        Delete(state.inner_symbol, row)
+                        for row in state.fed_support
+                    )
+            for bag, signs in merged.items():
+                state = self._bags[bag]
+                if state.inner_symbol is None or not signs:
                     continue
-                for row in projected - state.fed:
-                    deltas.append(Insert(state.inner_symbol, row))
-                for row in state.fed - projected:
-                    deltas.append(Delete(state.inner_symbol, row))
-                state.fed = projected
+                added = frozenset(
+                    row for row, sign in signs.items() if sign > 0
+                )
+                removed = frozenset(
+                    row for row, sign in signs.items() if sign < 0
+                )
+                proj_added, proj_removed = self._project_changes(
+                    state, added, removed
+                )
+                if was_nonempty and nonempty:
+                    deltas.extend(
+                        Insert(state.inner_symbol, row) for row in proj_added
+                    )
+                    deltas.extend(
+                        Delete(state.inner_symbol, row) for row in proj_removed
+                    )
+            if nonempty and not was_nonempty:
+                # Gate opened: every fed relation fills with its full
+                # (post-update) supported projection.
+                for state in self._bags:
+                    if state.inner_symbol is None:
+                        continue
+                    deltas.extend(
+                        Insert(state.inner_symbol, row)
+                        for row in state.fed_support
+                    )
+            self._nonempty = nonempty
         if deltas and self._inner is not None:
             self._inner.apply_batch(deltas)
         self._dirty = False
+
+    def rebuild_consistency(self) -> None:
+        """Drop the incremental reducer state, exactly as a checkpoint
+        restore does: the next read pays one full re-reduction (plus a
+        from-scratch fed diff) to reseed the support counters.  Exposed
+        for the O(delta) benchmark's full-reduction baseline and the
+        restore-path tests."""
+        self._delta_reducer = None
+        self._dirty = True
+
+    def repair_stats(self) -> Dict[str, int]:
+        """Cumulative repair-work counters: ``refreshes`` served, plus —
+        once a reducer is linked — its frontier counters
+        (``applied_rows``, ``key_flips``, ``rows_touched``,
+        ``propagations``; see
+        :attr:`~repro.consistency.delta.DeltaReducer.stats`).  The
+        operation-counting differential leg bounds the per-read growth
+        of these against the update's frontier, not the resident rows.
+        Reducer counters restart from zero after a checkpoint restore
+        (the reducer itself is rebuilt)."""
+        stats = {"refreshes": self._refreshes}
+        reducer = self._delta_reducer
+        if reducer is not None:
+            stats.update(reducer.stats)
+        return stats
 
     @property
     def count(self) -> int:
@@ -564,33 +726,38 @@ class ReducedMaintainer:
         DP (refreshing first so pending deltas are folded in)."""
         if self._dirty:
             self._refresh()
-        return [state.fed for state in self._bags]
+        return [self._fed_target(state) for state in self._bags]
 
     def estimated_bytes(self) -> int:
         """Size estimate including the provenance layer.
 
-        Parts (rows plus built indexes), witness counts, the
-        materialized bag relation (its row snapshot plus the index/key
-        caches the consistency passes build on it, charged as one extra
-        copy), and fed snapshots are all priced at
-        :data:`~repro.dynamic.maintainer.CELL_BYTES` per stored cell
-        like the inner DP's own estimate; the inner counter adds its own
-        figure.  O(#bags + #indexes) arithmetic.  A *read* can grow the
-        maintainer (the lazy repair rebuilds bag relations and enlarges
-        the inner DP), so the pool re-samples after serving each count
+        Parts (rows plus built indexes), witness counts, pending
+        membership flips, and the projection-support multisets are
+        priced at :data:`~repro.dynamic.maintainer.CELL_BYTES` per
+        stored cell like the inner DP's own estimate; the delta
+        reducer's state — per-row miss masks, per-edge row indexes, and
+        the per-key support counters — is charged through
+        :meth:`~repro.consistency.delta.DeltaReducer.estimated_cells`,
+        so the :class:`~repro.dynamic.maintainer.MaintainerPool` byte
+        budget sees the incremental-consistency machinery too; the inner
+        counter adds its own figure.  O(#bags + #edges + #indexes)
+        arithmetic.  A *read* can grow the maintainer (the lazy repair
+        links/reseeds the reducer and enlarges the inner DP), so the
+        pool re-samples after serving each count
         (:meth:`~repro.dynamic.maintainer.MaintainerPool.note_read`).
         """
         total = 0
         for state in self._bags:
             width = len(state.schema) + 1
-            rows = len(state.counts) + len(state.fed)
-            # The membership snapshot plus its reducer-built caches.
-            rows += 2 * len(state.relation.rows)
+            rows = (len(state.counts) + len(state.fed_support)
+                    + len(state.pending_added) + len(state.pending_removed))
             for part in state.parts:
                 part_width = len(part.schema) + 1
                 part_rows = len(part.rows) * (1 + len(part._indexes))
                 rows += (part_rows * part_width) // max(width, 1)
             total += VERTEX_BASE_BYTES + rows * width * CELL_BYTES
+        if self._delta_reducer is not None:
+            total += self._delta_reducer.estimated_cells() * CELL_BYTES
         if self._inner is not None:
             total += self._inner.estimated_bytes()
         return total

@@ -162,6 +162,13 @@ class ShardServer:
         self.frames_rejected = 0
         self.requests_served = 0
         self.requests_deduped = 0
+        #: Shard ``close()`` failures observed while releasing/draining.
+        #: A failed close is survivable (the shard is discarded either
+        #: way) but must not vanish: it is counted here and surfaced in
+        #: stats and drain replies, mirroring the close-error accounting
+        #: on in-process handles.
+        self.close_errors = 0
+        self.last_close_error: Optional[str] = None
 
         # The plan-cache tier shared by this server's cores.
         self.kv: Optional[PlanCacheKVServer] = None
@@ -428,6 +435,8 @@ class ShardServer:
                 "frames_rejected": self.frames_rejected,
                 "requests_served": self.requests_served,
                 "requests_deduped": self.requests_deduped,
+                "close_errors": self.close_errors,
+                "last_close_error": self.last_close_error,
                 "pending": core.pending,
                 "max_pending": self.max_pending,
                 "kv_url": self.kv_url,
@@ -471,11 +480,17 @@ class ShardServer:
                 "total_tuples": ack["total_tuples"],
                 "replaced": ack["replaced"]}
 
+    def _record_close_error(self, shard_name: str, error: Exception) -> None:
+        with self._lock:
+            self.close_errors += 1
+            self.last_close_error = f"{shard_name}: {error}"
+
     def _op_release(self, request: dict) -> dict:
         shards = request.get("shards")
         if not isinstance(shards, list):
             raise ReproError("release names no shards")
         released = []
+        failed = 0
         for name in shards:
             with self._lock:
                 core = self._cores.pop(name, None)
@@ -483,11 +498,19 @@ class ShardServer:
                 continue
             try:
                 core.pool.submit(core.shard.close).result()
-            except Exception:
-                pass
+            except Exception as error:
+                # The shard is discarded regardless, but the failure is
+                # accounted (server totals + this reply), not swallowed.
+                failed += 1
+                self._record_close_error(name, error)
             core.pool.shutdown(wait=False)
             released.append(name)
-        return {"released": sorted(released)}
+        reply = {"released": sorted(released)}
+        if failed:
+            with self._lock:
+                reply["close_errors"] = failed
+                reply["last_close_error"] = self.last_close_error
+        return reply
 
     def _op_drain(self, request: dict) -> dict:
         with self._lock:
@@ -497,7 +520,10 @@ class ShardServer:
         # previously queued jobs have finished.
         for core in cores:
             core.pool.submit(lambda: None).result()
-        return {"drained": True, "shards": len(cores)}
+        with self._lock:
+            return {"drained": True, "shards": len(cores),
+                    "close_errors": self.close_errors,
+                    "last_close_error": self.last_close_error}
 
     def _op_stall(self, request: dict) -> dict:
         if not self.allow_chaos:
@@ -557,15 +583,15 @@ class ShardServer:
         self.drain()
         with self._lock:
             self._closed = True
-            cores = list(self._cores.values())
+            cores = list(self._cores.items())
             self._cores.clear()
             connections = list(self._connections)
             self._connections.clear()
-        for core in cores:
+        for name, core in cores:
             try:
                 core.pool.submit(core.shard.close).result()
-            except Exception:
-                pass
+            except Exception as error:
+                self._record_close_error(name, error)
             core.pool.shutdown(wait=False)
         try:
             self._listener.close()

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
@@ -308,7 +309,7 @@ def job_from_spec(spec: dict, where: str = "<stream>") -> SessionJob:
             max_degree = spec.get("max_degree")
             deadline_ms = spec.get("deadline_ms")
             error_budget = spec.get("error_budget")
-            return CountRequest(
+            request = CountRequest(
                 query=parse_query(spec["query"]),
                 database=spec["database"],
                 method=spec.get("method", "auto"),
@@ -322,6 +323,15 @@ def job_from_spec(spec: dict, where: str = "<stream>") -> SessionJob:
                 error_budget=(None if error_budget is None
                               else float(error_budget)),
             )
+            waited_ms = spec.get("waited_ms")
+            if waited_ms is not None:
+                # Re-anchor the sender's elapsed queue wait on *this*
+                # host's clock so SessionShard.engine_job subtracts it
+                # from the deadline exactly as it does in-process.
+                request.submitted_at = (
+                    time.monotonic() - float(waited_ms) / 1e3
+                )
+            return request
         if op in ("insert", "delete"):
             row = tuple(_freeze(value) for value in spec["row"])
             update_type = Insert if op == "insert" else Delete
@@ -381,6 +391,16 @@ def job_to_spec(job: SessionJob) -> dict:
             spec["deadline_ms"] = job.deadline_ms
         if job.error_budget is not None:
             spec["error_budget"] = job.error_budget
+        submitted_at = getattr(job, "submitted_at", None)
+        if submitted_at is not None:
+            # The deadline covers the whole request, so queue wait
+            # accrued before serialization must travel with the job.  A
+            # raw ``time.monotonic()`` stamp is meaningless on another
+            # host; ship the *elapsed wait* as of send time instead, and
+            # let the receiver re-anchor it on its own clock.
+            spec["waited_ms"] = max(
+                (time.monotonic() - submitted_at) * 1e3, 0.0
+            )
     elif isinstance(job, UpdateRequest):
         spec = {
             "op": ("insert" if isinstance(job.update, Insert)

@@ -199,6 +199,68 @@ class TestQueueWaitAccounting:
         shard.close()
 
 
+class TestQueueWaitOverTcp:
+    """Queue wait must count against the deadline across the wire too.
+
+    A raw ``submitted_at`` monotonic stamp is meaningless on another
+    host, so ``job_to_spec`` ships the *elapsed wait* computed at send
+    time (``waited_ms``) and ``job_from_spec`` re-anchors it on the
+    receiving host's clock; the regression was that the stamp was
+    silently dropped, so ``shard_mode="tcp"`` served the full engine
+    deadline no matter how long the job had queued.
+    """
+
+    def test_spec_roundtrip_carries_elapsed_wait(self):
+        from repro.service.session import job_from_spec, job_to_spec
+
+        request = CountRequest(CHEAP, "d", deadline_ms=100.0)
+        request.submitted_at = time.monotonic() - 0.250  # waited 250ms
+        spec = job_to_spec(request)
+        assert 250.0 <= spec["waited_ms"] <= 400.0
+        rebuilt = job_from_spec(spec)
+        waited_ms = (time.monotonic() - rebuilt.submitted_at) * 1e3
+        assert 250.0 <= waited_ms <= 500.0
+
+    def test_unstamped_request_serializes_without_wait(self):
+        from repro.service.session import job_from_spec, job_to_spec
+
+        spec = job_to_spec(CountRequest(CHEAP, "d", deadline_ms=100.0))
+        assert "waited_ms" not in spec
+        assert getattr(job_from_spec(spec), "submitted_at", None) is None
+
+    def test_live_shardserver_subtracts_queue_wait(self):
+        from repro.service.net.client import ShardClient
+        from repro.service.net.server import ShardServer
+
+        with ShardServer(shards=1, label="qw") as server:
+            client = ShardClient(server.address)
+            client.configure("qw/shard0", {"maintain": False})
+            client.submit_job("qw/shard0", AttachDatabase("d", CHEAP_DB))
+            request = CountRequest(CHEAP, "d", deadline_ms=5_000.0)
+            request.submitted_at = time.monotonic() - 10.0  # waited 10s
+            result = client.submit_job("qw/shard0", request)
+            # Stale wait clamps the engine budget to the 1ms floor on
+            # the *server* side; before the fix the stamp vanished in
+            # serialization and the full 5000ms was served.
+            assert result.details["deadline_ms"] == 1.0
+
+    def test_live_shardserver_fresh_request_keeps_budget(self):
+        from repro.service.net.client import ShardClient
+        from repro.service.net.server import ShardServer
+
+        with ShardServer(shards=1, label="qf") as server:
+            client = ShardClient(server.address)
+            client.configure("qf/shard0", {"maintain": False})
+            client.submit_job("qf/shard0", AttachDatabase("d", CHEAP_DB))
+            request = CountRequest(CHEAP, "d", deadline_ms=5_000.0)
+            request.submitted_at = time.monotonic()
+            result = client.submit_job("qf/shard0", request)
+            assert result.count == count_answers(CHEAP, CHEAP_DB).count
+            # Only genuine wait (client-side queue + wire time) is
+            # subtracted — the budget stays essentially intact.
+            assert result.details["deadline_ms"] > 4_000.0
+
+
 class TestMembershipOracleRegression:
     """A fully-fixed assignment must be *verified*, not assumed.
 

@@ -558,6 +558,87 @@ class TestDifferentialReducedMaintenance:
 
 
 # ----------------------------------------------------------------------
+# Operation-counting leg: dirty-read repair is O(delta frontier), not
+# O(resident rows)
+# ----------------------------------------------------------------------
+class TestReducedRepairIsFrontierBounded:
+    """The tentpole's complexity contract, asserted on counters.
+
+    `ReducedMaintainer.repair_stats()` exposes the delta reducer's work
+    counters (rows visited by frontier propagation, membership rows
+    folded, support-key flips) and `IncrementalCounter.repair_rows`
+    counts the inner DP's row re-evaluations.  On a large resident
+    instance, a single-tuple update followed by a read must grow those
+    counters by a frontier-sized amount — orders of magnitude below the
+    resident bag rows the old per-read full reduction visited — while a
+    forced reseed (the checkpoint-restore path) demonstrably pays the
+    resident-sized cost exactly once.
+    """
+
+    #: Identity relations on 600 nodes: every node forms the triangle
+    #: (i, i, i), so each bag keeps ~600 resident survivors while a
+    #: fresh off-domain edge's frontier is a handful of keys.
+    NODES = 600
+
+    def _large_instance(self):
+        n = self.NODES
+        loops = [(i, i) for i in range(n)]
+        database = Database.from_dict({"r": loops, "s": loops, "t": loops})
+        return ReducedMaintainer(TRIANGLE, database), database
+
+    def test_repair_work_bounded_by_frontier_not_residency(self):
+        maintainer, database = self._large_instance()
+        assert maintainer.count == count_answers(TRIANGLE, database).count
+        resident = sum(len(bag) for bag in maintainer.witness_counts())
+        assert resident >= self.NODES  # the instance really is large
+        # Frontier work a single-tuple update may cost at the next
+        # read: a small constant, independent of `resident`.
+        bound = 64
+        assert bound * 4 < resident
+        inner = maintainer._inner
+        for round_index in range(12):
+            before_ops = maintainer.repair_stats()
+            before_inner = inner.repair_rows
+            fresh = self.NODES + round_index
+            update = Insert("r", (fresh, fresh % 7))
+            database = apply_update(database, update)
+            maintainer.apply(update)
+            count = maintainer.count  # the dirty read under test
+            after_ops = maintainer.repair_stats()
+            touched = (
+                (after_ops["rows_touched"] - before_ops["rows_touched"])
+                + (after_ops["applied_rows"] - before_ops["applied_rows"])
+            )
+            assert touched <= bound, (
+                f"round {round_index}: repair visited {touched} rows "
+                f"({resident} resident) — not frontier-bounded"
+            )
+            assert inner.repair_rows - before_inner <= bound
+            assert count == count_answers(TRIANGLE, database).count
+
+    def test_reseed_pays_residency_once_then_frontier_again(self):
+        maintainer, database = self._large_instance()
+        resident = sum(len(bag) for bag in maintainer.witness_counts())
+        update = Insert("r", (self.NODES + 1, 3))
+        database = apply_update(database, update)
+        maintainer.apply(update)
+        maintainer.rebuild_consistency()  # what a checkpoint restore does
+        assert maintainer.count == count_answers(TRIANGLE, database).count
+        stats = maintainer.repair_stats()
+        # The reseed folded every resident row into the fresh reducer.
+        assert stats["applied_rows"] >= resident
+        # After the one-time reseed, repair is frontier-priced again.
+        before = maintainer.repair_stats()
+        update = Insert("r", (self.NODES + 2, 5))
+        database = apply_update(database, update)
+        maintainer.apply(update)
+        assert maintainer.count == count_answers(TRIANGLE, database).count
+        after = maintainer.repair_stats()
+        assert (after["rows_touched"] - before["rows_touched"]
+                + after["applied_rows"] - before["applied_rows"]) <= 64
+
+
+# ----------------------------------------------------------------------
 # Approx leg (deadline-aware serving): the estimate's stated honesty
 # interval must contain the exact count at every replay step
 # ----------------------------------------------------------------------

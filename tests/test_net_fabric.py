@@ -236,6 +236,53 @@ class TestShardServer:
             assert stats["server"]["requests_served"] >= 5
             client.close()
 
+    def test_release_close_failure_is_counted_not_swallowed(self):
+        # A shard whose close() raises must still be released, but the
+        # failure has to land in the reply and the server stats instead
+        # of an `except: pass` — the close-error accounting contract the
+        # in-process handles already honour.
+        with ShardServer(shards=2) as server:
+            client = ShardClient(server.address)
+            client.configure("e/shard0", {})
+            client.configure("e/shard1", {})
+            client.submit_job("e/shard0", AttachDatabase("db", small_db()))
+
+            def explode():
+                raise RuntimeError("spill dir vanished")
+
+            server._cores["e/shard0"].shard.close = explode
+            reply = client.release(["e/shard0"])
+            assert reply["released"] == ["e/shard0"]
+            assert reply["close_errors"] == 1
+            assert "spill dir vanished" in reply["last_close_error"]
+            # Clean releases stay clean.
+            assert "close_errors" not in client.release(["e/shard1"])
+            # Totals survive in stats (probe any still-hosted shard)...
+            client.configure("e/shard2", {})
+            stats = client.stats("e/shard2")
+            assert stats["server"]["close_errors"] == 1
+            assert "spill dir vanished" in stats["server"]["last_close_error"]
+            # ...and ride the drain reply too.
+            drained = client.drain()
+            assert drained["drained"]
+            assert drained["close_errors"] == 1
+            assert "e/shard0" in drained["last_close_error"]
+            client.close()
+
+    def test_server_close_records_shard_close_failures(self):
+        server = ShardServer(shards=1)
+        client = ShardClient(server.address)
+        client.configure("f/shard0", {})
+
+        def explode():
+            raise RuntimeError("broken pipe to spill")
+
+        server._cores["f/shard0"].shard.close = explode
+        client.close()
+        server.close()
+        assert server.close_errors == 1
+        assert "f/shard0" in server.last_close_error
+
     def test_duplicate_request_id_is_served_from_reply_memory(self):
         # The exactly-once core: resending the SAME id must not
         # re-execute the job — the update below would double-apply.

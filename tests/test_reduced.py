@@ -234,6 +234,145 @@ class TestProvenanceDeltaTranslation:
 
 
 # ----------------------------------------------------------------------
+# The counting-semijoin delta reducer == the batch reducers
+# ----------------------------------------------------------------------
+class TestDeltaReducerProperty:
+    """`DeltaReducer` == `full_reducer` == `CompiledReducer`, always.
+
+    The delta reducer maintains the global-consistency fixpoint through
+    per-edge support counters and changed-key frontier propagation;
+    these properties pin it, on random join trees and random membership
+    streams, to the two batch reducers it replaces on the read path —
+    including the empty-propagation contract, pickle round trips
+    mid-stream, and the ``steps()`` relink path.
+    """
+
+    @staticmethod
+    def random_tree(rng):
+        from repro.hypergraph.acyclicity import JoinTree
+        from repro.query.terms import Variable
+
+        n = rng.randint(1, 6)
+        edges = tuple((rng.randrange(v), v) for v in range(1, n))
+        pool = [Variable(f"x{i:02d}") for i in range(10)]
+        schemas = [set() for _ in range(n)]
+        for a, b in edges:
+            shared = rng.sample(pool, rng.randint(1, 2))
+            schemas[a].update(shared)
+            schemas[b].update(shared)
+        for bag in schemas:
+            if not bag or rng.random() < 0.5:
+                bag.add(rng.choice(pool))
+        schemas = [tuple(sorted(bag, key=lambda v: v.name))
+                   for bag in schemas]
+        tree = JoinTree(bags=tuple(frozenset(s) for s in schemas),
+                        edges=edges)
+        return tree, schemas
+
+    @staticmethod
+    def batch_expectation(schemas, tree, rows):
+        from repro.consistency.pairwise import full_reducer
+        from repro.db.algebra import SubstitutionSet
+
+        reduced = full_reducer(
+            [SubstitutionSet(schema, frozenset(bag_rows))
+             for schema, bag_rows in zip(schemas, rows)],
+            tree,
+        )
+        return [bag.rows for bag in reduced]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_reducers_agree_on_random_streams(self, seed):
+        import pickle
+
+        from repro.consistency.delta import DeltaReducer
+        from repro.consistency.local import (
+            CompiledDeltaReducer,
+            CompiledReducer,
+        )
+
+        rng = random.Random(seed * 31 + 5)
+        for _trial in range(6):
+            tree, schemas = self.random_tree(rng)
+            n = len(schemas)
+            rows = [
+                {tuple(rng.randrange(4) for _ in schema)
+                 for _ in range(rng.randrange(8))}
+                for schema in schemas
+            ]
+            delta = DeltaReducer(schemas, tree)
+            compiled_delta = CompiledDeltaReducer(schemas, tree)
+            compiled = CompiledReducer(schemas, tree)
+            seeded = delta.reduce([frozenset(bag) for bag in rows])
+            assert seeded == compiled_delta.reduce(
+                [frozenset(bag) for bag in rows]
+            )
+            assert seeded == self.batch_expectation(schemas, tree, rows)
+            for step in range(10):
+                bag = rng.randrange(n)
+                width = len(schemas[bag])
+                added = {
+                    tuple(rng.randrange(4) for _ in range(width))
+                    for _ in range(rng.randrange(3))
+                } - rows[bag]
+                removed = set(rng.sample(
+                    sorted(rows[bag]),
+                    min(len(rows[bag]), rng.randrange(3)),
+                ))
+                rows[bag] = (rows[bag] - removed) | added
+                delta.apply(bag, added, removed)
+                compiled_delta.apply(bag, added, removed)
+                expect = self.batch_expectation(schemas, tree, rows)
+                assert expect == compiled.reduce(
+                    [frozenset(bag_rows) for bag_rows in rows]
+                )
+                for reducer in (delta, compiled_delta):
+                    gated = reducer.any_empty()
+                    state = [frozenset() if gated else reducer.survivors(i)
+                             for i in range(n)]
+                    assert expect == state
+                    assert [reducer.survivor_count(i) for i in range(n)] \
+                        == [len(reducer.survivors(i)) for i in range(n)]
+                if step == 4:
+                    # Mid-stream pickle round trip relinks the key
+                    # extractors and keeps every counter.
+                    delta = pickle.loads(pickle.dumps(delta))
+                    compiled_delta = pickle.loads(
+                        pickle.dumps(compiled_delta)
+                    )
+
+    def test_steps_relink_matches_fresh_construction(self):
+        from repro.consistency.local import CompiledDeltaReducer
+
+        rng = random.Random(99)
+        tree, schemas = self.random_tree(rng)
+        rows = [
+            {tuple(rng.randrange(3) for _ in schema) for _ in range(5)}
+            for schema in schemas
+        ]
+        original = CompiledDeltaReducer(schemas, tree)
+        relinked = CompiledDeltaReducer.from_steps(original.steps())
+        assert original.steps() == relinked.steps()
+        assert original.reduce([frozenset(bag) for bag in rows]) \
+            == relinked.reduce([frozenset(bag) for bag in rows])
+
+    def test_estimated_cells_tracks_membership(self):
+        from repro.consistency.delta import DeltaReducer
+
+        rng = random.Random(3)
+        tree, schemas = self.random_tree(rng)
+        reducer = DeltaReducer(schemas, tree)
+        reducer.reduce([frozenset() for _ in schemas])
+        empty_cells = reducer.estimated_cells()
+        reducer.reduce([
+            frozenset(tuple(rng.randrange(3) for _ in schema)
+                      for _ in range(6))
+            for schema in schemas
+        ])
+        assert reducer.estimated_cells() > empty_cells
+
+
+# ----------------------------------------------------------------------
 # Pool integration: spill, restore, journal replay
 # ----------------------------------------------------------------------
 class TestReducedMaintainerPool:
@@ -302,6 +441,94 @@ class TestReducedMaintainerPool:
         assert MAINTAINER_FORMAT_VERSION != 1
         with pytest.raises(PlanSerializationError):
             deserialize_maintainer_state(blob)
+
+    def test_version2_checkpoint_is_rejected(self):
+        """The delta-reducer bag-state layout bumped the format to 3: a
+        version-2 envelope (fed-row snapshot / dirty-bit layout) would
+        unpickle into the wrong slot set and must be rejected — the pool
+        then rebuilds the maintainer from the database, as for v1."""
+        blob = _serialize({"key": "x"}, _MAINTAINER_MAGIC, 2)
+        assert MAINTAINER_FORMAT_VERSION == 3
+        with pytest.raises(PlanSerializationError):
+            deserialize_maintainer_state(blob)
+
+    def test_spill_restore_mid_stream_matches_rebuild(self, tmp_path):
+        """A checkpoint round trip drops the delta reducer (its support
+        counters are reseeded on the next read); the restored maintainer
+        must keep answering — and keep its fed/provenance state — as if
+        it had never been spilled, across further updates."""
+        rng = random.Random(23)
+        database = seed_database(rng)
+        pool = MaintainerPool(budget_bytes=1, spill_dir=str(tmp_path))
+        entry = pool.counter_for("db", TRIANGLE, database,
+                                 self._form(TRIANGLE))
+        for _step in range(6):
+            update = random_update(rng, database)
+            database = apply_update(database, update)
+            pool.apply("db", [update])
+        # Force the eviction/spill of the triangle maintainer.
+        pool.counter_for("db", QUANT, database, self._form(QUANT))
+        assert pool.stats()["spilled"] >= 1
+        # Updates landing while cold go through the journal.
+        for _step in range(4):
+            update = random_update(rng, database)
+            database = apply_update(database, update)
+            pool.apply("db", [update])
+        restored = pool.counter_for("db", TRIANGLE, database,
+                                    self._form(TRIANGLE))
+        assert restored.count == count_brute_force(TRIANGLE, database)
+        # And the reseeded reducer keeps evolving incrementally.
+        for _step in range(4):
+            update = random_update(rng, database)
+            database = apply_update(database, update)
+            pool.apply("db", [update])
+            assert pool.counter_for(
+                "db", TRIANGLE, database, self._form(TRIANGLE)
+            ).count == count_brute_force(TRIANGLE, database)
+        pool.close()
+
+    def test_pickle_roundtrip_reseeds_and_matches_rebuild(self):
+        """A checkpoint (pickle) round trip drops the delta reducer; the
+        first read after restore reseeds it with a full reduction, after
+        which every introspection surface matches a from-scratch
+        rebuild and further deltas keep applying incrementally."""
+        import pickle
+
+        rng = random.Random(41)
+        database = seed_database(rng)
+        maintainer = ReducedMaintainer(TRIANGLE, database)
+        for _step in range(6):
+            update = random_update(rng, database)
+            database = apply_update(database, update)
+            maintainer.apply(update)
+        restored = pickle.loads(pickle.dumps(maintainer))
+        assert restored._delta_reducer is None  # dropped by __getstate__
+        for _step in range(4):
+            update = random_update(rng, database)
+            database = apply_update(database, update)
+            restored.apply(update)
+        fresh = ReducedMaintainer(TRIANGLE, database)
+        assert restored.count == fresh.count
+        assert restored.local_bag_rows() == fresh.local_bag_rows()
+        assert restored.witness_counts() == fresh.witness_counts()
+        assert restored.fed_rows() == fresh.fed_rows()
+        assert restored.count == count_brute_force(TRIANGLE, database)
+
+    def test_rebuild_consistency_is_idempotent_on_answers(self):
+        """`rebuild_consistency` (the restore path's reseed, exposed for
+        the benchmark baseline) must never change observable state."""
+        rng = random.Random(31)
+        database = seed_database(rng)
+        maintainer = ReducedMaintainer(TRIANGLE, database)
+        for _step in range(5):
+            update = random_update(rng, database)
+            database = apply_update(database, update)
+            maintainer.apply(update)
+        before_count = maintainer.count
+        before_fed = maintainer.fed_rows()
+        maintainer.rebuild_consistency()
+        assert maintainer.count == before_count
+        assert maintainer.fed_rows() == before_fed
 
 
 # ----------------------------------------------------------------------
